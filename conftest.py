@@ -1,0 +1,16 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` needs
+the ``--no-build-isolation`` flag); when the package is installed this is a
+no-op because the installed distribution takes precedence on ``sys.path``
+only if it appears first — so we only prepend when the import would fail.
+"""
+
+import os
+import sys
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,57 @@
+"""Quickstart: analyse and verify the paper's 2-input genetic AND gate.
+
+This script walks the full pipeline in ~30 lines:
+
+1. build the Figure-1 AND gate (LacI/TetR → CI → GFP),
+2. estimate its threshold value and propagation delay (the two parameters the
+   paper's methodology requires),
+3. run a stochastic virtual-laboratory experiment through every input
+   combination,
+4. run the logic analysis and verification algorithm (Algorithm 1), and
+5. print the Figure-2 style report.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    LogicAnalyzer,
+    and_gate_circuit,
+    estimate_propagation_delay,
+    estimate_threshold,
+    format_analysis_report,
+    run_logic_experiment,
+)
+
+
+def main() -> None:
+    # 1. The genetic AND gate of the paper's Figure 1.
+    circuit = and_gate_circuit()
+    print(circuit.summary())
+    print(circuit.netlist.describe())
+    print()
+
+    # 2. Circuit parameters: threshold value and propagation delay.
+    threshold = estimate_threshold(circuit.model, circuit.inputs, circuit.output)
+    delay = estimate_propagation_delay(
+        circuit.model, circuit.inputs, circuit.output, threshold=threshold.threshold
+    )
+    print(threshold.summary())
+    print(delay.summary())
+    print()
+
+    # 3. Virtual-laboratory experiment: every input combination, held well
+    #    beyond the propagation delay, sampled once per time unit.
+    hold_time = max(delay.recommended_hold_time(), 150.0)
+    data = run_logic_experiment(circuit, hold_time=hold_time, repeats=2, rng=1)
+
+    # 4. Logic analysis and verification (threshold 15 molecules, FOV_UD 0.25,
+    #    exactly as in the paper's experiments).
+    analyzer = LogicAnalyzer(threshold=15.0, fov_ud=0.25)
+    result = analyzer.analyze(data, expected=circuit.expected_table)
+
+    # 5. The Figure-2 style report.
+    print(format_analysis_report(result, title="Quickstart — genetic AND gate"))
+
+
+if __name__ == "__main__":
+    main()

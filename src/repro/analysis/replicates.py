@@ -1,0 +1,117 @@
+"""Replicate studies: how repeatable is the recovered logic?
+
+The paper interprets the percentage fitness as an indication of "how likely
+it is that the circuit will actually work after implementation in the
+laboratory".  A single stochastic run gives one fitness number; a replicate
+study runs the same experiment under independent random seeds and reports
+
+* how often the correct Boolean expression is recovered (the recovery rate),
+* the distribution of the fitness score, and
+* the per-combination agreement across replicates,
+
+which is the statistically honest version of that reliability argument and a
+natural extension the paper's conclusion points towards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
+from ..errors import AnalysisError
+from ..gates.circuits import GeneticCircuit
+from ..logic.truthtable import TruthTable
+from ..stochastic.rng import RandomState, spawn_rngs
+from ..vlab.experiment import LogicExperiment
+
+__all__ = ["ReplicateStudy", "run_replicate_study"]
+
+
+@dataclass
+class ReplicateStudy:
+    """Aggregated outcome of repeated experiments on one circuit."""
+
+    circuit_name: str
+    expected: TruthTable
+    results: List[LogicAnalysisResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise AnalysisError("a replicate study needs at least one result")
+
+    @property
+    def n_replicates(self) -> int:
+        return len(self.results)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of replicates that recovered exactly the expected table."""
+        matches = sum(
+            1 for r in self.results if r.truth_table.outputs == self.expected.outputs
+        )
+        return matches / self.n_replicates
+
+    @property
+    def fitness_values(self) -> List[float]:
+        return [r.fitness for r in self.results]
+
+    @property
+    def mean_fitness(self) -> float:
+        return float(np.mean(self.fitness_values))
+
+    @property
+    def std_fitness(self) -> float:
+        return float(np.std(self.fitness_values))
+
+    def combination_agreement(self) -> Dict[str, float]:
+        """Per-combination fraction of replicates agreeing with the expectation."""
+        labels = self.expected.combination_labels()
+        agreement: Dict[str, float] = {}
+        for index, label in enumerate(labels):
+            expected_bit = self.expected.outputs[index]
+            agreeing = sum(
+                1 for r in self.results if r.truth_table.outputs[index] == expected_bit
+            )
+            agreement[label] = agreeing / self.n_replicates
+        return agreement
+
+    def worst_combination(self) -> str:
+        """The input combination most often recovered incorrectly."""
+        agreement = self.combination_agreement()
+        return min(agreement, key=agreement.get)
+
+    def summary(self) -> str:
+        return (
+            f"{self.circuit_name}: {self.n_replicates} replicates, recovery rate "
+            f"{self.recovery_rate * 100:.0f}%, fitness {self.mean_fitness:.2f}% ± "
+            f"{self.std_fitness:.2f}"
+        )
+
+
+def run_replicate_study(
+    circuit: GeneticCircuit,
+    n_replicates: int = 5,
+    threshold: float = 15.0,
+    fov_ud: float = 0.25,
+    hold_time: float = 200.0,
+    repeats: int = 1,
+    simulator: str = "ssa",
+    rng: RandomState = None,
+) -> ReplicateStudy:
+    """Run ``n_replicates`` independent experiments and aggregate the analyses."""
+    if n_replicates < 1:
+        raise AnalysisError("n_replicates must be at least 1")
+    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
+    experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
+    results: List[LogicAnalysisResult] = []
+    for generator in spawn_rngs(rng, n_replicates):
+        data = experiment.run(hold_time=hold_time, repeats=repeats, rng=generator)
+        results.append(analyzer.analyze(data, expected=circuit.expected_table))
+    return ReplicateStudy(
+        circuit_name=circuit.name,
+        expected=circuit.expected_table,
+        results=results,
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface (``genlogic``).
+
+Four sub-commands cover the paper's workflow end to end:
+
+``genlogic list``
+    Show the built-in circuit suite (the 15 circuits of the evaluation).
+``genlogic simulate CIRCUIT --out data.csv``
+    Run a virtual-laboratory experiment on a built-in circuit (or an SBML
+    file) and log the traces to CSV.
+``genlogic analyze data.csv --threshold 15``
+    Run the logic analysis and verification algorithm on a logged CSV.
+``genlogic verify CIRCUIT``
+    Simulate, analyse and verify a built-in circuit in one go.
+``genlogic synth 0x0B``
+    Synthesize a NOT/NOR netlist for a truth table given as a hex name or an
+    expression and print its structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.runtime import measure_analysis_runtime
+from .core.analyzer import LogicAnalyzer
+from .core.report import format_analysis_report
+from .errors import ReproError
+from .gates.cello import CELLO_CIRCUIT_NAMES, cello_circuit
+from .gates.circuits import (
+    GeneticCircuit,
+    and_gate_circuit,
+    myers_suite,
+    nand_gate_circuit,
+    nor_gate_circuit,
+    not_gate_circuit,
+    or_gate_circuit,
+    standard_suite,
+)
+from .gates.synthesis import synthesize_from_expression, synthesize_from_hex
+from .io.csvlog import read_datalog_csv, write_datalog_csv
+from .io.results import result_to_json, save_result_json
+from .sbml.reader import read_sbml_file
+from .vlab.experiment import LogicExperiment, run_logic_experiment
+from .version import __version__
+
+__all__ = ["main", "build_parser"]
+
+_NAMED_CIRCUITS = {
+    "not": not_gate_circuit,
+    "and": and_gate_circuit,
+    "or": or_gate_circuit,
+    "nand": nand_gate_circuit,
+    "nor": nor_gate_circuit,
+}
+
+
+def _resolve_circuit(name: str) -> GeneticCircuit:
+    """Look up a built-in circuit by name (``and``, ``0x0B``, ``cello_0x0b``...)."""
+    key = name.lower()
+    if key in _NAMED_CIRCUITS:
+        return _NAMED_CIRCUITS[key]()
+    if key.startswith("cello_"):
+        key = key[len("cello_"):]
+    if key.startswith("0x"):
+        return cello_circuit(key)
+    raise ReproError(
+        f"unknown circuit {name!r}; use one of {sorted(_NAMED_CIRCUITS)} or a hex name "
+        "such as 0x0B"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genlogic",
+        description="Logic analysis and verification of n-input genetic logic circuits",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the built-in circuit suite")
+    list_parser.add_argument(
+        "--cello-only", action="store_true", help="only list the ten Cello circuits"
+    )
+
+    simulate = subparsers.add_parser("simulate", help="run a virtual-lab experiment")
+    simulate.add_argument("circuit", help="built-in circuit name or path to an SBML file")
+    simulate.add_argument("--out", required=True, help="CSV file to write the data log to")
+    simulate.add_argument("--inputs", nargs="*", help="input species (SBML models only)")
+    simulate.add_argument("--output", help="output species (SBML models only)")
+    simulate.add_argument("--hold-time", type=float, default=250.0)
+    simulate.add_argument("--repeats", type=int, default=1)
+    simulate.add_argument("--input-high", type=float, default=None)
+    simulate.add_argument("--simulator", default="ssa")
+    simulate.add_argument("--seed", type=int, default=None)
+
+    analyze = subparsers.add_parser("analyze", help="analyze a logged CSV")
+    analyze.add_argument("datalog", help="CSV produced by 'genlogic simulate'")
+    analyze.add_argument("--threshold", type=float, default=15.0)
+    analyze.add_argument("--fov", type=float, default=0.25, help="acceptable fraction of variation")
+    analyze.add_argument("--expected", help="expected behaviour (expression or hex name)")
+    analyze.add_argument("--output-species", help="analyse an intermediate species instead")
+    analyze.add_argument("--json", help="also write the result as JSON to this path")
+
+    verify = subparsers.add_parser("verify", help="simulate + analyze + verify a built-in circuit")
+    verify.add_argument("circuit", help="built-in circuit name or hex name")
+    verify.add_argument("--threshold", type=float, default=15.0)
+    verify.add_argument("--fov", type=float, default=0.25)
+    verify.add_argument("--hold-time", type=float, default=250.0)
+    verify.add_argument("--repeats", type=int, default=1)
+    verify.add_argument("--simulator", default="ssa")
+    verify.add_argument("--seed", type=int, default=None)
+    verify.add_argument("--json", help="also write the result as JSON to this path")
+
+    synth = subparsers.add_parser("synth", help="synthesize a NOT/NOR netlist")
+    synth.add_argument("spec", help="hex truth-table name (0x0B) or Boolean expression")
+    synth.add_argument("--inputs", nargs="*", help="input names (default LacI TetR AraC)")
+
+    runtime = subparsers.add_parser("runtime", help="measure analyzer throughput")
+    runtime.add_argument("--sizes", nargs="*", type=int, default=[10_000, 100_000, 1_000_000])
+    runtime.add_argument("--inputs", type=int, default=3)
+    runtime.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    circuits = (
+        [cello_circuit(name) for name in CELLO_CIRCUIT_NAMES]
+        if args.cello_only
+        else standard_suite()
+    )
+    for circuit in circuits:
+        print(circuit.summary())
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    if args.circuit.endswith(".xml") or args.circuit.endswith(".sbml"):
+        model = read_sbml_file(args.circuit)
+        if not args.inputs or not args.output:
+            raise ReproError("--inputs and --output are required when simulating an SBML file")
+        log = run_logic_experiment(
+            model,
+            input_species=args.inputs,
+            output_species=args.output,
+            hold_time=args.hold_time,
+            repeats=args.repeats,
+            input_high=args.input_high if args.input_high is not None else 40.0,
+            simulator=args.simulator,
+            rng=args.seed,
+        )
+    else:
+        circuit = _resolve_circuit(args.circuit)
+        experiment = LogicExperiment.for_circuit(
+            circuit, simulator=args.simulator, input_high=args.input_high
+        )
+        log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
+    write_datalog_csv(log, args.out)
+    print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {args.out}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    log = read_datalog_csv(args.datalog)
+    analyzer = LogicAnalyzer(threshold=args.threshold, fov_ud=args.fov)
+    result = analyzer.analyze(log, expected=args.expected, output_species=args.output_species)
+    print(format_analysis_report(result))
+    if args.json:
+        save_result_json(result, args.json)
+        print(f"result JSON written to {args.json}")
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    experiment = LogicExperiment.for_circuit(circuit, simulator=args.simulator)
+    log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
+    analyzer = LogicAnalyzer(threshold=args.threshold, fov_ud=args.fov)
+    result = analyzer.analyze(log, expected=circuit.expected_table)
+    print(format_analysis_report(result))
+    if args.json:
+        save_result_json(result, args.json)
+        print(f"result JSON written to {args.json}")
+    return 0 if result.comparison and result.comparison.matches else 1
+
+
+def _command_synth(args: argparse.Namespace) -> int:
+    inputs = args.inputs or ["LacI", "TetR", "AraC"]
+    if args.spec.lower().startswith("0x"):
+        netlist = synthesize_from_hex(args.spec, inputs=inputs)
+    else:
+        netlist = synthesize_from_expression(args.spec, inputs=None if not args.inputs else inputs)
+    print(netlist.describe())
+    print(f"expected behaviour: {netlist.truth_table().to_hex()}")
+    return 0
+
+
+def _command_runtime(args: argparse.Namespace) -> int:
+    measurements = measure_analysis_runtime(args.sizes, n_inputs=args.inputs, rng=args.seed)
+    for measurement in measurements:
+        print(measurement.summary())
+    return 0
+
+
+_COMMANDS = {
+    "list": _command_list,
+    "simulate": _command_simulate,
+    "analyze": _command_analyze,
+    "verify": _command_verify,
+    "synth": _command_synth,
+    "runtime": _command_runtime,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``genlogic`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

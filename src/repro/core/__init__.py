@@ -1,0 +1,50 @@
+"""The paper's contribution: the logic analysis and verification algorithm."""
+
+from .adc import analog_to_digital, analog_to_digital_hysteresis, digitize_matrix
+from .analyzer import (
+    CombinationAnalysis,
+    LogicAnalysisResult,
+    LogicAnalyzer,
+    analyze_logic,
+)
+from .boolexpr_builder import build_expression, build_truth_table, high_combinations
+from .case_analyzer import CaseStream, analyze_cases
+from .filters import DEFAULT_FOV_UD, FilterConfig, FilterDecision, apply_filters
+from .fitness import fitness_from_analysis, percentage_fitness
+from .report import format_analysis_report, format_case_table, format_suite_table
+from .variation import (
+    VariationStats,
+    analyze_all_variations,
+    analyze_variation,
+    count_high,
+    count_variations,
+)
+
+__all__ = [
+    "analog_to_digital",
+    "analog_to_digital_hysteresis",
+    "digitize_matrix",
+    "CaseStream",
+    "analyze_cases",
+    "VariationStats",
+    "analyze_variation",
+    "analyze_all_variations",
+    "count_high",
+    "count_variations",
+    "FilterConfig",
+    "FilterDecision",
+    "apply_filters",
+    "DEFAULT_FOV_UD",
+    "build_expression",
+    "build_truth_table",
+    "high_combinations",
+    "percentage_fitness",
+    "fitness_from_analysis",
+    "CombinationAnalysis",
+    "LogicAnalysisResult",
+    "LogicAnalyzer",
+    "analyze_logic",
+    "format_case_table",
+    "format_analysis_report",
+    "format_suite_table",
+]

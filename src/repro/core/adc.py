@@ -1,0 +1,66 @@
+"""Analog-to-digital conversion of species traces (Algorithm 1, sub-procedure ADC).
+
+"The algorithm first converts the analog simulation data into digital data
+with the help of threshold values" — a sample is logic-1 when the species
+amount is at or above the threshold and logic-0 otherwise.  A hysteresis
+variant (separate rising and falling thresholds) is provided as an extension:
+it suppresses chattering when the output hovers around a single threshold,
+and is used by the filter-ablation study to show that the paper's two data
+filters achieve the same robustness without needing hysteresis.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ThresholdError
+
+__all__ = ["analog_to_digital", "analog_to_digital_hysteresis", "digitize_matrix"]
+
+
+def analog_to_digital(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Digitise one analog trace: 1 where ``values >= threshold`` else 0."""
+    if threshold <= 0:
+        raise ThresholdError(f"threshold must be positive, got {threshold!r}")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ThresholdError("analog_to_digital expects a 1-D trace")
+    return (values >= threshold).astype(np.int8)
+
+
+def analog_to_digital_hysteresis(
+    values: np.ndarray, low_threshold: float, high_threshold: float
+) -> np.ndarray:
+    """Digitise with hysteresis: rise at ``high_threshold``, fall at ``low_threshold``.
+
+    Between the two thresholds the previous digital value is held.  The trace
+    starts at 0 unless the first sample is already above ``high_threshold``.
+    """
+    if low_threshold <= 0 or high_threshold <= 0:
+        raise ThresholdError("hysteresis thresholds must be positive")
+    if low_threshold > high_threshold:
+        raise ThresholdError("low_threshold must not exceed high_threshold")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ThresholdError("analog_to_digital_hysteresis expects a 1-D trace")
+    digital = np.zeros(values.shape[0], dtype=np.int8)
+    state = 1 if values.size and values[0] >= high_threshold else 0
+    for i, value in enumerate(values):
+        if state == 0 and value >= high_threshold:
+            state = 1
+        elif state == 1 and value < low_threshold:
+            state = 0
+        digital[i] = state
+    return digital
+
+
+def digitize_matrix(matrix: np.ndarray, threshold: float) -> np.ndarray:
+    """Digitise a (samples x species) matrix column-wise with one threshold."""
+    if threshold <= 0:
+        raise ThresholdError(f"threshold must be positive, got {threshold!r}")
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ThresholdError("digitize_matrix expects a 2-D (samples x species) array")
+    return (matrix >= threshold).astype(np.int8)

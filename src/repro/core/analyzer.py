@@ -1,0 +1,347 @@
+"""The logic analysis and verification algorithm (the paper's Algorithm 1).
+
+:class:`LogicAnalyzer` is the package's headline component.  Given the logged
+simulation data of an n-input genetic circuit (a
+:class:`~repro.vlab.datalog.SimulationDataLog` or raw arrays), a threshold
+value and a user-defined acceptable fraction of variation, it
+
+1. digitises the analog traces (``ADC``),
+2. groups the samples by applied input combination (``CaseAnalyzer``),
+3. computes the stability statistics of every combination's output stream
+   (``VariationAnalyzer``),
+4. applies the two filters of Section II,
+5. constructs the Boolean expression of the circuit (``ConstBoolExpr``), and
+6. reports the percentage fitness of that expression (``PFoBE``)
+
+together with everything needed to render the analytics tables of the
+paper's Figures 2 and 4 and to verify the circuit against its intended
+behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..logic.boolexpr import BoolExpr
+from ..logic.compare import LogicComparison, compare_tables
+from ..logic.patterns import identify_gate
+from ..logic.truthtable import TruthTable
+from ..vlab.datalog import SimulationDataLog
+from .adc import analog_to_digital
+from .boolexpr_builder import build_expression, build_truth_table, high_combinations
+from .case_analyzer import CaseStream, analyze_cases
+from .filters import FilterConfig, FilterDecision, apply_filters
+from .fitness import fitness_from_analysis
+from .variation import VariationStats, analyze_all_variations
+
+__all__ = ["CombinationAnalysis", "LogicAnalysisResult", "LogicAnalyzer", "analyze_logic"]
+
+
+@dataclass
+class CombinationAnalysis:
+    """Everything the algorithm derived about one input combination.
+
+    The fields mirror the columns of the paper's Figure 2(b) / Figure 4
+    tables: ``case_count`` is ``Case_I``, ``high_count`` is ``High_O``,
+    ``variation_count`` is ``Var_O`` and ``fov_est`` is ``FOV_EST``.
+    """
+
+    index: int
+    label: str
+    case_count: int
+    high_count: int
+    variation_count: int
+    fov_est: float
+    passes_fov: bool
+    passes_majority: bool
+    is_high: bool
+
+    @property
+    def observed(self) -> bool:
+        return self.case_count > 0
+
+
+@dataclass
+class LogicAnalysisResult:
+    """Complete output of one run of the analysis algorithm."""
+
+    circuit_name: str
+    input_species: List[str]
+    output_species: str
+    threshold: float
+    fov_ud: float
+    combinations: List[CombinationAnalysis]
+    expression: BoolExpr
+    canonical_expression: BoolExpr
+    truth_table: TruthTable
+    fitness: float
+    gate_name: Optional[str]
+    analysis_time_seconds: float
+    n_samples: int
+    comparison: Optional[LogicComparison] = None
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_species)
+
+    @property
+    def high_combination_labels(self) -> List[str]:
+        """Input combinations recovered as logic-1, e.g. ``["011"]``."""
+        return [c.label for c in self.combinations if c.is_high]
+
+    @property
+    def unobserved_combinations(self) -> List[str]:
+        """Combinations that never occurred in the data (coverage gaps)."""
+        return [c.label for c in self.combinations if not c.observed]
+
+    def combination(self, label_or_index) -> CombinationAnalysis:
+        """Look up one combination's analysis by label (``"011"``) or index."""
+        if isinstance(label_or_index, str):
+            for combination in self.combinations:
+                if combination.label == label_or_index:
+                    return combination
+            raise AnalysisError(f"no combination labelled {label_or_index!r}")
+        index = int(label_or_index)
+        for combination in self.combinations:
+            if combination.index == index:
+                return combination
+        raise AnalysisError(f"no combination with index {index}")
+
+    def verify(self, expected) -> LogicComparison:
+        """Compare the recovered truth table against an expected behaviour.
+
+        ``expected`` may be a :class:`TruthTable`, a Boolean expression
+        (string or :class:`BoolExpr`) or a Cello-style hexadecimal name; the
+        comparison is stored on the result and returned.
+        """
+        if isinstance(expected, TruthTable):
+            expected_table = expected
+        elif isinstance(expected, str) and expected.lower().startswith("0x"):
+            expected_table = TruthTable.from_hex(expected, inputs=self.input_species)
+        else:
+            expected_table = TruthTable.from_expression(expected, inputs=self.input_species)
+        self.comparison = compare_tables(expected_table, self.truth_table)
+        return self.comparison
+
+    def summary(self) -> str:
+        """One-line outcome: expression, fitness and (if verified) the verdict."""
+        text = (
+            f"{self.circuit_name or self.output_species}: "
+            f"{self.expression.to_string()} "
+            f"(fitness {self.fitness:.2f}%"
+        )
+        if self.gate_name:
+            text += f", behaves as {self.gate_name}"
+        text += ")"
+        if self.comparison is not None:
+            text += f" — {self.comparison.summary()}"
+        return text
+
+
+class LogicAnalyzer:
+    """Configured instance of the paper's logic analysis algorithm.
+
+    Parameters
+    ----------
+    threshold:
+        ``ThVAL``: the molecule count separating digital 0 from 1 for the
+        I/O species (the paper uses 15 molecules).
+    fov_ud:
+        ``FOV_UD``: acceptable fraction of variation (default 0.25).
+    input_source:
+        ``"applied"`` digitises the inputs from the clamp levels the virtual
+        laboratory applied (exact); ``"measured"`` digitises the recorded
+        input traces with the same threshold as the output, which is what an
+        analysis of externally produced data has to do.
+    minimize_expression:
+        Report the Quine–McCluskey minimized expression (default) or the
+        canonical sum of minterms.
+    filter_config:
+        Override the filter behaviour (used by the ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        fov_ud: float = 0.25,
+        input_source: str = "applied",
+        minimize_expression: bool = True,
+        filter_config: Optional[FilterConfig] = None,
+    ):
+        if threshold <= 0:
+            raise AnalysisError("threshold must be positive")
+        if input_source not in ("applied", "measured"):
+            raise AnalysisError("input_source must be 'applied' or 'measured'")
+        self.threshold = float(threshold)
+        self.input_source = input_source
+        self.minimize_expression = minimize_expression
+        if filter_config is None:
+            filter_config = FilterConfig(fov_ud=fov_ud)
+        elif abs(filter_config.fov_ud - fov_ud) > 1e-12 and fov_ud != 0.25:
+            raise AnalysisError(
+                "pass FOV_UD either through fov_ud or through filter_config, not both"
+            )
+        self.filter_config = filter_config
+
+    @property
+    def fov_ud(self) -> float:
+        return self.filter_config.fov_ud
+
+    # -- entry points ------------------------------------------------------------
+    def analyze(
+        self,
+        data: SimulationDataLog,
+        expected=None,
+        output_species: Optional[str] = None,
+    ) -> LogicAnalysisResult:
+        """Run the algorithm on a logged experiment.
+
+        ``output_species`` re-targets the analysis at an intermediate species
+        (the paper's "Boolean logic analysis ... on the intermediate circuit
+        components").  ``expected`` triggers verification against an intended
+        behaviour (expression, truth table or hex name).
+        """
+        if output_species is not None and output_species != data.output_species:
+            data = data.with_output(output_species)
+        started = time.perf_counter()
+
+        output_digital = analog_to_digital(data.output_trace(), self.threshold)
+        if self.input_source == "applied":
+            digital_inputs = data.applied_digital_inputs()
+        else:
+            digital_inputs = data.measured_digital_inputs(self.threshold)
+        weights = 2 ** np.arange(data.n_inputs - 1, -1, -1)
+        combination_indices = digital_inputs @ weights
+
+        result = self._analyze_digital(
+            combination_indices=combination_indices,
+            output_digital=output_digital,
+            input_species=data.input_species,
+            output_species=data.output_species,
+            circuit_name=data.circuit_name,
+            started=started,
+        )
+        if expected is not None:
+            result.verify(expected)
+        return result
+
+    def analyze_arrays(
+        self,
+        input_matrix: np.ndarray,
+        output_trace: np.ndarray,
+        input_species: Sequence[str],
+        output_species: str = "output",
+        circuit_name: str = "",
+        inputs_are_digital: bool = False,
+        expected=None,
+    ) -> LogicAnalysisResult:
+        """Run the algorithm on raw arrays (no :class:`SimulationDataLog` needed).
+
+        ``input_matrix`` has one column per input species; columns are
+        digitised with the analyzer's threshold unless ``inputs_are_digital``.
+        """
+        started = time.perf_counter()
+        input_matrix = np.asarray(input_matrix)
+        output_trace = np.asarray(output_trace, dtype=float)
+        if input_matrix.ndim == 1:
+            input_matrix = input_matrix.reshape(-1, 1)
+        if input_matrix.shape[1] != len(list(input_species)):
+            raise AnalysisError(
+                f"input matrix has {input_matrix.shape[1]} columns but "
+                f"{len(list(input_species))} input species were named"
+            )
+        if input_matrix.shape[0] != output_trace.shape[0]:
+            raise AnalysisError("input matrix and output trace have different lengths")
+        if inputs_are_digital:
+            digital_inputs = (input_matrix > 0).astype(np.int8)
+        else:
+            digital_inputs = (np.asarray(input_matrix, dtype=float) >= self.threshold).astype(np.int8)
+        output_digital = (
+            output_trace.astype(np.int8)
+            if output_trace.dtype.kind in "iub" and set(np.unique(output_trace)) <= {0, 1}
+            else analog_to_digital(output_trace, self.threshold)
+        )
+        n_inputs = digital_inputs.shape[1]
+        weights = 2 ** np.arange(n_inputs - 1, -1, -1)
+        combination_indices = digital_inputs @ weights
+        result = self._analyze_digital(
+            combination_indices=combination_indices,
+            output_digital=output_digital,
+            input_species=list(input_species),
+            output_species=output_species,
+            circuit_name=circuit_name,
+            started=started,
+        )
+        if expected is not None:
+            result.verify(expected)
+        return result
+
+    # -- core ----------------------------------------------------------------------
+    def _analyze_digital(
+        self,
+        combination_indices: np.ndarray,
+        output_digital: np.ndarray,
+        input_species: Sequence[str],
+        output_species: str,
+        circuit_name: str,
+        started: float,
+    ) -> LogicAnalysisResult:
+        input_species = list(input_species)
+        n_inputs = len(input_species)
+
+        cases = analyze_cases(combination_indices, output_digital, n_inputs)
+        stats = analyze_all_variations(cases)
+        decisions = apply_filters(stats, self.filter_config)
+
+        expression = build_expression(decisions, input_species, minimized=self.minimize_expression)
+        canonical = build_expression(decisions, input_species, minimized=False)
+        table = build_truth_table(decisions, input_species)
+        fitness = fitness_from_analysis(stats, decisions)
+
+        combinations = [
+            CombinationAnalysis(
+                index=index,
+                label=cases[index].label,
+                case_count=stats[index].case_count,
+                high_count=stats[index].high_count,
+                variation_count=stats[index].variation_count,
+                fov_est=stats[index].fraction_of_variation,
+                passes_fov=decisions[index].passes_fov,
+                passes_majority=decisions[index].passes_majority,
+                is_high=decisions[index].is_high,
+            )
+            for index in sorted(cases)
+        ]
+        elapsed = time.perf_counter() - started
+        return LogicAnalysisResult(
+            circuit_name=circuit_name,
+            input_species=input_species,
+            output_species=output_species,
+            threshold=self.threshold,
+            fov_ud=self.fov_ud,
+            combinations=combinations,
+            expression=expression,
+            canonical_expression=canonical,
+            truth_table=table,
+            fitness=fitness,
+            gate_name=identify_gate(table),
+            analysis_time_seconds=elapsed,
+            n_samples=int(np.asarray(output_digital).shape[0]),
+        )
+
+
+def analyze_logic(
+    data: SimulationDataLog,
+    threshold: float,
+    fov_ud: float = 0.25,
+    expected=None,
+    input_source: str = "applied",
+) -> LogicAnalysisResult:
+    """One-call convenience wrapper around :class:`LogicAnalyzer`."""
+    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud, input_source=input_source)
+    return analyzer.analyze(data, expected=expected)

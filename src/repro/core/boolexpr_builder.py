@@ -1,0 +1,62 @@
+"""Boolean expression construction (Algorithm 1, ``ConstBoolExpr``).
+
+"The Boolean expression is then constructed for each filtered result": the
+input combinations whose filtered output is logic-1 are the minterms of the
+recovered function.  The expression can be reported either as the canonical
+sum of those minterms (exactly what the filtering produced) or minimized with
+Quine–McCluskey for readability — the paper prints minimized forms such as
+``A'.B.C``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import AnalysisError
+from ..logic.boolexpr import BoolExpr, Const, from_minterms
+from ..logic.minimize import minimize
+from ..logic.truthtable import TruthTable
+from .filters import FilterDecision
+
+__all__ = ["high_combinations", "build_expression", "build_truth_table"]
+
+
+def high_combinations(decisions: Mapping[int, FilterDecision]) -> List[int]:
+    """Combination indices whose filtered output is logic-1, ascending."""
+    return sorted(index for index, decision in decisions.items() if decision.is_high)
+
+
+def build_truth_table(
+    decisions: Mapping[int, FilterDecision], input_names: Sequence[str]
+) -> TruthTable:
+    """The recovered truth table over the experiment's input species."""
+    input_names = list(input_names)
+    expected_rows = 2 ** len(input_names)
+    if len(decisions) != expected_rows:
+        raise AnalysisError(
+            f"filter decisions cover {len(decisions)} combinations but "
+            f"{len(input_names)} inputs imply {expected_rows}"
+        )
+    return TruthTable.from_minterm_indices(high_combinations(decisions), input_names)
+
+
+def build_expression(
+    decisions: Mapping[int, FilterDecision],
+    input_names: Sequence[str],
+    minimized: bool = True,
+) -> BoolExpr:
+    """The recovered Boolean expression over the experiment's input species.
+
+    With ``minimized=False`` the canonical sum-of-minterms is returned, which
+    maps one-to-one onto the filtered results; ``minimized=True`` (default)
+    applies Quine–McCluskey for the compact form the paper reports.
+    """
+    input_names = list(input_names)
+    highs = high_combinations(decisions)
+    if not highs:
+        return Const(False)
+    if len(highs) == 2 ** len(input_names):
+        return Const(True)
+    if minimized:
+        return minimize(len(input_names), highs, variables=input_names)
+    return from_minterms(input_names, highs)

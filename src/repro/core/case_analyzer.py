@@ -1,0 +1,110 @@
+"""Per-input-combination grouping of samples (Algorithm 1, ``CaseAnalyzer``).
+
+"CaseAnalyzer analyzes the number of times each input combination occurs and
+logs their corresponding output binary data streams."  Each sample of the
+experiment belongs to exactly one input combination (the one applied at that
+sample); the case analyzer counts the samples per combination (``Case_I``)
+and extracts, in time order, the digital output value at each of those
+samples (the combination's *output data stream*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..logic.boolexpr import minterm_string
+
+__all__ = ["CaseStream", "analyze_cases"]
+
+
+@dataclass
+class CaseStream:
+    """The logged data of one input combination.
+
+    Attributes
+    ----------
+    index:
+        Combination index (first input is the most significant bit).
+    label:
+        The combination as the paper writes it, e.g. ``"011"``.
+    output_stream:
+        Digital output values at the samples where this combination was
+        applied, in time order.  Its length is ``Case_I`` for this
+        combination ("the value of Case_I[i] will always be equivalent to the
+        length of its corresponding output data stream").
+    """
+
+    index: int
+    label: str
+    output_stream: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.output_stream = np.asarray(self.output_stream, dtype=np.int8)
+        if self.output_stream.ndim != 1:
+            raise AnalysisError("a case output stream must be 1-D")
+
+    @property
+    def case_count(self) -> int:
+        """``Case_I[i]``: how many samples saw this input combination."""
+        return int(self.output_stream.shape[0])
+
+    @property
+    def observed(self) -> bool:
+        """True when the combination occurred at least once in the data."""
+        return self.case_count > 0
+
+
+def analyze_cases(
+    combination_indices: np.ndarray,
+    output_digital: np.ndarray,
+    n_inputs: int,
+) -> Dict[int, CaseStream]:
+    """Group the digital output stream by applied input combination.
+
+    Parameters
+    ----------
+    combination_indices:
+        Per-sample combination index (e.g. from
+        :meth:`repro.vlab.datalog.SimulationDataLog.applied_combination_indices`
+        or from digitised measured inputs).
+    output_digital:
+        Per-sample digital output value (from :func:`repro.core.adc.analog_to_digital`).
+    n_inputs:
+        Number of circuit inputs; the result has one entry per combination,
+        including combinations that never occurred (empty streams), so the
+        analyzer can report missing coverage.
+    """
+    combination_indices = np.asarray(combination_indices, dtype=np.int64)
+    output_digital = np.asarray(output_digital, dtype=np.int8)
+    if combination_indices.ndim != 1 or output_digital.ndim != 1:
+        raise AnalysisError("case analysis expects 1-D sample arrays")
+    if combination_indices.shape[0] != output_digital.shape[0]:
+        raise AnalysisError(
+            f"combination indices ({combination_indices.shape[0]} samples) and output "
+            f"stream ({output_digital.shape[0]} samples) have different lengths"
+        )
+    if n_inputs < 1:
+        raise AnalysisError("n_inputs must be at least 1")
+    n_combinations = 2 ** n_inputs
+    if combination_indices.size:
+        bad_low = int(combination_indices.min())
+        bad_high = int(combination_indices.max())
+        if bad_low < 0 or bad_high >= n_combinations:
+            raise AnalysisError(
+                f"combination indices outside [0, {n_combinations}) found "
+                f"(min {bad_low}, max {bad_high})"
+            )
+
+    cases: Dict[int, CaseStream] = {}
+    for index in range(n_combinations):
+        stream = output_digital[combination_indices == index]
+        cases[index] = CaseStream(
+            index=index,
+            label=minterm_string(index, n_inputs),
+            output_stream=stream,
+        )
+    return cases

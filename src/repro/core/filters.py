@@ -1,0 +1,119 @@
+"""The two data filters of the paper (Section II, equations (1) and (2)).
+
+A combination is accepted as producing a logic-1 output only when *both*
+filters pass:
+
+* **fraction-of-variation filter** (eq. 1): the estimated fraction of
+  variation ``FOV_EST = Var_O / Case_I`` must be below the user-defined
+  ``FOV_UD`` (the paper uses 0.25) — an output that keeps oscillating around
+  the threshold for a combination is not a stable logic-1;
+* **majority filter** (eq. 2): the number of logic-1 samples must exceed half
+  the stream length (``HIGH_O > Case_I / 2``) — a brief glitch (such as the
+  decaying output right after a high→low input switch) must not count as a
+  logic-1 state.
+
+The paper stresses that *either filter alone produces wrong Boolean
+expressions* (an AND gate is mis-identified as XNOR with only the majority
+filter; a highly oscillatory state is accepted with only the FOV filter);
+``FilterConfig`` lets the ablation benchmark disable them individually to
+reproduce exactly that observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..errors import AnalysisError
+from .variation import VariationStats
+
+__all__ = ["FilterConfig", "FilterDecision", "apply_filters"]
+
+#: The paper's default acceptable fraction of variation.
+DEFAULT_FOV_UD = 0.25
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Configuration of the two output-stream filters.
+
+    ``fov_ud`` is the user-defined acceptable fraction of variation
+    (``FOV_UD``).  The two ``use_*`` switches exist for the ablation study;
+    production analyses keep both enabled, as the paper prescribes.
+    ``majority_strict`` selects ``>`` (the paper's equation 2) versus ``>=``
+    for the majority comparison — the difference only matters for exactly
+    half-high streams and is covered by a dedicated ablation benchmark.
+    """
+
+    fov_ud: float = DEFAULT_FOV_UD
+    use_fov_filter: bool = True
+    use_majority_filter: bool = True
+    majority_strict: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fov_ud <= 1.0:
+            raise AnalysisError(
+                f"FOV_UD must be within (0, 1], got {self.fov_ud!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of filtering one input combination."""
+
+    passes_fov: bool
+    passes_majority: bool
+    is_high: bool
+
+    @property
+    def rejected_by_fov_only(self) -> bool:
+        return self.passes_majority and not self.passes_fov
+
+    @property
+    def rejected_by_majority_only(self) -> bool:
+        return self.passes_fov and not self.passes_majority
+
+
+def _passes_fov(stats: VariationStats, config: FilterConfig) -> bool:
+    if not config.use_fov_filter:
+        return True
+    return stats.fraction_of_variation < config.fov_ud
+
+
+def _passes_majority(stats: VariationStats, config: FilterConfig) -> bool:
+    if not config.use_majority_filter:
+        return True
+    if stats.case_count == 0:
+        return False
+    half = stats.case_count / 2.0
+    if config.majority_strict:
+        return stats.high_count > half
+    return stats.high_count >= half
+
+
+def apply_filters(
+    stats: Mapping[int, VariationStats], config: FilterConfig | None = None
+) -> Dict[int, FilterDecision]:
+    """Apply both filters to every combination's statistics.
+
+    A combination that was never observed (``case_count == 0``) is never
+    high.  A combination whose output was never high passes trivially as a
+    logic-0 state (the filters only arbitrate combinations "at which the
+    output is high at least once", as the paper puts it).
+    """
+    config = config or FilterConfig()
+    decisions: Dict[int, FilterDecision] = {}
+    for index, stat in stats.items():
+        if stat.case_count == 0 or not stat.ever_high:
+            decisions[index] = FilterDecision(
+                passes_fov=True, passes_majority=False, is_high=False
+            )
+            continue
+        fov_ok = _passes_fov(stat, config)
+        majority_ok = _passes_majority(stat, config)
+        decisions[index] = FilterDecision(
+            passes_fov=fov_ok,
+            passes_majority=majority_ok,
+            is_high=fov_ok and majority_ok,
+        )
+    return decisions

@@ -1,0 +1,48 @@
+"""Percentage fitness of the estimated Boolean expression (eq. 3, ``PFoBE``).
+
+``PFoBE = 100 − (Σ_i FOV_EST_i / nc) × 100`` where the sum runs over the
+input combinations whose *filtered* output is high, ``FOV_EST_i`` is the
+estimated fraction of variation of that combination's output stream, and
+``nc`` is the total number of input combinations.  A perfectly stable circuit
+(no output oscillation at its logic-1 states) scores 100 %; the score drops
+as the logic-1 outputs spend more of their time glitching across the
+threshold, which the paper interprets as "how likely it is that the circuit
+will actually work after implementation in the laboratory".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import AnalysisError
+from .filters import FilterDecision
+from .variation import VariationStats
+
+__all__ = ["percentage_fitness", "fitness_from_analysis"]
+
+
+def percentage_fitness(fov_values: Iterable[float], n_combinations: int) -> float:
+    """Equation (3): fitness from the FOV of each accepted-high combination."""
+    fov_values = list(fov_values)
+    if n_combinations <= 0:
+        raise AnalysisError("n_combinations must be positive")
+    for value in fov_values:
+        if value < 0:
+            raise AnalysisError("fractions of variation cannot be negative")
+    return 100.0 - (sum(fov_values) / n_combinations) * 100.0
+
+
+def fitness_from_analysis(
+    stats: Mapping[int, VariationStats],
+    decisions: Mapping[int, FilterDecision],
+) -> float:
+    """PFoBE computed from the per-combination statistics and filter outcomes."""
+    if set(stats) != set(decisions):
+        raise AnalysisError("statistics and filter decisions cover different combinations")
+    n_combinations = len(stats)
+    fov_values = [
+        stats[index].fraction_of_variation
+        for index, decision in decisions.items()
+        if decision.is_high
+    ]
+    return percentage_fitness(fov_values, n_combinations)

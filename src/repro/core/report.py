@@ -1,0 +1,110 @@
+"""Textual reports of analysis results.
+
+The benchmarks print the same artefacts the paper's figures show: the
+per-combination analytics table of Figures 2(b) and 4 (``Case_I``,
+``High_O``, ``Var_O``, the recovered output state), the Boolean expression,
+the percentage fitness, and — for the 15-circuit suite — a one-row-per-circuit
+verification table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .analyzer import LogicAnalysisResult
+
+__all__ = ["format_case_table", "format_analysis_report", "format_suite_table"]
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal fixed-width table renderer (no external dependencies)."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(row[i]))
+    def fmt(row):
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_case_table(result: LogicAnalysisResult) -> str:
+    """The Figure 2(b) / Figure 4 analytics table for one analysis."""
+    headers = ["Input", "Case_I", "High_O", "Var_O", "FOV_EST", "FOV<UD", "HIGH>half", "Output"]
+    rows = []
+    for combination in result.combinations:
+        rows.append(
+            [
+                combination.label,
+                str(combination.case_count),
+                str(combination.high_count),
+                str(combination.variation_count),
+                f"{combination.fov_est:.4f}",
+                "yes" if combination.passes_fov else "no",
+                "yes" if combination.passes_majority else "no",
+                "1" if combination.is_high else "0",
+            ]
+        )
+    return _render_table(headers, rows)
+
+
+def format_analysis_report(result: LogicAnalysisResult, title: Optional[str] = None) -> str:
+    """Full multi-line report: settings, analytics table, expression, fitness."""
+    lines: List[str] = []
+    name = title or result.circuit_name or result.output_species
+    lines.append(f"Logic analysis of {name}")
+    lines.append(
+        f"  inputs: {', '.join(result.input_species)}   output: {result.output_species}"
+    )
+    lines.append(
+        f"  threshold: {result.threshold:g} molecules   FOV_UD: {result.fov_ud:g}   "
+        f"samples: {result.n_samples}"
+    )
+    lines.append("")
+    lines.append(format_case_table(result))
+    lines.append("")
+    lines.append(f"  Boolean expression : {result.output_species} = {result.expression.to_string()}")
+    lines.append(f"  algebraic form     : {result.output_species} = {result.expression.to_algebraic()}")
+    lines.append(f"  truth table        : {result.truth_table.to_hex()}")
+    if result.gate_name:
+        lines.append(f"  named behaviour    : {result.gate_name}")
+    lines.append(f"  percentage fitness : {result.fitness:.2f}%")
+    lines.append(f"  analysis time      : {result.analysis_time_seconds * 1000:.1f} ms")
+    if result.unobserved_combinations:
+        lines.append(
+            "  WARNING: combinations never observed: "
+            + ", ".join(result.unobserved_combinations)
+        )
+    if result.comparison is not None:
+        lines.append(f"  verification       : {result.comparison.summary()}")
+    return "\n".join(lines)
+
+
+def format_suite_table(
+    entries: Iterable[dict],
+    title: str = "Verification of the circuit suite",
+) -> str:
+    """The 15-circuit suite summary table.
+
+    ``entries`` are dictionaries with keys ``name``, ``n_inputs``,
+    ``n_gates``, ``n_components``, ``expected``, ``recovered``, ``fitness``
+    and ``match`` (see the suite benchmark for the producer side).
+    """
+    headers = ["Circuit", "Inputs", "Gates", "Parts", "Expected", "Recovered", "Fitness%", "Verdict"]
+    rows = []
+    for entry in entries:
+        rows.append(
+            [
+                str(entry.get("name", "?")),
+                str(entry.get("n_inputs", "?")),
+                str(entry.get("n_gates", "?")),
+                str(entry.get("n_components", "?")),
+                str(entry.get("expected", "?")),
+                str(entry.get("recovered", "?")),
+                f"{entry.get('fitness', float('nan')):.2f}",
+                "OK" if entry.get("match") else "WRONG",
+            ]
+        )
+    return f"{title}\n" + _render_table(headers, rows)

@@ -1,0 +1,83 @@
+"""Output-stream stability statistics (Algorithm 1, ``VariationAnalyzer``).
+
+"VariationAnalyzer examines the output data stream and counts how many times
+the output oscillates (or varies) between logic-1 and 0.  It first calculates
+the number of times a logic-1 appears for a specific input combination ...
+It then analyses for each of these input combinations, how many times the
+output varies, i.e. changing 0-to-1 and 1-to-0."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .case_analyzer import CaseStream
+
+__all__ = ["VariationStats", "count_high", "count_variations", "analyze_variation", "analyze_all_variations"]
+
+
+def count_high(stream: np.ndarray) -> int:
+    """``HIGH_O``: number of logic-1 samples in an output stream."""
+    stream = np.asarray(stream)
+    return int(np.count_nonzero(stream))
+
+
+def count_variations(stream: np.ndarray) -> int:
+    """``Var_O``: number of 0→1 plus 1→0 transitions within an output stream."""
+    stream = np.asarray(stream, dtype=np.int8)
+    if stream.size < 2:
+        return 0
+    return int(np.count_nonzero(np.diff(stream)))
+
+
+@dataclass(frozen=True)
+class VariationStats:
+    """Stability statistics of one input combination's output stream."""
+
+    case_count: int
+    high_count: int
+    variation_count: int
+
+    def __post_init__(self) -> None:
+        if self.case_count < 0 or self.high_count < 0 or self.variation_count < 0:
+            raise AnalysisError("variation statistics cannot be negative")
+        if self.high_count > self.case_count:
+            raise AnalysisError("high_count cannot exceed case_count")
+
+    @property
+    def fraction_of_variation(self) -> float:
+        """``FOV_EST = Var_O / Case_I`` (0 when the combination was never seen)."""
+        if self.case_count == 0:
+            return 0.0
+        return self.variation_count / self.case_count
+
+    @property
+    def high_fraction(self) -> float:
+        """``HIGH_O / Case_I`` (0 when the combination was never seen)."""
+        if self.case_count == 0:
+            return 0.0
+        return self.high_count / self.case_count
+
+    @property
+    def ever_high(self) -> bool:
+        """True when the output was logic-1 at least once for this combination."""
+        return self.high_count > 0
+
+
+def analyze_variation(stream: np.ndarray) -> VariationStats:
+    """Compute the variation statistics of one output stream."""
+    stream = np.asarray(stream, dtype=np.int8)
+    return VariationStats(
+        case_count=int(stream.shape[0]),
+        high_count=count_high(stream),
+        variation_count=count_variations(stream),
+    )
+
+
+def analyze_all_variations(cases: Mapping[int, CaseStream]) -> Dict[int, VariationStats]:
+    """Variation statistics for every input combination of a case analysis."""
+    return {index: analyze_variation(case.output_stream) for index, case in cases.items()}

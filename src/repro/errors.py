@@ -1,0 +1,112 @@
+"""Exception hierarchy used across the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the toolchain can catch a single base class.  Subclasses are
+grouped by subsystem (model construction, parsing, simulation, analysis) so
+that callers who care can distinguish, e.g., a malformed SBML document from a
+simulation that diverged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class ModelError(ReproError):
+    """A model (SBML, SBOL or gate netlist) is structurally invalid."""
+
+
+class DuplicateIdError(ModelError):
+    """An identifier was added twice to the same model or document."""
+
+    def __init__(self, kind: str, identifier: str):
+        super().__init__(f"duplicate {kind} id {identifier!r}")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class UnknownIdError(ModelError):
+    """A reference points at an identifier that does not exist."""
+
+    def __init__(self, kind: str, identifier: str):
+        super().__init__(f"unknown {kind} id {identifier!r}")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class ValidationError(ModelError):
+    """Aggregated result of a failed model validation pass."""
+
+    def __init__(self, messages):
+        messages = list(messages)
+        super().__init__(
+            "model validation failed:\n" + "\n".join(f"  - {m}" for m in messages)
+        )
+        self.messages = messages
+
+
+class ParseError(ReproError):
+    """A textual artefact (math expression, SBML/SBOL XML, CSV) is malformed."""
+
+
+class MathParseError(ParseError):
+    """An infix math expression could not be parsed."""
+
+    def __init__(self, text: str, position: int, message: str):
+        super().__init__(f"cannot parse {text!r} at position {position}: {message}")
+        self.text = text
+        self.position = position
+
+
+class SBMLParseError(ParseError):
+    """An SBML document could not be parsed into a :class:`repro.sbml.Model`."""
+
+
+class SBOLParseError(ParseError):
+    """An SBOL document could not be parsed."""
+
+
+class ConversionError(ReproError):
+    """SBOL to SBML conversion failed (e.g. a part with no behaviour)."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out."""
+
+
+class PropensityError(SimulationError):
+    """A kinetic law could not be compiled into a propensity function."""
+
+
+class NegativeStateError(SimulationError):
+    """A species count went negative (tau-leaping step too large)."""
+
+    def __init__(self, species: str, value: float, time: float):
+        super().__init__(
+            f"species {species!r} became negative ({value}) at t={time:g}"
+        )
+        self.species = species
+        self.value = value
+        self.time = time
+
+
+class ExperimentError(ReproError):
+    """A virtual-laboratory experiment was configured incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """The logic analysis algorithm received inconsistent inputs."""
+
+
+class ThresholdError(AnalysisError):
+    """A threshold value could not be estimated or is invalid."""
+
+
+class SynthesisError(ReproError):
+    """A truth table could not be synthesised into a gate netlist."""
+
+
+class NetlistError(ModelError):
+    """A gate netlist is structurally invalid (cycles, dangling nets...)."""

@@ -1,0 +1,68 @@
+"""Genetic gate library: parts, netlists, synthesis, composition, named circuits."""
+
+from .characterize import (
+    GateResponse,
+    characterize_gate,
+    characterize_library,
+    response_curve,
+)
+from .cello import CELLO_CIRCUIT_NAMES, CELLO_INPUT_SPECIES, cello_circuit, cello_suite
+from .circuits import (
+    GeneticCircuit,
+    and_gate_circuit,
+    build_circuit,
+    myers_suite,
+    nand_gate_circuit,
+    nor_gate_circuit,
+    not_gate_circuit,
+    or_gate_circuit,
+    standard_suite,
+)
+from .compose import assign_proteins, netlist_to_model, netlist_to_sbol
+from .gate import GATE_TYPES, GateDefinition, GateType, gate_definition
+from .netlist import GateInstance, Netlist
+from .parts_library import (
+    InputSignal,
+    PartsLibrary,
+    ReporterPart,
+    RepressorPart,
+    default_library,
+)
+from .synthesis import synthesize, synthesize_from_expression, synthesize_from_hex
+
+__all__ = [
+    "GateType",
+    "GateDefinition",
+    "GATE_TYPES",
+    "gate_definition",
+    "GateInstance",
+    "Netlist",
+    "RepressorPart",
+    "ReporterPart",
+    "InputSignal",
+    "PartsLibrary",
+    "default_library",
+    "synthesize",
+    "synthesize_from_hex",
+    "synthesize_from_expression",
+    "assign_proteins",
+    "netlist_to_sbol",
+    "netlist_to_model",
+    "GeneticCircuit",
+    "build_circuit",
+    "not_gate_circuit",
+    "and_gate_circuit",
+    "or_gate_circuit",
+    "nand_gate_circuit",
+    "nor_gate_circuit",
+    "myers_suite",
+    "standard_suite",
+    "CELLO_CIRCUIT_NAMES",
+    "CELLO_INPUT_SPECIES",
+    "cello_circuit",
+    "cello_suite",
+    "GateResponse",
+    "characterize_gate",
+    "characterize_library",
+    "response_curve",
+]

@@ -1,0 +1,157 @@
+"""Steady-state characterisation of genetic gates (Cello-style response curves).
+
+Cello chooses repressors by their measured response functions; a designer
+using this library may want the equivalent numbers for the regenerated gates:
+the input→output transfer curve of a gate at steady state, its ON/OFF output
+levels and dynamic range, and the input level at which it switches.  The
+virtual-laboratory threshold analysis (:mod:`repro.vlab.threshold`) answers
+"where do I put the digital threshold for this circuit"; this module answers
+"how good is this gate", which feeds the robustness discussion of the paper's
+conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..sbml.model import Model
+from ..stochastic.events import InputSchedule
+from ..stochastic.ode import simulate_ode
+from .circuits import GeneticCircuit, build_circuit
+from .gate import GateType
+from .netlist import Netlist
+from .parts_library import PartsLibrary, default_library
+
+__all__ = ["GateResponse", "response_curve", "characterize_gate", "characterize_library"]
+
+
+@dataclass
+class GateResponse:
+    """Steady-state transfer curve of a single gate."""
+
+    repressor: str
+    input_levels: List[float]
+    output_levels: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.input_levels) != len(self.output_levels):
+            raise AnalysisError("input and output level lists must have the same length")
+        if len(self.input_levels) < 2:
+            raise AnalysisError("a response curve needs at least two points")
+
+    @property
+    def on_level(self) -> float:
+        """Output with the input absent (the gate's ON state)."""
+        return float(self.output_levels[0])
+
+    @property
+    def off_level(self) -> float:
+        """Output at the highest probed input (the gate's OFF state)."""
+        return float(self.output_levels[-1])
+
+    @property
+    def dynamic_range(self) -> float:
+        """ON/OFF ratio (Cello's primary gate quality metric)."""
+        if self.off_level <= 0:
+            return float("inf")
+        return self.on_level / self.off_level
+
+    def switching_input(self) -> float:
+        """Input level at which the output crosses half of the ON level."""
+        half = 0.5 * self.on_level
+        outputs = np.asarray(self.output_levels)
+        inputs = np.asarray(self.input_levels)
+        below = np.nonzero(outputs <= half)[0]
+        if below.size == 0:
+            return float(inputs[-1])
+        first = below[0]
+        if first == 0:
+            return float(inputs[0])
+        # Linear interpolation between the bracketing samples.
+        x0, x1 = inputs[first - 1], inputs[first]
+        y0, y1 = outputs[first - 1], outputs[first]
+        if y0 == y1:
+            return float(x1)
+        return float(x0 + (half - y0) * (x1 - x0) / (y1 - y0))
+
+    def supports_threshold(self, threshold: float) -> bool:
+        """True when the ON level sits above and the OFF level below ``threshold``."""
+        return self.off_level < threshold < self.on_level
+
+    def summary(self) -> str:
+        return (
+            f"{self.repressor}: ON {self.on_level:.1f}, OFF {self.off_level:.1f}, "
+            f"dynamic range {self.dynamic_range:.1f}x, switches at "
+            f"{self.switching_input():.1f} molecules"
+        )
+
+
+def _single_gate_model(repressor: str, library: PartsLibrary) -> GeneticCircuit:
+    """A one-NOT-gate circuit whose gate uses the requested repressor's promoter.
+
+    The probe input is the repressor protein itself, clamped by the virtual
+    laboratory, and the output is a reporter — i.e. exactly the measurement
+    Cello performs to characterise a repressor.
+    """
+    netlist = Netlist(f"characterize_{repressor}", inputs=[repressor], output="y")
+    netlist.add_gate("gate", GateType.NOT, [repressor], "y")
+    return build_circuit(netlist, library=library.copy(), output_protein="GFP")
+
+
+def response_curve(
+    model: Model,
+    input_species: str,
+    output_species: str,
+    input_levels: Sequence[float],
+    settle_time: float = 200.0,
+) -> List[float]:
+    """Settled output level for each probed input level (deterministic)."""
+    if not input_levels:
+        raise AnalysisError("response_curve needs at least one input level")
+    outputs = []
+    for level in input_levels:
+        if level < 0:
+            raise AnalysisError("input levels cannot be negative")
+        schedule = InputSchedule().add(0.0, {input_species: float(level)})
+        trajectory = simulate_ode(
+            model, settle_time, sample_interval=max(settle_time / 100.0, 1.0), schedule=schedule
+        )
+        outputs.append(float(trajectory.value_at(output_species, settle_time - 1e-9)))
+    return outputs
+
+
+def characterize_gate(
+    repressor: str,
+    library: Optional[PartsLibrary] = None,
+    input_levels: Optional[Sequence[float]] = None,
+    settle_time: float = 200.0,
+) -> GateResponse:
+    """Measure the steady-state response curve of one library repressor."""
+    library = library or default_library()
+    if repressor not in library.repressors:
+        raise AnalysisError(f"library has no repressor named {repressor!r}")
+    if input_levels is None:
+        input_levels = [0.0, 1.0, 2.0, 4.0, 7.0, 10.0, 15.0, 25.0, 40.0, 60.0]
+    circuit = _single_gate_model(repressor, library)
+    outputs = response_curve(
+        circuit.model, repressor, circuit.output, input_levels, settle_time=settle_time
+    )
+    return GateResponse(repressor=repressor, input_levels=list(input_levels), output_levels=outputs)
+
+
+def characterize_library(
+    library: Optional[PartsLibrary] = None,
+    repressors: Optional[Sequence[str]] = None,
+    input_levels: Optional[Sequence[float]] = None,
+) -> Dict[str, GateResponse]:
+    """Response curves for several (default: all) repressors in a library."""
+    library = library or default_library()
+    names = list(repressors) if repressors is not None else list(library.repressors)
+    return {
+        name: characterize_gate(name, library=library, input_levels=input_levels)
+        for name in names
+    }

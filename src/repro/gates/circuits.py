@@ -1,0 +1,214 @@
+"""Named genetic circuits used throughout the paper's evaluation.
+
+Two families are provided:
+
+* the five textbook circuits from Myers, *Engineering Genetic Circuits*
+  (the paper's reference [12]): NOT, AND, OR, NAND and NOR gates built from
+  repressor parts — including the 2-input genetic AND gate of the paper's
+  Figure 1 (LacI/TetR → CI → GFP),
+* the ten Cello circuits from Nielsen et al. (reference [11]), regenerated
+  from their truth-table names by :mod:`repro.gates.cello`.
+
+Each circuit is packaged as a :class:`GeneticCircuit`: the netlist, the SBOL
+design, the SBML model, the input/output species and the *expected* truth
+table, i.e. everything the virtual laboratory and the logic analyzer need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ModelError
+from ..logic.truthtable import TruthTable
+from ..sbml.model import Model
+from ..sbol.document import SBOLDocument
+from .compose import netlist_to_model
+from .gate import GateType
+from .netlist import Netlist
+from .parts_library import PartsLibrary, default_library
+
+__all__ = [
+    "GeneticCircuit",
+    "build_circuit",
+    "not_gate_circuit",
+    "and_gate_circuit",
+    "or_gate_circuit",
+    "nand_gate_circuit",
+    "nor_gate_circuit",
+    "myers_suite",
+    "standard_suite",
+]
+
+
+@dataclass
+class GeneticCircuit:
+    """A fully assembled genetic logic circuit ready for simulation."""
+
+    name: str
+    netlist: Netlist
+    model: Model
+    document: SBOLDocument
+    inputs: List[str]
+    output: str
+    expected_table: TruthTable
+    library: PartsLibrary
+    description: str = ""
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_gates(self) -> int:
+        return self.netlist.n_gates
+
+    @property
+    def n_components(self) -> int:
+        return self.netlist.component_count()
+
+    def expected_expression(self):
+        """Minimized Boolean expression of the intended behaviour."""
+        return self.expected_table.to_minimized_expression()
+
+    def input_levels(self) -> Dict[str, Dict[str, float]]:
+        """Low/high clamp levels for each input species (from the library)."""
+        levels = {}
+        for name in self.inputs:
+            signal = self.library.input_signal(name)
+            levels[name] = {"low": signal.low, "high": signal.high}
+        return levels
+
+    def summary(self) -> str:
+        """One-line description used by reports and the CLI."""
+        return (
+            f"{self.name}: {self.n_inputs}-input, {self.n_gates} gate(s), "
+            f"{self.n_components} genetic components, expected "
+            f"{self.expected_table.to_hex()} ({self.expected_expression().to_string()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GeneticCircuit({self.name!r})"
+
+
+def build_circuit(
+    netlist: Netlist,
+    library: Optional[PartsLibrary] = None,
+    output_protein: str = "GFP",
+    description: str = "",
+) -> GeneticCircuit:
+    """Assemble a :class:`GeneticCircuit` from a netlist.
+
+    The circuit's input species are the netlist's primary input nets (which
+    must therefore be named after input proteins, e.g. ``LacI``).
+    """
+    library = library or default_library()
+    expected = netlist.truth_table()
+    model, document, net_protein = netlist_to_model(
+        netlist, library=library, output_protein=output_protein
+    )
+    inputs = [net_protein[net] for net in netlist.inputs]
+    output = net_protein[netlist.output]
+    expected = expected.rename_inputs(inputs)
+    return GeneticCircuit(
+        name=netlist.name,
+        netlist=netlist,
+        model=model,
+        document=document,
+        inputs=inputs,
+        output=output,
+        expected_table=expected,
+        library=library,
+        description=description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Myers-book circuits (paper reference [12])
+# ---------------------------------------------------------------------------
+
+
+def not_gate_circuit(library: Optional[PartsLibrary] = None) -> GeneticCircuit:
+    """A 1-input genetic NOT gate (inverter): GFP is produced unless LacI is present."""
+    netlist = Netlist("not_gate", inputs=["LacI"], output="y")
+    netlist.add_gate("g_not", GateType.NOT, ["LacI"], "y")
+    return build_circuit(
+        netlist,
+        library=library,
+        description="1-input inverter: a single promoter repressed by LacI drives GFP.",
+    )
+
+
+def and_gate_circuit(library: Optional[PartsLibrary] = None) -> GeneticCircuit:
+    """The 2-input genetic AND gate of the paper's Figure 1.
+
+    Promoters P1 and P2, repressed by LacI and TetR respectively, both produce
+    the repressor CI (a NAND stage); promoter P3, repressed by CI, produces
+    GFP (an inverter).  GFP is therefore high only when both LacI and TetR
+    are present.
+    """
+    netlist = Netlist("and_gate", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("g_nand", GateType.NAND, ["LacI", "TetR"], "ci", repressor="CI")
+    netlist.add_gate("g_inv", GateType.NOT, ["ci"], "y")
+    return build_circuit(
+        netlist,
+        library=library,
+        description=(
+            "Figure-1 AND gate: LacI and TetR repress the two promoters producing CI; "
+            "CI represses the promoter producing GFP."
+        ),
+    )
+
+
+def nand_gate_circuit(library: Optional[PartsLibrary] = None) -> GeneticCircuit:
+    """A 2-input genetic NAND gate (the first stage of the Figure-1 AND gate)."""
+    netlist = Netlist("nand_gate", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("g_nand", GateType.NAND, ["LacI", "TetR"], "y")
+    return build_circuit(
+        netlist,
+        library=library,
+        description="2-input NAND: two repressed promoters in parallel drive the reporter.",
+    )
+
+
+def nor_gate_circuit(library: Optional[PartsLibrary] = None) -> GeneticCircuit:
+    """A 2-input genetic NOR gate: one promoter repressed by both inputs."""
+    netlist = Netlist("nor_gate", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("g_nor", GateType.NOR, ["LacI", "TetR"], "y")
+    return build_circuit(
+        netlist,
+        library=library,
+        description="2-input NOR: a single promoter carrying operators for both inputs.",
+    )
+
+
+def or_gate_circuit(library: Optional[PartsLibrary] = None) -> GeneticCircuit:
+    """A 2-input genetic OR gate: a NOR stage followed by an inverter."""
+    netlist = Netlist("or_gate", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("g_nor", GateType.NOR, ["LacI", "TetR"], "w")
+    netlist.add_gate("g_inv", GateType.NOT, ["w"], "y")
+    return build_circuit(
+        netlist,
+        library=library,
+        description="2-input OR built as NOT(NOR(LacI, TetR)).",
+    )
+
+
+def myers_suite(library: Optional[PartsLibrary] = None) -> List[GeneticCircuit]:
+    """The five textbook circuits (paper reference [12])."""
+    builders = [
+        not_gate_circuit,
+        and_gate_circuit,
+        or_gate_circuit,
+        nand_gate_circuit,
+        nor_gate_circuit,
+    ]
+    return [builder((library or default_library()).copy()) for builder in builders]
+
+
+def standard_suite(library: Optional[PartsLibrary] = None) -> List[GeneticCircuit]:
+    """The paper's 15-circuit evaluation suite: 5 textbook + 10 Cello circuits."""
+    from .cello import cello_suite
+
+    base = library or default_library()
+    return myers_suite(base) + cello_suite(base)

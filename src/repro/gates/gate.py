@@ -1,0 +1,124 @@
+"""Genetic gate templates.
+
+Only a handful of gate types can be realised directly as transcriptional
+units built from repressor parts; everything else is composed from them:
+
+``NOT``
+    One promoter repressed by the input protein drives the output protein.
+``NOR``
+    One promoter repressed by *every* input protein drives the output
+    protein: the output is produced only when all inputs are low.  (Cello
+    realises the same Boolean function with tandem input promoters driving a
+    common repressor; at the protein level the behaviour is identical.)
+``NAND``
+    One transcriptional unit *per input*, each with a promoter repressed by
+    that input, all producing the same output protein: the output is high
+    unless every input is high.  This is exactly the structure of the paper's
+    Figure 1, where promoters P1 (repressed by LacI) and P2 (repressed by
+    TetR) both produce CI.
+
+The :class:`GateDefinition` objects here define the Boolean function and the
+number of genetic components each template contributes; the physical
+(reaction-network) realisation is produced by :mod:`repro.gates.compose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..logic.truthtable import TruthTable
+
+__all__ = ["GateType", "GateDefinition", "GATE_TYPES", "gate_definition"]
+
+
+class GateType:
+    """Names of the physically realisable gate templates."""
+
+    NOT = "NOT"
+    NOR = "NOR"
+    NAND = "NAND"
+
+    ALL = (NOT, NOR, NAND)
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Static description of a gate template."""
+
+    gate_type: str
+    min_inputs: int
+    max_inputs: int
+    description: str
+
+    def validate_fan_in(self, n_inputs: int) -> None:
+        if not self.min_inputs <= n_inputs <= self.max_inputs:
+            raise NetlistError(
+                f"{self.gate_type} gates support {self.min_inputs}-{self.max_inputs} "
+                f"inputs, got {n_inputs}"
+            )
+
+    def evaluate(self, bits: Sequence[int]) -> int:
+        """Boolean output of the gate for the given input bits."""
+        self.validate_fan_in(len(bits))
+        if self.gate_type == GateType.NOT:
+            return int(not bits[0])
+        if self.gate_type == GateType.NOR:
+            return int(not any(bits))
+        if self.gate_type == GateType.NAND:
+            return int(not all(bits))
+        raise NetlistError(f"unknown gate type {self.gate_type!r}")
+
+    def truth_table(self, inputs: Sequence[str]) -> TruthTable:
+        """Truth table of the gate over the given input names."""
+        return TruthTable.from_function(lambda *bits: self.evaluate(bits), inputs)
+
+    def component_count(self, n_inputs: int) -> int:
+        """Number of genetic components (DNA parts) the gate contributes.
+
+        ``NOT`` and ``NOR`` gates are a single transcriptional unit — one
+        promoter (carrying one operator per input), a coding sequence and a
+        terminator.  ``NAND`` gates use one complete transcriptional unit per
+        input.  These counts match the SBOL documents produced by
+        :mod:`repro.gates.compose`.
+        """
+        self.validate_fan_in(n_inputs)
+        if self.gate_type in (GateType.NOT, GateType.NOR):
+            return 3
+        if self.gate_type == GateType.NAND:
+            return 3 * n_inputs
+        raise NetlistError(f"unknown gate type {self.gate_type!r}")
+
+
+GATE_TYPES: Dict[str, GateDefinition] = {
+    GateType.NOT: GateDefinition(
+        GateType.NOT,
+        min_inputs=1,
+        max_inputs=1,
+        description="single repressed promoter driving the output protein",
+    ),
+    GateType.NOR: GateDefinition(
+        GateType.NOR,
+        min_inputs=1,
+        max_inputs=4,
+        description="one promoter repressed by every input protein",
+    ),
+    GateType.NAND: GateDefinition(
+        GateType.NAND,
+        min_inputs=1,
+        max_inputs=4,
+        description="one repressed transcriptional unit per input, shared product",
+    ),
+}
+
+
+def gate_definition(gate_type: str) -> GateDefinition:
+    """Look up a gate template by name (case-insensitive)."""
+    key = gate_type.upper()
+    try:
+        return GATE_TYPES[key]
+    except KeyError:
+        raise NetlistError(
+            f"unknown gate type {gate_type!r}; supported types: {', '.join(GATE_TYPES)}"
+        ) from None

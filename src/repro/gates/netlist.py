@@ -1,0 +1,251 @@
+"""Gate-level netlists of genetic logic circuits.
+
+A netlist connects gate instances through named nets, exactly as in digital
+EDA: circuit inputs and the gate outputs are nets, each net has at most one
+driver, and the netlist must be acyclic (combinational).  The netlist layer
+is where the *intended* Boolean behaviour of a circuit is defined — the
+logic-analysis algorithm later recovers the behaviour from stochastic traces
+and the verification step compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import NetlistError
+from ..logic.truthtable import TruthTable
+from .gate import GateDefinition, gate_definition
+
+__all__ = ["GateInstance", "Netlist"]
+
+
+@dataclass
+class GateInstance:
+    """One gate in a netlist."""
+
+    name: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    output: str
+    repressor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.gate_type = self.gate_type.upper()
+        self.inputs = tuple(self.inputs)
+        definition = gate_definition(self.gate_type)
+        definition.validate_fan_in(len(self.inputs))
+        if self.output in self.inputs:
+            raise NetlistError(f"gate {self.name!r} drives one of its own inputs")
+
+    @property
+    def definition(self) -> GateDefinition:
+        return gate_definition(self.gate_type)
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Boolean output given the values of the gate's input nets."""
+        try:
+            bits = [int(bool(values[net])) for net in self.inputs]
+        except KeyError as exc:
+            raise NetlistError(f"gate {self.name!r} input net {exc} has no value") from None
+        return self.definition.evaluate(bits)
+
+    def component_count(self) -> int:
+        return self.definition.component_count(len(self.inputs))
+
+
+class Netlist:
+    """A combinational network of genetic gates."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        output: str,
+        gates: Sequence[GateInstance] = (),
+    ):
+        self.name = name
+        self.inputs = list(inputs)
+        self.output = output
+        self.gates: List[GateInstance] = list(gates)
+        if not self.inputs:
+            raise NetlistError(f"netlist {name!r} has no inputs")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetlistError(f"netlist {name!r} has duplicate input nets")
+        self._validate()
+
+    # -- construction ----------------------------------------------------------
+    def add_gate(
+        self,
+        name: str,
+        gate_type: str,
+        inputs: Sequence[str],
+        output: str,
+        repressor: Optional[str] = None,
+    ) -> GateInstance:
+        """Append a gate and re-validate the netlist."""
+        gate = GateInstance(name, gate_type, tuple(inputs), output, repressor)
+        self.gates.append(gate)
+        try:
+            self._validate()
+        except NetlistError:
+            self.gates.pop()
+            raise
+        return gate
+
+    # -- validation -------------------------------------------------------------
+    def _validate(self) -> None:
+        drivers: Dict[str, str] = {}
+        names: Set[str] = set()
+        for gate in self.gates:
+            if gate.name in names:
+                raise NetlistError(f"duplicate gate name {gate.name!r}")
+            names.add(gate.name)
+            if gate.output in self.inputs:
+                raise NetlistError(
+                    f"gate {gate.name!r} drives primary input net {gate.output!r}"
+                )
+            if gate.output in drivers:
+                raise NetlistError(
+                    f"net {gate.output!r} is driven by both {drivers[gate.output]!r} "
+                    f"and {gate.name!r}"
+                )
+            drivers[gate.output] = gate.name
+        if self.gates:
+            known_nets = set(self.inputs) | set(drivers)
+            for gate in self.gates:
+                for net in gate.inputs:
+                    if net not in known_nets:
+                        raise NetlistError(
+                            f"gate {gate.name!r} input net {net!r} is not driven by "
+                            "any gate or primary input"
+                        )
+            self.topological_order()  # raises on combinational loops
+
+    def check_complete(self) -> None:
+        """Raise unless the circuit output net is actually driven.
+
+        Kept separate from the incremental validation so that netlists can be
+        built gate by gate; the completeness check runs before the netlist is
+        evaluated or composed into a model.
+        """
+        if not self.gates:
+            raise NetlistError(f"netlist {self.name!r} has no gates")
+        driven = set(self.inputs) | {gate.output for gate in self.gates}
+        if self.output not in driven:
+            raise NetlistError(f"output net {self.output!r} is not driven")
+
+    def topological_order(self) -> List[GateInstance]:
+        """Gates sorted so that every gate appears after its drivers."""
+        by_output = {gate.output: gate for gate in self.gates}
+        order: List[GateInstance] = []
+        state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(gate: GateInstance) -> None:
+            status = state.get(gate.name, 0)
+            if status == 1:
+                raise NetlistError(
+                    f"netlist {self.name!r} has a combinational loop through {gate.name!r}"
+                )
+            if status == 2:
+                return
+            state[gate.name] = 1
+            for net in gate.inputs:
+                driver = by_output.get(net)
+                if driver is not None:
+                    visit(driver)
+            state[gate.name] = 2
+            order.append(gate)
+
+        for gate in self.gates:
+            visit(gate)
+        return order
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    def component_count(self) -> int:
+        """Total number of genetic components (DNA parts) in the circuit."""
+        return sum(gate.component_count() for gate in self.gates)
+
+    def internal_nets(self) -> List[str]:
+        """Nets driven by gates, excluding the circuit output."""
+        return [gate.output for gate in self.gates if gate.output != self.output]
+
+    def gate_driving(self, net: str) -> Optional[GateInstance]:
+        for gate in self.gates:
+            if gate.output == net:
+                return gate
+        return None
+
+    def repressor_assignment(self) -> Dict[str, str]:
+        """Gate name -> repressor protein, for gates that have one assigned."""
+        return {g.name: g.repressor for g in self.gates if g.repressor is not None}
+
+    # -- behaviour ---------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Digital value of every net for the given primary-input assignment."""
+        values: Dict[str, int] = {}
+        for net in self.inputs:
+            if net not in assignment:
+                raise NetlistError(f"assignment is missing primary input {net!r}")
+            values[net] = int(bool(assignment[net]))
+        for gate in self.topological_order():
+            values[gate.output] = gate.evaluate(values)
+        return values
+
+    def output_value(self, assignment: Mapping[str, int]) -> int:
+        """Digital value of the circuit output for an input assignment."""
+        return self.evaluate(assignment)[self.output]
+
+    def truth_table(self, net: Optional[str] = None) -> TruthTable:
+        """Truth table of ``net`` (default: the circuit output) over the inputs."""
+        self.check_complete()
+        target = net or self.output
+        outputs = []
+        for index in range(2 ** self.n_inputs):
+            bits = TruthTable.combination_bits(index, self.n_inputs)
+            values = self.evaluate(dict(zip(self.inputs, bits)))
+            if target not in values:
+                raise NetlistError(f"net {target!r} does not exist in netlist {self.name!r}")
+            outputs.append(values[target])
+        return TruthTable(self.inputs, outputs)
+
+    def expected_expression(self):
+        """Minimized Boolean expression of the circuit output."""
+        return self.truth_table().to_minimized_expression()
+
+    def logic_depth(self) -> int:
+        """Longest input-to-output path measured in gates."""
+        depth: Dict[str, int] = {net: 0 for net in self.inputs}
+        for gate in self.topological_order():
+            depth[gate.output] = 1 + max(depth[net] for net in gate.inputs)
+        return depth.get(self.output, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Netlist({self.name!r}, inputs={self.inputs}, gates={self.n_gates}, "
+            f"output={self.output!r})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human readable structure dump."""
+        lines = [
+            f"netlist {self.name}",
+            f"  inputs : {', '.join(self.inputs)}",
+            f"  output : {self.output}",
+            f"  gates  : {self.n_gates} ({self.component_count()} genetic components)",
+        ]
+        for gate in self.topological_order():
+            repressor = f" [{gate.repressor}]" if gate.repressor else ""
+            lines.append(
+                f"    {gate.name}: {gate.gate_type}({', '.join(gate.inputs)}) "
+                f"-> {gate.output}{repressor}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Truth-table to gate-netlist synthesis (the Cello step of the paper's flow).
+
+The paper's Cello circuits are named after their 3-input truth tables
+(``0x0B``, ``0x04``, ``0x1C``, ...).  Cello maps a truth table onto a netlist
+of NOT/NOR gates; this module performs the same mapping so that every circuit
+of the 15-circuit suite can be regenerated from its name:
+
+1. the truth table is minimized to a sum-of-products cover
+   (:func:`repro.logic.minimize.minimal_cover`),
+2. each product term ``l1·l2·…·lk`` becomes a NOR gate over the complements
+   of its literals (``AND(l) = NOR(¬l)``) — complemented input literals are
+   free (the input net itself), positive literals require one shared inverter
+   per input,
+3. the sum stage becomes a NOR over the product nets followed by an inverter
+   (``OR(p) = NOT(NOR(p))``); a single product term needs no sum stage.
+
+Gate fan-in is capped (default 4, larger terms are decomposed into balanced
+trees), and the result is always a valid, acyclic :class:`Netlist` whose
+truth table provably equals the specification (checked by construction in
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SynthesisError
+from ..logic.minimize import Implicant, minimal_cover
+from ..logic.truthtable import TruthTable
+from .gate import GateType
+from .netlist import Netlist
+
+__all__ = ["synthesize", "synthesize_from_hex", "synthesize_from_expression"]
+
+
+class _NetNamer:
+    """Generates unique internal net/gate names for a synthesis run."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        index = self._counts.get(prefix, 0)
+        self._counts[prefix] = index + 1
+        return f"{prefix}{index}"
+
+
+def _implicant_literals(implicant: Implicant, inputs: Sequence[str]) -> List[tuple]:
+    """Literals of an implicant as (input name, is_positive) pairs."""
+    literals = []
+    n = len(inputs)
+    for position, name in enumerate(inputs):
+        bit_position = n - 1 - position
+        if (implicant.mask >> bit_position) & 1:
+            continue
+        positive = bool((implicant.value >> bit_position) & 1)
+        literals.append((name, positive))
+    return literals
+
+
+def _nor_tree(
+    netlist: Netlist,
+    namer: _NetNamer,
+    nets: List[str],
+    max_fanin: int,
+    invert: bool,
+    output_net: Optional[str] = None,
+) -> str:
+    """Build NOR(nets) (or OR when ``invert`` is False) respecting fan-in.
+
+    Returns the name of the net carrying the requested function.  When
+    ``output_net`` is given, the final gate drives that net.
+    """
+    if not nets:
+        raise SynthesisError("cannot build a NOR over zero nets")
+    if len(nets) > max_fanin:
+        # Reduce with OR sub-trees: OR(group) per chunk, then recurse.
+        chunks = [nets[i:i + max_fanin] for i in range(0, len(nets), max_fanin)]
+        reduced = []
+        for chunk in chunks:
+            reduced.append(_nor_tree(netlist, namer, chunk, max_fanin, invert=False))
+        return _nor_tree(netlist, namer, reduced, max_fanin, invert, output_net)
+
+    nor_net = output_net if (invert and output_net) else namer.fresh("n_nor")
+    netlist.add_gate(namer.fresh("g_nor"), GateType.NOR, nets, nor_net)
+    if invert:
+        return nor_net
+    or_net = output_net if output_net else namer.fresh("n_or")
+    netlist.add_gate(namer.fresh("g_inv"), GateType.NOT, [nor_net], or_net)
+    return or_net
+
+
+def synthesize(
+    table: TruthTable,
+    name: Optional[str] = None,
+    output: str = "out",
+    max_fanin: int = 4,
+) -> Netlist:
+    """Synthesize a NOT/NOR netlist implementing ``table``.
+
+    Raises :class:`SynthesisError` for constant functions (a circuit that
+    ignores its inputs has no genetic-gate implementation in this library).
+    """
+    if max_fanin < 2:
+        raise SynthesisError("max_fanin must be at least 2")
+    minterms = table.minterms()
+    if not minterms:
+        raise SynthesisError("the constant-0 function cannot be synthesized into gates")
+    if len(minterms) == table.n_rows:
+        raise SynthesisError("the constant-1 function cannot be synthesized into gates")
+
+    circuit_name = name or f"circuit_{table.to_hex()}"
+    netlist = Netlist(circuit_name, inputs=list(table.inputs), output=output)
+    namer = _NetNamer()
+
+    cover = minimal_cover(table.n_inputs, minterms)
+
+    # Shared inverters for inputs that appear as positive literals
+    # (AND(l) = NOR(~l): a positive literal x needs the net ~x).
+    inverted_input_net: Dict[str, str] = {}
+
+    def inverted_net(input_name: str) -> str:
+        if input_name not in inverted_input_net:
+            net = namer.fresh("n_inv")
+            netlist.add_gate(namer.fresh("g_inv"), GateType.NOT, [input_name], net)
+            inverted_input_net[input_name] = net
+        return inverted_input_net[input_name]
+
+    product_nets: List[str] = []
+    single_product = len(cover) == 1
+    for implicant in cover:
+        literals = _implicant_literals(implicant, table.inputs)
+        if not literals:
+            raise SynthesisError("tautological product term in a non-constant function")
+        complemented = []
+        for input_name, positive in literals:
+            complemented.append(inverted_net(input_name) if positive else input_name)
+        if len(literals) == 1:
+            input_name, positive = literals[0]
+            if single_product:
+                # Single literal as the whole function: BUF or NOT of an input.
+                if positive:
+                    middle = inverted_net(input_name)
+                    netlist.add_gate(namer.fresh("g_inv"), GateType.NOT, [middle], output)
+                else:
+                    netlist.add_gate(namer.fresh("g_inv"), GateType.NOT, [input_name], output)
+                return netlist
+            # Inside a sum, the product *is* the literal net.
+            product_nets.append(input_name if positive else inverted_net(input_name))
+            continue
+        target = output if single_product else None
+        product_net = _nor_tree(
+            netlist, namer, complemented, max_fanin, invert=True, output_net=target
+        )
+        product_nets.append(product_net)
+
+    if single_product:
+        return netlist
+
+    # Sum stage: OR of the product nets.
+    _nor_tree(netlist, namer, product_nets, max_fanin, invert=False, output_net=output)
+    return netlist
+
+
+def synthesize_from_hex(
+    value,
+    inputs: Optional[Sequence[str]] = None,
+    n_inputs: int = 3,
+    name: Optional[str] = None,
+    output: str = "out",
+    max_fanin: int = 4,
+) -> Netlist:
+    """Synthesize a circuit directly from its Cello-style hexadecimal name."""
+    table = TruthTable.from_hex(value, inputs=inputs, n_inputs=n_inputs)
+    if name is None:
+        text = value if isinstance(value, str) else table.to_hex()
+        name = f"circuit_{text}"
+    return synthesize(table, name=name, output=output, max_fanin=max_fanin)
+
+
+def synthesize_from_expression(
+    expression,
+    inputs: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    output: str = "out",
+    max_fanin: int = 4,
+) -> Netlist:
+    """Synthesize a circuit from a Boolean expression (string or BoolExpr)."""
+    table = TruthTable.from_expression(expression, inputs=inputs)
+    return synthesize(table, name=name, output=output, max_fanin=max_fanin)

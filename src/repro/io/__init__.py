@@ -1,0 +1,20 @@
+"""Interchange formats: CSV data logs and JSON analysis results."""
+
+from .csvlog import (
+    read_datalog_csv,
+    read_trajectory_csv,
+    write_datalog_csv,
+    write_trajectory_csv,
+)
+from .results import load_result_dict, result_to_dict, result_to_json, save_result_json
+
+__all__ = [
+    "write_trajectory_csv",
+    "read_trajectory_csv",
+    "write_datalog_csv",
+    "read_datalog_csv",
+    "result_to_dict",
+    "result_to_json",
+    "save_result_json",
+    "load_result_dict",
+]

@@ -1,0 +1,164 @@
+"""CSV serialization of simulation data logs.
+
+The paper's workflow logs "all experimental simulation data" from the
+simulator and feeds the log to the analysis algorithm.  This module provides
+that interchange format: a plain CSV with one row per sample, one column per
+recorded species, plus one ``applied:<species>`` column per input species
+holding the clamp level the virtual laboratory applied at that sample.  The
+header carries enough metadata (input/output species, clamp levels) for
+:func:`read_datalog_csv` to rebuild a complete
+:class:`~repro.vlab.datalog.SimulationDataLog`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+import numpy as np
+
+from ..errors import ParseError
+from ..stochastic.trajectory import Trajectory
+from ..vlab.datalog import SimulationDataLog
+
+__all__ = ["write_datalog_csv", "read_datalog_csv", "write_trajectory_csv", "read_trajectory_csv"]
+
+_APPLIED_PREFIX = "applied:"
+_META_PREFIX = "#meta:"
+
+
+def write_trajectory_csv(trajectory: Trajectory, path_or_handle) -> None:
+    """Write a bare trajectory (time + species columns) as CSV."""
+    close = False
+    handle: TextIO
+    if hasattr(path_or_handle, "write"):
+        handle = path_or_handle
+    else:
+        handle = open(path_or_handle, "w", newline="", encoding="utf-8")
+        close = True
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + list(trajectory.species))
+        for i, t in enumerate(trajectory.times):
+            writer.writerow([repr(float(t))] + [repr(float(v)) for v in trajectory.data[i]])
+    finally:
+        if close:
+            handle.close()
+
+
+def read_trajectory_csv(path_or_handle) -> Trajectory:
+    """Read a bare trajectory CSV written by :func:`write_trajectory_csv`."""
+    close = False
+    if hasattr(path_or_handle, "read"):
+        handle = path_or_handle
+    else:
+        handle = open(path_or_handle, "r", newline="", encoding="utf-8")
+        close = True
+    try:
+        reader = csv.reader(row for row in handle if not row.startswith(_META_PREFIX))
+        header = next(reader, None)
+        if not header or header[0] != "time":
+            raise ParseError("trajectory CSV must start with a 'time' column")
+        species = header[1:]
+        times: List[float] = []
+        rows: List[List[float]] = []
+        for row in reader:
+            if not row:
+                continue
+            times.append(float(row[0]))
+            rows.append([float(v) for v in row[1:]])
+        return Trajectory(np.asarray(times), species, np.asarray(rows, dtype=float))
+    finally:
+        if close:
+            handle.close()
+
+
+def write_datalog_csv(log: SimulationDataLog, path_or_handle) -> None:
+    """Write a complete simulation data log (the algorithm's ``SDAn``) as CSV."""
+    close = False
+    if hasattr(path_or_handle, "write"):
+        handle = path_or_handle
+    else:
+        handle = open(path_or_handle, "w", newline="", encoding="utf-8")
+        close = True
+    try:
+        handle.write(f"{_META_PREFIX}circuit={log.circuit_name}\n")
+        handle.write(f"{_META_PREFIX}inputs={','.join(log.input_species)}\n")
+        handle.write(f"{_META_PREFIX}output={log.output_species}\n")
+        handle.write(f"{_META_PREFIX}input_high={log.input_high!r}\n")
+        handle.write(f"{_META_PREFIX}input_low={log.input_low!r}\n")
+        if log.hold_time is not None:
+            handle.write(f"{_META_PREFIX}hold_time={log.hold_time!r}\n")
+        writer = csv.writer(handle)
+        applied_columns = [f"{_APPLIED_PREFIX}{sid}" for sid in log.input_species]
+        writer.writerow(["time"] + list(log.trajectory.species) + applied_columns)
+        for i, t in enumerate(log.trajectory.times):
+            row = [repr(float(t))]
+            row.extend(repr(float(v)) for v in log.trajectory.data[i])
+            row.extend(repr(float(log.applied_inputs[sid][i])) for sid in log.input_species)
+            writer.writerow(row)
+    finally:
+        if close:
+            handle.close()
+
+
+def read_datalog_csv(path_or_handle) -> SimulationDataLog:
+    """Read a data-log CSV written by :func:`write_datalog_csv`."""
+    close = False
+    if hasattr(path_or_handle, "read"):
+        handle = path_or_handle
+    else:
+        handle = open(path_or_handle, "r", newline="", encoding="utf-8")
+        close = True
+    try:
+        metadata: Dict[str, str] = {}
+        data_lines: List[str] = []
+        for line in handle:
+            if line.startswith(_META_PREFIX):
+                key, _, value = line[len(_META_PREFIX):].strip().partition("=")
+                metadata[key] = value
+            elif line.strip():
+                data_lines.append(line)
+        if "inputs" not in metadata or "output" not in metadata:
+            raise ParseError("data-log CSV is missing its #meta: inputs/output header lines")
+        reader = csv.reader(io.StringIO("".join(data_lines)))
+        header = next(reader, None)
+        if not header or header[0] != "time":
+            raise ParseError("data-log CSV must start with a 'time' column")
+        species = [name for name in header[1:] if not name.startswith(_APPLIED_PREFIX)]
+        applied_names = [
+            name[len(_APPLIED_PREFIX):]
+            for name in header[1:]
+            if name.startswith(_APPLIED_PREFIX)
+        ]
+        times: List[float] = []
+        rows: List[List[float]] = []
+        applied_rows: List[List[float]] = []
+        for row in reader:
+            if not row:
+                continue
+            times.append(float(row[0]))
+            values = [float(v) for v in row[1:]]
+            rows.append(values[: len(species)])
+            applied_rows.append(values[len(species):])
+        trajectory = Trajectory(np.asarray(times), species, np.asarray(rows, dtype=float))
+        applied_matrix = np.asarray(applied_rows, dtype=float)
+        applied = {
+            name: applied_matrix[:, i] for i, name in enumerate(applied_names)
+        }
+        input_species = [s for s in metadata["inputs"].split(",") if s]
+        hold_time = float(metadata["hold_time"]) if "hold_time" in metadata else None
+        return SimulationDataLog(
+            trajectory=trajectory,
+            input_species=input_species,
+            output_species=metadata["output"],
+            applied_inputs=applied,
+            input_high=float(metadata.get("input_high", 40.0)),
+            input_low=float(metadata.get("input_low", 0.0)),
+            hold_time=hold_time,
+            circuit_name=metadata.get("circuit", ""),
+        )
+    finally:
+        if close:
+            handle.close()

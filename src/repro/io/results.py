@@ -1,0 +1,84 @@
+"""JSON-friendly serialization of analysis results.
+
+Benchmarks and the CLI persist their outcomes as plain dictionaries / JSON so
+that downstream tooling (or EXPERIMENTS.md updates) can consume them without
+importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..core.analyzer import CombinationAnalysis, LogicAnalysisResult
+from ..errors import ParseError
+
+__all__ = ["result_to_dict", "result_to_json", "save_result_json", "load_result_dict"]
+
+
+def _combination_to_dict(combination: CombinationAnalysis) -> Dict[str, Any]:
+    return {
+        "index": combination.index,
+        "label": combination.label,
+        "case_count": combination.case_count,
+        "high_count": combination.high_count,
+        "variation_count": combination.variation_count,
+        "fov_est": combination.fov_est,
+        "passes_fov": combination.passes_fov,
+        "passes_majority": combination.passes_majority,
+        "is_high": combination.is_high,
+    }
+
+
+def result_to_dict(result: LogicAnalysisResult) -> Dict[str, Any]:
+    """Flatten a :class:`LogicAnalysisResult` into JSON-compatible types."""
+    payload: Dict[str, Any] = {
+        "circuit_name": result.circuit_name,
+        "input_species": list(result.input_species),
+        "output_species": result.output_species,
+        "threshold": result.threshold,
+        "fov_ud": result.fov_ud,
+        "expression": result.expression.to_string(),
+        "expression_algebraic": result.expression.to_algebraic(),
+        "canonical_expression": result.canonical_expression.to_string(),
+        "truth_table_hex": result.truth_table.to_hex(),
+        "truth_table_outputs": list(result.truth_table.outputs),
+        "fitness_percent": result.fitness,
+        "gate_name": result.gate_name,
+        "analysis_time_seconds": result.analysis_time_seconds,
+        "n_samples": result.n_samples,
+        "high_combinations": result.high_combination_labels,
+        "unobserved_combinations": result.unobserved_combinations,
+        "combinations": [_combination_to_dict(c) for c in result.combinations],
+    }
+    if result.comparison is not None:
+        payload["verification"] = {
+            "matches": result.comparison.matches,
+            "wrong_states": list(result.comparison.wrong_states),
+            "expected_hex": result.comparison.expected.to_hex(),
+            "recovered_hex": result.comparison.recovered.to_hex(),
+            "expected_gate": result.comparison.expected_gate,
+            "recovered_gate": result.comparison.recovered_gate,
+        }
+    return payload
+
+
+def result_to_json(result: LogicAnalysisResult, indent: int = 2) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def save_result_json(result: LogicAnalysisResult, path) -> None:
+    """Write a result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(result))
+        handle.write("\n")
+
+
+def load_result_dict(path) -> Dict[str, Any]:
+    """Load a previously saved result dictionary (no object reconstruction)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ParseError(f"{path} is not valid JSON: {exc}") from exc

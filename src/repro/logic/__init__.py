@@ -1,0 +1,43 @@
+"""Boolean logic toolkit: expressions, truth tables, minimization, comparison."""
+
+from .boolexpr import (
+    And,
+    BoolExpr,
+    Const,
+    Not,
+    Or,
+    Var,
+    Xor,
+    from_minterms,
+    minterm_string,
+    parse_expr,
+)
+from .compare import LogicComparison, compare_tables, verify_against_expected
+from .minimize import Implicant, minimize, minimize_truth_table, prime_implicants
+from .patterns import GATE_FAMILIES, gate_truth_table, identify_gate, is_named_gate
+from .truthtable import TruthTable
+
+__all__ = [
+    "BoolExpr",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+    "from_minterms",
+    "minterm_string",
+    "TruthTable",
+    "Implicant",
+    "prime_implicants",
+    "minimize",
+    "minimize_truth_table",
+    "GATE_FAMILIES",
+    "identify_gate",
+    "gate_truth_table",
+    "is_named_gate",
+    "LogicComparison",
+    "compare_tables",
+    "verify_against_expected",
+]

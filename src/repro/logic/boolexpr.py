@@ -1,0 +1,399 @@
+"""Boolean expression trees.
+
+The output of the paper's algorithm is "the Boolean expression of the
+circuit" — a sum-of-products over the input species recovered from the
+filtered simulation data.  This module provides the expression representation
+used throughout the package: construction (including from minterms), parsing
+of a small infix syntax, evaluation, and rendering both in a programming
+style (``A & ~B | C``) and in the paper's algebraic style (``AB' + C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import ParseError
+
+__all__ = [
+    "BoolExpr",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+    "from_minterms",
+    "minterm_string",
+]
+
+
+class BoolExpr:
+    """Base class of Boolean expression nodes."""
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Evaluate under a ``{variable: 0/1-or-bool}`` assignment."""
+        raise NotImplementedError
+
+    def variables(self) -> List[str]:
+        """Distinct variables in first-appearance order."""
+        seen: List[str] = []
+        self._collect(seen)
+        return seen
+
+    def _collect(self, seen: List[str]) -> None:
+        raise NotImplementedError
+
+    def to_string(self) -> str:
+        """Render with ``& | ~`` operators (parseable by :func:`parse_expr`)."""
+        raise NotImplementedError
+
+    def to_algebraic(self) -> str:
+        """Render in the paper's algebraic style: juxtaposition, ``+``, primes."""
+        raise NotImplementedError
+
+    # -- operator sugar so expressions compose naturally in user code --------
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And((self, other))
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or((self, other))
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return Xor((self, other))
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.to_string()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (same rendered string).
+
+        Semantic equivalence is checked through truth tables — see
+        :meth:`repro.logic.truthtable.TruthTable.from_expression`.
+        """
+        return isinstance(other, BoolExpr) and self.to_string() == other.to_string()
+
+    def __hash__(self) -> int:
+        return hash(self.to_string())
+
+
+@dataclass(frozen=True, eq=False)
+class Const(BoolExpr):
+    """Constant ``0`` or ``1``."""
+
+    value: bool
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return bool(self.value)
+
+    def _collect(self, seen: List[str]) -> None:
+        return None
+
+    def to_string(self) -> str:
+        return "1" if self.value else "0"
+
+    def to_algebraic(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True, eq=False)
+class Var(BoolExpr):
+    """A named input variable (an input species of the circuit)."""
+
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError:
+            raise ParseError(f"assignment is missing variable {self.name!r}") from None
+
+    def _collect(self, seen: List[str]) -> None:
+        if self.name not in seen:
+            seen.append(self.name)
+
+    def to_string(self) -> str:
+        return self.name
+
+    def to_algebraic(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Not(BoolExpr):
+    """Logical negation."""
+
+    operand: BoolExpr
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def _collect(self, seen: List[str]) -> None:
+        self.operand._collect(seen)
+
+    def to_string(self) -> str:
+        inner = self.operand.to_string()
+        if isinstance(self.operand, (Var, Const, Not)):
+            return f"~{inner}"
+        return f"~({inner})"
+
+    def to_algebraic(self) -> str:
+        inner = self.operand.to_algebraic()
+        if isinstance(self.operand, (Var, Const)):
+            return f"{inner}'"
+        return f"({inner})'"
+
+
+def _flatten(cls, operands: Iterable[BoolExpr]) -> Tuple[BoolExpr, ...]:
+    flat: List[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, cls):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return tuple(flat)
+
+
+@dataclass(frozen=True, eq=False)
+class And(BoolExpr):
+    """Conjunction of two or more operands (nested ANDs are flattened)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        operands = _flatten(And, self.operands)
+        if len(operands) < 1:
+            raise ParseError("And requires at least one operand")
+        object.__setattr__(self, "operands", operands)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def _collect(self, seen: List[str]) -> None:
+        for op in self.operands:
+            op._collect(seen)
+
+    def to_string(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = op.to_string()
+            if isinstance(op, (Or, Xor)):
+                text = f"({text})"
+            parts.append(text)
+        return " & ".join(parts)
+
+    def to_algebraic(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = op.to_algebraic()
+            if isinstance(op, (Or, Xor)):
+                text = f"({text})"
+            parts.append(text)
+        return ".".join(parts)
+
+
+@dataclass(frozen=True, eq=False)
+class Or(BoolExpr):
+    """Disjunction of two or more operands (nested ORs are flattened)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        operands = _flatten(Or, self.operands)
+        if len(operands) < 1:
+            raise ParseError("Or requires at least one operand")
+        object.__setattr__(self, "operands", operands)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def _collect(self, seen: List[str]) -> None:
+        for op in self.operands:
+            op._collect(seen)
+
+    def to_string(self) -> str:
+        return " | ".join(op.to_string() for op in self.operands)
+
+    def to_algebraic(self) -> str:
+        return " + ".join(op.to_algebraic() for op in self.operands)
+
+
+@dataclass(frozen=True, eq=False)
+class Xor(BoolExpr):
+    """Exclusive-or of two or more operands (true when an odd number are true)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        operands = tuple(self.operands)
+        if len(operands) < 2:
+            raise ParseError("Xor requires at least two operands")
+        object.__setattr__(self, "operands", operands)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return sum(bool(op.evaluate(assignment)) for op in self.operands) % 2 == 1
+
+    def _collect(self, seen: List[str]) -> None:
+        for op in self.operands:
+            op._collect(seen)
+
+    def to_string(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = op.to_string()
+            if isinstance(op, (Or, And)):
+                text = f"({text})"
+            parts.append(text)
+        return " ^ ".join(parts)
+
+    def to_algebraic(self) -> str:
+        return " xor ".join(op.to_algebraic() for op in self.operands)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def from_minterms(variables: Sequence[str], minterms: Iterable[int]) -> BoolExpr:
+    """Sum-of-products expression covering exactly the given minterms.
+
+    ``minterms`` are combination indices with ``variables[0]`` as the most
+    significant bit, matching how the paper writes input combinations
+    (``011`` means the first input low, the second and third high).
+    """
+    variables = list(variables)
+    n = len(variables)
+    minterms = sorted(set(int(m) for m in minterms))
+    if not variables:
+        raise ParseError("from_minterms requires at least one variable")
+    for m in minterms:
+        if not 0 <= m < 2 ** n:
+            raise ParseError(f"minterm {m} out of range for {n} variables")
+    if not minterms:
+        return Const(False)
+    if len(minterms) == 2 ** n:
+        return Const(True)
+    products: List[BoolExpr] = []
+    for m in minterms:
+        literals: List[BoolExpr] = []
+        for bit_index, name in enumerate(variables):
+            bit = (m >> (n - 1 - bit_index)) & 1
+            literals.append(Var(name) if bit else Not(Var(name)))
+        products.append(literals[0] if len(literals) == 1 else And(tuple(literals)))
+    return products[0] if len(products) == 1 else Or(tuple(products))
+
+
+def minterm_string(index: int, n_inputs: int) -> str:
+    """Render a combination index as the paper writes it, e.g. ``"011"``."""
+    if not 0 <= index < 2 ** n_inputs:
+        raise ParseError(f"combination index {index} out of range for {n_inputs} inputs")
+    return format(index, f"0{n_inputs}b")
+
+
+# ---------------------------------------------------------------------------
+# Parser for the ``& | ^ ~`` syntax
+# ---------------------------------------------------------------------------
+
+
+class _ExprParser:
+    """Recursive-descent parser: ``|`` lowest, then ``^``, ``&``, ``~``."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.index = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens: List[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in "&|^~()!":
+                tokens.append("~" if ch == "!" else ch)
+                i += 1
+                continue
+            if ch.isalnum() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+                continue
+            raise ParseError(f"unexpected character {ch!r} in expression {text!r}")
+        tokens.append("")  # end marker
+        return tokens
+
+    def _peek(self) -> str:
+        return self.tokens[self.index]
+
+    def _next(self) -> str:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def parse(self) -> BoolExpr:
+        expr = self._parse_or()
+        if self._peek() != "":
+            raise ParseError(f"unexpected trailing token {self._peek()!r} in {self.text!r}")
+        return expr
+
+    def _parse_or(self) -> BoolExpr:
+        operands = [self._parse_xor()]
+        while self._peek() == "|":
+            self._next()
+            operands.append(self._parse_xor())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def _parse_xor(self) -> BoolExpr:
+        operands = [self._parse_and()]
+        while self._peek() == "^":
+            self._next()
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Xor(tuple(operands))
+
+    def _parse_and(self) -> BoolExpr:
+        operands = [self._parse_unary()]
+        while self._peek() == "&":
+            self._next()
+            operands.append(self._parse_unary())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def _parse_unary(self) -> BoolExpr:
+        token = self._peek()
+        if token == "~":
+            self._next()
+            return Not(self._parse_unary())
+        if token == "(":
+            self._next()
+            inner = self._parse_or()
+            if self._next() != ")":
+                raise ParseError(f"missing ')' in expression {self.text!r}")
+            return inner
+        if token == "":
+            raise ParseError(f"unexpected end of expression in {self.text!r}")
+        self._next()
+        if token == "0":
+            return Const(False)
+        if token == "1":
+            return Const(True)
+        if not (token[0].isalpha() or token[0] == "_"):
+            raise ParseError(f"bad variable name {token!r} in {self.text!r}")
+        return Var(token)
+
+
+def parse_expr(text: str) -> BoolExpr:
+    """Parse an expression written with ``& | ^ ~ ( )`` and variable names."""
+    if isinstance(text, BoolExpr):
+        return text
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("expression must be a non-empty string")
+    return _ExprParser(text).parse()

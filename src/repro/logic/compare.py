@@ -1,0 +1,83 @@
+"""Comparison of expected versus recovered circuit logic.
+
+The verification half of the paper: given the Boolean behaviour a designer
+*intended* (from the circuit netlist or its Cello name) and the behaviour the
+analysis algorithm *recovered* from stochastic traces, report whether they
+match and, when they do not, which input combinations are wrong — the paper
+reports, e.g., that circuit ``0x0B`` driven with a 40-molecule threshold "has
+two wrong states".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .patterns import identify_gate
+from .truthtable import TruthTable
+
+__all__ = ["LogicComparison", "compare_tables", "verify_against_expected"]
+
+
+@dataclass
+class LogicComparison:
+    """Outcome of comparing a recovered truth table against an expected one."""
+
+    expected: TruthTable
+    recovered: TruthTable
+    matches: bool
+    wrong_states: List[str] = field(default_factory=list)
+    expected_gate: Optional[str] = None
+    recovered_gate: Optional[str] = None
+
+    @property
+    def n_wrong_states(self) -> int:
+        return len(self.wrong_states)
+
+    def summary(self) -> str:
+        """One-line human readable verdict."""
+        if self.matches:
+            verdict = "MATCH"
+            detail = ""
+        else:
+            verdict = "MISMATCH"
+            detail = f" (wrong states: {', '.join(self.wrong_states)})"
+        expected_name = self.expected_gate or self.expected.to_hex()
+        recovered_name = self.recovered_gate or self.recovered.to_hex()
+        return f"{verdict}: expected {expected_name}, recovered {recovered_name}{detail}"
+
+
+def compare_tables(expected: TruthTable, recovered: TruthTable) -> LogicComparison:
+    """Compare two truth tables combination by combination."""
+    wrong = expected.differing_combinations(recovered)
+    return LogicComparison(
+        expected=expected,
+        recovered=recovered,
+        matches=not wrong,
+        wrong_states=wrong,
+        expected_gate=identify_gate(expected),
+        recovered_gate=identify_gate(recovered),
+    )
+
+
+def verify_against_expected(expected, recovered) -> LogicComparison:
+    """Convenience wrapper accepting expressions, hex names or tables.
+
+    ``expected`` / ``recovered`` may each be a :class:`TruthTable`, a Boolean
+    expression (string or :class:`~repro.logic.boolexpr.BoolExpr`), or a
+    Cello-style hexadecimal name (string starting with ``0x``).
+    """
+    expected_table = _coerce(expected)
+    recovered_table = _coerce(recovered, like=expected_table)
+    return compare_tables(expected_table, recovered_table)
+
+
+def _coerce(value, like: Optional[TruthTable] = None) -> TruthTable:
+    if isinstance(value, TruthTable):
+        return value
+    if isinstance(value, str) and value.lower().startswith("0x"):
+        if like is not None:
+            return TruthTable.from_hex(value, inputs=like.inputs)
+        return TruthTable.from_hex(value)
+    inputs = like.inputs if like is not None else None
+    return TruthTable.from_expression(value, inputs=inputs)

@@ -1,0 +1,237 @@
+"""Quine–McCluskey two-level minimization.
+
+The algorithm's raw output — the set of input combinations whose filtered
+output is high — is a list of minterms.  Presenting that list as a readable
+Boolean expression (the paper prints, e.g., ``A'.B.C`` for circuit ``0x0B``)
+requires two-level minimization; this module implements the classic
+Quine–McCluskey procedure with essential-prime-implicant extraction followed
+by a greedy cover of the remainder (Petrick's method is unnecessary at n ≤ 6
+inputs, far beyond the paper's 3-input circuits, but the greedy cover is
+exact whenever the essential primes already cover everything — which is the
+common case for genetic circuits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AnalysisError
+from .boolexpr import And, BoolExpr, Const, Not, Or, Var
+
+__all__ = [
+    "Implicant",
+    "prime_implicants",
+    "minimal_cover",
+    "minimize",
+    "minimize_truth_table",
+]
+
+
+class Implicant:
+    """A product term covering one or more minterms.
+
+    ``value`` holds the fixed bits, ``mask`` marks the "don't care" positions
+    (bit set = that input does not appear in the product).  Bit 0 of both is
+    the *last* input, matching the combination-index convention.
+    """
+
+    __slots__ = ("value", "mask", "n_inputs", "covers")
+
+    def __init__(self, value: int, mask: int, n_inputs: int, covers: FrozenSet[int]):
+        self.value = value
+        self.mask = mask
+        self.n_inputs = n_inputs
+        self.covers = covers
+
+    @classmethod
+    def from_minterm(cls, minterm: int, n_inputs: int) -> "Implicant":
+        return cls(minterm, 0, n_inputs, frozenset({minterm}))
+
+    def can_combine(self, other: "Implicant") -> bool:
+        """True when the two implicants differ in exactly one fixed bit."""
+        if self.mask != other.mask:
+            return False
+        difference = self.value ^ other.value
+        return difference != 0 and (difference & (difference - 1)) == 0
+
+    def combine(self, other: "Implicant") -> "Implicant":
+        difference = self.value ^ other.value
+        return Implicant(
+            self.value & ~difference,
+            self.mask | difference,
+            self.n_inputs,
+            self.covers | other.covers,
+        )
+
+    def covers_minterm(self, minterm: int) -> bool:
+        return (minterm & ~self.mask) == (self.value & ~self.mask)
+
+    def literal_count(self) -> int:
+        """Number of literals in the product term."""
+        return self.n_inputs - bin(self.mask).count("1")
+
+    def pattern(self) -> str:
+        """Textbook pattern string, e.g. ``"1-0"`` (first input is leftmost)."""
+        chars = []
+        for position in range(self.n_inputs - 1, -1, -1):
+            if (self.mask >> position) & 1:
+                chars.append("-")
+            else:
+                chars.append("1" if (self.value >> position) & 1 else "0")
+        return "".join(chars)
+
+    def to_expression(self, variables: Sequence[str]) -> BoolExpr:
+        """The product term as a :class:`BoolExpr` over ``variables``."""
+        if len(variables) != self.n_inputs:
+            raise AnalysisError("variable list does not match implicant width")
+        literals: List[BoolExpr] = []
+        for index, name in enumerate(variables):
+            position = self.n_inputs - 1 - index
+            if (self.mask >> position) & 1:
+                continue
+            if (self.value >> position) & 1:
+                literals.append(Var(name))
+            else:
+                literals.append(Not(Var(name)))
+        if not literals:
+            return Const(True)
+        if len(literals) == 1:
+            return literals[0]
+        return And(tuple(literals))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Implicant)
+            and self.value == other.value
+            and self.mask == other.mask
+            and self.n_inputs == other.n_inputs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.mask, self.n_inputs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Implicant({self.pattern()!r})"
+
+
+def prime_implicants(
+    n_inputs: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+) -> List[Implicant]:
+    """All prime implicants of the function defined by minterms ∪ don't-cares."""
+    minterms = set(int(m) for m in minterms)
+    dont_cares = set(int(m) for m in dont_cares)
+    overlap = minterms & dont_cares
+    if overlap:
+        raise AnalysisError(f"minterms and don't-cares overlap: {sorted(overlap)}")
+    all_terms = minterms | dont_cares
+    for term in all_terms:
+        if not 0 <= term < 2 ** n_inputs:
+            raise AnalysisError(f"term {term} out of range for {n_inputs} inputs")
+    if not all_terms:
+        return []
+
+    current = {Implicant.from_minterm(m, n_inputs) for m in all_terms}
+    primes: Set[Implicant] = set()
+    while current:
+        combined: Set[Implicant] = set()
+        used: Set[Implicant] = set()
+        current_list = sorted(current, key=lambda imp: (imp.mask, imp.value))
+        for i, left in enumerate(current_list):
+            for right in current_list[i + 1:]:
+                if left.can_combine(right):
+                    combined.add(left.combine(right))
+                    used.add(left)
+                    used.add(right)
+        primes.update(imp for imp in current if imp not in used)
+        current = combined
+    return sorted(primes, key=lambda imp: (imp.literal_count(), imp.value))
+
+
+def _select_cover(primes: List[Implicant], minterms: Set[int]) -> List[Implicant]:
+    """Essential primes first, then a greedy cover of what remains."""
+    remaining = set(minterms)
+    chosen: List[Implicant] = []
+
+    # Essential prime implicants: the only prime covering some minterm.
+    changed = True
+    while changed and remaining:
+        changed = False
+        for minterm in sorted(remaining):
+            covering = [p for p in primes if p.covers_minterm(minterm)]
+            if len(covering) == 1:
+                prime = covering[0]
+                if prime not in chosen:
+                    chosen.append(prime)
+                remaining -= {m for m in remaining if prime.covers_minterm(m)}
+                changed = True
+                break
+
+    # Greedy cover for the rest: repeatedly take the prime covering the most
+    # still-uncovered minterms (ties broken by fewer literals).
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (
+                len({m for m in remaining if p.covers_minterm(m)}),
+                -p.literal_count(),
+            ),
+        )
+        covered_now = {m for m in remaining if best.covers_minterm(m)}
+        if not covered_now:
+            raise AnalysisError("prime implicants do not cover all minterms")
+        chosen.append(best)
+        remaining -= covered_now
+    return chosen
+
+
+def minimal_cover(
+    n_inputs: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+) -> List[Implicant]:
+    """A minimal (essential + greedy) prime-implicant cover of the minterms.
+
+    This is the structural form the gate-synthesis module consumes: each
+    implicant becomes one product term of the two-level implementation.
+    """
+    minterms = set(int(m) for m in minterms)
+    if not minterms:
+        return []
+    primes = prime_implicants(n_inputs, minterms, dont_cares)
+    cover = _select_cover(primes, minterms)
+    cover.sort(key=lambda imp: (imp.value & ~imp.mask, imp.mask))
+    return cover
+
+
+def minimize(
+    n_inputs: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
+    variables: Optional[Sequence[str]] = None,
+) -> BoolExpr:
+    """Minimized sum-of-products expression for the given minterms."""
+    minterms = set(int(m) for m in minterms)
+    dont_cares = set(int(m) for m in dont_cares)
+    if variables is None:
+        variables = [f"in{i + 1}" for i in range(n_inputs)]
+    variables = list(variables)
+    if len(variables) != n_inputs:
+        raise AnalysisError("minimize needs exactly one variable name per input")
+
+    if not minterms:
+        return Const(False)
+    if len(minterms | dont_cares) == 2 ** n_inputs and len(minterms) > 0:
+        # Everything that is not a don't-care is a minterm: constant 1.
+        if not (set(range(2 ** n_inputs)) - minterms - dont_cares):
+            return Const(True)
+
+    primes = prime_implicants(n_inputs, minterms, dont_cares)
+    cover = _select_cover(primes, minterms)
+    cover.sort(key=lambda imp: (imp.value & ~imp.mask, imp.mask))
+    terms = [imp.to_expression(variables) for imp in cover]
+    if len(terms) == 1:
+        return terms[0]
+    return Or(tuple(terms))
+
+
+def minimize_truth_table(table) -> BoolExpr:
+    """Minimized expression of a :class:`repro.logic.truthtable.TruthTable`."""
+    return minimize(table.n_inputs, table.minterms(), variables=table.inputs)

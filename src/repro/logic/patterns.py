@@ -1,0 +1,156 @@
+"""Recognition of named gate behaviours.
+
+One of the paper's two motivations for logic analysis is that it "helps in
+extracting the Boolean logic of a circuit even when the user does not have
+any prior knowledge about its expected behaviour".  Reporting that a
+recovered truth table *is* a 3-input AND (the paper's observation for circuit
+``0x0B`` at a 3-molecule threshold) is far more useful than printing a raw
+expression, so this module matches truth tables against the standard n-input
+gate families.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = ["GATE_FAMILIES", "identify_gate", "gate_truth_table", "is_named_gate"]
+
+
+def _and(*bits: int) -> int:
+    return int(all(bits))
+
+
+def _or(*bits: int) -> int:
+    return int(any(bits))
+
+
+def _nand(*bits: int) -> int:
+    return int(not all(bits))
+
+
+def _nor(*bits: int) -> int:
+    return int(not any(bits))
+
+
+def _xor(*bits: int) -> int:
+    return int(sum(bits) % 2 == 1)
+
+
+def _xnor(*bits: int) -> int:
+    return int(sum(bits) % 2 == 0)
+
+
+def _buffer(*bits: int) -> int:
+    return int(bits[0])
+
+
+def _not(*bits: int) -> int:
+    return int(not bits[0])
+
+
+def _majority(*bits: int) -> int:
+    return int(sum(bits) > len(bits) / 2)
+
+
+def _minority(*bits: int) -> int:
+    return int(sum(bits) < len(bits) / 2)
+
+
+def _const_low(*bits: int) -> int:
+    return 0
+
+
+def _const_high(*bits: int) -> int:
+    return 1
+
+
+#: Gate family name -> (function over input bits, minimum input count).
+GATE_FAMILIES: Dict[str, Tuple[Callable[..., int], int]] = {
+    "CONST0": (_const_low, 1),
+    "CONST1": (_const_high, 1),
+    "BUF": (_buffer, 1),
+    "NOT": (_not, 1),
+    "AND": (_and, 2),
+    "OR": (_or, 2),
+    "NAND": (_nand, 2),
+    "NOR": (_nor, 2),
+    "XOR": (_xor, 2),
+    "XNOR": (_xnor, 2),
+    "MAJORITY": (_majority, 3),
+    "MINORITY": (_minority, 3),
+}
+
+#: Recognition order: specific families before degenerate ones so that, e.g.,
+#: a 2-input XNOR is reported as XNOR rather than anything else, and constants
+#: are reported as constants.
+_RECOGNITION_ORDER = [
+    "CONST0",
+    "CONST1",
+    "BUF",
+    "NOT",
+    "AND",
+    "OR",
+    "NAND",
+    "NOR",
+    "XOR",
+    "XNOR",
+    "MAJORITY",
+    "MINORITY",
+]
+
+
+def gate_truth_table(name: str, inputs: Sequence[str]) -> TruthTable:
+    """The truth table of a named gate family over the given inputs."""
+    key = name.upper()
+    if key not in GATE_FAMILIES:
+        raise KeyError(f"unknown gate family {name!r}")
+    fn, minimum_inputs = GATE_FAMILIES[key]
+    if len(inputs) < minimum_inputs:
+        raise ValueError(
+            f"gate {name!r} needs at least {minimum_inputs} inputs, got {len(inputs)}"
+        )
+    return TruthTable.from_function(fn, inputs)
+
+
+def identify_gate(table: TruthTable) -> Optional[str]:
+    """Name of the gate family matching ``table``, or None.
+
+    For 1-input tables only BUF/NOT/constants can match; BUF and NOT of a
+    specific input of a multi-input table are reported with the input index,
+    e.g. ``"BUF(in2)"``.
+    """
+    for name in _RECOGNITION_ORDER:
+        fn, minimum_inputs = GATE_FAMILIES[name]
+        if table.n_inputs < minimum_inputs:
+            continue
+        if name in ("BUF", "NOT") and table.n_inputs > 1:
+            continue  # handled below with explicit input attribution
+        candidate = TruthTable.from_function(fn, table.inputs)
+        if candidate.outputs == table.outputs:
+            return name
+
+    # Single-input dependence of a multi-input table: BUF/NOT of one input.
+    if table.n_inputs > 1:
+        for position, input_name in enumerate(table.inputs):
+            buffer_outputs = []
+            not_outputs = []
+            for index in range(table.n_rows):
+                bit = TruthTable.combination_bits(index, table.n_inputs)[position]
+                buffer_outputs.append(bit)
+                not_outputs.append(1 - bit)
+            if table.outputs == buffer_outputs:
+                return f"BUF({input_name})"
+            if table.outputs == not_outputs:
+                return f"NOT({input_name})"
+    return None
+
+
+def is_named_gate(table: TruthTable, name: str) -> bool:
+    """True when ``table`` implements the named gate family over its inputs."""
+    try:
+        candidate = gate_truth_table(name, table.inputs)
+    except (KeyError, ValueError):
+        return False
+    return candidate.outputs == table.outputs

@@ -1,0 +1,252 @@
+"""Truth tables for n-input genetic logic circuits.
+
+Conventions (used consistently across the package and documented in the
+README):
+
+* Input combinations are indexed by interpreting the input vector as a binary
+  number with the *first* input as the most significant bit; combination
+  ``011`` of a 3-input circuit therefore has index 3 — exactly how the paper
+  writes combinations along the x-axis of its figures.
+* The Cello-style hexadecimal circuit names (``0x0B``, ``0x04``, ``0x1C``)
+  encode the output column: bit ``i`` (counting from the least significant
+  bit) of the hexadecimal value is the output for combination index ``i``.
+  ``0x0B = 0b00001011`` is therefore high for combinations ``000``, ``001``
+  and ``011``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .boolexpr import BoolExpr, from_minterms, minterm_string, parse_expr
+
+__all__ = ["TruthTable"]
+
+
+def _default_inputs(count: int) -> List[str]:
+    """Generic input names in1..inN (used when the caller supplies none)."""
+    return [f"in{i + 1}" for i in range(count)]
+
+
+class TruthTable:
+    """The complete input/output behaviour of an n-input, 1-output circuit."""
+
+    def __init__(self, inputs: Sequence[str], outputs: Sequence[int]):
+        self.inputs = list(inputs)
+        if not self.inputs:
+            raise AnalysisError("a truth table needs at least one input")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise AnalysisError("input names must be distinct")
+        expected_rows = 2 ** len(self.inputs)
+        outputs = [int(bool(int(v))) for v in outputs]
+        if len(outputs) != expected_rows:
+            raise AnalysisError(
+                f"a {len(self.inputs)}-input truth table needs {expected_rows} output "
+                f"rows, got {len(outputs)}"
+            )
+        self.outputs = outputs
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_hex(cls, value, inputs: Optional[Sequence[str]] = None, n_inputs: int = 3) -> "TruthTable":
+        """Build a table from a Cello-style hexadecimal circuit name.
+
+        ``value`` may be an int or a string like ``"0x0B"``.  ``n_inputs`` is
+        only used when ``inputs`` is not given.
+        """
+        if isinstance(value, str):
+            value = int(value, 16)
+        value = int(value)
+        if inputs is None:
+            inputs = _default_inputs(n_inputs)
+        inputs = list(inputs)
+        rows = 2 ** len(inputs)
+        if not 0 <= value < 2 ** rows:
+            raise AnalysisError(
+                f"hex value {value:#x} does not fit a {len(inputs)}-input truth table"
+            )
+        outputs = [(value >> i) & 1 for i in range(rows)]
+        return cls(inputs, outputs)
+
+    @classmethod
+    def from_function(cls, fn: Callable[..., int], inputs: Sequence[str]) -> "TruthTable":
+        """Build a table by evaluating ``fn(bit1, bit2, ...)`` on every combination."""
+        inputs = list(inputs)
+        rows = 2 ** len(inputs)
+        outputs = []
+        for index in range(rows):
+            bits = cls.combination_bits(index, len(inputs))
+            outputs.append(int(bool(fn(*bits))))
+        return cls(inputs, outputs)
+
+    @classmethod
+    def from_expression(cls, expression, inputs: Optional[Sequence[str]] = None) -> "TruthTable":
+        """Build a table from a :class:`BoolExpr` or an expression string."""
+        expr = parse_expr(expression) if isinstance(expression, str) else expression
+        if inputs is None:
+            inputs = expr.variables()
+            if not inputs:
+                raise AnalysisError(
+                    "cannot infer inputs from a constant expression; pass `inputs`"
+                )
+        inputs = list(inputs)
+        rows = 2 ** len(inputs)
+        outputs = []
+        for index in range(rows):
+            bits = cls.combination_bits(index, len(inputs))
+            assignment = dict(zip(inputs, bits))
+            outputs.append(int(expr.evaluate(assignment)))
+        return cls(inputs, outputs)
+
+    @classmethod
+    def from_minterm_indices(
+        cls, minterms: Iterable[int], inputs: Sequence[str]
+    ) -> "TruthTable":
+        """Build a table that is high exactly on the given combination indices."""
+        inputs = list(inputs)
+        rows = 2 ** len(inputs)
+        minterms = set(int(m) for m in minterms)
+        for m in minterms:
+            if not 0 <= m < rows:
+                raise AnalysisError(f"minterm {m} out of range for {len(inputs)} inputs")
+        return cls(inputs, [1 if i in minterms else 0 for i in range(rows)])
+
+    # -- static helpers -------------------------------------------------------
+    @staticmethod
+    def combination_bits(index: int, n_inputs: int) -> Tuple[int, ...]:
+        """Bits of a combination index, first input = most significant bit."""
+        return tuple((index >> (n_inputs - 1 - i)) & 1 for i in range(n_inputs))
+
+    @staticmethod
+    def combination_index(bits: Sequence[int]) -> int:
+        """Inverse of :meth:`combination_bits`."""
+        index = 0
+        for bit in bits:
+            index = (index << 1) | (1 if bit else 0)
+        return index
+
+    # -- basic queries ---------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.outputs)
+
+    def output_for(self, combination) -> int:
+        """Output for a combination given as an index, bit tuple, or string ``"011"``."""
+        index = self._as_index(combination)
+        return self.outputs[index]
+
+    def _as_index(self, combination) -> int:
+        if isinstance(combination, str):
+            if len(combination) != self.n_inputs or set(combination) - {"0", "1"}:
+                raise AnalysisError(
+                    f"combination string {combination!r} does not match {self.n_inputs} inputs"
+                )
+            return int(combination, 2)
+        if isinstance(combination, (tuple, list)):
+            if len(combination) != self.n_inputs:
+                raise AnalysisError(
+                    f"combination {combination!r} does not match {self.n_inputs} inputs"
+                )
+            return self.combination_index(combination)
+        index = int(combination)
+        if not 0 <= index < self.n_rows:
+            raise AnalysisError(f"combination index {index} out of range")
+        return index
+
+    def minterms(self) -> List[int]:
+        """Combination indices with output 1."""
+        return [i for i, value in enumerate(self.outputs) if value]
+
+    def maxterms(self) -> List[int]:
+        """Combination indices with output 0."""
+        return [i for i, value in enumerate(self.outputs) if not value]
+
+    def combination_labels(self) -> List[str]:
+        """All combinations as strings (``"00"``, ``"01"``, ...)."""
+        return [minterm_string(i, self.n_inputs) for i in range(self.n_rows)]
+
+    # -- conversions -----------------------------------------------------------
+    def to_hex(self) -> str:
+        """The Cello-style hexadecimal name of this table (e.g. ``"0x0B"``)."""
+        value = 0
+        for index, output in enumerate(self.outputs):
+            if output:
+                value |= 1 << index
+        width = max(2, (self.n_rows + 3) // 4)
+        return f"0x{value:0{width}X}"
+
+    def to_expression(self) -> BoolExpr:
+        """Canonical (unminimized) sum-of-products expression."""
+        return from_minterms(self.inputs, self.minterms())
+
+    def to_minimized_expression(self) -> BoolExpr:
+        """Quine–McCluskey minimized sum-of-products expression."""
+        from .minimize import minimize_truth_table
+
+        return minimize_truth_table(self)
+
+    def rename_inputs(self, names: Sequence[str]) -> "TruthTable":
+        """Same behaviour, different input names (lengths must match)."""
+        names = list(names)
+        if len(names) != self.n_inputs:
+            raise AnalysisError("rename_inputs needs exactly one name per input")
+        return TruthTable(names, list(self.outputs))
+
+    # -- comparisons -----------------------------------------------------------
+    def equivalent(self, other: "TruthTable") -> bool:
+        """True when both tables have identical output columns.
+
+        The comparison is positional: input *names* may differ (a recovered
+        table names inputs after species, the specification may use generic
+        names) but the number of inputs must match.
+        """
+        return self.n_inputs == other.n_inputs and self.outputs == other.outputs
+
+    def differing_combinations(self, other: "TruthTable") -> List[str]:
+        """Combination strings on which the two tables disagree.
+
+        This is the paper's notion of "wrong states" — circuit ``0x0B`` run
+        with a 40-molecule threshold recovers a table with two wrong states.
+        """
+        if self.n_inputs != other.n_inputs:
+            raise AnalysisError("cannot compare truth tables with different input counts")
+        return [
+            minterm_string(i, self.n_inputs)
+            for i in range(self.n_rows)
+            if self.outputs[i] != other.outputs[i]
+        ]
+
+    def hamming_distance(self, other: "TruthTable") -> int:
+        """Number of combinations on which the two tables disagree."""
+        return len(self.differing_combinations(other))
+
+    # -- dunder ----------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.inputs), tuple(self.outputs)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TruthTable(inputs={self.inputs}, hex={self.to_hex()})"
+
+    def format(self, output_name: str = "out") -> str:
+        """Human-readable table, one row per combination."""
+        header = " ".join(self.inputs) + f" | {output_name}"
+        rows = [header, "-" * len(header)]
+        for index in range(self.n_rows):
+            bits = self.combination_bits(index, self.n_inputs)
+            bit_text = " ".join(
+                str(bit).rjust(len(name)) for name, bit in zip(self.inputs, bits)
+            )
+            rows.append(f"{bit_text} | {self.outputs[index]}")
+        return "\n".join(rows)

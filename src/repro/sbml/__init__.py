@@ -1,0 +1,59 @@
+"""SBML Level 3 (core subset) models: representation, parsing and writing.
+
+This package is the model substrate of the reproduction: genetic circuits are
+expressed as reaction networks with kinetic laws, exactly as the SBML models
+the paper simulates in D-VASim.
+"""
+
+from .ast import (
+    BinOp,
+    Call,
+    Expr,
+    Neg,
+    Num,
+    Sym,
+    compile_function,
+    from_mathml,
+    parse,
+    to_mathml,
+)
+from .model import (
+    Compartment,
+    KineticLaw,
+    Model,
+    Parameter,
+    Reaction,
+    Species,
+    SpeciesReference,
+    is_valid_sid,
+)
+from .reader import read_sbml_file, read_sbml_string
+from .validation import check_model, validate_model
+from .writer import write_sbml_file, write_sbml_string
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Sym",
+    "BinOp",
+    "Neg",
+    "Call",
+    "parse",
+    "compile_function",
+    "to_mathml",
+    "from_mathml",
+    "Compartment",
+    "Species",
+    "Parameter",
+    "SpeciesReference",
+    "KineticLaw",
+    "Reaction",
+    "Model",
+    "is_valid_sid",
+    "read_sbml_string",
+    "read_sbml_file",
+    "write_sbml_string",
+    "write_sbml_file",
+    "validate_model",
+    "check_model",
+]

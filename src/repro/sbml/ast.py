@@ -1,0 +1,648 @@
+"""Math expression AST used by SBML kinetic laws and propensity compilation.
+
+SBML expresses kinetic laws as MathML; D-VASim and most scripting front-ends
+use plain infix strings.  This module provides a small, self-contained
+expression language that supports both:
+
+* :func:`parse` turns an infix string (``"kmax * 1 / (1 + (LacI/K)^n)"``)
+  into an :class:`Expr` tree,
+* :meth:`Expr.evaluate` evaluates a tree against a ``{name: value}``
+  environment,
+* :meth:`Expr.to_infix` and :func:`to_mathml` / :func:`from_mathml`
+  serialize trees to infix text and to the MathML subset used by the SBML
+  reader/writer,
+* :func:`compile_function` generates a fast Python callable for repeated
+  evaluation inside the stochastic simulators.
+
+The language supports ``+ - * / ^``, unary minus, parentheses, numeric
+literals, identifiers, and a fixed set of named functions (``exp``, ``ln``,
+``log``, ``log10``, ``sqrt``, ``abs``, ``floor``, ``ceil``, ``min``, ``max``,
+``pow``, ``hill_act``, ``hill_rep``, ``piecewise``).  ``hill_act(x, K, n)``
+and ``hill_rep(x, K, n)`` are convenience functions for Hill activation and
+repression, the workhorses of genetic gate models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from ..errors import MathParseError, PropensityError
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Sym",
+    "BinOp",
+    "Neg",
+    "Call",
+    "parse",
+    "compile_function",
+    "to_mathml",
+    "from_mathml",
+    "FUNCTIONS",
+]
+
+
+def _hill_act(x: float, k: float, n: float) -> float:
+    """Hill activation: ``x^n / (K^n + x^n)`` (0 when x == 0)."""
+    if x <= 0.0:
+        return 0.0
+    xn = x ** n
+    return xn / (k ** n + xn)
+
+
+def _hill_rep(x: float, k: float, n: float) -> float:
+    """Hill repression: ``K^n / (K^n + x^n)`` (1 when x == 0)."""
+    if x <= 0.0:
+        return 1.0
+    kn = k ** n
+    return kn / (kn + x ** n)
+
+
+def _piecewise(*args: float) -> float:
+    """SBML-style piecewise: ``piecewise(v1, c1, v2, c2, ..., otherwise)``."""
+    i = 0
+    while i + 1 < len(args):
+        if args[i + 1]:
+            return args[i]
+        i += 2
+    if i < len(args):
+        return args[i]
+    return 0.0
+
+
+#: Named functions usable inside expressions.  Values are
+#: ``(arity, python_callable)``; arity ``-1`` means variadic.
+FUNCTIONS: Dict[str, Tuple[int, Callable[..., float]]] = {
+    "exp": (1, math.exp),
+    "ln": (1, math.log),
+    "log": (1, math.log),
+    "log10": (1, math.log10),
+    "sqrt": (1, math.sqrt),
+    "abs": (1, abs),
+    "floor": (1, math.floor),
+    "ceil": (1, math.ceil),
+    "min": (-1, min),
+    "max": (-1, max),
+    "pow": (2, pow),
+    "hill_act": (3, _hill_act),
+    "hill_rep": (3, _hill_rep),
+    "piecewise": (-1, _piecewise),
+}
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        """Evaluate the expression against an environment of symbol values."""
+        raise NotImplementedError
+
+    def symbols(self) -> List[str]:
+        """Return the distinct symbols referenced, in first-appearance order."""
+        seen: List[str] = []
+        self._collect_symbols(seen)
+        return seen
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        raise NotImplementedError
+
+    def to_infix(self) -> str:
+        """Serialize to an infix string that :func:`parse` can read back."""
+        raise NotImplementedError
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        """Generate a Python expression string (used by :func:`compile_function`)."""
+        raise NotImplementedError
+
+    def substitute(self, bindings: Mapping[str, "Expr"]) -> "Expr":
+        """Return a copy with symbols replaced by other expressions."""
+        raise NotImplementedError
+
+    # Conveniences so trees compare & print nicely in tests ------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.to_infix()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.to_infix() == other.to_infix()
+
+    def __hash__(self) -> int:
+        return hash(self.to_infix())
+
+
+@dataclass(frozen=True, eq=False)
+class Num(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return float(self.value)
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        return None
+
+    def to_infix(self) -> str:
+        value = float(self.value)
+        if value == int(value) and abs(value) < 1e16:
+            return str(int(value))
+        return repr(value)
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        return repr(float(self.value))
+
+    def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
+        return self
+
+
+@dataclass(frozen=True, eq=False)
+class Sym(Expr):
+    """A named symbol (species id, parameter id, compartment id or ``time``)."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        try:
+            return float(env[self.name])
+        except KeyError:
+            raise PropensityError(
+                f"symbol {self.name!r} is not defined in the evaluation environment"
+            ) from None
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        if self.name not in seen:
+            seen.append(self.name)
+
+    def to_infix(self) -> str:
+        return self.name
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        try:
+            return name_map[self.name]
+        except KeyError:
+            raise PropensityError(
+                f"symbol {self.name!r} has no binding in the compilation name map"
+            ) from None
+
+    def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
+        return bindings.get(self.name, self)
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "^": 3}
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """A binary operation: ``+``, ``-``, ``*``, ``/`` or ``^``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            return a / b
+        if self.op == "^":
+            return a ** b
+        raise PropensityError(f"unknown operator {self.op!r}")
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        self.left._collect_symbols(seen)
+        self.right._collect_symbols(seen)
+
+    def _wrap(self, child: Expr, right_side: bool) -> str:
+        text = child.to_infix()
+        if isinstance(child, BinOp):
+            child_prec = _PRECEDENCE[child.op]
+            my_prec = _PRECEDENCE[self.op]
+            if child_prec < my_prec or (
+                child_prec == my_prec and right_side and self.op in {"-", "/", "^"}
+            ):
+                return f"({text})"
+        if isinstance(child, Neg):
+            return f"({text})"
+        return text
+
+    def to_infix(self) -> str:
+        return f"{self._wrap(self.left, False)} {self.op} {self._wrap(self.right, True)}"
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        op = "**" if self.op == "^" else self.op
+        return f"({self.left.to_python(name_map)} {op} {self.right.to_python(name_map)})"
+
+    def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
+        return BinOp(self.op, self.left.substitute(bindings), self.right.substitute(bindings))
+
+
+@dataclass(frozen=True, eq=False)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return -self.operand.evaluate(env)
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        self.operand._collect_symbols(seen)
+
+    def to_infix(self) -> str:
+        inner = self.operand.to_infix()
+        if isinstance(self.operand, BinOp):
+            inner = f"({inner})"
+        return f"-{inner}"
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        return f"(-{self.operand.to_python(name_map)})"
+
+    def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
+        return Neg(self.operand.substitute(bindings))
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """A call to one of the functions in :data:`FUNCTIONS`."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.func not in FUNCTIONS:
+            raise PropensityError(f"unknown function {self.func!r}")
+        arity = FUNCTIONS[self.func][0]
+        if arity >= 0 and len(self.args) != arity:
+            raise PropensityError(
+                f"function {self.func!r} expects {arity} argument(s), got {len(self.args)}"
+            )
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        fn = FUNCTIONS[self.func][1]
+        return float(fn(*(a.evaluate(env) for a in self.args)))
+
+    def _collect_symbols(self, seen: List[str]) -> None:
+        for a in self.args:
+            a._collect_symbols(seen)
+
+    def to_infix(self) -> str:
+        return f"{self.func}({', '.join(a.to_infix() for a in self.args)})"
+
+    def to_python(self, name_map: Mapping[str, str]) -> str:
+        args = ", ".join(a.to_python(name_map) for a in self.args)
+        return f"_fn_{self.func}({args})"
+
+    def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
+        return Call(self.func, tuple(a.substitute(bindings) for a in self.args))
+
+
+# ---------------------------------------------------------------------------
+# Infix parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+_TOKEN_OPERATORS = "+-*/^(),"
+
+
+class _Tokenizer:
+    """Splits an infix expression into (kind, text, position) tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: List[Tuple[str, str, int]] = []
+        self._tokenize()
+        self.index = 0
+
+    def _tokenize(self) -> None:
+        text = self.text
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in _TOKEN_OPERATORS:
+                self.tokens.append(("op", ch, i))
+                i += 1
+                continue
+            if ch.isdigit() or ch == ".":
+                j = i
+                seen_exp = False
+                while j < n and (
+                    text[j].isdigit()
+                    or text[j] == "."
+                    or (text[j] in "eE" and not seen_exp)
+                    or (text[j] in "+-" and j > i and text[j - 1] in "eE")
+                ):
+                    if text[j] in "eE":
+                        seen_exp = True
+                    j += 1
+                chunk = text[i:j]
+                try:
+                    float(chunk)
+                except ValueError:
+                    raise MathParseError(text, i, f"bad numeric literal {chunk!r}")
+                self.tokens.append(("num", chunk, i))
+                i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                self.tokens.append(("name", text[i:j], i))
+                i = j
+                continue
+            raise MathParseError(text, i, f"unexpected character {ch!r}")
+        self.tokens.append(("end", "", n))
+
+    def peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+
+class _Parser:
+    """Recursive-descent parser with standard precedence and right-assoc ``^``."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tok = _Tokenizer(text)
+
+    def parse(self) -> Expr:
+        expr = self._parse_additive()
+        kind, value, pos = self.tok.peek()
+        if kind != "end":
+            raise MathParseError(self.text, pos, f"unexpected trailing token {value!r}")
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        node = self._parse_multiplicative()
+        while True:
+            kind, value, _ = self.tok.peek()
+            if kind == "op" and value in "+-":
+                self.tok.next()
+                rhs = self._parse_multiplicative()
+                node = BinOp(value, node, rhs)
+            else:
+                return node
+
+    def _parse_multiplicative(self) -> Expr:
+        node = self._parse_unary()
+        while True:
+            kind, value, _ = self.tok.peek()
+            if kind == "op" and value in "*/":
+                self.tok.next()
+                rhs = self._parse_unary()
+                node = BinOp(value, node, rhs)
+            else:
+                return node
+
+    def _parse_unary(self) -> Expr:
+        kind, value, _ = self.tok.peek()
+        if kind == "op" and value == "-":
+            self.tok.next()
+            return Neg(self._parse_unary())
+        if kind == "op" and value == "+":
+            self.tok.next()
+            return self._parse_unary()
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        base = self._parse_atom()
+        kind, value, _ = self.tok.peek()
+        if kind == "op" and value == "^":
+            self.tok.next()
+            exponent = self._parse_unary()  # right associative, allows -x
+            return BinOp("^", base, exponent)
+        return base
+
+    def _parse_atom(self) -> Expr:
+        kind, value, pos = self.tok.next()
+        if kind == "num":
+            return Num(float(value))
+        if kind == "name":
+            next_kind, next_value, _ = self.tok.peek()
+            if next_kind == "op" and next_value == "(":
+                return self._parse_call(value, pos)
+            return Sym(value)
+        if kind == "op" and value == "(":
+            inner = self._parse_additive()
+            kind, value, pos = self.tok.next()
+            if not (kind == "op" and value == ")"):
+                raise MathParseError(self.text, pos, "expected ')'")
+            return inner
+        raise MathParseError(self.text, pos, f"unexpected token {value!r}")
+
+    def _parse_call(self, func: str, pos: int) -> Expr:
+        if func not in FUNCTIONS:
+            raise MathParseError(self.text, pos, f"unknown function {func!r}")
+        self.tok.next()  # consume '('
+        args: List[Expr] = []
+        kind, value, _ = self.tok.peek()
+        if kind == "op" and value == ")":
+            self.tok.next()
+            return Call(func, tuple(args))
+        while True:
+            args.append(self._parse_additive())
+            kind, value, pos = self.tok.next()
+            if kind == "op" and value == ")":
+                return Call(func, tuple(args))
+            if not (kind == "op" and value == ","):
+                raise MathParseError(self.text, pos, "expected ',' or ')' in call")
+
+
+def parse(text: Union[str, Expr]) -> Expr:
+    """Parse an infix expression string into an :class:`Expr` tree.
+
+    Passing an :class:`Expr` returns it unchanged, which lets APIs accept
+    either form.
+    """
+    if isinstance(text, Expr):
+        return text
+    if not isinstance(text, str):
+        raise MathParseError(str(text), 0, "expression must be a string or Expr")
+    if not text.strip():
+        raise MathParseError(text, 0, "empty expression")
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Compilation to a fast callable
+# ---------------------------------------------------------------------------
+
+
+def compile_function(
+    expr: Union[str, Expr],
+    argument_names: Sequence[str],
+    constants: Mapping[str, float] | None = None,
+) -> Callable[..., float]:
+    """Compile ``expr`` into a Python function of ``argument_names``.
+
+    ``constants`` supplies values for symbols that are fixed (model
+    parameters); remaining symbols must appear in ``argument_names``.  The
+    generated function is used in the inner loop of the stochastic
+    simulators, where calling :meth:`Expr.evaluate` with a dict would be an
+    order of magnitude slower.
+    """
+    tree = parse(expr)
+    constants = dict(constants or {})
+    name_map: Dict[str, str] = {}
+    for i, arg in enumerate(argument_names):
+        name_map[arg] = f"_a{i}"
+    for sym in tree.symbols():
+        if sym in name_map:
+            continue
+        if sym in constants:
+            name_map[sym] = f"_c[{sym!r}]"
+        else:
+            raise PropensityError(
+                f"symbol {sym!r} is neither an argument nor a supplied constant"
+            )
+    body = tree.to_python(name_map)
+    arglist = ", ".join(f"_a{i}" for i in range(len(argument_names)))
+    source = f"def _compiled({arglist}):\n    return {body}\n"
+    namespace: Dict[str, object] = {"_c": constants}
+    for fname, (_, fn) in FUNCTIONS.items():
+        namespace[f"_fn_{fname}"] = fn
+    exec(source, namespace)  # noqa: S102 - source is generated from a validated AST
+    compiled = namespace["_compiled"]
+    compiled.__doc__ = f"compiled propensity: {tree.to_infix()}"
+    return compiled  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# MathML (subset) serialization
+# ---------------------------------------------------------------------------
+
+MATHML_NS = "http://www.w3.org/1998/Math/MathML"
+
+_MATHML_OPS = {"+": "plus", "-": "minus", "*": "times", "/": "divide", "^": "power"}
+_MATHML_OPS_INV = {v: k for k, v in _MATHML_OPS.items()}
+
+_MATHML_FUNCS = {
+    "exp": "exp",
+    "ln": "ln",
+    "log": "ln",
+    "log10": "log",
+    "sqrt": "root",
+    "abs": "abs",
+    "floor": "floor",
+    "ceil": "ceiling",
+    "min": "min",
+    "max": "max",
+    "pow": "power",
+}
+_MATHML_FUNCS_INV = {
+    "exp": "exp",
+    "ln": "ln",
+    "log": "log10",
+    "root": "sqrt",
+    "abs": "abs",
+    "floor": "floor",
+    "ceiling": "ceil",
+    "min": "min",
+    "max": "max",
+}
+
+
+def _mathml_node(expr: Expr, indent: str) -> str:
+    pad = indent
+    if isinstance(expr, Num):
+        return f"{pad}<cn> {expr.to_infix()} </cn>"
+    if isinstance(expr, Sym):
+        return f"{pad}<ci> {expr.name} </ci>"
+    if isinstance(expr, Neg):
+        inner = _mathml_node(expr.operand, indent + "  ")
+        return f"{pad}<apply>\n{pad}  <minus/>\n{inner}\n{pad}</apply>"
+    if isinstance(expr, BinOp):
+        op = _MATHML_OPS[expr.op]
+        left = _mathml_node(expr.left, indent + "  ")
+        right = _mathml_node(expr.right, indent + "  ")
+        return f"{pad}<apply>\n{pad}  <{op}/>\n{left}\n{right}\n{pad}</apply>"
+    if isinstance(expr, Call):
+        func = expr.func
+        if func in ("hill_act", "hill_rep", "piecewise"):
+            # Expand convenience functions into core MathML so any consumer
+            # of the emitted SBML can evaluate them.
+            return _mathml_node(_expand_convenience(expr), indent)
+        tag = _MATHML_FUNCS.get(func)
+        if tag is None:
+            raise PropensityError(f"function {func!r} has no MathML form")
+        args = "\n".join(_mathml_node(a, indent + "  ") for a in expr.args)
+        return f"{pad}<apply>\n{pad}  <{tag}/>\n{args}\n{pad}</apply>"
+    raise PropensityError(f"cannot serialize expression node {expr!r}")
+
+
+def _expand_convenience(expr: Call) -> Expr:
+    """Rewrite hill_act / hill_rep / piecewise into core arithmetic."""
+    if expr.func == "hill_act":
+        x, k, n = expr.args
+        xn = BinOp("^", x, n)
+        kn = BinOp("^", k, n)
+        return BinOp("/", xn, BinOp("+", kn, xn))
+    if expr.func == "hill_rep":
+        x, k, n = expr.args
+        xn = BinOp("^", x, n)
+        kn = BinOp("^", k, n)
+        return BinOp("/", kn, BinOp("+", kn, xn))
+    if expr.func == "piecewise":
+        raise PropensityError("piecewise cannot be serialized to the MathML subset")
+    return expr
+
+
+def to_mathml(expr: Union[str, Expr], indent: str = "  ") -> str:
+    """Serialize an expression to a ``<math>`` element (MathML subset)."""
+    tree = parse(expr)
+    body = _mathml_node(tree, indent + "  ")
+    return f'{indent}<math xmlns="{MATHML_NS}">\n{body}\n{indent}</math>'
+
+
+def from_mathml(element) -> Expr:
+    """Parse an ``xml.etree`` ``<math>`` (or inner ``apply``) element."""
+    tag = element.tag.split("}")[-1]
+    if tag == "math":
+        children = list(element)
+        if len(children) != 1:
+            raise MathParseError("<math>", 0, "expected exactly one child of <math>")
+        return from_mathml(children[0])
+    if tag == "cn":
+        return Num(float((element.text or "0").strip()))
+    if tag == "ci":
+        return Sym((element.text or "").strip())
+    if tag == "apply":
+        children = list(element)
+        if not children:
+            raise MathParseError("<apply>", 0, "empty <apply>")
+        op_tag = children[0].tag.split("}")[-1]
+        args = [from_mathml(child) for child in children[1:]]
+        if op_tag in _MATHML_OPS_INV:
+            op = _MATHML_OPS_INV[op_tag]
+            if op == "-" and len(args) == 1:
+                return Neg(args[0])
+            if op == "^":
+                return BinOp("^", args[0], args[1])
+            if len(args) < 2:
+                raise MathParseError("<apply>", 0, f"operator {op_tag} needs 2+ args")
+            node = args[0]
+            for arg in args[1:]:
+                node = BinOp(op, node, arg)
+            return node
+        if op_tag == "power":
+            return BinOp("^", args[0], args[1])
+        if op_tag in _MATHML_FUNCS_INV:
+            return Call(_MATHML_FUNCS_INV[op_tag], tuple(args))
+        raise MathParseError("<apply>", 0, f"unsupported MathML operator {op_tag!r}")
+    raise MathParseError(tag, 0, f"unsupported MathML element {tag!r}")

@@ -1,0 +1,473 @@
+"""In-memory representation of the SBML Level 3 (core subset) models.
+
+The paper drives its experiments from SBML models of genetic circuits: the
+model holds species (proteins, small molecules), global parameters,
+compartments (a single cell, usually) and reactions whose kinetic laws are
+arbitrary math expressions over species and parameters.  This module is the
+hub every other subsystem builds on:
+
+* :mod:`repro.sbol.converter` emits :class:`Model` objects,
+* :mod:`repro.gates.compose` builds :class:`Model` objects from gate netlists,
+* :mod:`repro.stochastic` compiles :class:`Model` objects into propensity
+  vectors and simulates them,
+* :mod:`repro.sbml.reader` / :mod:`repro.sbml.writer` round-trip
+  :class:`Model` objects through SBML XML.
+
+Only the subset of SBML needed for genetic logic circuits is represented, but
+that subset is honoured faithfully (identifiers, boundary conditions,
+reversibility flags, local kinetic-law parameters, modifier species).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..errors import DuplicateIdError, ModelError, UnknownIdError
+from .ast import Expr, parse
+
+__all__ = [
+    "Compartment",
+    "Species",
+    "Parameter",
+    "SpeciesReference",
+    "KineticLaw",
+    "Reaction",
+    "Model",
+    "is_valid_sid",
+]
+
+
+_SID_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def is_valid_sid(identifier: str) -> bool:
+    """Return True if ``identifier`` is a valid SBML SId.
+
+    SBML SIds match ``[A-Za-z_][A-Za-z0-9_]*``.
+    """
+    if not identifier:
+        return False
+    if identifier[0].isdigit():
+        return False
+    return all(ch in _SID_CHARS for ch in identifier)
+
+
+def _check_sid(kind: str, identifier: str) -> str:
+    if not is_valid_sid(identifier):
+        raise ModelError(f"{kind} id {identifier!r} is not a valid SBML SId")
+    return identifier
+
+
+@dataclass
+class Compartment:
+    """A compartment (volume) species live in.  Genetic circuits use one cell."""
+
+    sid: str
+    name: str = ""
+    size: float = 1.0
+    constant: bool = True
+
+    def __post_init__(self) -> None:
+        _check_sid("compartment", self.sid)
+        if self.size <= 0:
+            raise ModelError(f"compartment {self.sid!r} must have positive size")
+
+
+@dataclass
+class Species:
+    """A molecular species (input protein, output protein, repressor, ...).
+
+    ``initial_amount`` is a molecule count (the paper works in molecules, not
+    concentrations).  ``boundary_condition=True`` marks species whose amount
+    is controlled externally — the virtual laboratory clamps input species by
+    setting this flag so reactions never consume them.
+    """
+
+    sid: str
+    name: str = ""
+    compartment: str = "cell"
+    initial_amount: float = 0.0
+    boundary_condition: bool = False
+    constant: bool = False
+    has_only_substance_units: bool = True
+
+    def __post_init__(self) -> None:
+        _check_sid("species", self.sid)
+        if not self.name:
+            self.name = self.sid
+        if self.initial_amount < 0:
+            raise ModelError(f"species {self.sid!r} has negative initial amount")
+
+
+@dataclass
+class Parameter:
+    """A named constant (rate constant, Hill coefficient, threshold K, ...)."""
+
+    sid: str
+    value: float
+    name: str = ""
+    constant: bool = True
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        _check_sid("parameter", self.sid)
+        if not self.name:
+            self.name = self.sid
+
+
+@dataclass
+class SpeciesReference:
+    """A (species, stoichiometry) pair inside a reaction."""
+
+    species: str
+    stoichiometry: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_sid("species reference", self.species)
+        if self.stoichiometry <= 0:
+            raise ModelError(
+                f"stoichiometry for {self.species!r} must be positive "
+                f"(got {self.stoichiometry})"
+            )
+
+
+@dataclass
+class KineticLaw:
+    """The rate law of a reaction.
+
+    ``math`` is an :class:`repro.sbml.ast.Expr`; ``local_parameters`` shadow
+    global parameters of the same id, exactly as in SBML.
+    """
+
+    math: Expr
+    local_parameters: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.math = parse(self.math)
+        self.local_parameters = dict(self.local_parameters)
+
+    def symbols(self) -> List[str]:
+        """Symbols referenced by the law that are not local parameters."""
+        return [s for s in self.math.symbols() if s not in self.local_parameters]
+
+
+@dataclass
+class Reaction:
+    """A reaction with reactants, products, modifiers and a kinetic law.
+
+    Genetic gate models are built almost exclusively from two templates:
+
+    * regulated production: ``∅ -> protein`` with a Hill-type law that has the
+      regulators as *modifiers*,
+    * first-order degradation: ``protein -> ∅`` with law ``kd * protein``.
+    """
+
+    sid: str
+    reactants: List[SpeciesReference] = field(default_factory=list)
+    products: List[SpeciesReference] = field(default_factory=list)
+    modifiers: List[str] = field(default_factory=list)
+    kinetic_law: Optional[KineticLaw] = None
+    reversible: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_sid("reaction", self.sid)
+        if not self.name:
+            self.name = self.sid
+        self.reactants = [
+            r if isinstance(r, SpeciesReference) else SpeciesReference(*r)
+            for r in self.reactants
+        ]
+        self.products = [
+            p if isinstance(p, SpeciesReference) else SpeciesReference(*p)
+            for p in self.products
+        ]
+        self.modifiers = list(self.modifiers)
+
+    def species_ids(self) -> List[str]:
+        """All species touched by the reaction (reactants, products, modifiers)."""
+        ids: List[str] = []
+        for ref in self.reactants:
+            ids.append(ref.species)
+        for ref in self.products:
+            ids.append(ref.species)
+        ids.extend(self.modifiers)
+        return ids
+
+    def net_stoichiometry(self) -> Dict[str, float]:
+        """Net change of each species when the reaction fires once."""
+        delta: Dict[str, float] = {}
+        for ref in self.reactants:
+            delta[ref.species] = delta.get(ref.species, 0.0) - ref.stoichiometry
+        for ref in self.products:
+            delta[ref.species] = delta.get(ref.species, 0.0) + ref.stoichiometry
+        return {sid: value for sid, value in delta.items() if value != 0.0}
+
+
+class Model:
+    """An SBML-like model: compartments, species, parameters and reactions.
+
+    The class enforces referential integrity eagerly: adding a reaction whose
+    species or kinetic-law symbols are unknown raises immediately, which keeps
+    downstream simulation errors close to their cause.
+    """
+
+    def __init__(self, sid: str = "model", name: str = ""):
+        _check_sid("model", sid)
+        self.sid = sid
+        self.name = name or sid
+        self.compartments: Dict[str, Compartment] = {}
+        self.species: Dict[str, Species] = {}
+        self.parameters: Dict[str, Parameter] = {}
+        self.reactions: Dict[str, Reaction] = {}
+        self.notes: str = ""
+
+    # -- construction -------------------------------------------------------
+    def add_compartment(
+        self, sid: str = "cell", size: float = 1.0, name: str = ""
+    ) -> Compartment:
+        if sid in self.compartments:
+            raise DuplicateIdError("compartment", sid)
+        compartment = Compartment(sid=sid, size=size, name=name or sid)
+        self.compartments[sid] = compartment
+        return compartment
+
+    def add_species(
+        self,
+        sid: str,
+        initial_amount: float = 0.0,
+        compartment: str = "cell",
+        boundary_condition: bool = False,
+        constant: bool = False,
+        name: str = "",
+    ) -> Species:
+        if sid in self.species:
+            raise DuplicateIdError("species", sid)
+        if compartment not in self.compartments:
+            if compartment == "cell" and not self.compartments:
+                self.add_compartment("cell")
+            else:
+                raise UnknownIdError("compartment", compartment)
+        species = Species(
+            sid=sid,
+            initial_amount=initial_amount,
+            compartment=compartment,
+            boundary_condition=boundary_condition,
+            constant=constant,
+            name=name,
+        )
+        self.species[sid] = species
+        return species
+
+    def add_parameter(self, sid: str, value: float, name: str = "") -> Parameter:
+        if sid in self.parameters:
+            raise DuplicateIdError("parameter", sid)
+        parameter = Parameter(sid=sid, value=value, name=name)
+        self.parameters[sid] = parameter
+        return parameter
+
+    def add_reaction(
+        self,
+        sid: str,
+        reactants: Sequence[Union[SpeciesReference, tuple]] = (),
+        products: Sequence[Union[SpeciesReference, tuple]] = (),
+        modifiers: Sequence[str] = (),
+        kinetic_law: Union[KineticLaw, Expr, str, None] = None,
+        reversible: bool = False,
+        name: str = "",
+        local_parameters: Optional[Mapping[str, float]] = None,
+    ) -> Reaction:
+        if sid in self.reactions:
+            raise DuplicateIdError("reaction", sid)
+        if kinetic_law is not None and not isinstance(kinetic_law, KineticLaw):
+            kinetic_law = KineticLaw(parse(kinetic_law), dict(local_parameters or {}))
+        reaction = Reaction(
+            sid=sid,
+            reactants=list(reactants),
+            products=list(products),
+            modifiers=list(modifiers),
+            kinetic_law=kinetic_law,
+            reversible=reversible,
+            name=name,
+        )
+        self._check_reaction_references(reaction)
+        self.reactions[sid] = reaction
+        return reaction
+
+    def _check_reaction_references(self, reaction: Reaction) -> None:
+        for sid in reaction.species_ids():
+            if sid not in self.species:
+                raise UnknownIdError("species", sid)
+        if reaction.kinetic_law is not None:
+            for symbol in reaction.kinetic_law.symbols():
+                if symbol == "time":
+                    continue
+                if (
+                    symbol not in self.species
+                    and symbol not in self.parameters
+                    and symbol not in self.compartments
+                ):
+                    raise UnknownIdError("kinetic-law symbol", symbol)
+
+    # -- queries -------------------------------------------------------------
+    def species_ids(self) -> List[str]:
+        """Species identifiers in insertion order."""
+        return list(self.species.keys())
+
+    def reaction_ids(self) -> List[str]:
+        return list(self.reactions.keys())
+
+    def parameter_values(self) -> Dict[str, float]:
+        """Global parameter values plus compartment sizes, keyed by id."""
+        env = {sid: p.value for sid, p in self.parameters.items()}
+        env.update({sid: c.size for sid, c in self.compartments.items()})
+        return env
+
+    def initial_state(self) -> Dict[str, float]:
+        """Initial molecule counts keyed by species id."""
+        return {sid: s.initial_amount for sid, s in self.species.items()}
+
+    def boundary_species(self) -> List[str]:
+        """Species whose amounts are controlled externally (circuit inputs)."""
+        return [sid for sid, s in self.species.items() if s.boundary_condition or s.constant]
+
+    def get_species(self, sid: str) -> Species:
+        try:
+            return self.species[sid]
+        except KeyError:
+            raise UnknownIdError("species", sid) from None
+
+    def get_reaction(self, sid: str) -> Reaction:
+        try:
+            return self.reactions[sid]
+        except KeyError:
+            raise UnknownIdError("reaction", sid) from None
+
+    def get_parameter(self, sid: str) -> Parameter:
+        try:
+            return self.parameters[sid]
+        except KeyError:
+            raise UnknownIdError("parameter", sid) from None
+
+    def set_initial_amount(self, sid: str, amount: float) -> None:
+        """Set the initial molecule count of a species."""
+        species = self.get_species(sid)
+        if amount < 0:
+            raise ModelError(f"cannot set negative amount for {sid!r}")
+        species.initial_amount = amount
+
+    def __iter__(self) -> Iterator[Reaction]:
+        return iter(self.reactions.values())
+
+    def __len__(self) -> int:
+        return len(self.reactions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Model({self.sid!r}, species={len(self.species)}, "
+            f"reactions={len(self.reactions)}, parameters={len(self.parameters)})"
+        )
+
+    # -- manipulation --------------------------------------------------------
+    def copy(self, sid: Optional[str] = None) -> "Model":
+        """Deep-copy the model (cheap; models are small)."""
+        clone = Model(sid or self.sid, self.name)
+        clone.notes = self.notes
+        for compartment in self.compartments.values():
+            clone.add_compartment(compartment.sid, compartment.size, compartment.name)
+        for species in self.species.values():
+            clone.add_species(
+                species.sid,
+                initial_amount=species.initial_amount,
+                compartment=species.compartment,
+                boundary_condition=species.boundary_condition,
+                constant=species.constant,
+                name=species.name,
+            )
+        for parameter in self.parameters.values():
+            clone.add_parameter(parameter.sid, parameter.value, parameter.name)
+        for reaction in self.reactions.values():
+            clone.add_reaction(
+                reaction.sid,
+                reactants=[
+                    SpeciesReference(r.species, r.stoichiometry)
+                    for r in reaction.reactants
+                ],
+                products=[
+                    SpeciesReference(p.species, p.stoichiometry)
+                    for p in reaction.products
+                ],
+                modifiers=list(reaction.modifiers),
+                kinetic_law=(
+                    KineticLaw(
+                        reaction.kinetic_law.math,
+                        dict(reaction.kinetic_law.local_parameters),
+                    )
+                    if reaction.kinetic_law is not None
+                    else None
+                ),
+                reversible=reaction.reversible,
+                name=reaction.name,
+            )
+        return clone
+
+    def merge(self, other: "Model", prefix: str = "") -> None:
+        """Merge ``other`` into this model, optionally prefixing its ids.
+
+        Species that already exist (same id) are shared — this is how gate
+        sub-models are wired together: the output species of one gate is the
+        input species of the next.
+        """
+        rename = {}
+        for sid in list(other.species) + list(other.parameters) + list(other.reactions):
+            rename[sid] = f"{prefix}{sid}" if prefix else sid
+
+        for compartment in other.compartments.values():
+            if compartment.sid not in self.compartments:
+                self.add_compartment(compartment.sid, compartment.size, compartment.name)
+        for species in other.species.values():
+            new_id = rename[species.sid]
+            if new_id not in self.species:
+                self.add_species(
+                    new_id,
+                    initial_amount=species.initial_amount,
+                    compartment=species.compartment,
+                    boundary_condition=species.boundary_condition,
+                    constant=species.constant,
+                    name=species.name,
+                )
+        for parameter in other.parameters.values():
+            new_id = rename[parameter.sid]
+            if new_id not in self.parameters:
+                self.add_parameter(new_id, parameter.value, parameter.name)
+        for reaction in other.reactions.values():
+            new_id = rename[reaction.sid]
+            if new_id in self.reactions:
+                raise DuplicateIdError("reaction", new_id)
+            bindings = {}
+            if prefix:
+                from .ast import Sym
+
+                bindings = {old: Sym(new) for old, new in rename.items()}
+            law = None
+            if reaction.kinetic_law is not None:
+                math = reaction.kinetic_law.math
+                if bindings:
+                    math = math.substitute(bindings)
+                law = KineticLaw(math, dict(reaction.kinetic_law.local_parameters))
+            self.add_reaction(
+                new_id,
+                reactants=[
+                    SpeciesReference(rename[r.species], r.stoichiometry)
+                    for r in reaction.reactants
+                ],
+                products=[
+                    SpeciesReference(rename[p.species], p.stoichiometry)
+                    for p in reaction.products
+                ],
+                modifiers=[rename[m] for m in reaction.modifiers],
+                kinetic_law=law,
+                reversible=reaction.reversible,
+                name=reaction.name,
+            )

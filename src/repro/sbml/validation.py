@@ -1,0 +1,117 @@
+"""Structural validation of :class:`repro.sbml.Model` objects.
+
+The checks mirror the consistency rules a genetic-circuit simulator relies
+on: every reference resolves, kinetic laws only mention known symbols,
+species that are produced are also degraded (otherwise counts grow without
+bound and the stochastic traces never settle into logic levels), and boundary
+(input) species are not produced by the circuit itself.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ValidationError
+from .model import Model
+
+__all__ = ["validate_model", "check_model"]
+
+
+def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
+    """Return a list of human-readable problems found in ``model``.
+
+    An empty list means the model passed every check.  ``require_degradation``
+    enables the (genetic-circuit specific) check that every produced,
+    non-boundary species also appears as a reactant of some reaction.
+    """
+    problems: List[str] = []
+
+    if not model.compartments:
+        problems.append("model has no compartment")
+    if not model.species:
+        problems.append("model has no species")
+    if not model.reactions:
+        problems.append("model has no reactions")
+
+    for species in model.species.values():
+        if species.compartment not in model.compartments:
+            problems.append(
+                f"species {species.sid!r} references unknown compartment "
+                f"{species.compartment!r}"
+            )
+
+    produced: set = set()
+    consumed: set = set()
+    for reaction in model.reactions.values():
+        for ref in reaction.reactants + reaction.products:
+            if ref.species not in model.species:
+                problems.append(
+                    f"reaction {reaction.sid!r} references unknown species "
+                    f"{ref.species!r}"
+                )
+        for sid in reaction.modifiers:
+            if sid not in model.species:
+                problems.append(
+                    f"reaction {reaction.sid!r} has unknown modifier {sid!r}"
+                )
+        for ref in reaction.products:
+            produced.add(ref.species)
+        for ref in reaction.reactants:
+            consumed.add(ref.species)
+
+        if reaction.kinetic_law is None:
+            problems.append(f"reaction {reaction.sid!r} has no kinetic law")
+            continue
+        for symbol in reaction.kinetic_law.symbols():
+            if symbol == "time":
+                continue
+            if (
+                symbol not in model.species
+                and symbol not in model.parameters
+                and symbol not in model.compartments
+            ):
+                problems.append(
+                    f"kinetic law of reaction {reaction.sid!r} references unknown "
+                    f"symbol {symbol!r}"
+                )
+        # A kinetic law that never mentions the reactants nor modifiers is
+        # suspicious for anything except a constitutive (zeroth-order)
+        # production reaction.
+        law_symbols = set(reaction.kinetic_law.symbols())
+        touched = {ref.species for ref in reaction.reactants} | set(reaction.modifiers)
+        if reaction.reactants and not (law_symbols & touched):
+            problems.append(
+                f"kinetic law of reaction {reaction.sid!r} does not depend on any "
+                "of its reactants or modifiers"
+            )
+
+    if require_degradation:
+        for sid in sorted(produced):
+            species = model.species[sid]
+            if species.boundary_condition or species.constant:
+                continue
+            if sid not in consumed:
+                problems.append(
+                    f"species {sid!r} is produced but never degraded/consumed; "
+                    "its count will grow without bound"
+                )
+
+    for sid in model.boundary_species():
+        if sid in produced:
+            problems.append(
+                f"boundary (input) species {sid!r} is also produced by a reaction"
+            )
+
+    # Parameter sanity: negative rate constants are almost always a typo.
+    for parameter in model.parameters.values():
+        if parameter.value < 0:
+            problems.append(f"parameter {parameter.sid!r} has a negative value")
+
+    return problems
+
+
+def check_model(model: Model, require_degradation: bool = True) -> None:
+    """Raise :class:`ValidationError` if :func:`validate_model` finds problems."""
+    problems = validate_model(model, require_degradation=require_degradation)
+    if problems:
+        raise ValidationError(problems)

@@ -1,0 +1,160 @@
+"""Serialize :class:`repro.sbml.Model` objects to SBML Level 3 Version 1 XML.
+
+Only the core subset used by genetic logic circuits is emitted (compartments,
+species, parameters, reactions with kinetic laws expressed in MathML).  The
+output round-trips through :mod:`repro.sbml.reader` and is close enough to
+standard SBML that external tools accepting Level 3 core can read the models.
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.sax.saxutils import escape, quoteattr
+
+from .ast import to_mathml
+from .model import Model, Reaction
+
+__all__ = ["write_sbml_string", "write_sbml_file", "SBML_NS"]
+
+SBML_NS = "http://www.sbml.org/sbml/level3/version1/core"
+
+
+def _bool(value: bool) -> str:
+    return "true" if value else "false"
+
+
+def _species_lines(model: Model) -> List[str]:
+    lines = ["    <listOfSpecies>"]
+    for species in model.species.values():
+        lines.append(
+            "      <species id={id} name={name} compartment={comp} "
+            "initialAmount={amount} hasOnlySubstanceUnits={hosu} "
+            "boundaryCondition={boundary} constant={constant}/>".format(
+                id=quoteattr(species.sid),
+                name=quoteattr(species.name),
+                comp=quoteattr(species.compartment),
+                amount=quoteattr(repr(float(species.initial_amount))),
+                hosu=quoteattr(_bool(species.has_only_substance_units)),
+                boundary=quoteattr(_bool(species.boundary_condition)),
+                constant=quoteattr(_bool(species.constant)),
+            )
+        )
+    lines.append("    </listOfSpecies>")
+    return lines
+
+
+def _compartment_lines(model: Model) -> List[str]:
+    lines = ["    <listOfCompartments>"]
+    for compartment in model.compartments.values():
+        lines.append(
+            "      <compartment id={id} name={name} size={size} constant={constant}/>".format(
+                id=quoteattr(compartment.sid),
+                name=quoteattr(compartment.name),
+                size=quoteattr(repr(float(compartment.size))),
+                constant=quoteattr(_bool(compartment.constant)),
+            )
+        )
+    lines.append("    </listOfCompartments>")
+    return lines
+
+
+def _parameter_lines(model: Model) -> List[str]:
+    if not model.parameters:
+        return []
+    lines = ["    <listOfParameters>"]
+    for parameter in model.parameters.values():
+        lines.append(
+            "      <parameter id={id} name={name} value={value} constant={constant}/>".format(
+                id=quoteattr(parameter.sid),
+                name=quoteattr(parameter.name),
+                value=quoteattr(repr(float(parameter.value))),
+                constant=quoteattr(_bool(parameter.constant)),
+            )
+        )
+    lines.append("    </listOfParameters>")
+    return lines
+
+
+def _reaction_lines(reaction: Reaction) -> List[str]:
+    lines = [
+        "      <reaction id={id} name={name} reversible={rev}>".format(
+            id=quoteattr(reaction.sid),
+            name=quoteattr(reaction.name),
+            rev=quoteattr(_bool(reaction.reversible)),
+        )
+    ]
+    if reaction.reactants:
+        lines.append("        <listOfReactants>")
+        for ref in reaction.reactants:
+            lines.append(
+                "          <speciesReference species={sp} stoichiometry={st} constant=\"true\"/>".format(
+                    sp=quoteattr(ref.species), st=quoteattr(repr(float(ref.stoichiometry)))
+                )
+            )
+        lines.append("        </listOfReactants>")
+    if reaction.products:
+        lines.append("        <listOfProducts>")
+        for ref in reaction.products:
+            lines.append(
+                "          <speciesReference species={sp} stoichiometry={st} constant=\"true\"/>".format(
+                    sp=quoteattr(ref.species), st=quoteattr(repr(float(ref.stoichiometry)))
+                )
+            )
+        lines.append("        </listOfProducts>")
+    if reaction.modifiers:
+        lines.append("        <listOfModifiers>")
+        for sid in reaction.modifiers:
+            lines.append(
+                f"          <modifierSpeciesReference species={quoteattr(sid)}/>"
+            )
+        lines.append("        </listOfModifiers>")
+    if reaction.kinetic_law is not None:
+        lines.append("        <kineticLaw>")
+        lines.append(to_mathml(reaction.kinetic_law.math, indent="          "))
+        if reaction.kinetic_law.local_parameters:
+            lines.append("          <listOfLocalParameters>")
+            for sid, value in reaction.kinetic_law.local_parameters.items():
+                lines.append(
+                    "            <localParameter id={id} value={value}/>".format(
+                        id=quoteattr(sid), value=quoteattr(repr(float(value)))
+                    )
+                )
+            lines.append("          </listOfLocalParameters>")
+        lines.append("        </kineticLaw>")
+    lines.append("      </reaction>")
+    return lines
+
+
+def write_sbml_string(model: Model) -> str:
+    """Render ``model`` as an SBML Level 3 Version 1 XML string."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<sbml xmlns="{SBML_NS}" level="3" version="1">',
+        f"  <model id={quoteattr(model.sid)} name={quoteattr(model.name)}>",
+    ]
+    if model.notes:
+        lines.append("    <notes>")
+        lines.append(
+            '      <body xmlns="http://www.w3.org/1999/xhtml"><p>'
+            + escape(model.notes)
+            + "</p></body>"
+        )
+        lines.append("    </notes>")
+    lines.extend(_compartment_lines(model))
+    lines.extend(_species_lines(model))
+    lines.extend(_parameter_lines(model))
+    if model.reactions:
+        lines.append("    <listOfReactions>")
+        for reaction in model.reactions.values():
+            lines.extend(_reaction_lines(reaction))
+        lines.append("    </listOfReactions>")
+    lines.append("  </model>")
+    lines.append("</sbml>")
+    return "\n".join(lines) + "\n"
+
+
+def write_sbml_file(model: Model, path) -> None:
+    """Write ``model`` to ``path`` as SBML XML."""
+    text = write_sbml_string(model)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,49 @@
+"""SBOL-like structural designs and the SBOL→SBML converter.
+
+Mirrors the paper's tool flow: Cello emits SBOL (structure only); the
+SBOL→SBML converter adds kinetics so the circuit can be simulated.
+"""
+
+from .converter import ConversionParameters, sbol_to_sbml
+from .document import Interaction, Participation, SBOLDocument, TranscriptionalUnit
+from .serialize import (
+    read_sbol_file,
+    read_sbol_string,
+    write_sbol_file,
+    write_sbol_string,
+)
+from .parts import (
+    ComponentDefinition,
+    InteractionType,
+    ParticipationRole,
+    Role,
+    cds,
+    promoter,
+    protein,
+    rbs,
+    small_molecule,
+    terminator,
+)
+
+__all__ = [
+    "Role",
+    "InteractionType",
+    "ParticipationRole",
+    "ComponentDefinition",
+    "promoter",
+    "rbs",
+    "cds",
+    "terminator",
+    "protein",
+    "small_molecule",
+    "Participation",
+    "Interaction",
+    "TranscriptionalUnit",
+    "SBOLDocument",
+    "ConversionParameters",
+    "sbol_to_sbml",
+    "write_sbol_string",
+    "write_sbol_file",
+    "read_sbol_string",
+    "read_sbol_file",
+]

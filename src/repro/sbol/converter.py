@@ -1,0 +1,249 @@
+"""SBOL → SBML conversion (the Roehner et al. 2015 step of the paper's flow).
+
+Cello emits structural SBOL; the paper converts it to behavioural SBML before
+simulating in D-VASim.  This converter performs the same job for our SBOL
+subset:
+
+* every transcriptional unit contributes one *regulated production* reaction
+  per coded protein, whose rate sums the activity of the unit's (possibly
+  tandem) promoters,
+* each promoter's activity is its maximal strength multiplied by a Hill
+  repression factor per repressor and a Hill activation factor per activator,
+* every produced protein gets a first-order degradation/dilution reaction,
+* species that regulate promoters but are never produced become boundary
+  (input) species that the virtual laboratory clamps.
+
+The kinetic constants come from :class:`ConversionParameters`; individual
+promoters and proteins can override them through their ``properties`` dict
+(keys ``strength``, ``K``, ``n``, ``degradation``), which is how the gate
+parts library injects per-repressor response functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConversionError
+from ..sbml.model import Model
+from .document import SBOLDocument
+from .parts import Role
+
+__all__ = ["ConversionParameters", "sbol_to_sbml"]
+
+
+@dataclass
+class ConversionParameters:
+    """Default kinetic constants used when a part does not override them.
+
+    Attributes
+    ----------
+    promoter_strength:
+        Maximal production rate of a fully active promoter (molecules per
+        time unit).
+    repression_coefficient:
+        Hill K of repression — the repressor amount at which a promoter is at
+        half activity.
+    hill_coefficient:
+        Hill cooperativity n for both repression and activation.
+    degradation_rate:
+        First-order degradation/dilution rate of produced proteins.
+    leak_fraction:
+        Fraction of ``promoter_strength`` produced even when the promoter is
+        fully repressed (transcriptional leakage).
+    """
+
+    promoter_strength: float = 4.0
+    repression_coefficient: float = 10.0
+    hill_coefficient: float = 2.5
+    degradation_rate: float = 0.1
+    leak_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.promoter_strength <= 0:
+            raise ConversionError("promoter_strength must be positive")
+        if self.repression_coefficient <= 0:
+            raise ConversionError("repression_coefficient must be positive")
+        if self.hill_coefficient <= 0:
+            raise ConversionError("hill_coefficient must be positive")
+        if self.degradation_rate <= 0:
+            raise ConversionError("degradation_rate must be positive")
+        if not 0 <= self.leak_fraction < 1:
+            raise ConversionError("leak_fraction must be in [0, 1)")
+
+
+def _promoter_activity_expression(
+    document: SBOLDocument,
+    promoter_id: str,
+    parameters: ConversionParameters,
+    parameter_prefix: str,
+    model: Model,
+) -> str:
+    """Infix expression for the activity (rate contribution) of one promoter."""
+    promoter = document.components[promoter_id]
+    strength = float(promoter.properties.get("strength", parameters.promoter_strength))
+    leak = float(promoter.properties.get("leak", parameters.leak_fraction))
+    hill_n = float(promoter.properties.get("n", parameters.hill_coefficient))
+    hill_k = float(promoter.properties.get("K", parameters.repression_coefficient))
+
+    strength_id = f"{parameter_prefix}_kmax"
+    model.add_parameter(strength_id, strength, name=f"max strength of {promoter_id}")
+    factors: List[str] = []
+
+    repressors = document.repressors_of(promoter_id)
+    activators = document.activators_of(promoter_id)
+    for index, repressor in enumerate(repressors):
+        k_id = f"{parameter_prefix}_K{index}"
+        n_id = f"{parameter_prefix}_n{index}"
+        rep_component = document.components[repressor]
+        model.add_parameter(
+            k_id, float(rep_component.properties.get("K", hill_k)),
+            name=f"repression K of {repressor} on {promoter_id}",
+        )
+        model.add_parameter(
+            n_id, float(rep_component.properties.get("n", hill_n)),
+            name=f"Hill n of {repressor} on {promoter_id}",
+        )
+        factors.append(f"hill_rep({repressor}, {k_id}, {n_id})")
+    for index, activator in enumerate(activators):
+        k_id = f"{parameter_prefix}_KA{index}"
+        n_id = f"{parameter_prefix}_nA{index}"
+        act_component = document.components[activator]
+        model.add_parameter(
+            k_id, float(act_component.properties.get("K", hill_k)),
+            name=f"activation K of {activator} on {promoter_id}",
+        )
+        model.add_parameter(
+            n_id, float(act_component.properties.get("n", hill_n)),
+            name=f"Hill n of {activator} on {promoter_id}",
+        )
+        factors.append(f"hill_act({activator}, {k_id}, {n_id})")
+
+    if not factors:
+        # Constitutive promoter: always at full strength.
+        return strength_id
+
+    regulated = f"{strength_id} * " + " * ".join(factors)
+    if leak > 0:
+        leak_id = f"{parameter_prefix}_leak"
+        model.add_parameter(leak_id, leak * strength, name=f"leak of {promoter_id}")
+        return f"({regulated} + {leak_id})"
+    return f"({regulated})"
+
+
+def sbol_to_sbml(
+    document: SBOLDocument,
+    parameters: Optional[ConversionParameters] = None,
+    model_id: Optional[str] = None,
+    input_amounts: Optional[Dict[str, float]] = None,
+) -> Model:
+    """Convert an SBOL design into a behavioural SBML :class:`Model`.
+
+    Parameters
+    ----------
+    document:
+        The structural design to convert.
+    parameters:
+        Default kinetic constants (see :class:`ConversionParameters`).
+    model_id:
+        Identifier for the generated model (defaults to the document id).
+    input_amounts:
+        Optional initial amounts for the circuit's input species; they default
+        to zero and are always marked as boundary species.
+    """
+    parameters = parameters or ConversionParameters()
+    problems = document.validate()
+    if problems:
+        raise ConversionError(
+            "cannot convert an invalid SBOL document:\n"
+            + "\n".join(f"  - {p}" for p in problems)
+        )
+
+    model = Model(model_id or document.display_id, name=document.name)
+    model.add_compartment("cell")
+    model.notes = (
+        f"Generated from SBOL design {document.display_id!r} by repro.sbol.converter."
+    )
+
+    produced = document.produced_species()
+    inputs = document.input_species()
+    input_amounts = dict(input_amounts or {})
+
+    # Input species first (boundary condition: the virtual lab clamps them).
+    for sid in inputs:
+        model.add_species(
+            sid,
+            initial_amount=float(input_amounts.get(sid, 0.0)),
+            boundary_condition=True,
+            name=document.components[sid].name,
+        )
+    # Produced species.
+    for sid in produced:
+        if sid in model.species:
+            raise ConversionError(f"species {sid!r} is both an input and produced")
+        model.add_species(sid, initial_amount=0.0, name=document.components[sid].name)
+    # Species that participate but neither regulate nor are produced (rare).
+    for component in document.components.values():
+        if component.is_species and component.display_id not in model.species:
+            model.add_species(
+                component.display_id,
+                initial_amount=float(input_amounts.get(component.display_id, 0.0)),
+                boundary_condition=True,
+                name=component.name,
+            )
+
+    # One production reaction per (unit, coded protein).
+    for unit in document.units.values():
+        promoters = [p for p in unit.parts if document.components[p].role == Role.PROMOTER]
+        cds_list = [p for p in unit.parts if document.components[p].role == Role.CDS]
+        if not promoters or not cds_list:
+            raise ConversionError(
+                f"unit {unit.display_id!r} lacks a promoter or coding sequence"
+            )
+        for cds_id in cds_list:
+            product = document.product_of_cds(cds_id)
+            if product is None:
+                raise ConversionError(
+                    f"coding sequence {cds_id!r} has no declared protein product"
+                )
+            terms = []
+            for p_index, promoter_id in enumerate(promoters):
+                prefix = f"{unit.display_id}_{cds_id}_p{p_index}"
+                terms.append(
+                    _promoter_activity_expression(
+                        document, promoter_id, parameters, prefix, model
+                    )
+                )
+            rate = " + ".join(terms)
+            model.add_reaction(
+                f"production_{unit.display_id}_{product}",
+                reactants=[],
+                products=[(product, 1.0)],
+                modifiers=[
+                    s
+                    for promoter_id in promoters
+                    for s in (
+                        document.repressors_of(promoter_id)
+                        + document.activators_of(promoter_id)
+                    )
+                    if s in model.species
+                ],
+                kinetic_law=rate,
+                name=f"production of {product} from {unit.display_id}",
+            )
+
+    # First-order degradation for every produced protein.
+    for sid in produced:
+        component = document.components[sid]
+        rate_value = float(component.properties.get("degradation", parameters.degradation_rate))
+        rate_id = f"kd_{sid}"
+        model.add_parameter(rate_id, rate_value, name=f"degradation rate of {sid}")
+        model.add_reaction(
+            f"degradation_{sid}",
+            reactants=[(sid, 1.0)],
+            products=[],
+            kinetic_law=f"{rate_id} * {sid}",
+            name=f"degradation of {sid}",
+        )
+
+    return model

@@ -1,0 +1,293 @@
+"""SBOL-like design documents: transcriptional units and interactions.
+
+A :class:`SBOLDocument` captures what Cello emits for a genetic circuit: the
+DNA parts, the proteins, how the parts are grouped into transcriptional units
+(promoters → RBS → CDS → terminator) and the regulatory interactions between
+proteins and promoters.  It deliberately stores *no kinetics* — that is the
+job of the SBOL→SBML converter, matching the paper's observation that "unlike
+SBML, the SBOL representation does not describe the behavior of a biological
+model".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DuplicateIdError, ModelError, UnknownIdError
+from .parts import ComponentDefinition, InteractionType, ParticipationRole, Role
+
+__all__ = ["Participation", "Interaction", "TranscriptionalUnit", "SBOLDocument"]
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One participant of an interaction: a component playing a role."""
+
+    role: str
+    participant: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ParticipationRole.ALL:
+            raise ModelError(f"unknown participation role {self.role!r}")
+
+
+@dataclass
+class Interaction:
+    """A regulatory or production interaction between components."""
+
+    display_id: str
+    interaction_type: str
+    participations: List[Participation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interaction_type not in InteractionType.ALL:
+            raise ModelError(
+                f"interaction {self.display_id!r} has unknown type "
+                f"{self.interaction_type!r}"
+            )
+        self.participations = list(self.participations)
+
+    def participants_with_role(self, role: str) -> List[str]:
+        """Display ids of every participant playing ``role``."""
+        return [p.participant for p in self.participations if p.role == role]
+
+
+@dataclass
+class TranscriptionalUnit:
+    """An ordered run of DNA parts transcribed together.
+
+    ``parts`` lists component display ids 5'→3'.  A unit may carry several
+    promoters in tandem (the structure used by Cello NOR gates and by the
+    genetic AND gate of the paper's Figure 1, where P1 and P2 both drive CI).
+    """
+
+    display_id: str
+    parts: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ModelError(f"transcriptional unit {self.display_id!r} has no parts")
+        self.parts = list(self.parts)
+
+
+class SBOLDocument:
+    """A complete structural description of a genetic circuit."""
+
+    def __init__(self, display_id: str = "design", name: str = ""):
+        self.display_id = display_id
+        self.name = name or display_id
+        self.components: Dict[str, ComponentDefinition] = {}
+        self.units: Dict[str, TranscriptionalUnit] = {}
+        self.interactions: Dict[str, Interaction] = {}
+
+    # -- construction ---------------------------------------------------------
+    def add_component(self, component: ComponentDefinition) -> ComponentDefinition:
+        if component.display_id in self.components:
+            raise DuplicateIdError("component", component.display_id)
+        self.components[component.display_id] = component
+        return component
+
+    def add_components(self, components: Iterable[ComponentDefinition]) -> None:
+        for component in components:
+            self.add_component(component)
+
+    def ensure_component(self, component: ComponentDefinition) -> ComponentDefinition:
+        """Add the component unless one with the same id already exists."""
+        existing = self.components.get(component.display_id)
+        if existing is not None:
+            if existing.role != component.role:
+                raise ModelError(
+                    f"component {component.display_id!r} already exists with role "
+                    f"{existing.role!r}, cannot redefine as {component.role!r}"
+                )
+            return existing
+        return self.add_component(component)
+
+    def add_unit(self, display_id: str, parts: Sequence[str]) -> TranscriptionalUnit:
+        if display_id in self.units:
+            raise DuplicateIdError("transcriptional unit", display_id)
+        for part in parts:
+            component = self._get(part)
+            if not component.is_dna:
+                raise ModelError(
+                    f"transcriptional unit {display_id!r} includes {part!r}, "
+                    f"which is not a DNA part"
+                )
+        unit = TranscriptionalUnit(display_id, list(parts))
+        self.units[display_id] = unit
+        return unit
+
+    def add_interaction(
+        self,
+        display_id: str,
+        interaction_type: str,
+        participations: Sequence[Tuple[str, str]],
+    ) -> Interaction:
+        """Add an interaction; ``participations`` is a list of (role, component)."""
+        if display_id in self.interactions:
+            raise DuplicateIdError("interaction", display_id)
+        parts = []
+        for role, participant in participations:
+            self._get(participant)
+            parts.append(Participation(role, participant))
+        interaction = Interaction(display_id, interaction_type, parts)
+        self.interactions[display_id] = interaction
+        return interaction
+
+    # -- convenience builders -------------------------------------------------
+    def add_repression(self, repressor: str, promoter_id: str) -> Interaction:
+        """Declare that ``repressor`` (a protein) represses ``promoter_id``."""
+        self._require_role(repressor, Role.SPECIES_ROLES, "repressor")
+        self._require_role(promoter_id, {Role.PROMOTER}, "repressed promoter")
+        display_id = f"inh_{repressor}_{promoter_id}"
+        return self.add_interaction(
+            display_id,
+            InteractionType.INHIBITION,
+            [
+                (ParticipationRole.INHIBITOR, repressor),
+                (ParticipationRole.INHIBITED, promoter_id),
+            ],
+        )
+
+    def add_activation(self, activator: str, promoter_id: str) -> Interaction:
+        """Declare that ``activator`` (a protein) activates ``promoter_id``."""
+        self._require_role(activator, Role.SPECIES_ROLES, "activator")
+        self._require_role(promoter_id, {Role.PROMOTER}, "activated promoter")
+        display_id = f"act_{activator}_{promoter_id}"
+        return self.add_interaction(
+            display_id,
+            InteractionType.STIMULATION,
+            [
+                (ParticipationRole.STIMULATOR, activator),
+                (ParticipationRole.STIMULATED, promoter_id),
+            ],
+        )
+
+    def add_production(self, cds_id: str, product: str) -> Interaction:
+        """Declare that ``cds_id`` codes for the protein ``product``."""
+        self._require_role(cds_id, {Role.CDS}, "coding sequence")
+        self._require_role(product, Role.SPECIES_ROLES, "product")
+        display_id = f"prod_{cds_id}_{product}"
+        return self.add_interaction(
+            display_id,
+            InteractionType.GENETIC_PRODUCTION,
+            [
+                (ParticipationRole.TEMPLATE, cds_id),
+                (ParticipationRole.PRODUCT, product),
+            ],
+        )
+
+    # -- queries --------------------------------------------------------------
+    def _get(self, display_id: str) -> ComponentDefinition:
+        try:
+            return self.components[display_id]
+        except KeyError:
+            raise UnknownIdError("component", display_id) from None
+
+    def _require_role(self, display_id: str, roles, what: str) -> None:
+        component = self._get(display_id)
+        if component.role not in roles:
+            raise ModelError(
+                f"{what} {display_id!r} has role {component.role!r}, expected one of "
+                f"{sorted(roles)}"
+            )
+
+    def components_with_role(self, role: str) -> List[ComponentDefinition]:
+        return [c for c in self.components.values() if c.role == role]
+
+    def repressors_of(self, promoter_id: str) -> List[str]:
+        """Proteins that repress ``promoter_id``."""
+        result = []
+        for interaction in self.interactions.values():
+            if interaction.interaction_type != InteractionType.INHIBITION:
+                continue
+            if promoter_id in interaction.participants_with_role(ParticipationRole.INHIBITED):
+                result.extend(interaction.participants_with_role(ParticipationRole.INHIBITOR))
+        return result
+
+    def activators_of(self, promoter_id: str) -> List[str]:
+        """Proteins that activate ``promoter_id``."""
+        result = []
+        for interaction in self.interactions.values():
+            if interaction.interaction_type != InteractionType.STIMULATION:
+                continue
+            if promoter_id in interaction.participants_with_role(ParticipationRole.STIMULATED):
+                result.extend(interaction.participants_with_role(ParticipationRole.STIMULATOR))
+        return result
+
+    def product_of_cds(self, cds_id: str) -> Optional[str]:
+        """The protein coded by ``cds_id``, if a production interaction declares it."""
+        for interaction in self.interactions.values():
+            if interaction.interaction_type != InteractionType.GENETIC_PRODUCTION:
+                continue
+            if cds_id in interaction.participants_with_role(ParticipationRole.TEMPLATE):
+                products = interaction.participants_with_role(ParticipationRole.PRODUCT)
+                if products:
+                    return products[0]
+        return None
+
+    def produced_species(self) -> List[str]:
+        """All species produced by some transcriptional unit in the design."""
+        produced = []
+        for unit in self.units.values():
+            for part in unit.parts:
+                if self.components[part].role == Role.CDS:
+                    product = self.product_of_cds(part)
+                    if product and product not in produced:
+                        produced.append(product)
+        return produced
+
+    def input_species(self) -> List[str]:
+        """Species that regulate promoters but are never produced — circuit inputs."""
+        produced = set(self.produced_species())
+        inputs: List[str] = []
+        for component in self.components.values():
+            if not component.is_species or component.display_id in produced:
+                continue
+            regulates = False
+            for interaction in self.interactions.values():
+                if interaction.interaction_type in (
+                    InteractionType.INHIBITION,
+                    InteractionType.STIMULATION,
+                ):
+                    actors = interaction.participants_with_role(
+                        ParticipationRole.INHIBITOR
+                    ) + interaction.participants_with_role(ParticipationRole.STIMULATOR)
+                    if component.display_id in actors:
+                        regulates = True
+                        break
+            if regulates:
+                inputs.append(component.display_id)
+        return inputs
+
+    def genetic_component_count(self) -> int:
+        """Number of DNA parts in the design (the paper's "genetic components")."""
+        return sum(1 for c in self.components.values() if c.is_dna)
+
+    def validate(self) -> List[str]:
+        """Structural checks; returns a list of problems (empty when valid)."""
+        problems: List[str] = []
+        if not self.units:
+            problems.append("document has no transcriptional units")
+        for unit in self.units.values():
+            roles = [self.components[p].role for p in unit.parts]
+            if Role.PROMOTER not in roles:
+                problems.append(f"unit {unit.display_id!r} has no promoter")
+            if Role.CDS not in roles:
+                problems.append(f"unit {unit.display_id!r} has no coding sequence")
+            if roles and roles[-1] != Role.TERMINATOR:
+                problems.append(f"unit {unit.display_id!r} does not end with a terminator")
+            for part in unit.parts:
+                if self.components[part].role == Role.CDS and self.product_of_cds(part) is None:
+                    problems.append(
+                        f"coding sequence {part!r} in unit {unit.display_id!r} has no "
+                        "declared protein product"
+                    )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SBOLDocument({self.display_id!r}, components={len(self.components)}, "
+            f"units={len(self.units)}, interactions={len(self.interactions)})"
+        )

@@ -1,0 +1,156 @@
+"""SBOL-like genetic part definitions.
+
+The Synthetic Biology Open Language (SBOL) describes the *structure* of a
+genetic design: which DNA parts (promoters, ribosome binding sites, coding
+sequences, terminators) make up each transcriptional unit and which proteins
+interact with which promoters.  Cello — the design tool the paper's circuits
+come from — emits SBOL; the paper then converts SBOL to SBML to obtain a
+*behavioural* model it can simulate.
+
+This module defines the structural vocabulary used by
+:mod:`repro.sbol.document` and the SBOL→SBML converter.  Role and interaction
+identifiers follow the Sequence Ontology / Systems Biology Ontology terms the
+real SBOL specification uses, abbreviated to readable constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ModelError
+from ..sbml.model import is_valid_sid
+
+__all__ = [
+    "Role",
+    "InteractionType",
+    "ParticipationRole",
+    "ComponentDefinition",
+    "promoter",
+    "rbs",
+    "cds",
+    "terminator",
+    "protein",
+    "small_molecule",
+]
+
+
+class Role:
+    """Structural roles of component definitions (Sequence Ontology terms)."""
+
+    PROMOTER = "promoter"            # SO:0000167
+    RBS = "rbs"                      # SO:0000139
+    CDS = "cds"                      # SO:0000316
+    TERMINATOR = "terminator"        # SO:0000141
+    ENGINEERED_REGION = "engineered_region"  # SO:0000804
+    PROTEIN = "protein"              # functional component, not DNA
+    SMALL_MOLECULE = "small_molecule"
+
+    DNA_ROLES = frozenset({PROMOTER, RBS, CDS, TERMINATOR, ENGINEERED_REGION})
+    SPECIES_ROLES = frozenset({PROTEIN, SMALL_MOLECULE})
+
+    ALL = DNA_ROLES | SPECIES_ROLES
+
+
+class InteractionType:
+    """Interaction types (Systems Biology Ontology terms)."""
+
+    INHIBITION = "inhibition"                # SBO:0000169
+    STIMULATION = "stimulation"              # SBO:0000170
+    GENETIC_PRODUCTION = "genetic_production"  # SBO:0000589
+    DEGRADATION = "degradation"              # SBO:0000179
+
+    ALL = frozenset({INHIBITION, STIMULATION, GENETIC_PRODUCTION, DEGRADATION})
+
+
+class ParticipationRole:
+    """Roles a participant plays inside an interaction."""
+
+    INHIBITOR = "inhibitor"      # SBO:0000020
+    INHIBITED = "inhibited"      # SBO:0000642 (the promoter being repressed)
+    STIMULATOR = "stimulator"    # SBO:0000459
+    STIMULATED = "stimulated"    # SBO:0000643
+    TEMPLATE = "template"        # SBO:0000645 (the CDS transcribed)
+    PRODUCT = "product"          # SBO:0000011 (the protein produced)
+    REACTANT = "reactant"        # SBO:0000010 (degraded species)
+
+    ALL = frozenset(
+        {INHIBITOR, INHIBITED, STIMULATOR, STIMULATED, TEMPLATE, PRODUCT, REACTANT}
+    )
+
+
+@dataclass
+class ComponentDefinition:
+    """A genetic part or molecular species referenced by a design.
+
+    ``display_id`` doubles as the SBML species / element identifier after
+    conversion, so it must be a valid SBML SId.
+    """
+
+    display_id: str
+    role: str
+    name: str = ""
+    description: str = ""
+    sequence: Optional[str] = None
+    properties: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_valid_sid(self.display_id):
+            raise ModelError(
+                f"component display_id {self.display_id!r} is not a valid identifier"
+            )
+        if self.role not in Role.ALL:
+            raise ModelError(
+                f"component {self.display_id!r} has unknown role {self.role!r}"
+            )
+        if not self.name:
+            self.name = self.display_id
+        if self.sequence is not None:
+            sequence = self.sequence.strip().lower()
+            if sequence and not set(sequence) <= set("acgtn"):
+                raise ModelError(
+                    f"component {self.display_id!r} has a non-DNA sequence"
+                )
+            self.sequence = sequence
+
+    @property
+    def is_dna(self) -> bool:
+        """True if the component is a DNA part (promoter, RBS, CDS, ...)."""
+        return self.role in Role.DNA_ROLES
+
+    @property
+    def is_species(self) -> bool:
+        """True if the component is a molecular species (protein, small molecule)."""
+        return self.role in Role.SPECIES_ROLES
+
+
+def promoter(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a promoter part."""
+    return ComponentDefinition(display_id, Role.PROMOTER, name=name, properties=dict(properties))
+
+
+def rbs(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a ribosome-binding-site part."""
+    return ComponentDefinition(display_id, Role.RBS, name=name, properties=dict(properties))
+
+
+def cds(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a coding-sequence part."""
+    return ComponentDefinition(display_id, Role.CDS, name=name, properties=dict(properties))
+
+
+def terminator(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a terminator part."""
+    return ComponentDefinition(display_id, Role.TERMINATOR, name=name, properties=dict(properties))
+
+
+def protein(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a protein species."""
+    return ComponentDefinition(display_id, Role.PROTEIN, name=name, properties=dict(properties))
+
+
+def small_molecule(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
+    """Shorthand constructor for a small-molecule species (inducer)."""
+    return ComponentDefinition(
+        display_id, Role.SMALL_MOLECULE, name=name, properties=dict(properties)
+    )

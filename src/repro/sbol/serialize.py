@@ -1,0 +1,174 @@
+"""XML serialization of SBOL documents.
+
+Cello hands designers an SBOL *file*; the paper's flow then converts that
+file to SBML.  To support the same file-based hand-off, this module writes
+and reads a compact XML representation of :class:`SBOLDocument` — not the
+full SBOL 2 RDF/XML serialization (which would pull in an RDF stack), but a
+faithful structural subset (components with roles and properties,
+transcriptional units, interactions with participations) that round-trips
+through :func:`read_sbol_string` and feeds straight into
+:func:`repro.sbol.converter.sbol_to_sbml`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.sax.saxutils import quoteattr
+
+from ..errors import SBOLParseError
+from .document import SBOLDocument
+from .parts import ComponentDefinition
+
+__all__ = ["write_sbol_string", "write_sbol_file", "read_sbol_string", "read_sbol_file"]
+
+SBOL_NS = "https://repro.example/sbol-subset/v1"
+
+
+def _strip(tag: str) -> str:
+    return tag.split("}")[-1]
+
+
+def write_sbol_string(document: SBOLDocument) -> str:
+    """Render an SBOL document as XML."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<sbolDocument xmlns="{SBOL_NS}" displayId={quoteattr(document.display_id)} '
+        f"name={quoteattr(document.name)}>",
+        "  <listOfComponents>",
+    ]
+    for component in document.components.values():
+        attributes = (
+            f"displayId={quoteattr(component.display_id)} role={quoteattr(component.role)} "
+            f"name={quoteattr(component.name)}"
+        )
+        if component.description:
+            attributes += f" description={quoteattr(component.description)}"
+        if component.sequence:
+            attributes += f" sequence={quoteattr(component.sequence)}"
+        if component.properties:
+            lines.append(f"    <component {attributes}>")
+            for key, value in component.properties.items():
+                lines.append(
+                    f"      <property name={quoteattr(key)} value={quoteattr(repr(float(value)))}/>"
+                )
+            lines.append("    </component>")
+        else:
+            lines.append(f"    <component {attributes}/>")
+    lines.append("  </listOfComponents>")
+
+    lines.append("  <listOfTranscriptionalUnits>")
+    for unit in document.units.values():
+        lines.append(f"    <transcriptionalUnit displayId={quoteattr(unit.display_id)}>")
+        for part in unit.parts:
+            lines.append(f"      <part component={quoteattr(part)}/>")
+        lines.append("    </transcriptionalUnit>")
+    lines.append("  </listOfTranscriptionalUnits>")
+
+    lines.append("  <listOfInteractions>")
+    for interaction in document.interactions.values():
+        lines.append(
+            f"    <interaction displayId={quoteattr(interaction.display_id)} "
+            f"type={quoteattr(interaction.interaction_type)}>"
+        )
+        for participation in interaction.participations:
+            lines.append(
+                f"      <participation role={quoteattr(participation.role)} "
+                f"participant={quoteattr(participation.participant)}/>"
+            )
+        lines.append("    </interaction>")
+    lines.append("  </listOfInteractions>")
+    lines.append("</sbolDocument>")
+    return "\n".join(lines) + "\n"
+
+
+def write_sbol_file(document: SBOLDocument, path) -> None:
+    """Write an SBOL document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_sbol_string(document))
+
+
+def read_sbol_string(text: str) -> SBOLDocument:
+    """Parse an XML string produced by :func:`write_sbol_string`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SBOLParseError(f"malformed SBOL XML: {exc}") from exc
+    if _strip(root.tag) != "sbolDocument":
+        raise SBOLParseError(
+            f"expected <sbolDocument> root element, got <{_strip(root.tag)}>"
+        )
+    document = SBOLDocument(
+        root.get("displayId", "design"), name=root.get("name", "")
+    )
+
+    components = None
+    units = None
+    interactions = None
+    for child in root:
+        tag = _strip(child.tag)
+        if tag == "listOfComponents":
+            components = child
+        elif tag == "listOfTranscriptionalUnits":
+            units = child
+        elif tag == "listOfInteractions":
+            interactions = child
+
+    if components is not None:
+        for element in components:
+            if _strip(element.tag) != "component":
+                continue
+            display_id = element.get("displayId")
+            role = element.get("role")
+            if not display_id or not role:
+                raise SBOLParseError("component element missing displayId or role")
+            properties = {}
+            for prop in element:
+                if _strip(prop.tag) == "property":
+                    properties[prop.get("name", "")] = float(prop.get("value", "0"))
+            document.add_component(
+                ComponentDefinition(
+                    display_id,
+                    role,
+                    name=element.get("name", ""),
+                    description=element.get("description", ""),
+                    sequence=element.get("sequence"),
+                    properties=properties,
+                )
+            )
+
+    if units is not None:
+        for element in units:
+            if _strip(element.tag) != "transcriptionalUnit":
+                continue
+            display_id = element.get("displayId")
+            if not display_id:
+                raise SBOLParseError("transcriptionalUnit element missing displayId")
+            parts = [
+                part.get("component", "")
+                for part in element
+                if _strip(part.tag) == "part"
+            ]
+            document.add_unit(display_id, parts)
+
+    if interactions is not None:
+        for element in interactions:
+            if _strip(element.tag) != "interaction":
+                continue
+            display_id = element.get("displayId")
+            interaction_type = element.get("type")
+            if not display_id or not interaction_type:
+                raise SBOLParseError("interaction element missing displayId or type")
+            participations = [
+                (part.get("role", ""), part.get("participant", ""))
+                for part in element
+                if _strip(part.tag) == "participation"
+            ]
+            document.add_interaction(display_id, interaction_type, participations)
+
+    return document
+
+
+def read_sbol_file(path) -> SBOLDocument:
+    """Read an SBOL document from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_sbol_string(handle.read())

@@ -1,0 +1,48 @@
+"""Stochastic and deterministic simulation of genetic circuit models.
+
+This package replaces the D-VASim simulation engine the paper uses: exact
+SSA (direct and next-reaction methods), approximate tau-leaping, and an ODE
+baseline, all sharing one compiled-model representation, one input-clamping
+mechanism and one sampled-trajectory output format.
+"""
+
+from .events import InputEvent, InputSchedule
+from .nextreaction import NextReactionSimulator, simulate_next_reaction
+from .ode import OdeSimulator, simulate_ode
+from .propensity import CompiledModel, compile_model
+from .rng import make_rng, spawn_rngs
+from .sampling import SampleRecorder, make_sample_times
+from .ssa import DirectMethodSimulator, simulate_ssa
+from .tauleap import TauLeapSimulator, simulate_tau_leap
+from .trajectory import Trajectory
+
+#: Mapping of simulator name -> one-shot simulation function, used by the
+#: CLI and by the simulator-choice ablation benchmark.
+SIMULATORS = {
+    "ssa": simulate_ssa,
+    "direct": simulate_ssa,
+    "next-reaction": simulate_next_reaction,
+    "tau-leap": simulate_tau_leap,
+    "ode": simulate_ode,
+}
+
+__all__ = [
+    "InputEvent",
+    "InputSchedule",
+    "Trajectory",
+    "CompiledModel",
+    "compile_model",
+    "make_rng",
+    "spawn_rngs",
+    "SampleRecorder",
+    "make_sample_times",
+    "DirectMethodSimulator",
+    "simulate_ssa",
+    "NextReactionSimulator",
+    "simulate_next_reaction",
+    "TauLeapSimulator",
+    "simulate_tau_leap",
+    "OdeSimulator",
+    "simulate_ode",
+    "SIMULATORS",
+]

@@ -1,0 +1,214 @@
+"""Compilation of SBML models into fast propensity evaluators.
+
+The stochastic simulators never interpret kinetic-law ASTs in their inner
+loop.  :class:`CompiledModel` turns a :class:`repro.sbml.Model` into:
+
+* a species index (name -> column in the state vector),
+* per-reaction state-change vectors (with boundary/input species frozen),
+* per-reaction compiled propensity callables, and
+* a reaction dependency graph (used by the Gibson–Bruck simulator to only
+  recompute propensities that could have changed).
+
+The same compiled object also serves the deterministic ODE integrator, which
+interprets the propensities as macroscopic rates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PropensityError, SimulationError
+from ..sbml.ast import compile_function
+from ..sbml.model import Model
+
+__all__ = ["CompiledModel", "compile_model"]
+
+
+class CompiledModel:
+    """A :class:`repro.sbml.Model` compiled for simulation.
+
+    Parameters
+    ----------
+    model:
+        The reaction-network model to compile.
+    parameter_overrides:
+        Optional ``{parameter_id: value}`` replacing global parameter values
+        at compile time — used by sweeps that vary, e.g., Hill thresholds
+        without mutating the source model.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        parameter_overrides: Optional[Dict[str, float]] = None,
+    ):
+        self.model = model
+        self.species: List[str] = model.species_ids()
+        self.index: Dict[str, int] = {sid: i for i, sid in enumerate(self.species)}
+        self.reaction_ids: List[str] = model.reaction_ids()
+        self.n_species = len(self.species)
+        self.n_reactions = len(self.reaction_ids)
+
+        if self.n_reactions == 0:
+            raise SimulationError(f"model {model.sid!r} has no reactions to simulate")
+
+        self.boundary_mask = np.array(
+            [
+                model.species[sid].boundary_condition or model.species[sid].constant
+                for sid in self.species
+            ],
+            dtype=bool,
+        )
+        self.initial_state = np.array(
+            [float(model.species[sid].initial_amount) for sid in self.species],
+            dtype=float,
+        )
+
+        constants = model.parameter_values()
+        if parameter_overrides:
+            unknown = set(parameter_overrides) - set(constants)
+            if unknown:
+                raise PropensityError(
+                    f"parameter overrides refer to unknown parameters: {sorted(unknown)}"
+                )
+            constants.update(parameter_overrides)
+        self.constants: Dict[str, float] = constants
+
+        self._propensity_fns: List[Callable[..., float]] = []
+        self._propensity_args: List[Tuple[int, ...]] = []
+        self._change_indices: List[np.ndarray] = []
+        self._change_deltas: List[np.ndarray] = []
+        self._law_species: List[set] = []
+
+        for rid in self.reaction_ids:
+            reaction = model.reactions[rid]
+            if reaction.kinetic_law is None:
+                raise PropensityError(f"reaction {rid!r} has no kinetic law")
+            law = reaction.kinetic_law
+            local_constants = dict(constants)
+            local_constants.update(law.local_parameters)
+            law_symbols = law.math.symbols()
+            species_args = [s for s in law_symbols if s in self.index]
+            non_species = [
+                s
+                for s in law_symbols
+                if s not in self.index and s not in local_constants and s != "time"
+            ]
+            if non_species:
+                raise PropensityError(
+                    f"kinetic law of {rid!r} references unknown symbols {non_species}"
+                )
+            fn = compile_function(law.math, species_args, local_constants)
+            self._propensity_fns.append(fn)
+            self._propensity_args.append(tuple(self.index[s] for s in species_args))
+            self._law_species.append(set(species_args))
+
+            delta = reaction.net_stoichiometry()
+            indices = []
+            deltas = []
+            for sid, value in delta.items():
+                column = self.index[sid]
+                if self.boundary_mask[column]:
+                    # Boundary species are clamped by the experiment driver;
+                    # reactions may read them but never change them.
+                    continue
+                indices.append(column)
+                deltas.append(float(value))
+            self._change_indices.append(np.array(indices, dtype=int))
+            self._change_deltas.append(np.array(deltas, dtype=float))
+
+        self._dependents = self._build_dependency_graph()
+
+    # -- dependency graph -----------------------------------------------------
+    def _build_dependency_graph(self) -> List[List[int]]:
+        changed_by: List[set] = []
+        for r in range(self.n_reactions):
+            changed_by.append({self.species[i] for i in self._change_indices[r]})
+        dependents: List[List[int]] = []
+        for r in range(self.n_reactions):
+            deps = []
+            for j in range(self.n_reactions):
+                if j == r or (self._law_species[j] & changed_by[r]):
+                    deps.append(j)
+            dependents.append(deps)
+        return dependents
+
+    def dependents(self, reaction_index: int) -> List[int]:
+        """Indices of reactions whose propensity may change when ``reaction_index`` fires."""
+        return self._dependents[reaction_index]
+
+    # -- state helpers --------------------------------------------------------
+    def state_from_dict(self, amounts: Dict[str, float]) -> np.ndarray:
+        """Build a state vector from a ``{species: amount}`` mapping.
+
+        Species not mentioned keep their model initial amount.
+        """
+        state = self.initial_state.copy()
+        for sid, value in amounts.items():
+            if sid not in self.index:
+                raise SimulationError(f"unknown species {sid!r} in initial state")
+            state[self.index[sid]] = float(value)
+        return state
+
+    def clamp(self, state: np.ndarray, settings: Dict[str, float]) -> None:
+        """Apply an input event: overwrite the clamped species in place."""
+        for sid, value in settings.items():
+            if sid not in self.index:
+                raise SimulationError(f"input event drives unknown species {sid!r}")
+            state[self.index[sid]] = float(value)
+
+    # -- propensities ---------------------------------------------------------
+    def propensity(self, reaction_index: int, state: np.ndarray) -> float:
+        """Propensity of one reaction in the given state (clamped at zero)."""
+        args = self._propensity_args[reaction_index]
+        value = self._propensity_fns[reaction_index](*(state[i] for i in args))
+        if value != value:  # NaN guard
+            raise PropensityError(
+                f"propensity of reaction {self.reaction_ids[reaction_index]!r} is NaN"
+            )
+        return value if value > 0.0 else 0.0
+
+    def propensities(self, state: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vector of all reaction propensities in the given state."""
+        if out is None:
+            out = np.empty(self.n_reactions, dtype=float)
+        for r in range(self.n_reactions):
+            out[r] = self.propensity(r, state)
+        return out
+
+    def apply(self, reaction_index: int, state: np.ndarray) -> None:
+        """Fire a reaction once: update ``state`` in place."""
+        indices = self._change_indices[reaction_index]
+        if indices.size:
+            state[indices] += self._change_deltas[reaction_index]
+
+    def rates(self, state: np.ndarray) -> np.ndarray:
+        """Net rate of change of every species (ODE right-hand side)."""
+        derivative = np.zeros(self.n_species, dtype=float)
+        for r in range(self.n_reactions):
+            a = self.propensity(r, state)
+            if a == 0.0:
+                continue
+            indices = self._change_indices[r]
+            if indices.size:
+                derivative[indices] += a * self._change_deltas[r]
+        return derivative
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CompiledModel({self.model.sid!r}, species={self.n_species}, "
+            f"reactions={self.n_reactions})"
+        )
+
+
+def compile_model(
+    model, parameter_overrides: Optional[Dict[str, float]] = None
+) -> CompiledModel:
+    """Compile ``model`` unless it is already a :class:`CompiledModel`."""
+    if isinstance(model, CompiledModel):
+        if parameter_overrides:
+            return CompiledModel(model.model, parameter_overrides)
+        return model
+    return CompiledModel(model, parameter_overrides)

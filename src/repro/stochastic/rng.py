@@ -1,0 +1,47 @@
+"""Random-number handling shared by the stochastic simulators.
+
+All simulators accept either an integer seed, a :class:`numpy.random.Generator`
+or ``None`` (fresh entropy).  Routing every simulator through
+:func:`make_rng` keeps runs reproducible — the benchmark harness and tests
+pass explicit seeds so the reported tables are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs", "RandomState"]
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` draws fresh OS entropy; an ``int`` gives a deterministic stream;
+    an existing generator is returned unchanged (so callers can share one).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list:
+    """Derive ``count`` independent generators from one seed.
+
+    Used when running replicate simulations (e.g. one per input combination
+    or one per circuit in the 15-circuit suite) so replicates do not share a
+    stream yet remain reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the generator's own stream.
+        children = [
+            np.random.default_rng(int(seed.integers(0, 2**63 - 1))) for _ in range(count)
+        ]
+        return children
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,63 @@
+"""Uniform-grid sampling shared by all simulators.
+
+Stochastic trajectories are piecewise-constant between reaction events.  The
+logic-analysis algorithm, like D-VASim's data logger, works on samples taken
+at a fixed interval, so every simulator fills a :class:`SampleRecorder` with
+the zero-order-hold value of the state at each grid point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["SampleRecorder", "make_sample_times"]
+
+
+def make_sample_times(t_end: float, sample_interval: float, t_start: float = 0.0) -> np.ndarray:
+    """Sample grid ``t_start, t_start+dt, ..., <= t_end`` (inclusive of t_end)."""
+    if t_end <= t_start:
+        raise SimulationError("t_end must be greater than t_start")
+    if sample_interval <= 0:
+        raise SimulationError("sample_interval must be positive")
+    count = int(np.floor((t_end - t_start) / sample_interval + 1e-9)) + 1
+    times = t_start + sample_interval * np.arange(count)
+    # Guard against floating-point creep past t_end.
+    return times[times <= t_end + 1e-9 * max(1.0, abs(t_end))]
+
+
+class SampleRecorder:
+    """Fills a (samples x species) matrix with zero-order-hold state values."""
+
+    def __init__(self, sample_times: np.ndarray, n_species: int):
+        self.sample_times = np.asarray(sample_times, dtype=float)
+        self.data = np.zeros((len(self.sample_times), n_species), dtype=float)
+        self._cursor = 0
+
+    @property
+    def complete(self) -> bool:
+        """True once every sample row has been filled."""
+        return self._cursor >= len(self.sample_times)
+
+    def fill_before(self, t_limit: float, state: np.ndarray) -> None:
+        """Fill all unfilled samples with time strictly less than ``t_limit``."""
+        end = int(np.searchsorted(self.sample_times, t_limit, side="left"))
+        if end > self._cursor:
+            self.data[self._cursor:end] = state
+            self._cursor = end
+
+    def fill_through(self, t_limit: float, state: np.ndarray) -> None:
+        """Fill all unfilled samples with time less than or equal to ``t_limit``."""
+        end = int(np.searchsorted(self.sample_times, t_limit, side="right"))
+        if end > self._cursor:
+            self.data[self._cursor:end] = state
+            self._cursor = end
+
+    def finish(self, state: np.ndarray) -> None:
+        """Fill any remaining samples with the final state."""
+        if self._cursor < len(self.sample_times):
+            self.data[self._cursor:] = state
+            self._cursor = len(self.sample_times)

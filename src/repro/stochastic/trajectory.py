@@ -1,0 +1,197 @@
+"""Sampled simulation traces.
+
+A :class:`Trajectory` is what every simulator in :mod:`repro.stochastic`
+returns and what the logic-analysis algorithm consumes: species amounts
+sampled on a uniform (or at least monotone) time grid.  The paper's algorithm
+operates on "simulation data of all I/O species" (``SDAn``) — that is exactly
+this object (or its CSV serialization, see :mod:`repro.io.csvlog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["Trajectory"]
+
+
+@dataclass
+class Trajectory:
+    """Species amounts sampled over time.
+
+    Attributes
+    ----------
+    times:
+        1-D array of sample times, strictly increasing.
+    species:
+        Names of the recorded species, one per column of ``data``.
+    data:
+        2-D array of shape ``(len(times), len(species))`` holding the amount
+        of each species at each sample time.
+    """
+
+    times: np.ndarray
+    species: List[str]
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.data = np.asarray(self.data, dtype=float)
+        self.species = list(self.species)
+        if self.times.ndim != 1:
+            raise SimulationError("trajectory times must be a 1-D array")
+        if self.data.ndim != 2:
+            raise SimulationError("trajectory data must be a 2-D array")
+        if self.data.shape[0] != self.times.shape[0]:
+            raise SimulationError(
+                f"trajectory has {self.times.shape[0]} sample times but "
+                f"{self.data.shape[0]} data rows"
+            )
+        if self.data.shape[1] != len(self.species):
+            raise SimulationError(
+                f"trajectory has {len(self.species)} species names but "
+                f"{self.data.shape[1]} data columns"
+            )
+        if self.times.size > 1 and not np.all(np.diff(self.times) > 0):
+            raise SimulationError("trajectory times must be strictly increasing")
+
+    # -- basic access --------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def __contains__(self, species: str) -> bool:
+        return species in self.species
+
+    def column(self, species: str) -> np.ndarray:
+        """The sampled amounts of one species (1-D array)."""
+        try:
+            index = self.species.index(species)
+        except ValueError:
+            raise SimulationError(
+                f"species {species!r} is not recorded in this trajectory "
+                f"(available: {', '.join(self.species)})"
+            ) from None
+        return self.data[:, index]
+
+    def __getitem__(self, species: str) -> np.ndarray:
+        return self.column(species)
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        """All columns keyed by species name."""
+        return {name: self.data[:, i] for i, name in enumerate(self.species)}
+
+    def value_at(self, species: str, time: float) -> float:
+        """Amount of ``species`` at the last sample at or before ``time``."""
+        column = self.column(species)
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        if index < 0:
+            raise SimulationError(f"time {time:g} is before the first sample")
+        return float(column[index])
+
+    def final_state(self) -> Dict[str, float]:
+        """Species amounts at the last sample."""
+        return {name: float(self.data[-1, i]) for i, name in enumerate(self.species)}
+
+    @property
+    def sample_interval(self) -> float:
+        """The (median) spacing between consecutive samples."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(np.median(np.diff(self.times)))
+
+    # -- transformations ------------------------------------------------------
+    def select(self, species: Sequence[str]) -> "Trajectory":
+        """A trajectory restricted to the given species, in the given order."""
+        indices = []
+        for name in species:
+            if name not in self.species:
+                raise SimulationError(f"species {name!r} is not recorded")
+            indices.append(self.species.index(name))
+        return Trajectory(self.times.copy(), list(species), self.data[:, indices].copy())
+
+    def slice_time(self, t_start: float, t_end: float) -> "Trajectory":
+        """Samples with ``t_start <= t <= t_end``."""
+        if t_end < t_start:
+            raise SimulationError("t_end must be >= t_start")
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        return Trajectory(self.times[mask].copy(), list(self.species), self.data[mask].copy())
+
+    def resample(self, new_times: Iterable[float]) -> "Trajectory":
+        """Zero-order-hold resample onto ``new_times``.
+
+        Genetic traces are step functions between SSA events, so the correct
+        interpolation is "last value seen", not linear.
+        """
+        new_times = np.asarray(list(new_times), dtype=float)
+        if new_times.size and new_times[0] < self.times[0]:
+            raise SimulationError("cannot resample before the first sample time")
+        indices = np.searchsorted(self.times, new_times, side="right") - 1
+        indices = np.clip(indices, 0, len(self.times) - 1)
+        return Trajectory(new_times, list(self.species), self.data[indices].copy())
+
+    def mean(self, species: str, t_start: Optional[float] = None, t_end: Optional[float] = None) -> float:
+        """Time-window mean of one species (used by threshold estimation)."""
+        column = self.column(species)
+        mask = np.ones_like(self.times, dtype=bool)
+        if t_start is not None:
+            mask &= self.times >= t_start
+        if t_end is not None:
+            mask &= self.times <= t_end
+        if not mask.any():
+            raise SimulationError("mean() window contains no samples")
+        return float(column[mask].mean())
+
+    def concat(self, other: "Trajectory") -> "Trajectory":
+        """Append another trajectory recorded over a later time window."""
+        if list(other.species) != list(self.species):
+            raise SimulationError("cannot concatenate trajectories with different species")
+        if len(other) == 0:
+            return self
+        if len(self) == 0:
+            return other
+        if other.times[0] <= self.times[-1]:
+            # Drop overlapping leading samples of `other`.
+            keep = other.times > self.times[-1]
+            other = Trajectory(other.times[keep], list(other.species), other.data[keep])
+            if len(other) == 0:
+                return self
+        return Trajectory(
+            np.concatenate([self.times, other.times]),
+            list(self.species),
+            np.vstack([self.data, other.data]),
+        )
+
+    def with_column(self, species: str, values: np.ndarray) -> "Trajectory":
+        """Return a copy with an extra (or replaced) species column."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.times.shape:
+            raise SimulationError(
+                f"column for {species!r} has shape {values.shape}, expected {self.times.shape}"
+            )
+        if species in self.species:
+            data = self.data.copy()
+            data[:, self.species.index(species)] = values
+            return Trajectory(self.times.copy(), list(self.species), data)
+        return Trajectory(
+            self.times.copy(),
+            list(self.species) + [species],
+            np.column_stack([self.data, values]),
+        )
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def from_dict(cls, times: Iterable[float], columns: Mapping[str, Iterable[float]]) -> "Trajectory":
+        """Build a trajectory from ``{species: samples}`` columns."""
+        names = list(columns.keys())
+        times = np.asarray(list(times), dtype=float)
+        data = np.column_stack([np.asarray(list(columns[name]), dtype=float) for name in names])
+        return cls(times, names, data)
+
+    @classmethod
+    def empty(cls, species: Sequence[str]) -> "Trajectory":
+        """A trajectory with no samples (useful as a concat identity)."""
+        return cls(np.empty(0, dtype=float), list(species), np.empty((0, len(species))))

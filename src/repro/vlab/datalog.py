@@ -1,0 +1,169 @@
+"""Simulation data logs — the ``SDAn`` input of the paper's Algorithm 1.
+
+A :class:`SimulationDataLog` bundles everything the logic-analysis algorithm
+needs about one experiment run:
+
+* the sampled trajectory of every recorded species,
+* which species are the circuit inputs and which is the output,
+* the amounts the input species were *clamped to* at every sample (the
+  "applied" inputs, known exactly because the virtual laboratory applied
+  them),
+* the input high/low clamp levels and the stimulus protocol metadata.
+
+The analyzer can digitise the inputs either from the applied clamp levels
+(the default — the experimenter knows what they injected) or from the
+measured input traces via the same threshold used for the output, which is
+what an analysis of somebody else's logged data would have to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..stochastic.trajectory import Trajectory
+
+__all__ = ["SimulationDataLog"]
+
+
+@dataclass
+class SimulationDataLog:
+    """Logged data of one virtual-laboratory experiment."""
+
+    trajectory: Trajectory
+    input_species: List[str]
+    output_species: str
+    applied_inputs: Dict[str, np.ndarray]
+    input_high: float
+    input_low: float = 0.0
+    hold_time: Optional[float] = None
+    circuit_name: str = ""
+
+    def __post_init__(self) -> None:
+        self.input_species = list(self.input_species)
+        if not self.input_species:
+            raise AnalysisError("a data log needs at least one input species")
+        if self.output_species in self.input_species:
+            raise AnalysisError("the output species cannot also be an input")
+        for sid in self.input_species + [self.output_species]:
+            if sid not in self.trajectory:
+                raise AnalysisError(f"species {sid!r} is not recorded in the trajectory")
+        n = len(self.trajectory)
+        self.applied_inputs = {k: np.asarray(v, dtype=float) for k, v in self.applied_inputs.items()}
+        for sid in self.input_species:
+            if sid not in self.applied_inputs:
+                raise AnalysisError(f"applied input levels missing for {sid!r}")
+            if self.applied_inputs[sid].shape != (n,):
+                raise AnalysisError(
+                    f"applied input levels for {sid!r} have wrong length "
+                    f"({self.applied_inputs[sid].shape[0]} != {n})"
+                )
+        if self.input_high <= self.input_low:
+            raise AnalysisError("input_high must exceed input_low")
+
+    # -- basic access ------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_species)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.trajectory)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.trajectory.times
+
+    def output_trace(self) -> np.ndarray:
+        """Sampled analog amounts of the output species."""
+        return self.trajectory[self.output_species]
+
+    def input_trace(self, species: str) -> np.ndarray:
+        """Sampled analog amounts of one input species."""
+        if species not in self.input_species:
+            raise AnalysisError(f"{species!r} is not an input of this experiment")
+        return self.trajectory[species]
+
+    # -- digital views -------------------------------------------------------------
+    def applied_digital_inputs(self) -> np.ndarray:
+        """(n_samples, n_inputs) matrix of applied digital input values.
+
+        The applied clamp level is digitised against the midpoint of the
+        clamp levels, so a level equal to ``input_high`` is 1 and a level
+        equal to ``input_low`` is 0 regardless of the analysis threshold.
+        """
+        midpoint = 0.5 * (self.input_high + self.input_low)
+        columns = [
+            (self.applied_inputs[sid] > midpoint).astype(np.int8)
+            for sid in self.input_species
+        ]
+        return np.column_stack(columns)
+
+    def measured_digital_inputs(self, threshold: float) -> np.ndarray:
+        """(n_samples, n_inputs) matrix of measured inputs digitised at ``threshold``."""
+        if threshold <= 0:
+            raise AnalysisError("threshold must be positive")
+        columns = [
+            (self.trajectory[sid] >= threshold).astype(np.int8)
+            for sid in self.input_species
+        ]
+        return np.column_stack(columns)
+
+    def applied_combination_indices(self) -> np.ndarray:
+        """Combination index applied at each sample (first input = MSB)."""
+        digital = self.applied_digital_inputs()
+        weights = 2 ** np.arange(self.n_inputs - 1, -1, -1)
+        return digital @ weights
+
+    # -- manipulation ----------------------------------------------------------------
+    def slice_time(self, t_start: float, t_end: float) -> "SimulationDataLog":
+        """The portion of the log with ``t_start <= t <= t_end``."""
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        return SimulationDataLog(
+            trajectory=self.trajectory.slice_time(t_start, t_end),
+            input_species=list(self.input_species),
+            output_species=self.output_species,
+            applied_inputs={k: v[mask] for k, v in self.applied_inputs.items()},
+            input_high=self.input_high,
+            input_low=self.input_low,
+            hold_time=self.hold_time,
+            circuit_name=self.circuit_name,
+        )
+
+    def with_output(self, output_species: str) -> "SimulationDataLog":
+        """The same log viewed with a different output species.
+
+        The paper lets users "perform Boolean logic analysis on the entire
+        circuit as well as on the intermediate circuit components" by
+        selecting which species is treated as the output; this method is that
+        selection.
+        """
+        if output_species == self.output_species:
+            return self
+        if output_species not in self.trajectory:
+            raise AnalysisError(f"species {output_species!r} is not recorded")
+        if output_species in self.input_species:
+            raise AnalysisError("the output species cannot also be an input")
+        return SimulationDataLog(
+            trajectory=self.trajectory,
+            input_species=list(self.input_species),
+            output_species=output_species,
+            applied_inputs=dict(self.applied_inputs),
+            input_high=self.input_high,
+            input_low=self.input_low,
+            hold_time=self.hold_time,
+            circuit_name=self.circuit_name,
+        )
+
+    def recorded_species(self) -> List[str]:
+        """All species recorded in the underlying trajectory."""
+        return list(self.trajectory.species)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimulationDataLog(circuit={self.circuit_name!r}, inputs={self.input_species}, "
+            f"output={self.output_species!r}, samples={self.n_samples})"
+        )

@@ -1,0 +1,204 @@
+"""Virtual-laboratory experiment driver (the D-VASim workflow, batch style).
+
+A :class:`LogicExperiment` runs a circuit model through a stimulus protocol
+with one of the stochastic simulators, records every species at a fixed
+sample interval, and returns a :class:`~repro.vlab.datalog.SimulationDataLog`
+ready for the logic-analysis algorithm.  It is the programmatic equivalent of
+sitting in front of D-VASim, toggling the input species and logging the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from ..gates.circuits import GeneticCircuit
+from ..sbml.model import Model
+from ..stochastic import SIMULATORS
+from ..stochastic.events import InputSchedule
+from ..stochastic.rng import RandomState
+from .datalog import SimulationDataLog
+from .protocol import StimulusProtocol, exhaustive_protocol
+
+__all__ = ["LogicExperiment", "run_logic_experiment"]
+
+
+@dataclass
+class LogicExperiment:
+    """Configuration of one logic-characterisation experiment.
+
+    Parameters
+    ----------
+    model:
+        The SBML model to simulate.
+    input_species / output_species:
+        Which species are the circuit inputs and which single species is the
+        output under analysis.
+    input_high / input_low:
+        Molecule counts used to clamp an input at digital 1 / 0.
+    sample_interval:
+        Trace sampling interval (the paper samples once per time unit).
+    simulator:
+        One of ``"ssa"``, ``"next-reaction"``, ``"tau-leap"``, ``"ode"``.
+    """
+
+    model: Model
+    input_species: List[str]
+    output_species: str
+    input_high: float = 40.0
+    input_low: float = 0.0
+    sample_interval: float = 1.0
+    simulator: str = "ssa"
+    record_species: Optional[List[str]] = None
+    circuit_name: str = ""
+
+    def __post_init__(self) -> None:
+        self.input_species = list(self.input_species)
+        if not self.input_species:
+            raise ExperimentError("an experiment needs at least one input species")
+        if self.simulator not in SIMULATORS:
+            raise ExperimentError(
+                f"unknown simulator {self.simulator!r}; choose from {sorted(SIMULATORS)}"
+            )
+        missing = [
+            sid
+            for sid in self.input_species + [self.output_species]
+            if sid not in self.model.species
+        ]
+        if missing:
+            raise ExperimentError(
+                f"species {missing} do not exist in model {self.model.sid!r}"
+            )
+        for sid in self.input_species:
+            species = self.model.species[sid]
+            if not (species.boundary_condition or species.constant):
+                raise ExperimentError(
+                    f"input species {sid!r} is not a boundary species; the virtual "
+                    "laboratory can only clamp boundary species"
+                )
+        if self.output_species in self.input_species:
+            raise ExperimentError("the output species cannot also be an input")
+        if self.input_high <= self.input_low:
+            raise ExperimentError("input_high must exceed input_low")
+        if self.sample_interval <= 0:
+            raise ExperimentError("sample_interval must be positive")
+
+    # -- factory -----------------------------------------------------------------
+    @classmethod
+    def for_circuit(
+        cls,
+        circuit: GeneticCircuit,
+        simulator: str = "ssa",
+        sample_interval: float = 1.0,
+        input_high: Optional[float] = None,
+        input_low: Optional[float] = None,
+        output_species: Optional[str] = None,
+    ) -> "LogicExperiment":
+        """Build an experiment for a :class:`GeneticCircuit` using its library levels."""
+        levels = circuit.input_levels()
+        high = input_high if input_high is not None else max(v["high"] for v in levels.values())
+        low = input_low if input_low is not None else min(v["low"] for v in levels.values())
+        return cls(
+            model=circuit.model,
+            input_species=list(circuit.inputs),
+            output_species=output_species or circuit.output,
+            input_high=high,
+            input_low=low,
+            sample_interval=sample_interval,
+            simulator=simulator,
+            circuit_name=circuit.name,
+        )
+
+    # -- execution -----------------------------------------------------------------
+    def run(
+        self,
+        protocol: Optional[StimulusProtocol] = None,
+        hold_time: float = 250.0,
+        repeats: int = 1,
+        rng: RandomState = None,
+        total_time: Optional[float] = None,
+    ) -> SimulationDataLog:
+        """Run the experiment and return the logged data.
+
+        Either pass an explicit ``protocol`` or let the experiment build an
+        exhaustive one (every input combination, ascending order, held for
+        ``hold_time`` and repeated ``repeats`` times).  ``total_time`` pads
+        the simulation past the protocol's end (rarely needed).
+        """
+        if protocol is None:
+            protocol = exhaustive_protocol(len(self.input_species), hold_time, repeats)
+        if protocol.n_inputs != len(self.input_species):
+            raise ExperimentError(
+                f"protocol is for {protocol.n_inputs} inputs but the experiment has "
+                f"{len(self.input_species)}"
+            )
+        schedule = protocol.to_schedule(self.input_species, self.input_high, self.input_low)
+        t_end = float(total_time) if total_time is not None else protocol.total_time
+        if t_end < protocol.total_time:
+            raise ExperimentError("total_time is shorter than the protocol")
+
+        simulate = SIMULATORS[self.simulator]
+        trajectory = simulate(
+            self.model,
+            t_end,
+            sample_interval=self.sample_interval,
+            schedule=schedule,
+            rng=rng,
+            record_species=self.record_species,
+        )
+        applied = schedule.applied_values(self.input_species, trajectory.times)
+        return SimulationDataLog(
+            trajectory=trajectory,
+            input_species=list(self.input_species),
+            output_species=self.output_species,
+            applied_inputs=applied,
+            input_high=self.input_high,
+            input_low=self.input_low,
+            hold_time=protocol.hold_time,
+            circuit_name=self.circuit_name or self.model.sid,
+        )
+
+
+def run_logic_experiment(
+    circuit: Union[GeneticCircuit, Model],
+    input_species: Optional[Sequence[str]] = None,
+    output_species: Optional[str] = None,
+    hold_time: float = 250.0,
+    repeats: int = 1,
+    input_high: Optional[float] = None,
+    input_low: float = 0.0,
+    simulator: str = "ssa",
+    sample_interval: float = 1.0,
+    protocol: Optional[StimulusProtocol] = None,
+    rng: RandomState = None,
+) -> SimulationDataLog:
+    """One-call convenience wrapper: build the experiment and run it.
+
+    Accepts either a :class:`GeneticCircuit` (inputs/outputs inferred) or a
+    raw :class:`Model` plus explicit ``input_species`` / ``output_species``.
+    """
+    if isinstance(circuit, GeneticCircuit):
+        experiment = LogicExperiment.for_circuit(
+            circuit,
+            simulator=simulator,
+            sample_interval=sample_interval,
+            input_high=input_high,
+            input_low=input_low,
+            output_species=output_species,
+        )
+    else:
+        if input_species is None or output_species is None:
+            raise ExperimentError(
+                "when passing a raw model, input_species and output_species are required"
+            )
+        experiment = LogicExperiment(
+            model=circuit,
+            input_species=list(input_species),
+            output_species=output_species,
+            input_high=input_high if input_high is not None else 40.0,
+            input_low=input_low,
+            sample_interval=sample_interval,
+            simulator=simulator,
+        )
+    return experiment.run(protocol=protocol, hold_time=hold_time, repeats=repeats, rng=rng)

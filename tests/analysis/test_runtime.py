@@ -1,0 +1,60 @@
+"""Tests for the analyzer-runtime measurement harness."""
+
+import pytest
+
+from repro.analysis import measure_analysis_runtime, synthetic_experiment_arrays
+from repro.core import LogicAnalyzer
+from repro.errors import AnalysisError
+from repro.logic import TruthTable
+
+
+class TestSyntheticArrays:
+    def test_shapes(self):
+        inputs, output, names = synthetic_experiment_arrays(1000, 3, rng=1)
+        assert inputs.shape == (1000, 3)
+        assert output.shape == (1000,)
+        assert names == ["in1", "in2", "in3"]
+
+    def test_respects_requested_truth_table(self):
+        table = TruthTable.from_hex("0x1C", n_inputs=3)
+        inputs, output, names = synthetic_experiment_arrays(
+            4000, 3, truth_table=table, rng=2
+        )
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert result.truth_table.outputs == table.outputs
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            synthetic_experiment_arrays(4, 3, rng=1)
+
+    def test_reproducible_with_seed(self):
+        a = synthetic_experiment_arrays(500, 2, rng=7)
+        b = synthetic_experiment_arrays(500, 2, rng=7)
+        assert (a[1] == b[1]).all()
+
+
+class TestRuntimeMeasurement:
+    def test_measurements_returned_per_size(self):
+        measurements = measure_analysis_runtime([2_000, 8_000], n_inputs=2, repeats=1, rng=3)
+        assert [m.n_samples for m in measurements] == [2_000, 8_000]
+        assert all(m.seconds > 0 for m in measurements)
+        assert all(m.samples_per_second > 0 for m in measurements)
+
+    def test_large_trace_analysed_well_under_paper_budget(self):
+        """The paper quotes ~8.4 s for a large analysis; a million-sample
+        trace must stay well inside that budget here."""
+        measurement = measure_analysis_runtime([1_000_000], n_inputs=3, repeats=1, rng=4)[0]
+        assert measurement.seconds < 8.4
+
+    def test_scaling_is_roughly_linear(self):
+        small, large = measure_analysis_runtime([20_000, 200_000], n_inputs=3, repeats=2, rng=5)
+        ratio = large.seconds / small.seconds
+        assert ratio < 40.0  # 10x data must not cost more than ~40x time
+
+    def test_summary_text(self):
+        measurement = measure_analysis_runtime([5_000], n_inputs=2, repeats=1, rng=6)[0]
+        assert "samples" in measurement.summary()
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(AnalysisError):
+            measure_analysis_runtime([1000], repeats=0)

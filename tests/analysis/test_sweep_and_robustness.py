@@ -1,0 +1,100 @@
+"""Tests for threshold sweeps and robustness assessment."""
+
+import pytest
+
+from repro.analysis import assess_robustness, threshold_sweep
+from repro.errors import AnalysisError
+from repro.gates import and_gate_circuit
+
+
+class TestThresholdSweep:
+    def test_nominal_threshold_recovers_correct_logic(self, and_circuit):
+        entries = threshold_sweep(
+            and_circuit, thresholds=[15.0], hold_time=150.0, rng=1, simulator="ssa"
+        )
+        assert len(entries) == 1
+        assert entries[0].matches
+        assert entries[0].input_high == 15.0  # paper protocol: inputs at threshold level
+
+    def test_weak_inputs_change_the_recovered_logic(self, and_circuit):
+        """The Figure-5 low-threshold finding: 3-molecule inputs cannot drive
+        the circuit, so the recovered behaviour is no longer the intended one."""
+        entries = threshold_sweep(
+            and_circuit, thresholds=[3.0, 15.0], hold_time=150.0, rng=2, simulator="ssa"
+        )
+        weak, nominal = entries
+        assert nominal.matches
+        assert not weak.matches
+        assert weak.n_wrong_states >= 1
+
+    def test_high_threshold_increases_variation(self, and_circuit):
+        """The Figure-5 high-threshold finding: with the threshold at the ON
+        level the output chatters, so the total variation count rises."""
+        entries = threshold_sweep(
+            and_circuit, thresholds=[15.0, 40.0], hold_time=150.0, rng=3, simulator="ssa"
+        )
+        nominal, high = entries
+        assert high.total_variation > nominal.total_variation
+
+    def test_fixed_input_level_mode(self, and_circuit):
+        entries = threshold_sweep(
+            and_circuit,
+            thresholds=[15.0],
+            hold_time=100.0,
+            rng=4,
+            simulator="ode",
+            input_high_equals_threshold=False,
+            input_high=40.0,
+        )
+        assert entries[0].input_high == 40.0
+        assert entries[0].matches
+
+    def test_empty_thresholds_rejected(self, and_circuit):
+        with pytest.raises(AnalysisError):
+            threshold_sweep(and_circuit, thresholds=[])
+
+    def test_negative_threshold_rejected(self, and_circuit):
+        with pytest.raises(AnalysisError):
+            threshold_sweep(and_circuit, thresholds=[-1.0], hold_time=50.0)
+
+    def test_summary_text(self, and_circuit):
+        entries = threshold_sweep(
+            and_circuit, thresholds=[15.0], hold_time=100.0, rng=5, simulator="ode",
+            input_high_equals_threshold=False,
+        )
+        assert "threshold 15" in entries[0].summary()
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return assess_robustness(
+            and_gate_circuit(),
+            thresholds=[3.0, 15.0, 25.0],
+            nominal_threshold=15.0,
+            hold_time=150.0,
+            rng=6,
+            simulator="ssa",
+        )
+
+    def test_nominal_threshold_is_correct(self, report):
+        assert report.nominal_is_correct
+        assert 15.0 in report.correct_thresholds
+
+    def test_extreme_threshold_fails(self, report):
+        assert 3.0 in report.incorrect_thresholds
+
+    def test_operating_window_contains_nominal(self, report):
+        window = report.operating_window()
+        assert window is not None
+        low, high = window
+        assert low <= 15.0 <= high
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "and_gate" in text
+        assert "operating window" in text
+
+    def test_invalid_nominal_rejected(self):
+        with pytest.raises(AnalysisError):
+            assess_robustness(and_gate_circuit(), thresholds=[15.0], nominal_threshold=0.0)

@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Expensive artefacts (assembled circuits, seeded stochastic experiment logs)
+are session-scoped: many test modules read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LogicAnalyzer
+from repro.gates import and_gate_circuit, cello_circuit, default_library, not_gate_circuit
+from repro.sbml import Model
+from repro.vlab import LogicExperiment
+
+
+@pytest.fixture()
+def toy_model() -> Model:
+    """A minimal one-gate (NOT) reaction network built by hand.
+
+    Input ``A`` (boundary) represses production of ``Y``; ``Y`` degrades.
+    """
+    model = Model("toy_not")
+    model.add_compartment("cell")
+    model.add_species("A", boundary_condition=True)
+    model.add_species("Y")
+    model.add_parameter("kmax", 4.0)
+    model.add_parameter("K", 10.0)
+    model.add_parameter("n", 2.5)
+    model.add_parameter("kd", 0.1)
+    model.add_reaction(
+        "production_Y",
+        products=[("Y", 1.0)],
+        modifiers=["A"],
+        kinetic_law="kmax * hill_rep(A, K, n)",
+    )
+    model.add_reaction("degradation_Y", reactants=[("Y", 1.0)], kinetic_law="kd * Y")
+    return model
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def and_circuit():
+    """The paper's Figure-1 AND gate, assembled once per test session."""
+    return and_gate_circuit()
+
+
+@pytest.fixture(scope="session")
+def not_circuit():
+    return not_gate_circuit()
+
+
+@pytest.fixture(scope="session")
+def cello_0x0b():
+    """Cello circuit 0x0B (the paper's Figure 4 headline circuit)."""
+    return cello_circuit("0x0B")
+
+
+@pytest.fixture(scope="session")
+def and_gate_log():
+    """A seeded SSA experiment log of the AND gate (two sweeps, 150 tu holds)."""
+    experiment = LogicExperiment.for_circuit(and_gate_circuit(), simulator="ssa")
+    return experiment.run(hold_time=150.0, repeats=2, rng=20170654)
+
+
+@pytest.fixture(scope="session")
+def cello_0x0b_log():
+    """A seeded SSA experiment log of circuit 0x0B (one sweep, 200 tu holds)."""
+    circuit = cello_circuit("0x0B")
+    experiment = LogicExperiment.for_circuit(circuit, simulator="ssa")
+    return experiment.run(hold_time=200.0, repeats=1, rng=20170655)
+
+
+@pytest.fixture(scope="session")
+def standard_analyzer():
+    """The paper's analysis settings: threshold 15 molecules, FOV_UD 0.25."""
+    return LogicAnalyzer(threshold=15.0, fov_ud=0.25)

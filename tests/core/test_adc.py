@@ -1,0 +1,74 @@
+"""Tests for analog-to-digital conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core import analog_to_digital, analog_to_digital_hysteresis, digitize_matrix
+from repro.errors import ThresholdError
+
+
+class TestAnalogToDigital:
+    def test_threshold_is_inclusive(self):
+        digital = analog_to_digital(np.array([14.9, 15.0, 15.1]), 15.0)
+        assert list(digital) == [0, 1, 1]
+
+    def test_dtype_is_small_int(self):
+        assert analog_to_digital(np.array([1.0, 20.0]), 15.0).dtype == np.int8
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ThresholdError):
+            analog_to_digital(np.array([1.0]), 0.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ThresholdError):
+            analog_to_digital(np.array([1.0]), -3.0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ThresholdError):
+            analog_to_digital(np.zeros((3, 2)), 15.0)
+
+    def test_paper_example_glitch_digitisation(self):
+        """A brief excursion above threshold becomes a short run of 1s."""
+        trace = np.array([2.0, 3.0, 18.0, 17.0, 4.0, 2.0])
+        assert list(analog_to_digital(trace, 15.0)) == [0, 0, 1, 1, 0, 0]
+
+
+class TestHysteresis:
+    def test_holds_state_between_thresholds(self):
+        trace = np.array([0.0, 20.0, 12.0, 12.0, 5.0, 12.0])
+        digital = analog_to_digital_hysteresis(trace, low_threshold=10.0, high_threshold=18.0)
+        assert list(digital) == [0, 1, 1, 1, 0, 0]
+
+    def test_starts_high_if_first_sample_high(self):
+        digital = analog_to_digital_hysteresis(np.array([30.0, 30.0]), 10.0, 18.0)
+        assert list(digital) == [1, 1]
+
+    def test_reduces_chatter_compared_to_single_threshold(self):
+        rng = np.random.default_rng(0)
+        trace = 15.0 + rng.normal(0, 2.0, size=500)
+        single = analog_to_digital(trace, 15.0)
+        hysteresis = analog_to_digital_hysteresis(trace, 12.0, 18.0)
+        assert np.count_nonzero(np.diff(hysteresis)) < np.count_nonzero(np.diff(single))
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ThresholdError):
+            analog_to_digital_hysteresis(np.array([1.0]), 0.0, 10.0)
+        with pytest.raises(ThresholdError):
+            analog_to_digital_hysteresis(np.array([1.0]), 20.0, 10.0)
+        with pytest.raises(ThresholdError):
+            analog_to_digital_hysteresis(np.zeros((2, 2)), 5.0, 10.0)
+
+
+class TestDigitizeMatrix:
+    def test_columnwise(self):
+        matrix = np.array([[1.0, 20.0], [16.0, 3.0]])
+        digital = digitize_matrix(matrix, 15.0)
+        assert digital.tolist() == [[0, 1], [1, 0]]
+
+    def test_requires_2d(self):
+        with pytest.raises(ThresholdError):
+            digitize_matrix(np.array([1.0, 2.0]), 15.0)
+
+    def test_requires_positive_threshold(self):
+        with pytest.raises(ThresholdError):
+            digitize_matrix(np.zeros((2, 2)), 0.0)

@@ -1,0 +1,158 @@
+"""Tests of the full Algorithm-1 pipeline on synthetic and simulated data."""
+
+import numpy as np
+import pytest
+
+from repro.core import FilterConfig, LogicAnalyzer, analyze_logic
+from repro.errors import AnalysisError
+from repro.logic import TruthTable
+
+
+def _synthetic_arrays(truth_hex, n_inputs=2, block=200, high=40.0, noise=3.0, seed=0,
+                      transient=5):
+    """Block-wise walk through all combinations with settled noisy levels."""
+    rng = np.random.default_rng(seed)
+    table = TruthTable.from_hex(truth_hex, n_inputs=n_inputs)
+    indices = np.repeat(np.arange(2 ** n_inputs), block)
+    bits = ((indices[:, None] >> np.arange(n_inputs - 1, -1, -1)) & 1).astype(float)
+    inputs = bits * high
+    ideal = np.array([table.outputs[i] for i in indices], dtype=float) * high
+    output = np.clip(ideal + rng.normal(0, noise, size=ideal.size), 0, None)
+    # Carry the previous block's value into the first `transient` samples of
+    # each block, like a real propagation delay.
+    for boundary in range(block, len(indices), block):
+        output[boundary:boundary + transient] = output[boundary - 1]
+    return inputs, output, [f"in{i+1}" for i in range(n_inputs)], table
+
+
+class TestAnalyzeArrays:
+    def test_recovers_and_gate(self):
+        inputs, output, names, table = _synthetic_arrays("0x08")
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert result.truth_table.outputs == table.outputs
+        assert result.gate_name == "AND"
+        assert result.fitness > 95.0
+
+    def test_recovers_three_input_circuit(self):
+        inputs, output, names, table = _synthetic_arrays("0x1C", n_inputs=3)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert result.truth_table.outputs == table.outputs
+        assert result.truth_table.to_hex() == "0x1C"
+
+    def test_case_counts_partition_samples(self):
+        inputs, output, names, _ = _synthetic_arrays("0x08", block=150)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert sum(c.case_count for c in result.combinations) == result.n_samples
+        assert all(c.case_count == 150 for c in result.combinations)
+
+    def test_verification_hooks(self):
+        inputs, output, names, _ = _synthetic_arrays("0x08")
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(
+            inputs, output, names, expected="in1 & in2"
+        )
+        assert result.comparison is not None and result.comparison.matches
+        mismatch = result.verify("in1 | in2")
+        assert not mismatch.matches
+
+    def test_expected_hex_string(self):
+        inputs, output, names, _ = _synthetic_arrays("0x1C", n_inputs=3)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(
+            inputs, output, names, expected="0x1C"
+        )
+        assert result.comparison.matches
+
+    def test_digital_inputs_flag(self):
+        inputs, output, names, table = _synthetic_arrays("0x08")
+        digital = (inputs > 0).astype(int)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(
+            digital, output, names, inputs_are_digital=True
+        )
+        assert result.truth_table.outputs == table.outputs
+
+    def test_shape_validation(self):
+        analyzer = LogicAnalyzer(threshold=15.0)
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_arrays(np.zeros((10, 2)), np.zeros(5), ["a", "b"])
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_arrays(np.zeros((10, 2)), np.zeros(10), ["a"])
+
+    def test_unobserved_combinations_reported(self):
+        # Only combinations 00 and 11 ever occur.
+        inputs = np.array([[0.0, 0.0]] * 50 + [[40.0, 40.0]] * 50)
+        output = np.array([2.0] * 50 + [40.0] * 50)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, ["A", "B"])
+        assert set(result.unobserved_combinations) == {"01", "10"}
+
+    def test_combination_lookup(self):
+        inputs, output, names, _ = _synthetic_arrays("0x08")
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert result.combination("11").is_high
+        assert result.combination(3).is_high
+        with pytest.raises(AnalysisError):
+            result.combination("44")
+        with pytest.raises(AnalysisError):
+            result.combination(9)
+
+    def test_analysis_time_recorded(self):
+        inputs, output, names, _ = _synthetic_arrays("0x08")
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
+        assert result.analysis_time_seconds > 0.0
+
+
+class TestAnalyzerConfiguration:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(AnalysisError):
+            LogicAnalyzer(threshold=0.0)
+
+    def test_invalid_input_source_rejected(self):
+        with pytest.raises(AnalysisError):
+            LogicAnalyzer(threshold=15.0, input_source="guessed")
+
+    def test_conflicting_fov_specification_rejected(self):
+        with pytest.raises(AnalysisError):
+            LogicAnalyzer(threshold=15.0, fov_ud=0.1, filter_config=FilterConfig(fov_ud=0.3))
+
+    def test_filter_config_passthrough(self):
+        analyzer = LogicAnalyzer(threshold=15.0, filter_config=FilterConfig(fov_ud=0.4))
+        assert analyzer.fov_ud == 0.4
+
+    def test_canonical_expression_mode(self):
+        inputs, output, names, _ = _synthetic_arrays("0x08")
+        analyzer = LogicAnalyzer(threshold=15.0, minimize_expression=False)
+        result = analyzer.analyze_arrays(inputs, output, names)
+        assert result.expression.to_string() == result.canonical_expression.to_string()
+
+
+class TestAnalyzeDatalog:
+    def test_and_gate_experiment(self, and_gate_log, standard_analyzer, and_circuit):
+        result = standard_analyzer.analyze(and_gate_log, expected=and_circuit.expected_table)
+        assert result.comparison.matches
+        assert result.gate_name == "AND"
+        assert result.fitness > 98.0
+        assert result.circuit_name == "and_gate"
+
+    def test_cello_0x0b_experiment(self, cello_0x0b_log, standard_analyzer, cello_0x0b):
+        result = standard_analyzer.analyze(cello_0x0b_log, expected=cello_0x0b.expected_table)
+        assert result.comparison.matches
+        assert result.truth_table.to_hex() == "0x0B"
+        assert result.high_combination_labels == ["000", "001", "011"]
+
+    def test_intermediate_species_analysis(self, and_gate_log, standard_analyzer):
+        """Analysing the intermediate CI species recovers the NAND stage."""
+        result = standard_analyzer.analyze(and_gate_log, output_species="CI")
+        assert result.gate_name == "NAND"
+
+    def test_measured_input_source_matches_applied(self, and_gate_log, and_circuit):
+        applied = LogicAnalyzer(threshold=15.0, input_source="applied").analyze(and_gate_log)
+        measured = LogicAnalyzer(threshold=15.0, input_source="measured").analyze(and_gate_log)
+        assert applied.truth_table.outputs == measured.truth_table.outputs
+
+    def test_analyze_logic_wrapper(self, and_gate_log):
+        result = analyze_logic(and_gate_log, threshold=15.0, expected="LacI & TetR")
+        assert result.comparison.matches
+
+    def test_summary_mentions_expression_and_fitness(self, and_gate_log, standard_analyzer):
+        result = standard_analyzer.analyze(and_gate_log)
+        text = result.summary()
+        assert "LacI & TetR" in text
+        assert "fitness" in text

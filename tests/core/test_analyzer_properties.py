@@ -1,0 +1,101 @@
+"""Property-based tests of Algorithm-1 invariants (no simulation involved)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogicAnalyzer
+from repro.logic import TruthTable
+
+
+def _clean_arrays(table: TruthTable, block: int, high: float = 40.0):
+    """Noise-free, transient-free experiment arrays realising ``table``."""
+    n_inputs = table.n_inputs
+    indices = np.repeat(np.arange(2 ** n_inputs), block)
+    bits = ((indices[:, None] >> np.arange(n_inputs - 1, -1, -1)) & 1).astype(float)
+    inputs = bits * high
+    output = np.array([table.outputs[i] for i in indices], dtype=float) * high
+    return inputs, output
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=3),
+    raw_value=st.integers(min_value=0),
+    block=st.integers(min_value=5, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_clean_data_recovers_any_truth_table(n_inputs, raw_value, block):
+    """On noise-free data the algorithm recovers the generating table exactly,
+    with fitness exactly 100 % (no output variation at all)."""
+    value = raw_value % (2 ** (2 ** n_inputs))
+    table = TruthTable.from_hex(value, n_inputs=n_inputs)
+    inputs, output = _clean_arrays(table, block)
+    result = LogicAnalyzer(threshold=15.0).analyze_arrays(
+        inputs, output, table.inputs
+    )
+    assert result.truth_table.outputs == table.outputs
+    assert result.fitness == pytest.approx(100.0)
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    noise=st.floats(min_value=0.0, max_value=6.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_fitness_and_counts_are_always_well_formed(n_inputs, seed, noise):
+    """Whatever the data looks like, the per-combination statistics are
+    internally consistent and the fitness stays within [0, 100]."""
+    rng = np.random.default_rng(seed)
+    n_samples = 60 * 2 ** n_inputs
+    inputs = rng.choice([0.0, 40.0], size=(n_samples, n_inputs))
+    output = np.clip(rng.normal(20.0, 10.0 + noise, size=n_samples), 0.0, None)
+    result = LogicAnalyzer(threshold=15.0).analyze_arrays(
+        inputs, output, [f"x{i}" for i in range(n_inputs)]
+    )
+    assert 0.0 <= result.fitness <= 100.0
+    assert sum(c.case_count for c in result.combinations) == n_samples
+    for combination in result.combinations:
+        assert 0 <= combination.high_count <= combination.case_count
+        assert 0 <= combination.variation_count <= max(0, combination.case_count - 1)
+        assert 0.0 <= combination.fov_est <= 1.0
+        if combination.is_high:
+            assert combination.passes_fov and combination.passes_majority
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    block=st.integers(min_value=20, max_value=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_case_counts_invariant_under_sample_permutation(seed, block):
+    """Case_I and High_O depend only on which samples belong to which
+    combination, not on their order; only Var_O is order-sensitive."""
+    rng = np.random.default_rng(seed)
+    table = TruthTable.from_hex(0x08, n_inputs=2)
+    inputs, output = _clean_arrays(table, block)
+    output = np.clip(output + rng.normal(0, 4.0, size=output.shape), 0.0, None)
+
+    analyzer = LogicAnalyzer(threshold=15.0)
+    original = analyzer.analyze_arrays(inputs, output, ["A", "B"])
+
+    permutation = rng.permutation(len(output))
+    shuffled = analyzer.analyze_arrays(inputs[permutation], output[permutation], ["A", "B"])
+
+    for before, after in zip(original.combinations, shuffled.combinations):
+        assert before.case_count == after.case_count
+        assert before.high_count == after.high_count
+
+
+@given(threshold=st.floats(min_value=1.0, max_value=39.0))
+@settings(max_examples=40, deadline=None)
+def test_any_threshold_between_levels_recovers_the_same_logic(threshold):
+    """For well-separated clean levels (0 vs 40 molecules) every threshold
+    strictly between them yields the same recovered table."""
+    table = TruthTable.from_hex(0x1C, n_inputs=3)
+    inputs, output = _clean_arrays(table, block=10)
+    result = LogicAnalyzer(threshold=float(threshold)).analyze_arrays(
+        inputs, output, table.inputs
+    )
+    assert result.truth_table.outputs == table.outputs

@@ -1,0 +1,102 @@
+"""Tests for Boolean expression construction and the PFoBE fitness metric."""
+
+import pytest
+
+from repro.core import (
+    FilterConfig,
+    apply_filters,
+    build_expression,
+    build_truth_table,
+    fitness_from_analysis,
+    high_combinations,
+    percentage_fitness,
+)
+from repro.core.filters import FilterDecision
+from repro.core.variation import VariationStats
+from repro.errors import AnalysisError
+from repro.logic import Const, TruthTable
+
+
+def _decision(is_high):
+    return FilterDecision(passes_fov=True, passes_majority=is_high, is_high=is_high)
+
+
+class TestBuildExpression:
+    def test_and_gate(self):
+        decisions = {0: _decision(False), 1: _decision(False), 2: _decision(False), 3: _decision(True)}
+        expr = build_expression(decisions, ["LacI", "TetR"])
+        assert expr.to_string() == "LacI & TetR"
+
+    def test_canonical_vs_minimized(self):
+        decisions = {i: _decision(i in (3, 7)) for i in range(8)}
+        minimized = build_expression(decisions, ["A", "B", "C"], minimized=True)
+        canonical = build_expression(decisions, ["A", "B", "C"], minimized=False)
+        assert minimized.to_string() == "B & C"
+        assert canonical.to_string() == "~A & B & C | A & B & C"
+
+    def test_all_low_gives_constant_false(self):
+        decisions = {i: _decision(False) for i in range(4)}
+        assert build_expression(decisions, ["A", "B"]) == Const(False)
+
+    def test_all_high_gives_constant_true(self):
+        decisions = {i: _decision(True) for i in range(4)}
+        assert build_expression(decisions, ["A", "B"]) == Const(True)
+
+    def test_high_combinations_sorted(self):
+        decisions = {2: _decision(True), 0: _decision(True), 1: _decision(False), 3: _decision(False)}
+        assert high_combinations(decisions) == [0, 2]
+
+    def test_truth_table(self):
+        decisions = {i: _decision(i == 5) for i in range(8)}
+        table = build_truth_table(decisions, ["A", "B", "C"])
+        assert isinstance(table, TruthTable)
+        assert table.minterms() == [5]
+
+    def test_truth_table_size_mismatch_rejected(self):
+        decisions = {i: _decision(False) for i in range(4)}
+        with pytest.raises(AnalysisError):
+            build_truth_table(decisions, ["A", "B", "C"])
+
+
+class TestPercentageFitness:
+    def test_equation_3_with_paper_numbers(self):
+        """Figure 2: only combination 11 survives filtering with FOV 7/3050;
+        nc = 4 -> PFoBE = 100 - (7/3050)/4*100 ~ 99.94%."""
+        fitness = percentage_fitness([7 / 3050], 4)
+        assert fitness == pytest.approx(100.0 - (7 / 3050) / 4 * 100.0)
+        assert fitness > 99.9
+
+    def test_no_high_states_gives_perfect_score(self):
+        assert percentage_fitness([], 4) == 100.0
+
+    def test_multiple_high_states(self):
+        assert percentage_fitness([0.1, 0.3], 8) == pytest.approx(100.0 - 5.0)
+
+    def test_worst_case(self):
+        # Every combination high and maximally oscillating.
+        assert percentage_fitness([1.0] * 4, 4) == pytest.approx(0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            percentage_fitness([0.1], 0)
+        with pytest.raises(AnalysisError):
+            percentage_fitness([-0.1], 4)
+
+
+class TestFitnessFromAnalysis:
+    def test_only_accepted_high_states_contribute(self):
+        stats = {
+            0: VariationStats(100, 2, 2),     # rejected (not majority-high)
+            1: VariationStats(100, 0, 0),
+            2: VariationStats(100, 0, 0),
+            3: VariationStats(100, 90, 4),    # accepted, FOV = 0.04
+        }
+        decisions = apply_filters(stats, FilterConfig())
+        fitness = fitness_from_analysis(stats, decisions)
+        assert fitness == pytest.approx(100.0 - (0.04 / 4) * 100.0)
+
+    def test_mismatched_keys_rejected(self):
+        stats = {0: VariationStats(10, 0, 0)}
+        decisions = apply_filters({0: VariationStats(10, 0, 0), 1: VariationStats(10, 0, 0)})
+        with pytest.raises(AnalysisError):
+            fitness_from_analysis(stats, decisions)

@@ -1,0 +1,133 @@
+"""Tests for CaseAnalyzer and VariationAnalyzer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze_cases, analyze_all_variations, analyze_variation, count_high, count_variations
+from repro.core.variation import VariationStats
+from repro.errors import AnalysisError
+
+
+class TestAnalyzeCases:
+    def test_groups_by_combination(self):
+        indices = np.array([0, 0, 1, 1, 3, 3, 0])
+        output = np.array([0, 0, 1, 1, 1, 0, 1], dtype=np.int8)
+        cases = analyze_cases(indices, output, n_inputs=2)
+        assert set(cases) == {0, 1, 2, 3}
+        assert cases[0].case_count == 3
+        assert list(cases[0].output_stream) == [0, 0, 1]
+        assert list(cases[1].output_stream) == [1, 1]
+        assert cases[2].case_count == 0
+        assert not cases[2].observed
+
+    def test_labels_follow_paper_convention(self):
+        cases = analyze_cases(np.array([5]), np.array([1], dtype=np.int8), n_inputs=3)
+        assert cases[5].label == "101"
+        assert cases[0].label == "000"
+
+    def test_streams_preserve_time_order(self):
+        indices = np.array([1, 0, 1, 0, 1])
+        output = np.array([1, 0, 0, 0, 1], dtype=np.int8)
+        cases = analyze_cases(indices, output, n_inputs=1)
+        assert list(cases[1].output_stream) == [1, 0, 1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_cases(np.array([0, 1]), np.array([0], dtype=np.int8), n_inputs=1)
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_cases(np.array([4]), np.array([0], dtype=np.int8), n_inputs=2)
+
+    def test_case_count_equals_stream_length(self):
+        """The paper notes Case_I[i] always equals the output-stream length."""
+        rng = np.random.default_rng(1)
+        indices = rng.integers(0, 4, size=200)
+        output = rng.integers(0, 2, size=200).astype(np.int8)
+        for case in analyze_cases(indices, output, 2).values():
+            assert case.case_count == len(case.output_stream)
+
+
+class TestCounts:
+    def test_count_high(self):
+        assert count_high(np.array([0, 1, 1, 0, 1])) == 3
+        assert count_high(np.array([])) == 0
+
+    def test_count_variations(self):
+        assert count_variations(np.array([0, 0, 1, 1, 0])) == 2
+        assert count_variations(np.array([0, 1, 0, 1])) == 3
+        assert count_variations(np.array([1, 1, 1])) == 0
+        assert count_variations(np.array([1])) == 0
+        assert count_variations(np.array([])) == 0
+
+    def test_paper_figure2_example_counts(self):
+        """Figure 2(b): for combination 00 the output stream 0...010...010...0
+        has 3 ones and 2 variations?  The paper counts 2 '0-to-1 and 1-to-0'
+        events for a glitch of 3 ones; reproduce the glitch shape it shows."""
+        stream = np.zeros(1850, dtype=np.int8)
+        stream[700:703] = 1  # a single 3-sample glitch
+        assert count_high(stream) == 3
+        assert count_variations(stream) == 2
+
+
+class TestVariationStats:
+    def test_fraction_of_variation(self):
+        stats = VariationStats(case_count=1850, high_count=3, variation_count=2)
+        assert stats.fraction_of_variation == pytest.approx(2 / 1850)
+        assert stats.high_fraction == pytest.approx(3 / 1850)
+        assert stats.ever_high
+
+    def test_empty_case(self):
+        stats = VariationStats(case_count=0, high_count=0, variation_count=0)
+        assert stats.fraction_of_variation == 0.0
+        assert stats.high_fraction == 0.0
+        assert not stats.ever_high
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            VariationStats(case_count=5, high_count=6, variation_count=0)
+        with pytest.raises(AnalysisError):
+            VariationStats(case_count=-1, high_count=0, variation_count=0)
+
+    def test_analyze_variation(self):
+        stats = analyze_variation(np.array([0, 1, 1, 0, 1], dtype=np.int8))
+        assert stats.case_count == 5
+        assert stats.high_count == 3
+        assert stats.variation_count == 3
+
+    def test_analyze_all_variations(self):
+        cases = analyze_cases(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1], dtype=np.int8), n_inputs=1
+        )
+        stats = analyze_all_variations(cases)
+        assert stats[0].variation_count == 1
+        assert stats[1].variation_count == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_variation_count_invariants(bits):
+    """Var_O is bounded by both the stream length and 2x the number of 1s +- 1."""
+    stream = np.array(bits, dtype=np.int8)
+    variations = count_variations(stream)
+    highs = count_high(stream)
+    assert 0 <= variations <= max(0, len(bits) - 1)
+    # Each contiguous run of 1s contributes at most 2 transitions.
+    assert variations <= 2 * highs + 1 if highs else variations == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=400),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_case_counts_sum_to_sample_count(n_inputs, n_samples, rng):
+    indices = np.array([rng.randrange(2 ** n_inputs) for _ in range(n_samples)])
+    output = np.array([rng.randrange(2) for _ in range(n_samples)], dtype=np.int8)
+    cases = analyze_cases(indices, output, n_inputs)
+    assert sum(case.case_count for case in cases.values()) == n_samples
+    total_high = sum(count_high(case.output_stream) for case in cases.values())
+    assert total_high == int(output.sum())

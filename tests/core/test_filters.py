@@ -1,0 +1,113 @@
+"""Tests for the paper's two data filters (equations 1 and 2)."""
+
+import pytest
+
+from repro.core import DEFAULT_FOV_UD, FilterConfig, apply_filters
+from repro.core.variation import VariationStats
+from repro.errors import AnalysisError
+
+
+def _stats(case_count, high_count, variation_count):
+    return VariationStats(case_count=case_count, high_count=high_count, variation_count=variation_count)
+
+
+class TestFilterConfig:
+    def test_paper_default(self):
+        assert FilterConfig().fov_ud == DEFAULT_FOV_UD == 0.25
+
+    def test_bad_fov_rejected(self):
+        with pytest.raises(AnalysisError):
+            FilterConfig(fov_ud=0.0)
+        with pytest.raises(AnalysisError):
+            FilterConfig(fov_ud=1.5)
+
+
+class TestPaperFigure2:
+    """The AND-gate example of Figure 2(b): combination 00 has a small glitch
+    (3 ones, 2 variations over 1850 samples) and combination 11 is properly
+    high (1875 ones, 7 variations over 3050 samples)."""
+
+    def setup_method(self):
+        self.stats = {
+            0: _stats(1850, 3, 2),       # "00"
+            1: _stats(2500, 0, 0),       # "01"
+            2: _stats(2600, 0, 0),       # "10"
+            3: _stats(3050, 1875, 7),    # "11"
+        }
+
+    def test_both_filters_give_and_not_xnor(self):
+        decisions = apply_filters(self.stats)
+        assert not decisions[0].is_high   # the glitch at 00 is rejected
+        assert decisions[3].is_high       # 11 is accepted
+        assert not decisions[1].is_high and not decisions[2].is_high
+
+    def test_00_rejected_specifically_by_the_majority_filter(self):
+        decisions = apply_filters(self.stats)
+        assert decisions[0].passes_fov          # 2/1850 < 0.25
+        assert not decisions[0].passes_majority  # 3 << 1850/2
+        assert decisions[0].rejected_by_majority_only
+
+    def test_majority_filter_alone_reproduces_the_xnor_mistake(self):
+        """Disabling the majority filter accepts 00 -> the XNOR misreading."""
+        config = FilterConfig(use_majority_filter=False)
+        decisions = apply_filters(self.stats, config)
+        assert decisions[0].is_high
+        assert decisions[3].is_high
+
+
+class TestPaperFigure3:
+    """Figure 3: two streams with the same number of 1s, one stable and one
+    highly oscillatory; only the FOV filter can tell them apart."""
+
+    def setup_method(self):
+        # 40 ones out of 80 samples in both cases: the stable stream has one
+        # contiguous block (1 variation), the oscillatory one alternates.
+        self.stats = {
+            0: _stats(80, 41, 1),    # stable: passes majority (41 > 40)
+            3: _stats(80, 41, 60),   # oscillatory: same highs, many variations
+            1: _stats(80, 0, 0),
+            2: _stats(80, 0, 0),
+        }
+
+    def test_fov_filter_discards_the_oscillatory_case(self):
+        decisions = apply_filters(self.stats, FilterConfig(fov_ud=0.5))
+        assert decisions[0].is_high
+        assert not decisions[3].is_high
+        assert decisions[3].rejected_by_fov_only
+
+    def test_without_fov_filter_the_oscillatory_case_sneaks_in(self):
+        decisions = apply_filters(self.stats, FilterConfig(use_fov_filter=False))
+        assert decisions[3].is_high
+
+
+class TestFilterEdgeCases:
+    def test_never_observed_combination_is_low(self):
+        decisions = apply_filters({0: _stats(0, 0, 0)})
+        assert not decisions[0].is_high
+
+    def test_never_high_combination_is_low_without_filtering(self):
+        decisions = apply_filters({0: _stats(100, 0, 0)})
+        assert not decisions[0].is_high
+        assert decisions[0].passes_fov
+
+    def test_exactly_half_high_fails_strict_majority(self):
+        decisions = apply_filters({0: _stats(100, 50, 1)})
+        assert not decisions[0].is_high
+
+    def test_exactly_half_high_passes_lenient_majority(self):
+        decisions = apply_filters(
+            {0: _stats(100, 50, 1)}, FilterConfig(majority_strict=False)
+        )
+        assert decisions[0].is_high
+
+    def test_fov_boundary_is_exclusive(self):
+        # FOV_EST must be strictly below FOV_UD to pass (eq. 1 uses '<').
+        decisions = apply_filters({0: _stats(100, 80, 25)}, FilterConfig(fov_ud=0.25))
+        assert not decisions[0].passes_fov
+        decisions = apply_filters({0: _stats(100, 80, 24)}, FilterConfig(fov_ud=0.25))
+        assert decisions[0].passes_fov
+
+    def test_disabling_both_filters_accepts_any_ever_high_stream(self):
+        config = FilterConfig(use_fov_filter=False, use_majority_filter=False)
+        decisions = apply_filters({0: _stats(100, 1, 2)}, config)
+        assert decisions[0].is_high

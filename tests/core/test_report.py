@@ -1,0 +1,77 @@
+"""Tests for the textual analysis reports."""
+
+import numpy as np
+
+from repro.core import LogicAnalyzer, format_analysis_report, format_case_table, format_suite_table
+
+
+def _result():
+    rng = np.random.default_rng(3)
+    indices = np.repeat(np.arange(4), 100)
+    bits = ((indices[:, None] >> np.arange(1, -1, -1)) & 1) * 40.0
+    output = np.where(indices == 3, 40.0, 2.0) + rng.normal(0, 2.0, size=400)
+    return LogicAnalyzer(threshold=15.0).analyze_arrays(
+        bits, np.clip(output, 0, None), ["LacI", "TetR"], circuit_name="and_gate",
+        expected="LacI & TetR",
+    )
+
+
+class TestCaseTable:
+    def test_has_one_row_per_combination(self):
+        table = format_case_table(_result())
+        lines = [line for line in table.splitlines() if line and not line.startswith(("Input", "-"))]
+        assert len(lines) == 4
+
+    def test_columns_match_paper_figure(self):
+        header = format_case_table(_result()).splitlines()[0]
+        for column in ("Case_I", "High_O", "Var_O", "FOV_EST", "Output"):
+            assert column in header
+
+
+class TestAnalysisReport:
+    def test_mentions_all_key_artifacts(self):
+        text = format_analysis_report(_result())
+        assert "Boolean expression" in text
+        assert "percentage fitness" in text
+        assert "threshold: 15" in text
+        assert "LacI & TetR" in text
+        assert "verification" in text
+
+    def test_custom_title(self):
+        text = format_analysis_report(_result(), title="Figure 2 reproduction")
+        assert "Figure 2 reproduction" in text
+
+    def test_warns_about_unobserved_combinations(self):
+        inputs = np.array([[0.0, 0.0]] * 60 + [[40.0, 40.0]] * 60)
+        output = np.array([2.0] * 60 + [40.0] * 60)
+        result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, ["A", "B"])
+        assert "never observed" in format_analysis_report(result)
+
+
+class TestSuiteTable:
+    def test_renders_entries(self):
+        entries = [
+            {
+                "name": "and_gate",
+                "n_inputs": 2,
+                "n_gates": 2,
+                "n_components": 9,
+                "expected": "0x08",
+                "recovered": "0x08",
+                "fitness": 99.9,
+                "match": True,
+            },
+            {
+                "name": "cello_0x0b",
+                "n_inputs": 3,
+                "n_gates": 5,
+                "n_components": 15,
+                "expected": "0x0B",
+                "recovered": "0x1B",
+                "fitness": 91.2,
+                "match": False,
+            },
+        ]
+        text = format_suite_table(entries)
+        assert "and_gate" in text and "cello_0x0b" in text
+        assert "OK" in text and "WRONG" in text

@@ -1,0 +1,65 @@
+"""Tests for the regenerated Cello circuits."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gates import CELLO_CIRCUIT_NAMES, CELLO_INPUT_SPECIES, cello_circuit, cello_suite
+from repro.logic import TruthTable
+from repro.sbml import validate_model
+
+
+class TestCelloCircuit:
+    def test_0x0b_structure(self, cello_0x0b):
+        assert cello_0x0b.name == "cello_0x0b"
+        assert cello_0x0b.inputs == CELLO_INPUT_SPECIES
+        assert cello_0x0b.output == "YFP"
+        assert cello_0x0b.expected_table.to_hex() == "0x0B"
+
+    def test_0x0b_expected_minterms_match_paper_discussion(self, cello_0x0b):
+        # High at 011 (highlighted in the paper), low at 100 (the decaying
+        # transition the paper's majority filter removes).
+        assert cello_0x0b.expected_table.output_for("011") == 1
+        assert cello_0x0b.expected_table.output_for("100") == 0
+
+    def test_model_is_valid(self, cello_0x0b):
+        assert validate_model(cello_0x0b.model) == []
+
+    def test_all_gates_have_distinct_repressors(self, cello_0x0b):
+        repressors = [g.repressor for g in cello_0x0b.netlist.gates]
+        assert len(repressors) == len(set(repressors))
+        assert all(r is not None for r in repressors)
+
+    def test_custom_inputs(self):
+        circuit = cello_circuit("0x04", inputs=["LacI", "TetR", "LuxR"])
+        assert circuit.inputs == ["LacI", "TetR", "LuxR"]
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ModelError):
+            cello_circuit("not_hex")
+        with pytest.raises(ModelError):
+            cello_circuit("0x00")
+        with pytest.raises(ModelError):
+            cello_circuit("0xFF")
+
+
+class TestCelloSuite:
+    def test_ten_circuits(self):
+        assert len(CELLO_CIRCUIT_NAMES) == 10
+        suite = cello_suite()
+        assert len(suite) == 10
+
+    def test_paper_figure4_circuits_present(self):
+        assert {"0x0B", "0x04", "0x1C"} <= set(CELLO_CIRCUIT_NAMES)
+
+    def test_every_circuit_implements_its_name(self):
+        for name, circuit in zip(CELLO_CIRCUIT_NAMES, cello_suite()):
+            expected = TruthTable.from_hex(name, inputs=circuit.inputs)
+            assert circuit.expected_table.outputs == expected.outputs
+            assert circuit.netlist.truth_table().outputs == expected.outputs
+
+    def test_all_are_three_input_circuits(self):
+        assert all(c.n_inputs == 3 for c in cello_suite())
+
+    def test_all_models_valid(self):
+        for circuit in cello_suite():
+            assert validate_model(circuit.model) == []

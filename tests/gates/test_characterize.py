@@ -1,0 +1,78 @@
+"""Tests for gate characterisation (response curves)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.gates import characterize_gate, characterize_library, default_library, response_curve
+from repro.gates.characterize import GateResponse
+
+
+class TestGateResponse:
+    def test_derived_metrics(self):
+        response = GateResponse(
+            repressor="PhlF",
+            input_levels=[0.0, 5.0, 10.0, 20.0, 40.0],
+            output_levels=[40.0, 30.0, 10.0, 2.0, 1.0],
+        )
+        assert response.on_level == 40.0
+        assert response.off_level == 1.0
+        assert response.dynamic_range == pytest.approx(40.0)
+        assert 5.0 < response.switching_input() < 10.0
+        assert response.supports_threshold(15.0)
+        assert not response.supports_threshold(45.0)
+
+    def test_infinite_dynamic_range_with_zero_off(self):
+        response = GateResponse("X", [0.0, 40.0], [40.0, 0.0])
+        assert response.dynamic_range == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            GateResponse("X", [0.0, 1.0], [40.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            GateResponse("X", [0.0], [40.0])
+
+
+class TestCharacterizeGate:
+    def test_default_library_gate_is_usable_at_paper_threshold(self):
+        response = characterize_gate("PhlF")
+        assert response.on_level > 30.0
+        assert response.off_level < 5.0
+        assert response.dynamic_range > 10.0
+        assert response.supports_threshold(15.0)
+        assert "PhlF" in response.summary()
+
+    def test_switching_point_tracks_library_K(self):
+        sensitive = characterize_gate("SrpR", library=default_library(K=5.0))
+        insensitive = characterize_gate("SrpR", library=default_library(K=20.0))
+        assert sensitive.switching_input() < insensitive.switching_input()
+
+    def test_unknown_repressor_rejected(self):
+        with pytest.raises(AnalysisError):
+            characterize_gate("NotARepressor")
+
+    def test_custom_probe_levels(self):
+        response = characterize_gate("BetI", input_levels=[0.0, 10.0, 50.0])
+        assert response.input_levels == [0.0, 10.0, 50.0]
+        assert len(response.output_levels) == 3
+
+
+class TestCharacterizeLibrary:
+    def test_subset(self):
+        responses = characterize_library(repressors=["PhlF", "SrpR"])
+        assert set(responses) == {"PhlF", "SrpR"}
+        assert all(r.dynamic_range > 10.0 for r in responses.values())
+
+
+class TestResponseCurve:
+    def test_monotone_decreasing_for_repressed_gate(self, toy_model):
+        levels = [0.0, 5.0, 10.0, 20.0, 40.0]
+        outputs = response_curve(toy_model, "A", "Y", levels)
+        assert all(a >= b - 1e-6 for a, b in zip(outputs, outputs[1:]))
+
+    def test_rejects_bad_arguments(self, toy_model):
+        with pytest.raises(AnalysisError):
+            response_curve(toy_model, "A", "Y", [])
+        with pytest.raises(AnalysisError):
+            response_curve(toy_model, "A", "Y", [-1.0])

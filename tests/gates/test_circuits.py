@@ -1,0 +1,118 @@
+"""Tests for the named circuits (Myers suite) and circuit assembly."""
+
+import pytest
+
+from repro.gates import (
+    GateType,
+    Netlist,
+    and_gate_circuit,
+    build_circuit,
+    myers_suite,
+    nand_gate_circuit,
+    nor_gate_circuit,
+    not_gate_circuit,
+    or_gate_circuit,
+    standard_suite,
+)
+from repro.logic import identify_gate
+from repro.sbml import validate_model
+
+
+class TestFigure1AndGate:
+    def test_structure(self, and_circuit):
+        assert and_circuit.inputs == ["LacI", "TetR"]
+        assert and_circuit.output == "GFP"
+        assert and_circuit.n_gates == 2
+        assert and_circuit.n_components == 9
+
+    def test_intermediate_repressor_is_ci(self, and_circuit):
+        assert and_circuit.netlist.gates[0].repressor == "CI"
+        assert "CI" in and_circuit.model.species
+
+    def test_expected_logic(self, and_circuit):
+        assert identify_gate(and_circuit.expected_table) == "AND"
+        assert and_circuit.expected_expression().to_string() == "LacI & TetR"
+
+    def test_model_valid(self, and_circuit):
+        assert validate_model(and_circuit.model) == []
+
+    def test_summary_mentions_key_facts(self, and_circuit):
+        text = and_circuit.summary()
+        assert "and_gate" in text
+        assert "2-input" in text
+
+    def test_input_levels_from_library(self, and_circuit):
+        levels = and_circuit.input_levels()
+        assert levels["LacI"]["high"] > levels["LacI"]["low"]
+
+
+class TestMyersSuite:
+    def test_five_circuits(self):
+        suite = myers_suite()
+        assert len(suite) == 5
+        assert {c.name for c in suite} == {"not_gate", "and_gate", "or_gate", "nand_gate", "nor_gate"}
+
+    @pytest.mark.parametrize(
+        "builder, gate_name",
+        [
+            (not_gate_circuit, "NOT"),
+            (and_gate_circuit, "AND"),
+            (or_gate_circuit, "OR"),
+            (nand_gate_circuit, "NAND"),
+            (nor_gate_circuit, "NOR"),
+        ],
+    )
+    def test_expected_behaviour(self, builder, gate_name):
+        circuit = builder()
+        assert identify_gate(circuit.expected_table) == gate_name
+
+    @pytest.mark.parametrize(
+        "builder",
+        [not_gate_circuit, and_gate_circuit, or_gate_circuit, nand_gate_circuit, nor_gate_circuit],
+    )
+    def test_models_are_valid(self, builder):
+        assert validate_model(builder().model) == []
+
+    def test_gate_and_component_counts_in_paper_range(self):
+        for circuit in myers_suite():
+            assert 1 <= circuit.n_gates <= 7
+            assert 3 <= circuit.n_components <= 26
+
+
+class TestStandardSuite:
+    def test_fifteen_circuits(self):
+        suite = standard_suite()
+        assert len(suite) == 15
+
+    def test_input_range_matches_paper(self):
+        suite = standard_suite()
+        assert {c.n_inputs for c in suite} <= {1, 2, 3}
+        assert min(c.n_inputs for c in suite) == 1
+        assert max(c.n_inputs for c in suite) == 3
+
+    def test_gate_range_matches_paper(self):
+        suite = standard_suite()
+        assert min(c.n_gates for c in suite) >= 1
+        assert max(c.n_gates for c in suite) <= 9
+
+    def test_names_are_unique(self):
+        names = [c.name for c in standard_suite()]
+        assert len(names) == len(set(names))
+
+
+class TestBuildCircuit:
+    def test_custom_netlist(self):
+        netlist = Netlist("custom", inputs=["LacI", "AraC"], output="out")
+        netlist.add_gate("g1", GateType.NOR, ["LacI", "AraC"], "mid")
+        netlist.add_gate("g2", GateType.NOT, ["mid"], "out")
+        circuit = build_circuit(netlist, output_protein="RFP")
+        assert circuit.output == "RFP"
+        assert circuit.inputs == ["LacI", "AraC"]
+        assert identify_gate(circuit.expected_table) == "OR"
+        assert validate_model(circuit.model) == []
+
+    def test_expected_table_uses_protein_names(self):
+        netlist = Netlist("named", inputs=["LacI"], output="out")
+        netlist.add_gate("g", GateType.NOT, ["LacI"], "out")
+        circuit = build_circuit(netlist)
+        assert circuit.expected_table.inputs == ["LacI"]

@@ -1,0 +1,105 @@
+"""Tests for netlist → SBOL → SBML composition."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gates import GateType, Netlist, assign_proteins, default_library, netlist_to_model, netlist_to_sbol
+from repro.sbml import validate_model
+from repro.sbol import Role
+from repro.stochastic import InputSchedule, simulate_ode
+
+
+@pytest.fixture()
+def nor_netlist():
+    netlist = Netlist("nor2", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("g", GateType.NOR, ["LacI", "TetR"], "y")
+    return netlist
+
+
+@pytest.fixture()
+def cascade_netlist():
+    netlist = Netlist("cascade", inputs=["LacI", "TetR"], output="y")
+    netlist.add_gate("stage1", GateType.NAND, ["LacI", "TetR"], "w")
+    netlist.add_gate("stage2", GateType.NOT, ["w"], "y")
+    return netlist
+
+
+class TestAssignProteins:
+    def test_inputs_map_to_themselves(self, cascade_netlist):
+        mapping = assign_proteins(cascade_netlist, output_protein="GFP")
+        assert mapping["LacI"] == "LacI"
+        assert mapping["TetR"] == "TetR"
+
+    def test_output_maps_to_reporter(self, cascade_netlist):
+        mapping = assign_proteins(cascade_netlist, output_protein="GFP")
+        assert mapping["y"] == "GFP"
+
+    def test_internal_nets_get_distinct_repressors(self):
+        netlist = Netlist("two_internal", inputs=["LacI"], output="y")
+        netlist.add_gate("g1", GateType.NOT, ["LacI"], "w1")
+        netlist.add_gate("g2", GateType.NOT, ["w1"], "w2")
+        netlist.add_gate("g3", GateType.NOT, ["w2"], "y")
+        mapping = assign_proteins(netlist)
+        internal = {mapping["w1"], mapping["w2"]}
+        assert len(internal) == 2
+        assert "LacI" not in internal
+        assert "GFP" not in internal
+
+    def test_preassigned_repressor_respected(self, cascade_netlist):
+        cascade_netlist.gates[0].repressor = "CI"
+        mapping = assign_proteins(cascade_netlist)
+        assert mapping["w"] == "CI"
+
+    def test_unknown_preassigned_repressor_rejected(self, cascade_netlist):
+        cascade_netlist.gates[0].repressor = "NotARepressor"
+        with pytest.raises(ModelError):
+            assign_proteins(cascade_netlist)
+
+
+class TestNetlistToSBOL:
+    def test_document_structure(self, cascade_netlist):
+        document, mapping = netlist_to_sbol(cascade_netlist)
+        assert document.validate() == []
+        # NAND stage -> 2 units, NOT stage -> 1 unit.
+        assert len(document.units) == 3
+        assert set(document.input_species()) == {"LacI", "TetR"}
+        assert "GFP" in document.produced_species()
+
+    def test_nor_gate_single_promoter_with_two_repressions(self, nor_netlist):
+        document, _ = netlist_to_sbol(nor_netlist)
+        promoters = document.components_with_role(Role.PROMOTER)
+        assert len(promoters) == 1
+        assert set(document.repressors_of(promoters[0].display_id)) == {"LacI", "TetR"}
+
+    def test_component_count_matches_netlist_estimate(self, cascade_netlist):
+        document, _ = netlist_to_sbol(cascade_netlist)
+        assert document.genetic_component_count() == cascade_netlist.component_count()
+
+
+class TestNetlistToModel:
+    def test_model_is_valid(self, cascade_netlist):
+        model, document, mapping = netlist_to_model(cascade_netlist)
+        assert validate_model(model) == []
+        assert model.boundary_species() == ["LacI", "TetR"]
+
+    def test_and_behaviour_of_cascade(self, cascade_netlist):
+        model, _, mapping = netlist_to_model(cascade_netlist)
+        output = mapping["y"]
+        def settled(a, b):
+            schedule = InputSchedule().add(0.0, {"LacI": a, "TetR": b})
+            return simulate_ode(model, 150.0, schedule=schedule).value_at(output, 149.0)
+        assert settled(40, 40) > 25.0
+        assert settled(0, 0) < 10.0
+        assert settled(40, 0) < 10.0
+
+    def test_custom_library_kinetics_flow_through(self, nor_netlist):
+        library = default_library(strength=8.0, degradation=0.2)
+        model, _, mapping = netlist_to_model(nor_netlist, library=library)
+        kmax_values = [p.value for p in model.parameters.values() if p.sid.endswith("_kmax")]
+        assert all(v == pytest.approx(8.0) for v in kmax_values)
+
+    def test_model_id_is_valid_sid(self):
+        netlist = Netlist("with-dash", inputs=["LacI"], output="y")
+        netlist.add_gate("g", GateType.NOT, ["LacI"], "y")
+        model, _, _ = netlist_to_model(netlist)
+        assert "-" not in model.sid

@@ -1,0 +1,176 @@
+"""Tests for gate templates and netlists."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.gates import GateInstance, GateType, Netlist, gate_definition
+from repro.logic import identify_gate
+
+
+class TestGateDefinitions:
+    def test_not(self):
+        definition = gate_definition("NOT")
+        assert definition.evaluate([0]) == 1
+        assert definition.evaluate([1]) == 0
+
+    def test_nor(self):
+        definition = gate_definition("nor")
+        assert definition.evaluate([0, 0]) == 1
+        assert definition.evaluate([0, 1]) == 0
+        assert definition.evaluate([1, 1, 0]) == 0
+        assert definition.evaluate([0, 0, 0]) == 1
+
+    def test_nand(self):
+        definition = gate_definition("NAND")
+        assert definition.evaluate([1, 1]) == 0
+        assert definition.evaluate([1, 0]) == 1
+
+    def test_fan_in_limits(self):
+        with pytest.raises(NetlistError):
+            gate_definition("NOT").evaluate([0, 1])
+        with pytest.raises(NetlistError):
+            gate_definition("NOR").evaluate([0] * 5)
+
+    def test_unknown_type(self):
+        with pytest.raises(NetlistError):
+            gate_definition("XOR")
+
+    def test_component_counts(self):
+        assert gate_definition("NOT").component_count(1) == 3
+        assert gate_definition("NOR").component_count(2) == 3
+        assert gate_definition("NAND").component_count(2) == 6
+
+    def test_truth_table(self):
+        table = gate_definition("NOR").truth_table(["A", "B"])
+        assert identify_gate(table) == "NOR"
+
+
+class TestGateInstance:
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetlistError):
+            GateInstance("g", GateType.NOT, ("x",), "x")
+
+    def test_missing_input_value_rejected(self):
+        gate = GateInstance("g", GateType.NOR, ("a", "b"), "y")
+        with pytest.raises(NetlistError):
+            gate.evaluate({"a": 1})
+
+    def test_evaluate(self):
+        gate = GateInstance("g", GateType.NAND, ("a", "b"), "y")
+        assert gate.evaluate({"a": 1, "b": 1}) == 0
+        assert gate.evaluate({"a": 1, "b": 0}) == 1
+
+
+class TestNetlistValidation:
+    def test_requires_inputs(self):
+        with pytest.raises(NetlistError):
+            Netlist("empty", inputs=[], output="y")
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("dup", inputs=["a", "a"], output="y")
+
+    def test_duplicate_gate_names_rejected(self):
+        netlist = Netlist("n", inputs=["a"], output="y")
+        netlist.add_gate("g", GateType.NOT, ["a"], "y")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g", GateType.NOT, ["a"], "z")
+
+    def test_multiple_drivers_rejected(self):
+        netlist = Netlist("n", inputs=["a", "b"], output="y")
+        netlist.add_gate("g1", GateType.NOT, ["a"], "y")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g2", GateType.NOT, ["b"], "y")
+
+    def test_driving_primary_input_rejected(self):
+        netlist = Netlist("n", inputs=["a", "b"], output="y")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g", GateType.NOT, ["a"], "b")
+
+    def test_undriven_gate_input_rejected(self):
+        netlist = Netlist("n", inputs=["a"], output="y")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g", GateType.NOR, ["a", "ghost"], "y")
+
+    def test_combinational_loop_rejected(self):
+        # Incremental add_gate cannot create a loop (an undriven input is
+        # rejected first), so build the cyclic pair directly.
+        gates = [
+            GateInstance("g1", GateType.NOR, ("a", "w2"), "w1"),
+            GateInstance("g2", GateType.NOT, ("w1",), "w2"),
+        ]
+        with pytest.raises(NetlistError):
+            Netlist("loop", inputs=["a"], output="w2", gates=gates)
+
+    def test_failed_add_gate_rolls_back(self):
+        netlist = Netlist("n", inputs=["a"], output="y")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g", GateType.NOR, ["a", "ghost"], "y")
+        assert netlist.n_gates == 0
+
+    def test_check_complete(self):
+        netlist = Netlist("n", inputs=["a"], output="y")
+        with pytest.raises(NetlistError):
+            netlist.check_complete()
+        netlist.add_gate("g", GateType.NOT, ["a"], "w")
+        with pytest.raises(NetlistError):
+            netlist.check_complete()
+        netlist.add_gate("g2", GateType.NOT, ["w"], "y")
+        netlist.check_complete()
+
+
+class TestNetlistBehaviour:
+    @pytest.fixture()
+    def and_netlist(self):
+        netlist = Netlist("and", inputs=["A", "B"], output="y")
+        netlist.add_gate("nand", GateType.NAND, ["A", "B"], "w")
+        netlist.add_gate("inv", GateType.NOT, ["w"], "y")
+        return netlist
+
+    def test_evaluate_all_nets(self, and_netlist):
+        values = and_netlist.evaluate({"A": 1, "B": 1})
+        assert values == {"A": 1, "B": 1, "w": 0, "y": 1}
+
+    def test_missing_assignment_rejected(self, and_netlist):
+        with pytest.raises(NetlistError):
+            and_netlist.evaluate({"A": 1})
+
+    def test_truth_table_of_output(self, and_netlist):
+        assert identify_gate(and_netlist.truth_table()) == "AND"
+
+    def test_truth_table_of_internal_net(self, and_netlist):
+        assert identify_gate(and_netlist.truth_table("w")) == "NAND"
+
+    def test_truth_table_of_unknown_net_rejected(self, and_netlist):
+        with pytest.raises(NetlistError):
+            and_netlist.truth_table("nope")
+
+    def test_output_value(self, and_netlist):
+        assert and_netlist.output_value({"A": 1, "B": 0}) == 0
+
+    def test_expected_expression(self, and_netlist):
+        assert and_netlist.expected_expression().to_string() == "A & B"
+
+    def test_topological_order(self, and_netlist):
+        order = [g.name for g in and_netlist.topological_order()]
+        assert order.index("nand") < order.index("inv")
+
+    def test_logic_depth(self, and_netlist):
+        assert and_netlist.logic_depth() == 2
+
+    def test_counts(self, and_netlist):
+        assert and_netlist.n_gates == 2
+        assert and_netlist.component_count() == 6 + 3
+        assert and_netlist.internal_nets() == ["w"]
+
+    def test_gate_driving(self, and_netlist):
+        assert and_netlist.gate_driving("y").name == "inv"
+        assert and_netlist.gate_driving("A") is None
+
+    def test_describe_mentions_every_gate(self, and_netlist):
+        text = and_netlist.describe()
+        assert "nand" in text and "inv" in text
+
+    def test_repressor_assignment_mapping(self, and_netlist):
+        and_netlist.gates[0].repressor = "CI"
+        assert and_netlist.repressor_assignment() == {"nand": "CI"}

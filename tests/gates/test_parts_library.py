@@ -1,0 +1,99 @@
+"""Tests for the repressor parts library."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gates import InputSignal, PartsLibrary, RepressorPart, default_library
+
+
+class TestParts:
+    def test_repressor_kinetics_validated(self):
+        with pytest.raises(ModelError):
+            RepressorPart(name="Bad", promoter="pBad", strength=0.0)
+        with pytest.raises(ModelError):
+            RepressorPart(name="Bad", promoter="pBad", K=-1.0)
+
+    def test_input_signal_validated(self):
+        with pytest.raises(ModelError):
+            InputSignal(name="X", low=40.0, high=40.0)
+        with pytest.raises(ModelError):
+            InputSignal(name="X", K=0.0)
+
+
+class TestDefaultLibrary:
+    def test_contains_cello_and_figure1_repressors(self, library):
+        for name in ("PhlF", "SrpR", "BM3R1", "CI", "LacI", "TetR"):
+            assert name in library.repressors
+        assert library.repressor("PhlF").promoter == "pPhlF"
+
+    def test_contains_reporters_and_inputs(self, library):
+        assert "GFP" in library.reporters
+        assert "YFP" in library.reporters
+        assert "LacI" in library.inputs
+        assert "AraC" in library.inputs
+
+    def test_enough_repressors_for_seven_gate_circuits(self, library):
+        # The paper's largest circuits have 7 gates; 3 inputs + 1 reporter are
+        # excluded from allocation, so at least 11 free repressors are needed.
+        assert len(library.repressors) - 4 >= 7
+
+    def test_custom_kinetics(self):
+        library = default_library(strength=8.0, K=20.0, n=3.0, degradation=0.2, input_high=60.0)
+        part = library.repressor("PhlF")
+        assert part.strength == 8.0
+        assert part.K == 20.0
+        assert library.input_signal("LacI").high == 60.0
+
+    def test_undeclared_input_gets_defaults(self, library):
+        signal = library.input_signal("SomethingNew")
+        assert signal.high > signal.low
+
+
+class TestAllocation:
+    def test_allocations_are_unique(self):
+        library = default_library()
+        first = library.allocate_repressor()
+        second = library.allocate_repressor()
+        assert first.name != second.name
+
+    def test_exclusions_respected(self):
+        library = default_library()
+        part = library.allocate_repressor(exclude=["PhlF", "SrpR"])
+        assert part.name not in {"PhlF", "SrpR"}
+
+    def test_exhaustion_raises(self):
+        library = default_library()
+        everything = list(library.repressors)
+        with pytest.raises(ModelError):
+            library.allocate_repressor(exclude=everything)
+
+    def test_reset_allocation(self):
+        library = default_library()
+        first = library.allocate_repressor()
+        library.reset_allocation()
+        assert library.allocate_repressor().name == first.name
+
+    def test_copy_resets_allocation(self):
+        library = default_library()
+        library.allocate_repressor()
+        fresh = library.copy()
+        assert fresh.allocate_repressor().name == list(library.repressors)[0]
+
+    def test_duplicate_repressors_rejected(self):
+        part = RepressorPart(name="X", promoter="pX")
+        with pytest.raises(ModelError):
+            PartsLibrary([part, part], [], [])
+
+
+class TestWithKinetics:
+    def test_overrides_all_parts(self, library):
+        modified = library.with_kinetics(K=25.0, n=1.5)
+        assert all(p.K == 25.0 for p in modified.repressors.values())
+        assert all(p.n == 1.5 for p in modified.repressors.values())
+        assert all(s.K == 25.0 for s in modified.inputs.values())
+
+    def test_unspecified_values_unchanged(self, library):
+        modified = library.with_kinetics(degradation=0.5)
+        original = library.repressor("PhlF")
+        assert modified.repressor("PhlF").strength == original.strength
+        assert modified.repressor("PhlF").degradation == 0.5

@@ -1,0 +1,109 @@
+"""Tests for truth-table → NOT/NOR netlist synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.gates import synthesize, synthesize_from_expression, synthesize_from_hex
+from repro.logic import TruthTable, identify_gate
+
+
+class TestBasicSynthesis:
+    def test_not_gate(self):
+        netlist = synthesize(TruthTable.from_expression("~A"))
+        assert netlist.truth_table().outputs == [1, 0]
+        assert netlist.n_gates == 1
+
+    def test_buffer(self):
+        netlist = synthesize(TruthTable.from_expression("A", inputs=["A"]))
+        assert netlist.truth_table().outputs == [0, 1]
+        assert netlist.n_gates == 2  # two inverters
+
+    def test_and_gate(self):
+        netlist = synthesize(TruthTable.from_expression("A & B"))
+        assert identify_gate(netlist.truth_table()) == "AND"
+
+    def test_or_gate(self):
+        netlist = synthesize(TruthTable.from_expression("A | B"))
+        assert identify_gate(netlist.truth_table()) == "OR"
+
+    def test_xor_gate(self):
+        netlist = synthesize(TruthTable.from_expression("A ^ B"))
+        assert identify_gate(netlist.truth_table()) == "XOR"
+
+    def test_only_not_and_nor_gates_used(self):
+        netlist = synthesize(TruthTable.from_hex("0x96", n_inputs=3))
+        assert {g.gate_type for g in netlist.gates} <= {"NOT", "NOR"}
+
+    def test_constants_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize(TruthTable(["A", "B"], [0, 0, 0, 0]))
+        with pytest.raises(SynthesisError):
+            synthesize(TruthTable(["A", "B"], [1, 1, 1, 1]))
+
+    def test_bad_fanin_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize(TruthTable.from_expression("A & B"), max_fanin=1)
+
+
+class TestPaperCircuits:
+    @pytest.mark.parametrize("name", ["0x0B", "0x04", "0x1C"])
+    def test_figure4_circuits(self, name):
+        netlist = synthesize_from_hex(name, inputs=["LacI", "TetR", "AraC"])
+        assert netlist.truth_table().to_hex() == name
+        assert netlist.inputs == ["LacI", "TetR", "AraC"]
+
+    def test_gate_counts_in_paper_range(self):
+        """The paper's circuits contain 1-7 gates; synthesis should stay in range."""
+        for value in ("0x0B", "0x04", "0x1C", "0x8E", "0x70"):
+            netlist = synthesize_from_hex(value)
+            assert 1 <= netlist.n_gates <= 9
+
+    def test_component_counts_in_paper_range(self):
+        for value in ("0x0B", "0x04", "0x1C"):
+            netlist = synthesize_from_hex(value)
+            assert 3 <= netlist.component_count() <= 30
+
+
+class TestSynthesisOptions:
+    def test_custom_output_net(self):
+        netlist = synthesize(TruthTable.from_expression("A & B"), output="reporter")
+        assert netlist.output == "reporter"
+
+    def test_custom_name(self):
+        netlist = synthesize(TruthTable.from_expression("A & B"), name="my_circuit")
+        assert netlist.name == "my_circuit"
+
+    def test_fanin_cap_respected(self):
+        # A 4-input OR forces a tree when fan-in is capped at 2.
+        table = TruthTable.from_expression("A | B | C | D")
+        netlist = synthesize(table, max_fanin=2)
+        assert all(len(g.inputs) <= 2 for g in netlist.gates)
+        assert netlist.truth_table().outputs == table.outputs
+
+    def test_from_expression(self):
+        netlist = synthesize_from_expression("~LacI & AraC")
+        assert netlist.inputs == ["LacI", "AraC"]
+        assert netlist.truth_table().minterms() == [1]
+
+    def test_from_hex_default_name(self):
+        netlist = synthesize_from_hex("0x16")
+        assert "0x16" in netlist.name
+
+
+@given(st.integers(min_value=1, max_value=2 ** 8 - 2))
+@settings(max_examples=120, deadline=None)
+def test_synthesis_implements_specification_3_inputs(value):
+    """Every non-constant 3-input function synthesizes to an equivalent netlist."""
+    table = TruthTable.from_hex(value, n_inputs=3)
+    netlist = synthesize(table)
+    assert netlist.truth_table().outputs == table.outputs
+
+
+@given(st.integers(min_value=1, max_value=2 ** 4 - 2))
+@settings(max_examples=30, deadline=None)
+def test_synthesis_implements_specification_2_inputs(value):
+    table = TruthTable.from_hex(value, n_inputs=2)
+    netlist = synthesize(table)
+    assert netlist.truth_table().outputs == table.outputs

@@ -1,0 +1,136 @@
+"""End-to-end integration tests: SBOL → SBML → SSA → Algorithm 1 → verification.
+
+These are scaled-down versions of the benchmark experiments (shorter hold
+times, one stochastic repetition) so the whole pipeline is exercised on every
+test run without taking minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FilterConfig, LogicAnalyzer
+from repro.gates import cello_circuit, or_gate_circuit
+from repro.io import read_datalog_csv, write_datalog_csv
+from repro.logic import identify_gate
+from repro.sbml import read_sbml_string, write_sbml_string
+from repro.vlab import LogicExperiment, estimate_propagation_delay, estimate_threshold
+
+
+class TestFigure1AndGatePipeline:
+    def test_recovers_and_not_xnor(self, and_gate_log, standard_analyzer, and_circuit):
+        result = standard_analyzer.analyze(and_gate_log, expected=and_circuit.expected_table)
+        assert result.gate_name == "AND"
+        assert result.comparison.matches
+        # The initial-transient glitch at combination 00 must have been
+        # observed (output momentarily high) yet filtered out.
+        combination_00 = result.combination("00")
+        assert combination_00.high_count >= 0
+        assert not combination_00.is_high
+
+    def test_disabling_the_majority_filter_can_mislead(self, and_circuit):
+        """Without eq. (2) the decaying initial transient of the output is
+        accepted as a logic-1, which is the XNOR-misreading failure mode the
+        paper warns about."""
+        experiment = LogicExperiment.for_circuit(and_circuit, simulator="ssa")
+        # Start from a pre-loaded output so combination 00 shows a long
+        # decaying high transient (like the paper's Figure 2 trace).
+        model = and_circuit.model.copy()
+        model.set_initial_amount("GFP", 60.0)
+        experiment = LogicExperiment(
+            model=model,
+            input_species=list(and_circuit.inputs),
+            output_species=and_circuit.output,
+            circuit_name="and_gate_preloaded",
+        )
+        log = experiment.run(hold_time=60.0, rng=5)
+        lenient = LogicAnalyzer(
+            threshold=15.0,
+            filter_config=FilterConfig(use_majority_filter=False, use_fov_filter=False),
+        ).analyze(log)
+        strict = LogicAnalyzer(threshold=15.0).analyze(log)
+        assert strict.truth_table.outputs == [0, 0, 0, 1]
+        assert lenient.truth_table.outputs != strict.truth_table.outputs
+        assert lenient.combination("00").high_count > 0
+
+    def test_full_threshold_and_delay_workflow(self, and_circuit):
+        """The paper's methodology: estimate threshold and delay first, then
+        run the logic experiment with a hold time above the delay."""
+        threshold = estimate_threshold(
+            and_circuit.model, and_circuit.inputs, and_circuit.output
+        )
+        delay = estimate_propagation_delay(
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=threshold.threshold,
+            transitions=[("00", "11"), ("11", "00"), ("01", "11")],
+        )
+        hold = max(delay.recommended_hold_time(), 90.0)
+        log = LogicExperiment.for_circuit(and_circuit).run(hold_time=hold, rng=8)
+        result = LogicAnalyzer(threshold=threshold.threshold).analyze(
+            log, expected=and_circuit.expected_table
+        )
+        assert result.comparison.matches
+
+
+class TestCello0x0bPipeline:
+    def test_figure4_shape(self, cello_0x0b_log, standard_analyzer, cello_0x0b):
+        result = standard_analyzer.analyze(cello_0x0b_log, expected=cello_0x0b.expected_table)
+        assert result.comparison.matches
+        assert result.fitness > 95.0
+        # The transition into combination 100 arrives from 011 (binary order),
+        # so 100 sees a decaying high output that the majority filter removes
+        # — the exact effect the paper describes for this circuit.
+        combination_100 = result.combination("100")
+        assert combination_100.high_count > 0
+        assert not combination_100.is_high
+
+    def test_intermediate_gate_analysis(self, cello_0x0b_log, standard_analyzer, cello_0x0b):
+        """Analysing an internal repressor recovers that gate's function."""
+        internal_net = cello_0x0b.netlist.gates[0].output
+        internal_protein = {g.output: g.repressor for g in cello_0x0b.netlist.gates}[internal_net]
+        result = standard_analyzer.analyze(cello_0x0b_log, output_species=internal_protein)
+        expected = cello_0x0b.netlist.truth_table(internal_net).rename_inputs(cello_0x0b.inputs)
+        assert result.verify(expected).matches
+
+
+class TestOtherSimulatorsEndToEnd:
+    @pytest.mark.parametrize("simulator", ["next-reaction", "tau-leap", "ode"])
+    def test_or_gate_recovered_with_any_trace_source(self, simulator):
+        circuit = or_gate_circuit()
+        log = LogicExperiment.for_circuit(circuit, simulator=simulator).run(
+            hold_time=120.0, rng=13
+        )
+        result = LogicAnalyzer(threshold=15.0).analyze(log, expected=circuit.expected_table)
+        assert result.comparison.matches
+        assert result.gate_name == "OR"
+
+
+class TestPersistenceRoundtrips:
+    def test_sbml_roundtrip_preserves_recovered_logic(self, cello_0x0b):
+        """Write the circuit model to SBML, read it back, re-simulate, re-analyse."""
+        model = read_sbml_string(write_sbml_string(cello_0x0b.model))
+        experiment = LogicExperiment(
+            model=model,
+            input_species=list(cello_0x0b.inputs),
+            output_species=cello_0x0b.output,
+            circuit_name="cello_0x0b_roundtrip",
+        )
+        log = experiment.run(hold_time=150.0, rng=17)
+        result = LogicAnalyzer(threshold=15.0).analyze(log, expected="0x0B")
+        assert result.comparison.matches
+
+    def test_csv_roundtrip_preserves_analysis(self, and_gate_log, tmp_path, standard_analyzer):
+        path = tmp_path / "and.csv"
+        write_datalog_csv(and_gate_log, path)
+        result = standard_analyzer.analyze(read_datalog_csv(path))
+        assert identify_gate(result.truth_table) == "AND"
+
+
+class TestCello0x04:
+    def test_single_minterm_circuit(self):
+        circuit = cello_circuit("0x04")
+        log = LogicExperiment.for_circuit(circuit).run(hold_time=150.0, rng=21)
+        result = LogicAnalyzer(threshold=15.0).analyze(log, expected=circuit.expected_table)
+        assert result.comparison.matches
+        assert result.high_combination_labels == ["010"]

@@ -1,0 +1,70 @@
+"""Tests for CSV serialization of trajectories and data logs."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.io import read_datalog_csv, read_trajectory_csv, write_datalog_csv, write_trajectory_csv
+from repro.stochastic import Trajectory
+
+
+class TestTrajectoryCsv:
+    def test_roundtrip_via_file(self, tmp_path):
+        trajectory = Trajectory.from_dict(
+            np.arange(5.0), {"A": np.arange(5.0), "Y": np.arange(5.0) * 2}
+        )
+        path = tmp_path / "trace.csv"
+        write_trajectory_csv(trajectory, path)
+        again = read_trajectory_csv(path)
+        assert again.species == ["A", "Y"]
+        assert np.allclose(again.data, trajectory.data)
+        assert np.allclose(again.times, trajectory.times)
+
+    def test_roundtrip_via_handles(self):
+        trajectory = Trajectory.from_dict([0.0, 1.0], {"X": [3.0, 4.0]})
+        buffer = io.StringIO()
+        write_trajectory_csv(trajectory, buffer)
+        again = read_trajectory_csv(io.StringIO(buffer.getvalue()))
+        assert np.allclose(again["X"], [3.0, 4.0])
+
+    def test_missing_time_column_rejected(self):
+        with pytest.raises(ParseError):
+            read_trajectory_csv(io.StringIO("foo,bar\n1,2\n"))
+
+
+class TestDatalogCsv:
+    def test_roundtrip(self, and_gate_log, tmp_path):
+        path = tmp_path / "log.csv"
+        write_datalog_csv(and_gate_log, path)
+        again = read_datalog_csv(path)
+        assert again.input_species == and_gate_log.input_species
+        assert again.output_species == and_gate_log.output_species
+        assert again.input_high == and_gate_log.input_high
+        assert again.hold_time == and_gate_log.hold_time
+        assert again.circuit_name == and_gate_log.circuit_name
+        assert np.allclose(again.trajectory.data, and_gate_log.trajectory.data)
+        for species in and_gate_log.input_species:
+            assert np.allclose(again.applied_inputs[species], and_gate_log.applied_inputs[species])
+
+    def test_roundtrip_preserves_analysis_outcome(self, and_gate_log, tmp_path):
+        from repro.core import LogicAnalyzer
+
+        path = tmp_path / "log.csv"
+        write_datalog_csv(and_gate_log, path)
+        again = read_datalog_csv(path)
+        analyzer = LogicAnalyzer(threshold=15.0)
+        assert (
+            analyzer.analyze(again).truth_table.outputs
+            == analyzer.analyze(and_gate_log).truth_table.outputs
+        )
+
+    def test_missing_metadata_rejected(self):
+        with pytest.raises(ParseError):
+            read_datalog_csv(io.StringIO("time,A\n0,1\n"))
+
+    def test_missing_time_column_rejected(self):
+        text = "#meta:inputs=A\n#meta:output=Y\nfoo,A,Y,applied:A\n0,1,2,0\n"
+        with pytest.raises(ParseError):
+            read_datalog_csv(io.StringIO(text))

@@ -1,0 +1,63 @@
+"""Tests for JSON result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import LogicAnalyzer
+from repro.errors import ParseError
+from repro.io import load_result_dict, result_to_dict, result_to_json, save_result_json
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(11)
+    indices = np.repeat(np.arange(4), 80)
+    inputs = ((indices[:, None] >> np.arange(1, -1, -1)) & 1) * 40.0
+    output = np.clip(np.where(indices == 3, 40.0, 2.0) + rng.normal(0, 2, 320), 0, None)
+    analyzer = LogicAnalyzer(threshold=15.0)
+    return analyzer.analyze_arrays(inputs, output, ["LacI", "TetR"], expected="LacI & TetR",
+                                   circuit_name="and_gate")
+
+
+class TestResultToDict:
+    def test_core_fields(self, result):
+        payload = result_to_dict(result)
+        assert payload["circuit_name"] == "and_gate"
+        assert payload["expression"] == "LacI & TetR"
+        assert payload["truth_table_hex"] == "0x08"
+        assert payload["threshold"] == 15.0
+        assert payload["fov_ud"] == 0.25
+        assert len(payload["combinations"]) == 4
+        assert payload["fitness_percent"] > 95.0
+
+    def test_verification_block(self, result):
+        payload = result_to_dict(result)
+        assert payload["verification"]["matches"] is True
+        assert payload["verification"]["expected_hex"] == "0x08"
+
+    def test_json_serialisable(self, result):
+        text = result_to_json(result)
+        parsed = json.loads(text)
+        assert parsed["gate_name"] == "AND"
+
+    def test_combination_entries_have_paper_columns(self, result):
+        payload = result_to_dict(result)
+        combination = payload["combinations"][3]
+        for key in ("case_count", "high_count", "variation_count", "fov_est", "is_high"):
+            assert key in combination
+
+
+class TestSaveAndLoad:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        loaded = load_result_dict(path)
+        assert loaded["expression"] == "LacI & TetR"
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ParseError):
+            load_result_dict(path)

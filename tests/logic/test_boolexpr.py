@@ -1,0 +1,148 @@
+"""Tests for Boolean expressions."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.logic import And, Const, Not, Or, Var, Xor, from_minterms, minterm_string, parse_expr
+
+
+class TestEvaluation:
+    def test_constants(self):
+        assert Const(True).evaluate({}) is True
+        assert Const(False).evaluate({}) is False
+
+    def test_variable(self):
+        assert Var("A").evaluate({"A": 1}) is True
+        assert Var("A").evaluate({"A": 0}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ParseError):
+            Var("A").evaluate({})
+
+    def test_not(self):
+        assert Not(Var("A")).evaluate({"A": 0}) is True
+
+    def test_and_or(self):
+        expr = And((Var("A"), Or((Var("B"), Var("C")))))
+        assert expr.evaluate({"A": 1, "B": 0, "C": 1}) is True
+        assert expr.evaluate({"A": 1, "B": 0, "C": 0}) is False
+
+    def test_xor_odd_parity(self):
+        expr = Xor((Var("A"), Var("B"), Var("C")))
+        assert expr.evaluate({"A": 1, "B": 1, "C": 1}) is True
+        assert expr.evaluate({"A": 1, "B": 1, "C": 0}) is False
+
+    def test_operator_sugar(self):
+        expr = (Var("A") & Var("B")) | ~Var("C")
+        assert expr.evaluate({"A": 0, "B": 0, "C": 0}) is True
+        assert expr.evaluate({"A": 0, "B": 0, "C": 1}) is False
+
+    def test_nested_flattening(self):
+        expr = And((And((Var("A"), Var("B"))), Var("C")))
+        assert len(expr.operands) == 3
+
+    def test_variables_in_first_appearance_order(self):
+        expr = parse_expr("B & A | B & C")
+        assert expr.variables() == ["B", "A", "C"]
+
+
+class TestRendering:
+    def test_to_string_parseable(self):
+        source = "A & ~B | C ^ D"
+        expr = parse_expr(source)
+        again = parse_expr(expr.to_string())
+        for bits in itertools.product([0, 1], repeat=4):
+            env = dict(zip("ABCD", bits))
+            assert expr.evaluate(env) == again.evaluate(env)
+
+    def test_algebraic_style(self):
+        expr = parse_expr("A & ~B | ~A & B")
+        assert expr.to_algebraic() == "A.B' + A'.B"
+
+    def test_parenthesisation_of_or_inside_and(self):
+        expr = And((Var("A"), Or((Var("B"), Var("C")))))
+        assert expr.to_string() == "A & (B | C)"
+
+    def test_not_of_compound(self):
+        expr = Not(Or((Var("A"), Var("B"))))
+        assert expr.to_string() == "~(A | B)"
+        assert expr.to_algebraic() == "(A + B)'"
+
+    def test_constants_render(self):
+        assert Const(True).to_string() == "1"
+        assert Const(False).to_algebraic() == "0"
+
+
+class TestParser:
+    def test_simple(self):
+        assert parse_expr("A").evaluate({"A": 1}) is True
+
+    def test_precedence_not_over_and_over_or(self):
+        expr = parse_expr("~A & B | C")
+        assert expr.evaluate({"A": 0, "B": 1, "C": 0}) is True
+        assert expr.evaluate({"A": 1, "B": 1, "C": 0}) is False
+        assert expr.evaluate({"A": 1, "B": 0, "C": 1}) is True
+
+    def test_bang_as_not(self):
+        assert parse_expr("!A").evaluate({"A": 0}) is True
+
+    def test_parentheses(self):
+        expr = parse_expr("~(A | B)")
+        assert expr.evaluate({"A": 0, "B": 0}) is True
+        assert expr.evaluate({"A": 1, "B": 0}) is False
+
+    def test_constant_literals(self):
+        assert parse_expr("1 | A").evaluate({"A": 0}) is True
+        assert parse_expr("0 & A").evaluate({"A": 1}) is False
+
+    def test_passthrough_of_existing_expression(self):
+        expr = parse_expr("A & B")
+        assert parse_expr(expr) is expr
+
+    @pytest.mark.parametrize("text", ["", "   ", "A &", "A | | B", "(A", "A )", "A $ B"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_expr(text)
+
+
+class TestFromMinterms:
+    def test_and_gate(self):
+        expr = from_minterms(["A", "B"], [3])
+        assert expr.to_string() == "A & B"
+
+    def test_multiple_minterms(self):
+        expr = from_minterms(["A", "B"], [0, 3])
+        for index, expected in enumerate([1, 0, 0, 1]):
+            env = {"A": (index >> 1) & 1, "B": index & 1}
+            assert expr.evaluate(env) == bool(expected)
+
+    def test_empty_and_full(self):
+        assert from_minterms(["A"], []) == Const(False)
+        assert from_minterms(["A"], [0, 1]) == Const(True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParseError):
+            from_minterms(["A", "B"], [4])
+
+    def test_minterm_string(self):
+        assert minterm_string(3, 3) == "011"
+        assert minterm_string(0, 2) == "00"
+        with pytest.raises(ParseError):
+            minterm_string(8, 3)
+
+
+@given(st.integers(min_value=1, max_value=4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_from_minterms_matches_specification(n_inputs, data):
+    """from_minterms() is high exactly on the requested combinations."""
+    universe = list(range(2 ** n_inputs))
+    minterms = data.draw(st.sets(st.sampled_from(universe)))
+    names = [f"x{i}" for i in range(n_inputs)]
+    expr = from_minterms(names, minterms)
+    for index in universe:
+        bits = [(index >> (n_inputs - 1 - i)) & 1 for i in range(n_inputs)]
+        assert expr.evaluate(dict(zip(names, bits))) == (index in minterms)

@@ -1,0 +1,65 @@
+"""Tests for expected-vs-recovered logic comparison."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import TruthTable, compare_tables, verify_against_expected
+
+
+class TestCompareTables:
+    def test_match(self):
+        a = TruthTable.from_expression("A & B")
+        b = TruthTable.from_expression("LacI & TetR")
+        comparison = compare_tables(a, b)
+        assert comparison.matches
+        assert comparison.wrong_states == []
+        assert comparison.expected_gate == "AND"
+        assert "MATCH" in comparison.summary()
+
+    def test_mismatch_reports_wrong_states(self):
+        expected = TruthTable.from_hex("0x0B", n_inputs=3)
+        recovered = TruthTable.from_minterm_indices([0, 1, 3, 4], expected.inputs)
+        comparison = compare_tables(expected, recovered)
+        assert not comparison.matches
+        assert comparison.wrong_states == ["100"]
+        assert comparison.n_wrong_states == 1
+        assert "MISMATCH" in comparison.summary()
+
+    def test_paper_two_wrong_states_scenario(self):
+        """Circuit 0x0B at a 40-molecule threshold shows two wrong states."""
+        expected = TruthTable.from_hex("0x0B", n_inputs=3)
+        recovered = TruthTable.from_minterm_indices([0, 3], expected.inputs)
+        recovered.outputs[4] = 1  # one spurious high state
+        comparison = compare_tables(expected, recovered)
+        assert comparison.n_wrong_states == 2
+
+    def test_input_count_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_tables(
+                TruthTable.from_expression("A & B"),
+                TruthTable.from_hex("0x0B", n_inputs=3),
+            )
+
+
+class TestVerifyAgainstExpected:
+    def test_expressions(self):
+        comparison = verify_against_expected("A & B", "A & B")
+        assert comparison.matches
+
+    def test_hex_names(self):
+        comparison = verify_against_expected("0x0B", "0x0B")
+        assert comparison.matches
+        assert comparison.expected.n_inputs == 3
+
+    def test_mixed_forms(self):
+        recovered = TruthTable.from_minterm_indices([0, 1, 3], ["in1", "in2", "in3"])
+        comparison = verify_against_expected("0x0B", recovered)
+        assert comparison.matches
+
+    def test_xnor_vs_and_from_the_paper(self):
+        """The Figure-2 failure mode: unfiltered data suggests XNOR instead of AND."""
+        comparison = verify_against_expected("A & B", "A & B | ~A & ~B")
+        assert not comparison.matches
+        assert comparison.wrong_states == ["00"]
+        assert comparison.expected_gate == "AND"
+        assert comparison.recovered_gate == "XNOR"

@@ -1,0 +1,139 @@
+"""Tests for Quine–McCluskey minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.logic import Const, TruthTable, minimize, minimize_truth_table, prime_implicants
+from repro.logic.minimize import Implicant, minimal_cover
+
+
+class TestImplicant:
+    def test_pattern_rendering(self):
+        implicant = Implicant.from_minterm(5, 3)
+        assert implicant.pattern() == "101"
+
+    def test_combination_of_adjacent_minterms(self):
+        a = Implicant.from_minterm(5, 3)
+        b = Implicant.from_minterm(7, 3)
+        assert a.can_combine(b)
+        merged = a.combine(b)
+        assert merged.pattern() == "1-1"
+        assert merged.covers == frozenset({5, 7})
+        assert merged.literal_count() == 2
+
+    def test_non_adjacent_cannot_combine(self):
+        a = Implicant.from_minterm(0, 3)
+        b = Implicant.from_minterm(3, 3)
+        assert not a.can_combine(b)
+
+    def test_covers_minterm(self):
+        merged = Implicant.from_minterm(5, 3).combine(Implicant.from_minterm(7, 3))
+        assert merged.covers_minterm(5)
+        assert merged.covers_minterm(7)
+        assert not merged.covers_minterm(1)
+
+    def test_to_expression(self):
+        merged = Implicant.from_minterm(5, 3).combine(Implicant.from_minterm(7, 3))
+        expr = merged.to_expression(["A", "B", "C"])
+        assert expr.to_string() == "A & C"
+
+
+class TestPrimeImplicants:
+    def test_textbook_example(self):
+        # f(A,B,C,D) = Σ(0,1,2,5,6,7,8,9,10,14) — a classic QM exercise.
+        primes = prime_implicants(4, [0, 1, 2, 5, 6, 7, 8, 9, 10, 14])
+        patterns = {p.pattern() for p in primes}
+        assert "-0-0" in patterns  # B'D'
+        assert "--10" in patterns  # CD'
+        assert "01-1" in patterns  # A'BD
+
+    def test_overlapping_dontcares_rejected(self):
+        with pytest.raises(AnalysisError):
+            prime_implicants(2, [1], dont_cares=[1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            prime_implicants(2, [5])
+
+    def test_empty(self):
+        assert prime_implicants(2, []) == []
+
+
+class TestMinimize:
+    def test_and_gate(self):
+        assert minimize(2, [3], variables=["A", "B"]).to_string() == "A & B"
+
+    def test_or_gate(self):
+        expr = minimize(2, [1, 2, 3], variables=["A", "B"])
+        assert TruthTable.from_expression(expr, ["A", "B"]).outputs == [0, 1, 1, 1]
+
+    def test_redundant_variable_removed(self):
+        expr = minimize(3, [3, 7], variables=["A", "B", "C"])
+        assert expr.to_string() == "B & C"
+
+    def test_constants(self):
+        assert minimize(2, []) == Const(False)
+        assert minimize(2, [0, 1, 2, 3]) == Const(True)
+
+    def test_dont_cares_enable_simplification(self):
+        # f = Σ(1), d = Σ(3): with the don't-care the answer is just B.
+        expr = minimize(2, [1], dont_cares=[3], variables=["A", "B"])
+        assert expr.to_string() == "B"
+
+    def test_paper_circuit_0x0b(self):
+        expr = minimize(3, [0, 1, 3], variables=["LacI", "TetR", "AraC"])
+        table = TruthTable.from_expression(expr, ["LacI", "TetR", "AraC"])
+        assert table.minterms() == [0, 1, 3]
+
+    def test_variable_count_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            minimize(3, [1], variables=["A"])
+
+    def test_minimize_truth_table_wrapper(self):
+        table = TruthTable.from_hex("0x1C", n_inputs=3)
+        expr = minimize_truth_table(table)
+        assert TruthTable.from_expression(expr, table.inputs).outputs == table.outputs
+
+
+class TestMinimalCover:
+    def test_cover_covers_everything(self):
+        cover = minimal_cover(3, [0, 1, 3, 7])
+        for minterm in (0, 1, 3, 7):
+            assert any(imp.covers_minterm(minterm) for imp in cover)
+
+    def test_empty_minterms(self):
+        assert minimal_cover(3, []) == []
+
+    def test_cover_is_not_larger_than_minterm_count(self):
+        minterms = [0, 2, 5, 7]
+        assert len(minimal_cover(3, minterms)) <= len(minterms)
+
+
+@given(st.integers(min_value=1, max_value=4), st.data())
+@settings(max_examples=100, deadline=None)
+def test_minimization_preserves_the_function(n_inputs, data):
+    """The minimized expression computes exactly the original truth table."""
+    universe = list(range(2 ** n_inputs))
+    minterms = sorted(data.draw(st.sets(st.sampled_from(universe))))
+    names = [f"x{i}" for i in range(n_inputs)]
+    expr = minimize(n_inputs, minterms, variables=names)
+    table = TruthTable.from_expression(expr, names) if minterms and len(minterms) < len(universe) else None
+    for index in universe:
+        bits = dict(zip(names, TruthTable.combination_bits(index, n_inputs)))
+        assert expr.evaluate(bits) == (index in minterms)
+
+
+@given(st.integers(min_value=2, max_value=4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_minimized_is_never_longer_than_canonical(n_inputs, data):
+    """Minimization never produces more literals than the canonical SOP."""
+    universe = list(range(2 ** n_inputs))
+    minterms = sorted(
+        data.draw(st.sets(st.sampled_from(universe), min_size=1, max_size=len(universe) - 1))
+    )
+    names = [f"x{i}" for i in range(n_inputs)]
+    minimized = minimize(n_inputs, minterms, variables=names).to_string()
+    canonical = TruthTable.from_minterm_indices(minterms, names).to_expression().to_string()
+    assert minimized.count("x") <= canonical.count("x")

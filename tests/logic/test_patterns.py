@@ -1,0 +1,89 @@
+"""Tests for named-gate recognition."""
+
+import pytest
+
+from repro.logic import TruthTable, gate_truth_table, identify_gate, is_named_gate
+
+
+class TestGateTruthTable:
+    def test_two_input_families(self):
+        assert gate_truth_table("AND", ["A", "B"]).outputs == [0, 0, 0, 1]
+        assert gate_truth_table("OR", ["A", "B"]).outputs == [0, 1, 1, 1]
+        assert gate_truth_table("NAND", ["A", "B"]).outputs == [1, 1, 1, 0]
+        assert gate_truth_table("NOR", ["A", "B"]).outputs == [1, 0, 0, 0]
+        assert gate_truth_table("XOR", ["A", "B"]).outputs == [0, 1, 1, 0]
+        assert gate_truth_table("XNOR", ["A", "B"]).outputs == [1, 0, 0, 1]
+
+    def test_single_input_families(self):
+        assert gate_truth_table("NOT", ["A"]).outputs == [1, 0]
+        assert gate_truth_table("BUF", ["A"]).outputs == [0, 1]
+
+    def test_three_input_majority(self):
+        table = gate_truth_table("MAJORITY", ["A", "B", "C"])
+        assert table.minterms() == [3, 5, 6, 7]
+
+    def test_case_insensitive(self):
+        assert gate_truth_table("and", ["A", "B"]).outputs == [0, 0, 0, 1]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            gate_truth_table("MUX", ["A", "B"])
+
+    def test_minimum_input_count_enforced(self):
+        with pytest.raises(ValueError):
+            gate_truth_table("MAJORITY", ["A", "B"])
+
+
+class TestIdentifyGate:
+    @pytest.mark.parametrize(
+        "expression, name",
+        [
+            ("A & B", "AND"),
+            ("A | B", "OR"),
+            ("~(A & B)", "NAND"),
+            ("~(A | B)", "NOR"),
+            ("A ^ B", "XOR"),
+            ("~(A ^ B)", "XNOR"),
+            ("A & B & C", "AND"),
+            ("~(A | B | C)", "NOR"),
+            ("~A", "NOT"),
+            ("A", "BUF"),
+        ],
+    )
+    def test_standard_families(self, expression, name):
+        assert identify_gate(TruthTable.from_expression(expression)) == name
+
+    def test_constants(self):
+        assert identify_gate(TruthTable(["A"], [0, 0])) == "CONST0"
+        assert identify_gate(TruthTable(["A", "B"], [1, 1, 1, 1])) == "CONST1"
+
+    def test_majority(self):
+        table = TruthTable.from_expression("A & B | B & C | A & C")
+        assert identify_gate(table) == "MAJORITY"
+
+    def test_single_input_dependence_of_multi_input_table(self):
+        table = TruthTable.from_expression("B", inputs=["A", "B"])
+        assert identify_gate(table) == "BUF(B)"
+        inverted = TruthTable.from_expression("~A", inputs=["A", "B", "C"])
+        assert identify_gate(inverted) == "NOT(A)"
+
+    def test_unnamed_function_returns_none(self):
+        assert identify_gate(TruthTable.from_hex("0x1C", n_inputs=3)) is None
+
+    def test_paper_finding_0x0b_at_low_threshold_is_and(self):
+        """The paper reports 0x0B behaves as a 3-input AND at a 3-molecule threshold."""
+        assert identify_gate(TruthTable.from_minterm_indices([7], ["a", "b", "c"])) == "AND"
+
+
+class TestIsNamedGate:
+    def test_positive(self):
+        assert is_named_gate(TruthTable.from_expression("A & B"), "AND")
+
+    def test_negative(self):
+        assert not is_named_gate(TruthTable.from_expression("A & B"), "OR")
+
+    def test_unknown_name_is_false(self):
+        assert not is_named_gate(TruthTable.from_expression("A & B"), "LATCH")
+
+    def test_wrong_arity_is_false(self):
+        assert not is_named_gate(TruthTable.from_expression("A & B"), "MAJORITY")

@@ -1,0 +1,171 @@
+"""Tests for truth tables and the Cello hexadecimal naming convention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.logic import TruthTable, parse_expr
+
+
+class TestConstruction:
+    def test_row_count_enforced(self):
+        with pytest.raises(AnalysisError):
+            TruthTable(["A", "B"], [0, 1, 1])
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            TruthTable(["A", "A"], [0, 0, 0, 1])
+
+    def test_outputs_normalised_to_bits(self):
+        table = TruthTable(["A"], [0, 5])
+        assert table.outputs == [0, 1]
+
+    def test_from_function(self):
+        table = TruthTable.from_function(lambda a, b: a and not b, ["A", "B"])
+        assert table.outputs == [0, 0, 1, 0]
+
+    def test_from_expression(self):
+        table = TruthTable.from_expression("A & B | ~A & ~B")
+        assert table.outputs == [1, 0, 0, 1]
+
+    def test_from_expression_with_explicit_inputs(self):
+        table = TruthTable.from_expression("B", inputs=["A", "B"])
+        assert table.outputs == [0, 1, 0, 1]
+
+    def test_from_expression_constant_needs_inputs(self):
+        with pytest.raises(AnalysisError):
+            TruthTable.from_expression(parse_expr("1"))
+
+    def test_from_minterm_indices(self):
+        table = TruthTable.from_minterm_indices([3], ["A", "B"])
+        assert table.outputs == [0, 0, 0, 1]
+        with pytest.raises(AnalysisError):
+            TruthTable.from_minterm_indices([4], ["A", "B"])
+
+
+class TestHexNaming:
+    """The convention: bit i (LSB first) = output of combination index i."""
+
+    def test_0x0b_decodes_to_the_paper_combinations(self):
+        table = TruthTable.from_hex("0x0B", inputs=["in1", "in2", "in3"])
+        # High at 000, 001 and 011 — in particular at 011, the combination the
+        # paper highlights for circuit 0x0B, and low at 100 (the decaying
+        # transition the paper filters out).
+        assert table.minterms() == [0, 1, 3]
+        assert table.output_for("011") == 1
+        assert table.output_for("100") == 0
+
+    def test_0x04_single_minterm(self):
+        assert TruthTable.from_hex("0x04", n_inputs=3).minterms() == [2]
+
+    def test_0x1c_minterms(self):
+        assert TruthTable.from_hex("0x1C", n_inputs=3).minterms() == [2, 3, 4]
+
+    def test_hex_roundtrip(self):
+        for value in ("0x0B", "0x04", "0x1C", "0x8E", "0xF0"):
+            table = TruthTable.from_hex(value, n_inputs=3)
+            assert table.to_hex() == value.upper().replace("X", "x")
+
+    def test_accepts_integer_values(self):
+        assert TruthTable.from_hex(0x0B, n_inputs=3).to_hex() == "0x0B"
+
+    def test_two_input_width(self):
+        table = TruthTable.from_expression("A & B")
+        assert table.to_hex() == "0x08"
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            TruthTable.from_hex(0x1FF, n_inputs=3)
+
+
+class TestCombinations:
+    def test_bits_index_roundtrip(self):
+        assert TruthTable.combination_bits(5, 3) == (1, 0, 1)
+        assert TruthTable.combination_index((1, 0, 1)) == 5
+
+    def test_output_for_accepts_all_forms(self):
+        table = TruthTable.from_expression("A & ~B")
+        assert table.output_for(2) == 1
+        assert table.output_for("10") == 1
+        assert table.output_for((1, 0)) == 1
+        assert table.output_for("01") == 0
+
+    def test_output_for_bad_forms_rejected(self):
+        table = TruthTable.from_expression("A & B")
+        with pytest.raises(AnalysisError):
+            table.output_for("2")
+        with pytest.raises(AnalysisError):
+            table.output_for("101")
+        with pytest.raises(AnalysisError):
+            table.output_for(7)
+
+    def test_labels(self):
+        table = TruthTable.from_expression("A & B")
+        assert table.combination_labels() == ["00", "01", "10", "11"]
+
+    def test_minterms_and_maxterms_partition(self):
+        table = TruthTable.from_hex("0x1C", n_inputs=3)
+        assert sorted(table.minterms() + table.maxterms()) == list(range(8))
+
+
+class TestComparison:
+    def test_equivalent_ignores_names(self):
+        a = TruthTable.from_expression("A & B")
+        b = TruthTable.from_expression("LacI & TetR")
+        assert a.equivalent(b)
+        assert a != b  # strict equality does compare names
+
+    def test_differing_combinations(self):
+        and_gate = TruthTable.from_expression("A & B")
+        xnor = TruthTable.from_expression("A & B | ~A & ~B")
+        assert and_gate.differing_combinations(xnor) == ["00"]
+        assert and_gate.hamming_distance(xnor) == 1
+
+    def test_input_count_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            TruthTable.from_expression("A & B").differing_combinations(
+                TruthTable.from_hex("0x0B", n_inputs=3)
+            )
+
+    def test_rename_inputs(self):
+        table = TruthTable.from_expression("A & B").rename_inputs(["LacI", "TetR"])
+        assert table.inputs == ["LacI", "TetR"]
+        with pytest.raises(AnalysisError):
+            table.rename_inputs(["only_one"])
+
+
+class TestConversions:
+    def test_to_expression_canonical(self):
+        table = TruthTable.from_hex("0x04", n_inputs=3)
+        expr = table.to_expression()
+        assert TruthTable.from_expression(expr, inputs=table.inputs).outputs == table.outputs
+
+    def test_to_minimized_expression_equivalent(self):
+        table = TruthTable.from_hex("0x0B", n_inputs=3)
+        minimized = table.to_minimized_expression()
+        assert TruthTable.from_expression(minimized, inputs=table.inputs).outputs == table.outputs
+
+    def test_format_contains_all_rows(self):
+        text = TruthTable.from_expression("A & B").format(output_name="Y")
+        assert "Y" in text
+        assert text.count("\n") >= 5
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0))
+@settings(max_examples=80, deadline=None)
+def test_hex_roundtrip_property(n_inputs, raw):
+    """to_hex / from_hex are mutually inverse for every function."""
+    value = raw % (2 ** (2 ** n_inputs))
+    table = TruthTable.from_hex(value, n_inputs=n_inputs)
+    again = TruthTable.from_hex(table.to_hex(), inputs=table.inputs)
+    assert again.outputs == table.outputs
+
+
+@given(st.integers(min_value=1, max_value=4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_combination_bits_roundtrip_property(n_inputs, data):
+    index = data.draw(st.integers(min_value=0, max_value=2 ** n_inputs - 1))
+    bits = TruthTable.combination_bits(index, n_inputs)
+    assert len(bits) == n_inputs
+    assert TruthTable.combination_index(bits) == index

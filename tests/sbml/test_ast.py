@@ -1,0 +1,236 @@
+"""Tests for the kinetic-law expression language."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathParseError, PropensityError
+from repro.sbml.ast import (
+    BinOp,
+    Call,
+    Neg,
+    Num,
+    Sym,
+    compile_function,
+    from_mathml,
+    parse,
+    to_mathml,
+)
+
+
+class TestParsing:
+    def test_number(self):
+        assert parse("3.5").evaluate({}) == pytest.approx(3.5)
+
+    def test_integer(self):
+        assert parse("42").evaluate({}) == 42.0
+
+    def test_scientific_notation(self):
+        assert parse("1e-3").evaluate({}) == pytest.approx(0.001)
+        assert parse("2.5E2").evaluate({}) == pytest.approx(250.0)
+
+    def test_symbol(self):
+        assert parse("x").evaluate({"x": 7.0}) == 7.0
+
+    def test_addition_and_subtraction(self):
+        assert parse("1 + 2 - 4").evaluate({}) == -1.0
+
+    def test_multiplication_precedence(self):
+        assert parse("2 + 3 * 4").evaluate({}) == 14.0
+
+    def test_division(self):
+        assert parse("10 / 4").evaluate({}) == 2.5
+
+    def test_power_right_associative(self):
+        assert parse("2 ^ 3 ^ 2").evaluate({}) == 512.0
+
+    def test_unary_minus(self):
+        assert parse("-3 + 5").evaluate({}) == 2.0
+
+    def test_unary_plus(self):
+        assert parse("+3").evaluate({}) == 3.0
+
+    def test_parentheses(self):
+        assert parse("(2 + 3) * 4").evaluate({}) == 20.0
+
+    def test_function_call(self):
+        assert parse("exp(0)").evaluate({}) == 1.0
+
+    def test_nested_functions(self):
+        assert parse("sqrt(abs(-16))").evaluate({}) == 4.0
+
+    def test_min_max_variadic(self):
+        assert parse("min(3, 1, 2)").evaluate({}) == 1.0
+        assert parse("max(3, 1, 2)").evaluate({}) == 3.0
+
+    def test_hill_functions(self):
+        assert parse("hill_rep(0, 10, 2)").evaluate({}) == 1.0
+        assert parse("hill_act(0, 10, 2)").evaluate({}) == 0.0
+        assert parse("hill_rep(10, 10, 2)").evaluate({}) == pytest.approx(0.5)
+        assert parse("hill_act(10, 10, 2)").evaluate({}) == pytest.approx(0.5)
+
+    def test_hill_rep_plus_act_is_one(self):
+        x = parse("hill_rep(x, 8, 3) + hill_act(x, 8, 3)")
+        for value in (0.5, 5.0, 20.0):
+            assert x.evaluate({"x": value}) == pytest.approx(1.0)
+
+    def test_parse_expr_passthrough(self):
+        tree = parse("a + b")
+        assert parse(tree) is tree
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(MathParseError):
+            parse("   ")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(MathParseError):
+            parse("foo(1)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(MathParseError):
+            parse("1 + 2 )")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(MathParseError):
+            parse("(1 + 2")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(MathParseError):
+            parse("a $ b")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(PropensityError):
+            parse("exp(1, 2)")
+
+
+class TestEvaluation:
+    def test_missing_symbol_raises(self):
+        with pytest.raises(PropensityError):
+            parse("x + 1").evaluate({})
+
+    def test_symbols_in_order(self):
+        assert parse("b * a + b").symbols() == ["b", "a"]
+
+    def test_substitute(self):
+        expr = parse("a + b").substitute({"a": parse("2 * c")})
+        assert expr.evaluate({"b": 1.0, "c": 3.0}) == 7.0
+
+    def test_infix_roundtrip_preserves_value(self):
+        source = "kmax * hill_rep(A, K, n) + 0.5 * (B - C) / (1 + B ^ 2)"
+        env = {"kmax": 4.0, "A": 7.0, "K": 10.0, "n": 2.0, "B": 3.0, "C": 1.0}
+        tree = parse(source)
+        again = parse(tree.to_infix())
+        assert again.evaluate(env) == pytest.approx(tree.evaluate(env))
+
+    def test_subtraction_grouping_in_infix(self):
+        tree = parse("a - (b - c)")
+        env = {"a": 10.0, "b": 4.0, "c": 1.0}
+        assert parse(tree.to_infix()).evaluate(env) == pytest.approx(7.0)
+
+
+class TestCompileFunction:
+    def test_matches_interpreter(self):
+        expr = "kmax * hill_rep(A, K, n)"
+        fn = compile_function(expr, ["A"], {"kmax": 4.0, "K": 10.0, "n": 2.0})
+        tree = parse(expr)
+        for amount in (0.0, 1.0, 10.0, 55.0):
+            expected = tree.evaluate({"A": amount, "kmax": 4.0, "K": 10.0, "n": 2.0})
+            assert fn(amount) == pytest.approx(expected)
+
+    def test_multiple_arguments(self):
+        fn = compile_function("a * b + c", ["a", "b", "c"])
+        assert fn(2.0, 3.0, 4.0) == 10.0
+
+    def test_missing_constant_raises(self):
+        with pytest.raises(PropensityError):
+            compile_function("a * k", ["a"])
+
+    def test_constants_are_snapshotted_at_compile_time(self):
+        constants = {"k": 2.0}
+        fn = compile_function("a * k", ["a"], constants)
+        assert fn(3.0) == 6.0
+        constants["k"] = 5.0
+        # Later mutation of the caller's dict must not change compiled laws.
+        assert fn(3.0) == 6.0
+
+
+class TestMathML:
+    def _roundtrip(self, text):
+        xml = to_mathml(text)
+        element = ET.fromstring(xml)
+        return from_mathml(element)
+
+    def test_roundtrip_simple(self):
+        tree = self._roundtrip("1 + x * 2")
+        assert tree.evaluate({"x": 3.0}) == 7.0
+
+    def test_roundtrip_power(self):
+        tree = self._roundtrip("x ^ 3")
+        assert tree.evaluate({"x": 2.0}) == 8.0
+
+    def test_roundtrip_unary_minus(self):
+        tree = self._roundtrip("-x")
+        assert tree.evaluate({"x": 2.5}) == -2.5
+
+    def test_roundtrip_named_function(self):
+        tree = self._roundtrip("exp(x)")
+        assert tree.evaluate({"x": 1.0}) == pytest.approx(math.e)
+
+    def test_hill_functions_expand_to_core_mathml(self):
+        xml = to_mathml("hill_rep(A, 10, 2)")
+        assert "hill_rep" not in xml
+        tree = from_mathml(ET.fromstring(xml))
+        assert tree.evaluate({"A": 10.0}) == pytest.approx(0.5)
+
+    def test_namespace_present(self):
+        assert "http://www.w3.org/1998/Math/MathML" in to_mathml("1 + 1")
+
+    def test_piecewise_not_serializable(self):
+        with pytest.raises(PropensityError):
+            to_mathml("piecewise(1, 1, 0)")
+
+
+# --- property-based tests ----------------------------------------------------
+
+_names = st.sampled_from(["A", "B", "kd", "kmax", "x1"])
+
+
+def _expressions(depth=0):
+    if depth >= 3:
+        return st.one_of(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False).map(Num),
+            _names.map(Sym),
+        )
+    sub = st.deferred(lambda: _expressions(depth + 1))
+    return st.one_of(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False).map(Num),
+        _names.map(Sym),
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        sub.map(Neg),
+    )
+
+
+@given(_expressions())
+@settings(max_examples=60, deadline=None)
+def test_infix_roundtrip_property(expr):
+    """Serializing to infix and re-parsing never changes the value."""
+    env = {"A": 3.0, "B": 0.5, "kd": 0.1, "kmax": 4.0, "x1": 7.0}
+    reparsed = parse(expr.to_infix())
+    assert reparsed.evaluate(env) == pytest.approx(expr.evaluate(env), rel=1e-9, abs=1e-9)
+
+
+@given(_expressions())
+@settings(max_examples=60, deadline=None)
+def test_compiled_matches_interpreted_property(expr):
+    """Compiled propensities agree with AST interpretation."""
+    env = {"A": 3.0, "B": 0.5, "kd": 0.1, "kmax": 4.0, "x1": 7.0}
+    names = expr.symbols()
+    fn = compile_function(expr, names)
+    assert fn(*(env[name] for name in names)) == pytest.approx(
+        expr.evaluate(env), rel=1e-9, abs=1e-9
+    )

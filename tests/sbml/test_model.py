@@ -1,0 +1,182 @@
+"""Tests for the SBML model representation."""
+
+import pytest
+
+from repro.errors import DuplicateIdError, ModelError, UnknownIdError
+from repro.sbml import KineticLaw, Model, SpeciesReference, is_valid_sid, parse
+
+
+class TestIdentifiers:
+    @pytest.mark.parametrize("sid", ["a", "A1", "_x", "gene_2", "LacI"])
+    def test_valid_sids(self, sid):
+        assert is_valid_sid(sid)
+
+    @pytest.mark.parametrize("sid", ["", "1a", "a-b", "a b", "a.b", "0x0B"])
+    def test_invalid_sids(self, sid):
+        assert not is_valid_sid(sid)
+
+    def test_model_rejects_invalid_id(self):
+        with pytest.raises(ModelError):
+            Model("1bad")
+
+
+class TestConstruction:
+    def test_add_species_creates_default_compartment(self):
+        model = Model("m")
+        model.add_species("X")
+        assert "cell" in model.compartments
+
+    def test_duplicate_species_rejected(self):
+        model = Model("m")
+        model.add_species("X")
+        with pytest.raises(DuplicateIdError):
+            model.add_species("X")
+
+    def test_duplicate_parameter_rejected(self):
+        model = Model("m")
+        model.add_parameter("k", 1.0)
+        with pytest.raises(DuplicateIdError):
+            model.add_parameter("k", 2.0)
+
+    def test_duplicate_reaction_rejected(self, toy_model):
+        with pytest.raises(DuplicateIdError):
+            toy_model.add_reaction(
+                "degradation_Y", reactants=[("Y", 1.0)], kinetic_law="kd * Y"
+            )
+
+    def test_unknown_compartment_rejected(self):
+        model = Model("m")
+        model.add_compartment("cell")
+        with pytest.raises(UnknownIdError):
+            model.add_species("X", compartment="nucleus")
+
+    def test_negative_initial_amount_rejected(self):
+        model = Model("m")
+        with pytest.raises(ModelError):
+            model.add_species("X", initial_amount=-1.0)
+
+    def test_reaction_with_unknown_species_rejected(self):
+        model = Model("m")
+        model.add_species("X")
+        with pytest.raises(UnknownIdError):
+            model.add_reaction("r", reactants=[("Z", 1.0)], kinetic_law="1")
+
+    def test_reaction_with_unknown_symbol_rejected(self):
+        model = Model("m")
+        model.add_species("X")
+        with pytest.raises(UnknownIdError):
+            model.add_reaction("r", products=[("X", 1.0)], kinetic_law="k_unknown")
+
+    def test_local_parameters_shadow_globals(self):
+        model = Model("m")
+        model.add_species("X")
+        model.add_reaction(
+            "r",
+            products=[("X", 1.0)],
+            kinetic_law=KineticLaw(parse("k"), {"k": 2.0}),
+        )
+        assert model.reactions["r"].kinetic_law.symbols() == []
+
+    def test_zero_stoichiometry_rejected(self):
+        with pytest.raises(ModelError):
+            SpeciesReference("X", 0.0)
+
+    def test_compartment_size_must_be_positive(self):
+        model = Model("m")
+        with pytest.raises(ModelError):
+            model.add_compartment("empty", size=0.0)
+
+
+class TestQueries:
+    def test_species_ids_order(self, toy_model):
+        assert toy_model.species_ids() == ["A", "Y"]
+
+    def test_initial_state(self, toy_model):
+        assert toy_model.initial_state() == {"A": 0.0, "Y": 0.0}
+
+    def test_boundary_species(self, toy_model):
+        assert toy_model.boundary_species() == ["A"]
+
+    def test_parameter_values_include_compartments(self, toy_model):
+        values = toy_model.parameter_values()
+        assert values["kmax"] == 4.0
+        assert values["cell"] == 1.0
+
+    def test_net_stoichiometry(self, toy_model):
+        production = toy_model.get_reaction("production_Y")
+        degradation = toy_model.get_reaction("degradation_Y")
+        assert production.net_stoichiometry() == {"Y": 1.0}
+        assert degradation.net_stoichiometry() == {"Y": -1.0}
+
+    def test_net_stoichiometry_cancels_catalytic_species(self):
+        model = Model("m")
+        model.add_species("X", initial_amount=5)
+        model.add_species("Y")
+        model.add_reaction(
+            "r",
+            reactants=[("X", 1.0)],
+            products=[("X", 1.0), ("Y", 1.0)],
+            kinetic_law="X",
+        )
+        assert model.get_reaction("r").net_stoichiometry() == {"Y": 1.0}
+
+    def test_get_unknown_species_raises(self, toy_model):
+        with pytest.raises(UnknownIdError):
+            toy_model.get_species("nope")
+
+    def test_set_initial_amount(self, toy_model):
+        toy_model.set_initial_amount("Y", 12.0)
+        assert toy_model.species["Y"].initial_amount == 12.0
+        with pytest.raises(ModelError):
+            toy_model.set_initial_amount("Y", -3.0)
+
+    def test_len_and_iter(self, toy_model):
+        assert len(toy_model) == 2
+        assert [r.sid for r in toy_model] == ["production_Y", "degradation_Y"]
+
+
+class TestCopyAndMerge:
+    def test_copy_is_deep(self, toy_model):
+        clone = toy_model.copy()
+        clone.set_initial_amount("Y", 99.0)
+        clone.parameters["kmax"].value = 123.0
+        assert toy_model.species["Y"].initial_amount == 0.0
+        assert toy_model.parameters["kmax"].value == 4.0
+
+    def test_copy_preserves_structure(self, toy_model):
+        clone = toy_model.copy("renamed")
+        assert clone.sid == "renamed"
+        assert clone.species_ids() == toy_model.species_ids()
+        assert clone.reaction_ids() == toy_model.reaction_ids()
+
+    def test_merge_shares_species(self, toy_model):
+        other = Model("stage2")
+        other.add_compartment("cell")
+        other.add_species("Y")  # shared with toy_model
+        other.add_species("Z")
+        other.add_parameter("k2", 1.0)
+        other.add_reaction(
+            "production_Z",
+            products=[("Z", 1.0)],
+            modifiers=["Y"],
+            kinetic_law="k2 * hill_rep(Y, 10, 2)",
+        )
+        toy_model.merge(other)
+        assert "Z" in toy_model.species
+        assert "production_Z" in toy_model.reactions
+        # The shared species was not duplicated.
+        assert toy_model.species_ids().count("Y") == 1
+
+    def test_merge_with_prefix_renames_everything(self, toy_model):
+        other = toy_model.copy("copy")
+        merged = Model("combined")
+        merged.merge(toy_model)
+        merged.merge(other, prefix="g2_")
+        assert "g2_Y" in merged.species
+        assert "g2_production_Y" in merged.reactions
+        law = merged.reactions["g2_production_Y"].kinetic_law
+        assert "g2_A" in law.math.symbols()
+
+    def test_merge_duplicate_reaction_rejected(self, toy_model):
+        with pytest.raises(DuplicateIdError):
+            toy_model.merge(toy_model.copy())

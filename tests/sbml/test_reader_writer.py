@@ -1,0 +1,148 @@
+"""Round-trip and error tests for SBML reading/writing."""
+
+import pytest
+
+from repro.errors import SBMLParseError
+from repro.sbml import (
+    Model,
+    read_sbml_file,
+    read_sbml_string,
+    write_sbml_file,
+    write_sbml_string,
+)
+
+
+def _roundtrip(model: Model) -> Model:
+    return read_sbml_string(write_sbml_string(model))
+
+
+class TestRoundTrip:
+    def test_species_attributes_survive(self, toy_model):
+        again = _roundtrip(toy_model)
+        assert again.species_ids() == toy_model.species_ids()
+        assert again.species["A"].boundary_condition is True
+        assert again.species["Y"].boundary_condition is False
+
+    def test_parameters_survive(self, toy_model):
+        again = _roundtrip(toy_model)
+        assert again.parameters["kmax"].value == pytest.approx(4.0)
+        assert again.parameters["n"].value == pytest.approx(2.5)
+
+    def test_reactions_survive(self, toy_model):
+        again = _roundtrip(toy_model)
+        assert again.reaction_ids() == toy_model.reaction_ids()
+        production = again.get_reaction("production_Y")
+        assert production.modifiers == ["A"]
+        assert [p.species for p in production.products] == ["Y"]
+
+    def test_kinetic_laws_evaluate_identically(self, toy_model):
+        again = _roundtrip(toy_model)
+        env = {"A": 12.0, "Y": 5.0, **toy_model.parameter_values()}
+        for rid in toy_model.reaction_ids():
+            original = toy_model.get_reaction(rid).kinetic_law.math.evaluate(env)
+            rebuilt = again.get_reaction(rid).kinetic_law.math.evaluate(env)
+            assert rebuilt == pytest.approx(original)
+
+    def test_notes_survive(self, toy_model):
+        toy = toy_model.copy()
+        toy.notes = "A hand-built NOT gate"
+        again = _roundtrip(toy)
+        assert "NOT gate" in again.notes
+
+    def test_initial_amounts_survive(self, toy_model):
+        toy = toy_model.copy()
+        toy.set_initial_amount("A", 40.0)
+        again = _roundtrip(toy)
+        assert again.species["A"].initial_amount == pytest.approx(40.0)
+
+    def test_local_parameters_survive(self):
+        model = Model("m")
+        model.add_species("X")
+        model.add_reaction(
+            "r", products=[("X", 1.0)], kinetic_law="k_local", local_parameters={"k_local": 3.0}
+        )
+        again = _roundtrip(model)
+        assert again.get_reaction("r").kinetic_law.local_parameters == {"k_local": 3.0}
+
+    def test_stoichiometry_survives(self):
+        model = Model("m")
+        model.add_species("X")
+        model.add_species("D")
+        model.add_reaction(
+            "dimerise",
+            reactants=[("X", 2.0)],
+            products=[("D", 1.0)],
+            kinetic_law="X * (X - 1)",
+        )
+        again = _roundtrip(model)
+        assert again.get_reaction("dimerise").reactants[0].stoichiometry == pytest.approx(2.0)
+
+    def test_file_roundtrip(self, toy_model, tmp_path):
+        path = tmp_path / "model.xml"
+        write_sbml_file(toy_model, path)
+        again = read_sbml_file(path)
+        assert again.sid == toy_model.sid
+        assert again.reaction_ids() == toy_model.reaction_ids()
+
+    def test_gate_circuit_model_roundtrips(self, and_circuit):
+        again = _roundtrip(and_circuit.model)
+        assert set(again.species_ids()) == set(and_circuit.model.species_ids())
+        assert set(again.reaction_ids()) == set(and_circuit.model.reaction_ids())
+
+    def test_double_roundtrip_is_stable(self, toy_model):
+        once = write_sbml_string(_roundtrip(toy_model))
+        twice = write_sbml_string(_roundtrip(read_sbml_string(once)))
+        assert once == twice
+
+
+class TestWriterOutput:
+    def test_declares_level_3(self, toy_model):
+        text = write_sbml_string(toy_model)
+        assert 'level="3"' in text
+        assert "http://www.sbml.org/sbml/level3/version1/core" in text
+
+    def test_escapes_attribute_values(self):
+        model = Model("m", name='needs "quoting" & escaping')
+        model.add_species("X")
+        model.add_reaction("r", products=[("X", 1.0)], kinetic_law="1")
+        text = write_sbml_string(model)
+        assert "&quot;" in text or "&amp;" in text
+        read_sbml_string(text)  # must stay parseable
+
+
+class TestReaderErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml_string("<sbml><model>")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml_string("<notSBML/>")
+
+    def test_missing_model_element(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml_string('<sbml xmlns="http://www.sbml.org/sbml/level3/version1/core"/>')
+
+    def test_species_without_id(self):
+        text = """<sbml xmlns="http://www.sbml.org/sbml/level3/version1/core">
+          <model id="m"><listOfSpecies><species/></listOfSpecies></model></sbml>"""
+        with pytest.raises(SBMLParseError):
+            read_sbml_string(text)
+
+    def test_kinetic_law_without_math(self):
+        text = """<sbml xmlns="http://www.sbml.org/sbml/level3/version1/core">
+          <model id="m">
+            <listOfSpecies><species id="X" compartment="cell"/></listOfSpecies>
+            <listOfReactions><reaction id="r"><kineticLaw/></reaction></listOfReactions>
+          </model></sbml>"""
+        with pytest.raises(SBMLParseError):
+            read_sbml_string(text)
+
+    def test_unknown_elements_are_ignored(self):
+        text = """<sbml xmlns="http://www.sbml.org/sbml/level3/version1/core">
+          <model id="m">
+            <listOfUnitDefinitions><unitDefinition id="u"/></listOfUnitDefinitions>
+            <listOfSpecies><species id="X" compartment="cell" initialAmount="1"/></listOfSpecies>
+          </model></sbml>"""
+        model = read_sbml_string(text)
+        assert model.species_ids() == ["X"]

@@ -1,0 +1,92 @@
+"""Tests for model validation rules."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sbml import Model, check_model, validate_model
+
+
+def _base_model() -> Model:
+    model = Model("m")
+    model.add_compartment("cell")
+    model.add_species("A", boundary_condition=True)
+    model.add_species("Y")
+    model.add_parameter("k", 1.0)
+    model.add_parameter("kd", 0.1)
+    model.add_reaction(
+        "production", products=[("Y", 1.0)], modifiers=["A"], kinetic_law="k * hill_rep(A, 10, 2)"
+    )
+    model.add_reaction("degradation", reactants=[("Y", 1.0)], kinetic_law="kd * Y")
+    return model
+
+
+class TestValidateModel:
+    def test_valid_model_has_no_problems(self):
+        assert validate_model(_base_model()) == []
+
+    def test_circuit_models_are_valid(self, and_circuit, cello_0x0b):
+        assert validate_model(and_circuit.model) == []
+        assert validate_model(cello_0x0b.model) == []
+
+    def test_missing_reactions_reported(self):
+        model = Model("m")
+        model.add_compartment("cell")
+        model.add_species("X")
+        problems = validate_model(model)
+        assert any("no reactions" in p for p in problems)
+
+    def test_missing_species_reported(self):
+        model = Model("m")
+        model.add_compartment("cell")
+        problems = validate_model(model)
+        assert any("no species" in p for p in problems)
+
+    def test_missing_kinetic_law_reported(self):
+        model = _base_model()
+        model.add_species("Z")
+        model.add_reaction("no_law", products=[("Z", 1.0)])
+        problems = validate_model(model)
+        assert any("no kinetic law" in p for p in problems)
+
+    def test_undegraded_species_reported(self):
+        model = _base_model()
+        model.add_species("W")
+        model.add_reaction("make_w", products=[("W", 1.0)], kinetic_law="k")
+        problems = validate_model(model)
+        assert any("never degraded" in p for p in problems)
+        # ... unless the genetic-circuit specific check is disabled.
+        assert not any(
+            "never degraded" in p for p in validate_model(model, require_degradation=False)
+        )
+
+    def test_produced_boundary_species_reported(self):
+        model = _base_model()
+        model.add_reaction("bad", products=[("A", 1.0)], kinetic_law="k")
+        problems = validate_model(model)
+        assert any("boundary (input) species" in p for p in problems)
+
+    def test_law_ignoring_reactants_reported(self):
+        model = _base_model()
+        model.add_species("Z", initial_amount=5)
+        model.add_reaction("odd", reactants=[("Z", 1.0)], kinetic_law="k")
+        problems = validate_model(model)
+        assert any("does not depend" in p for p in problems)
+
+    def test_negative_parameter_reported(self):
+        model = _base_model()
+        model.parameters["k"].value = -1.0
+        problems = validate_model(model)
+        assert any("negative value" in p for p in problems)
+
+
+class TestCheckModel:
+    def test_check_passes_silently(self):
+        check_model(_base_model())
+
+    def test_check_raises_with_all_messages(self):
+        model = Model("m")
+        model.add_compartment("cell")
+        with pytest.raises(ValidationError) as excinfo:
+            check_model(model)
+        assert "no species" in str(excinfo.value)
+        assert "no reactions" in str(excinfo.value)

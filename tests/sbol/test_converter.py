@@ -1,0 +1,155 @@
+"""Tests for the SBOL→SBML converter."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.sbml import validate_model
+from repro.sbol import (
+    ConversionParameters,
+    SBOLDocument,
+    cds,
+    promoter,
+    protein,
+    sbol_to_sbml,
+    terminator,
+)
+from repro.stochastic import InputSchedule, simulate_ode
+
+
+def _not_gate_document(**promoter_props) -> SBOLDocument:
+    doc = SBOLDocument("not_gate")
+    doc.add_components(
+        [
+            protein("LacI"),
+            protein("GFP"),
+            promoter("pTac", **promoter_props),
+            cds("cds_gfp"),
+            terminator("t1"),
+        ]
+    )
+    doc.add_unit("tu", ["pTac", "cds_gfp", "t1"])
+    doc.add_repression("LacI", "pTac")
+    doc.add_production("cds_gfp", "GFP")
+    return doc
+
+
+def _tandem_or_document() -> SBOLDocument:
+    """Two repressible promoters in one unit: NOT(A) OR NOT(B) behaviour."""
+    doc = SBOLDocument("tandem")
+    doc.add_components(
+        [
+            protein("LacI"),
+            protein("TetR"),
+            protein("CI"),
+            promoter("P1"),
+            promoter("P2"),
+            cds("c"),
+            terminator("t"),
+        ]
+    )
+    doc.add_unit("tu", ["P1", "P2", "c", "t"])
+    doc.add_repression("LacI", "P1")
+    doc.add_repression("TetR", "P2")
+    doc.add_production("c", "CI")
+    return doc
+
+
+class TestStructure:
+    def test_species_partition(self):
+        model = sbol_to_sbml(_not_gate_document())
+        assert model.species["LacI"].boundary_condition is True
+        assert model.species["GFP"].boundary_condition is False
+
+    def test_reactions_created(self):
+        model = sbol_to_sbml(_not_gate_document())
+        assert "production_tu_GFP" in model.reactions
+        assert "degradation_GFP" in model.reactions
+
+    def test_modifiers_listed(self):
+        model = sbol_to_sbml(_not_gate_document())
+        assert model.reactions["production_tu_GFP"].modifiers == ["LacI"]
+
+    def test_generated_model_is_valid(self):
+        assert validate_model(sbol_to_sbml(_not_gate_document())) == []
+        assert validate_model(sbol_to_sbml(_tandem_or_document())) == []
+
+    def test_initial_input_amounts(self):
+        model = sbol_to_sbml(_not_gate_document(), input_amounts={"LacI": 25.0})
+        assert model.species["LacI"].initial_amount == pytest.approx(25.0)
+
+    def test_invalid_document_rejected(self):
+        doc = SBOLDocument("broken")
+        doc.add_components([promoter("p"), cds("c"), terminator("t")])
+        doc.add_unit("tu", ["p", "c", "t"])  # CDS has no product
+        with pytest.raises(ConversionError):
+            sbol_to_sbml(doc)
+
+    def test_tandem_promoters_sum_their_activity(self):
+        model = sbol_to_sbml(_tandem_or_document())
+        law = model.reactions["production_tu_CI"].kinetic_law.math.to_infix()
+        assert law.count("hill_rep") == 2
+        assert "+" in law
+
+
+class TestParameterHandling:
+    def test_defaults_applied(self):
+        parameters = ConversionParameters(promoter_strength=6.0, degradation_rate=0.2)
+        model = sbol_to_sbml(_not_gate_document(), parameters=parameters)
+        kmax = [p for p in model.parameters.values() if p.sid.endswith("_kmax")]
+        assert kmax and kmax[0].value == pytest.approx(6.0)
+        assert model.parameters["kd_GFP"].value == pytest.approx(0.2)
+
+    def test_part_properties_override_defaults(self):
+        model = sbol_to_sbml(_not_gate_document(strength=9.0))
+        kmax = [p for p in model.parameters.values() if p.sid.endswith("_kmax")]
+        assert kmax and kmax[0].value == pytest.approx(9.0)
+
+    def test_protein_properties_set_repression_constants(self):
+        doc = _not_gate_document()
+        doc.components["LacI"].properties.update({"K": 7.0, "n": 4.0})
+        model = sbol_to_sbml(doc)
+        k_params = [p.value for p in model.parameters.values() if "_K0" in p.sid]
+        n_params = [p.value for p in model.parameters.values() if "_n0" in p.sid]
+        assert k_params == [pytest.approx(7.0)]
+        assert n_params == [pytest.approx(4.0)]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConversionError):
+            ConversionParameters(promoter_strength=0.0)
+        with pytest.raises(ConversionError):
+            ConversionParameters(leak_fraction=1.5)
+        with pytest.raises(ConversionError):
+            ConversionParameters(degradation_rate=-0.1)
+
+
+class TestBehaviour:
+    """The converted models must actually behave as the structure dictates."""
+
+    def test_not_gate_inverts(self):
+        model = sbol_to_sbml(_not_gate_document())
+        low = simulate_ode(model, 150.0, schedule=InputSchedule().add(0.0, {"LacI": 0.0}))
+        high = simulate_ode(model, 150.0, schedule=InputSchedule().add(0.0, {"LacI": 40.0}))
+        assert low.value_at("GFP", 149.0) > 25.0
+        assert high.value_at("GFP", 149.0) < 5.0
+
+    def test_tandem_unit_behaves_as_nand(self):
+        model = sbol_to_sbml(_tandem_or_document())
+        def settled(a, b):
+            schedule = InputSchedule().add(0.0, {"LacI": a, "TetR": b})
+            return simulate_ode(model, 150.0, schedule=schedule).value_at("CI", 149.0)
+        assert settled(0, 0) > 25.0      # both promoters active
+        assert settled(40, 0) > 25.0     # one promoter still active
+        assert settled(0, 40) > 25.0
+        assert settled(40, 40) < 10.0    # both repressed -> only leak remains
+
+    def test_leak_fraction_zero_gives_tighter_off_state(self):
+        tight = sbol_to_sbml(
+            _not_gate_document(), parameters=ConversionParameters(leak_fraction=0.0)
+        )
+        leaky = sbol_to_sbml(
+            _not_gate_document(), parameters=ConversionParameters(leak_fraction=0.05)
+        )
+        schedule = InputSchedule().add(0.0, {"LacI": 40.0})
+        off_tight = simulate_ode(tight, 150.0, schedule=schedule).value_at("GFP", 149.0)
+        off_leaky = simulate_ode(leaky, 150.0, schedule=schedule).value_at("GFP", 149.0)
+        assert off_tight < off_leaky

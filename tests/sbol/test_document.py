@@ -1,0 +1,151 @@
+"""Tests for SBOL documents (transcriptional units and interactions)."""
+
+import pytest
+
+from repro.errors import DuplicateIdError, ModelError, UnknownIdError
+from repro.sbol import InteractionType, ParticipationRole, Role, SBOLDocument, cds, promoter, protein, terminator
+
+
+def _figure1_document() -> SBOLDocument:
+    """The structure of the paper's Figure 1 AND gate."""
+    doc = SBOLDocument("and_gate")
+    doc.add_components(
+        [
+            protein("LacI"),
+            protein("TetR"),
+            protein("CI"),
+            protein("GFP"),
+            promoter("P1"),
+            promoter("P2"),
+            promoter("P3"),
+            cds("cds_ci_a"),
+            cds("cds_ci_b"),
+            cds("cds_gfp"),
+            terminator("T1"),
+            terminator("T2"),
+            terminator("T3"),
+        ]
+    )
+    doc.add_unit("tu1", ["P1", "cds_ci_a", "T1"])
+    doc.add_unit("tu2", ["P2", "cds_ci_b", "T2"])
+    doc.add_unit("tu3", ["P3", "cds_gfp", "T3"])
+    doc.add_repression("LacI", "P1")
+    doc.add_repression("TetR", "P2")
+    doc.add_repression("CI", "P3")
+    doc.add_production("cds_ci_a", "CI")
+    doc.add_production("cds_ci_b", "CI")
+    doc.add_production("cds_gfp", "GFP")
+    return doc
+
+
+@pytest.fixture()
+def figure1():
+    return _figure1_document()
+
+
+class TestConstruction:
+    def test_duplicate_component_rejected(self, figure1):
+        with pytest.raises(DuplicateIdError):
+            figure1.add_component(protein("LacI"))
+
+    def test_ensure_component_is_idempotent(self, figure1):
+        before = len(figure1.components)
+        figure1.ensure_component(protein("LacI"))
+        assert len(figure1.components) == before
+
+    def test_ensure_component_role_conflict_rejected(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.ensure_component(promoter("LacI"))
+
+    def test_unit_requires_known_parts(self, figure1):
+        with pytest.raises(UnknownIdError):
+            figure1.add_unit("bad", ["P1", "missing_part", "T1"])
+
+    def test_unit_rejects_non_dna_parts(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.add_unit("bad", ["P1", "LacI", "T1"])
+
+    def test_repression_requires_promoter_target(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.add_repression("LacI", "cds_gfp")
+
+    def test_production_requires_cds_template(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.add_production("P1", "GFP")
+
+    def test_unknown_participation_role_rejected(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.add_interaction(
+                "weird", InteractionType.INHIBITION, [("catalyst", "LacI")]
+            )
+
+    def test_unknown_interaction_type_rejected(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.add_interaction(
+                "weird", "binding", [(ParticipationRole.INHIBITOR, "LacI")]
+            )
+
+
+class TestQueries:
+    def test_repressors_of(self, figure1):
+        assert figure1.repressors_of("P1") == ["LacI"]
+        assert figure1.repressors_of("P3") == ["CI"]
+
+    def test_activators_of_empty(self, figure1):
+        assert figure1.activators_of("P1") == []
+
+    def test_product_of_cds(self, figure1):
+        assert figure1.product_of_cds("cds_ci_a") == "CI"
+        assert figure1.product_of_cds("cds_gfp") == "GFP"
+
+    def test_produced_species(self, figure1):
+        assert set(figure1.produced_species()) == {"CI", "GFP"}
+
+    def test_input_species(self, figure1):
+        assert set(figure1.input_species()) == {"LacI", "TetR"}
+
+    def test_genetic_component_count(self, figure1):
+        # 3 promoters + 3 CDS + 3 terminators
+        assert figure1.genetic_component_count() == 9
+
+    def test_components_with_role(self, figure1):
+        assert len(figure1.components_with_role(Role.PROMOTER)) == 3
+
+    def test_activation_support(self):
+        doc = SBOLDocument("act")
+        doc.add_components(
+            [protein("LuxR"), protein("GFP"), promoter("pLux"), cds("c"), terminator("t")]
+        )
+        doc.add_unit("tu", ["pLux", "c", "t"])
+        doc.add_activation("LuxR", "pLux")
+        doc.add_production("c", "GFP")
+        assert doc.activators_of("pLux") == ["LuxR"]
+        assert doc.input_species() == ["LuxR"]
+
+
+class TestValidation:
+    def test_valid_document(self, figure1):
+        assert figure1.validate() == []
+
+    def test_missing_promoter_reported(self):
+        doc = SBOLDocument("d")
+        doc.add_components([cds("c"), terminator("t"), protein("X")])
+        doc.add_unit("tu", ["c", "t"])
+        doc.add_production("c", "X")
+        assert any("no promoter" in p for p in doc.validate())
+
+    def test_missing_terminator_reported(self):
+        doc = SBOLDocument("d")
+        doc.add_components([promoter("p"), cds("c"), protein("X")])
+        doc.add_unit("tu", ["p", "c"])
+        doc.add_production("c", "X")
+        assert any("terminator" in p for p in doc.validate())
+
+    def test_cds_without_product_reported(self):
+        doc = SBOLDocument("d")
+        doc.add_components([promoter("p"), cds("c"), terminator("t")])
+        doc.add_unit("tu", ["p", "c", "t"])
+        assert any("no declared protein product" in p for p in doc.validate())
+
+    def test_empty_document_reported(self):
+        assert any("no transcriptional units" in p for p in SBOLDocument("d").validate())

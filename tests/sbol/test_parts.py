@@ -1,0 +1,52 @@
+"""Tests for SBOL part definitions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sbol import ComponentDefinition, Role, cds, promoter, protein, rbs, terminator
+
+
+class TestComponentDefinition:
+    def test_name_defaults_to_display_id(self):
+        part = promoter("pTac")
+        assert part.name == "pTac"
+        assert part.role == Role.PROMOTER
+
+    def test_invalid_display_id_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentDefinition("1bad", Role.PROMOTER)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentDefinition("part", "enhancer")
+
+    def test_dna_vs_species_classification(self):
+        assert promoter("p1").is_dna
+        assert rbs("r1").is_dna
+        assert cds("c1").is_dna
+        assert terminator("t1").is_dna
+        assert not promoter("p2").is_species
+        assert protein("LacI").is_species
+        assert not protein("TetR").is_dna
+
+    def test_sequence_normalised_and_checked(self):
+        part = cds("gfp", name="GFP coding sequence")
+        assert part.sequence is None
+        with_seq = ComponentDefinition("gfp2", Role.CDS, sequence="ATGCat")
+        assert with_seq.sequence == "atgcat"
+        with pytest.raises(ModelError):
+            ComponentDefinition("bad_seq", Role.CDS, sequence="ATGXX")
+
+    def test_properties_passed_through_helpers(self):
+        part = promoter("pPhlF", strength=3.5, K=9.0)
+        assert part.properties == {"strength": 3.5, "K": 9.0}
+        repressor = protein("PhlF", K=9.0, n=2.0, degradation=0.2)
+        assert repressor.properties["degradation"] == 0.2
+
+
+class TestRoleSets:
+    def test_role_partitions_are_disjoint(self):
+        assert not (Role.DNA_ROLES & Role.SPECIES_ROLES)
+
+    def test_all_roles_covered(self):
+        assert Role.ALL == Role.DNA_ROLES | Role.SPECIES_ROLES

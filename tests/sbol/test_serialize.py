@@ -1,0 +1,90 @@
+"""Tests for SBOL XML serialization."""
+
+import pytest
+
+from repro.errors import SBOLParseError
+from repro.gates import netlist_to_sbol
+from repro.sbol import (
+    read_sbol_file,
+    read_sbol_string,
+    sbol_to_sbml,
+    write_sbol_file,
+    write_sbol_string,
+)
+from repro.stochastic import InputSchedule, simulate_ode
+
+
+class TestRoundTrip:
+    def test_structure_survives(self, and_circuit):
+        document = and_circuit.document
+        again = read_sbol_string(write_sbol_string(document))
+        assert set(again.components) == set(document.components)
+        assert set(again.units) == set(document.units)
+        assert set(again.interactions) == set(document.interactions)
+        assert again.display_id == document.display_id
+
+    def test_roles_and_properties_survive(self, and_circuit):
+        document = and_circuit.document
+        again = read_sbol_string(write_sbol_string(document))
+        for display_id, component in document.components.items():
+            assert again.components[display_id].role == component.role
+            assert again.components[display_id].properties == pytest.approx(
+                component.properties
+            )
+
+    def test_unit_part_order_survives(self, and_circuit):
+        document = and_circuit.document
+        again = read_sbol_string(write_sbol_string(document))
+        for display_id, unit in document.units.items():
+            assert again.units[display_id].parts == unit.parts
+
+    def test_file_roundtrip(self, and_circuit, tmp_path):
+        path = tmp_path / "design.xml"
+        write_sbol_file(and_circuit.document, path)
+        again = read_sbol_file(path)
+        assert set(again.components) == set(and_circuit.document.components)
+
+    def test_cello_document_roundtrip(self, cello_0x0b):
+        again = read_sbol_string(write_sbol_string(cello_0x0b.document))
+        assert again.validate() == []
+        assert set(again.produced_species()) == set(cello_0x0b.document.produced_species())
+
+    def test_roundtripped_document_converts_to_equivalent_model(self, not_circuit):
+        """SBOL file -> SBOL document -> SBML model must behave identically."""
+        again = read_sbol_string(write_sbol_string(not_circuit.document))
+        model = sbol_to_sbml(again, model_id="roundtripped")
+        schedule = InputSchedule().add(0.0, {"LacI": 0.0}).add(150.0, {"LacI": 40.0})
+        trajectory = simulate_ode(model, 300.0, schedule=schedule)
+        assert trajectory.value_at("GFP", 149.0) > 25.0
+        assert trajectory.value_at("GFP", 299.0) < 10.0
+
+    def test_double_roundtrip_is_stable(self, and_circuit):
+        once = write_sbol_string(read_sbol_string(write_sbol_string(and_circuit.document)))
+        twice = write_sbol_string(read_sbol_string(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SBOLParseError):
+            read_sbol_string("<sbolDocument><listOfComponents>")
+
+    def test_wrong_root(self):
+        with pytest.raises(SBOLParseError):
+            read_sbol_string("<notSBOL/>")
+
+    def test_component_without_role(self):
+        text = (
+            '<sbolDocument displayId="d"><listOfComponents>'
+            '<component displayId="x"/></listOfComponents></sbolDocument>'
+        )
+        with pytest.raises(SBOLParseError):
+            read_sbol_string(text)
+
+    def test_unit_without_id(self):
+        text = (
+            '<sbolDocument displayId="d"><listOfTranscriptionalUnits>'
+            "<transcriptionalUnit/></listOfTranscriptionalUnits></sbolDocument>"
+        )
+        with pytest.raises(SBOLParseError):
+            read_sbol_string(text)

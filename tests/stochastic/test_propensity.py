@@ -1,0 +1,140 @@
+"""Tests for model compilation into propensity evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PropensityError, SimulationError
+from repro.sbml import Model
+from repro.stochastic import CompiledModel, compile_model
+
+
+@pytest.fixture()
+def compiled(toy_model):
+    return CompiledModel(toy_model)
+
+
+class TestCompilation:
+    def test_species_index(self, compiled):
+        assert compiled.species == ["A", "Y"]
+        assert compiled.index == {"A": 0, "Y": 1}
+
+    def test_boundary_mask(self, compiled):
+        assert list(compiled.boundary_mask) == [True, False]
+
+    def test_initial_state(self, compiled):
+        assert list(compiled.initial_state) == [0.0, 0.0]
+
+    def test_model_without_reactions_rejected(self):
+        model = Model("empty")
+        model.add_species("X")
+        with pytest.raises(SimulationError):
+            CompiledModel(model)
+
+    def test_reaction_without_kinetic_law_rejected(self):
+        model = Model("m")
+        model.add_species("X")
+        model.add_reaction("r", products=[("X", 1.0)])
+        with pytest.raises(PropensityError):
+            CompiledModel(model)
+
+    def test_compile_model_passthrough(self, compiled):
+        assert compile_model(compiled) is compiled
+
+    def test_parameter_overrides(self, toy_model):
+        compiled = compile_model(toy_model, {"kmax": 8.0})
+        state = compiled.state_from_dict({"A": 0.0})
+        production = compiled.reaction_ids.index("production_Y")
+        assert compiled.propensity(production, state) == pytest.approx(8.0)
+
+    def test_unknown_override_rejected(self, toy_model):
+        with pytest.raises(PropensityError):
+            compile_model(toy_model, {"nonexistent": 1.0})
+
+
+class TestPropensities:
+    def test_values_match_hand_computation(self, compiled):
+        state = compiled.state_from_dict({"A": 10.0, "Y": 20.0})
+        values = compiled.propensities(state)
+        production = compiled.reaction_ids.index("production_Y")
+        degradation = compiled.reaction_ids.index("degradation_Y")
+        assert values[production] == pytest.approx(4.0 * 0.5)  # hill_rep(K,K,n) = 0.5
+        assert values[degradation] == pytest.approx(0.1 * 20.0)
+
+    def test_negative_propensity_clamped_to_zero(self):
+        model = Model("m")
+        model.add_species("X", initial_amount=1.0)
+        model.add_parameter("k", 1.0)
+        model.add_reaction("weird", reactants=[("X", 1.0)], kinetic_law="k * (X - 5)")
+        compiled = CompiledModel(model)
+        assert compiled.propensity(0, compiled.initial_state) == 0.0
+
+    def test_apply_changes_state_in_place(self, compiled):
+        state = compiled.state_from_dict({"A": 0.0, "Y": 3.0})
+        production = compiled.reaction_ids.index("production_Y")
+        compiled.apply(production, state)
+        assert state[compiled.index["Y"]] == 4.0
+
+    def test_apply_never_touches_boundary_species(self):
+        model = Model("m")
+        model.add_species("A", boundary_condition=True, initial_amount=10.0)
+        model.add_species("Y")
+        model.add_parameter("k", 1.0)
+        # A appears as a reactant, but being a boundary species it must not
+        # be consumed by the firing.
+        model.add_reaction(
+            "bind", reactants=[("A", 1.0)], products=[("Y", 1.0)], kinetic_law="k * A"
+        )
+        compiled = CompiledModel(model)
+        state = compiled.initial_state.copy()
+        compiled.apply(0, state)
+        assert state[compiled.index["A"]] == 10.0
+        assert state[compiled.index["Y"]] == 1.0
+
+    def test_clamp(self, compiled):
+        state = compiled.initial_state.copy()
+        compiled.clamp(state, {"A": 33.0})
+        assert state[compiled.index["A"]] == 33.0
+        with pytest.raises(SimulationError):
+            compiled.clamp(state, {"missing": 1.0})
+
+    def test_state_from_dict_unknown_species_rejected(self, compiled):
+        with pytest.raises(SimulationError):
+            compiled.state_from_dict({"Q": 1.0})
+
+    def test_rates_sign_structure(self, compiled):
+        state = compiled.state_from_dict({"A": 0.0, "Y": 100.0})
+        rates = compiled.rates(state)
+        # Production 4/s, degradation 10/s -> net negative for Y, zero for A.
+        assert rates[compiled.index["A"]] == 0.0
+        assert rates[compiled.index["Y"]] == pytest.approx(4.0 - 10.0)
+
+
+class TestDependencyGraph:
+    def test_self_dependency_always_present(self, compiled):
+        for r in range(compiled.n_reactions):
+            assert r in compiled.dependents(r)
+
+    def test_production_affects_degradation(self, compiled):
+        production = compiled.reaction_ids.index("production_Y")
+        degradation = compiled.reaction_ids.index("degradation_Y")
+        assert degradation in compiled.dependents(production)
+
+    def test_degradation_does_not_affect_production(self, compiled):
+        # production_Y's law depends only on A (boundary), so firing
+        # degradation_Y (which changes Y) cannot change it.
+        production = compiled.reaction_ids.index("production_Y")
+        degradation = compiled.reaction_ids.index("degradation_Y")
+        assert production not in compiled.dependents(degradation)
+
+    def test_cascade_dependency(self, and_circuit):
+        compiled = CompiledModel(and_circuit.model)
+        # Firing the CI production reaction must mark the GFP production
+        # reaction (repressed by CI) as a dependent.
+        ci_production = [
+            i for i, rid in enumerate(compiled.reaction_ids) if rid.startswith("production") and "CI" in rid
+        ]
+        gfp_production = [
+            i for i, rid in enumerate(compiled.reaction_ids) if rid.startswith("production") and "GFP" in rid
+        ]
+        assert ci_production and gfp_production
+        assert gfp_production[0] in compiled.dependents(ci_production[0])

@@ -1,0 +1,67 @@
+"""Tests for the uniform-grid sample recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.stochastic import SampleRecorder, make_sample_times
+
+
+class TestMakeSampleTimes:
+    def test_includes_both_ends(self):
+        times = make_sample_times(10.0, 1.0)
+        assert times[0] == 0.0
+        assert times[-1] == 10.0
+        assert len(times) == 11
+
+    def test_fractional_interval(self):
+        times = make_sample_times(1.0, 0.25)
+        assert len(times) == 5
+
+    def test_interval_not_dividing_range(self):
+        times = make_sample_times(1.0, 0.3)
+        assert times[-1] <= 1.0 + 1e-9
+        assert len(times) == 4  # 0, 0.3, 0.6, 0.9
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sample_times(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            make_sample_times(10.0, 0.0)
+
+    def test_start_offset(self):
+        times = make_sample_times(5.0, 1.0, t_start=2.0)
+        assert times[0] == 2.0
+        assert times[-1] == 5.0
+
+
+class TestSampleRecorder:
+    def test_fill_before_is_exclusive(self):
+        recorder = SampleRecorder(np.arange(5.0), 1)
+        recorder.fill_before(2.0, np.array([7.0]))
+        assert list(recorder.data[:, 0]) == [7.0, 7.0, 0.0, 0.0, 0.0]
+
+    def test_fill_through_is_inclusive(self):
+        recorder = SampleRecorder(np.arange(5.0), 1)
+        recorder.fill_through(2.0, np.array([7.0]))
+        assert list(recorder.data[:, 0]) == [7.0, 7.0, 7.0, 0.0, 0.0]
+
+    def test_sequential_fills_use_distinct_states(self):
+        recorder = SampleRecorder(np.arange(6.0), 1)
+        recorder.fill_before(2.5, np.array([1.0]))
+        recorder.fill_before(4.5, np.array([2.0]))
+        recorder.finish(np.array([3.0]))
+        assert list(recorder.data[:, 0]) == [1.0, 1.0, 1.0, 2.0, 2.0, 3.0]
+
+    def test_fills_never_rewind(self):
+        recorder = SampleRecorder(np.arange(4.0), 1)
+        recorder.fill_before(3.5, np.array([5.0]))
+        recorder.fill_before(1.0, np.array([9.0]))  # earlier fill is a no-op
+        assert list(recorder.data[:, 0]) == [5.0, 5.0, 5.0, 5.0, 0.0][:4]
+
+    def test_complete_flag(self):
+        recorder = SampleRecorder(np.arange(3.0), 2)
+        assert not recorder.complete
+        recorder.finish(np.array([1.0, 2.0]))
+        assert recorder.complete
+        assert recorder.data.shape == (3, 2)

@@ -1,0 +1,90 @@
+"""Statistical agreement between the exact and approximate simulators.
+
+The logic-analysis results must not depend on which trace source is used;
+these tests check that the simulators agree on the stationary statistics of a
+birth-death process (where the exact answer is known: Poisson with mean
+birth/death) and on the settled logic levels of a genetic NOT gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sbml import Model
+from repro.stochastic import (
+    InputSchedule,
+    simulate_next_reaction,
+    simulate_ode,
+    simulate_ssa,
+    simulate_tau_leap,
+    spawn_rngs,
+)
+
+
+def birth_death_model(birth=4.0, death=0.1) -> Model:
+    model = Model("birth_death")
+    model.add_species("X")
+    model.add_parameter("kb", birth)
+    model.add_parameter("kd", death)
+    model.add_reaction("birth", products=[("X", 1.0)], kinetic_law="kb")
+    model.add_reaction("death", reactants=[("X", 1.0)], kinetic_law="kd * X")
+    return model
+
+
+def _stationary_samples(simulate, model, rng, t_end=400.0, burn_in=100.0):
+    trajectory = simulate(model, t_end, sample_interval=1.0, rng=rng)
+    return trajectory.slice_time(burn_in, t_end)["X"]
+
+
+class TestBirthDeathAgreement:
+    """Stationary distribution is Poisson(40): mean 40, variance 40."""
+
+    @pytest.mark.parametrize(
+        "simulate", [simulate_ssa, simulate_next_reaction, simulate_tau_leap]
+    )
+    def test_mean_and_variance(self, simulate):
+        model = birth_death_model()
+        samples = np.concatenate(
+            [
+                _stationary_samples(simulate, model, rng)
+                for rng in spawn_rngs(99, 4)
+            ]
+        )
+        assert samples.mean() == pytest.approx(40.0, rel=0.10)
+        assert samples.var() == pytest.approx(40.0, rel=0.40)
+
+    def test_exact_methods_agree_with_each_other(self):
+        model = birth_death_model()
+        direct = np.concatenate(
+            [_stationary_samples(simulate_ssa, model, rng) for rng in spawn_rngs(1, 4)]
+        )
+        gibson = np.concatenate(
+            [
+                _stationary_samples(simulate_next_reaction, model, rng)
+                for rng in spawn_rngs(2, 4)
+            ]
+        )
+        assert direct.mean() == pytest.approx(gibson.mean(), rel=0.08)
+
+    def test_ode_matches_stochastic_mean(self):
+        model = birth_death_model()
+        ode_level = simulate_ode(model, 400.0).value_at("X", 399.0)
+        ssa_level = _stationary_samples(simulate_ssa, model, 3).mean()
+        assert ode_level == pytest.approx(40.0, rel=0.02)
+        assert ssa_level == pytest.approx(ode_level, rel=0.12)
+
+
+class TestNotGateAgreement:
+    """All simulators must report the same ON/OFF logic levels for a NOT gate."""
+
+    @pytest.mark.parametrize(
+        "simulate", [simulate_ssa, simulate_next_reaction, simulate_tau_leap, simulate_ode]
+    )
+    def test_logic_levels(self, simulate, toy_model):
+        schedule = InputSchedule().add(0.0, {"A": 0.0}).add(200.0, {"A": 40.0})
+        trajectory = simulate(toy_model, 400.0, schedule=schedule, rng=5)
+        on_level = trajectory.slice_time(120.0, 200.0)["Y"].mean()
+        off_level = trajectory.slice_time(320.0, 400.0)["Y"].mean()
+        # Same digital verdict regardless of simulator, with the paper's
+        # 15-molecule threshold comfortably between the two levels.
+        assert on_level > 25.0
+        assert off_level < 8.0

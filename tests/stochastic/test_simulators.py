@@ -1,0 +1,137 @@
+"""Behavioural tests of the four simulators on analytically tractable models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sbml import Model
+from repro.stochastic import (
+    InputSchedule,
+    simulate_next_reaction,
+    simulate_ode,
+    simulate_ssa,
+    simulate_tau_leap,
+)
+
+SIMULATORS = {
+    "ssa": simulate_ssa,
+    "next-reaction": simulate_next_reaction,
+    "tau-leap": simulate_tau_leap,
+    "ode": simulate_ode,
+}
+
+STOCHASTIC = {k: v for k, v in SIMULATORS.items() if k != "ode"}
+
+
+def birth_death_model(birth=5.0, death=0.1) -> Model:
+    """Constitutive production + first-order degradation: Poisson(birth/death)."""
+    model = Model("birth_death")
+    model.add_species("X")
+    model.add_parameter("kb", birth)
+    model.add_parameter("kd", death)
+    model.add_reaction("birth", products=[("X", 1.0)], kinetic_law="kb")
+    model.add_reaction("death", reactants=[("X", 1.0)], kinetic_law="kd * X")
+    return model
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_sample_grid(self, name):
+        trajectory = SIMULATORS[name](birth_death_model(), 50.0, sample_interval=1.0, rng=1)
+        assert len(trajectory) == 51
+        assert trajectory.times[0] == 0.0
+        assert trajectory.times[-1] == 50.0
+
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_counts_stay_non_negative(self, name):
+        trajectory = SIMULATORS[name](birth_death_model(), 100.0, rng=2)
+        assert (trajectory["X"] >= -1e-9).all()
+
+    @pytest.mark.parametrize("name", list(STOCHASTIC))
+    def test_integer_counts(self, name):
+        trajectory = STOCHASTIC[name](birth_death_model(), 50.0, rng=3)
+        values = trajectory["X"]
+        assert np.allclose(values, np.round(values))
+
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_stationary_mean_near_analytic(self, name):
+        # E[X] = birth/death = 50; average the second half of a long run.
+        trajectory = SIMULATORS[name](birth_death_model(), 600.0, rng=4)
+        tail = trajectory.slice_time(200.0, 600.0)["X"].mean()
+        assert tail == pytest.approx(50.0, rel=0.15)
+
+    @pytest.mark.parametrize("name", list(STOCHASTIC))
+    def test_seed_reproducibility(self, name):
+        a = STOCHASTIC[name](birth_death_model(), 80.0, rng=123)
+        b = STOCHASTIC[name](birth_death_model(), 80.0, rng=123)
+        assert np.array_equal(a.data, b.data)
+
+    @pytest.mark.parametrize("name", list(STOCHASTIC))
+    def test_different_seeds_differ(self, name):
+        a = STOCHASTIC[name](birth_death_model(), 80.0, rng=1)
+        b = STOCHASTIC[name](birth_death_model(), 80.0, rng=2)
+        assert not np.array_equal(a.data, b.data)
+
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_initial_state_override(self, name):
+        trajectory = SIMULATORS[name](
+            birth_death_model(), 5.0, initial_state={"X": 200.0}, rng=5
+        )
+        assert trajectory["X"][0] >= 150.0
+
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_record_species_subset(self, name):
+        trajectory = SIMULATORS[name](
+            birth_death_model(), 10.0, record_species=["X"], rng=6
+        )
+        assert trajectory.species == ["X"]
+
+
+class TestInputClamping:
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_clamped_species_follows_schedule(self, name, toy_model):
+        schedule = InputSchedule().add(0.0, {"A": 0.0}).add(50.0, {"A": 40.0})
+        trajectory = SIMULATORS[name](toy_model, 100.0, schedule=schedule, rng=7)
+        assert trajectory.value_at("A", 25.0) == 0.0
+        assert trajectory.value_at("A", 75.0) == 40.0
+
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_not_gate_responds_to_input(self, name, toy_model):
+        schedule = InputSchedule().add(0.0, {"A": 0.0}).add(150.0, {"A": 40.0})
+        trajectory = SIMULATORS[name](toy_model, 300.0, schedule=schedule, rng=8)
+        on_level = trajectory.slice_time(100.0, 150.0)["Y"].mean()
+        off_level = trajectory.slice_time(250.0, 300.0)["Y"].mean()
+        assert on_level > 25.0
+        assert off_level < 10.0
+
+
+class TestDeadSystem:
+    @pytest.mark.parametrize("name", list(SIMULATORS))
+    def test_zero_propensities_hold_state(self, name):
+        model = Model("dead")
+        model.add_species("X", initial_amount=3.0)
+        model.add_parameter("k", 1.0)
+        model.add_reaction("never", products=[("X", 1.0)], kinetic_law="0 * k")
+        trajectory = SIMULATORS[name](model, 20.0, rng=9)
+        assert np.allclose(trajectory["X"], 3.0)
+
+
+class TestGuards:
+    def test_max_events_guard(self):
+        with pytest.raises(SimulationError):
+            simulate_ssa(birth_death_model(birth=100.0), 100.0, rng=1, max_events=50)
+
+    def test_next_reaction_max_events_guard(self):
+        with pytest.raises(SimulationError):
+            simulate_next_reaction(birth_death_model(birth=100.0), 100.0, rng=1, max_events=50)
+
+
+class TestOdeAccuracy:
+    def test_matches_closed_form_relaxation(self):
+        # dX/dt = kb - kd X from X(0)=0: X(t) = (kb/kd)(1 - exp(-kd t)).
+        model = birth_death_model(birth=2.0, death=0.05)
+        trajectory = simulate_ode(model, 100.0, sample_interval=1.0, step=0.02)
+        kb, kd = 2.0, 0.05
+        for t in (10.0, 40.0, 100.0):
+            expected = (kb / kd) * (1.0 - np.exp(-kd * t))
+            assert trajectory.value_at("X", t) == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,143 @@
+"""Tests for the sampled-trajectory data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stochastic import Trajectory
+
+
+@pytest.fixture()
+def trajectory():
+    times = np.arange(0.0, 10.0, 1.0)
+    return Trajectory.from_dict(
+        times,
+        {"A": np.linspace(0, 9, 10), "B": np.full(10, 5.0)},
+    )
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Trajectory(np.arange(3.0), ["A"], np.zeros((2, 1)))
+
+    def test_species_count_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Trajectory(np.arange(3.0), ["A", "B"], np.zeros((3, 1)))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(SimulationError):
+            Trajectory(np.array([0.0, 1.0, 1.0]), ["A"], np.zeros((3, 1)))
+
+    def test_empty_trajectory(self):
+        empty = Trajectory.empty(["A", "B"])
+        assert len(empty) == 0
+        assert "A" in empty
+
+
+class TestAccess:
+    def test_column_and_getitem(self, trajectory):
+        assert trajectory["A"][3] == 3.0
+        assert trajectory.column("B")[0] == 5.0
+
+    def test_unknown_species_rejected(self, trajectory):
+        with pytest.raises(SimulationError):
+            trajectory.column("C")
+
+    def test_value_at_uses_last_sample_before(self, trajectory):
+        assert trajectory.value_at("A", 3.7) == 3.0
+        assert trajectory.value_at("A", 9.5) == 9.0
+
+    def test_value_at_before_start_rejected(self, trajectory):
+        with pytest.raises(SimulationError):
+            trajectory.value_at("A", -0.5)
+
+    def test_final_state(self, trajectory):
+        assert trajectory.final_state() == {"A": 9.0, "B": 5.0}
+
+    def test_sample_interval(self, trajectory):
+        assert trajectory.sample_interval == pytest.approx(1.0)
+
+    def test_as_dict(self, trajectory):
+        columns = trajectory.as_dict()
+        assert set(columns) == {"A", "B"}
+        assert columns["A"][2] == 2.0
+
+    def test_mean_window(self, trajectory):
+        assert trajectory.mean("A", 0.0, 4.0) == pytest.approx(2.0)
+        with pytest.raises(SimulationError):
+            trajectory.mean("A", 100.0, 200.0)
+
+
+class TestTransforms:
+    def test_select_reorders_columns(self, trajectory):
+        selected = trajectory.select(["B", "A"])
+        assert selected.species == ["B", "A"]
+        assert selected["A"][4] == 4.0
+
+    def test_select_unknown_rejected(self, trajectory):
+        with pytest.raises(SimulationError):
+            trajectory.select(["A", "Z"])
+
+    def test_slice_time(self, trajectory):
+        part = trajectory.slice_time(2.0, 5.0)
+        assert len(part) == 4
+        assert part.times[0] == 2.0
+        assert part["A"][-1] == 5.0
+
+    def test_resample_zero_order_hold(self, trajectory):
+        resampled = trajectory.resample([0.5, 2.2, 8.9])
+        assert list(resampled["A"]) == [0.0, 2.0, 8.0]
+
+    def test_resample_before_start_rejected(self, trajectory):
+        with pytest.raises(SimulationError):
+            trajectory.resample([-1.0])
+
+    def test_concat(self, trajectory):
+        later = Trajectory.from_dict(
+            np.arange(10.0, 15.0), {"A": np.zeros(5), "B": np.ones(5)}
+        )
+        joined = trajectory.concat(later)
+        assert len(joined) == 15
+        assert joined["B"][-1] == 1.0
+
+    def test_concat_drops_overlap(self, trajectory):
+        overlapping = Trajectory.from_dict(
+            np.arange(8.0, 12.0), {"A": np.zeros(4), "B": np.zeros(4)}
+        )
+        joined = trajectory.concat(overlapping)
+        assert np.all(np.diff(joined.times) > 0)
+
+    def test_concat_species_mismatch_rejected(self, trajectory):
+        other = Trajectory.from_dict(np.arange(10.0, 12.0), {"A": np.zeros(2)})
+        with pytest.raises(SimulationError):
+            trajectory.concat(other)
+
+    def test_with_column_adds_and_replaces(self, trajectory):
+        added = trajectory.with_column("C", np.full(10, 2.0))
+        assert "C" in added
+        replaced = added.with_column("C", np.full(10, 7.0))
+        assert replaced["C"][0] == 7.0
+        with pytest.raises(SimulationError):
+            trajectory.with_column("C", np.zeros(3))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    t0=st.floats(min_value=0.0, max_value=5.0),
+    dt=st.floats(min_value=0.1, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_slice_then_concat_recovers_original(n, t0, dt):
+    """Splitting a trajectory at any point and re-concatenating is lossless."""
+    times = t0 + dt * np.arange(n)
+    data = {"X": np.arange(n, dtype=float)}
+    trajectory = Trajectory.from_dict(times, data)
+    split = times[n // 2]
+    left = trajectory.slice_time(times[0], split)
+    right = trajectory.slice_time(split, times[-1])
+    joined = left.concat(right)
+    assert np.allclose(joined.times, times)
+    assert np.allclose(joined["X"], data["X"])

@@ -1,0 +1,136 @@
+"""Tests for the genlogic command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "genlogic" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_hex_spec(self, capsys):
+        assert main(["synth", "0x0B"]) == 0
+        out = capsys.readouterr().out
+        assert "expected behaviour: 0x0B" in out
+        assert "NOR" in out
+
+    def test_expression_spec(self, capsys):
+        assert main(["synth", "LacI & TetR"]) == 0
+        assert "expected behaviour: 0x08" in capsys.readouterr().out
+
+    def test_unknown_circuit_errors_cleanly(self, capsys):
+        assert main(["verify", "mystery"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRuntime:
+    def test_prints_one_line_per_size(self, capsys):
+        assert main(["runtime", "--sizes", "2000", "5000", "--inputs", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+
+
+class TestSimulateAnalyzeVerify:
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        csv_path = tmp_path / "not.csv"
+        code = main(
+            [
+                "simulate",
+                "not",
+                "--out",
+                str(csv_path),
+                "--hold-time",
+                "100",
+                "--simulator",
+                "ode",
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        capsys.readouterr()
+
+        json_path = tmp_path / "result.json"
+        code = main(
+            [
+                "analyze",
+                str(csv_path),
+                "--threshold",
+                "15",
+                "--expected",
+                "~LacI",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Boolean expression" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["verification"]["matches"] is True
+
+    def test_verify_builtin_circuit(self, capsys, tmp_path):
+        json_path = tmp_path / "verify.json"
+        code = main(
+            [
+                "verify",
+                "and",
+                "--hold-time",
+                "120",
+                "--seed",
+                "7",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        assert "MATCH" in capsys.readouterr().out
+        assert json.loads(json_path.read_text())["gate_name"] == "AND"
+
+    def test_verify_cello_circuit_by_hex_name(self, capsys):
+        code = main(["verify", "0x04", "--hold-time", "150", "--seed", "11"])
+        assert code == 0
+        assert "0x04" in capsys.readouterr().out
+
+    def test_simulate_sbml_requires_species(self, tmp_path, capsys, toy_model):
+        from repro.sbml import write_sbml_file
+
+        sbml_path = tmp_path / "toy.xml"
+        write_sbml_file(toy_model, sbml_path)
+        assert main(["simulate", str(sbml_path), "--out", str(tmp_path / "x.csv")]) == 2
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate",
+                str(sbml_path),
+                "--out",
+                str(tmp_path / "toy.csv"),
+                "--inputs",
+                "A",
+                "--output",
+                "Y",
+                "--hold-time",
+                "80",
+                "--simulator",
+                "ode",
+            ]
+        )
+        assert code == 0
+
+
+class TestList:
+    def test_cello_only_listing(self, capsys):
+        assert main(["list", "--cello-only"]) == 0
+        out = capsys.readouterr().out
+        assert "cello_0x0b" in out
+        assert out.count("\n") == 10

@@ -1,0 +1,86 @@
+"""Package-level tests: public API surface, version, error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version_matches_metadata(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_headline_workflow_symbols_exported(self):
+        for name in (
+            "and_gate_circuit",
+            "cello_circuit",
+            "run_logic_experiment",
+            "LogicAnalyzer",
+            "TruthTable",
+            "simulate_ssa",
+            "estimate_threshold",
+            "format_analysis_report",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackage_all_lists_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.gates
+        import repro.logic
+        import repro.sbml
+        import repro.sbol
+        import repro.stochastic
+        import repro.vlab
+
+        for module in (
+            repro.core,
+            repro.gates,
+            repro.logic,
+            repro.sbml,
+            repro.sbol,
+            repro.stochastic,
+            repro.vlab,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_specific_errors_carry_context(self):
+        duplicate = errors.DuplicateIdError("species", "GFP")
+        assert duplicate.kind == "species"
+        assert "GFP" in str(duplicate)
+
+        unknown = errors.UnknownIdError("reaction", "r1")
+        assert unknown.identifier == "r1"
+
+        negative = errors.NegativeStateError("X", -2.0, 12.5)
+        assert negative.species == "X"
+        assert "12.5" in str(negative)
+
+        validation = errors.ValidationError(["a problem", "another"])
+        assert len(validation.messages) == 2
+        assert "another" in str(validation)
+
+        parse = errors.MathParseError("1 +", 3, "unexpected end")
+        assert parse.position == 3
+
+    def test_catching_the_base_class_is_sufficient(self):
+        from repro.sbml import Model
+
+        with pytest.raises(errors.ReproError):
+            Model("1bad")
+        with pytest.raises(errors.ReproError):
+            repro.TruthTable(["A"], [0, 1, 1])

@@ -1,0 +1,142 @@
+"""Tests for simulation data logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stochastic import Trajectory
+from repro.vlab import SimulationDataLog
+
+
+def _make_log(n=8):
+    times = np.arange(float(n))
+    trajectory = Trajectory.from_dict(
+        times,
+        {
+            "A": np.array([0, 0, 0, 0, 40, 40, 40, 40], dtype=float)[:n],
+            "B": np.zeros(n),
+            "Y": np.array([30, 32, 31, 29, 2, 1, 3, 2], dtype=float)[:n],
+        },
+    )
+    applied = {
+        "A": np.array([0, 0, 0, 0, 40, 40, 40, 40], dtype=float)[:n],
+        "B": np.zeros(n),
+    }
+    return SimulationDataLog(
+        trajectory=trajectory,
+        input_species=["A", "B"],
+        output_species="Y",
+        applied_inputs=applied,
+        input_high=40.0,
+        input_low=0.0,
+        hold_time=4.0,
+        circuit_name="toy",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        log = _make_log()
+        assert log.n_inputs == 2
+        assert log.n_samples == 8
+        assert log.recorded_species() == ["A", "B", "Y"]
+
+    def test_output_cannot_be_an_input(self):
+        with pytest.raises(AnalysisError):
+            SimulationDataLog(
+                trajectory=Trajectory.from_dict([0.0], {"A": [1.0]}),
+                input_species=["A"],
+                output_species="A",
+                applied_inputs={"A": np.array([1.0])},
+                input_high=40.0,
+            )
+
+    def test_missing_species_rejected(self):
+        trajectory = Trajectory.from_dict([0.0, 1.0], {"A": [0.0, 1.0]})
+        with pytest.raises(AnalysisError):
+            SimulationDataLog(
+                trajectory=trajectory,
+                input_species=["A"],
+                output_species="Y",
+                applied_inputs={"A": np.zeros(2)},
+                input_high=40.0,
+            )
+
+    def test_applied_inputs_must_cover_all_inputs(self):
+        trajectory = Trajectory.from_dict([0.0, 1.0], {"A": [0.0, 1.0], "Y": [0.0, 0.0]})
+        with pytest.raises(AnalysisError):
+            SimulationDataLog(
+                trajectory=trajectory,
+                input_species=["A"],
+                output_species="Y",
+                applied_inputs={},
+                input_high=40.0,
+            )
+
+    def test_applied_inputs_length_checked(self):
+        trajectory = Trajectory.from_dict([0.0, 1.0], {"A": [0.0, 1.0], "Y": [0.0, 0.0]})
+        with pytest.raises(AnalysisError):
+            SimulationDataLog(
+                trajectory=trajectory,
+                input_species=["A"],
+                output_species="Y",
+                applied_inputs={"A": np.zeros(5)},
+                input_high=40.0,
+            )
+
+    def test_input_levels_checked(self):
+        trajectory = Trajectory.from_dict([0.0], {"A": [0.0], "Y": [0.0]})
+        with pytest.raises(AnalysisError):
+            SimulationDataLog(
+                trajectory=trajectory,
+                input_species=["A"],
+                output_species="Y",
+                applied_inputs={"A": np.zeros(1)},
+                input_high=0.0,
+            )
+
+
+class TestDigitalViews:
+    def test_applied_digital_inputs(self):
+        log = _make_log()
+        digital = log.applied_digital_inputs()
+        assert digital.shape == (8, 2)
+        assert list(digital[:, 0]) == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert list(digital[:, 1]) == [0] * 8
+
+    def test_applied_combination_indices(self):
+        log = _make_log()
+        assert list(log.applied_combination_indices()) == [0, 0, 0, 0, 2, 2, 2, 2]
+
+    def test_measured_digital_inputs(self):
+        log = _make_log()
+        measured = log.measured_digital_inputs(threshold=15.0)
+        assert list(measured[:, 0]) == [0, 0, 0, 0, 1, 1, 1, 1]
+        with pytest.raises(AnalysisError):
+            log.measured_digital_inputs(threshold=0.0)
+
+    def test_traces(self):
+        log = _make_log()
+        assert log.output_trace()[0] == 30.0
+        assert log.input_trace("A")[5] == 40.0
+        with pytest.raises(AnalysisError):
+            log.input_trace("Y")
+
+
+class TestViews:
+    def test_slice_time(self):
+        log = _make_log()
+        part = log.slice_time(4.0, 7.0)
+        assert part.n_samples == 4
+        assert list(part.applied_inputs["A"]) == [40.0] * 4
+
+    def test_with_output_same_species_is_identity(self):
+        log = _make_log()
+        assert log.with_output("Y") is log
+
+    def test_with_output_rejects_inputs_and_unknowns(self):
+        log = _make_log()
+        with pytest.raises(AnalysisError):
+            log.with_output("A")
+        with pytest.raises(AnalysisError):
+            log.with_output("missing")

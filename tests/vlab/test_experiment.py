@@ -1,0 +1,126 @@
+"""Tests for the virtual-laboratory experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.vlab import LogicExperiment, custom_protocol, exhaustive_protocol, run_logic_experiment
+
+
+class TestConfiguration:
+    def test_for_circuit(self, and_circuit):
+        experiment = LogicExperiment.for_circuit(and_circuit)
+        assert experiment.input_species == ["LacI", "TetR"]
+        assert experiment.output_species == "GFP"
+        assert experiment.input_high == 40.0
+
+    def test_requires_boundary_inputs(self, and_circuit):
+        with pytest.raises(ExperimentError):
+            LogicExperiment(
+                model=and_circuit.model,
+                input_species=["CI"],  # produced species, not clamped
+                output_species="GFP",
+            )
+
+    def test_unknown_species_rejected(self, and_circuit):
+        with pytest.raises(ExperimentError):
+            LogicExperiment(
+                model=and_circuit.model,
+                input_species=["LacI", "Missing"],
+                output_species="GFP",
+            )
+
+    def test_output_equal_input_rejected(self, and_circuit):
+        with pytest.raises(ExperimentError):
+            LogicExperiment(
+                model=and_circuit.model,
+                input_species=["LacI", "TetR"],
+                output_species="LacI",
+            )
+
+    def test_unknown_simulator_rejected(self, and_circuit):
+        with pytest.raises(ExperimentError):
+            LogicExperiment.for_circuit(and_circuit, simulator="quantum")
+
+    def test_bad_levels_rejected(self, and_circuit):
+        with pytest.raises(ExperimentError):
+            LogicExperiment(
+                model=and_circuit.model,
+                input_species=["LacI", "TetR"],
+                output_species="GFP",
+                input_high=0.0,
+            )
+
+
+class TestRun:
+    def test_default_protocol_covers_all_combinations(self, and_gate_log):
+        indices = and_gate_log.applied_combination_indices()
+        assert set(np.unique(indices)) == {0, 1, 2, 3}
+        # Two repeats of 4 combinations, 150 time units each, 1 sample / unit.
+        assert and_gate_log.n_samples == 2 * 4 * 150 + 1
+
+    def test_hold_time_recorded(self, and_gate_log):
+        assert and_gate_log.hold_time == 150.0
+
+    def test_circuit_name_recorded(self, and_gate_log):
+        assert and_gate_log.circuit_name == "and_gate"
+
+    def test_applied_levels_match_protocol(self, and_gate_log):
+        applied = and_gate_log.applied_inputs["TetR"]
+        assert set(np.unique(applied)) == {0.0, 40.0}
+
+    def test_explicit_protocol(self, not_circuit):
+        experiment = LogicExperiment.for_circuit(not_circuit, simulator="ode")
+        protocol = custom_protocol([(0,), (1,), (0,)], hold_time=60.0)
+        log = experiment.run(protocol=protocol)
+        assert log.n_samples == 181
+        assert log.output_trace()[100] < 15.0  # input high -> NOT output low
+
+    def test_protocol_input_count_mismatch(self, and_circuit):
+        experiment = LogicExperiment.for_circuit(and_circuit, simulator="ode")
+        with pytest.raises(ExperimentError):
+            experiment.run(protocol=exhaustive_protocol(3, hold_time=10.0))
+
+    def test_total_time_must_cover_protocol(self, not_circuit):
+        experiment = LogicExperiment.for_circuit(not_circuit, simulator="ode")
+        with pytest.raises(ExperimentError):
+            experiment.run(hold_time=100.0, total_time=50.0)
+
+    def test_ode_and_ssa_agree_on_logic_levels(self, not_circuit):
+        ssa_log = LogicExperiment.for_circuit(not_circuit, simulator="ssa").run(
+            hold_time=120.0, rng=5
+        )
+        ode_log = LogicExperiment.for_circuit(not_circuit, simulator="ode").run(hold_time=120.0)
+        # Settled windows: last 40 units of each 120-unit hold.
+        for log in (ssa_log, ode_log):
+            output = log.output_trace()
+            assert output[80:120].mean() > 25.0   # input low -> high output
+            assert output[200:240].mean() < 10.0  # input high -> low output
+
+    def test_seed_reproducibility(self, not_circuit):
+        experiment = LogicExperiment.for_circuit(not_circuit, simulator="ssa")
+        a = experiment.run(hold_time=80.0, rng=9)
+        b = experiment.run(hold_time=80.0, rng=9)
+        assert np.array_equal(a.trajectory.data, b.trajectory.data)
+
+
+class TestRunLogicExperimentWrapper:
+    def test_with_circuit(self, not_circuit):
+        log = run_logic_experiment(not_circuit, hold_time=60.0, simulator="ode")
+        assert log.output_species == "GFP"
+        assert log.n_samples == 121
+
+    def test_with_raw_model_requires_species(self, toy_model):
+        with pytest.raises(ExperimentError):
+            run_logic_experiment(toy_model, hold_time=50.0)
+
+    def test_with_raw_model(self, toy_model):
+        log = run_logic_experiment(
+            toy_model,
+            input_species=["A"],
+            output_species="Y",
+            hold_time=60.0,
+            simulator="ode",
+        )
+        assert log.input_species == ["A"]
+        assert log.n_samples == 121

@@ -1,0 +1,97 @@
+"""Tests for input stimulus protocols."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.vlab import custom_protocol, exhaustive_protocol, gray_code_protocol, random_protocol
+
+
+class TestExhaustiveProtocol:
+    def test_covers_all_combinations_in_binary_order(self):
+        protocol = exhaustive_protocol(2, hold_time=100.0)
+        assert protocol.combinations == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert protocol.covers_all_combinations()
+        assert protocol.total_time == 400.0
+
+    def test_repeats(self):
+        protocol = exhaustive_protocol(2, hold_time=50.0, repeats=3)
+        assert protocol.n_steps == 12
+        assert protocol.total_time == 600.0
+
+    def test_combination_indices(self):
+        protocol = exhaustive_protocol(3, hold_time=10.0)
+        assert protocol.combination_indices() == list(range(8))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ExperimentError):
+            exhaustive_protocol(0, hold_time=10.0)
+        with pytest.raises(ExperimentError):
+            exhaustive_protocol(2, hold_time=0.0)
+
+
+class TestGrayCodeProtocol:
+    def test_single_bit_flips(self):
+        protocol = gray_code_protocol(3, hold_time=10.0)
+        assert protocol.covers_all_combinations()
+        for previous, current in zip(protocol.combinations, protocol.combinations[1:]):
+            flips = sum(a != b for a, b in zip(previous, current))
+            assert flips == 1
+
+    def test_starts_at_all_low(self):
+        assert gray_code_protocol(2, hold_time=10.0).combinations[0] == (0, 0)
+
+
+class TestRandomProtocol:
+    def test_coverage_guaranteed(self):
+        protocol = random_protocol(2, hold_time=10.0, n_steps=6, rng=1)
+        assert protocol.covers_all_combinations()
+        assert protocol.n_steps == 6
+
+    def test_coverage_impossible_rejected(self):
+        with pytest.raises(ExperimentError):
+            random_protocol(3, hold_time=10.0, n_steps=4, rng=1)
+
+    def test_without_coverage_requirement(self):
+        protocol = random_protocol(3, hold_time=10.0, n_steps=4, rng=1, ensure_coverage=False)
+        assert protocol.n_steps == 4
+
+    def test_reproducible(self):
+        a = random_protocol(2, hold_time=10.0, n_steps=8, rng=7)
+        b = random_protocol(2, hold_time=10.0, n_steps=8, rng=7)
+        assert a.combinations == b.combinations
+
+
+class TestCustomProtocol:
+    def test_explicit_sequence(self):
+        protocol = custom_protocol([(0, 0), (1, 1), (0, 0)], hold_time=25.0)
+        assert protocol.n_inputs == 2
+        assert not protocol.covers_all_combinations()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            custom_protocol([], hold_time=10.0)
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ExperimentError):
+            custom_protocol([(0, 0), (1,)], hold_time=10.0)
+
+
+class TestProtocolConversion:
+    def test_to_schedule(self):
+        protocol = exhaustive_protocol(2, hold_time=100.0)
+        schedule = protocol.to_schedule(["LacI", "TetR"], high=40.0, low=0.0)
+        assert len(schedule) == 4
+        assert schedule.value_at("LacI", 350.0) == 40.0
+        assert schedule.value_at("TetR", 150.0) == 40.0
+        assert schedule.value_at("TetR", 250.0) == 0.0
+
+    def test_to_schedule_species_count_mismatch(self):
+        protocol = exhaustive_protocol(2, hold_time=100.0)
+        with pytest.raises(ExperimentError):
+            protocol.to_schedule(["only_one"], high=40.0)
+
+    def test_repeat(self):
+        protocol = exhaustive_protocol(1, hold_time=10.0).repeat(2)
+        assert protocol.n_steps == 4
+        with pytest.raises(ExperimentError):
+            protocol.repeat(0)

@@ -1,0 +1,126 @@
+"""Tests for threshold and propagation-delay estimation."""
+
+import pytest
+
+from repro.errors import ThresholdError
+from repro.vlab import (
+    estimate_propagation_delay,
+    estimate_threshold,
+    settled_output_levels,
+)
+
+
+class TestSettledLevels:
+    def test_not_gate_levels(self, toy_model):
+        levels = settled_output_levels(toy_model, ["A"], "Y", simulator="ode")
+        assert set(levels) == {"0", "1"}
+        assert levels["0"] > 25.0
+        assert levels["1"] < 10.0
+
+    def test_and_gate_levels(self, and_circuit):
+        levels = settled_output_levels(
+            and_circuit.model, and_circuit.inputs, and_circuit.output, simulator="ode"
+        )
+        assert set(levels) == {"00", "01", "10", "11"}
+        assert levels["11"] > 25.0
+        assert max(levels["00"], levels["01"], levels["10"]) < 10.0
+
+    def test_bad_arguments(self, toy_model):
+        with pytest.raises(ThresholdError):
+            settled_output_levels(toy_model, ["A"], "Y", simulator="made-up")
+        with pytest.raises(ThresholdError):
+            settled_output_levels(toy_model, ["A"], "Y", tail_fraction=0.0)
+
+
+class TestEstimateThreshold:
+    def test_threshold_separates_levels(self, and_circuit):
+        analysis = estimate_threshold(
+            and_circuit.model, and_circuit.inputs, and_circuit.output
+        )
+        assert analysis.is_separable()
+        assert max(analysis.low_group) < analysis.threshold < min(analysis.high_group)
+        # The paper's 15-molecule threshold falls inside the separable band.
+        assert analysis.separation > 10.0
+
+    def test_summary_text(self, and_circuit):
+        analysis = estimate_threshold(
+            and_circuit.model, and_circuit.inputs, and_circuit.output
+        )
+        assert "threshold(GFP)" in analysis.summary()
+
+    def test_weak_inputs_fail_estimation(self, and_circuit):
+        """With 3-molecule inputs the circuit never switches: no separable levels."""
+        with pytest.raises(ThresholdError):
+            estimate_threshold(
+                and_circuit.model,
+                and_circuit.inputs,
+                and_circuit.output,
+                input_high=3.0,
+            )
+
+    def test_stochastic_estimation_close_to_ode(self, not_circuit):
+        ode = estimate_threshold(not_circuit.model, not_circuit.inputs, not_circuit.output)
+        ssa = estimate_threshold(
+            not_circuit.model,
+            not_circuit.inputs,
+            not_circuit.output,
+            simulator="ssa",
+            rng=4,
+            settle_time=200.0,
+        )
+        assert ssa.threshold == pytest.approx(ode.threshold, rel=0.35)
+
+
+class TestPropagationDelay:
+    def test_delays_positive_and_bounded(self, and_circuit):
+        analysis = estimate_propagation_delay(
+            and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=15.0
+        )
+        assert analysis.delays
+        assert 0.0 < analysis.worst_case <= 300.0
+        assert analysis.mean_delay <= analysis.worst_case
+
+    def test_recommended_hold_time(self, and_circuit):
+        analysis = estimate_propagation_delay(
+            and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=15.0
+        )
+        assert analysis.recommended_hold_time() == pytest.approx(3.0 * analysis.worst_case)
+        with pytest.raises(Exception):
+            analysis.recommended_hold_time(safety_factor=0.5)
+
+    def test_specific_transition(self, and_circuit):
+        analysis = estimate_propagation_delay(
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=15.0,
+            transitions=[("00", "11"), ("11", "00")],
+        )
+        assert set(analysis.delays) == {("00", "11"), ("11", "00")}
+
+    def test_invalid_threshold_rejected(self, and_circuit):
+        with pytest.raises(ThresholdError):
+            estimate_propagation_delay(
+                and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=0.0
+            )
+
+    def test_falling_slower_than_rising_for_cascade(self, and_circuit):
+        """The 11→00 and 00→11 transitions have comparable, finite delays."""
+        analysis = estimate_propagation_delay(
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=15.0,
+            transitions=[("00", "11"), ("11", "00")],
+        )
+        assert all(delay < 200.0 for delay in analysis.delays.values())
+
+    def test_summary_text(self, and_circuit):
+        analysis = estimate_propagation_delay(
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=15.0,
+            transitions=[("00", "11")],
+        )
+        assert "propagation delay" in analysis.summary()
