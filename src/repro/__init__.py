@@ -18,11 +18,13 @@ Typical use::
 """
 
 from .analysis import (
+    ReplicateStudy,
     RobustnessReport,
     RuntimeMeasurement,
     ThresholdSweepEntry,
     assess_robustness,
     measure_analysis_runtime,
+    run_replicate_study,
     threshold_sweep,
 )
 from .core import (
@@ -34,6 +36,18 @@ from .core import (
     format_case_table,
     format_suite_table,
     percentage_fitness,
+)
+from .engine import (
+    CompiledModelCache,
+    EnsembleResult,
+    EnsembleStats,
+    ProcessPoolEnsembleExecutor,
+    SerialExecutor,
+    SimulationJob,
+    map_over_parameters,
+    replicate_jobs,
+    run_ensemble,
+    run_job,
 )
 from .errors import ReproError
 from .gates import (
@@ -138,11 +152,24 @@ __all__ = [
     "format_case_table",
     "format_analysis_report",
     "format_suite_table",
+    # ensemble engine
+    "SimulationJob",
+    "EnsembleResult",
+    "EnsembleStats",
+    "SerialExecutor",
+    "ProcessPoolEnsembleExecutor",
+    "CompiledModelCache",
+    "run_job",
+    "run_ensemble",
+    "replicate_jobs",
+    "map_over_parameters",
     # higher-level studies
     "threshold_sweep",
     "ThresholdSweepEntry",
     "assess_robustness",
     "RobustnessReport",
+    "run_replicate_study",
+    "ReplicateStudy",
     "measure_analysis_runtime",
     "RuntimeMeasurement",
     # I/O

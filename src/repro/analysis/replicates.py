@@ -21,10 +21,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
+from ..engine.api import replicate_jobs, run_ensemble
+from ..engine.jobs import EnsembleStats
 from ..errors import AnalysisError
 from ..gates.circuits import GeneticCircuit
 from ..logic.truthtable import TruthTable
-from ..stochastic.rng import RandomState, spawn_rngs
+from ..stochastic.rng import RandomState
 from ..vlab.experiment import LogicExperiment
 
 __all__ = ["ReplicateStudy", "run_replicate_study"]
@@ -37,6 +39,9 @@ class ReplicateStudy:
     circuit_name: str
     expected: TruthTable
     results: List[LogicAnalysisResult]
+    #: Execution statistics of the simulation ensemble (None for studies
+    #: assembled from pre-existing results).
+    stats: Optional[EnsembleStats] = None
 
     def __post_init__(self) -> None:
         if not self.results:
@@ -100,18 +105,33 @@ def run_replicate_study(
     repeats: int = 1,
     simulator: str = "ssa",
     rng: RandomState = None,
+    jobs: int = 1,
+    progress=None,
 ) -> ReplicateStudy:
-    """Run ``n_replicates`` independent experiments and aggregate the analyses."""
+    """Run ``n_replicates`` independent experiments and aggregate the analyses.
+
+    The replicate simulations are submitted as one batch to the ensemble
+    engine: ``jobs=N`` runs them on ``N`` worker processes, with bit-identical
+    results to the serial path because the per-replicate seeds are fanned out
+    from ``rng`` before dispatch.
+    """
     if n_replicates < 1:
         raise AnalysisError("n_replicates must be at least 1")
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
+    template = experiment.job(hold_time=hold_time, repeats=repeats)
+    ensemble = run_ensemble(
+        replicate_jobs(template, n_replicates, seed=rng),
+        workers=jobs,
+        progress=progress,
+    )
     results: List[LogicAnalysisResult] = []
-    for generator in spawn_rngs(rng, n_replicates):
-        data = experiment.run(hold_time=hold_time, repeats=repeats, rng=generator)
+    for job, trajectory in ensemble:
+        data = experiment.datalog_from(job, trajectory)
         results.append(analyzer.analyze(data, expected=circuit.expected_table))
     return ReplicateStudy(
         circuit_name=circuit.name,
         expected=circuit.expected_table,
         results=results,
+        stats=ensemble.stats,
     )

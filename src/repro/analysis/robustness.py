@@ -88,8 +88,14 @@ def assess_robustness(
     simulator: str = "ssa",
     rng: RandomState = None,
     fov_ud: float = 0.25,
+    jobs: int = 1,
+    progress=None,
 ) -> RobustnessReport:
-    """Sweep the thresholds and package the verdicts into a report."""
+    """Sweep the thresholds and package the verdicts into a report.
+
+    The underlying sweep runs through the ensemble engine; ``jobs=N``
+    parallelises the per-threshold simulations across worker processes.
+    """
     if nominal_threshold <= 0:
         raise AnalysisError("nominal_threshold must be positive")
     entries = threshold_sweep(
@@ -100,6 +106,8 @@ def assess_robustness(
         simulator=simulator,
         rng=rng,
         fov_ud=fov_ud,
+        jobs=jobs,
+        progress=progress,
     )
     return RobustnessReport(
         circuit_name=circuit.name,

@@ -21,7 +21,7 @@ import numpy as np
 from ..core.analyzer import LogicAnalyzer
 from ..errors import AnalysisError
 from ..logic.truthtable import TruthTable
-from ..stochastic.rng import RandomState, make_rng
+from ..stochastic.rng import RandomState, fan_out_seeds, make_rng
 
 __all__ = ["RuntimeMeasurement", "synthetic_experiment_arrays", "measure_analysis_runtime"]
 
@@ -95,6 +95,19 @@ def synthetic_experiment_arrays(
     return input_matrix, output, input_names
 
 
+def _measure_one_size(payload) -> RuntimeMeasurement:
+    """Measure a single size (module-level so executors can dispatch it)."""
+    n_samples, n_inputs, threshold, fov_ud, repeats, seed = payload
+    return measure_analysis_runtime(
+        [n_samples],
+        n_inputs=n_inputs,
+        threshold=threshold,
+        fov_ud=fov_ud,
+        repeats=repeats,
+        rng=make_rng(seed),
+    )[0]
+
+
 def measure_analysis_runtime(
     sample_sizes: Sequence[int],
     n_inputs: int = 3,
@@ -102,15 +115,28 @@ def measure_analysis_runtime(
     fov_ud: float = 0.25,
     repeats: int = 3,
     rng: RandomState = None,
+    jobs: int = 1,
 ) -> List[RuntimeMeasurement]:
     """Time the analyzer over a range of trace sizes.
 
     Each size is measured ``repeats`` times on freshly generated data and the
     *minimum* wall time is reported (the usual way to suppress scheduler
-    noise in micro-benchmarks).
+    noise in micro-benchmarks).  With ``jobs=N`` the sizes are distributed
+    over the ensemble engine's process-pool executor (one independent seed per
+    size); wall-clock timings taken under contention are noisier, so keep
+    ``jobs=1`` when absolute numbers matter.
     """
     if repeats < 1:
         raise AnalysisError("repeats must be at least 1")
+    if jobs and jobs > 1:
+        from ..engine.executors import get_executor
+
+        seeds = fan_out_seeds(rng, len(sample_sizes))
+        payloads = [
+            (int(size), n_inputs, threshold, fov_ud, repeats, seed)
+            for size, seed in zip(sample_sizes, seeds)
+        ]
+        return get_executor(jobs).map(_measure_one_size, payloads)
     generator = make_rng(rng)
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     measurements: List[RuntimeMeasurement] = []

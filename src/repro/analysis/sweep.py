@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
+from ..engine.api import run_ensemble
 from ..errors import AnalysisError
 from ..gates.circuits import GeneticCircuit
 from ..logic.compare import LogicComparison
-from ..stochastic.rng import RandomState, spawn_rngs
+from ..stochastic.rng import RandomState, fan_out_seeds
 from ..vlab.experiment import LogicExperiment
 
 __all__ = ["ThresholdSweepEntry", "threshold_sweep"]
@@ -75,6 +76,8 @@ def threshold_sweep(
     fov_ud: float = 0.25,
     input_high_equals_threshold: bool = True,
     input_high: Optional[float] = None,
+    jobs: int = 1,
+    progress=None,
 ) -> List[ThresholdSweepEntry]:
     """Analyse ``circuit`` once per threshold value.
 
@@ -82,12 +85,18 @@ def threshold_sweep(
     protocol) the input species are clamped to the threshold value itself at
     digital 1; otherwise they are clamped to ``input_high`` (or the circuit's
     library level) regardless of the analysis threshold.
+
+    All per-threshold simulations are submitted as one batch to the ensemble
+    engine (compiling the circuit model once for the whole sweep);
+    ``jobs=N`` runs them on ``N`` worker processes with results identical to
+    the serial path.
     """
     if not thresholds:
         raise AnalysisError("threshold_sweep needs at least one threshold value")
-    entries: List[ThresholdSweepEntry] = []
-    rngs = spawn_rngs(rng, len(thresholds))
-    for threshold, generator in zip(thresholds, rngs):
+    experiments: List[LogicExperiment] = []
+    sweep_jobs = []
+    seeds = fan_out_seeds(rng, len(thresholds))
+    for threshold, seed in zip(thresholds, seeds):
         if threshold <= 0:
             raise AnalysisError("threshold values must be positive")
         if input_high_equals_threshold:
@@ -99,14 +108,23 @@ def threshold_sweep(
         experiment = LogicExperiment.for_circuit(
             circuit, simulator=simulator, input_high=level
         )
-        data = experiment.run(hold_time=hold_time, repeats=repeats, rng=generator)
+        experiments.append(experiment)
+        sweep_jobs.append(
+            experiment.job(hold_time=hold_time, repeats=repeats, seed=seed)
+        )
+    ensemble = run_ensemble(sweep_jobs, workers=jobs, progress=progress)
+    entries: List[ThresholdSweepEntry] = []
+    for threshold, experiment, (job, trajectory) in zip(
+        thresholds, experiments, ensemble
+    ):
+        data = experiment.datalog_from(job, trajectory)
         analyzer = LogicAnalyzer(threshold=float(threshold), fov_ud=fov_ud)
         result = analyzer.analyze(data)
         comparison = result.verify(circuit.expected_table)
         entries.append(
             ThresholdSweepEntry(
                 threshold=float(threshold),
-                input_high=level,
+                input_high=experiment.input_high,
                 result=result,
                 comparison=comparison,
             )

@@ -14,17 +14,28 @@ Four sub-commands cover the paper's workflow end to end:
 ``genlogic synth 0x0B``
     Synthesize a NOT/NOR netlist for a truth table given as a hex name or an
     expression and print its structure.
+
+Multi-run execution: ``simulate``, ``verify`` and ``runtime`` accept
+``--replicates N`` (independent seeded runs; measurement repeats for
+``runtime``) and ``--jobs N`` (worker processes).  Simulation batches go
+through :mod:`repro.engine`, so their results are bit-identical regardless
+of ``--jobs``; ``runtime`` measures wall time, which is inherently
+jobs-sensitive.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from .analysis.replicates import run_replicate_study
 from .analysis.runtime import measure_analysis_runtime
 from .core.analyzer import LogicAnalyzer
 from .core.report import format_analysis_report
+from .engine import replicate_jobs, run_ensemble
 from .errors import ReproError
 from .gates.cello import CELLO_CIRCUIT_NAMES, cello_circuit
 from .gates.circuits import (
@@ -41,7 +52,7 @@ from .gates.synthesis import synthesize_from_expression, synthesize_from_hex
 from .io.csvlog import read_datalog_csv, write_datalog_csv
 from .io.results import result_to_json, save_result_json
 from .sbml.reader import read_sbml_file
-from .vlab.experiment import LogicExperiment, run_logic_experiment
+from .vlab.experiment import LogicExperiment
 from .version import __version__
 
 __all__ = ["main", "build_parser"]
@@ -93,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--input-high", type=float, default=None)
     simulate.add_argument("--simulator", default="ssa")
     simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--replicates", type=int, default=1,
+        help="independent seeded runs; replicate R is written to OUT with a -rR suffix",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the replicate batch"
+    )
 
     analyze = subparsers.add_parser("analyze", help="analyze a logged CSV")
     analyze.add_argument("datalog", help="CSV produced by 'genlogic simulate'")
@@ -111,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--simulator", default="ssa")
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--json", help="also write the result as JSON to this path")
+    verify.add_argument(
+        "--replicates", type=int, default=1,
+        help="run a replicate study instead of a single verification",
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the replicate batch"
+    )
 
     synth = subparsers.add_parser("synth", help="synthesize a NOT/NOR netlist")
     synth.add_argument("spec", help="hex truth-table name (0x0B) or Boolean expression")
@@ -120,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--sizes", nargs="*", type=int, default=[10_000, 100_000, 1_000_000])
     runtime.add_argument("--inputs", type=int, default=3)
     runtime.add_argument("--seed", type=int, default=0)
+    runtime.add_argument(
+        "--replicates", type=int, default=3,
+        help="measurement repeats per size (the minimum wall time is reported)",
+    )
+    runtime.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes measuring different sizes concurrently",
+    )
 
     return parser
 
@@ -135,29 +168,51 @@ def _command_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replicate_out_path(out: str, replicate: int) -> str:
+    """``data.csv`` -> ``data-r3.csv`` for replicate 3."""
+    stem, extension = os.path.splitext(out)
+    return f"{stem}-r{replicate}{extension}"
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.replicates < 1:
+        raise ReproError("--replicates must be at least 1")
+    _validate_jobs(args)
     if args.circuit.endswith(".xml") or args.circuit.endswith(".sbml"):
         model = read_sbml_file(args.circuit)
         if not args.inputs or not args.output:
             raise ReproError("--inputs and --output are required when simulating an SBML file")
-        log = run_logic_experiment(
-            model,
-            input_species=args.inputs,
+        experiment = LogicExperiment(
+            model=model,
+            input_species=list(args.inputs),
             output_species=args.output,
-            hold_time=args.hold_time,
-            repeats=args.repeats,
             input_high=args.input_high if args.input_high is not None else 40.0,
             simulator=args.simulator,
-            rng=args.seed,
         )
     else:
         circuit = _resolve_circuit(args.circuit)
         experiment = LogicExperiment.for_circuit(
             circuit, simulator=args.simulator, input_high=args.input_high
         )
+    if args.replicates == 1:
+        _warn_if_jobs_unused(args)
+        # Single run: the seed feeds the simulator directly (the historical
+        # behaviour, so seeded CSVs stay reproducible across versions).
         log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
-    write_datalog_csv(log, args.out)
-    print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {args.out}")
+        write_datalog_csv(log, args.out)
+        print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {args.out}")
+        return 0
+    template = experiment.job(hold_time=args.hold_time, repeats=args.repeats)
+    ensemble = run_ensemble(
+        replicate_jobs(template, args.replicates, seed=args.seed),
+        workers=args.jobs,
+    )
+    for index, (job, trajectory) in enumerate(ensemble):
+        log = experiment.datalog_from(job, trajectory)
+        path = _replicate_out_path(args.out, index)
+        write_datalog_csv(log, path)
+        print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {path}")
+    print(ensemble.stats.summary())
     return 0
 
 
@@ -172,8 +227,63 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_jobs(args: argparse.Namespace) -> None:
+    if args.jobs < 1:
+        raise ReproError("--jobs must be at least 1")
+
+
+def _warn_if_jobs_unused(args: argparse.Namespace) -> None:
+    if args.jobs > 1:
+        print(
+            "note: --jobs only parallelises replicate batches; "
+            "a single run (--replicates 1) executes serially",
+            file=sys.stderr,
+        )
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.circuit)
+    if args.replicates < 1:
+        raise ReproError("--replicates must be at least 1")
+    _validate_jobs(args)
+    if args.replicates == 1:
+        _warn_if_jobs_unused(args)
+    if args.replicates > 1:
+        study = run_replicate_study(
+            circuit,
+            n_replicates=args.replicates,
+            threshold=args.threshold,
+            fov_ud=args.fov,
+            hold_time=args.hold_time,
+            repeats=args.repeats,
+            simulator=args.simulator,
+            rng=args.seed,
+            jobs=args.jobs,
+        )
+        print(study.summary())
+        agreement = study.combination_agreement()
+        worst = study.worst_combination()
+        print(f"worst combination: {worst} ({agreement[worst] * 100:.0f}% agreement)")
+        print(study.stats.summary())
+        if args.json:
+            payload = {
+                "circuit": study.circuit_name,
+                "n_replicates": study.n_replicates,
+                "recovery_rate": study.recovery_rate,
+                "mean_fitness": study.mean_fitness,
+                "std_fitness": study.std_fitness,
+                "combination_agreement": agreement,
+                "engine": {
+                    "executor": study.stats.executor,
+                    "workers": study.stats.workers,
+                    "wall_seconds": study.stats.wall_seconds,
+                    "runs_per_second": study.stats.runs_per_second,
+                },
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"study JSON written to {args.json}")
+        return 0 if study.recovery_rate == 1.0 else 1
     experiment = LogicExperiment.for_circuit(circuit, simulator=args.simulator)
     log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
     analyzer = LogicAnalyzer(threshold=args.threshold, fov_ud=args.fov)
@@ -197,7 +307,14 @@ def _command_synth(args: argparse.Namespace) -> int:
 
 
 def _command_runtime(args: argparse.Namespace) -> int:
-    measurements = measure_analysis_runtime(args.sizes, n_inputs=args.inputs, rng=args.seed)
+    _validate_jobs(args)
+    measurements = measure_analysis_runtime(
+        args.sizes,
+        n_inputs=args.inputs,
+        rng=args.seed,
+        repeats=args.replicates,
+        jobs=args.jobs,
+    )
     for measurement in measurements:
         print(measurement.summary())
     return 0

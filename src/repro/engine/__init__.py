@@ -1,0 +1,47 @@
+"""Unified ensemble execution engine.
+
+One batched, parallel, cache-aware run path for every multi-run study in the
+package.  The paper's throughput argument (seconds of analysis instead of
+hours of wet-lab work) rests on running *many* independent stochastic
+simulations cheaply; this subsystem is where they all execute:
+
+* :class:`SimulationJob` / :class:`EnsembleResult` — declarative job specs
+  and ordered result containers;
+* :class:`SerialExecutor` / :class:`ProcessPoolEnsembleExecutor` — pluggable
+  executors selected by ``jobs=N``, bit-identical by construction because
+  seeds are fanned out from one root ``SeedSequence`` before dispatch;
+* :class:`CompiledModelCache` — compile each ``(model, overrides)`` pair
+  once per study instead of once per run;
+* :func:`run_ensemble` / :func:`map_over_parameters` — batch submission with
+  progress and throughput/cache statistics.
+
+See ``analysis/replicates.py``, ``analysis/sweep.py``,
+``analysis/robustness.py`` and ``vlab/propagation.py`` for the studies built
+on top, and the CLI's ``--jobs`` / ``--replicates`` flags for the user-facing
+entry points.
+"""
+
+from .api import map_over_parameters, replicate_jobs, run_ensemble, run_job
+from .cache import CompiledModelCache, default_cache, model_fingerprint
+from .executors import (
+    ProcessPoolEnsembleExecutor,
+    SerialExecutor,
+    get_executor,
+)
+from .jobs import EnsembleResult, EnsembleStats, SimulationJob
+
+__all__ = [
+    "SimulationJob",
+    "EnsembleResult",
+    "EnsembleStats",
+    "SerialExecutor",
+    "ProcessPoolEnsembleExecutor",
+    "get_executor",
+    "CompiledModelCache",
+    "default_cache",
+    "model_fingerprint",
+    "run_job",
+    "run_ensemble",
+    "replicate_jobs",
+    "map_over_parameters",
+]

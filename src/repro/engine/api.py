@@ -1,0 +1,183 @@
+"""Batch submission APIs of the ensemble engine.
+
+Every multi-run study in the package (replicate studies, threshold sweeps,
+robustness maps, propagation-delay scans, the CLI's ``--replicates`` modes)
+routes its simulations through :func:`run_ensemble`:
+
+1. the caller builds a list of declarative :class:`SimulationJob` objects —
+   typically via :func:`replicate_jobs` (same job, independent seeds) or
+   :func:`map_over_parameters` (one job per parameter-override set);
+2. seeds are fanned out deterministically from one root seed *before*
+   dispatch, so the choice of executor cannot change the results;
+3. the selected executor runs the batch — serially with a shared
+   compiled-model cache, or on ``jobs=N`` worker processes — and the
+   trajectories come back in submission order inside an
+   :class:`EnsembleResult` together with throughput/cache statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import EngineError
+from ..stochastic.rng import RandomState, fan_out_seeds
+from ..stochastic.trajectory import Trajectory
+from .cache import CompiledModelCache, default_cache
+from .executors import ProgressHook, SerialExecutor, get_executor
+from .jobs import EnsembleResult, EnsembleStats, SimulationJob
+
+__all__ = [
+    "run_job",
+    "run_ensemble",
+    "replicate_jobs",
+    "map_over_parameters",
+]
+
+
+def run_job(
+    job: SimulationJob, cache: Optional[CompiledModelCache] = None
+) -> Trajectory:
+    """Run a single job in-process (the one-run fast path).
+
+    Single runs still go through the compiled-model cache, so e.g. repeated
+    :meth:`LogicExperiment.run` calls on the same model compile it once.
+    """
+    return SerialExecutor().run_jobs([job], cache=cache)[0]
+
+
+def run_ensemble(
+    jobs: Sequence[SimulationJob],
+    *,
+    workers: int = 1,
+    executor=None,
+    cache: Optional[CompiledModelCache] = None,
+    progress: Optional[ProgressHook] = None,
+) -> EnsembleResult:
+    """Execute a batch of jobs and return trajectories plus statistics.
+
+    Parameters
+    ----------
+    jobs:
+        The batch, in the order results should come back.
+    workers:
+        Parallelism: ``1`` selects the serial executor, ``N > 1`` a pool of
+        ``N`` worker processes.  Ignored when ``executor`` is given.
+    executor:
+        An explicit executor instance (anything with a ``run_jobs`` method).
+    cache:
+        Compiled-model cache for in-process execution (defaults to the shared
+        process-wide cache).
+    progress:
+        Hook called after each completed run with ``(done, total, job)``.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise EngineError("run_ensemble needs at least one job")
+    chosen = executor if executor is not None else get_executor(workers)
+    cache = cache if cache is not None else default_cache()
+    hits_before, misses_before = cache.hits, cache.misses
+    started = time.perf_counter()
+    trajectories = chosen.run_jobs(jobs, cache=cache, progress=progress)
+    wall = time.perf_counter() - started
+    # In-process executors leave their footprint on `cache`; pool executors
+    # never touch it and report the worker-side statistics of the batch.
+    if hasattr(chosen, "last_cache_hits"):
+        cache_hits = chosen.last_cache_hits
+        cache_misses = chosen.last_cache_misses
+    else:
+        cache_hits = cache.hits - hits_before
+        cache_misses = cache.misses - misses_before
+    stats = EnsembleStats(
+        n_jobs=len(jobs),
+        executor=getattr(chosen, "name", type(chosen).__name__),
+        workers=getattr(chosen, "workers", 1),
+        wall_seconds=wall,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+    return EnsembleResult(jobs=jobs, trajectories=trajectories, stats=stats)
+
+
+def replicate_jobs(
+    job: SimulationJob,
+    n_replicates: int,
+    seed: RandomState = None,
+    tags: Optional[Sequence[Any]] = None,
+) -> List[SimulationJob]:
+    """``n_replicates`` copies of ``job`` with independent fanned-out seeds.
+
+    The fan-out matches :func:`repro.stochastic.spawn_rngs` exactly, so a
+    study refactored from a private seed loop onto the engine reproduces its
+    historical trajectories bit for bit.  Each clone keeps the template's
+    ``tag`` unless explicit per-replicate ``tags`` are given (``meta`` is
+    always preserved); the replicate index is the job's position in the
+    returned list.
+    """
+    if n_replicates < 1:
+        raise EngineError("replicate_jobs needs at least one replicate")
+    if tags is not None and len(tags) != n_replicates:
+        raise EngineError("tags must have one entry per replicate")
+    seeds = fan_out_seeds(seed, n_replicates)
+    clones: List[SimulationJob] = []
+    for index, child in enumerate(seeds):
+        clones.append(
+            SimulationJob(
+                model=job.model,
+                t_end=job.t_end,
+                simulator=job.simulator,
+                schedule=job.schedule,
+                sample_interval=job.sample_interval,
+                parameter_overrides=job.parameter_overrides,
+                initial_state=job.initial_state,
+                record_species=job.record_species,
+                seed=child,
+                tag=tags[index] if tags is not None else job.tag,
+                meta=job.meta,
+            )
+        )
+    return clones
+
+
+def map_over_parameters(
+    job: SimulationJob,
+    parameter_grid: Sequence[Dict[str, float]],
+    *,
+    seed: RandomState = None,
+    workers: int = 1,
+    cache: Optional[CompiledModelCache] = None,
+    progress: Optional[ProgressHook] = None,
+) -> EnsembleResult:
+    """Run ``job`` once per parameter-override set in ``parameter_grid``.
+
+    Each entry of the grid is merged over the template job's own overrides and
+    becomes that run's compiled-model cache key, so sweeping a parameter
+    compiles each distinct override set once.  Every run gets an independent
+    seed fanned out from ``seed``; each job is tagged with its grid entry.
+    """
+    grid = [dict(entry) for entry in parameter_grid]
+    if not grid:
+        raise EngineError("map_over_parameters needs a non-empty parameter grid")
+    seeds = fan_out_seeds(seed, len(grid))
+    jobs: List[SimulationJob] = []
+    for entry, child in zip(grid, seeds):
+        overrides = dict(job.parameter_overrides or {})
+        overrides.update(entry)
+        jobs.append(
+            SimulationJob(
+                model=job.model,
+                t_end=job.t_end,
+                simulator=job.simulator,
+                schedule=job.schedule,
+                sample_interval=job.sample_interval,
+                parameter_overrides=overrides or None,
+                initial_state=job.initial_state,
+                record_species=job.record_species,
+                seed=child,
+                tag=entry,
+                meta=job.meta,
+            )
+        )
+    return run_ensemble(
+        jobs, workers=workers, cache=cache, progress=progress
+    )

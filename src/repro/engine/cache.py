@@ -1,0 +1,155 @@
+"""Compiled-model caching for the ensemble engine.
+
+Compiling a :class:`repro.sbml.Model` into a :class:`CompiledModel` (parsing
+kinetic laws, building the dependency graph) costs far more than a short SSA
+run, and every multi-run study used to pay it once *per run*.  The engine
+pays it once per distinct ``(model identity, frozen parameter overrides)``
+pair instead:
+
+* in-process (serial executor and single runs), :class:`CompiledModelCache`
+  keys on the model's ``id()`` plus a cheap fingerprint of its mutable state
+  (initial amounts, parameter values, boundary flags) so an in-place edit such
+  as ``model.set_initial_amount(...)`` correctly invalidates the entry;
+* in worker processes (where every unpickled model is a fresh object),
+  :func:`worker_compiled` keys on a content fingerprint computed once in the
+  parent, so each worker compiles each distinct model once, not once per job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..stochastic.propensity import CompiledModel
+
+__all__ = ["CompiledModelCache", "default_cache", "model_fingerprint", "worker_compiled"]
+
+
+def model_fingerprint(model) -> str:
+    """A content fingerprint of a model, for cross-process cache keys."""
+    return hashlib.sha1(pickle.dumps(model)).hexdigest()
+
+
+def _state_token(model) -> Tuple:
+    """Cheap token over the model state that can change without re-`id`-ing.
+
+    Kinetic-law ASTs are treated as immutable per model object (nothing in the
+    package rewrites them in place); initial amounts, boundary/constant flags
+    and parameter values *are* edited in place by tests and benchmarks, so
+    they participate in the cache key.
+    """
+    species = tuple(
+        (sid, s.initial_amount, s.boundary_condition, s.constant)
+        for sid, s in model.species.items()
+    )
+    parameters = tuple(sorted(model.parameter_values().items()))
+    return (species, parameters, len(model.reactions))
+
+
+class CompiledModelCache:
+    """An LRU cache of :class:`CompiledModel` objects with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Tuple[object, CompiledModel]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, model, overrides: Tuple[Tuple[str, float], ...] = ()
+    ) -> CompiledModel:
+        """The compiled form of ``model`` under ``overrides`` (compiling on miss).
+
+        The cached entry keeps a strong reference to the source model, so the
+        ``id()`` in the key cannot be recycled while the entry is alive.
+        """
+        if isinstance(model, CompiledModel):
+            if not overrides:
+                return model
+            # Overrides cannot be applied to an already-compiled model;
+            # recompile (with caching) from its source model instead.
+            model = model.model
+        key = (id(model), _state_token(model), overrides)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        compiled = CompiledModel(model, dict(overrides) if overrides else None)
+        self._entries[key] = (model, compiled)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return compiled
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+
+#: The process-wide cache used when callers do not supply their own.
+_DEFAULT_CACHE = CompiledModelCache()
+
+
+def default_cache() -> CompiledModelCache:
+    """The shared in-process compiled-model cache."""
+    return _DEFAULT_CACHE
+
+
+#: Per-worker-process cache, keyed on (content fingerprint, overrides).  Lives
+#: at module level so it survives across tasks dispatched to the same worker.
+_WORKER_CACHE: Dict[Tuple, CompiledModel] = {}
+
+#: Models seeded into this worker by the pool initializer, keyed on their
+#: content fingerprint — each distinct model crosses the process boundary once
+#: per worker instead of once per job.
+_WORKER_MODELS: Dict[str, object] = {}
+
+_WORKER_CACHE_MAX = 64
+
+
+def seed_worker_models(models: Dict[str, object]) -> None:
+    """Pool-initializer hook: register the batch's distinct models by fingerprint."""
+    _WORKER_MODELS.update(models)
+
+
+def worker_model(fingerprint: str):
+    """The model seeded for ``fingerprint`` (worker-side lookup)."""
+    return _WORKER_MODELS[fingerprint]
+
+
+def worker_compiled(
+    model,
+    fingerprint: Optional[str],
+    overrides: Tuple[Tuple[str, float], ...] = (),
+) -> Tuple[CompiledModel, bool]:
+    """Worker-side compile with memoization on the parent-computed fingerprint.
+
+    Returns ``(compiled, cache_hit)`` so the hit can be reported back to the
+    parent and aggregated into the ensemble's statistics.
+    """
+    if fingerprint is None:
+        return CompiledModel(model, dict(overrides) if overrides else None), False
+    key = (fingerprint, overrides)
+    compiled = _WORKER_CACHE.get(key)
+    if compiled is not None:
+        # Refresh recency so eviction drops the coldest entry, not this one.
+        _WORKER_CACHE.pop(key)
+        _WORKER_CACHE[key] = compiled
+        return compiled, True
+    compiled = CompiledModel(model, dict(overrides) if overrides else None)
+    while len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+        _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+    _WORKER_CACHE[key] = compiled
+    return compiled, False

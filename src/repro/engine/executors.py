@@ -1,0 +1,217 @@
+"""Pluggable executors: where the runs of an ensemble actually execute.
+
+Two executors ship with the engine:
+
+* :class:`SerialExecutor` — runs every job in this process, reusing compiled
+  models through the in-process :class:`~repro.engine.cache.CompiledModelCache`;
+* :class:`ProcessPoolEnsembleExecutor` — fans jobs out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`; each worker keeps its own
+  compiled-model cache keyed on a content fingerprint computed in the parent.
+
+Determinism contract: executors never *create* randomness.  Every job arrives
+with its seed already fanned out from the root seed, and results are returned
+in submission order, so the serial and parallel executors produce
+bit-identical ensembles for the same job list.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EngineError
+from ..stochastic import resolve_simulator
+from ..stochastic.trajectory import Trajectory
+from .cache import (
+    CompiledModelCache,
+    default_cache,
+    model_fingerprint,
+    seed_worker_models,
+    worker_compiled,
+    worker_model,
+)
+from .jobs import SimulationJob
+
+__all__ = [
+    "ProgressHook",
+    "SerialExecutor",
+    "ProcessPoolEnsembleExecutor",
+    "get_executor",
+]
+
+#: Called after each completed run.  ``executor.map`` hooks receive
+#: ``(done_count, total, payload_index)``; ``run_jobs`` hooks receive
+#: ``(done_count, total, job)``.
+ProgressHook = Callable[[int, int, Any], None]
+
+
+def _simulate_payload(payload: Dict[str, Any]):
+    """Execute one declarative simulation payload (worker-side entry point).
+
+    The payload is a plain dict (not a :class:`SimulationJob`) so the worker
+    does not re-validate the job, and so the compiled-model lookup can use the
+    parent-computed fingerprint.  The model itself is not in the payload: the
+    pool initializer seeded each distinct model into the worker once, and the
+    payload references it by fingerprint.  Returns ``(trajectory, cache_hit)``;
+    the hit flag lets the parent aggregate worker-side cache statistics.
+    """
+    fingerprint = payload["fingerprint"]
+    compiled, cache_hit = worker_compiled(
+        worker_model(fingerprint), fingerprint, payload.get("overrides", ())
+    )
+    simulate = resolve_simulator(payload["simulator"])
+    trajectory = simulate(
+        compiled, payload["t_end"], rng=payload["seed"], **payload["kwargs"]
+    )
+    return trajectory, cache_hit
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        progress: Optional[ProgressHook] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every payload, in order."""
+        results: List[Any] = []
+        total = len(payloads)
+        for index, payload in enumerate(payloads):
+            results.append(fn(payload))
+            if progress is not None:
+                progress(index + 1, total, index)
+        return results
+
+    def run_jobs(
+        self,
+        jobs: Sequence[SimulationJob],
+        cache: Optional[CompiledModelCache] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> List[Trajectory]:
+        cache = cache if cache is not None else default_cache()
+        results: List[Trajectory] = []
+        total = len(jobs)
+        for index, job in enumerate(jobs):
+            compiled = cache.get(job.model, job.frozen_overrides())
+            simulate = resolve_simulator(job.simulator)
+            results.append(
+                simulate(compiled, job.t_end, rng=job.seed, **job.simulate_kwargs())
+            )
+            if progress is not None:
+                progress(index + 1, total, job)
+        return results
+
+
+class ProcessPoolEnsembleExecutor:
+    """Run jobs on a pool of worker processes.
+
+    Jobs must carry picklable seeds (``None``, ``int`` or ``SeedSequence``);
+    a live generator cannot cross the process boundary without breaking the
+    bit-identical-results contract, so it is rejected up front.
+
+    After :meth:`run_jobs`, ``last_cache_hits`` / ``last_cache_misses`` hold
+    the worker-side compiled-model cache statistics of that batch (the parent
+    cache is not involved in pool execution).
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise EngineError("a process-pool executor needs at least one worker")
+        self.workers = int(workers)
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        progress: Optional[ProgressHook] = None,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: tuple = (),
+    ) -> List[Any]:
+        """Apply ``fn`` (a module-level function) across the pool, preserving order."""
+        total = len(payloads)
+        if total == 0:
+            return []
+        results: List[Any] = [None] * total
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            futures = {
+                pool.submit(fn, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            done = 0
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                done += 1
+                if progress is not None:
+                    progress(done, total, index)
+        return results
+
+    def run_jobs(
+        self,
+        jobs: Sequence[SimulationJob],
+        cache: Optional[CompiledModelCache] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> List[Trajectory]:
+        fingerprints: Dict[int, str] = {}
+        models: Dict[str, Any] = {}
+        payloads = []
+        for job in jobs:
+            if isinstance(job.seed, np.random.Generator):
+                raise EngineError(
+                    "jobs dispatched to worker processes need picklable seeds "
+                    "(None, int or SeedSequence), not a live Generator; fan the "
+                    "root seed out with repro.stochastic.fan_out_seeds first"
+                )
+            key = id(job.model)
+            if key not in fingerprints:
+                fingerprints[key] = model_fingerprint(job.model)
+                models[fingerprints[key]] = job.model
+            payloads.append(
+                {
+                    "fingerprint": fingerprints[key],
+                    "overrides": job.frozen_overrides(),
+                    "simulator": job.simulator,
+                    "t_end": job.t_end,
+                    "seed": job.seed,
+                    "kwargs": job.simulate_kwargs(),
+                }
+            )
+
+        job_progress: Optional[ProgressHook] = None
+        if progress is not None:
+
+            def job_progress(done: int, total: int, index: int) -> None:
+                progress(done, total, jobs[index])
+
+        # Each distinct model crosses the process boundary once per worker
+        # (via the pool initializer); payloads reference it by fingerprint.
+        outcomes = self.map(
+            _simulate_payload,
+            payloads,
+            progress=job_progress,
+            initializer=seed_worker_models,
+            initargs=(models,),
+        )
+        self.last_cache_hits = sum(1 for _, hit in outcomes if hit)
+        self.last_cache_misses = len(outcomes) - self.last_cache_hits
+        return [trajectory for trajectory, _ in outcomes]
+
+
+def get_executor(jobs: int = 1):
+    """The executor for a ``jobs=N`` request: serial for 1, process pool for N>1."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolEnsembleExecutor(jobs)

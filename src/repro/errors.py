@@ -96,6 +96,10 @@ class ExperimentError(ReproError):
     """A virtual-laboratory experiment was configured incorrectly."""
 
 
+class EngineError(ReproError):
+    """The ensemble execution engine was misused (bad job, executor or seed)."""
+
+
 class AnalysisError(ReproError):
     """The logic analysis algorithm received inconsistent inputs."""
 

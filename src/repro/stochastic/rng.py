@@ -8,24 +8,56 @@ pass explicit seeds so the reported tables are stable.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs", "RandomState"]
+__all__ = ["make_rng", "spawn_rngs", "fan_out_seeds", "RandomState", "SpawnedSeed"]
 
 RandomState = Union[None, int, np.random.Generator]
 
+#: A child seed produced by :func:`fan_out_seeds`: either a plain ``int`` or a
+#: :class:`numpy.random.SeedSequence`.  Both are picklable, so they can cross
+#: a process boundary before being turned into a generator — which is how the
+#: ensemble engine guarantees bit-identical results across executors.
+SpawnedSeed = Union[int, np.random.SeedSequence]
 
-def make_rng(seed: RandomState = None) -> np.random.Generator:
+
+def make_rng(seed=None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    ``None`` draws fresh OS entropy; an ``int`` gives a deterministic stream;
-    an existing generator is returned unchanged (so callers can share one).
+    ``None`` draws fresh OS entropy; an ``int`` or ``SeedSequence`` gives a
+    deterministic stream; an existing generator is returned unchanged (so
+    callers can share one).
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def fan_out_seeds(seed, count: int) -> List[SpawnedSeed]:
+    """Derive ``count`` independent, *picklable* child seeds from one seed.
+
+    The streams obtained via ``make_rng(child)`` are identical to those of
+    :func:`spawn_rngs` for the same ``seed`` — the two functions are two views
+    of the same fan-out.  An ``int`` (or ``None``) root spawns children from a
+    single :class:`numpy.random.SeedSequence`; a generator root draws one
+    integer per child from its own stream (consuming ``count`` draws); a
+    ``SeedSequence`` root spawns from that sequence directly (callers with
+    several fan-out sites split one root into per-site children first, so the
+    sites do not replay each other's streams).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        return [int(seed.integers(0, 2**63 - 1)) for _ in range(count)]
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, (int, np.integer)):
+        root = np.random.SeedSequence(int(seed))
+    else:
+        root = np.random.SeedSequence(None)
+    return list(root.spawn(count))
 
 
 def spawn_rngs(seed: RandomState, count: int) -> list:
@@ -35,13 +67,4 @@ def spawn_rngs(seed: RandomState, count: int) -> list:
     or one per circuit in the 15-circuit suite) so replicates do not share a
     stream yet remain reproducible from a single seed.
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
-    if isinstance(seed, np.random.Generator):
-        # Derive children deterministically from the generator's own stream.
-        children = [
-            np.random.default_rng(int(seed.integers(0, 2**63 - 1))) for _ in range(count)
-        ]
-        return children
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    return [np.random.default_rng(child) for child in fan_out_seeds(seed, count)]

@@ -5,6 +5,12 @@ with one of the stochastic simulators, records every species at a fixed
 sample interval, and returns a :class:`~repro.vlab.datalog.SimulationDataLog`
 ready for the logic-analysis algorithm.  It is the programmatic equivalent of
 sitting in front of D-VASim, toggling the input species and logging the run.
+
+Execution is delegated to the ensemble engine: :meth:`LogicExperiment.job`
+describes the run declaratively and :meth:`LogicExperiment.run` submits it
+through :func:`repro.engine.run_job`, so even single runs share the
+compiled-model cache, and multi-run studies can batch many jobs from one
+experiment through :func:`repro.engine.run_ensemble`.
 """
 
 from __future__ import annotations
@@ -12,12 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from ..errors import ExperimentError
+from ..engine.api import run_job
+from ..engine.jobs import SimulationJob
+from ..errors import ExperimentError, SimulationError
 from ..gates.circuits import GeneticCircuit
 from ..sbml.model import Model
-from ..stochastic import SIMULATORS
+from ..stochastic import canonical_simulator_name
 from ..stochastic.events import InputSchedule
 from ..stochastic.rng import RandomState
+from ..stochastic.trajectory import Trajectory
 from .datalog import SimulationDataLog
 from .protocol import StimulusProtocol, exhaustive_protocol
 
@@ -57,10 +66,10 @@ class LogicExperiment:
         self.input_species = list(self.input_species)
         if not self.input_species:
             raise ExperimentError("an experiment needs at least one input species")
-        if self.simulator not in SIMULATORS:
-            raise ExperimentError(
-                f"unknown simulator {self.simulator!r}; choose from {sorted(SIMULATORS)}"
-            )
+        try:
+            self.simulator = canonical_simulator_name(self.simulator)
+        except SimulationError as error:
+            raise ExperimentError(str(error)) from None
         missing = [
             sid
             for sid in self.input_species + [self.output_species]
@@ -111,20 +120,25 @@ class LogicExperiment:
         )
 
     # -- execution -----------------------------------------------------------------
-    def run(
+    def job(
         self,
         protocol: Optional[StimulusProtocol] = None,
         hold_time: float = 250.0,
         repeats: int = 1,
-        rng: RandomState = None,
+        seed: RandomState = None,
         total_time: Optional[float] = None,
-    ) -> SimulationDataLog:
-        """Run the experiment and return the logged data.
+    ) -> SimulationJob:
+        """Describe this experiment as an engine :class:`SimulationJob`.
 
         Either pass an explicit ``protocol`` or let the experiment build an
         exhaustive one (every input combination, ascending order, held for
         ``hold_time`` and repeated ``repeats`` times).  ``total_time`` pads
         the simulation past the protocol's end (rarely needed).
+
+        Multi-run studies build one job per run (varying only the seed, via
+        :func:`repro.engine.replicate_jobs`) and submit them together through
+        :func:`repro.engine.run_ensemble`; :meth:`datalog_from` then turns
+        each returned trajectory back into a :class:`SimulationDataLog`.
         """
         if protocol is None:
             protocol = exhaustive_protocol(len(self.input_species), hold_time, repeats)
@@ -137,17 +151,21 @@ class LogicExperiment:
         t_end = float(total_time) if total_time is not None else protocol.total_time
         if t_end < protocol.total_time:
             raise ExperimentError("total_time is shorter than the protocol")
-
-        simulate = SIMULATORS[self.simulator]
-        trajectory = simulate(
-            self.model,
-            t_end,
-            sample_interval=self.sample_interval,
+        return SimulationJob(
+            model=self.model,
+            t_end=t_end,
+            simulator=self.simulator,
             schedule=schedule,
-            rng=rng,
+            sample_interval=self.sample_interval,
             record_species=self.record_species,
+            seed=seed,
+            meta={"hold_time": protocol.hold_time},
         )
-        applied = schedule.applied_values(self.input_species, trajectory.times)
+
+    def datalog_from(self, job: SimulationJob, trajectory: Trajectory) -> SimulationDataLog:
+        """Package a trajectory produced by ``job`` into a data log."""
+        applied = job.schedule.applied_values(self.input_species, trajectory.times)
+        hold_time = (job.meta or {}).get("hold_time", 0.0)
         return SimulationDataLog(
             trajectory=trajectory,
             input_species=list(self.input_species),
@@ -155,9 +173,27 @@ class LogicExperiment:
             applied_inputs=applied,
             input_high=self.input_high,
             input_low=self.input_low,
-            hold_time=protocol.hold_time,
+            hold_time=hold_time,
             circuit_name=self.circuit_name or self.model.sid,
         )
+
+    def run(
+        self,
+        protocol: Optional[StimulusProtocol] = None,
+        hold_time: float = 250.0,
+        repeats: int = 1,
+        rng: RandomState = None,
+        total_time: Optional[float] = None,
+    ) -> SimulationDataLog:
+        """Run the experiment through the engine and return the logged data."""
+        job = self.job(
+            protocol=protocol,
+            hold_time=hold_time,
+            repeats=repeats,
+            seed=rng,
+            total_time=total_time,
+        )
+        return self.datalog_from(job, run_job(job))
 
 
 def run_logic_experiment(

@@ -21,12 +21,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import AnalysisError, ThresholdError
+from ..engine.api import run_ensemble
+from ..engine.jobs import SimulationJob
+from ..errors import AnalysisError, SimulationError, ThresholdError
 from ..logic.truthtable import TruthTable
 from ..sbml.model import Model
-from ..stochastic import SIMULATORS
+from ..stochastic import canonical_simulator_name
 from ..stochastic.events import InputSchedule
-from ..stochastic.rng import RandomState
+from ..stochastic.rng import RandomState, fan_out_seeds
 
 __all__ = ["PropagationDelayAnalysis", "estimate_propagation_delay"]
 
@@ -93,6 +95,7 @@ def estimate_propagation_delay(
     rng: RandomState = None,
     expected_table: Optional[TruthTable] = None,
     transitions: Optional[Sequence[Tuple[str, str]]] = None,
+    jobs: int = 1,
 ) -> PropagationDelayAnalysis:
     """Measure output propagation delays across input-combination switches.
 
@@ -100,14 +103,30 @@ def estimate_propagation_delay(
     examined (the expected table is computed from settled levels when not
     supplied); pass ``transitions`` (pairs of combination strings such as
     ``("011", "100")``) to restrict the measurement.
+
+    The per-transition simulations run as one ensemble-engine batch (one
+    independent seed per transition, fanned out from ``rng``); ``jobs=N``
+    spreads them over worker processes.
     """
     if threshold <= 0:
         raise ThresholdError("threshold must be positive")
-    if simulator not in SIMULATORS:
-        raise AnalysisError(f"unknown simulator {simulator!r}")
+    try:
+        simulator = canonical_simulator_name(simulator)
+    except SimulationError as error:
+        raise AnalysisError(str(error)) from None
     input_species = list(input_species)
     n = len(input_species)
-    simulate = SIMULATORS[simulator]
+
+    # The settled-levels phase and the transition phase both fan seeds out;
+    # give each its own child root so an integer seed does not make the two
+    # phases replay identical streams pairwise.
+    if isinstance(rng, np.random.Generator):
+        settle_seed = transition_seed = rng
+    else:
+        root = rng if isinstance(rng, np.random.SeedSequence) else (
+            np.random.SeedSequence(int(rng) if rng is not None else None)
+        )
+        settle_seed, transition_seed = root.spawn(2)
 
     if expected_table is None:
         from .threshold import settled_output_levels
@@ -120,7 +139,8 @@ def estimate_propagation_delay(
             input_low=input_low,
             settle_time=settle_time,
             simulator=simulator,
-            rng=rng,
+            rng=settle_seed,
+            jobs=jobs,
         )
         outputs = [1 if levels[format(i, f"0{n}b")] >= threshold else 0 for i in range(2 ** n)]
         expected_table = TruthTable(input_species, outputs)
@@ -136,8 +156,10 @@ def estimate_propagation_delay(
                         (format(source, f"0{n}b"), format(target, f"0{n}b"))
                     )
 
-    delays: Dict[Tuple[str, str], float] = {}
-    for source_label, target_label in transitions:
+    total = settle_time + observation_time
+    transition_jobs = []
+    seeds = fan_out_seeds(transition_seed, len(transitions))
+    for (source_label, target_label), seed in zip(transitions, seeds):
         source_bits = [int(b) for b in source_label]
         target_bits = [int(b) for b in target_label]
         if len(source_bits) != n or len(target_bits) != n:
@@ -154,26 +176,35 @@ def estimate_propagation_delay(
             for sid, bit in zip(input_species, target_bits)
         }
         schedule = InputSchedule().add(0.0, source_settings).add(settle_time, target_settings)
-        total = settle_time + observation_time
-        trajectory = simulate(
-            model,
-            total,
-            sample_interval=max(total / 600.0, 0.25),
-            schedule=schedule,
-            rng=rng,
+        transition_jobs.append(
+            SimulationJob(
+                model=model,
+                t_end=total,
+                simulator=simulator,
+                schedule=schedule,
+                sample_interval=max(total / 600.0, 0.25),
+                seed=seed,
+                tag=(source_label, target_label),
+            )
         )
-        after = trajectory.slice_time(settle_time, total)
-        rising = expected_table.output_for(target_label) == 1
-        crossing = _first_crossing_time(
-            after.times, after[output_species], threshold, rising
-        )
-        if crossing is None:
-            # The output never crossed within the observation window: report
-            # the full window as a lower bound rather than dropping the
-            # transition silently.
-            delays[(source_label, target_label)] = float(observation_time)
-        else:
-            delays[(source_label, target_label)] = float(crossing - settle_time)
+
+    delays: Dict[Tuple[str, str], float] = {}
+    if transition_jobs:
+        ensemble = run_ensemble(transition_jobs, workers=jobs)
+        for job, trajectory in ensemble:
+            source_label, target_label = job.tag
+            after = trajectory.slice_time(settle_time, total)
+            rising = expected_table.output_for(target_label) == 1
+            crossing = _first_crossing_time(
+                after.times, after[output_species], threshold, rising
+            )
+            if crossing is None:
+                # The output never crossed within the observation window:
+                # report the full window as a lower bound rather than dropping
+                # the transition silently.
+                delays[(source_label, target_label)] = float(observation_time)
+            else:
+                delays[(source_label, target_label)] = float(crossing - settle_time)
 
     return PropagationDelayAnalysis(
         delays=delays,

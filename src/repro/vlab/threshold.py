@@ -20,11 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ThresholdError
+from ..engine.api import run_ensemble
+from ..engine.jobs import SimulationJob
+from ..errors import SimulationError, ThresholdError
 from ..sbml.model import Model
-from ..stochastic import SIMULATORS
+from ..stochastic import canonical_simulator_name
 from ..stochastic.events import InputSchedule
-from ..stochastic.rng import RandomState
+from ..stochastic.rng import RandomState, fan_out_seeds
 
 __all__ = ["ThresholdAnalysis", "estimate_threshold", "settled_output_levels"]
 
@@ -73,22 +75,27 @@ def settled_output_levels(
     simulator: str = "ode",
     rng: RandomState = None,
     tail_fraction: float = 0.25,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Settled output level for every input combination.
 
     The model is simulated from its initial state under each clamped input
     combination for ``settle_time`` time units; the level reported is the
     mean over the last ``tail_fraction`` of the run (for the ODE simulator
-    this is simply the final value region).
+    this is simply the final value region).  The per-combination settling
+    runs execute as one ensemble-engine batch with one independent seed per
+    combination; ``jobs=N`` spreads them over worker processes.
     """
-    if simulator not in SIMULATORS:
-        raise ThresholdError(f"unknown simulator {simulator!r}")
+    try:
+        simulator = canonical_simulator_name(simulator)
+    except SimulationError as error:
+        raise ThresholdError(str(error)) from None
     if not 0 < tail_fraction <= 1:
         raise ThresholdError("tail_fraction must be in (0, 1]")
     input_species = list(input_species)
-    simulate = SIMULATORS[simulator]
-    levels: Dict[str, float] = {}
     n = len(input_species)
+    settle_jobs = []
+    seeds = fan_out_seeds(rng, 2 ** n)
     for index in range(2 ** n):
         bits = [(index >> (n - 1 - i)) & 1 for i in range(n)]
         label = "".join(str(b) for b in bits)
@@ -96,16 +103,21 @@ def settled_output_levels(
             sid: (input_high if bit else input_low)
             for sid, bit in zip(input_species, bits)
         }
-        schedule = InputSchedule().add(0.0, settings)
-        trajectory = simulate(
-            model,
-            settle_time,
-            sample_interval=max(settle_time / 200.0, 0.5),
-            schedule=schedule,
-            rng=rng,
+        settle_jobs.append(
+            SimulationJob(
+                model=model,
+                t_end=settle_time,
+                simulator=simulator,
+                schedule=InputSchedule().add(0.0, settings),
+                sample_interval=max(settle_time / 200.0, 0.5),
+                seed=seeds[index],
+                tag=label,
+            )
         )
-        tail_start = settle_time * (1.0 - tail_fraction)
-        levels[label] = trajectory.mean(output_species, t_start=tail_start)
+    levels: Dict[str, float] = {}
+    tail_start = settle_time * (1.0 - tail_fraction)
+    for job, trajectory in run_ensemble(settle_jobs, workers=jobs):
+        levels[job.tag] = trajectory.mean(output_species, t_start=tail_start)
     return levels
 
 
@@ -118,6 +130,7 @@ def estimate_threshold(
     settle_time: float = 300.0,
     simulator: str = "ode",
     rng: RandomState = None,
+    jobs: int = 1,
 ) -> ThresholdAnalysis:
     """Estimate the digital threshold of the output species.
 
@@ -136,6 +149,7 @@ def estimate_threshold(
         settle_time=settle_time,
         simulator=simulator,
         rng=rng,
+        jobs=jobs,
     )
     values = sorted(levels.values())
     if len(values) < 2:

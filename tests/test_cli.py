@@ -128,6 +128,107 @@ class TestSimulateAnalyzeVerify:
         assert code == 0
 
 
+class TestEnsembleFlags:
+    def test_verify_replicate_study(self, tmp_path, capsys):
+        json_path = tmp_path / "study.json"
+        code = main(
+            [
+                "verify",
+                "and",
+                "--hold-time",
+                "100",
+                "--seed",
+                "7",
+                "--replicates",
+                "3",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 replicates" in out
+        assert "runs/s" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_replicates"] == 3
+        assert payload["recovery_rate"] == 1.0
+        assert payload["engine"]["executor"] == "serial"
+
+    def test_verify_replicates_parallel_matches_serial(self, capsys):
+        code = main(
+            ["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2",
+             "--jobs", "2"]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        assert "process-pool" in parallel_out
+        code = main(
+            ["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2"]
+        )
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        # Same study line (recovery rate and fitness) regardless of --jobs.
+        assert parallel_out.splitlines()[0] == serial_out.splitlines()[0]
+
+    def test_simulate_replicates_writes_one_csv_each(self, tmp_path, capsys):
+        out = tmp_path / "runs.csv"
+        code = main(
+            [
+                "simulate",
+                "not",
+                "--out",
+                str(out),
+                "--hold-time",
+                "60",
+                "--simulator",
+                "ode",
+                "--replicates",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "runs-r0.csv").exists()
+        assert (tmp_path / "runs-r1.csv").exists()
+        assert not out.exists()
+
+    def test_replicate_out_path_handles_dotted_directories(self, tmp_path, capsys):
+        from repro.cli import _replicate_out_path
+
+        assert _replicate_out_path("results.v2/run", 0) == "results.v2/run-r0"
+        assert _replicate_out_path("a/b.csv", 3) == "a/b-r3.csv"
+        assert _replicate_out_path("plain", 1) == "plain-r1"
+
+    def test_jobs_without_replicates_prints_note(self, capsys):
+        code = main(
+            ["verify", "not", "--hold-time", "80", "--simulator", "ode", "--jobs", "4"]
+        )
+        assert code == 0
+        assert "--jobs only parallelises replicate batches" in capsys.readouterr().err
+
+    def test_invalid_replicates_rejected(self, capsys):
+        assert main(["verify", "and", "--replicates", "0"]) == 2
+        capsys.readouterr()
+        assert main(["simulate", "not", "--out", "x.csv", "--replicates", "0"]) == 2
+        capsys.readouterr()
+
+    def test_invalid_jobs_rejected(self, capsys):
+        for argv in (
+            ["verify", "and", "--jobs", "0"],
+            ["simulate", "not", "--out", "x.csv", "--jobs", "-4"],
+            ["runtime", "--sizes", "2000", "--jobs", "0"],
+        ):
+            assert main(argv) == 2
+            assert "--jobs must be at least 1" in capsys.readouterr().err
+
+    def test_runtime_flags(self, capsys):
+        code = main(
+            ["runtime", "--sizes", "2000", "--inputs", "2", "--replicates", "1",
+             "--jobs", "2"]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
 class TestList:
     def test_cello_only_listing(self, capsys):
         assert main(["list", "--cello-only"]) == 0
