@@ -10,7 +10,7 @@ would suggest XNOR because of the decaying initial transient at combination
 
 import pytest
 
-from conftest import PAPER_THRESHOLD, paper_analyzer, run_circuit_experiment
+from conftest import PAPER_THRESHOLD, paper_analyzer
 from repro.core import FilterConfig, LogicAnalyzer, format_analysis_report
 from repro.gates import and_gate_circuit
 from repro.vlab import LogicExperiment
@@ -78,5 +78,5 @@ def test_fig2_without_filters_suggests_xnor(benchmark, datalog):
     print(
         "\nWithout the filters the recovered table is "
         f"{lenient.truth_table.to_hex()} ({lenient.gate_name or 'unnamed'}), "
-        "i.e. the XNOR-style misreading the paper warns about."
+        "i.e. the XNOR-style misreading the paper warns about.",
     )

@@ -88,7 +88,7 @@ def test_fig5_high_threshold_oscillation(benchmark, sweep_entries):
     nominal = sweep_entries[15.0]
     high = sweep_entries[40.0]
     total_variation = benchmark(
-        lambda: sum(c.variation_count for c in high.result.combinations)
+        lambda: sum(c.variation_count for c in high.result.combinations),
     )
     nominal_variation = sum(c.variation_count for c in nominal.result.combinations)
     assert total_variation > nominal_variation

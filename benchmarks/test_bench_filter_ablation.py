@@ -77,8 +77,10 @@ def test_ablation_decaying_transient(benchmark, transient_log):
     print()
     print("Filter ablation — decaying-transient scenario (Figure 2)")
     for name, result in results.items():
-        print(f"  {name:>14}: recovered {result.truth_table.to_hex()} "
-              f"({result.gate_name or 'unnamed'})")
+        print(
+            f"  {name:>14}: recovered {result.truth_table.to_hex()} "
+            f"({result.gate_name or 'unnamed'})"
+        )
 
     assert results["both"].truth_table.to_hex() == "0x08"
     assert results["majority-only"].truth_table.to_hex() == "0x08"
@@ -102,8 +104,10 @@ def test_ablation_oscillatory_state(benchmark, oscillatory_arrays):
     print()
     print("Filter ablation — oscillatory-output scenario (Figure 3)")
     for name, result in results.items():
-        print(f"  {name:>14}: recovered {result.truth_table.to_hex()} "
-              f"({result.gate_name or 'unnamed'})")
+        print(
+            f"  {name:>14}: recovered {result.truth_table.to_hex()} "
+            f"({result.gate_name or 'unnamed'})"
+        )
 
     assert results["both"].truth_table.to_hex() == "0x08"
     assert results["fov-only"].truth_table.output_for("00") == 0
@@ -119,10 +123,12 @@ def test_ablation_strictness_of_majority(benchmark, oscillatory_arrays):
     streams; on realistic data both settings give the same verdict."""
     inputs, output, names = oscillatory_arrays
     strict = LogicAnalyzer(
-        threshold=PAPER_THRESHOLD, filter_config=FilterConfig(majority_strict=True)
+        threshold=PAPER_THRESHOLD,
+        filter_config=FilterConfig(majority_strict=True),
     )
     lenient = LogicAnalyzer(
-        threshold=PAPER_THRESHOLD, filter_config=FilterConfig(majority_strict=False)
+        threshold=PAPER_THRESHOLD,
+        filter_config=FilterConfig(majority_strict=False),
     )
     strict_result = benchmark(strict.analyze_arrays, inputs, output, names)
     lenient_result = lenient.analyze_arrays(inputs, output, names)

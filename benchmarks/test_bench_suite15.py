@@ -10,7 +10,7 @@ FOV_UD 0.25), and verified against its intended truth table.
 
 import pytest
 
-from conftest import BASE_SEED, paper_analyzer, run_circuit_experiment
+from conftest import paper_analyzer, run_circuit_experiment
 from repro.core import format_suite_table
 from repro.gates import standard_suite
 
@@ -47,7 +47,7 @@ def test_suite15_all_circuits_verified(benchmark, suite_results):
                 "recovered": result.truth_table.to_hex(),
                 "fitness": result.fitness,
                 "match": result.comparison.matches,
-            }
+            },
         )
     print()
     print(format_suite_table(rows, title="Section III — 15-circuit verification suite"))

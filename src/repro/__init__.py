@@ -41,9 +41,12 @@ from .engine import (
     CompiledModelCache,
     EnsembleResult,
     EnsembleStats,
+    EnsembleStream,
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     SimulationJob,
+    get_executor,
+    iter_ensemble,
     map_over_parameters,
     replicate_jobs,
     run_ensemble,
@@ -156,11 +159,14 @@ __all__ = [
     "SimulationJob",
     "EnsembleResult",
     "EnsembleStats",
+    "EnsembleStream",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
     "CompiledModelCache",
+    "get_executor",
     "run_job",
     "run_ensemble",
+    "iter_ensemble",
     "replicate_jobs",
     "map_over_parameters",
     # higher-level studies

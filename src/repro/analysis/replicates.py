@@ -15,8 +15,8 @@ natural extension the paper's conclusion points towards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -54,9 +54,7 @@ class ReplicateStudy:
     @property
     def recovery_rate(self) -> float:
         """Fraction of replicates that recovered exactly the expected table."""
-        matches = sum(
-            1 for r in self.results if r.truth_table.outputs == self.expected.outputs
-        )
+        matches = sum(1 for r in self.results if r.truth_table.outputs == self.expected.outputs)
         return matches / self.n_replicates
 
     @property
@@ -77,9 +75,7 @@ class ReplicateStudy:
         agreement: Dict[str, float] = {}
         for index, label in enumerate(labels):
             expected_bit = self.expected.outputs[index]
-            agreeing = sum(
-                1 for r in self.results if r.truth_table.outputs[index] == expected_bit
-            )
+            agreeing = sum(1 for r in self.results if r.truth_table.outputs[index] == expected_bit)
             agreement[label] = agreeing / self.n_replicates
         return agreement
 
@@ -106,6 +102,7 @@ def run_replicate_study(
     simulator: str = "ssa",
     rng: RandomState = None,
     jobs: int = 1,
+    executor=None,
     progress=None,
 ) -> ReplicateStudy:
     """Run ``n_replicates`` independent experiments and aggregate the analyses.
@@ -113,22 +110,30 @@ def run_replicate_study(
     The replicate simulations are submitted as one batch to the ensemble
     engine: ``jobs=N`` runs them on ``N`` worker processes, with bit-identical
     results to the serial path because the per-replicate seeds are fanned out
-    from ``rng`` before dispatch.
+    from ``rng`` before dispatch.  Execution streams: each trajectory is
+    analyzed (datalog statistics, logic recovery) the moment its run
+    completes and then discarded, so peak memory holds a bounded window of
+    trajectories rather than all ``n_replicates`` of them.  Pass an opened
+    ``executor`` to reuse one live worker pool across several studies.
     """
     if n_replicates < 1:
         raise AnalysisError("n_replicates must be at least 1")
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
     template = experiment.job(hold_time=hold_time, repeats=repeats)
+
+    def _analyze(index, job, trajectory) -> LogicAnalysisResult:
+        data = experiment.datalog_from(job, trajectory)
+        return analyzer.analyze(data, expected=circuit.expected_table)
+
     ensemble = run_ensemble(
         replicate_jobs(template, n_replicates, seed=rng),
         workers=jobs,
+        executor=executor,
         progress=progress,
+        reduce=_analyze,
     )
-    results: List[LogicAnalysisResult] = []
-    for job, trajectory in ensemble:
-        data = experiment.datalog_from(job, trajectory)
-        results.append(analyzer.analyze(data, expected=circuit.expected_table))
+    results: List[LogicAnalysisResult] = list(ensemble.reduced)
     return ReplicateStudy(
         circuit_name=circuit.name,
         expected=circuit.expected_table,

@@ -10,7 +10,7 @@ threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
@@ -89,12 +89,15 @@ def assess_robustness(
     rng: RandomState = None,
     fov_ud: float = 0.25,
     jobs: int = 1,
+    executor=None,
     progress=None,
 ) -> RobustnessReport:
     """Sweep the thresholds and package the verdicts into a report.
 
     The underlying sweep runs through the ensemble engine; ``jobs=N``
-    parallelises the per-threshold simulations across worker processes.
+    parallelises the per-threshold simulations across worker processes, and
+    an opened ``executor`` lets several robustness reports share one live
+    worker pool.
     """
     if nominal_threshold <= 0:
         raise AnalysisError("nominal_threshold must be positive")
@@ -107,6 +110,7 @@ def assess_robustness(
         rng=rng,
         fov_ud=fov_ud,
         jobs=jobs,
+        executor=executor,
         progress=progress,
     )
     return RobustnessReport(

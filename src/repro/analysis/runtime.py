@@ -13,8 +13,8 @@ into the measurement).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,22 +61,22 @@ def synthetic_experiment_arrays(
     transients.  The point is not biological realism — it is a workload whose
     size can be scaled freely to measure analyzer throughput.
     """
-    if n_samples < 2 ** n_inputs:
+    if n_samples < 2**n_inputs:
         raise AnalysisError("n_samples must cover at least one sample per combination")
     generator = make_rng(rng)
     input_names = [f"in{i + 1}" for i in range(n_inputs)]
     if truth_table is None:
-        outputs = generator.integers(0, 2, size=2 ** n_inputs)
+        outputs = generator.integers(0, 2, size=2**n_inputs)
         if outputs.max() == 0:
             outputs[-1] = 1
         truth_table = TruthTable(input_names, outputs.tolist())
 
-    n_combinations = 2 ** n_inputs
+    n_combinations = 2**n_inputs
     block = n_samples // n_combinations
     indices = np.repeat(np.arange(n_combinations), block)
     if indices.shape[0] < n_samples:
         indices = np.concatenate(
-            [indices, np.full(n_samples - indices.shape[0], n_combinations - 1)]
+            [indices, np.full(n_samples - indices.shape[0], n_combinations - 1)],
         )
     bits = ((indices[:, None] >> np.arange(n_inputs - 1, -1, -1)) & 1).astype(float)
     input_matrix = bits * high_level
@@ -116,6 +116,7 @@ def measure_analysis_runtime(
     repeats: int = 3,
     rng: RandomState = None,
     jobs: int = 1,
+    progress=None,
 ) -> List[RuntimeMeasurement]:
     """Time the analyzer over a range of trace sizes.
 
@@ -124,7 +125,8 @@ def measure_analysis_runtime(
     noise in micro-benchmarks).  With ``jobs=N`` the sizes are distributed
     over the ensemble engine's process-pool executor (one independent seed per
     size); wall-clock timings taken under contention are noisier, so keep
-    ``jobs=1`` when absolute numbers matter.
+    ``jobs=1`` when absolute numbers matter.  ``progress`` is called after
+    each measured size with ``(done, total, size_index)``.
     """
     if repeats < 1:
         raise AnalysisError("repeats must be at least 1")
@@ -136,7 +138,8 @@ def measure_analysis_runtime(
             (int(size), n_inputs, threshold, fov_ud, repeats, seed)
             for size, seed in zip(sample_sizes, seeds)
         ]
-        return get_executor(jobs).map(_measure_one_size, payloads)
+        with get_executor(jobs) as executor:
+            return executor.map(_measure_one_size, payloads, progress=progress)
     generator = make_rng(rng)
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     measurements: List[RuntimeMeasurement] = []
@@ -144,7 +147,10 @@ def measure_analysis_runtime(
         best = float("inf")
         for _ in range(repeats):
             inputs, output, names = synthetic_experiment_arrays(
-                int(n_samples), n_inputs, threshold=threshold, rng=generator
+                int(n_samples),
+                n_inputs,
+                threshold=threshold,
+                rng=generator,
             )
             started = time.perf_counter()
             analyzer.analyze_arrays(inputs, output, names)
@@ -155,6 +161,8 @@ def measure_analysis_runtime(
                 n_inputs=n_inputs,
                 seconds=best,
                 samples_per_second=(int(n_samples) / best) if best > 0 else float("inf"),
-            )
+            ),
         )
+        if progress is not None:
+            progress(len(measurements), len(sample_sizes), len(measurements) - 1)
     return measurements

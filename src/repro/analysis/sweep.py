@@ -16,8 +16,8 @@ intended behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
 from ..engine.api import run_ensemble
@@ -77,6 +77,7 @@ def threshold_sweep(
     input_high_equals_threshold: bool = True,
     input_high: Optional[float] = None,
     jobs: int = 1,
+    executor=None,
     progress=None,
 ) -> List[ThresholdSweepEntry]:
     """Analyse ``circuit`` once per threshold value.
@@ -89,8 +90,12 @@ def threshold_sweep(
     All per-threshold simulations are submitted as one batch to the ensemble
     engine (compiling the circuit model once for the whole sweep);
     ``jobs=N`` runs them on ``N`` worker processes with results identical to
-    the serial path.
+    the serial path.  Each run is analyzed as it completes and its trajectory
+    discarded, so the sweep never materializes more than the executor's
+    in-flight window.  An opened ``executor`` is reused (and left open) so
+    several sweeps can share one warm worker pool.
     """
+    thresholds = list(thresholds)
     if not thresholds:
         raise AnalysisError("threshold_sweep needs at least one threshold value")
     experiments: List[LogicExperiment] = []
@@ -106,27 +111,33 @@ def threshold_sweep(
         else:
             level = max(v["high"] for v in circuit.input_levels().values())
         experiment = LogicExperiment.for_circuit(
-            circuit, simulator=simulator, input_high=level
+            circuit,
+            simulator=simulator,
+            input_high=level,
         )
         experiments.append(experiment)
         sweep_jobs.append(
-            experiment.job(hold_time=hold_time, repeats=repeats, seed=seed)
+            experiment.job(hold_time=hold_time, repeats=repeats, seed=seed),
         )
-    ensemble = run_ensemble(sweep_jobs, workers=jobs, progress=progress)
-    entries: List[ThresholdSweepEntry] = []
-    for threshold, experiment, (job, trajectory) in zip(
-        thresholds, experiments, ensemble
-    ):
+
+    def _entry(index, job, trajectory) -> ThresholdSweepEntry:
+        experiment = experiments[index]
         data = experiment.datalog_from(job, trajectory)
-        analyzer = LogicAnalyzer(threshold=float(threshold), fov_ud=fov_ud)
+        analyzer = LogicAnalyzer(threshold=float(thresholds[index]), fov_ud=fov_ud)
         result = analyzer.analyze(data)
         comparison = result.verify(circuit.expected_table)
-        entries.append(
-            ThresholdSweepEntry(
-                threshold=float(threshold),
-                input_high=experiment.input_high,
-                result=result,
-                comparison=comparison,
-            )
+        return ThresholdSweepEntry(
+            threshold=float(thresholds[index]),
+            input_high=experiment.input_high,
+            result=result,
+            comparison=comparison,
         )
-    return entries
+
+    ensemble = run_ensemble(
+        sweep_jobs,
+        workers=jobs,
+        executor=executor,
+        progress=progress,
+        reduce=_entry,
+    )
+    return list(ensemble.reduced)

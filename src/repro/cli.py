@@ -20,7 +20,10 @@ Multi-run execution: ``simulate``, ``verify`` and ``runtime`` accept
 ``runtime``) and ``--jobs N`` (worker processes).  Simulation batches go
 through :mod:`repro.engine`, so their results are bit-identical regardless
 of ``--jobs``; ``runtime`` measures wall time, which is inherently
-jobs-sensitive.
+jobs-sensitive.  Replicate CSVs are written as each run completes (the
+engine's streamed path), and a live ``done/total`` progress line is shown on
+interactive terminals — ``--progress`` / ``--no-progress`` override the TTY
+autodetection (CI logs stay clean by default).
 """
 
 from __future__ import annotations
@@ -29,19 +32,17 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis.replicates import run_replicate_study
 from .analysis.runtime import measure_analysis_runtime
 from .core.analyzer import LogicAnalyzer
 from .core.report import format_analysis_report
-from .engine import replicate_jobs, run_ensemble
 from .errors import ReproError
 from .gates.cello import CELLO_CIRCUIT_NAMES, cello_circuit
 from .gates.circuits import (
     GeneticCircuit,
     and_gate_circuit,
-    myers_suite,
     nand_gate_circuit,
     nor_gate_circuit,
     not_gate_circuit,
@@ -50,7 +51,7 @@ from .gates.circuits import (
 )
 from .gates.synthesis import synthesize_from_expression, synthesize_from_hex
 from .io.csvlog import read_datalog_csv, write_datalog_csv
-from .io.results import result_to_json, save_result_json
+from .io.results import save_result_json
 from .sbml.reader import read_sbml_file
 from .vlab.experiment import LogicExperiment
 from .version import __version__
@@ -72,12 +73,12 @@ def _resolve_circuit(name: str) -> GeneticCircuit:
     if key in _NAMED_CIRCUITS:
         return _NAMED_CIRCUITS[key]()
     if key.startswith("cello_"):
-        key = key[len("cello_"):]
+        key = key[len("cello_") :]
     if key.startswith("0x"):
         return cello_circuit(key)
     raise ReproError(
         f"unknown circuit {name!r}; use one of {sorted(_NAMED_CIRCUITS)} or a hex name "
-        "such as 0x0B"
+        "such as 0x0B",
     )
 
 
@@ -91,7 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser("list", help="list the built-in circuit suite")
     list_parser.add_argument(
-        "--cello-only", action="store_true", help="only list the ten Cello circuits"
+        "--cello-only",
+        action="store_true",
+        help="only list the ten Cello circuits",
     )
 
     simulate = subparsers.add_parser("simulate", help="run a virtual-lab experiment")
@@ -105,12 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--simulator", default="ssa")
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument(
-        "--replicates", type=int, default=1,
+        "--replicates",
+        type=int,
+        default=1,
         help="independent seeded runs; replicate R is written to OUT with a -rR suffix",
     )
     simulate.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the replicate batch"
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the replicate batch",
     )
+    _add_progress_flag(simulate)
 
     analyze = subparsers.add_parser("analyze", help="analyze a logged CSV")
     analyze.add_argument("datalog", help="CSV produced by 'genlogic simulate'")
@@ -130,12 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--json", help="also write the result as JSON to this path")
     verify.add_argument(
-        "--replicates", type=int, default=1,
+        "--replicates",
+        type=int,
+        default=1,
         help="run a replicate study instead of a single verification",
     )
     verify.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the replicate batch"
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the replicate batch",
     )
+    _add_progress_flag(verify)
 
     synth = subparsers.add_parser("synth", help="synthesize a NOT/NOR netlist")
     synth.add_argument("spec", help="hex truth-table name (0x0B) or Boolean expression")
@@ -146,15 +161,55 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--inputs", type=int, default=3)
     runtime.add_argument("--seed", type=int, default=0)
     runtime.add_argument(
-        "--replicates", type=int, default=3,
+        "--replicates",
+        type=int,
+        default=3,
         help="measurement repeats per size (the minimum wall time is reported)",
     )
     runtime.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs",
+        type=int,
+        default=1,
         help="worker processes measuring different sizes concurrently",
     )
+    _add_progress_flag(runtime)
 
     return parser
+
+
+def _add_progress_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the live progress line on/off (default: on when stderr is a TTY)",
+    )
+
+
+def _progress_hook(args: argparse.Namespace, unit: str = "runs"):
+    """A live ``done/total`` progress line on stderr, or ``None`` when disabled.
+
+    Enabled only on interactive terminals unless forced by ``--progress`` /
+    ``--no-progress``, so redirected output and CI logs never see control
+    characters.  The line is erased once the batch finishes, keeping the
+    final report clean.
+    """
+    enabled = getattr(args, "progress", None)
+    stream = sys.stderr
+    if enabled is None:
+        enabled = bool(getattr(stream, "isatty", lambda: False)())
+    if not enabled:
+        return None
+
+    def hook(done: int, total: int, payload) -> None:
+        line = f"{done}/{total} {unit}"
+        if done >= total:
+            stream.write("\r" + " " * len(line) + "\r")
+        else:
+            stream.write("\r" + line)
+        stream.flush()
+
+    return hook
 
 
 def _command_list(args: argparse.Namespace) -> int:
@@ -192,7 +247,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
     else:
         circuit = _resolve_circuit(args.circuit)
         experiment = LogicExperiment.for_circuit(
-            circuit, simulator=args.simulator, input_high=args.input_high
+            circuit,
+            simulator=args.simulator,
+            input_high=args.input_high,
         )
     if args.replicates == 1:
         _warn_if_jobs_unused(args)
@@ -202,17 +259,22 @@ def _command_simulate(args: argparse.Namespace) -> int:
         write_datalog_csv(log, args.out)
         print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {args.out}")
         return 0
-    template = experiment.job(hold_time=args.hold_time, repeats=args.repeats)
-    ensemble = run_ensemble(
-        replicate_jobs(template, args.replicates, seed=args.seed),
+    # Streamed execution: each replicate's CSV is written the moment its run
+    # completes and the trajectory is dropped, so memory stays bounded no
+    # matter how many replicates were requested.
+    stream = experiment.iter_replicates(
+        args.replicates,
+        hold_time=args.hold_time,
+        repeats=args.repeats,
+        seed=args.seed,
         workers=args.jobs,
+        progress=_progress_hook(args),
     )
-    for index, (job, trajectory) in enumerate(ensemble):
-        log = experiment.datalog_from(job, trajectory)
+    for index, log in stream:
         path = _replicate_out_path(args.out, index)
         write_datalog_csv(log, path)
         print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {path}")
-    print(ensemble.stats.summary())
+    print(stream.stats.summary())
     return 0
 
 
@@ -259,6 +321,7 @@ def _command_verify(args: argparse.Namespace) -> int:
             simulator=args.simulator,
             rng=args.seed,
             jobs=args.jobs,
+            progress=_progress_hook(args),
         )
         print(study.summary())
         agreement = study.combination_agreement()
@@ -314,6 +377,7 @@ def _command_runtime(args: argparse.Namespace) -> int:
         rng=args.seed,
         repeats=args.replicates,
         jobs=args.jobs,
+        progress=_progress_hook(args, unit="sizes"),
     )
     for measurement in measurements:
         print(measurement.summary())

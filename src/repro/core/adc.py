@@ -11,7 +11,6 @@ filters achieve the same robustness without needing hysteresis.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
@@ -31,7 +30,9 @@ def analog_to_digital(values: np.ndarray, threshold: float) -> np.ndarray:
 
 
 def analog_to_digital_hysteresis(
-    values: np.ndarray, low_threshold: float, high_threshold: float
+    values: np.ndarray,
+    low_threshold: float,
+    high_threshold: float,
 ) -> np.ndarray:
     """Digitise with hysteresis: rise at ``high_threshold``, fall at ``low_threshold``.
 

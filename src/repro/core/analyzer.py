@@ -21,8 +21,8 @@ behaviour.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,11 +33,11 @@ from ..logic.patterns import identify_gate
 from ..logic.truthtable import TruthTable
 from ..vlab.datalog import SimulationDataLog
 from .adc import analog_to_digital
-from .boolexpr_builder import build_expression, build_truth_table, high_combinations
-from .case_analyzer import CaseStream, analyze_cases
-from .filters import FilterConfig, FilterDecision, apply_filters
+from .boolexpr_builder import build_expression, build_truth_table
+from .case_analyzer import analyze_cases
+from .filters import FilterConfig, apply_filters
 from .fitness import fitness_from_analysis
-from .variation import VariationStats, analyze_all_variations
+from .variation import analyze_all_variations
 
 __all__ = ["CombinationAnalysis", "LogicAnalysisResult", "LogicAnalyzer", "analyze_logic"]
 
@@ -184,7 +184,7 @@ class LogicAnalyzer:
             filter_config = FilterConfig(fov_ud=fov_ud)
         elif abs(filter_config.fov_ud - fov_ud) > 1e-12 and fov_ud != 0.25:
             raise AnalysisError(
-                "pass FOV_UD either through fov_ud or through filter_config, not both"
+                "pass FOV_UD either through fov_ud or through filter_config, not both",
             )
         self.filter_config = filter_config
 
@@ -215,7 +215,7 @@ class LogicAnalyzer:
             digital_inputs = data.applied_digital_inputs()
         else:
             digital_inputs = data.measured_digital_inputs(self.threshold)
-        weights = 2 ** np.arange(data.n_inputs - 1, -1, -1)
+        weights = 2**np.arange(data.n_inputs - 1, -1, -1)
         combination_indices = digital_inputs @ weights
 
         result = self._analyze_digital(
@@ -253,21 +253,23 @@ class LogicAnalyzer:
         if input_matrix.shape[1] != len(list(input_species)):
             raise AnalysisError(
                 f"input matrix has {input_matrix.shape[1]} columns but "
-                f"{len(list(input_species))} input species were named"
+                f"{len(list(input_species))} input species were named",
             )
         if input_matrix.shape[0] != output_trace.shape[0]:
             raise AnalysisError("input matrix and output trace have different lengths")
         if inputs_are_digital:
             digital_inputs = (input_matrix > 0).astype(np.int8)
         else:
-            digital_inputs = (np.asarray(input_matrix, dtype=float) >= self.threshold).astype(np.int8)
+            digital_inputs = (np.asarray(input_matrix, dtype=float) >= self.threshold).astype(
+                np.int8,
+            )
         output_digital = (
             output_trace.astype(np.int8)
             if output_trace.dtype.kind in "iub" and set(np.unique(output_trace)) <= {0, 1}
             else analog_to_digital(output_trace, self.threshold)
         )
         n_inputs = digital_inputs.shape[1]
-        weights = 2 ** np.arange(n_inputs - 1, -1, -1)
+        weights = 2**np.arange(n_inputs - 1, -1, -1)
         combination_indices = digital_inputs @ weights
         result = self._analyze_digital(
             combination_indices=combination_indices,

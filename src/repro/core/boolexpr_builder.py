@@ -10,7 +10,7 @@ Quine–McCluskey for readability — the paper prints minimized forms such as
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from ..errors import AnalysisError
 from ..logic.boolexpr import BoolExpr, Const, from_minterms
@@ -27,7 +27,8 @@ def high_combinations(decisions: Mapping[int, FilterDecision]) -> List[int]:
 
 
 def build_truth_table(
-    decisions: Mapping[int, FilterDecision], input_names: Sequence[str]
+    decisions: Mapping[int, FilterDecision],
+    input_names: Sequence[str],
 ) -> TruthTable:
     """The recovered truth table over the experiment's input species."""
     input_names = list(input_names)
@@ -35,7 +36,7 @@ def build_truth_table(
     if len(decisions) != expected_rows:
         raise AnalysisError(
             f"filter decisions cover {len(decisions)} combinations but "
-            f"{len(input_names)} inputs imply {expected_rows}"
+            f"{len(input_names)} inputs imply {expected_rows}",
         )
     return TruthTable.from_minterm_indices(high_combinations(decisions), input_names)
 

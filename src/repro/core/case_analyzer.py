@@ -10,8 +10,8 @@ samples (the combination's *output data stream*).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
@@ -85,18 +85,18 @@ def analyze_cases(
     if combination_indices.shape[0] != output_digital.shape[0]:
         raise AnalysisError(
             f"combination indices ({combination_indices.shape[0]} samples) and output "
-            f"stream ({output_digital.shape[0]} samples) have different lengths"
+            f"stream ({output_digital.shape[0]} samples) have different lengths",
         )
     if n_inputs < 1:
         raise AnalysisError("n_inputs must be at least 1")
-    n_combinations = 2 ** n_inputs
+    n_combinations = 2**n_inputs
     if combination_indices.size:
         bad_low = int(combination_indices.min())
         bad_high = int(combination_indices.max())
         if bad_low < 0 or bad_high >= n_combinations:
             raise AnalysisError(
                 f"combination indices outside [0, {n_combinations}) found "
-                f"(min {bad_low}, max {bad_high})"
+                f"(min {bad_low}, max {bad_high})",
             )
 
     cases: Dict[int, CaseStream] = {}

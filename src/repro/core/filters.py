@@ -21,7 +21,7 @@ reproduce exactly that observation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from ..errors import AnalysisError
@@ -53,7 +53,7 @@ class FilterConfig:
     def __post_init__(self) -> None:
         if not 0.0 < self.fov_ud <= 1.0:
             raise AnalysisError(
-                f"FOV_UD must be within (0, 1], got {self.fov_ud!r}"
+                f"FOV_UD must be within (0, 1], got {self.fov_ud!r}",
             )
 
 
@@ -92,7 +92,8 @@ def _passes_majority(stats: VariationStats, config: FilterConfig) -> bool:
 
 
 def apply_filters(
-    stats: Mapping[int, VariationStats], config: FilterConfig | None = None
+    stats: Mapping[int, VariationStats],
+    config: FilterConfig | None = None,
 ) -> Dict[int, FilterDecision]:
     """Apply both filters to every combination's statistics.
 
@@ -106,7 +107,9 @@ def apply_filters(
     for index, stat in stats.items():
         if stat.case_count == 0 or not stat.ever_high:
             decisions[index] = FilterDecision(
-                passes_fov=True, passes_majority=False, is_high=False
+                passes_fov=True,
+                passes_majority=False,
+                is_high=False,
             )
             continue
         fov_ok = _passes_fov(stat, config)

@@ -12,7 +12,7 @@ will actually work after implementation in the laboratory".
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from ..errors import AnalysisError
 from .filters import FilterDecision

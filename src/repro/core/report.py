@@ -45,7 +45,7 @@ def format_case_table(result: LogicAnalysisResult) -> str:
                 "yes" if combination.passes_fov else "no",
                 "yes" if combination.passes_majority else "no",
                 "1" if combination.is_high else "0",
-            ]
+            ],
         )
     return _render_table(headers, rows)
 
@@ -56,17 +56,21 @@ def format_analysis_report(result: LogicAnalysisResult, title: Optional[str] = N
     name = title or result.circuit_name or result.output_species
     lines.append(f"Logic analysis of {name}")
     lines.append(
-        f"  inputs: {', '.join(result.input_species)}   output: {result.output_species}"
+        f"  inputs: {', '.join(result.input_species)}   output: {result.output_species}",
     )
     lines.append(
         f"  threshold: {result.threshold:g} molecules   FOV_UD: {result.fov_ud:g}   "
-        f"samples: {result.n_samples}"
+        f"samples: {result.n_samples}",
     )
     lines.append("")
     lines.append(format_case_table(result))
     lines.append("")
-    lines.append(f"  Boolean expression : {result.output_species} = {result.expression.to_string()}")
-    lines.append(f"  algebraic form     : {result.output_species} = {result.expression.to_algebraic()}")
+    lines.append(
+        f"  Boolean expression : {result.output_species} = {result.expression.to_string()}",
+    )
+    lines.append(
+        f"  algebraic form     : {result.output_species} = {result.expression.to_algebraic()}",
+    )
     lines.append(f"  truth table        : {result.truth_table.to_hex()}")
     if result.gate_name:
         lines.append(f"  named behaviour    : {result.gate_name}")
@@ -75,7 +79,7 @@ def format_analysis_report(result: LogicAnalysisResult, title: Optional[str] = N
     if result.unobserved_combinations:
         lines.append(
             "  WARNING: combinations never observed: "
-            + ", ".join(result.unobserved_combinations)
+            + ", ".join(result.unobserved_combinations),
         )
     if result.comparison is not None:
         lines.append(f"  verification       : {result.comparison.summary()}")
@@ -92,7 +96,16 @@ def format_suite_table(
     ``n_gates``, ``n_components``, ``expected``, ``recovered``, ``fitness``
     and ``match`` (see the suite benchmark for the producer side).
     """
-    headers = ["Circuit", "Inputs", "Gates", "Parts", "Expected", "Recovered", "Fitness%", "Verdict"]
+    headers = [
+        "Circuit",
+        "Inputs",
+        "Gates",
+        "Parts",
+        "Expected",
+        "Recovered",
+        "Fitness%",
+        "Verdict",
+    ]
     rows = []
     for entry in entries:
         rows.append(
@@ -105,6 +118,6 @@ def format_suite_table(
                 str(entry.get("recovered", "?")),
                 f"{entry.get('fitness', float('nan')):.2f}",
                 "OK" if entry.get("match") else "WRONG",
-            ]
+            ],
         )
     return f"{title}\n" + _render_table(headers, rows)

@@ -17,7 +17,13 @@ import numpy as np
 from ..errors import AnalysisError
 from .case_analyzer import CaseStream
 
-__all__ = ["VariationStats", "count_high", "count_variations", "analyze_variation", "analyze_all_variations"]
+__all__ = [
+    "VariationStats",
+    "count_high",
+    "count_variations",
+    "analyze_variation",
+    "analyze_all_variations",
+]
 
 
 def count_high(stream: np.ndarray) -> int:

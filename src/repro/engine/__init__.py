@@ -8,12 +8,17 @@ simulations cheaply; this subsystem is where they all execute:
 * :class:`SimulationJob` / :class:`EnsembleResult` — declarative job specs
   and ordered result containers;
 * :class:`SerialExecutor` / :class:`ProcessPoolEnsembleExecutor` — pluggable
-  executors selected by ``jobs=N``, bit-identical by construction because
-  seeds are fanned out from one root ``SeedSequence`` before dispatch;
+  context-managed executors selected by ``jobs=N``, bit-identical by
+  construction because seeds are fanned out from one root ``SeedSequence``
+  before dispatch; a pool executor keeps one live worker pool per instance,
+  reused across batches until ``close()``;
 * :class:`CompiledModelCache` — compile each ``(model, overrides)`` pair
-  once per study instead of once per run;
-* :func:`run_ensemble` / :func:`map_over_parameters` — batch submission with
-  progress and throughput/cache statistics.
+  once per study instead of once per run (worker-side caches stay warm
+  across the batches of a persistent pool);
+* :func:`run_ensemble` / :func:`iter_ensemble` / :func:`map_over_parameters`
+  — batch submission with progress and throughput/cache statistics, either
+  materialized or streamed one result at a time (``iter_ensemble`` /
+  ``reduce=``) with peak memory bounded by the in-flight window.
 
 See ``analysis/replicates.py``, ``analysis/sweep.py``,
 ``analysis/robustness.py`` and ``vlab/propagation.py`` for the studies built
@@ -21,7 +26,14 @@ on top, and the CLI's ``--jobs`` / ``--replicates`` flags for the user-facing
 entry points.
 """
 
-from .api import map_over_parameters, replicate_jobs, run_ensemble, run_job
+from .api import (
+    EnsembleStream,
+    iter_ensemble,
+    map_over_parameters,
+    replicate_jobs,
+    run_ensemble,
+    run_job,
+)
 from .cache import CompiledModelCache, default_cache, model_fingerprint
 from .executors import (
     ProcessPoolEnsembleExecutor,
@@ -42,6 +54,8 @@ __all__ = [
     "model_fingerprint",
     "run_job",
     "run_ensemble",
+    "iter_ensemble",
+    "EnsembleStream",
     "replicate_jobs",
     "map_over_parameters",
 ]

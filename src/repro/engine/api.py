@@ -2,23 +2,32 @@
 
 Every multi-run study in the package (replicate studies, threshold sweeps,
 robustness maps, propagation-delay scans, the CLI's ``--replicates`` modes)
-routes its simulations through :func:`run_ensemble`:
+routes its simulations through :func:`run_ensemble` or :func:`iter_ensemble`:
 
 1. the caller builds a list of declarative :class:`SimulationJob` objects —
    typically via :func:`replicate_jobs` (same job, independent seeds) or
    :func:`map_over_parameters` (one job per parameter-override set);
 2. seeds are fanned out deterministically from one root seed *before*
-   dispatch, so the choice of executor cannot change the results;
+   dispatch, so neither the choice of executor nor the delivery mode can
+   change the results;
 3. the selected executor runs the batch — serially with a shared
-   compiled-model cache, or on ``jobs=N`` worker processes — and the
-   trajectories come back in submission order inside an
-   :class:`EnsembleResult` together with throughput/cache statistics.
+   compiled-model cache, or on ``jobs=N`` worker processes — and results are
+   delivered either *materialized* (every trajectory, in submission order,
+   inside an :class:`EnsembleResult`) or *streamed* (an
+   :class:`EnsembleStream` yielding each run as it completes, or a per-run
+   ``reduce`` callback whose summaries replace the trajectories), always with
+   throughput/cache statistics.
+
+Executor lifecycle: both entry points accept an ``executor`` you opened
+yourself (its worker pool then survives this batch, keeping worker caches
+warm for the next one) or create — and afterwards close — an ephemeral one
+from ``workers=N``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
 from ..stochastic.rng import RandomState, fan_out_seeds
@@ -30,13 +39,105 @@ from .jobs import EnsembleResult, EnsembleStats, SimulationJob
 __all__ = [
     "run_job",
     "run_ensemble",
+    "iter_ensemble",
+    "EnsembleStream",
     "replicate_jobs",
     "map_over_parameters",
 ]
 
+#: Per-run reducer for ``run_ensemble(..., reduce=fn)``: called with
+#: ``(index, job, trajectory)`` as each run completes; its return value is
+#: stored at ``EnsembleResult.reduced[index]`` and the trajectory is dropped.
+EnsembleReducer = Callable[[int, SimulationJob, Trajectory], Any]
+
+
+class EnsembleStream:
+    """Iterator over the runs of an executing ensemble.
+
+    Yields ``(index, job, trajectory)`` as runs complete; after exhaustion (or
+    :meth:`close`) the batch's :class:`EnsembleStats` are available on
+    :attr:`stats`.  Streams are single-use and forward-only: each trajectory
+    is handed to the consumer exactly once and never retained by the engine,
+    so iterating-and-discarding holds O(executor window) trajectories no
+    matter how many runs the batch has.
+
+    Streams over an ephemeral executor (one the engine created from
+    ``workers=N``) close it when the stream ends, including on early exit.
+    """
+
+    def __init__(self, jobs: List[SimulationJob]):
+        self.jobs = jobs
+        self._stats: Optional[EnsembleStats] = None
+        self._stats_source: Optional["EnsembleStream"] = None
+        self._iterator: Iterator[Tuple[int, SimulationJob, Trajectory]] = iter(())
+        #: Finalizer run by close(); covers streams abandoned before their
+        #: first result (a never-started generator skips its finally block).
+        self._finalizer: Optional[Callable[[], None]] = None
+
+    @property
+    def stats(self) -> Optional[EnsembleStats]:
+        """Execution statistics — ``None`` until the stream has finished.
+
+        ``wall_seconds`` of a streamed batch is end-to-end delivery time,
+        which includes any consumer-side work interleaved between results
+        (that interleaving is the point of streaming) — so it is not directly
+        comparable to the pure-execution wall time of a materialized batch.
+        """
+        if self._stats_source is not None:
+            return self._stats_source.stats
+        return self._stats
+
+    def __iter__(self) -> "EnsembleStream":
+        return self
+
+    def __next__(self) -> Tuple[int, SimulationJob, Trajectory]:
+        return next(self._iterator)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def close(self) -> None:
+        """Abandon the stream early (finalizing stats and ephemeral executors)."""
+        closer = getattr(self._iterator, "close", None)
+        if closer is not None:
+            closer()
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "EnsembleStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def transform(
+        self,
+        fn: Callable[[int, SimulationJob, Trajectory], Any],
+    ) -> "EnsembleStream":
+        """A derived stream yielding ``fn(index, job, trajectory)`` per run.
+
+        The derived stream shares this stream's job list and statistics;
+        closing either one finalizes the underlying execution.
+        """
+        derived = EnsembleStream(self.jobs)
+        derived._stats_source = self
+        source = self
+
+        def _mapped():
+            try:
+                for index, job, trajectory in source:
+                    yield fn(index, job, trajectory)
+            finally:
+                source.close()
+
+        derived._iterator = _mapped()
+        derived._finalizer = source.close
+        return derived
+
 
 def run_job(
-    job: SimulationJob, cache: Optional[CompiledModelCache] = None
+    job: SimulationJob,
+    cache: Optional[CompiledModelCache] = None,
 ) -> Trajectory:
     """Run a single job in-process (the one-run fast path).
 
@@ -46,6 +147,101 @@ def run_job(
     return SerialExecutor().run_jobs([job], cache=cache)[0]
 
 
+def _batch_stats(
+    chosen,
+    n_jobs: int,
+    wall: float,
+    cache: CompiledModelCache,
+    hits_before: int,
+    misses_before: int,
+) -> EnsembleStats:
+    """Assemble the statistics of one executed batch.
+
+    In-process executors leave their footprint on ``cache``; pool executors
+    never touch it and report the worker-side statistics of the batch.
+    """
+    if hasattr(chosen, "last_cache_hits"):
+        cache_hits = chosen.last_cache_hits
+        cache_misses = chosen.last_cache_misses
+    else:
+        cache_hits = cache.hits - hits_before
+        cache_misses = cache.misses - misses_before
+    return EnsembleStats(
+        n_jobs=n_jobs,
+        executor=getattr(chosen, "name", type(chosen).__name__),
+        workers=getattr(chosen, "workers", 1),
+        wall_seconds=wall,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
+def iter_ensemble(
+    jobs: Sequence[SimulationJob],
+    *,
+    workers: int = 1,
+    executor=None,
+    cache: Optional[CompiledModelCache] = None,
+    progress: Optional[ProgressHook] = None,
+    ordered: bool = True,
+) -> EnsembleStream:
+    """Execute a batch of jobs, streaming each result as it completes.
+
+    The incremental counterpart of :func:`run_ensemble`: returns an
+    :class:`EnsembleStream` yielding ``(index, job, trajectory)`` per run, so
+    the caller can analyze and discard each trajectory — peak memory is
+    bounded by the executor's in-flight window instead of the batch size.
+
+    With ``ordered=True`` (the default) results arrive in submission order;
+    ``ordered=False`` delivers them in completion order (lowest latency; the
+    index says which job each trajectory belongs to).  Either mode yields
+    trajectories bit-identical to the materialized path.  ``executor`` keeps
+    its worker pool alive after the stream; an ephemeral executor built from
+    ``workers=N`` is closed when the stream ends.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise EngineError("iter_ensemble needs at least one job")
+    owns_executor = executor is None
+    chosen = executor if executor is not None else get_executor(workers)
+    cache = cache if cache is not None else default_cache()
+    stream = EnsembleStream(jobs)
+    hits_before, misses_before = cache.hits, cache.misses
+    opened = time.perf_counter()
+
+    def _finalize():
+        if stream._stats is None:
+            wall = time.perf_counter() - opened
+            stream._stats = _batch_stats(
+                chosen,
+                len(jobs),
+                wall,
+                cache,
+                hits_before,
+                misses_before,
+            )
+        if owns_executor:
+            chosen.close()
+
+    def _drive():
+        try:
+            for index, trajectory in chosen.iter_jobs(
+                jobs,
+                cache=cache,
+                progress=progress,
+                ordered=ordered,
+            ):
+                yield index, jobs[index], trajectory
+        finally:
+            _finalize()
+
+    stream._iterator = _drive()
+    # close() must finalize even when the stream is abandoned before its
+    # first result: closing a never-started generator skips the finally.
+    stream._finalizer = _finalize
+    return stream
+
+
 def run_ensemble(
     jobs: Sequence[SimulationJob],
     *,
@@ -53,8 +249,9 @@ def run_ensemble(
     executor=None,
     cache: Optional[CompiledModelCache] = None,
     progress: Optional[ProgressHook] = None,
+    reduce: Optional[EnsembleReducer] = None,
 ) -> EnsembleResult:
-    """Execute a batch of jobs and return trajectories plus statistics.
+    """Execute a batch of jobs and return results plus statistics.
 
     Parameters
     ----------
@@ -64,38 +261,59 @@ def run_ensemble(
         Parallelism: ``1`` selects the serial executor, ``N > 1`` a pool of
         ``N`` worker processes.  Ignored when ``executor`` is given.
     executor:
-        An explicit executor instance (anything with a ``run_jobs`` method).
+        An explicit executor instance (anything with ``run_jobs`` /
+        ``iter_jobs``).  Its lifecycle belongs to the caller: the worker pool
+        stays open after this batch, so the next batch on the same executor
+        hits warm worker caches.  Without it, an ephemeral executor is built
+        from ``workers`` and closed before returning.
     cache:
         Compiled-model cache for in-process execution (defaults to the shared
         process-wide cache).
     progress:
         Hook called after each completed run with ``(done, total, job)``.
+    reduce:
+        Per-run reducer ``fn(index, job, trajectory) -> summary``.  When
+        given, execution streams: each trajectory is reduced as it completes
+        and dropped, and the returned result is *reduced* — ``.reduced[i]``
+        holds job ``i``'s summary, ``.trajectories`` is ``None`` — keeping
+        peak memory O(executor window) instead of O(n_jobs).  The reported
+        ``wall_seconds`` then covers execution *and* the interleaved reducer
+        calls (see :attr:`EnsembleStream.stats`).
     """
     jobs = list(jobs)
     if not jobs:
         raise EngineError("run_ensemble needs at least one job")
+    if reduce is not None:
+        stream = iter_ensemble(
+            jobs,
+            workers=workers,
+            executor=executor,
+            cache=cache,
+            progress=progress,
+            ordered=False,
+        )
+        reduced: List[Any] = [None] * len(jobs)
+        with stream:
+            for index, job, trajectory in stream:
+                reduced[index] = reduce(index, job, trajectory)
+        return EnsembleResult(
+            jobs=jobs,
+            trajectories=None,
+            stats=stream.stats,
+            reduced=reduced,
+        )
+    owns_executor = executor is None
     chosen = executor if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
     hits_before, misses_before = cache.hits, cache.misses
     started = time.perf_counter()
-    trajectories = chosen.run_jobs(jobs, cache=cache, progress=progress)
+    try:
+        trajectories = chosen.run_jobs(jobs, cache=cache, progress=progress)
+    finally:
+        if owns_executor:
+            chosen.close()
     wall = time.perf_counter() - started
-    # In-process executors leave their footprint on `cache`; pool executors
-    # never touch it and report the worker-side statistics of the batch.
-    if hasattr(chosen, "last_cache_hits"):
-        cache_hits = chosen.last_cache_hits
-        cache_misses = chosen.last_cache_misses
-    else:
-        cache_hits = cache.hits - hits_before
-        cache_misses = cache.misses - misses_before
-    stats = EnsembleStats(
-        n_jobs=len(jobs),
-        executor=getattr(chosen, "name", type(chosen).__name__),
-        workers=getattr(chosen, "workers", 1),
-        wall_seconds=wall,
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-    )
+    stats = _batch_stats(chosen, len(jobs), wall, cache, hits_before, misses_before)
     return EnsembleResult(jobs=jobs, trajectories=trajectories, stats=stats)
 
 
@@ -134,7 +352,7 @@ def replicate_jobs(
                 seed=child,
                 tag=tags[index] if tags is not None else job.tag,
                 meta=job.meta,
-            )
+            ),
         )
     return clones
 
@@ -145,8 +363,10 @@ def map_over_parameters(
     *,
     seed: RandomState = None,
     workers: int = 1,
+    executor=None,
     cache: Optional[CompiledModelCache] = None,
     progress: Optional[ProgressHook] = None,
+    reduce: Optional[EnsembleReducer] = None,
 ) -> EnsembleResult:
     """Run ``job`` once per parameter-override set in ``parameter_grid``.
 
@@ -154,6 +374,10 @@ def map_over_parameters(
     becomes that run's compiled-model cache key, so sweeping a parameter
     compiles each distinct override set once.  Every run gets an independent
     seed fanned out from ``seed``; each job is tagged with its grid entry.
+    ``executor`` and ``reduce`` behave exactly as in :func:`run_ensemble`:
+    an opened executor keeps its (warm) worker pool across sweeps, and a
+    reducer streams the sweep, keeping per-run summaries instead of
+    trajectories.
     """
     grid = [dict(entry) for entry in parameter_grid]
     if not grid:
@@ -176,8 +400,13 @@ def map_over_parameters(
                 seed=child,
                 tag=entry,
                 meta=job.meta,
-            )
+            ),
         )
     return run_ensemble(
-        jobs, workers=workers, cache=cache, progress=progress
+        jobs,
+        workers=workers,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        reduce=reduce,
     )

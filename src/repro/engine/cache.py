@@ -32,6 +32,18 @@ def model_fingerprint(model) -> str:
     return hashlib.sha1(pickle.dumps(model)).hexdigest()
 
 
+def model_blob(model) -> Tuple[bytes, str]:
+    """``(pickled bytes, content fingerprint)`` of a model, serialized once.
+
+    The pool executor ships the blob (not the live object) inside each
+    payload: the parent pays one ``pickle.dumps`` per distinct model and
+    per-job transfer reduces to a bytes copy, while workers deserialize a
+    given fingerprint once and ignore the blob afterwards.
+    """
+    blob = pickle.dumps(model)
+    return blob, hashlib.sha1(blob).hexdigest()
+
+
 def _state_token(model) -> Tuple:
     """Cheap token over the model state that can change without re-`id`-ing.
 
@@ -68,7 +80,9 @@ class CompiledModelCache:
         self.misses = 0
 
     def get(
-        self, model, overrides: Tuple[Tuple[str, float], ...] = ()
+        self,
+        model,
+        overrides: Tuple[Tuple[str, float], ...] = (),
     ) -> CompiledModel:
         """The compiled form of ``model`` under ``overrides`` (compiling on miss).
 
@@ -108,25 +122,37 @@ def default_cache() -> CompiledModelCache:
 
 
 #: Per-worker-process cache, keyed on (content fingerprint, overrides).  Lives
-#: at module level so it survives across tasks dispatched to the same worker.
+#: at module level so it survives across tasks dispatched to the same worker —
+#: and, with persistent executor pools, across *batches* of the same study.
 _WORKER_CACHE: Dict[Tuple, CompiledModel] = {}
 
-#: Models seeded into this worker by the pool initializer, keyed on their
-#: content fingerprint — each distinct model crosses the process boundary once
-#: per worker instead of once per job.
+#: Models this worker has seen, keyed on their content fingerprint.  Payloads
+#: carry the pickled model inline (a persistent pool outlives any one batch,
+#: so a creation-time initializer cannot know the models of later batches);
+#: the worker deserializes each fingerprint once and reuses that canonical
+#: instance for every later payload and batch.
 _WORKER_MODELS: Dict[str, object] = {}
 
 _WORKER_CACHE_MAX = 64
+_WORKER_MODELS_MAX = 64
 
 
-def seed_worker_models(models: Dict[str, object]) -> None:
-    """Pool-initializer hook: register the batch's distinct models by fingerprint."""
-    _WORKER_MODELS.update(models)
+def worker_model_from_blob(fingerprint: str, blob: bytes):
+    """The canonical model instance for ``fingerprint``, deserializing once.
 
-
-def worker_model(fingerprint: str):
-    """The model seeded for ``fingerprint`` (worker-side lookup)."""
-    return _WORKER_MODELS[fingerprint]
+    Worker-side entry point: the first payload to arrive with a given
+    fingerprint pays the ``pickle.loads``; later payloads (and batches) skip
+    deserialization entirely, so a fingerprint unpickles and compiles at most
+    once per worker process.
+    """
+    known = _WORKER_MODELS.get(fingerprint)
+    if known is not None:
+        return known
+    model = pickle.loads(blob)
+    while len(_WORKER_MODELS) >= _WORKER_MODELS_MAX:
+        _WORKER_MODELS.pop(next(iter(_WORKER_MODELS)))
+    _WORKER_MODELS[fingerprint] = model
+    return model
 
 
 def worker_compiled(

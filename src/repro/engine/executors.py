@@ -8,16 +8,29 @@ Two executors ship with the engine:
   :class:`concurrent.futures.ProcessPoolExecutor`; each worker keeps its own
   compiled-model cache keyed on a content fingerprint computed in the parent.
 
+Executors have an explicit lifecycle: they are context managers with
+``open()`` / ``close()``.  A process-pool executor keeps **one** live pool per
+instance, created lazily on first use and reused across batches until
+``close()`` — so a multi-batch study (settle phase, then transitions) hits
+warm worker-side compiled-model caches on every batch after the first.
+:func:`repro.engine.run_ensemble` closes executors it creates itself; pass
+your own executor to keep the pool alive across calls.
+
+Two delivery modes: :meth:`run_jobs` materializes the whole batch in
+submission order; :meth:`iter_jobs` *streams* ``(index, trajectory)`` pairs as
+runs complete, keeping only a bounded window of results in flight — peak
+trajectory memory is O(workers), not O(n_jobs).
+
 Determinism contract: executors never *create* randomness.  Every job arrives
-with its seed already fanned out from the root seed, and results are returned
-in submission order, so the serial and parallel executors produce
-bit-identical ensembles for the same job list.
+with its seed already fanned out from the root seed, so the serial and
+parallel executors — and the streamed and materialized delivery modes —
+produce bit-identical trajectories for the same job list.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,10 +40,9 @@ from ..stochastic.trajectory import Trajectory
 from .cache import (
     CompiledModelCache,
     default_cache,
-    model_fingerprint,
-    seed_worker_models,
+    model_blob,
     worker_compiled,
-    worker_model,
+    worker_model_from_blob,
 )
 from .jobs import SimulationJob
 
@@ -42,8 +54,8 @@ __all__ = [
 ]
 
 #: Called after each completed run.  ``executor.map`` hooks receive
-#: ``(done_count, total, payload_index)``; ``run_jobs`` hooks receive
-#: ``(done_count, total, job)``.
+#: ``(done_count, total, payload_index)``; ``run_jobs`` / ``iter_jobs`` hooks
+#: receive ``(done_count, total, job)``.
 ProgressHook = Callable[[int, int, Any], None]
 
 
@@ -51,28 +63,53 @@ def _simulate_payload(payload: Dict[str, Any]):
     """Execute one declarative simulation payload (worker-side entry point).
 
     The payload is a plain dict (not a :class:`SimulationJob`) so the worker
-    does not re-validate the job, and so the compiled-model lookup can use the
-    parent-computed fingerprint.  The model itself is not in the payload: the
-    pool initializer seeded each distinct model into the worker once, and the
-    payload references it by fingerprint.  Returns ``(trajectory, cache_hit)``;
-    the hit flag lets the parent aggregate worker-side cache statistics.
+    does not re-validate the job.  It carries the pickled model together with
+    a parent-computed content fingerprint; the worker deserializes each
+    fingerprint once, so each distinct model unpickles and compiles once per
+    worker process regardless of how many jobs or batches reference it.
+    Returns ``(trajectory, cache_hit)``; the hit flag lets the parent
+    aggregate worker-side cache statistics.
     """
     fingerprint = payload["fingerprint"]
+    model = worker_model_from_blob(fingerprint, payload["model_blob"])
     compiled, cache_hit = worker_compiled(
-        worker_model(fingerprint), fingerprint, payload.get("overrides", ())
+        model,
+        fingerprint,
+        payload.get("overrides", ()),
     )
     simulate = resolve_simulator(payload["simulator"])
     trajectory = simulate(
-        compiled, payload["t_end"], rng=payload["seed"], **payload["kwargs"]
+        compiled,
+        payload["t_end"],
+        rng=payload["seed"],
+        **payload["kwargs"],
     )
     return trajectory, cache_hit
 
 
 class SerialExecutor:
-    """Run jobs one after another in the calling process."""
+    """Run jobs one after another in the calling process.
+
+    Holds no external resources, but implements the same lifecycle protocol as
+    the pool executor (``open`` / ``close`` / context manager) so callers can
+    treat any executor uniformly.
+    """
 
     name = "serial"
     workers = 1
+
+    def open(self) -> "SerialExecutor":
+        """No-op (the serial executor owns no resources); returns ``self``."""
+        return self
+
+    def close(self) -> None:
+        """No-op; present for lifecycle symmetry with the pool executor."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def map(
         self,
@@ -89,36 +126,65 @@ class SerialExecutor:
                 progress(index + 1, total, index)
         return results
 
+    def iter_jobs(
+        self,
+        jobs: Sequence[SimulationJob],
+        cache: Optional[CompiledModelCache] = None,
+        progress: Optional[ProgressHook] = None,
+        ordered: bool = True,
+    ) -> Iterator[Tuple[int, Trajectory]]:
+        """Yield ``(index, trajectory)`` per job as each run completes.
+
+        The serial executor completes jobs in submission order, so ``ordered``
+        has no effect; it is accepted for interface parity with the pool.
+        Only the trajectory currently yielded is alive — callers that analyze
+        and discard hold O(1) trajectories regardless of batch size.
+        """
+        cache = cache if cache is not None else default_cache()
+        total = len(jobs)
+        for index, job in enumerate(jobs):
+            compiled = cache.get(job.model, job.frozen_overrides())
+            simulate = resolve_simulator(job.simulator)
+            trajectory = simulate(
+                compiled,
+                job.t_end,
+                rng=job.seed,
+                **job.simulate_kwargs(),
+            )
+            if progress is not None:
+                progress(index + 1, total, job)
+            yield index, trajectory
+
     def run_jobs(
         self,
         jobs: Sequence[SimulationJob],
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
     ) -> List[Trajectory]:
-        cache = cache if cache is not None else default_cache()
-        results: List[Trajectory] = []
-        total = len(jobs)
-        for index, job in enumerate(jobs):
-            compiled = cache.get(job.model, job.frozen_overrides())
-            simulate = resolve_simulator(job.simulator)
-            results.append(
-                simulate(compiled, job.t_end, rng=job.seed, **job.simulate_kwargs())
-            )
-            if progress is not None:
-                progress(index + 1, total, job)
+        jobs = list(jobs)
+        results: List[Optional[Trajectory]] = [None] * len(jobs)
+        for index, trajectory in self.iter_jobs(jobs, cache=cache, progress=progress):
+            results[index] = trajectory
         return results
 
 
 class ProcessPoolEnsembleExecutor:
-    """Run jobs on a pool of worker processes.
+    """Run jobs on a persistent pool of worker processes.
+
+    The underlying :class:`concurrent.futures.ProcessPoolExecutor` is created
+    lazily on first use and **kept alive across batches** until :meth:`close`
+    (or context-manager exit); a closed executor transparently re-opens a
+    fresh pool on its next use.  Reusing one pool is what keeps worker-side
+    compiled-model caches warm between the batches of a multi-batch study.
 
     Jobs must carry picklable seeds (``None``, ``int`` or ``SeedSequence``);
     a live generator cannot cross the process boundary without breaking the
     bit-identical-results contract, so it is rejected up front.
 
-    After :meth:`run_jobs`, ``last_cache_hits`` / ``last_cache_misses`` hold
-    the worker-side compiled-model cache statistics of that batch (the parent
-    cache is not involved in pool execution).
+    After :meth:`run_jobs` (or exhausting :meth:`iter_jobs`),
+    ``last_cache_hits`` / ``last_cache_misses`` hold the worker-side
+    compiled-model cache statistics of that batch (the parent cache is not
+    involved in pool execution).
     """
 
     name = "process-pool"
@@ -129,35 +195,165 @@ class ProcessPoolEnsembleExecutor:
         self.workers = int(workers)
         self.last_cache_hits = 0
         self.last_cache_misses = 0
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        """True while a live worker pool is attached to this executor."""
+        return self._pool is not None
+
+    def open(self) -> "ProcessPoolEnsembleExecutor":
+        """Start the worker pool now (otherwise it starts on first use)."""
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+            )
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pool down.  Idempotent; next use re-opens a pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessPoolEnsembleExecutor":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # -- execution -----------------------------------------------------------------
     def map(
         self,
         fn: Callable[[Any], Any],
         payloads: Sequence[Any],
         progress: Optional[ProgressHook] = None,
-        initializer: Optional[Callable[..., None]] = None,
-        initargs: tuple = (),
     ) -> List[Any]:
         """Apply ``fn`` (a module-level function) across the pool, preserving order."""
+        payloads = list(payloads)
         total = len(payloads)
         if total == 0:
             return []
+        pool = self.open()._pool
         results: List[Any] = [None] * total
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            futures = {
-                pool.submit(fn, payload): index
-                for index, payload in enumerate(payloads)
-            }
-            done = 0
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                done += 1
-                if progress is not None:
-                    progress(done, total, index)
+        futures = {
+            pool.submit(fn, payload): index for index, payload in enumerate(payloads)
+        }
+        done = 0
+        for future in concurrent.futures.as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            done += 1
+            if progress is not None:
+                progress(done, total, index)
         return results
+
+    def _payloads(self, jobs: Sequence[SimulationJob]) -> List[Dict[str, Any]]:
+        """Declarative worker payloads, with one pickled blob per distinct model.
+
+        The blob is serialized once per distinct model and shared by every
+        payload referencing it, so per-job submission pays a bytes copy
+        rather than re-pickling the model object graph.
+        """
+        blobs: Dict[int, Tuple[bytes, str]] = {}
+        payloads = []
+        for job in jobs:
+            if isinstance(job.seed, np.random.Generator):
+                raise EngineError(
+                    "jobs dispatched to worker processes need picklable seeds "
+                    "(None, int or SeedSequence), not a live Generator; fan the "
+                    "root seed out with repro.stochastic.fan_out_seeds first",
+                )
+            key = id(job.model)
+            if key not in blobs:
+                blobs[key] = model_blob(job.model)
+            blob, fingerprint = blobs[key]
+            payloads.append(
+                {
+                    "fingerprint": fingerprint,
+                    "model_blob": blob,
+                    "overrides": job.frozen_overrides(),
+                    "simulator": job.simulator,
+                    "t_end": job.t_end,
+                    "seed": job.seed,
+                    "kwargs": job.simulate_kwargs(),
+                },
+            )
+        return payloads
+
+    def iter_jobs(
+        self,
+        jobs: Sequence[SimulationJob],
+        cache: Optional[CompiledModelCache] = None,
+        progress: Optional[ProgressHook] = None,
+        ordered: bool = True,
+    ) -> Iterator[Tuple[int, Trajectory]]:
+        """Yield ``(index, trajectory)`` pairs as worker runs complete.
+
+        With ``ordered=True`` (the default) results are delivered in
+        submission order; ``ordered=False`` delivers them in completion order
+        for minimum latency.  Either way, at most ``2 * workers`` results are
+        submitted-but-unconsumed at any moment — later jobs are only
+        dispatched as earlier results are yielded, so the parent's peak
+        trajectory memory is bounded by the window, not by ``len(jobs)``.
+
+        ``cache`` is unused (workers keep their own caches); it is accepted so
+        both executors share one call signature.
+        """
+        jobs = list(jobs)
+        payloads = self._payloads(jobs)
+        total = len(jobs)
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
+        if total == 0:
+            return
+        pool = self.open()._pool
+        window = 2 * self.workers
+        pending: Dict[concurrent.futures.Future, int] = {}
+        buffered: Dict[int, Trajectory] = {}
+        next_submit = 0
+        next_yield = 0
+        done = 0
+        try:
+            while next_submit < total or pending or buffered:
+                while next_submit < total and len(pending) + len(buffered) < window:
+                    future = pool.submit(_simulate_payload, payloads[next_submit])
+                    pending[future] = next_submit
+                    next_submit += 1
+                if pending:
+                    completed, _ = concurrent.futures.wait(
+                        pending,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in completed:
+                        index = pending.pop(future)
+                        trajectory, cache_hit = future.result()
+                        if cache_hit:
+                            self.last_cache_hits += 1
+                        else:
+                            self.last_cache_misses += 1
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, jobs[index])
+                        if ordered:
+                            buffered[index] = trajectory
+                        else:
+                            yield index, trajectory
+                if ordered:
+                    # The smallest unyielded index is always submitted (jobs
+                    # are dispatched in order), so this drain cannot starve.
+                    while next_yield in buffered:
+                        yield next_yield, buffered.pop(next_yield)
+                        next_yield += 1
+        finally:
+            for future in pending:
+                future.cancel()
 
     def run_jobs(
         self,
@@ -165,49 +361,16 @@ class ProcessPoolEnsembleExecutor:
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
     ) -> List[Trajectory]:
-        fingerprints: Dict[int, str] = {}
-        models: Dict[str, Any] = {}
-        payloads = []
-        for job in jobs:
-            if isinstance(job.seed, np.random.Generator):
-                raise EngineError(
-                    "jobs dispatched to worker processes need picklable seeds "
-                    "(None, int or SeedSequence), not a live Generator; fan the "
-                    "root seed out with repro.stochastic.fan_out_seeds first"
-                )
-            key = id(job.model)
-            if key not in fingerprints:
-                fingerprints[key] = model_fingerprint(job.model)
-                models[fingerprints[key]] = job.model
-            payloads.append(
-                {
-                    "fingerprint": fingerprints[key],
-                    "overrides": job.frozen_overrides(),
-                    "simulator": job.simulator,
-                    "t_end": job.t_end,
-                    "seed": job.seed,
-                    "kwargs": job.simulate_kwargs(),
-                }
-            )
-
-        job_progress: Optional[ProgressHook] = None
-        if progress is not None:
-
-            def job_progress(done: int, total: int, index: int) -> None:
-                progress(done, total, jobs[index])
-
-        # Each distinct model crosses the process boundary once per worker
-        # (via the pool initializer); payloads reference it by fingerprint.
-        outcomes = self.map(
-            _simulate_payload,
-            payloads,
-            progress=job_progress,
-            initializer=seed_worker_models,
-            initargs=(models,),
-        )
-        self.last_cache_hits = sum(1 for _, hit in outcomes if hit)
-        self.last_cache_misses = len(outcomes) - self.last_cache_hits
-        return [trajectory for trajectory, _ in outcomes]
+        jobs = list(jobs)
+        results: List[Optional[Trajectory]] = [None] * len(jobs)
+        for index, trajectory in self.iter_jobs(
+            jobs,
+            cache=cache,
+            progress=progress,
+            ordered=False,
+        ):
+            results[index] = trajectory
+        return results
 
 
 def get_executor(jobs: int = 1):

@@ -130,30 +130,62 @@ class EnsembleStats:
 
 @dataclass
 class EnsembleResult:
-    """Jobs and trajectories of one executed ensemble, in submission order."""
+    """Jobs and results of one executed ensemble, in submission order.
+
+    Two forms exist.  A *materialized* result (the default) holds every
+    trajectory.  A *reduced* result — produced by ``run_ensemble(...,
+    reduce=fn)`` — holds only the per-run summaries returned by the reducer
+    (``reduced[i]`` for job ``i``) and no trajectories at all: each trajectory
+    was handed to the reducer as it completed and discarded immediately, so
+    peak memory stays bounded by the executor's in-flight window instead of
+    growing with the number of runs.
+    """
 
     jobs: List[SimulationJob]
-    trajectories: List[Trajectory]
+    trajectories: Optional[List[Trajectory]]
     stats: EnsembleStats
+    reduced: Optional[List[Any]] = None
 
     def __post_init__(self) -> None:
-        if len(self.jobs) != len(self.trajectories):
+        if self.trajectories is None and self.reduced is None:
+            raise EngineError(
+                "an ensemble result needs trajectories or reduced summaries",
+            )
+        if self.trajectories is not None and len(self.jobs) != len(self.trajectories):
             raise EngineError(
                 f"ensemble result holds {len(self.jobs)} jobs but "
-                f"{len(self.trajectories)} trajectories"
+                f"{len(self.trajectories)} trajectories",
             )
+        if self.reduced is not None and len(self.jobs) != len(self.reduced):
+            raise EngineError(
+                f"ensemble result holds {len(self.jobs)} jobs but "
+                f"{len(self.reduced)} reduced summaries",
+            )
+
+    @property
+    def is_reduced(self) -> bool:
+        """True when the trajectories were reduced away during execution."""
+        return self.trajectories is None
+
+    def _require_trajectories(self) -> List[Trajectory]:
+        if self.trajectories is None:
+            raise EngineError(
+                "this ensemble was executed with a reducer and holds no "
+                "trajectories; read .reduced instead",
+            )
+        return self.trajectories
 
     def __len__(self) -> int:
         return len(self.jobs)
 
     def __iter__(self) -> Iterator[Tuple[SimulationJob, Trajectory]]:
-        return iter(zip(self.jobs, self.trajectories))
+        return iter(zip(self.jobs, self._require_trajectories()))
 
     def __getitem__(self, index: int) -> Tuple[SimulationJob, Trajectory]:
-        return self.jobs[index], self.trajectories[index]
+        return self.jobs[index], self._require_trajectories()[index]
 
     def trajectory(self, index: int) -> Trajectory:
-        return self.trajectories[index]
+        return self._require_trajectories()[index]
 
     def tags(self) -> List[Any]:
         return [job.tag for job in self.jobs]

@@ -42,7 +42,7 @@ class ValidationError(ModelError):
     def __init__(self, messages):
         messages = list(messages)
         super().__init__(
-            "model validation failed:\n" + "\n".join(f"  - {m}" for m in messages)
+            "model validation failed:\n" + "\n".join(f"  - {m}" for m in messages),
         )
         self.messages = messages
 
@@ -85,7 +85,7 @@ class NegativeStateError(SimulationError):
 
     def __init__(self, species: str, value: float, time: float):
         super().__init__(
-            f"species {species!r} became negative ({value}) at t={time:g}"
+            f"species {species!r} became negative ({value}) at t={time:g}",
         )
         self.species = species
         self.value = value

@@ -21,7 +21,7 @@ Figure 4 discussion — and is documented in the README.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import ModelError
 from .circuits import GeneticCircuit, build_circuit
@@ -84,10 +84,12 @@ def cello_circuit(
         raise ModelError(f"{name!r} is not a valid hexadecimal circuit name") from None
     if value <= 0 or value >= 2 ** (2 ** len(inputs)) - 1:
         raise ModelError(
-            f"circuit {name!r} is a constant function and has no gate implementation"
+            f"circuit {name!r} is a constant function and has no gate implementation",
         )
     netlist = synthesize_from_hex(
-        name, inputs=inputs, name=f"cello_{name.lower().replace('0x', '0x')}"
+        name,
+        inputs=inputs,
+        name=f"cello_{name.lower().replace('0x', '0x')}",
     )
     # Netlist names must be stable and readable: cello_0x0b etc.
     netlist.name = f"cello_{name.lower()}"

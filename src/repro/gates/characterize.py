@@ -12,7 +12,7 @@ conclusion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -118,7 +118,10 @@ def response_curve(
             raise AnalysisError("input levels cannot be negative")
         schedule = InputSchedule().add(0.0, {input_species: float(level)})
         trajectory = simulate_ode(
-            model, settle_time, sample_interval=max(settle_time / 100.0, 1.0), schedule=schedule
+            model,
+            settle_time,
+            sample_interval=max(settle_time / 100.0, 1.0),
+            schedule=schedule,
         )
         outputs.append(float(trajectory.value_at(output_species, settle_time - 1e-9)))
     return outputs
@@ -138,7 +141,11 @@ def characterize_gate(
         input_levels = [0.0, 1.0, 2.0, 4.0, 7.0, 10.0, 15.0, 25.0, 40.0, 60.0]
     circuit = _single_gate_model(repressor, library)
     outputs = response_curve(
-        circuit.model, repressor, circuit.output, input_levels, settle_time=settle_time
+        circuit.model,
+        repressor,
+        circuit.output,
+        input_levels,
+        settle_time=settle_time,
     )
     return GateResponse(repressor=repressor, input_levels=list(input_levels), output_levels=outputs)
 

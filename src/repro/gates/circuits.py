@@ -16,10 +16,9 @@ table, i.e. everything the virtual laboratory and the logic analyzer need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..errors import ModelError
 from ..logic.truthtable import TruthTable
 from ..sbml.model import Model
 from ..sbol.document import SBOLDocument
@@ -105,7 +104,9 @@ def build_circuit(
     library = library or default_library()
     expected = netlist.truth_table()
     model, document, net_protein = netlist_to_model(
-        netlist, library=library, output_protein=output_protein
+        netlist,
+        library=library,
+        output_protein=output_protein,
     )
     inputs = [net_protein[net] for net in netlist.inputs]
     output = net_protein[netlist.output]

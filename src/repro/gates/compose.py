@@ -21,7 +21,7 @@ from ..errors import ModelError
 from ..sbml.model import Model
 from ..sbol.converter import ConversionParameters, sbol_to_sbml
 from ..sbol.document import SBOLDocument
-from ..sbol.parts import ComponentDefinition, Role, cds, promoter, protein, terminator
+from ..sbol.parts import ComponentDefinition, cds, promoter, protein, terminator
 from .gate import GateType
 from .netlist import GateInstance, Netlist
 from .parts_library import PartsLibrary, default_library
@@ -56,7 +56,7 @@ def assign_proteins(
             part_name = gate.repressor
             if part_name not in library.repressors:
                 raise ModelError(
-                    f"gate {gate.name!r} requests unknown repressor {part_name!r}"
+                    f"gate {gate.name!r} requests unknown repressor {part_name!r}",
                 )
         else:
             part_name = library.allocate_repressor(exclude=sorted(reserved)).name

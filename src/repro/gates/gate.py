@@ -25,7 +25,7 @@ number of genetic components each template contributes; the physical
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 from ..errors import NetlistError
 from ..logic.truthtable import TruthTable
@@ -56,7 +56,7 @@ class GateDefinition:
         if not self.min_inputs <= n_inputs <= self.max_inputs:
             raise NetlistError(
                 f"{self.gate_type} gates support {self.min_inputs}-{self.max_inputs} "
-                f"inputs, got {n_inputs}"
+                f"inputs, got {n_inputs}",
             )
 
     def evaluate(self, bits: Sequence[int]) -> int:
@@ -120,5 +120,5 @@ def gate_definition(gate_type: str) -> GateDefinition:
         return GATE_TYPES[key]
     except KeyError:
         raise NetlistError(
-            f"unknown gate type {gate_type!r}; supported types: {', '.join(GATE_TYPES)}"
+            f"unknown gate type {gate_type!r}; supported types: {', '.join(GATE_TYPES)}",
         ) from None

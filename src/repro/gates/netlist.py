@@ -10,8 +10,8 @@ and the verification step compares the two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import NetlistError
 from ..logic.truthtable import TruthTable
@@ -103,12 +103,12 @@ class Netlist:
             names.add(gate.name)
             if gate.output in self.inputs:
                 raise NetlistError(
-                    f"gate {gate.name!r} drives primary input net {gate.output!r}"
+                    f"gate {gate.name!r} drives primary input net {gate.output!r}",
                 )
             if gate.output in drivers:
                 raise NetlistError(
                     f"net {gate.output!r} is driven by both {drivers[gate.output]!r} "
-                    f"and {gate.name!r}"
+                    f"and {gate.name!r}",
                 )
             drivers[gate.output] = gate.name
         if self.gates:
@@ -118,7 +118,7 @@ class Netlist:
                     if net not in known_nets:
                         raise NetlistError(
                             f"gate {gate.name!r} input net {net!r} is not driven by "
-                            "any gate or primary input"
+                            "any gate or primary input",
                         )
             self.topological_order()  # raises on combinational loops
 
@@ -145,7 +145,7 @@ class Netlist:
             status = state.get(gate.name, 0)
             if status == 1:
                 raise NetlistError(
-                    f"netlist {self.name!r} has a combinational loop through {gate.name!r}"
+                    f"netlist {self.name!r} has a combinational loop through {gate.name!r}",
                 )
             if status == 2:
                 return
@@ -209,7 +209,7 @@ class Netlist:
         self.check_complete()
         target = net or self.output
         outputs = []
-        for index in range(2 ** self.n_inputs):
+        for index in range(2**self.n_inputs):
             bits = TruthTable.combination_bits(index, self.n_inputs)
             values = self.evaluate(dict(zip(self.inputs, bits)))
             if target not in values:
@@ -246,6 +246,6 @@ class Netlist:
             repressor = f" [{gate.repressor}]" if gate.repressor else ""
             lines.append(
                 f"    {gate.name}: {gate.gate_type}({', '.join(gate.inputs)}) "
-                f"-> {gate.output}{repressor}"
+                f"-> {gate.output}{repressor}",
             )
         return "\n".join(lines)

@@ -25,8 +25,8 @@ substitution is documented in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ModelError
 
@@ -159,7 +159,7 @@ class PartsLibrary:
                 return part
         raise ModelError(
             "parts library exhausted: no unallocated repressor available "
-            f"(allocated: {self._allocated})"
+            f"(allocated: {self._allocated})",
         )
 
     def reset_allocation(self) -> None:
@@ -214,7 +214,7 @@ class PartsLibrary:
                     K=K if K is not None else part.K,
                     n=n if n is not None else part.n,
                     degradation=degradation if degradation is not None else part.degradation,
-                )
+                ),
             )
         new_inputs = []
         for signal in self.inputs.values():
@@ -223,7 +223,7 @@ class PartsLibrary:
                     signal,
                     K=K if K is not None else signal.K,
                     n=n if n is not None else signal.n,
-                )
+                ),
             )
         return PartsLibrary(new_repressors, list(self.reporters.values()), new_inputs)
 
@@ -258,7 +258,9 @@ def default_library(
         )
         for name in _CELLO_REPRESSOR_NAMES
     ]
-    reporters = [ReporterPart(name=name, degradation=degradation) for name in _DEFAULT_REPORTER_NAMES]
+    reporters = [
+        ReporterPart(name=name, degradation=degradation) for name in _DEFAULT_REPORTER_NAMES
+    ]
     inputs = [
         InputSignal(name=name, low=0.0, high=input_high, K=K, n=n)
         for name in _DEFAULT_INPUT_NAMES

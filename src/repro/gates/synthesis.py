@@ -150,7 +150,12 @@ def synthesize(
             continue
         target = output if single_product else None
         product_net = _nor_tree(
-            netlist, namer, complemented, max_fanin, invert=True, output_net=target
+            netlist,
+            namer,
+            complemented,
+            max_fanin,
+            invert=True,
+            output_net=target,
         )
         product_nets.append(product_net)
 

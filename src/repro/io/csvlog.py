@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Optional, Sequence, TextIO, Union
+from typing import Dict, List, TextIO
 
 import numpy as np
 
@@ -116,7 +116,7 @@ def read_datalog_csv(path_or_handle) -> SimulationDataLog:
         data_lines: List[str] = []
         for line in handle:
             if line.startswith(_META_PREFIX):
-                key, _, value = line[len(_META_PREFIX):].strip().partition("=")
+                key, _, value = line[len(_META_PREFIX) :].strip().partition("=")
                 metadata[key] = value
             elif line.strip():
                 data_lines.append(line)
@@ -128,7 +128,7 @@ def read_datalog_csv(path_or_handle) -> SimulationDataLog:
             raise ParseError("data-log CSV must start with a 'time' column")
         species = [name for name in header[1:] if not name.startswith(_APPLIED_PREFIX)]
         applied_names = [
-            name[len(_APPLIED_PREFIX):]
+            name[len(_APPLIED_PREFIX) :]
             for name in header[1:]
             if name.startswith(_APPLIED_PREFIX)
         ]
@@ -141,7 +141,7 @@ def read_datalog_csv(path_or_handle) -> SimulationDataLog:
             times.append(float(row[0]))
             values = [float(v) for v in row[1:]]
             rows.append(values[: len(species)])
-            applied_rows.append(values[len(species):])
+            applied_rows.append(values[len(species) :])
         trajectory = Trajectory(np.asarray(times), species, np.asarray(rows, dtype=float))
         applied_matrix = np.asarray(applied_rows, dtype=float)
         applied = {

@@ -8,7 +8,7 @@ importing the library.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from ..core.analyzer import CombinationAnalysis, LogicAnalysisResult
 from ..errors import ParseError

@@ -11,7 +11,7 @@ style (``A & ~B | C``) and in the paper's algebraic style (``AB' + C``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from ..errors import ParseError
 
@@ -272,11 +272,11 @@ def from_minterms(variables: Sequence[str], minterms: Iterable[int]) -> BoolExpr
     if not variables:
         raise ParseError("from_minterms requires at least one variable")
     for m in minterms:
-        if not 0 <= m < 2 ** n:
+        if not 0 <= m < 2**n:
             raise ParseError(f"minterm {m} out of range for {n} variables")
     if not minterms:
         return Const(False)
-    if len(minterms) == 2 ** n:
+    if len(minterms) == 2**n:
         return Const(True)
     products: List[BoolExpr] = []
     for m in minterms:
@@ -290,7 +290,7 @@ def from_minterms(variables: Sequence[str], minterms: Iterable[int]) -> BoolExpr
 
 def minterm_string(index: int, n_inputs: int) -> str:
     """Render a combination index as the paper writes it, e.g. ``"011"``."""
-    if not 0 <= index < 2 ** n_inputs:
+    if not 0 <= index < 2**n_inputs:
         raise ParseError(f"combination index {index} out of range for {n_inputs} inputs")
     return format(index, f"0{n_inputs}b")
 

@@ -13,7 +13,7 @@ common case for genetic circuits).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..errors import AnalysisError
 from .boolexpr import And, BoolExpr, Const, Not, Or, Var
@@ -115,7 +115,9 @@ class Implicant:
 
 
 def prime_implicants(
-    n_inputs: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+    n_inputs: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
 ) -> List[Implicant]:
     """All prime implicants of the function defined by minterms ∪ don't-cares."""
     minterms = set(int(m) for m in minterms)
@@ -125,7 +127,7 @@ def prime_implicants(
         raise AnalysisError(f"minterms and don't-cares overlap: {sorted(overlap)}")
     all_terms = minterms | dont_cares
     for term in all_terms:
-        if not 0 <= term < 2 ** n_inputs:
+        if not 0 <= term < 2**n_inputs:
             raise AnalysisError(f"term {term} out of range for {n_inputs} inputs")
     if not all_terms:
         return []
@@ -137,7 +139,7 @@ def prime_implicants(
         used: Set[Implicant] = set()
         current_list = sorted(current, key=lambda imp: (imp.mask, imp.value))
         for i, left in enumerate(current_list):
-            for right in current_list[i + 1:]:
+            for right in current_list[i + 1 :]:
                 if left.can_combine(right):
                     combined.add(left.combine(right))
                     used.add(left)
@@ -185,7 +187,9 @@ def _select_cover(primes: List[Implicant], minterms: Set[int]) -> List[Implicant
 
 
 def minimal_cover(
-    n_inputs: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+    n_inputs: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
 ) -> List[Implicant]:
     """A minimal (essential + greedy) prime-implicant cover of the minterms.
 
@@ -218,9 +222,9 @@ def minimize(
 
     if not minterms:
         return Const(False)
-    if len(minterms | dont_cares) == 2 ** n_inputs and len(minterms) > 0:
+    if len(minterms | dont_cares) == 2**n_inputs and len(minterms) > 0:
         # Everything that is not a don't-care is a minterm: constant 1.
-        if not (set(range(2 ** n_inputs)) - minterms - dont_cares):
+        if not (set(range(2**n_inputs)) - minterms - dont_cares):
             return Const(True)
 
     primes = prime_implicants(n_inputs, minterms, dont_cares)

@@ -11,7 +11,7 @@ gate families.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from .truthtable import TruthTable
 
@@ -109,7 +109,7 @@ def gate_truth_table(name: str, inputs: Sequence[str]) -> TruthTable:
     fn, minimum_inputs = GATE_FAMILIES[key]
     if len(inputs) < minimum_inputs:
         raise ValueError(
-            f"gate {name!r} needs at least {minimum_inputs} inputs, got {len(inputs)}"
+            f"gate {name!r} needs at least {minimum_inputs} inputs, got {len(inputs)}",
         )
     return TruthTable.from_function(fn, inputs)
 

@@ -16,7 +16,7 @@ README):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
 from .boolexpr import BoolExpr, from_minterms, minterm_string, parse_expr
@@ -43,13 +43,18 @@ class TruthTable:
         if len(outputs) != expected_rows:
             raise AnalysisError(
                 f"a {len(self.inputs)}-input truth table needs {expected_rows} output "
-                f"rows, got {len(outputs)}"
+                f"rows, got {len(outputs)}",
             )
         self.outputs = outputs
 
     # -- construction ---------------------------------------------------------
     @classmethod
-    def from_hex(cls, value, inputs: Optional[Sequence[str]] = None, n_inputs: int = 3) -> "TruthTable":
+    def from_hex(
+        cls,
+        value,
+        inputs: Optional[Sequence[str]] = None,
+        n_inputs: int = 3,
+    ) -> "TruthTable":
         """Build a table from a Cello-style hexadecimal circuit name.
 
         ``value`` may be an int or a string like ``"0x0B"``.  ``n_inputs`` is
@@ -62,9 +67,9 @@ class TruthTable:
             inputs = _default_inputs(n_inputs)
         inputs = list(inputs)
         rows = 2 ** len(inputs)
-        if not 0 <= value < 2 ** rows:
+        if not 0 <= value < 2**rows:
             raise AnalysisError(
-                f"hex value {value:#x} does not fit a {len(inputs)}-input truth table"
+                f"hex value {value:#x} does not fit a {len(inputs)}-input truth table",
             )
         outputs = [(value >> i) & 1 for i in range(rows)]
         return cls(inputs, outputs)
@@ -88,7 +93,7 @@ class TruthTable:
             inputs = expr.variables()
             if not inputs:
                 raise AnalysisError(
-                    "cannot infer inputs from a constant expression; pass `inputs`"
+                    "cannot infer inputs from a constant expression; pass `inputs`",
                 )
         inputs = list(inputs)
         rows = 2 ** len(inputs)
@@ -101,7 +106,9 @@ class TruthTable:
 
     @classmethod
     def from_minterm_indices(
-        cls, minterms: Iterable[int], inputs: Sequence[str]
+        cls,
+        minterms: Iterable[int],
+        inputs: Sequence[str],
     ) -> "TruthTable":
         """Build a table that is high exactly on the given combination indices."""
         inputs = list(inputs)
@@ -144,13 +151,13 @@ class TruthTable:
         if isinstance(combination, str):
             if len(combination) != self.n_inputs or set(combination) - {"0", "1"}:
                 raise AnalysisError(
-                    f"combination string {combination!r} does not match {self.n_inputs} inputs"
+                    f"combination string {combination!r} does not match {self.n_inputs} inputs",
                 )
             return int(combination, 2)
         if isinstance(combination, (tuple, list)):
             if len(combination) != self.n_inputs:
                 raise AnalysisError(
-                    f"combination {combination!r} does not match {self.n_inputs} inputs"
+                    f"combination {combination!r} does not match {self.n_inputs} inputs",
                 )
             return self.combination_index(combination)
         index = int(combination)
@@ -245,8 +252,6 @@ class TruthTable:
         rows = [header, "-" * len(header)]
         for index in range(self.n_rows):
             bits = self.combination_bits(index, self.n_inputs)
-            bit_text = " ".join(
-                str(bit).rjust(len(name)) for name, bit in zip(self.inputs, bits)
-            )
+            bit_text = " ".join(str(bit).rjust(len(name)) for name, bit in zip(self.inputs, bits))
             rows.append(f"{bit_text} | {self.outputs[index]}")
         return "\n".join(rows)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
 
 from ..errors import MathParseError, PropensityError
 
@@ -49,16 +49,16 @@ def _hill_act(x: float, k: float, n: float) -> float:
     """Hill activation: ``x^n / (K^n + x^n)`` (0 when x == 0)."""
     if x <= 0.0:
         return 0.0
-    xn = x ** n
-    return xn / (k ** n + xn)
+    xn = x**n
+    return xn / (k**n + xn)
 
 
 def _hill_rep(x: float, k: float, n: float) -> float:
     """Hill repression: ``K^n / (K^n + x^n)`` (1 when x == 0)."""
     if x <= 0.0:
         return 1.0
-    kn = k ** n
-    return kn / (kn + x ** n)
+    kn = k**n
+    return kn / (kn + x**n)
 
 
 def _piecewise(*args: float) -> float:
@@ -168,7 +168,7 @@ class Sym(Expr):
             return float(env[self.name])
         except KeyError:
             raise PropensityError(
-                f"symbol {self.name!r} is not defined in the evaluation environment"
+                f"symbol {self.name!r} is not defined in the evaluation environment",
             ) from None
 
     def _collect_symbols(self, seen: List[str]) -> None:
@@ -183,7 +183,7 @@ class Sym(Expr):
             return name_map[self.name]
         except KeyError:
             raise PropensityError(
-                f"symbol {self.name!r} has no binding in the compilation name map"
+                f"symbol {self.name!r} has no binding in the compilation name map",
             ) from None
 
     def substitute(self, bindings: Mapping[str, Expr]) -> Expr:
@@ -213,7 +213,7 @@ class BinOp(Expr):
         if self.op == "/":
             return a / b
         if self.op == "^":
-            return a ** b
+            return a**b
         raise PropensityError(f"unknown operator {self.op!r}")
 
     def _collect_symbols(self, seen: List[str]) -> None:
@@ -282,7 +282,7 @@ class Call(Expr):
         arity = FUNCTIONS[self.func][0]
         if arity >= 0 and len(self.args) != arity:
             raise PropensityError(
-                f"function {self.func!r} expects {arity} argument(s), got {len(self.args)}"
+                f"function {self.func!r} expects {arity} argument(s), got {len(self.args)}",
             )
         object.__setattr__(self, "args", tuple(self.args))
 
@@ -509,7 +509,7 @@ def compile_function(
             name_map[sym] = f"_c[{sym!r}]"
         else:
             raise PropensityError(
-                f"symbol {sym!r} is neither an argument nor a supplied constant"
+                f"symbol {sym!r} is neither an argument nor a supplied constant",
             )
     body = tree.to_python(name_map)
     arglist = ", ".join(f"_a{i}" for i in range(len(argument_names)))

@@ -21,7 +21,7 @@ reversibility flags, local kinetic-law parameters, modifier species).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..errors import DuplicateIdError, ModelError, UnknownIdError
 from .ast import Expr, parse
@@ -128,7 +128,7 @@ class SpeciesReference:
         if self.stoichiometry <= 0:
             raise ModelError(
                 f"stoichiometry for {self.species!r} must be positive "
-                f"(got {self.stoichiometry})"
+                f"(got {self.stoichiometry})",
             )
 
 
@@ -225,7 +225,10 @@ class Model:
 
     # -- construction -------------------------------------------------------
     def add_compartment(
-        self, sid: str = "cell", size: float = 1.0, name: str = ""
+        self,
+        sid: str = "cell",
+        size: float = 1.0,
+        name: str = "",
     ) -> Compartment:
         if sid in self.compartments:
             raise DuplicateIdError("compartment", sid)

@@ -136,7 +136,8 @@ def read_sbml_string(text: str) -> Model:
         modifiers = [
             ref.get("species", "")
             for ref in _iter_children(
-                _find_child(element, "listOfModifiers"), "modifierSpeciesReference"
+                _find_child(element, "listOfModifiers"),
+                "modifierSpeciesReference",
             )
         ]
         kinetic_law = None

@@ -37,7 +37,7 @@ def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
         if species.compartment not in model.compartments:
             problems.append(
                 f"species {species.sid!r} references unknown compartment "
-                f"{species.compartment!r}"
+                f"{species.compartment!r}",
             )
 
     produced: set = set()
@@ -47,12 +47,12 @@ def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
             if ref.species not in model.species:
                 problems.append(
                     f"reaction {reaction.sid!r} references unknown species "
-                    f"{ref.species!r}"
+                    f"{ref.species!r}",
                 )
         for sid in reaction.modifiers:
             if sid not in model.species:
                 problems.append(
-                    f"reaction {reaction.sid!r} has unknown modifier {sid!r}"
+                    f"reaction {reaction.sid!r} has unknown modifier {sid!r}",
                 )
         for ref in reaction.products:
             produced.add(ref.species)
@@ -72,7 +72,7 @@ def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
             ):
                 problems.append(
                     f"kinetic law of reaction {reaction.sid!r} references unknown "
-                    f"symbol {symbol!r}"
+                    f"symbol {symbol!r}",
                 )
         # A kinetic law that never mentions the reactants nor modifiers is
         # suspicious for anything except a constitutive (zeroth-order)
@@ -82,7 +82,7 @@ def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
         if reaction.reactants and not (law_symbols & touched):
             problems.append(
                 f"kinetic law of reaction {reaction.sid!r} does not depend on any "
-                "of its reactants or modifiers"
+                "of its reactants or modifiers",
             )
 
     if require_degradation:
@@ -93,13 +93,13 @@ def validate_model(model: Model, require_degradation: bool = True) -> List[str]:
             if sid not in consumed:
                 problems.append(
                     f"species {sid!r} is produced but never degraded/consumed; "
-                    "its count will grow without bound"
+                    "its count will grow without bound",
                 )
 
     for sid in model.boundary_species():
         if sid in produced:
             problems.append(
-                f"boundary (input) species {sid!r} is also produced by a reaction"
+                f"boundary (input) species {sid!r} is also produced by a reaction",
             )
 
     # Parameter sanity: negative rate constants are almost always a typo.

@@ -37,7 +37,7 @@ def _species_lines(model: Model) -> List[str]:
                 hosu=quoteattr(_bool(species.has_only_substance_units)),
                 boundary=quoteattr(_bool(species.boundary_condition)),
                 constant=quoteattr(_bool(species.constant)),
-            )
+            ),
         )
     lines.append("    </listOfSpecies>")
     return lines
@@ -52,7 +52,7 @@ def _compartment_lines(model: Model) -> List[str]:
                 name=quoteattr(compartment.name),
                 size=quoteattr(repr(float(compartment.size))),
                 constant=quoteattr(_bool(compartment.constant)),
-            )
+            ),
         )
     lines.append("    </listOfCompartments>")
     return lines
@@ -69,7 +69,7 @@ def _parameter_lines(model: Model) -> List[str]:
                 name=quoteattr(parameter.name),
                 value=quoteattr(repr(float(parameter.value))),
                 constant=quoteattr(_bool(parameter.constant)),
-            )
+            ),
         )
     lines.append("    </listOfParameters>")
     return lines
@@ -81,31 +81,33 @@ def _reaction_lines(reaction: Reaction) -> List[str]:
             id=quoteattr(reaction.sid),
             name=quoteattr(reaction.name),
             rev=quoteattr(_bool(reaction.reversible)),
-        )
+        ),
     ]
     if reaction.reactants:
         lines.append("        <listOfReactants>")
         for ref in reaction.reactants:
             lines.append(
-                "          <speciesReference species={sp} stoichiometry={st} constant=\"true\"/>".format(
-                    sp=quoteattr(ref.species), st=quoteattr(repr(float(ref.stoichiometry)))
-                )
+                '          <speciesReference species={sp} stoichiometry={st} constant="true"/>'.format(
+                    sp=quoteattr(ref.species),
+                    st=quoteattr(repr(float(ref.stoichiometry))),
+                ),
             )
         lines.append("        </listOfReactants>")
     if reaction.products:
         lines.append("        <listOfProducts>")
         for ref in reaction.products:
             lines.append(
-                "          <speciesReference species={sp} stoichiometry={st} constant=\"true\"/>".format(
-                    sp=quoteattr(ref.species), st=quoteattr(repr(float(ref.stoichiometry)))
-                )
+                '          <speciesReference species={sp} stoichiometry={st} constant="true"/>'.format(
+                    sp=quoteattr(ref.species),
+                    st=quoteattr(repr(float(ref.stoichiometry))),
+                ),
             )
         lines.append("        </listOfProducts>")
     if reaction.modifiers:
         lines.append("        <listOfModifiers>")
         for sid in reaction.modifiers:
             lines.append(
-                f"          <modifierSpeciesReference species={quoteattr(sid)}/>"
+                f"          <modifierSpeciesReference species={quoteattr(sid)}/>",
             )
         lines.append("        </listOfModifiers>")
     if reaction.kinetic_law is not None:
@@ -116,8 +118,9 @@ def _reaction_lines(reaction: Reaction) -> List[str]:
             for sid, value in reaction.kinetic_law.local_parameters.items():
                 lines.append(
                     "            <localParameter id={id} value={value}/>".format(
-                        id=quoteattr(sid), value=quoteattr(repr(float(value)))
-                    )
+                        id=quoteattr(sid),
+                        value=quoteattr(repr(float(value))),
+                    ),
                 )
             lines.append("          </listOfLocalParameters>")
         lines.append("        </kineticLaw>")
@@ -137,7 +140,7 @@ def write_sbml_string(model: Model) -> str:
         lines.append(
             '      <body xmlns="http://www.w3.org/1999/xhtml"><p>'
             + escape(model.notes)
-            + "</p></body>"
+            + "</p></body>",
         )
         lines.append("    </notes>")
     lines.extend(_compartment_lines(model))

@@ -21,7 +21,7 @@ parts library injects per-repressor response functions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import ConversionError
@@ -97,11 +97,13 @@ def _promoter_activity_expression(
         n_id = f"{parameter_prefix}_n{index}"
         rep_component = document.components[repressor]
         model.add_parameter(
-            k_id, float(rep_component.properties.get("K", hill_k)),
+            k_id,
+            float(rep_component.properties.get("K", hill_k)),
             name=f"repression K of {repressor} on {promoter_id}",
         )
         model.add_parameter(
-            n_id, float(rep_component.properties.get("n", hill_n)),
+            n_id,
+            float(rep_component.properties.get("n", hill_n)),
             name=f"Hill n of {repressor} on {promoter_id}",
         )
         factors.append(f"hill_rep({repressor}, {k_id}, {n_id})")
@@ -110,11 +112,13 @@ def _promoter_activity_expression(
         n_id = f"{parameter_prefix}_nA{index}"
         act_component = document.components[activator]
         model.add_parameter(
-            k_id, float(act_component.properties.get("K", hill_k)),
+            k_id,
+            float(act_component.properties.get("K", hill_k)),
             name=f"activation K of {activator} on {promoter_id}",
         )
         model.add_parameter(
-            n_id, float(act_component.properties.get("n", hill_n)),
+            n_id,
+            float(act_component.properties.get("n", hill_n)),
             name=f"Hill n of {activator} on {promoter_id}",
         )
         factors.append(f"hill_act({activator}, {k_id}, {n_id})")
@@ -156,7 +160,7 @@ def sbol_to_sbml(
     if problems:
         raise ConversionError(
             "cannot convert an invalid SBOL document:\n"
-            + "\n".join(f"  - {p}" for p in problems)
+            + "\n".join(f"  - {p}" for p in problems),
         )
 
     model = Model(model_id or document.display_id, name=document.name)
@@ -198,21 +202,25 @@ def sbol_to_sbml(
         cds_list = [p for p in unit.parts if document.components[p].role == Role.CDS]
         if not promoters or not cds_list:
             raise ConversionError(
-                f"unit {unit.display_id!r} lacks a promoter or coding sequence"
+                f"unit {unit.display_id!r} lacks a promoter or coding sequence",
             )
         for cds_id in cds_list:
             product = document.product_of_cds(cds_id)
             if product is None:
                 raise ConversionError(
-                    f"coding sequence {cds_id!r} has no declared protein product"
+                    f"coding sequence {cds_id!r} has no declared protein product",
                 )
             terms = []
             for p_index, promoter_id in enumerate(promoters):
                 prefix = f"{unit.display_id}_{cds_id}_p{p_index}"
                 terms.append(
                     _promoter_activity_expression(
-                        document, promoter_id, parameters, prefix, model
-                    )
+                        document,
+                        promoter_id,
+                        parameters,
+                        prefix,
+                        model,
+                    ),
                 )
             rate = " + ".join(terms)
             model.add_reaction(

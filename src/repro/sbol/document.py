@@ -44,7 +44,7 @@ class Interaction:
         if self.interaction_type not in InteractionType.ALL:
             raise ModelError(
                 f"interaction {self.display_id!r} has unknown type "
-                f"{self.interaction_type!r}"
+                f"{self.interaction_type!r}",
             )
         self.participations = list(self.participations)
 
@@ -99,7 +99,7 @@ class SBOLDocument:
             if existing.role != component.role:
                 raise ModelError(
                     f"component {component.display_id!r} already exists with role "
-                    f"{existing.role!r}, cannot redefine as {component.role!r}"
+                    f"{existing.role!r}, cannot redefine as {component.role!r}",
                 )
             return existing
         return self.add_component(component)
@@ -112,7 +112,7 @@ class SBOLDocument:
             if not component.is_dna:
                 raise ModelError(
                     f"transcriptional unit {display_id!r} includes {part!r}, "
-                    f"which is not a DNA part"
+                    f"which is not a DNA part",
                 )
         unit = TranscriptionalUnit(display_id, list(parts))
         self.units[display_id] = unit
@@ -190,7 +190,7 @@ class SBOLDocument:
         if component.role not in roles:
             raise ModelError(
                 f"{what} {display_id!r} has role {component.role!r}, expected one of "
-                f"{sorted(roles)}"
+                f"{sorted(roles)}",
             )
 
     def components_with_role(self, role: str) -> List[ComponentDefinition]:
@@ -252,7 +252,7 @@ class SBOLDocument:
                     InteractionType.STIMULATION,
                 ):
                     actors = interaction.participants_with_role(
-                        ParticipationRole.INHIBITOR
+                        ParticipationRole.INHIBITOR,
                     ) + interaction.participants_with_role(ParticipationRole.STIMULATOR)
                     if component.display_id in actors:
                         regulates = True
@@ -282,7 +282,7 @@ class SBOLDocument:
                 if self.components[part].role == Role.CDS and self.product_of_cds(part) is None:
                     problems.append(
                         f"coding sequence {part!r} in unit {unit.display_id!r} has no "
-                        "declared protein product"
+                        "declared protein product",
                     )
         return problems
 

@@ -75,7 +75,7 @@ class ParticipationRole:
     REACTANT = "reactant"        # SBO:0000010 (degraded species)
 
     ALL = frozenset(
-        {INHIBITOR, INHIBITED, STIMULATOR, STIMULATED, TEMPLATE, PRODUCT, REACTANT}
+        {INHIBITOR, INHIBITED, STIMULATOR, STIMULATED, TEMPLATE, PRODUCT, REACTANT},
     )
 
 
@@ -97,11 +97,11 @@ class ComponentDefinition:
     def __post_init__(self) -> None:
         if not is_valid_sid(self.display_id):
             raise ModelError(
-                f"component display_id {self.display_id!r} is not a valid identifier"
+                f"component display_id {self.display_id!r} is not a valid identifier",
             )
         if self.role not in Role.ALL:
             raise ModelError(
-                f"component {self.display_id!r} has unknown role {self.role!r}"
+                f"component {self.display_id!r} has unknown role {self.role!r}",
             )
         if not self.name:
             self.name = self.display_id
@@ -109,7 +109,7 @@ class ComponentDefinition:
             sequence = self.sequence.strip().lower()
             if sequence and not set(sequence) <= set("acgtn"):
                 raise ModelError(
-                    f"component {self.display_id!r} has a non-DNA sequence"
+                    f"component {self.display_id!r} has a non-DNA sequence",
                 )
             self.sequence = sequence
 
@@ -152,5 +152,8 @@ def protein(display_id: str, name: str = "", **properties: float) -> ComponentDe
 def small_molecule(display_id: str, name: str = "", **properties: float) -> ComponentDefinition:
     """Shorthand constructor for a small-molecule species (inducer)."""
     return ComponentDefinition(
-        display_id, Role.SMALL_MOLECULE, name=name, properties=dict(properties)
+        display_id,
+        Role.SMALL_MOLECULE,
+        name=name,
+        properties=dict(properties),
     )

@@ -49,7 +49,7 @@ def write_sbol_string(document: SBOLDocument) -> str:
             lines.append(f"    <component {attributes}>")
             for key, value in component.properties.items():
                 lines.append(
-                    f"      <property name={quoteattr(key)} value={quoteattr(repr(float(value)))}/>"
+                    f"      <property name={quoteattr(key)} value={quoteattr(repr(float(value)))}/>",
                 )
             lines.append("    </component>")
         else:
@@ -68,12 +68,12 @@ def write_sbol_string(document: SBOLDocument) -> str:
     for interaction in document.interactions.values():
         lines.append(
             f"    <interaction displayId={quoteattr(interaction.display_id)} "
-            f"type={quoteattr(interaction.interaction_type)}>"
+            f"type={quoteattr(interaction.interaction_type)}>",
         )
         for participation in interaction.participations:
             lines.append(
                 f"      <participation role={quoteattr(participation.role)} "
-                f"participant={quoteattr(participation.participant)}/>"
+                f"participant={quoteattr(participation.participant)}/>",
             )
         lines.append("    </interaction>")
     lines.append("  </listOfInteractions>")
@@ -95,10 +95,11 @@ def read_sbol_string(text: str) -> SBOLDocument:
         raise SBOLParseError(f"malformed SBOL XML: {exc}") from exc
     if _strip(root.tag) != "sbolDocument":
         raise SBOLParseError(
-            f"expected <sbolDocument> root element, got <{_strip(root.tag)}>"
+            f"expected <sbolDocument> root element, got <{_strip(root.tag)}>",
         )
     document = SBOLDocument(
-        root.get("displayId", "design"), name=root.get("name", "")
+        root.get("displayId", "design"),
+        name=root.get("name", ""),
     )
 
     components = None
@@ -133,7 +134,7 @@ def read_sbol_string(text: str) -> SBOLDocument:
                     description=element.get("description", ""),
                     sequence=element.get("sequence"),
                     properties=properties,
-                )
+                ),
             )
 
     if units is not None:

@@ -49,7 +49,7 @@ def canonical_simulator_name(name: str) -> str:
     if key not in CANONICAL_SIMULATORS:
         raise SimulationError(
             f"unknown simulator {name!r}; choose from {sorted(CANONICAL_SIMULATORS)} "
-            f"(aliases: {sorted(SIMULATOR_ALIASES)})"
+            f"(aliases: {sorted(SIMULATOR_ALIASES)})",
         )
     return key
 

@@ -10,8 +10,8 @@ clamping those species at segment boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ class InputEvent:
         for species, amount in settings.items():
             if amount < 0:
                 raise ExperimentError(
-                    f"input event at t={self.time:g} sets {species!r} to a negative amount"
+                    f"input event at t={self.time:g} sets {species!r} to a negative amount",
                 )
         object.__setattr__(self, "settings", settings)
 
@@ -101,7 +101,10 @@ class InputSchedule:
         return value
 
     def applied_values(
-        self, species: Sequence[str], times: np.ndarray, defaults: Optional[Mapping[str, float]] = None
+        self,
+        species: Sequence[str],
+        times: np.ndarray,
+        defaults: Optional[Mapping[str, float]] = None,
     ) -> Dict[str, np.ndarray]:
         """Vectorized :meth:`value_at` for many sample times.
 
@@ -155,7 +158,7 @@ class InputSchedule:
             if len(combination) != len(input_species):
                 raise ExperimentError(
                     f"combination {tuple(combination)} does not match the "
-                    f"{len(input_species)} input species"
+                    f"{len(input_species)} input species",
                 )
             settings = {
                 sid: (high_amount if bit else low_amount)

@@ -112,7 +112,7 @@ class NextReactionSimulator:
                 events_fired += 1
                 if events_fired > max_events:
                     raise SimulationError(
-                        f"simulation exceeded {max_events} reaction events before t_end"
+                        f"simulation exceeded {max_events} reaction events before t_end",
                     )
                 for dependent in compiled.dependents(reaction):
                     old_propensity = propensities[dependent]

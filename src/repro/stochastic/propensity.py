@@ -15,7 +15,7 @@ interprets the propensities as macroscopic rates.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class CompiledModel:
             unknown = set(parameter_overrides) - set(constants)
             if unknown:
                 raise PropensityError(
-                    f"parameter overrides refer to unknown parameters: {sorted(unknown)}"
+                    f"parameter overrides refer to unknown parameters: {sorted(unknown)}",
                 )
             constants.update(parameter_overrides)
         self.constants: Dict[str, float] = constants
@@ -98,7 +98,7 @@ class CompiledModel:
             ]
             if non_species:
                 raise PropensityError(
-                    f"kinetic law of {rid!r} references unknown symbols {non_species}"
+                    f"kinetic law of {rid!r} references unknown symbols {non_species}",
                 )
             fn = compile_function(law.math, species_args, local_constants)
             self._propensity_fns.append(fn)
@@ -166,7 +166,7 @@ class CompiledModel:
         value = self._propensity_fns[reaction_index](*(state[i] for i in args))
         if value != value:  # NaN guard
             raise PropensityError(
-                f"propensity of reaction {self.reaction_ids[reaction_index]!r} is NaN"
+                f"propensity of reaction {self.reaction_ids[reaction_index]!r} is NaN",
             )
         return value if value > 0.0 else 0.0
 
@@ -204,7 +204,8 @@ class CompiledModel:
 
 
 def compile_model(
-    model, parameter_overrides: Optional[Dict[str, float]] = None
+    model,
+    parameter_overrides: Optional[Dict[str, float]] = None,
 ) -> CompiledModel:
     """Compile ``model`` unless it is already a :class:`CompiledModel`."""
     if isinstance(model, CompiledModel):

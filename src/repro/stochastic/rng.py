@@ -8,7 +8,7 @@ pass explicit seeds so the reported tables are stable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

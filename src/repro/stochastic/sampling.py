@@ -8,7 +8,6 @@ the zero-order-hold value of the state at each grid point.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 

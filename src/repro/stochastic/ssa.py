@@ -19,7 +19,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from .events import InputSchedule
-from .propensity import CompiledModel, compile_model
+from .propensity import compile_model
 from .rng import RandomState, make_rng
 from .sampling import SampleRecorder, make_sample_times
 from .trajectory import Trajectory
@@ -113,7 +113,7 @@ class DirectMethodSimulator:
                 events_fired += 1
                 if events_fired > max_events:
                     raise SimulationError(
-                        f"simulation exceeded {max_events} reaction events before t_end"
+                        f"simulation exceeded {max_events} reaction events before t_end",
                     )
             recorder.fill_before(segment_end, state)
             segment_start = segment_end

@@ -126,12 +126,16 @@ class TauLeapSimulator:
                     if tau < self.min_tau:
                         negative = int(np.argmin(trial))
                         raise NegativeStateError(
-                            compiled.species[negative], float(trial[negative]), t
+                            compiled.species[negative],
+                            float(trial[negative]),
+                            t,
                         )
                 else:  # pragma: no cover - requires pathological models
                     negative = int(np.argmin(trial))
                     raise NegativeStateError(
-                        compiled.species[negative], float(trial[negative]), t
+                        compiled.species[negative],
+                        float(trial[negative]),
+                        t,
                     )
                 t += tau
                 recorder.fill_before(min(t, segment_end), state)
@@ -139,7 +143,7 @@ class TauLeapSimulator:
                 steps += 1
                 if steps > max_steps:
                     raise SimulationError(
-                        f"tau-leaping exceeded {max_steps} steps before t_end"
+                        f"tau-leaping exceeded {max_steps} steps before t_end",
                     )
             recorder.fill_before(segment_end, state)
             segment_start = segment_end

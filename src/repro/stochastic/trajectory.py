@@ -49,12 +49,12 @@ class Trajectory:
         if self.data.shape[0] != self.times.shape[0]:
             raise SimulationError(
                 f"trajectory has {self.times.shape[0]} sample times but "
-                f"{self.data.shape[0]} data rows"
+                f"{self.data.shape[0]} data rows",
             )
         if self.data.shape[1] != len(self.species):
             raise SimulationError(
                 f"trajectory has {len(self.species)} species names but "
-                f"{self.data.shape[1]} data columns"
+                f"{self.data.shape[1]} data columns",
             )
         if self.times.size > 1 and not np.all(np.diff(self.times) > 0):
             raise SimulationError("trajectory times must be strictly increasing")
@@ -73,7 +73,7 @@ class Trajectory:
         except ValueError:
             raise SimulationError(
                 f"species {species!r} is not recorded in this trajectory "
-                f"(available: {', '.join(self.species)})"
+                f"(available: {', '.join(self.species)})",
             ) from None
         return self.data[:, index]
 
@@ -133,7 +133,12 @@ class Trajectory:
         indices = np.clip(indices, 0, len(self.times) - 1)
         return Trajectory(new_times, list(self.species), self.data[indices].copy())
 
-    def mean(self, species: str, t_start: Optional[float] = None, t_end: Optional[float] = None) -> float:
+    def mean(
+        self,
+        species: str,
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+    ) -> float:
         """Time-window mean of one species (used by threshold estimation)."""
         column = self.column(species)
         mask = np.ones_like(self.times, dtype=bool)
@@ -170,7 +175,7 @@ class Trajectory:
         values = np.asarray(values, dtype=float)
         if values.shape != self.times.shape:
             raise SimulationError(
-                f"column for {species!r} has shape {values.shape}, expected {self.times.shape}"
+                f"column for {species!r} has shape {values.shape}, expected {self.times.shape}",
             )
         if species in self.species:
             data = self.data.copy()
@@ -184,7 +189,11 @@ class Trajectory:
 
     # -- construction helpers -------------------------------------------------
     @classmethod
-    def from_dict(cls, times: Iterable[float], columns: Mapping[str, Iterable[float]]) -> "Trajectory":
+    def from_dict(
+        cls,
+        times: Iterable[float],
+        columns: Mapping[str, Iterable[float]],
+    ) -> "Trajectory":
         """Build a trajectory from ``{species: samples}`` columns."""
         names = list(columns.keys())
         times = np.asarray(list(times), dtype=float)

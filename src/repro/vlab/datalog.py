@@ -18,8 +18,8 @@ what an analysis of somebody else's logged data would have to do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -52,14 +52,16 @@ class SimulationDataLog:
             if sid not in self.trajectory:
                 raise AnalysisError(f"species {sid!r} is not recorded in the trajectory")
         n = len(self.trajectory)
-        self.applied_inputs = {k: np.asarray(v, dtype=float) for k, v in self.applied_inputs.items()}
+        self.applied_inputs = {
+            k: np.asarray(v, dtype=float) for k, v in self.applied_inputs.items()
+        }
         for sid in self.input_species:
             if sid not in self.applied_inputs:
                 raise AnalysisError(f"applied input levels missing for {sid!r}")
             if self.applied_inputs[sid].shape != (n,):
                 raise AnalysisError(
                     f"applied input levels for {sid!r} have wrong length "
-                    f"({self.applied_inputs[sid].shape[0]} != {n})"
+                    f"({self.applied_inputs[sid].shape[0]} != {n})",
                 )
         if self.input_high <= self.input_low:
             raise AnalysisError("input_high must exceed input_low")
@@ -115,7 +117,7 @@ class SimulationDataLog:
     def applied_combination_indices(self) -> np.ndarray:
         """Combination index applied at each sample (first input = MSB)."""
         digital = self.applied_digital_inputs()
-        weights = 2 ** np.arange(self.n_inputs - 1, -1, -1)
+        weights = 2**np.arange(self.n_inputs - 1, -1, -1)
         return digital @ weights
 
     # -- manipulation ----------------------------------------------------------------

@@ -15,16 +15,15 @@ experiment through :func:`repro.engine.run_ensemble`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
 
-from ..engine.api import run_job
+from ..engine.api import EnsembleStream, iter_ensemble, replicate_jobs, run_job
 from ..engine.jobs import SimulationJob
 from ..errors import ExperimentError, SimulationError
 from ..gates.circuits import GeneticCircuit
 from ..sbml.model import Model
 from ..stochastic import canonical_simulator_name
-from ..stochastic.events import InputSchedule
 from ..stochastic.rng import RandomState
 from ..stochastic.trajectory import Trajectory
 from .datalog import SimulationDataLog
@@ -77,14 +76,14 @@ class LogicExperiment:
         ]
         if missing:
             raise ExperimentError(
-                f"species {missing} do not exist in model {self.model.sid!r}"
+                f"species {missing} do not exist in model {self.model.sid!r}",
             )
         for sid in self.input_species:
             species = self.model.species[sid]
             if not (species.boundary_condition or species.constant):
                 raise ExperimentError(
                     f"input species {sid!r} is not a boundary species; the virtual "
-                    "laboratory can only clamp boundary species"
+                    "laboratory can only clamp boundary species",
                 )
         if self.output_species in self.input_species:
             raise ExperimentError("the output species cannot also be an input")
@@ -145,7 +144,7 @@ class LogicExperiment:
         if protocol.n_inputs != len(self.input_species):
             raise ExperimentError(
                 f"protocol is for {protocol.n_inputs} inputs but the experiment has "
-                f"{len(self.input_species)}"
+                f"{len(self.input_species)}",
             )
         schedule = protocol.to_schedule(self.input_species, self.input_high, self.input_low)
         t_end = float(total_time) if total_time is not None else protocol.total_time
@@ -175,6 +174,49 @@ class LogicExperiment:
             input_low=self.input_low,
             hold_time=hold_time,
             circuit_name=self.circuit_name or self.model.sid,
+        )
+
+    def iter_replicates(
+        self,
+        n_replicates: int,
+        protocol: Optional[StimulusProtocol] = None,
+        hold_time: float = 250.0,
+        repeats: int = 1,
+        seed: RandomState = None,
+        total_time: Optional[float] = None,
+        workers: int = 1,
+        executor=None,
+        progress=None,
+        ordered: bool = True,
+    ) -> EnsembleStream:
+        """Stream ``n_replicates`` independent seeded runs as data logs.
+
+        Returns an :class:`~repro.engine.EnsembleStream` yielding
+        ``(index, datalog)`` as each replicate completes (submission order by
+        default; ``ordered=False`` for completion order), so callers can
+        write out or analyze each log and let it go — peak memory stays
+        bounded by the executor's in-flight window, not ``n_replicates``.
+        The stream's ``.stats`` carry the batch statistics once exhausted.
+        Pass an opened ``executor`` to reuse a live worker pool across
+        batches; otherwise ``workers=N`` builds (and afterwards closes) one.
+        """
+        template = self.job(
+            protocol=protocol,
+            hold_time=hold_time,
+            repeats=repeats,
+            total_time=total_time,
+        )
+        stream = iter_ensemble(
+            replicate_jobs(template, n_replicates, seed=seed),
+            workers=workers,
+            executor=executor,
+            progress=progress,
+            ordered=ordered,
+        )
+        return stream.transform(
+            lambda index,
+            job,
+            trajectory: (index, self.datalog_from(job, trajectory)),
         )
 
     def run(
@@ -226,7 +268,7 @@ def run_logic_experiment(
     else:
         if input_species is None or output_species is None:
             raise ExperimentError(
-                "when passing a raw model, input_species and output_species are required"
+                "when passing a raw model, input_species and output_species are required",
             )
         experiment = LogicExperiment(
             model=circuit,

@@ -16,12 +16,13 @@ maximum (worst case) over the examined transitions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine.api import run_ensemble
+from ..engine.executors import get_executor
 from ..engine.jobs import SimulationJob
 from ..errors import AnalysisError, SimulationError, ThresholdError
 from ..logic.truthtable import TruthTable
@@ -70,7 +71,10 @@ class PropagationDelayAnalysis:
 
 
 def _first_crossing_time(
-    times: np.ndarray, values: np.ndarray, threshold: float, rising: bool
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold: float,
+    rising: bool,
 ) -> Optional[float]:
     """First time the trace crosses the threshold in the requested direction."""
     if rising:
@@ -96,6 +100,7 @@ def estimate_propagation_delay(
     expected_table: Optional[TruthTable] = None,
     transitions: Optional[Sequence[Tuple[str, str]]] = None,
     jobs: int = 1,
+    executor=None,
 ) -> PropagationDelayAnalysis:
     """Measure output propagation delays across input-combination switches.
 
@@ -104,9 +109,13 @@ def estimate_propagation_delay(
     supplied); pass ``transitions`` (pairs of combination strings such as
     ``("011", "100")``) to restrict the measurement.
 
-    The per-transition simulations run as one ensemble-engine batch (one
-    independent seed per transition, fanned out from ``rng``); ``jobs=N``
-    spreads them over worker processes.
+    The analysis runs (up to) two ensemble-engine batches — the settled-levels
+    phase and the transition phase — on **one** executor: with ``jobs=N`` a
+    single worker pool is opened for the whole analysis, so the transition
+    batch hits the compiled-model caches the settle batch warmed up.  Pass an
+    opened ``executor`` to extend that reuse across several analyses; it is
+    left open for the caller.  Each transition trace is reduced to its
+    crossing time as it completes, so no batch is ever materialized.
     """
     if threshold <= 0:
         raise ThresholdError("threshold must be positive")
@@ -128,87 +137,100 @@ def estimate_propagation_delay(
         )
         settle_seed, transition_seed = root.spawn(2)
 
-    if expected_table is None:
-        from .threshold import settled_output_levels
+    # One executor serves both batches of the analysis: the transition batch
+    # reuses the (still-live) worker pool — and therefore the worker-side
+    # compiled-model caches — that the settled-levels batch warmed up.
+    owns_executor = executor is None
+    runner = executor if executor is not None else get_executor(jobs)
+    try:
+        if expected_table is None:
+            from .threshold import settled_output_levels
 
-        levels = settled_output_levels(
-            model,
-            input_species,
-            output_species,
-            input_high=input_high,
-            input_low=input_low,
-            settle_time=settle_time,
-            simulator=simulator,
-            rng=settle_seed,
-            jobs=jobs,
-        )
-        outputs = [1 if levels[format(i, f"0{n}b")] >= threshold else 0 for i in range(2 ** n)]
-        expected_table = TruthTable(input_species, outputs)
-
-    if transitions is None:
-        transitions = []
-        for source in range(2 ** n):
-            for target in range(2 ** n):
-                if source == target:
-                    continue
-                if expected_table.outputs[source] != expected_table.outputs[target]:
-                    transitions.append(
-                        (format(source, f"0{n}b"), format(target, f"0{n}b"))
-                    )
-
-    total = settle_time + observation_time
-    transition_jobs = []
-    seeds = fan_out_seeds(transition_seed, len(transitions))
-    for (source_label, target_label), seed in zip(transitions, seeds):
-        source_bits = [int(b) for b in source_label]
-        target_bits = [int(b) for b in target_label]
-        if len(source_bits) != n or len(target_bits) != n:
-            raise AnalysisError(
-                f"transition ({source_label!r}, {target_label!r}) does not match "
-                f"{n} inputs"
-            )
-        source_settings = {
-            sid: (input_high if bit else input_low)
-            for sid, bit in zip(input_species, source_bits)
-        }
-        target_settings = {
-            sid: (input_high if bit else input_low)
-            for sid, bit in zip(input_species, target_bits)
-        }
-        schedule = InputSchedule().add(0.0, source_settings).add(settle_time, target_settings)
-        transition_jobs.append(
-            SimulationJob(
-                model=model,
-                t_end=total,
+            levels = settled_output_levels(
+                model,
+                input_species,
+                output_species,
+                input_high=input_high,
+                input_low=input_low,
+                settle_time=settle_time,
                 simulator=simulator,
-                schedule=schedule,
-                sample_interval=max(total / 600.0, 0.25),
-                seed=seed,
-                tag=(source_label, target_label),
+                rng=settle_seed,
+                executor=runner,
             )
-        )
+            outputs = [1 if levels[format(i, f"0{n}b")] >= threshold else 0 for i in range(2**n)]
+            expected_table = TruthTable(input_species, outputs)
 
-    delays: Dict[Tuple[str, str], float] = {}
-    if transition_jobs:
-        ensemble = run_ensemble(transition_jobs, workers=jobs)
-        for job, trajectory in ensemble:
+        if transitions is None:
+            transitions = []
+            for source in range(2**n):
+                for target in range(2**n):
+                    if source == target:
+                        continue
+                    if expected_table.outputs[source] != expected_table.outputs[target]:
+                        transitions.append(
+                            (format(source, f"0{n}b"), format(target, f"0{n}b")),
+                        )
+
+        total = settle_time + observation_time
+        transition_jobs = []
+        seeds = fan_out_seeds(transition_seed, len(transitions))
+        for (source_label, target_label), seed in zip(transitions, seeds):
+            source_bits = [int(b) for b in source_label]
+            target_bits = [int(b) for b in target_label]
+            if len(source_bits) != n or len(target_bits) != n:
+                raise AnalysisError(
+                    f"transition ({source_label!r}, {target_label!r}) does not match "
+                    f"{n} inputs",
+                )
+            source_settings = {
+                sid: (input_high if bit else input_low)
+                for sid, bit in zip(input_species, source_bits)
+            }
+            target_settings = {
+                sid: (input_high if bit else input_low)
+                for sid, bit in zip(input_species, target_bits)
+            }
+            schedule = InputSchedule().add(0.0, source_settings).add(settle_time, target_settings)
+            transition_jobs.append(
+                SimulationJob(
+                    model=model,
+                    t_end=total,
+                    simulator=simulator,
+                    schedule=schedule,
+                    sample_interval=max(total / 600.0, 0.25),
+                    seed=seed,
+                    tag=(source_label, target_label),
+                ),
+            )
+
+        def _delay(index, job, trajectory) -> Tuple[Tuple[str, str], float]:
             source_label, target_label = job.tag
             after = trajectory.slice_time(settle_time, total)
             rising = expected_table.output_for(target_label) == 1
             crossing = _first_crossing_time(
-                after.times, after[output_species], threshold, rising
+                after.times,
+                after[output_species],
+                threshold,
+                rising,
             )
             if crossing is None:
-                # The output never crossed within the observation window:
-                # report the full window as a lower bound rather than dropping
-                # the transition silently.
-                delays[(source_label, target_label)] = float(observation_time)
-            else:
-                delays[(source_label, target_label)] = float(crossing - settle_time)
+                # The output never crossed within the observation window: report
+                # the full window as a lower bound rather than dropping the
+                # transition silently.
+                return (source_label, target_label), float(observation_time)
+            return (source_label, target_label), float(crossing - settle_time)
 
-    return PropagationDelayAnalysis(
-        delays=delays,
-        threshold=float(threshold),
-        output_species=output_species,
-        settle_time=float(settle_time),
-    )
+        delays: Dict[Tuple[str, str], float] = {}
+        if transition_jobs:
+            ensemble = run_ensemble(transition_jobs, executor=runner, reduce=_delay)
+            delays = dict(ensemble.reduced)
+
+        return PropagationDelayAnalysis(
+            delays=delays,
+            threshold=float(threshold),
+            output_species=output_species,
+            settle_time=float(settle_time),
+        )
+    finally:
+        if owns_executor:
+            runner.close()

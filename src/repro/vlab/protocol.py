@@ -10,10 +10,9 @@ that walk: which combinations, in which order, held for how long.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
 
-import numpy as np
 
 from ..errors import ExperimentError
 from ..stochastic.events import InputSchedule
@@ -30,7 +29,7 @@ __all__ = [
 
 def _gray_code(n_bits: int) -> List[int]:
     """Indices 0..2^n-1 in reflected-Gray-code order."""
-    return [i ^ (i >> 1) for i in range(2 ** n_bits)]
+    return [i ^ (i >> 1) for i in range(2**n_bits)]
 
 
 @dataclass
@@ -65,7 +64,7 @@ class StimulusProtocol:
         for combination in self.combinations:
             if len(combination) != self.n_inputs:
                 raise ExperimentError(
-                    f"combination {tuple(combination)} does not have {self.n_inputs} bits"
+                    f"combination {tuple(combination)} does not have {self.n_inputs} bits",
                 )
             cleaned.append(tuple(int(bool(b)) for b in combination))
         self.combinations = cleaned
@@ -82,7 +81,7 @@ class StimulusProtocol:
 
     def covers_all_combinations(self) -> bool:
         """True when every one of the 2^n combinations appears at least once."""
-        return len(set(self.combinations)) == 2 ** self.n_inputs
+        return len(set(self.combinations)) == 2**self.n_inputs
 
     def combination_indices(self) -> List[int]:
         """Combination indices (first input = MSB) in application order."""
@@ -105,10 +104,14 @@ class StimulusProtocol:
         if len(input_species) != self.n_inputs:
             raise ExperimentError(
                 f"protocol has {self.n_inputs} inputs but {len(input_species)} species "
-                "were supplied"
+                "were supplied",
             )
         return InputSchedule.from_combinations(
-            list(input_species), self.combinations, self.hold_time, high, low
+            list(input_species),
+            self.combinations,
+            self.hold_time,
+            high,
+            low,
         )
 
     def repeat(self, times: int) -> "StimulusProtocol":
@@ -125,20 +128,24 @@ class StimulusProtocol:
 
 
 def exhaustive_protocol(
-    n_inputs: int, hold_time: float, repeats: int = 1
+    n_inputs: int,
+    hold_time: float,
+    repeats: int = 1,
 ) -> StimulusProtocol:
     """All 2^n combinations in ascending binary order, ``repeats`` times."""
     combinations = []
     for _ in range(max(1, repeats)):
-        for index in range(2 ** n_inputs):
+        for index in range(2**n_inputs):
             combinations.append(
-                tuple((index >> (n_inputs - 1 - bit)) & 1 for bit in range(n_inputs))
+                tuple((index >> (n_inputs - 1 - bit)) & 1 for bit in range(n_inputs)),
             )
     return StimulusProtocol(n_inputs, combinations, hold_time)
 
 
 def gray_code_protocol(
-    n_inputs: int, hold_time: float, repeats: int = 1
+    n_inputs: int,
+    hold_time: float,
+    repeats: int = 1,
 ) -> StimulusProtocol:
     """All combinations in Gray-code order (one input flips per step).
 
@@ -150,7 +157,7 @@ def gray_code_protocol(
     for _ in range(max(1, repeats)):
         for index in _gray_code(n_inputs):
             combinations.append(
-                tuple((index >> (n_inputs - 1 - bit)) & 1 for bit in range(n_inputs))
+                tuple((index >> (n_inputs - 1 - bit)) & 1 for bit in range(n_inputs)),
             )
     return StimulusProtocol(n_inputs, combinations, hold_time)
 
@@ -168,7 +175,7 @@ def random_protocol(
     (in random order) so the analysis always sees each one at least once.
     """
     generator = make_rng(rng)
-    total = 2 ** n_inputs
+    total = 2**n_inputs
     if n_steps < 1:
         raise ExperimentError("n_steps must be at least 1")
     indices: List[int] = []
@@ -176,7 +183,7 @@ def random_protocol(
         if n_steps < total:
             raise ExperimentError(
                 f"n_steps={n_steps} cannot cover all {total} combinations; "
-                "lower n_inputs, raise n_steps, or pass ensure_coverage=False"
+                "lower n_inputs, raise n_steps, or pass ensure_coverage=False",
             )
         order = list(range(total))
         generator.shuffle(order)
@@ -191,7 +198,8 @@ def random_protocol(
 
 
 def custom_protocol(
-    combinations: Sequence[Sequence[int]], hold_time: float
+    combinations: Sequence[Sequence[int]],
+    hold_time: float,
 ) -> StimulusProtocol:
     """A protocol from an explicit list of combinations."""
     combinations = [tuple(c) for c in combinations]

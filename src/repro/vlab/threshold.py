@@ -15,10 +15,9 @@ available for studying how noise shifts the estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
-import numpy as np
 
 from ..engine.api import run_ensemble
 from ..engine.jobs import SimulationJob
@@ -76,6 +75,7 @@ def settled_output_levels(
     rng: RandomState = None,
     tail_fraction: float = 0.25,
     jobs: int = 1,
+    executor=None,
 ) -> Dict[str, float]:
     """Settled output level for every input combination.
 
@@ -84,7 +84,10 @@ def settled_output_levels(
     mean over the last ``tail_fraction`` of the run (for the ODE simulator
     this is simply the final value region).  The per-combination settling
     runs execute as one ensemble-engine batch with one independent seed per
-    combination; ``jobs=N`` spreads them over worker processes.
+    combination; ``jobs=N`` spreads them over worker processes.  Each run is
+    reduced to its tail mean as it completes (the trace itself is dropped),
+    and an opened ``executor`` — e.g. the one a propagation-delay analysis
+    holds for its transition batch — is reused with its worker caches warm.
     """
     try:
         simulator = canonical_simulator_name(simulator)
@@ -95,8 +98,8 @@ def settled_output_levels(
     input_species = list(input_species)
     n = len(input_species)
     settle_jobs = []
-    seeds = fan_out_seeds(rng, 2 ** n)
-    for index in range(2 ** n):
+    seeds = fan_out_seeds(rng, 2**n)
+    for index in range(2**n):
         bits = [(index >> (n - 1 - i)) & 1 for i in range(n)]
         label = "".join(str(b) for b in bits)
         settings = {
@@ -112,13 +115,21 @@ def settled_output_levels(
                 sample_interval=max(settle_time / 200.0, 0.5),
                 seed=seeds[index],
                 tag=label,
-            )
+            ),
         )
-    levels: Dict[str, float] = {}
     tail_start = settle_time * (1.0 - tail_fraction)
-    for job, trajectory in run_ensemble(settle_jobs, workers=jobs):
-        levels[job.tag] = trajectory.mean(output_species, t_start=tail_start)
-    return levels
+    ensemble = run_ensemble(
+        settle_jobs,
+        workers=jobs,
+        executor=executor,
+        reduce=lambda index,
+        job,
+        trajectory: (
+            job.tag,
+            trajectory.mean(output_species, t_start=tail_start),
+        ),
+    )
+    return dict(ensemble.reduced)
 
 
 def estimate_threshold(
@@ -131,6 +142,7 @@ def estimate_threshold(
     simulator: str = "ode",
     rng: RandomState = None,
     jobs: int = 1,
+    executor=None,
 ) -> ThresholdAnalysis:
     """Estimate the digital threshold of the output species.
 
@@ -150,6 +162,7 @@ def estimate_threshold(
         simulator=simulator,
         rng=rng,
         jobs=jobs,
+        executor=executor,
     )
     values = sorted(levels.values())
     if len(values) < 2:
@@ -160,10 +173,10 @@ def estimate_threshold(
     if spread <= 1e-9 or best_gap < 0.05 * max(values[-1], 1.0):
         raise ThresholdError(
             "settled output levels are not separable into low and high groups; "
-            f"levels observed: { {k: round(v, 2) for k, v in levels.items()} }"
+            f"levels observed: { {k: round(v, 2) for k, v in levels.items()} }",
         )
     low_group = values[: split_index + 1]
-    high_group = values[split_index + 1:]
+    high_group = values[split_index + 1 :]
     threshold = 0.5 * (low_group[-1] + high_group[0])
     return ThresholdAnalysis(
         threshold=float(threshold),

@@ -10,7 +10,10 @@ from repro.gates import not_gate_circuit
 @pytest.fixture(scope="module")
 def study():
     return run_replicate_study(
-        not_gate_circuit(), n_replicates=4, hold_time=120.0, rng=99
+        not_gate_circuit(),
+        n_replicates=4,
+        hold_time=120.0,
+        rng=99,
     )
 
 

@@ -18,7 +18,10 @@ class TestSyntheticArrays:
     def test_respects_requested_truth_table(self):
         table = TruthTable.from_hex("0x1C", n_inputs=3)
         inputs, output, names = synthetic_experiment_arrays(
-            4000, 3, truth_table=table, rng=2
+            4000,
+            3,
+            truth_table=table,
+            rng=2,
         )
         result = LogicAnalyzer(threshold=15.0).analyze_arrays(inputs, output, names)
         assert result.truth_table.outputs == table.outputs

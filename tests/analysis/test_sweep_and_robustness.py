@@ -10,7 +10,11 @@ from repro.gates import and_gate_circuit
 class TestThresholdSweep:
     def test_nominal_threshold_recovers_correct_logic(self, and_circuit):
         entries = threshold_sweep(
-            and_circuit, thresholds=[15.0], hold_time=150.0, rng=1, simulator="ssa"
+            and_circuit,
+            thresholds=[15.0],
+            hold_time=150.0,
+            rng=1,
+            simulator="ssa",
         )
         assert len(entries) == 1
         assert entries[0].matches
@@ -20,7 +24,11 @@ class TestThresholdSweep:
         """The Figure-5 low-threshold finding: 3-molecule inputs cannot drive
         the circuit, so the recovered behaviour is no longer the intended one."""
         entries = threshold_sweep(
-            and_circuit, thresholds=[3.0, 15.0], hold_time=150.0, rng=2, simulator="ssa"
+            and_circuit,
+            thresholds=[3.0, 15.0],
+            hold_time=150.0,
+            rng=2,
+            simulator="ssa",
         )
         weak, nominal = entries
         assert nominal.matches
@@ -31,7 +39,11 @@ class TestThresholdSweep:
         """The Figure-5 high-threshold finding: with the threshold at the ON
         level the output chatters, so the total variation count rises."""
         entries = threshold_sweep(
-            and_circuit, thresholds=[15.0, 40.0], hold_time=150.0, rng=3, simulator="ssa"
+            and_circuit,
+            thresholds=[15.0, 40.0],
+            hold_time=150.0,
+            rng=3,
+            simulator="ssa",
         )
         nominal, high = entries
         assert high.total_variation > nominal.total_variation
@@ -59,7 +71,11 @@ class TestThresholdSweep:
 
     def test_summary_text(self, and_circuit):
         entries = threshold_sweep(
-            and_circuit, thresholds=[15.0], hold_time=100.0, rng=5, simulator="ode",
+            and_circuit,
+            thresholds=[15.0],
+            hold_time=100.0,
+            rng=5,
+            simulator="ode",
             input_high_equals_threshold=False,
         )
         assert "threshold 15" in entries[0].summary()

@@ -13,7 +13,7 @@ def _synthetic_arrays(truth_hex, n_inputs=2, block=200, high=40.0, noise=3.0, se
     """Block-wise walk through all combinations with settled noisy levels."""
     rng = np.random.default_rng(seed)
     table = TruthTable.from_hex(truth_hex, n_inputs=n_inputs)
-    indices = np.repeat(np.arange(2 ** n_inputs), block)
+    indices = np.repeat(np.arange(2**n_inputs), block)
     bits = ((indices[:, None] >> np.arange(n_inputs - 1, -1, -1)) & 1).astype(float)
     inputs = bits * high
     ideal = np.array([table.outputs[i] for i in indices], dtype=float) * high
@@ -48,7 +48,10 @@ class TestAnalyzeArrays:
     def test_verification_hooks(self):
         inputs, output, names, _ = _synthetic_arrays("0x08")
         result = LogicAnalyzer(threshold=15.0).analyze_arrays(
-            inputs, output, names, expected="in1 & in2"
+            inputs,
+            output,
+            names,
+            expected="in1 & in2",
         )
         assert result.comparison is not None and result.comparison.matches
         mismatch = result.verify("in1 | in2")
@@ -57,7 +60,10 @@ class TestAnalyzeArrays:
     def test_expected_hex_string(self):
         inputs, output, names, _ = _synthetic_arrays("0x1C", n_inputs=3)
         result = LogicAnalyzer(threshold=15.0).analyze_arrays(
-            inputs, output, names, expected="0x1C"
+            inputs,
+            output,
+            names,
+            expected="0x1C",
         )
         assert result.comparison.matches
 
@@ -65,7 +71,10 @@ class TestAnalyzeArrays:
         inputs, output, names, table = _synthetic_arrays("0x08")
         digital = (inputs > 0).astype(int)
         result = LogicAnalyzer(threshold=15.0).analyze_arrays(
-            digital, output, names, inputs_are_digital=True
+            digital,
+            output,
+            names,
+            inputs_are_digital=True,
         )
         assert result.truth_table.outputs == table.outputs
 

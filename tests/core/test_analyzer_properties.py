@@ -12,7 +12,7 @@ from repro.logic import TruthTable
 def _clean_arrays(table: TruthTable, block: int, high: float = 40.0):
     """Noise-free, transient-free experiment arrays realising ``table``."""
     n_inputs = table.n_inputs
-    indices = np.repeat(np.arange(2 ** n_inputs), block)
+    indices = np.repeat(np.arange(2**n_inputs), block)
     bits = ((indices[:, None] >> np.arange(n_inputs - 1, -1, -1)) & 1).astype(float)
     inputs = bits * high
     output = np.array([table.outputs[i] for i in indices], dtype=float) * high
@@ -28,11 +28,13 @@ def _clean_arrays(table: TruthTable, block: int, high: float = 40.0):
 def test_clean_data_recovers_any_truth_table(n_inputs, raw_value, block):
     """On noise-free data the algorithm recovers the generating table exactly,
     with fitness exactly 100 % (no output variation at all)."""
-    value = raw_value % (2 ** (2 ** n_inputs))
+    value = raw_value % (2 ** (2**n_inputs))
     table = TruthTable.from_hex(value, n_inputs=n_inputs)
     inputs, output = _clean_arrays(table, block)
     result = LogicAnalyzer(threshold=15.0).analyze_arrays(
-        inputs, output, table.inputs
+        inputs,
+        output,
+        table.inputs,
     )
     assert result.truth_table.outputs == table.outputs
     assert result.fitness == pytest.approx(100.0)
@@ -40,7 +42,7 @@ def test_clean_data_recovers_any_truth_table(n_inputs, raw_value, block):
 
 @given(
     n_inputs=st.integers(min_value=1, max_value=3),
-    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
     noise=st.floats(min_value=0.0, max_value=6.0),
 )
 @settings(max_examples=50, deadline=None)
@@ -48,11 +50,13 @@ def test_fitness_and_counts_are_always_well_formed(n_inputs, seed, noise):
     """Whatever the data looks like, the per-combination statistics are
     internally consistent and the fitness stays within [0, 100]."""
     rng = np.random.default_rng(seed)
-    n_samples = 60 * 2 ** n_inputs
+    n_samples = 60 * 2**n_inputs
     inputs = rng.choice([0.0, 40.0], size=(n_samples, n_inputs))
     output = np.clip(rng.normal(20.0, 10.0 + noise, size=n_samples), 0.0, None)
     result = LogicAnalyzer(threshold=15.0).analyze_arrays(
-        inputs, output, [f"x{i}" for i in range(n_inputs)]
+        inputs,
+        output,
+        [f"x{i}" for i in range(n_inputs)],
     )
     assert 0.0 <= result.fitness <= 100.0
     assert sum(c.case_count for c in result.combinations) == n_samples
@@ -65,7 +69,7 @@ def test_fitness_and_counts_are_always_well_formed(n_inputs, seed, noise):
 
 
 @given(
-    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
     block=st.integers(min_value=20, max_value=60),
 )
 @settings(max_examples=40, deadline=None)
@@ -96,6 +100,8 @@ def test_any_threshold_between_levels_recovers_the_same_logic(threshold):
     table = TruthTable.from_hex(0x1C, n_inputs=3)
     inputs, output = _clean_arrays(table, block=10)
     result = LogicAnalyzer(threshold=float(threshold)).analyze_arrays(
-        inputs, output, table.inputs
+        inputs,
+        output,
+        table.inputs,
     )
     assert result.truth_table.outputs == table.outputs

@@ -23,7 +23,12 @@ def _decision(is_high):
 
 class TestBuildExpression:
     def test_and_gate(self):
-        decisions = {0: _decision(False), 1: _decision(False), 2: _decision(False), 3: _decision(True)}
+        decisions = {
+            0: _decision(False),
+            1: _decision(False),
+            2: _decision(False),
+            3: _decision(True),
+        }
         expr = build_expression(decisions, ["LacI", "TetR"])
         assert expr.to_string() == "LacI & TetR"
 
@@ -43,7 +48,12 @@ class TestBuildExpression:
         assert build_expression(decisions, ["A", "B"]) == Const(True)
 
     def test_high_combinations_sorted(self):
-        decisions = {2: _decision(True), 0: _decision(True), 1: _decision(False), 3: _decision(False)}
+        decisions = {
+            2: _decision(True),
+            0: _decision(True),
+            1: _decision(False),
+            3: _decision(False),
+        }
         assert high_combinations(decisions) == [0, 2]
 
     def test_truth_table(self):

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import analyze_cases, analyze_all_variations, analyze_variation, count_high, count_variations
+from repro.core import (
+    analyze_cases,
+    analyze_all_variations,
+    analyze_variation,
+    count_high,
+    count_variations,
+)
 from repro.core.variation import VariationStats
 from repro.errors import AnalysisError
 
@@ -99,7 +105,9 @@ class TestVariationStats:
 
     def test_analyze_all_variations(self):
         cases = analyze_cases(
-            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1], dtype=np.int8), n_inputs=1
+            np.array([0, 0, 1, 1]),
+            np.array([0, 1, 1, 1], dtype=np.int8),
+            n_inputs=1,
         )
         stats = analyze_all_variations(cases)
         assert stats[0].variation_count == 1
@@ -125,7 +133,7 @@ def test_variation_count_invariants(bits):
 )
 @settings(max_examples=40, deadline=None)
 def test_case_counts_sum_to_sample_count(n_inputs, n_samples, rng):
-    indices = np.array([rng.randrange(2 ** n_inputs) for _ in range(n_samples)])
+    indices = np.array([rng.randrange(2**n_inputs) for _ in range(n_samples)])
     output = np.array([rng.randrange(2) for _ in range(n_samples)], dtype=np.int8)
     cases = analyze_cases(indices, output, n_inputs)
     assert sum(case.case_count for case in cases.values()) == n_samples

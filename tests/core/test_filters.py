@@ -8,7 +8,11 @@ from repro.errors import AnalysisError
 
 
 def _stats(case_count, high_count, variation_count):
-    return VariationStats(case_count=case_count, high_count=high_count, variation_count=variation_count)
+    return VariationStats(
+        case_count=case_count,
+        high_count=high_count,
+        variation_count=variation_count,
+    )
 
 
 class TestFilterConfig:
@@ -96,7 +100,8 @@ class TestFilterEdgeCases:
 
     def test_exactly_half_high_passes_lenient_majority(self):
         decisions = apply_filters(
-            {0: _stats(100, 50, 1)}, FilterConfig(majority_strict=False)
+            {0: _stats(100, 50, 1)},
+            FilterConfig(majority_strict=False),
         )
         assert decisions[0].is_high
 

@@ -11,7 +11,10 @@ def _result():
     bits = ((indices[:, None] >> np.arange(1, -1, -1)) & 1) * 40.0
     output = np.where(indices == 3, 40.0, 2.0) + rng.normal(0, 2.0, size=400)
     return LogicAnalyzer(threshold=15.0).analyze_arrays(
-        bits, np.clip(output, 0, None), ["LacI", "TetR"], circuit_name="and_gate",
+        bits,
+        np.clip(output, 0, None),
+        ["LacI", "TetR"],
+        circuit_name="and_gate",
         expected="LacI & TetR",
     )
 
@@ -19,7 +22,9 @@ def _result():
 class TestCaseTable:
     def test_has_one_row_per_combination(self):
         table = format_case_table(_result())
-        lines = [line for line in table.splitlines() if line and not line.startswith(("Input", "-"))]
+        lines = [
+            line for line in table.splitlines() if line and not line.startswith(("Input", "-"))
+        ]
         assert len(lines) == 4
 
     def test_columns_match_paper_figure(self):

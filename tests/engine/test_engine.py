@@ -36,10 +36,16 @@ from repro.vlab import LogicExperiment
 def and_job(and_circuit):
     """A short seeded SSA job on the AND gate."""
     schedule = InputSchedule.from_combinations(
-        list(and_circuit.inputs), [(0, 0), (1, 1)], 40.0, 40.0
+        list(and_circuit.inputs),
+        [(0, 0), (1, 1)],
+        40.0,
+        40.0,
     )
     return SimulationJob(
-        model=and_circuit.model, t_end=80.0, simulator="ssa", schedule=schedule
+        model=and_circuit.model,
+        t_end=80.0,
+        simulator="ssa",
+        schedule=schedule,
     )
 
 
@@ -96,7 +102,8 @@ class TestSeedFanOut:
         second = fan_out_seeds(np.int64(42), 2)
         for a, b in zip(first, second):
             assert np.array_equal(
-                np.random.default_rng(a).random(4), np.random.default_rng(b).random(4)
+                np.random.default_rng(a).random(4),
+                np.random.default_rng(b).random(4),
             )
         # np.int64 and plain int roots agree.
         int_children = fan_out_seeds(42, 2)
@@ -165,10 +172,14 @@ class TestSimulationJob:
 
     def test_frozen_overrides_are_order_independent(self, and_circuit):
         a = SimulationJob(
-            model=and_circuit.model, t_end=1.0, parameter_overrides={"x": 1.0, "y": 2.0}
+            model=and_circuit.model,
+            t_end=1.0,
+            parameter_overrides={"x": 1.0, "y": 2.0},
         )
         b = SimulationJob(
-            model=and_circuit.model, t_end=1.0, parameter_overrides={"y": 2.0, "x": 1.0}
+            model=and_circuit.model,
+            t_end=1.0,
+            parameter_overrides={"y": 2.0, "x": 1.0},
         )
         assert a.frozen_overrides() == b.frozen_overrides()
 
@@ -215,10 +226,18 @@ class TestReplicateStudyParity:
         from repro.analysis import run_replicate_study
 
         serial = run_replicate_study(
-            and_circuit, n_replicates=3, hold_time=100.0, rng=77, jobs=1
+            and_circuit,
+            n_replicates=3,
+            hold_time=100.0,
+            rng=77,
+            jobs=1,
         )
         parallel = run_replicate_study(
-            and_circuit, n_replicates=3, hold_time=100.0, rng=77, jobs=2
+            and_circuit,
+            n_replicates=3,
+            hold_time=100.0,
+            rng=77,
+            jobs=2,
         )
         assert serial.fitness_values == parallel.fitness_values
         assert serial.recovery_rate == parallel.recovery_rate
@@ -237,7 +256,10 @@ class TestCompiledModelCache:
         cache = default_cache()
         cache.clear()
         threshold_sweep(
-            and_circuit, thresholds=[10.0, 15.0, 20.0], hold_time=60.0, rng=1,
+            and_circuit,
+            thresholds=[10.0, 15.0, 20.0],
+            hold_time=60.0,
+            rng=1,
             simulator="ode",
         )
         assert cache.misses == 1
@@ -279,10 +301,16 @@ class TestCompiledModelCache:
 
     def test_parallel_stats_report_worker_cache(self, and_circuit):
         schedule = InputSchedule.from_combinations(
-            list(and_circuit.inputs), [(1, 1)], 30.0, 40.0
+            list(and_circuit.inputs),
+            [(1, 1)],
+            30.0,
+            40.0,
         )
         template = SimulationJob(
-            model=and_circuit.model, t_end=30.0, simulator="ode", schedule=schedule
+            model=and_circuit.model,
+            t_end=30.0,
+            simulator="ode",
+            schedule=schedule,
         )
         result = run_ensemble(replicate_jobs(template, 4, seed=2), workers=2)
         # Each worker compiles once; everything else is a worker-cache hit.
@@ -303,8 +331,10 @@ class TestBatchApis:
         from repro.stochastic import compile_model
 
         direct = simulate_ssa(
-            compile_model(and_job.model), job.t_end,
-            schedule=job.schedule, rng=np.random.default_rng(job.seed),
+            compile_model(and_job.model),
+            job.t_end,
+            schedule=job.schedule,
+            rng=np.random.default_rng(job.seed),
         )
         via_engine = run_job(replicate_jobs(and_job, 1, seed=4)[0])
         assert np.array_equal(direct.data, via_engine.data)

@@ -50,7 +50,13 @@ class TestMyersSuite:
     def test_five_circuits(self):
         suite = myers_suite()
         assert len(suite) == 5
-        assert {c.name for c in suite} == {"not_gate", "and_gate", "or_gate", "nand_gate", "nor_gate"}
+        assert {c.name for c in suite} == {
+            "not_gate",
+            "and_gate",
+            "or_gate",
+            "nand_gate",
+            "nor_gate",
+        }
 
     @pytest.mark.parametrize(
         "builder, gate_name",

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.gates import GateType, Netlist, assign_proteins, default_library, netlist_to_model, netlist_to_sbol
+from repro.gates import (
+    GateType,
+    Netlist,
+    assign_proteins,
+    default_library,
+    netlist_to_model,
+    netlist_to_sbol,
+)
 from repro.sbml import validate_model
 from repro.sbol import Role
 from repro.stochastic import InputSchedule, simulate_ode

@@ -92,7 +92,7 @@ class TestSynthesisOptions:
         assert "0x16" in netlist.name
 
 
-@given(st.integers(min_value=1, max_value=2 ** 8 - 2))
+@given(st.integers(min_value=1, max_value=2**8 - 2))
 @settings(max_examples=120, deadline=None)
 def test_synthesis_implements_specification_3_inputs(value):
     """Every non-constant 3-input function synthesizes to an equivalent netlist."""
@@ -101,7 +101,7 @@ def test_synthesis_implements_specification_3_inputs(value):
     assert netlist.truth_table().outputs == table.outputs
 
 
-@given(st.integers(min_value=1, max_value=2 ** 4 - 2))
+@given(st.integers(min_value=1, max_value=2**4 - 2))
 @settings(max_examples=30, deadline=None)
 def test_synthesis_implements_specification_2_inputs(value):
     table = TruthTable.from_hex(value, n_inputs=2)

@@ -5,7 +5,6 @@ times, one stochastic repetition) so the whole pipeline is exercised on every
 test run without taking minutes.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import FilterConfig, LogicAnalyzer
@@ -56,7 +55,9 @@ class TestFigure1AndGatePipeline:
         """The paper's methodology: estimate threshold and delay first, then
         run the logic experiment with a hold time above the delay."""
         threshold = estimate_threshold(
-            and_circuit.model, and_circuit.inputs, and_circuit.output
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
         )
         delay = estimate_propagation_delay(
             and_circuit.model,
@@ -68,7 +69,8 @@ class TestFigure1AndGatePipeline:
         hold = max(delay.recommended_hold_time(), 90.0)
         log = LogicExperiment.for_circuit(and_circuit).run(hold_time=hold, rng=8)
         result = LogicAnalyzer(threshold=threshold.threshold).analyze(
-            log, expected=and_circuit.expected_table
+            log,
+            expected=and_circuit.expected_table,
         )
         assert result.comparison.matches
 
@@ -99,7 +101,8 @@ class TestOtherSimulatorsEndToEnd:
     def test_or_gate_recovered_with_any_trace_source(self, simulator):
         circuit = or_gate_circuit()
         log = LogicExperiment.for_circuit(circuit, simulator=simulator).run(
-            hold_time=120.0, rng=13
+            hold_time=120.0,
+            rng=13,
         )
         result = LogicAnalyzer(threshold=15.0).analyze(log, expected=circuit.expected_table)
         assert result.comparison.matches

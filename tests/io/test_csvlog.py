@@ -13,7 +13,8 @@ from repro.stochastic import Trajectory
 class TestTrajectoryCsv:
     def test_roundtrip_via_file(self, tmp_path):
         trajectory = Trajectory.from_dict(
-            np.arange(5.0), {"A": np.arange(5.0), "Y": np.arange(5.0) * 2}
+            np.arange(5.0),
+            {"A": np.arange(5.0), "Y": np.arange(5.0) * 2},
         )
         path = tmp_path / "trace.csv"
         write_trajectory_csv(trajectory, path)

@@ -17,8 +17,13 @@ def result():
     inputs = ((indices[:, None] >> np.arange(1, -1, -1)) & 1) * 40.0
     output = np.clip(np.where(indices == 3, 40.0, 2.0) + rng.normal(0, 2, 320), 0, None)
     analyzer = LogicAnalyzer(threshold=15.0)
-    return analyzer.analyze_arrays(inputs, output, ["LacI", "TetR"], expected="LacI & TetR",
-                                   circuit_name="and_gate")
+    return analyzer.analyze_arrays(
+        inputs,
+        output,
+        ["LacI", "TetR"],
+        expected="LacI & TetR",
+        circuit_name="and_gate",
+    )
 
 
 class TestResultToDict:

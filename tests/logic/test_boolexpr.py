@@ -139,7 +139,7 @@ class TestFromMinterms:
 @settings(max_examples=60, deadline=None)
 def test_from_minterms_matches_specification(n_inputs, data):
     """from_minterms() is high exactly on the requested combinations."""
-    universe = list(range(2 ** n_inputs))
+    universe = list(range(2**n_inputs))
     minterms = data.draw(st.sets(st.sampled_from(universe)))
     names = [f"x{i}" for i in range(n_inputs)]
     expr = from_minterms(names, minterms)

@@ -115,11 +115,15 @@ class TestMinimalCover:
 @settings(max_examples=100, deadline=None)
 def test_minimization_preserves_the_function(n_inputs, data):
     """The minimized expression computes exactly the original truth table."""
-    universe = list(range(2 ** n_inputs))
+    universe = list(range(2**n_inputs))
     minterms = sorted(data.draw(st.sets(st.sampled_from(universe))))
     names = [f"x{i}" for i in range(n_inputs)]
     expr = minimize(n_inputs, minterms, variables=names)
-    table = TruthTable.from_expression(expr, names) if minterms and len(minterms) < len(universe) else None
+    table = (
+        TruthTable.from_expression(expr, names)
+        if minterms and len(minterms) < len(universe)
+        else None
+    )
     for index in universe:
         bits = dict(zip(names, TruthTable.combination_bits(index, n_inputs)))
         assert expr.evaluate(bits) == (index in minterms)
@@ -129,9 +133,9 @@ def test_minimization_preserves_the_function(n_inputs, data):
 @settings(max_examples=60, deadline=None)
 def test_minimized_is_never_longer_than_canonical(n_inputs, data):
     """Minimization never produces more literals than the canonical SOP."""
-    universe = list(range(2 ** n_inputs))
+    universe = list(range(2**n_inputs))
     minterms = sorted(
-        data.draw(st.sets(st.sampled_from(universe), min_size=1, max_size=len(universe) - 1))
+        data.draw(st.sets(st.sampled_from(universe), min_size=1, max_size=len(universe) - 1)),
     )
     names = [f"x{i}" for i in range(n_inputs)]
     minimized = minimize(n_inputs, minterms, variables=names).to_string()

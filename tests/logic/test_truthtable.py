@@ -125,7 +125,7 @@ class TestComparison:
     def test_input_count_mismatch_rejected(self):
         with pytest.raises(AnalysisError):
             TruthTable.from_expression("A & B").differing_combinations(
-                TruthTable.from_hex("0x0B", n_inputs=3)
+                TruthTable.from_hex("0x0B", n_inputs=3),
             )
 
     def test_rename_inputs(self):
@@ -156,7 +156,7 @@ class TestConversions:
 @settings(max_examples=80, deadline=None)
 def test_hex_roundtrip_property(n_inputs, raw):
     """to_hex / from_hex are mutually inverse for every function."""
-    value = raw % (2 ** (2 ** n_inputs))
+    value = raw % (2 ** (2**n_inputs))
     table = TruthTable.from_hex(value, n_inputs=n_inputs)
     again = TruthTable.from_hex(table.to_hex(), inputs=table.inputs)
     assert again.outputs == table.outputs
@@ -165,7 +165,7 @@ def test_hex_roundtrip_property(n_inputs, raw):
 @given(st.integers(min_value=1, max_value=4), st.data())
 @settings(max_examples=60, deadline=None)
 def test_combination_bits_roundtrip_property(n_inputs, data):
-    index = data.draw(st.integers(min_value=0, max_value=2 ** n_inputs - 1))
+    index = data.draw(st.integers(min_value=0, max_value=2**n_inputs - 1))
     bits = TruthTable.combination_bits(index, n_inputs)
     assert len(bits) == n_inputs
     assert TruthTable.combination_index(bits) == index

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.errors import MathParseError, PropensityError
 from repro.sbml.ast import (
     BinOp,
-    Call,
     Neg,
     Num,
     Sym,
@@ -209,7 +208,7 @@ def _expressions(depth=0):
         st.floats(min_value=0.0, max_value=100.0, allow_nan=False).map(Num),
         _names.map(Sym),
         st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
-            lambda t: BinOp(t[0], t[1], t[2])
+            lambda t: BinOp(t[0], t[1], t[2]),
         ),
         sub.map(Neg),
     )
@@ -232,5 +231,7 @@ def test_compiled_matches_interpreted_property(expr):
     names = expr.symbols()
     fn = compile_function(expr, names)
     assert fn(*(env[name] for name in names)) == pytest.approx(
-        expr.evaluate(env), rel=1e-9, abs=1e-9
+        expr.evaluate(env),
+        rel=1e-9,
+        abs=1e-9,
     )

@@ -41,7 +41,9 @@ class TestConstruction:
     def test_duplicate_reaction_rejected(self, toy_model):
         with pytest.raises(DuplicateIdError):
             toy_model.add_reaction(
-                "degradation_Y", reactants=[("Y", 1.0)], kinetic_law="kd * Y"
+                "degradation_Y",
+                reactants=[("Y", 1.0)],
+                kinetic_law="kd * Y",
             )
 
     def test_unknown_compartment_rejected(self):

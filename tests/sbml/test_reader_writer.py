@@ -59,7 +59,10 @@ class TestRoundTrip:
         model = Model("m")
         model.add_species("X")
         model.add_reaction(
-            "r", products=[("X", 1.0)], kinetic_law="k_local", local_parameters={"k_local": 3.0}
+            "r",
+            products=[("X", 1.0)],
+            kinetic_law="k_local",
+            local_parameters={"k_local": 3.0},
         )
         again = _roundtrip(model)
         assert again.get_reaction("r").kinetic_law.local_parameters == {"k_local": 3.0}

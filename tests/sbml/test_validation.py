@@ -14,7 +14,10 @@ def _base_model() -> Model:
     model.add_parameter("k", 1.0)
     model.add_parameter("kd", 0.1)
     model.add_reaction(
-        "production", products=[("Y", 1.0)], modifiers=["A"], kinetic_law="k * hill_rep(A, 10, 2)"
+        "production",
+        products=[("Y", 1.0)],
+        modifiers=["A"],
+        kinetic_law="k * hill_rep(A, 10, 2)",
     )
     model.add_reaction("degradation", reactants=[("Y", 1.0)], kinetic_law="kd * Y")
     return model

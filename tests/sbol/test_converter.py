@@ -25,7 +25,7 @@ def _not_gate_document(**promoter_props) -> SBOLDocument:
             promoter("pTac", **promoter_props),
             cds("cds_gfp"),
             terminator("t1"),
-        ]
+        ],
     )
     doc.add_unit("tu", ["pTac", "cds_gfp", "t1"])
     doc.add_repression("LacI", "pTac")
@@ -45,7 +45,7 @@ def _tandem_or_document() -> SBOLDocument:
             promoter("P2"),
             cds("c"),
             terminator("t"),
-        ]
+        ],
     )
     doc.add_unit("tu", ["P1", "P2", "c", "t"])
     doc.add_repression("LacI", "P1")
@@ -144,10 +144,12 @@ class TestBehaviour:
 
     def test_leak_fraction_zero_gives_tighter_off_state(self):
         tight = sbol_to_sbml(
-            _not_gate_document(), parameters=ConversionParameters(leak_fraction=0.0)
+            _not_gate_document(),
+            parameters=ConversionParameters(leak_fraction=0.0),
         )
         leaky = sbol_to_sbml(
-            _not_gate_document(), parameters=ConversionParameters(leak_fraction=0.05)
+            _not_gate_document(),
+            parameters=ConversionParameters(leak_fraction=0.05),
         )
         schedule = InputSchedule().add(0.0, {"LacI": 40.0})
         off_tight = simulate_ode(tight, 150.0, schedule=schedule).value_at("GFP", 149.0)

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.errors import DuplicateIdError, ModelError, UnknownIdError
-from repro.sbol import InteractionType, ParticipationRole, Role, SBOLDocument, cds, promoter, protein, terminator
+from repro.sbol import (
+    InteractionType,
+    ParticipationRole,
+    Role,
+    SBOLDocument,
+    cds,
+    promoter,
+    protein,
+    terminator,
+)
 
 
 def _figure1_document() -> SBOLDocument:
@@ -24,7 +33,7 @@ def _figure1_document() -> SBOLDocument:
             terminator("T1"),
             terminator("T2"),
             terminator("T3"),
-        ]
+        ],
     )
     doc.add_unit("tu1", ["P1", "cds_ci_a", "T1"])
     doc.add_unit("tu2", ["P2", "cds_ci_b", "T2"])
@@ -76,13 +85,17 @@ class TestConstruction:
     def test_unknown_participation_role_rejected(self, figure1):
         with pytest.raises(ModelError):
             figure1.add_interaction(
-                "weird", InteractionType.INHIBITION, [("catalyst", "LacI")]
+                "weird",
+                InteractionType.INHIBITION,
+                [("catalyst", "LacI")],
             )
 
     def test_unknown_interaction_type_rejected(self, figure1):
         with pytest.raises(ModelError):
             figure1.add_interaction(
-                "weird", "binding", [(ParticipationRole.INHIBITOR, "LacI")]
+                "weird",
+                "binding",
+                [(ParticipationRole.INHIBITOR, "LacI")],
             )
 
 
@@ -114,7 +127,7 @@ class TestQueries:
     def test_activation_support(self):
         doc = SBOLDocument("act")
         doc.add_components(
-            [protein("LuxR"), protein("GFP"), promoter("pLux"), cds("c"), terminator("t")]
+            [protein("LuxR"), protein("GFP"), promoter("pLux"), cds("c"), terminator("t")],
         )
         doc.add_unit("tu", ["pLux", "c", "t"])
         doc.add_activation("LuxR", "pLux")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SBOLParseError
-from repro.gates import netlist_to_sbol
 from repro.sbol import (
     read_sbol_file,
     read_sbol_string,
@@ -29,7 +28,7 @@ class TestRoundTrip:
         for display_id, component in document.components.items():
             assert again.components[display_id].role == component.role
             assert again.components[display_id].properties == pytest.approx(
-                component.properties
+                component.properties,
             )
 
     def test_unit_part_order_survives(self, and_circuit):

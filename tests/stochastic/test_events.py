@@ -76,7 +76,10 @@ class TestSchedule:
 class TestFromCombinations:
     def test_builds_one_event_per_combination(self):
         schedule = InputSchedule.from_combinations(
-            ["A", "B"], [(0, 0), (0, 1), (1, 0), (1, 1)], hold_time=100.0, high_amount=40.0
+            ["A", "B"],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+            hold_time=100.0,
+            high_amount=40.0,
         )
         assert len(schedule) == 4
         assert schedule.value_at("A", 250.0) == 40.0
@@ -85,7 +88,11 @@ class TestFromCombinations:
 
     def test_low_amount_applied(self):
         schedule = InputSchedule.from_combinations(
-            ["A"], [(0,), (1,)], hold_time=50.0, high_amount=30.0, low_amount=2.0
+            ["A"],
+            [(0,), (1,)],
+            hold_time=50.0,
+            high_amount=30.0,
+            low_amount=2.0,
         )
         assert schedule.value_at("A", 0.0) == 2.0
         assert schedule.value_at("A", 60.0) == 30.0

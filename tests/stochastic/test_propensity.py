@@ -1,6 +1,5 @@
 """Tests for model compilation into propensity evaluators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PropensityError, SimulationError
@@ -82,7 +81,10 @@ class TestPropensities:
         # A appears as a reactant, but being a boundary species it must not
         # be consumed by the firing.
         model.add_reaction(
-            "bind", reactants=[("A", 1.0)], products=[("Y", 1.0)], kinetic_law="k * A"
+            "bind",
+            reactants=[("A", 1.0)],
+            products=[("Y", 1.0)],
+            kinetic_law="k * A",
         )
         compiled = CompiledModel(model)
         state = compiled.initial_state.copy()
@@ -131,10 +133,14 @@ class TestDependencyGraph:
         # Firing the CI production reaction must mark the GFP production
         # reaction (repressed by CI) as a dependent.
         ci_production = [
-            i for i, rid in enumerate(compiled.reaction_ids) if rid.startswith("production") and "CI" in rid
+            i
+            for i, rid in enumerate(compiled.reaction_ids)
+            if rid.startswith("production") and "CI" in rid
         ]
         gfp_production = [
-            i for i, rid in enumerate(compiled.reaction_ids) if rid.startswith("production") and "GFP" in rid
+            i
+            for i, rid in enumerate(compiled.reaction_ids)
+            if rid.startswith("production") and "GFP" in rid
         ]
         assert ci_production and gfp_production
         assert gfp_production[0] in compiled.dependents(ci_production[0])

@@ -39,7 +39,8 @@ class TestBirthDeathAgreement:
     """Stationary distribution is Poisson(40): mean 40, variance 40."""
 
     @pytest.mark.parametrize(
-        "simulate", [simulate_ssa, simulate_next_reaction, simulate_tau_leap]
+        "simulate",
+        [simulate_ssa, simulate_next_reaction, simulate_tau_leap],
     )
     def test_mean_and_variance(self, simulate):
         model = birth_death_model()
@@ -47,7 +48,7 @@ class TestBirthDeathAgreement:
             [
                 _stationary_samples(simulate, model, rng)
                 for rng in spawn_rngs(99, 4)
-            ]
+            ],
         )
         assert samples.mean() == pytest.approx(40.0, rel=0.10)
         assert samples.var() == pytest.approx(40.0, rel=0.40)
@@ -55,13 +56,13 @@ class TestBirthDeathAgreement:
     def test_exact_methods_agree_with_each_other(self):
         model = birth_death_model()
         direct = np.concatenate(
-            [_stationary_samples(simulate_ssa, model, rng) for rng in spawn_rngs(1, 4)]
+            [_stationary_samples(simulate_ssa, model, rng) for rng in spawn_rngs(1, 4)],
         )
         gibson = np.concatenate(
             [
                 _stationary_samples(simulate_next_reaction, model, rng)
                 for rng in spawn_rngs(2, 4)
-            ]
+            ],
         )
         assert direct.mean() == pytest.approx(gibson.mean(), rel=0.08)
 
@@ -77,7 +78,8 @@ class TestNotGateAgreement:
     """All simulators must report the same ON/OFF logic levels for a NOT gate."""
 
     @pytest.mark.parametrize(
-        "simulate", [simulate_ssa, simulate_next_reaction, simulate_tau_leap, simulate_ode]
+        "simulate",
+        [simulate_ssa, simulate_next_reaction, simulate_tau_leap, simulate_ode],
     )
     def test_logic_levels(self, simulate, toy_model):
         schedule = InputSchedule().add(0.0, {"A": 0.0}).add(200.0, {"A": 40.0})

@@ -75,14 +75,20 @@ class TestCommonBehaviour:
     @pytest.mark.parametrize("name", list(SIMULATORS))
     def test_initial_state_override(self, name):
         trajectory = SIMULATORS[name](
-            birth_death_model(), 5.0, initial_state={"X": 200.0}, rng=5
+            birth_death_model(),
+            5.0,
+            initial_state={"X": 200.0},
+            rng=5,
         )
         assert trajectory["X"][0] >= 150.0
 
     @pytest.mark.parametrize("name", list(SIMULATORS))
     def test_record_species_subset(self, name):
         trajectory = SIMULATORS[name](
-            birth_death_model(), 10.0, record_species=["X"], rng=6
+            birth_death_model(),
+            10.0,
+            record_species=["X"],
+            rng=6,
         )
         assert trajectory.species == ["X"]
 

@@ -97,7 +97,8 @@ class TestTransforms:
 
     def test_concat(self, trajectory):
         later = Trajectory.from_dict(
-            np.arange(10.0, 15.0), {"A": np.zeros(5), "B": np.ones(5)}
+            np.arange(10.0, 15.0),
+            {"A": np.zeros(5), "B": np.ones(5)},
         )
         joined = trajectory.concat(later)
         assert len(joined) == 15
@@ -105,7 +106,8 @@ class TestTransforms:
 
     def test_concat_drops_overlap(self, trajectory):
         overlapping = Trajectory.from_dict(
-            np.arange(8.0, 12.0), {"A": np.zeros(4), "B": np.zeros(4)}
+            np.arange(8.0, 12.0),
+            {"A": np.zeros(4), "B": np.zeros(4)},
         )
         joined = trajectory.concat(overlapping)
         assert np.all(np.diff(joined.times) > 0)

@@ -54,7 +54,7 @@ class TestSimulateAnalyzeVerify:
                 "100",
                 "--simulator",
                 "ode",
-            ]
+            ],
         )
         assert code == 0
         assert csv_path.exists()
@@ -71,7 +71,7 @@ class TestSimulateAnalyzeVerify:
                 "~LacI",
                 "--json",
                 str(json_path),
-            ]
+            ],
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -91,7 +91,7 @@ class TestSimulateAnalyzeVerify:
                 "7",
                 "--json",
                 str(json_path),
-            ]
+            ],
         )
         assert code == 0
         assert "MATCH" in capsys.readouterr().out
@@ -123,7 +123,7 @@ class TestSimulateAnalyzeVerify:
                 "80",
                 "--simulator",
                 "ode",
-            ]
+            ],
         )
         assert code == 0
 
@@ -143,7 +143,7 @@ class TestEnsembleFlags:
                 "3",
                 "--json",
                 str(json_path),
-            ]
+            ],
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -156,14 +156,24 @@ class TestEnsembleFlags:
 
     def test_verify_replicates_parallel_matches_serial(self, capsys):
         code = main(
-            ["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2",
-             "--jobs", "2"]
+            [
+                "verify",
+                "and",
+                "--hold-time",
+                "100",
+                "--seed",
+                "7",
+                "--replicates",
+                "2",
+                "--jobs",
+                "2",
+            ],
         )
         assert code == 0
         parallel_out = capsys.readouterr().out
         assert "process-pool" in parallel_out
         code = main(
-            ["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2"]
+            ["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2"],
         )
         assert code == 0
         serial_out = capsys.readouterr().out
@@ -184,7 +194,7 @@ class TestEnsembleFlags:
                 "ode",
                 "--replicates",
                 "2",
-            ]
+            ],
         )
         assert code == 0
         assert (tmp_path / "runs-r0.csv").exists()
@@ -200,7 +210,7 @@ class TestEnsembleFlags:
 
     def test_jobs_without_replicates_prints_note(self, capsys):
         code = main(
-            ["verify", "not", "--hold-time", "80", "--simulator", "ode", "--jobs", "4"]
+            ["verify", "not", "--hold-time", "80", "--simulator", "ode", "--jobs", "4"],
         )
         assert code == 0
         assert "--jobs only parallelises replicate batches" in capsys.readouterr().err
@@ -222,11 +232,102 @@ class TestEnsembleFlags:
 
     def test_runtime_flags(self, capsys):
         code = main(
-            ["runtime", "--sizes", "2000", "--inputs", "2", "--replicates", "1",
-             "--jobs", "2"]
+            ["runtime", "--sizes", "2000", "--inputs", "2", "--replicates", "1", "--jobs", "2"],
         )
         assert code == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
+class TestProgressLine:
+    def test_off_by_default_without_a_tty(self, capsys):
+        """CI logs stay clean: no carriage returns unless stderr is a TTY."""
+        code = main(["verify", "and", "--hold-time", "100", "--seed", "7", "--replicates", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "\r" not in captured.err
+        assert "\r" not in captured.out
+
+    def test_forced_on_with_progress_flag(self, capsys):
+        code = main(
+            [
+                "verify",
+                "and",
+                "--hold-time",
+                "100",
+                "--seed",
+                "7",
+                "--replicates",
+                "2",
+                "--progress",
+            ],
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "\r1/2 runs" in err
+        # The line is erased once the batch finishes.
+        assert err.endswith("\r")
+
+    def test_forced_off_with_no_progress_flag(self, capsys):
+        code = main(
+            [
+                "runtime",
+                "--sizes",
+                "2000",
+                "--inputs",
+                "2",
+                "--replicates",
+                "1",
+                "--no-progress",
+            ],
+        )
+        assert code == 0
+        assert "\r" not in capsys.readouterr().err
+
+    def test_runtime_progress_counts_sizes(self, capsys):
+        code = main(
+            [
+                "runtime",
+                "--sizes",
+                "2000",
+                "4000",
+                "--inputs",
+                "2",
+                "--replicates",
+                "1",
+                "--progress",
+            ],
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "\r1/2 sizes" in err
+
+    def test_simulate_replicates_progress(self, tmp_path, capsys):
+        out = tmp_path / "runs.csv"
+        code = main(
+            [
+                "simulate",
+                "not",
+                "--out",
+                str(out),
+                "--hold-time",
+                "60",
+                "--simulator",
+                "ode",
+                "--replicates",
+                "2",
+                "--progress",
+            ],
+        )
+        assert code == 0
+        assert "\r1/2 runs" in capsys.readouterr().err
+
+    def test_hook_helper_respects_non_tty_stream(self):
+        import argparse
+
+        from repro.cli import _progress_hook
+
+        args = argparse.Namespace(progress=None)
+        assert _progress_hook(args) is None  # pytest's stderr is not a TTY
 
 
 class TestList:

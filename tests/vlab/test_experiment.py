@@ -88,7 +88,8 @@ class TestRun:
 
     def test_ode_and_ssa_agree_on_logic_levels(self, not_circuit):
         ssa_log = LogicExperiment.for_circuit(not_circuit, simulator="ssa").run(
-            hold_time=120.0, rng=5
+            hold_time=120.0,
+            rng=5,
         )
         ode_log = LogicExperiment.for_circuit(not_circuit, simulator="ode").run(hold_time=120.0)
         # Settled windows: last 40 units of each 120-unit hold.

@@ -19,7 +19,10 @@ class TestSettledLevels:
 
     def test_and_gate_levels(self, and_circuit):
         levels = settled_output_levels(
-            and_circuit.model, and_circuit.inputs, and_circuit.output, simulator="ode"
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            simulator="ode",
         )
         assert set(levels) == {"00", "01", "10", "11"}
         assert levels["11"] > 25.0
@@ -35,7 +38,9 @@ class TestSettledLevels:
 class TestEstimateThreshold:
     def test_threshold_separates_levels(self, and_circuit):
         analysis = estimate_threshold(
-            and_circuit.model, and_circuit.inputs, and_circuit.output
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
         )
         assert analysis.is_separable()
         assert max(analysis.low_group) < analysis.threshold < min(analysis.high_group)
@@ -44,7 +49,9 @@ class TestEstimateThreshold:
 
     def test_summary_text(self, and_circuit):
         analysis = estimate_threshold(
-            and_circuit.model, and_circuit.inputs, and_circuit.output
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
         )
         assert "threshold(GFP)" in analysis.summary()
 
@@ -74,7 +81,10 @@ class TestEstimateThreshold:
 class TestPropagationDelay:
     def test_delays_positive_and_bounded(self, and_circuit):
         analysis = estimate_propagation_delay(
-            and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=15.0
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=15.0,
         )
         assert analysis.delays
         assert 0.0 < analysis.worst_case <= 300.0
@@ -82,7 +92,10 @@ class TestPropagationDelay:
 
     def test_recommended_hold_time(self, and_circuit):
         analysis = estimate_propagation_delay(
-            and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=15.0
+            and_circuit.model,
+            and_circuit.inputs,
+            and_circuit.output,
+            threshold=15.0,
         )
         assert analysis.recommended_hold_time() == pytest.approx(3.0 * analysis.worst_case)
         with pytest.raises(Exception):
@@ -101,7 +114,10 @@ class TestPropagationDelay:
     def test_invalid_threshold_rejected(self, and_circuit):
         with pytest.raises(ThresholdError):
             estimate_propagation_delay(
-                and_circuit.model, and_circuit.inputs, and_circuit.output, threshold=0.0
+                and_circuit.model,
+                and_circuit.inputs,
+                and_circuit.output,
+                threshold=0.0,
             )
 
     def test_falling_slower_than_rising_for_cascade(self, and_circuit):
