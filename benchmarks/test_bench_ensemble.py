@@ -14,6 +14,7 @@ the speedup assertion is gated on the visible CPU count; the bit-identical
 results contract is asserted unconditionally.
 """
 
+import asyncio
 import os
 import time
 import tracemalloc
@@ -22,7 +23,14 @@ import numpy as np
 import pytest
 
 from conftest import HOLD_TIME
-from repro.engine import iter_ensemble, replicate_jobs, run_ensemble
+from repro.analysis import run_replicate_study
+from repro.engine import (
+    ProcessPoolEnsembleExecutor,
+    gather_studies,
+    iter_ensemble,
+    replicate_jobs,
+    run_ensemble,
+)
 from repro.gates import and_gate_circuit, not_gate_circuit
 from repro.vlab import LogicExperiment
 
@@ -172,3 +180,87 @@ def test_streaming_bounds_peak_trajectory_memory(benchmark, memory_template_job)
     assert check_str == check_mat
     # ...but the streamed pass never held more than a bounded window of them.
     assert streamed_peak < materialized_peak * 0.25
+
+
+#: Concurrent-studies comparison: how many replicate studies, of how many
+#: replicates each, share the pool.  Small per-study batches under-utilize a
+#: pool when run one study at a time — which is exactly what gather_studies
+#: fixes by multiplexing.
+N_STUDIES = 3
+N_STUDY_REPLICATES = 2
+GATHER_WORKERS = 4
+
+
+def test_gather_studies_vs_sequential_on_one_pool(benchmark):
+    """Wall-clock of N independent replicate studies on ONE warm pool:
+    sequential (each study's small batch leaves workers idle) vs
+    gather_studies (studies interleave and fill the pool).  Both walls and
+    their ratio land in ``extra_info``; correctness (bit-identical per-study
+    results and warm caches for every study after the first) is asserted
+    unconditionally, the speedup only when real cores are available.
+    """
+    circuit = and_gate_circuit()
+
+    def _study(seed):
+        def _run(executor):
+            return run_replicate_study(
+                circuit,
+                n_replicates=N_STUDY_REPLICATES,
+                hold_time=HOLD_TIME / 2.0,
+                rng=BASE_SEED + seed,
+                executor=executor,
+            )
+
+        return _run
+
+    def _measure():
+        with ProcessPoolEnsembleExecutor(GATHER_WORKERS) as executor:
+            # Warm every worker's compiled-model cache out of the comparison.
+            run_ensemble(
+                replicate_jobs(
+                    _template_for(circuit), 2 * GATHER_WORKERS, seed=BASE_SEED
+                ),
+                executor=executor,
+            )
+
+            started = time.perf_counter()
+            sequential = [_study(seed)(executor) for seed in range(N_STUDIES)]
+            sequential_wall = time.perf_counter() - started
+
+            started = time.perf_counter()
+            gathered = asyncio.run(
+                gather_studies([_study(seed) for seed in range(N_STUDIES)], executor=executor)
+            )
+            gather_wall = time.perf_counter() - started
+        return sequential, gathered, sequential_wall, gather_wall
+
+    sequential, gathered, sequential_wall, gather_wall = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_studies"] = N_STUDIES
+    benchmark.extra_info["replicates_per_study"] = N_STUDY_REPLICATES
+    benchmark.extra_info["workers"] = GATHER_WORKERS
+    benchmark.extra_info["sequential_wall_seconds"] = sequential_wall
+    benchmark.extra_info["gather_wall_seconds"] = gather_wall
+    benchmark.extra_info["gather_speedup"] = sequential_wall / gather_wall
+    benchmark.extra_info["cpus"] = _cpus()
+
+    print(
+        f"\n{N_STUDIES} studies x {N_STUDY_REPLICATES} replicates on one "
+        f"{GATHER_WORKERS}-worker pool: sequential {sequential_wall:.2f} s, "
+        f"gathered {gather_wall:.2f} s "
+        f"({sequential_wall / gather_wall:.2f}x) on {_cpus()} CPU(s)",
+    )
+    # Same seeds, same pool: per-study results are bit-identical either way,
+    # and the pre-warmed pool means every study ran on warm worker caches.
+    for sequential_study, gathered_study in zip(sequential, gathered):
+        assert gathered_study.fitness_values == sequential_study.fitness_values
+        assert gathered_study.stats.cache_misses == 0
+    if _cpus() >= 2 * GATHER_WORKERS:
+        # Plenty of real cores: multiplexed studies must beat one-at-a-time.
+        assert gather_wall < sequential_wall
+
+
+def _template_for(circuit):
+    experiment = LogicExperiment.for_circuit(circuit, simulator="ssa")
+    return experiment.job(hold_time=HOLD_TIME / 2.0, repeats=1)

@@ -22,7 +22,10 @@ from .analysis import (
     RobustnessReport,
     RuntimeMeasurement,
     ThresholdSweepEntry,
+    ameasure_analysis_runtime,
+    arun_replicate_study,
     assess_robustness,
+    athreshold_sweep,
     measure_analysis_runtime,
     run_replicate_study,
     threshold_sweep,
@@ -38,6 +41,7 @@ from .core import (
     percentage_fitness,
 )
 from .engine import (
+    AsyncEnsembleExecutor,
     CompiledModelCache,
     EnsembleResult,
     EnsembleStats,
@@ -45,6 +49,9 @@ from .engine import (
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     SimulationJob,
+    aiter_ensemble,
+    arun_ensemble,
+    gather_studies,
     get_executor,
     iter_ensemble,
     map_over_parameters,
@@ -88,6 +95,7 @@ from .version import __version__
 from .vlab import (
     LogicExperiment,
     SimulationDataLog,
+    aestimate_threshold,
     estimate_propagation_delay,
     estimate_threshold,
     exhaustive_protocol,
@@ -139,6 +147,7 @@ __all__ = [
     "exhaustive_protocol",
     "gray_code_protocol",
     "estimate_threshold",
+    "aestimate_threshold",
     "estimate_propagation_delay",
     # logic toolkit
     "TruthTable",
@@ -162,21 +171,28 @@ __all__ = [
     "EnsembleStream",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
+    "AsyncEnsembleExecutor",
     "CompiledModelCache",
     "get_executor",
     "run_job",
     "run_ensemble",
     "iter_ensemble",
+    "arun_ensemble",
+    "aiter_ensemble",
+    "gather_studies",
     "replicate_jobs",
     "map_over_parameters",
     # higher-level studies
     "threshold_sweep",
+    "athreshold_sweep",
     "ThresholdSweepEntry",
     "assess_robustness",
     "RobustnessReport",
     "run_replicate_study",
+    "arun_replicate_study",
     "ReplicateStudy",
     "measure_analysis_runtime",
+    "ameasure_analysis_runtime",
     "RuntimeMeasurement",
     # I/O
     "write_datalog_csv",

@@ -15,6 +15,8 @@ natural extension the paper's conclusion points towards.
 
 from __future__ import annotations
 
+import asyncio
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -22,6 +24,8 @@ import numpy as np
 
 from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
 from ..engine.api import replicate_jobs, run_ensemble
+from ..engine.cache import model_blob, worker_model_from_blob
+from ..engine.executors import get_executor
 from ..engine.jobs import EnsembleStats
 from ..errors import AnalysisError
 from ..gates.circuits import GeneticCircuit
@@ -29,7 +33,7 @@ from ..logic.truthtable import TruthTable
 from ..stochastic.rng import RandomState
 from ..vlab.experiment import LogicExperiment
 
-__all__ = ["ReplicateStudy", "run_replicate_study"]
+__all__ = ["ReplicateStudy", "run_replicate_study", "arun_replicate_study"]
 
 
 @dataclass
@@ -92,6 +96,23 @@ class ReplicateStudy:
         )
 
 
+def _analyze_replicate_payload(payload) -> LogicAnalysisResult:
+    """Analyze one replicate's trajectory (module-level, so executors can
+    dispatch it to worker processes through the engine's generic ``map``).
+
+    The study context (experiment, analyzer settings, expected table) is
+    shared by every replicate, so it travels as one pre-pickled blob keyed on
+    its content fingerprint — each worker deserializes it once per study (via
+    the same blob memo the simulation payloads use), and the per-payload
+    cost reduces to the job shell and its trajectory.
+    """
+    fingerprint, bundle, job, trajectory = payload
+    experiment, threshold, fov_ud, expected = worker_model_from_blob(fingerprint, bundle)
+    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
+    data = experiment.datalog_from(job, trajectory)
+    return analyzer.analyze(data, expected=expected)
+
+
 def run_replicate_study(
     circuit: GeneticCircuit,
     n_replicates: int = 5,
@@ -104,6 +125,7 @@ def run_replicate_study(
     jobs: int = 1,
     executor=None,
     progress=None,
+    analysis_jobs: int = 1,
 ) -> ReplicateStudy:
     """Run ``n_replicates`` independent experiments and aggregate the analyses.
 
@@ -115,19 +137,56 @@ def run_replicate_study(
     completes and then discarded, so peak memory holds a bounded window of
     trajectories rather than all ``n_replicates`` of them.  Pass an opened
     ``executor`` to reuse one live worker pool across several studies.
+
+    ``analysis_jobs=N > 1`` fans the *analysis* out to worker processes too,
+    through the engine's generic ``map`` path: the trajectories are
+    materialized first and every replicate's logic recovery runs in parallel
+    (on the simulation executor when one is shared, else on an ephemeral
+    pool), instead of serializing in the parent.  Worth it when analysis
+    dominates (long hold times, many samples); it trades the streamed path's
+    bounded memory for parallel analysis, and the recovered results are
+    identical either way.
     """
     if n_replicates < 1:
         raise AnalysisError("n_replicates must be at least 1")
-    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
     template = experiment.job(hold_time=hold_time, repeats=repeats)
+    batch = replicate_jobs(template, n_replicates, seed=rng)
+
+    if analysis_jobs > 1:
+        owns_executor = executor is None
+        runner = executor if executor is not None else get_executor(max(jobs, analysis_jobs))
+        try:
+            ensemble = run_ensemble(batch, executor=runner, progress=progress)
+            bundle, fingerprint = model_blob(
+                (experiment, float(threshold), float(fov_ud), circuit.expected_table),
+            )
+            payloads = [
+                # The job ships without its model: the analysis only needs the
+                # schedule and metadata, and the heavy model graph is already
+                # inside the shared bundle's experiment.
+                (fingerprint, bundle, dataclasses.replace(job, model=None), trajectory)
+                for job, trajectory in ensemble
+            ]
+            results = runner.map(_analyze_replicate_payload, payloads)
+        finally:
+            if owns_executor:
+                runner.close()
+        return ReplicateStudy(
+            circuit_name=circuit.name,
+            expected=circuit.expected_table,
+            results=results,
+            stats=ensemble.stats,
+        )
+
+    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
 
     def _analyze(index, job, trajectory) -> LogicAnalysisResult:
         data = experiment.datalog_from(job, trajectory)
         return analyzer.analyze(data, expected=circuit.expected_table)
 
     ensemble = run_ensemble(
-        replicate_jobs(template, n_replicates, seed=rng),
+        batch,
         workers=jobs,
         executor=executor,
         progress=progress,
@@ -140,3 +199,17 @@ def run_replicate_study(
         results=results,
         stats=ensemble.stats,
     )
+
+
+async def arun_replicate_study(*args, **kwargs) -> ReplicateStudy:
+    """Async entry point: :func:`run_replicate_study` off the event loop.
+
+    Runs the (blocking) study on a worker thread via
+    :func:`asyncio.to_thread`, so a caller inside an event loop — e.g. a web
+    handler running one study per request — never stalls its loop while the
+    simulations execute.  Accepts exactly the arguments of
+    :func:`run_replicate_study`; pass ``executor=`` (e.g. the shared pool of
+    :func:`repro.engine.gather_studies`) to multiplex many concurrent
+    studies over one warm worker pool.
+    """
+    return await asyncio.to_thread(run_replicate_study, *args, **kwargs)

@@ -12,6 +12,7 @@ into the measurement).
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -23,7 +24,12 @@ from ..errors import AnalysisError
 from ..logic.truthtable import TruthTable
 from ..stochastic.rng import RandomState, fan_out_seeds, make_rng
 
-__all__ = ["RuntimeMeasurement", "synthetic_experiment_arrays", "measure_analysis_runtime"]
+__all__ = [
+    "RuntimeMeasurement",
+    "synthetic_experiment_arrays",
+    "measure_analysis_runtime",
+    "ameasure_analysis_runtime",
+]
 
 
 @dataclass
@@ -166,3 +172,15 @@ def measure_analysis_runtime(
         if progress is not None:
             progress(len(measurements), len(sample_sizes), len(measurements) - 1)
     return measurements
+
+
+async def ameasure_analysis_runtime(*args, **kwargs) -> List[RuntimeMeasurement]:
+    """Async entry point: :func:`measure_analysis_runtime` off the event loop.
+
+    Runs the (blocking) measurement sweep on a worker thread via
+    :func:`asyncio.to_thread`.  Accepts exactly the arguments of
+    :func:`measure_analysis_runtime`; note that timings taken while an event
+    loop juggles other work are noisier still, so treat the absolute numbers
+    accordingly.
+    """
+    return await asyncio.to_thread(measure_analysis_runtime, *args, **kwargs)

@@ -16,6 +16,7 @@ intended behaviour.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -27,7 +28,7 @@ from ..logic.compare import LogicComparison
 from ..stochastic.rng import RandomState, fan_out_seeds
 from ..vlab.experiment import LogicExperiment
 
-__all__ = ["ThresholdSweepEntry", "threshold_sweep"]
+__all__ = ["ThresholdSweepEntry", "threshold_sweep", "athreshold_sweep"]
 
 
 @dataclass
@@ -141,3 +142,15 @@ def threshold_sweep(
         reduce=_entry,
     )
     return list(ensemble.reduced)
+
+
+async def athreshold_sweep(*args, **kwargs) -> List[ThresholdSweepEntry]:
+    """Async entry point: :func:`threshold_sweep` off the event loop.
+
+    Runs the (blocking) sweep on a worker thread via
+    :func:`asyncio.to_thread`, so callers inside an event loop never stall
+    it.  Accepts exactly the arguments of :func:`threshold_sweep`; share a
+    warm pool across concurrent sweeps with ``executor=`` (see
+    :func:`repro.engine.gather_studies`).
+    """
+    return await asyncio.to_thread(threshold_sweep, *args, **kwargs)

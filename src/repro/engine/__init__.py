@@ -18,7 +18,12 @@ simulations cheaply; this subsystem is where they all execute:
 * :func:`run_ensemble` / :func:`iter_ensemble` / :func:`map_over_parameters`
   — batch submission with progress and throughput/cache statistics, either
   materialized or streamed one result at a time (``iter_ensemble`` /
-  ``reduce=``) with peak memory bounded by the in-flight window.
+  ``reduce=``) with peak memory bounded by the in-flight window;
+* :func:`arun_ensemble` / :func:`aiter_ensemble` / :func:`gather_studies` /
+  :class:`AsyncEnsembleExecutor` — the asyncio layer: the same batches (and
+  bit-identical trajectories) driven from inside an event loop without
+  blocking it, including N independent studies multiplexed concurrently over
+  one shared warm pool.
 
 See ``analysis/replicates.py``, ``analysis/sweep.py``,
 ``analysis/robustness.py`` and ``vlab/propagation.py`` for the studies built
@@ -26,6 +31,12 @@ on top, and the CLI's ``--jobs`` / ``--replicates`` flags for the user-facing
 entry points.
 """
 
+from .aio import (
+    AsyncEnsembleExecutor,
+    aiter_ensemble,
+    arun_ensemble,
+    gather_studies,
+)
 from .api import (
     EnsembleStream,
     iter_ensemble,
@@ -36,6 +47,7 @@ from .api import (
 )
 from .cache import CompiledModelCache, default_cache, model_fingerprint
 from .executors import (
+    BatchCacheStats,
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     get_executor,
@@ -46,8 +58,10 @@ __all__ = [
     "SimulationJob",
     "EnsembleResult",
     "EnsembleStats",
+    "BatchCacheStats",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
+    "AsyncEnsembleExecutor",
     "get_executor",
     "CompiledModelCache",
     "default_cache",
@@ -55,6 +69,9 @@ __all__ = [
     "run_job",
     "run_ensemble",
     "iter_ensemble",
+    "aiter_ensemble",
+    "arun_ensemble",
+    "gather_studies",
     "EnsembleStream",
     "replicate_jobs",
     "map_over_parameters",

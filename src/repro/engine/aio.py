@@ -1,0 +1,445 @@
+"""Asyncio execution layer of the ensemble engine.
+
+The synchronous engine blocks while a batch executes — fine for scripts and
+the CLI, fatal inside an event loop (a web service running a replicate study
+per request would stall every other request for the duration of the study).
+This module is the non-blocking facade over the same execution machinery:
+
+* :func:`aiter_ensemble` — the async twin of :func:`repro.engine.iter_ensemble`:
+  an async generator yielding ``(index, job, trajectory)`` as runs complete,
+  with the same bounded ``2 * workers`` submission window, the same
+  ordered/completion-order delivery modes, and the same bit-identical-seeds
+  contract (seeds are fanned out before dispatch, so the async path produces
+  exactly the trajectories the sync path would);
+* :func:`arun_ensemble` — the async twin of :func:`repro.engine.run_ensemble`,
+  materialized or ``reduce=``-streamed (the reducer may be a plain function
+  or a coroutine function), returning the same :class:`EnsembleResult`;
+* :class:`AsyncEnsembleExecutor` — an ``async with`` facade that owns one
+  persistent :class:`ProcessPoolEnsembleExecutor` pool, so many async batches
+  share warm worker-side compiled-model caches;
+* :func:`gather_studies` — N independent studies (replicate studies, sweeps,
+  threshold scans ...) executing *concurrently*, multiplexed over ONE shared
+  warm pool.
+
+How it stays non-blocking: pool runs are submitted to the persistent
+``concurrent.futures`` pool and their futures bridged onto the event loop
+with :func:`asyncio.wrap_future`, so awaiting a batch costs the loop nothing;
+serial (``workers=1``) runs and the blocking phases of synchronous study
+functions execute on worker threads via :func:`asyncio.to_thread`.  Each
+batch counts its cache statistics into its own
+:class:`~repro.engine.executors.BatchCacheStats`, which is what makes the
+concurrent-studies pattern report per-study numbers instead of clobbered
+executor-global ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import inspect
+import time
+from contextlib import aclosing
+from typing import (
+    Any,
+    AsyncIterator,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import EngineError
+from ..stochastic.trajectory import Trajectory
+from .api import EnsembleReducer, _batch_stats
+from .cache import CompiledModelCache, default_cache
+from .executors import (
+    BatchCacheStats,
+    ProcessPoolEnsembleExecutor,
+    ProgressHook,
+    SerialExecutor,
+    _simulate_payload,
+    get_executor,
+)
+from .jobs import EnsembleResult, SimulationJob
+
+__all__ = [
+    "AsyncEnsembleExecutor",
+    "aiter_ensemble",
+    "arun_ensemble",
+    "gather_studies",
+]
+
+#: A study, as :func:`gather_studies` sees it: a callable taking the shared
+#: executor as its only argument.  Plain callables (e.g.
+#: ``lambda ex: run_replicate_study(circuit, 20, executor=ex)``) run on a
+#: worker thread; coroutine functions are awaited on the loop directly.
+Study = Callable[[Any], Any]
+
+
+class AsyncEnsembleExecutor:
+    """``async with`` facade over one persistent process-pool executor.
+
+    Owns (or wraps) a :class:`ProcessPoolEnsembleExecutor` whose single live
+    pool serves every batch submitted through the async APIs, so worker-side
+    compiled-model caches stay warm across batches and across *concurrent*
+    studies.  Opening and closing happen on a worker thread — pool startup
+    and ``shutdown(wait=True)`` both block, and neither should stall the
+    event loop.
+
+    Wrapping an executor you opened yourself leaves its lifecycle with you:
+    ``async with AsyncEnsembleExecutor(executor=mine)`` will not close
+    ``mine`` on exit.
+    """
+
+    name = "async-process-pool"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        executor: Optional[ProcessPoolEnsembleExecutor] = None,
+    ):
+        if (workers is None) == (executor is None):
+            raise EngineError(
+                "AsyncEnsembleExecutor needs exactly one of workers=N "
+                "(to own a new pool executor) or executor= (to wrap yours)",
+            )
+        self._owns = executor is None
+        self._executor = (
+            executor if executor is not None else ProcessPoolEnsembleExecutor(workers)
+        )
+
+    @property
+    def sync_executor(self) -> ProcessPoolEnsembleExecutor:
+        """The wrapped synchronous executor (for sync studies sharing the pool)."""
+        return self._executor
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers
+
+    @property
+    def is_open(self) -> bool:
+        return self._executor.is_open
+
+    async def aopen(self) -> "AsyncEnsembleExecutor":
+        """Start the worker pool now, off-loop (otherwise it starts on first use)."""
+        await asyncio.to_thread(self._executor.open)
+        return self
+
+    async def aclose(self) -> None:
+        """Shut the pool down off-loop — only if this facade owns it."""
+        if self._owns:
+            await asyncio.to_thread(self._executor.close)
+
+    async def __aenter__(self) -> "AsyncEnsembleExecutor":
+        return await self.aopen()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+def _resolve_sync(executor):
+    """The synchronous executor behind any accepted ``executor=`` argument."""
+    if isinstance(executor, AsyncEnsembleExecutor):
+        return executor.sync_executor
+    return executor
+
+
+async def _drive_pool(
+    executor: ProcessPoolEnsembleExecutor,
+    jobs: List[SimulationJob],
+    *,
+    ordered: bool,
+    progress: Optional[ProgressHook],
+    stats: BatchCacheStats,
+) -> AsyncIterator[Tuple[int, Trajectory]]:
+    """Submit jobs to the persistent pool, awaiting results on the event loop.
+
+    The mirror image of :meth:`ProcessPoolEnsembleExecutor.iter_jobs` with
+    ``concurrent.futures.wait`` replaced by ``asyncio.wait`` over
+    :func:`asyncio.wrap_future` bridges: the same ``2 * workers`` in-flight
+    window, the same ordered/completion-order delivery, the same
+    cancel-on-exit — but zero blocking of the loop between completions.
+    """
+    # Model pickling and pool startup both block; keep them off the loop.
+    payloads = await asyncio.to_thread(executor._payloads, jobs)
+    total = len(jobs)
+    pool = (await asyncio.to_thread(executor.open))._pool
+    window = 2 * executor.workers
+    #: asyncio bridge future -> (submission index, underlying pool future)
+    pending: Dict[asyncio.Future, Tuple[int, concurrent.futures.Future]] = {}
+    buffered: Dict[int, Trajectory] = {}
+    next_submit = 0
+    next_yield = 0
+    done = 0
+    try:
+        while next_submit < total or pending or buffered:
+            while next_submit < total and len(pending) + len(buffered) < window:
+                future = pool.submit(_simulate_payload, payloads[next_submit])
+                pending[asyncio.wrap_future(future)] = (next_submit, future)
+                next_submit += 1
+            if pending:
+                completed, _ = await asyncio.wait(
+                    set(pending),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for bridge in completed:
+                    index, _ = pending.pop(bridge)
+                    trajectory, cache_hit = bridge.result()
+                    stats.record(cache_hit)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs[index])
+                    if ordered:
+                        buffered[index] = trajectory
+                    else:
+                        yield index, trajectory
+            if ordered:
+                # The smallest unyielded index is always submitted (jobs are
+                # dispatched in order), so this drain cannot starve.
+                while next_yield in buffered:
+                    yield next_yield, buffered.pop(next_yield)
+                    next_yield += 1
+    finally:
+        for _, future in pending.values():
+            future.cancel()
+        executor.last_cache_hits = stats.hits
+        executor.last_cache_misses = stats.misses
+
+
+#: Exhaustion marker for pulling a sync iterator from worker threads.
+_EXHAUSTED = object()
+
+
+async def _drive_serial(
+    executor: SerialExecutor,
+    jobs: List[SimulationJob],
+    *,
+    cache: CompiledModelCache,
+    progress: Optional[ProgressHook],
+    stats: BatchCacheStats,
+    ordered: bool = True,
+) -> AsyncIterator[Tuple[int, Trajectory]]:
+    """Pull a non-pool executor's ``iter_jobs`` from worker threads.
+
+    Each pull executes via :func:`asyncio.to_thread`, so the event loop stays
+    responsive between (and, GIL releases permitting, during) runs.  With the
+    built-in :class:`SerialExecutor`, runs stay strictly sequential on one
+    shared in-process cache — trajectories are bit-identical to the
+    synchronous serial executor by construction.  ``ordered`` is forwarded so
+    duck-typed parallel executors keep their delivery-mode contract;
+    third-party executors that predate the ``batch_stats`` keyword are driven
+    without it (their batches simply report no cache statistics).
+    """
+    if getattr(executor, "supports_batch_stats", False):
+        source = executor.iter_jobs(
+            jobs, cache=cache, progress=progress, ordered=ordered, batch_stats=stats
+        )
+    else:
+        source = executor.iter_jobs(jobs, cache=cache, progress=progress, ordered=ordered)
+    iterator = iter(source)
+    while True:
+        item = await asyncio.to_thread(next, iterator, _EXHAUSTED)
+        if item is _EXHAUSTED:
+            return
+        yield item
+
+
+async def aiter_ensemble(
+    jobs: Sequence[SimulationJob],
+    *,
+    workers: int = 1,
+    executor=None,
+    cache: Optional[CompiledModelCache] = None,
+    progress: Optional[ProgressHook] = None,
+    ordered: bool = True,
+    batch_stats: Optional[BatchCacheStats] = None,
+) -> AsyncIterator[Tuple[int, SimulationJob, Trajectory]]:
+    """Async generator over an executing ensemble: ``(index, job, trajectory)``.
+
+    The asyncio twin of :func:`repro.engine.iter_ensemble`, safe to drive
+    from inside an event loop: awaiting the next result never blocks the
+    loop, whether the batch runs on worker processes (futures are bridged
+    with :func:`asyncio.wrap_future`) or serially (each run executes on a
+    worker thread).  Submission, delivery order and seeds follow the sync
+    stream exactly — at most ``2 * workers`` undelivered results in flight,
+    ``ordered=True`` for submission order / ``False`` for completion order,
+    and trajectories bit-identical to :func:`repro.engine.run_ensemble` for
+    the same job list because every seed was fanned out before dispatch.
+
+    ``executor`` may be a :class:`ProcessPoolEnsembleExecutor`, an
+    :class:`AsyncEnsembleExecutor` facade, or a :class:`SerialExecutor`; its
+    lifecycle stays with the caller.  Without one, an ephemeral executor is
+    built from ``workers=N`` and closed (off-loop) when the generator
+    finishes.  ``batch_stats`` collects this batch's cache counters for
+    callers assembling their own :class:`EnsembleStats`.
+
+    A ``break`` out of ``async for`` does *not* finalize an async generator
+    immediately — cleanup (cancelling in-flight runs, closing an ephemeral
+    executor) would wait for garbage collection.  When you may exit early,
+    iterate under :func:`contextlib.aclosing`::
+
+        async with aclosing(aiter_ensemble(jobs, workers=8)) as stream:
+            async for index, job, trajectory in stream:
+                break  # cleanup now runs on leaving the with-block
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise EngineError("aiter_ensemble needs at least one job")
+    owns_executor = executor is None
+    chosen = _resolve_sync(executor) if executor is not None else get_executor(workers)
+    cache = cache if cache is not None else default_cache()
+    stats = batch_stats if batch_stats is not None else BatchCacheStats()
+    if isinstance(chosen, ProcessPoolEnsembleExecutor):
+        driver = _drive_pool(chosen, jobs, ordered=ordered, progress=progress, stats=stats)
+    else:
+        driver = _drive_serial(
+            chosen, jobs, cache=cache, progress=progress, stats=stats, ordered=ordered
+        )
+    try:
+        async for index, trajectory in driver:
+            yield index, jobs[index], trajectory
+    finally:
+        await driver.aclose()
+        if owns_executor:
+            await asyncio.to_thread(chosen.close)
+
+
+async def arun_ensemble(
+    jobs: Sequence[SimulationJob],
+    *,
+    workers: int = 1,
+    executor=None,
+    cache: Optional[CompiledModelCache] = None,
+    progress: Optional[ProgressHook] = None,
+    reduce: Optional[EnsembleReducer] = None,
+) -> EnsembleResult:
+    """Execute a batch without blocking the event loop; same result as sync.
+
+    The asyncio twin of :func:`repro.engine.run_ensemble`: materializes every
+    trajectory (in submission order) into an :class:`EnsembleResult`, or —
+    with ``reduce=`` — streams, storing per-run summaries at ``.reduced`` and
+    dropping each trajectory on completion.  The reducer may be a plain
+    function or a coroutine function (awaited per run on the loop).
+    Trajectories and statistics match the synchronous API for the same jobs,
+    executor kind and root seed.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise EngineError("arun_ensemble needs at least one job")
+    owns_executor = executor is None
+    chosen = _resolve_sync(executor) if executor is not None else get_executor(workers)
+    cache = cache if cache is not None else default_cache()
+    is_pool = isinstance(chosen, ProcessPoolEnsembleExecutor)
+    counter = (
+        BatchCacheStats()
+        if is_pool or getattr(chosen, "supports_batch_stats", False)
+        else None
+    )
+    trajectories: Optional[List[Optional[Trajectory]]] = None
+    reduced: Optional[List[Any]] = None
+    if reduce is not None:
+        reduced = [None] * len(jobs)
+    else:
+        trajectories = [None] * len(jobs)
+    hits_before, misses_before = cache.hits, cache.misses
+    started = time.perf_counter()
+    try:
+        # aclosing: a reducer that raises must still cancel in-flight runs
+        # now, not at garbage collection.
+        async with aclosing(
+            aiter_ensemble(
+                jobs,
+                executor=chosen,
+                cache=cache,
+                progress=progress,
+                ordered=False,
+                batch_stats=counter,
+            ),
+        ) as stream:
+            async for index, job, trajectory in stream:
+                if reduce is not None:
+                    summary = reduce(index, job, trajectory)
+                    if inspect.isawaitable(summary):
+                        summary = await summary
+                    reduced[index] = summary
+                else:
+                    trajectories[index] = trajectory
+    finally:
+        if owns_executor:
+            await asyncio.to_thread(chosen.close)
+    wall = time.perf_counter() - started
+    stats = _batch_stats(
+        chosen,
+        len(jobs),
+        wall,
+        cache,
+        hits_before,
+        misses_before,
+        counter=counter,
+    )
+    return EnsembleResult(jobs=jobs, trajectories=trajectories, stats=stats, reduced=reduced)
+
+
+async def gather_studies(
+    studies: Sequence[Study],
+    *,
+    workers: Optional[int] = None,
+    executor=None,
+    return_exceptions: bool = False,
+) -> List[Any]:
+    """Run independent studies concurrently over ONE shared warm pool.
+
+    Each study is a callable receiving the shared synchronous executor as its
+    only argument — e.g. ``lambda ex: run_replicate_study(circuit, 20,
+    rng=7, executor=ex)`` or ``lambda ex: threshold_sweep(circuit, values,
+    executor=ex)``.  Plain callables run on worker threads (their blocking
+    waits never stall the loop); coroutine functions are awaited on the loop
+    and may use :func:`arun_ensemble` / :func:`aiter_ensemble` directly.
+    Every study submits its batches to the same persistent pool, so each
+    distinct model compiles once per worker *across all studies* — every
+    study after the first runs on warm worker-side caches — and per-batch
+    :class:`~repro.engine.executors.BatchCacheStats` keep each study's
+    reported statistics its own.
+
+    ``executor`` (a pool executor, an :class:`AsyncEnsembleExecutor`, or a
+    serial executor) is shared and left open; without one, an ephemeral
+    executor is built from ``workers`` (serial when ``None``/1) and closed
+    when all studies finish.  Results come back in ``studies`` order.
+    Studies running on threads cannot be cancelled, so a failing study never
+    aborts its siblings: every study always runs to completion, then either
+    the full result list is returned (``return_exceptions=True`` puts a
+    failed study's exception in its slot) or the first failure is re-raised.
+    """
+    studies = list(studies)
+    if not studies:
+        raise EngineError("gather_studies needs at least one study")
+    owns_executor = executor is None
+    chosen = _resolve_sync(executor) if executor is not None else get_executor(workers or 1)
+
+    async def _run_study(study: Study) -> Any:
+        if asyncio.iscoroutinefunction(study):
+            return await study(chosen)
+        result = await asyncio.to_thread(study, chosen)
+        if inspect.isawaitable(result):
+            return await result
+        return result
+
+    try:
+        # Always gather with return_exceptions=True: raising early would
+        # cancel sibling *tasks* but not their threads, and the finally below
+        # would then shut the shared pool down under studies still running.
+        results = await asyncio.gather(
+            *(_run_study(study) for study in studies),
+            return_exceptions=True,
+        )
+    finally:
+        if owns_executor:
+            await asyncio.to_thread(chosen.close)
+    if not return_exceptions:
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+    return results

@@ -27,13 +27,24 @@ from ``workers=N``.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..errors import EngineError
 from ..stochastic.rng import RandomState, fan_out_seeds
 from ..stochastic.trajectory import Trajectory
 from .cache import CompiledModelCache, default_cache
-from .executors import ProgressHook, SerialExecutor, get_executor
+from .executors import BatchCacheStats, ProgressHook, SerialExecutor, get_executor
 from .jobs import EnsembleResult, EnsembleStats, SimulationJob
 
 __all__ = [
@@ -50,16 +61,29 @@ __all__ = [
 #: stored at ``EnsembleResult.reduced[index]`` and the trajectory is dropped.
 EnsembleReducer = Callable[[int, SimulationJob, Trajectory], Any]
 
+#: What one iteration of a stream yields: the engine's base streams yield
+#: ``(index, job, trajectory)`` triples; a :meth:`EnsembleStream.transform`
+#: stream yields whatever its mapping function returns.
+StreamItem = TypeVar("StreamItem")
 
-class EnsembleStream:
+#: Item type of a stream derived through :meth:`EnsembleStream.transform`.
+MappedItem = TypeVar("MappedItem")
+
+#: The triple yielded by streams straight out of :func:`iter_ensemble`.
+EnsembleItem = Tuple[int, SimulationJob, Trajectory]
+
+
+class EnsembleStream(Generic[StreamItem]):
     """Iterator over the runs of an executing ensemble.
 
-    Yields ``(index, job, trajectory)`` as runs complete; after exhaustion (or
-    :meth:`close`) the batch's :class:`EnsembleStats` are available on
-    :attr:`stats`.  Streams are single-use and forward-only: each trajectory
-    is handed to the consumer exactly once and never retained by the engine,
-    so iterating-and-discarding holds O(executor window) trajectories no
-    matter how many runs the batch has.
+    Base streams (from :func:`iter_ensemble`) yield ``(index, job,
+    trajectory)`` triples as runs complete; a stream derived through
+    :meth:`transform` yields the *bare return value* of its mapping function
+    instead.  After exhaustion (or :meth:`close`) the batch's
+    :class:`EnsembleStats` are available on :attr:`stats`.  Streams are
+    single-use and forward-only: each item is handed to the consumer exactly
+    once and never retained by the engine, so iterating-and-discarding holds
+    O(executor window) trajectories no matter how many runs the batch has.
 
     Streams over an ephemeral executor (one the engine created from
     ``workers=N``) close it when the stream ends, including on early exit.
@@ -68,8 +92,8 @@ class EnsembleStream:
     def __init__(self, jobs: List[SimulationJob]):
         self.jobs = jobs
         self._stats: Optional[EnsembleStats] = None
-        self._stats_source: Optional["EnsembleStream"] = None
-        self._iterator: Iterator[Tuple[int, SimulationJob, Trajectory]] = iter(())
+        self._stats_source: Optional["EnsembleStream[Any]"] = None
+        self._iterator: Iterator[StreamItem] = iter(())
         #: Finalizer run by close(); covers streams abandoned before their
         #: first result (a never-started generator skips its finally block).
         self._finalizer: Optional[Callable[[], None]] = None
@@ -87,10 +111,10 @@ class EnsembleStream:
             return self._stats_source.stats
         return self._stats
 
-    def __iter__(self) -> "EnsembleStream":
+    def __iter__(self) -> "EnsembleStream[StreamItem]":
         return self
 
-    def __next__(self) -> Tuple[int, SimulationJob, Trajectory]:
+    def __next__(self) -> StreamItem:
         return next(self._iterator)
 
     def __len__(self) -> int:
@@ -112,14 +136,17 @@ class EnsembleStream:
 
     def transform(
         self,
-        fn: Callable[[int, SimulationJob, Trajectory], Any],
-    ) -> "EnsembleStream":
-        """A derived stream yielding ``fn(index, job, trajectory)`` per run.
+        fn: Callable[[int, SimulationJob, Trajectory], "MappedItem"],
+    ) -> "EnsembleStream[MappedItem]":
+        """A derived stream yielding the bare ``fn(index, job, trajectory)`` per run.
 
+        Each iteration of the derived stream produces exactly what ``fn``
+        returned — *not* an ``(index, job, trajectory)`` triple — so only
+        base streams (whose items are those triples) can be transformed.
         The derived stream shares this stream's job list and statistics;
         closing either one finalizes the underlying execution.
         """
-        derived = EnsembleStream(self.jobs)
+        derived: "EnsembleStream[MappedItem]" = EnsembleStream(self.jobs)
         derived._stats_source = self
         source = self
 
@@ -154,13 +181,20 @@ def _batch_stats(
     cache: CompiledModelCache,
     hits_before: int,
     misses_before: int,
+    counter: Optional[BatchCacheStats] = None,
 ) -> EnsembleStats:
     """Assemble the statistics of one executed batch.
 
-    In-process executors leave their footprint on ``cache``; pool executors
-    never touch it and report the worker-side statistics of the batch.
+    The engine's own executors count each batch's cache hits/misses into a
+    per-batch ``counter``, so concurrent batches on one shared executor (the
+    :func:`repro.engine.gather_studies` pattern) report their own numbers.
+    Third-party executors fall back to the legacy executor-global snapshot
+    (``last_cache_hits``) or, failing that, the in-process cache delta.
     """
-    if hasattr(chosen, "last_cache_hits"):
+    if counter is not None:
+        cache_hits = counter.hits
+        cache_misses = counter.misses
+    elif hasattr(chosen, "last_cache_hits"):
         cache_hits = chosen.last_cache_hits
         cache_misses = chosen.last_cache_misses
     else:
@@ -205,7 +239,9 @@ def iter_ensemble(
     owns_executor = executor is None
     chosen = executor if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
-    stream = EnsembleStream(jobs)
+    stream: EnsembleStream[EnsembleItem] = EnsembleStream(jobs)
+    counter = BatchCacheStats() if getattr(chosen, "supports_batch_stats", False) else None
+    iter_kwargs = {} if counter is None else {"batch_stats": counter}
     hits_before, misses_before = cache.hits, cache.misses
     opened = time.perf_counter()
 
@@ -219,6 +255,7 @@ def iter_ensemble(
                 cache,
                 hits_before,
                 misses_before,
+                counter=counter,
             )
         if owns_executor:
             chosen.close()
@@ -230,6 +267,7 @@ def iter_ensemble(
                 cache=cache,
                 progress=progress,
                 ordered=ordered,
+                **iter_kwargs,
             ):
                 yield index, jobs[index], trajectory
         finally:
@@ -305,15 +343,25 @@ def run_ensemble(
     owns_executor = executor is None
     chosen = executor if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
+    counter = BatchCacheStats() if getattr(chosen, "supports_batch_stats", False) else None
+    run_kwargs = {} if counter is None else {"batch_stats": counter}
     hits_before, misses_before = cache.hits, cache.misses
     started = time.perf_counter()
     try:
-        trajectories = chosen.run_jobs(jobs, cache=cache, progress=progress)
+        trajectories = chosen.run_jobs(jobs, cache=cache, progress=progress, **run_kwargs)
     finally:
         if owns_executor:
             chosen.close()
     wall = time.perf_counter() - started
-    stats = _batch_stats(chosen, len(jobs), wall, cache, hits_before, misses_before)
+    stats = _batch_stats(
+        chosen,
+        len(jobs),
+        wall,
+        cache,
+        hits_before,
+        misses_before,
+        counter=counter,
+    )
     return EnsembleResult(jobs=jobs, trajectories=trajectories, stats=stats)
 
 

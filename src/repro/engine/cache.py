@@ -19,12 +19,20 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..stochastic.propensity import CompiledModel
 
-__all__ = ["CompiledModelCache", "default_cache", "model_fingerprint", "worker_compiled"]
+__all__ = [
+    "CompiledModelCache",
+    "default_cache",
+    "model_fingerprint",
+    "model_blob",
+    "worker_compiled",
+    "worker_model_from_blob",
+]
 
 
 def model_fingerprint(model) -> str:
@@ -61,13 +69,20 @@ def _state_token(model) -> Tuple:
 
 
 class CompiledModelCache:
-    """An LRU cache of :class:`CompiledModel` objects with hit/miss counters."""
+    """An LRU cache of :class:`CompiledModel` objects with hit/miss counters.
+
+    Lookups are serialized by an internal lock: the shared process-wide cache
+    is reachable from several threads at once (``gather_studies`` runs
+    synchronous serial studies on worker threads), and the
+    lookup/move-to-end/insert/evict sequence is not atomic without it.
+    """
 
     def __init__(self, max_entries: int = 64):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Tuple[object, CompiledModel]]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -75,9 +90,10 @@ class CompiledModelCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def get(
         self,
@@ -89,24 +105,39 @@ class CompiledModelCache:
         The cached entry keeps a strong reference to the source model, so the
         ``id()`` in the key cannot be recycled while the entry is alive.
         """
+        return self.lookup(model, overrides)[0]
+
+    def lookup(
+        self,
+        model,
+        overrides: Tuple[Tuple[str, float], ...] = (),
+    ) -> Tuple[CompiledModel, bool]:
+        """``(compiled, cache_hit)`` — like :meth:`get`, but reporting the hit.
+
+        The flag belongs to *this* lookup, so callers keeping per-batch
+        statistics (:class:`~repro.engine.executors.BatchCacheStats`) stay
+        accurate even when other threads hit the same cache concurrently —
+        a delta on the global counters could not tell the batches apart.
+        """
         if isinstance(model, CompiledModel):
             if not overrides:
-                return model
+                return model, False
             # Overrides cannot be applied to an already-compiled model;
             # recompile (with caching) from its source model instead.
             model = model.model
         key = (id(model), _state_token(model), overrides)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry[1]
-        self.misses += 1
-        compiled = CompiledModel(model, dict(overrides) if overrides else None)
-        self._entries[key] = (model, compiled)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return compiled
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry[1], True
+            self.misses += 1
+            compiled = CompiledModel(model, dict(overrides) if overrides else None)
+            self._entries[key] = (model, compiled)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return compiled, False
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
@@ -136,6 +167,11 @@ _WORKER_MODELS: Dict[str, object] = {}
 _WORKER_CACHE_MAX = 64
 _WORKER_MODELS_MAX = 64
 
+#: Guards _WORKER_MODELS: pool worker processes are single-threaded, but the
+#: blob memo also runs in the *parent* (serial analysis fan-out), where
+#: gather_studies may drive it from several threads at once.
+_WORKER_MODELS_LOCK = threading.Lock()
+
 
 def worker_model_from_blob(fingerprint: str, blob: bytes):
     """The canonical model instance for ``fingerprint``, deserializing once.
@@ -145,13 +181,20 @@ def worker_model_from_blob(fingerprint: str, blob: bytes):
     deserialization entirely, so a fingerprint unpickles and compiles at most
     once per worker process.
     """
-    known = _WORKER_MODELS.get(fingerprint)
-    if known is not None:
-        return known
+    with _WORKER_MODELS_LOCK:
+        known = _WORKER_MODELS.get(fingerprint)
+        if known is not None:
+            # Refresh recency (as worker_compiled does for _WORKER_CACHE): a
+            # hot fingerprint reused every batch must outlive stale ones at
+            # eviction.
+            _WORKER_MODELS.pop(fingerprint)
+            _WORKER_MODELS[fingerprint] = known
+            return known
     model = pickle.loads(blob)
-    while len(_WORKER_MODELS) >= _WORKER_MODELS_MAX:
-        _WORKER_MODELS.pop(next(iter(_WORKER_MODELS)))
-    _WORKER_MODELS[fingerprint] = model
+    with _WORKER_MODELS_LOCK:
+        while len(_WORKER_MODELS) >= _WORKER_MODELS_MAX:
+            _WORKER_MODELS.pop(next(iter(_WORKER_MODELS)))
+        _WORKER_MODELS[fingerprint] = model
     return model
 
 

@@ -30,6 +30,8 @@ produce bit-identical trajectories for the same job list.
 from __future__ import annotations
 
 import concurrent.futures
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +50,7 @@ from .jobs import SimulationJob
 
 __all__ = [
     "ProgressHook",
+    "BatchCacheStats",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
     "get_executor",
@@ -57,6 +60,28 @@ __all__ = [
 #: ``(done_count, total, payload_index)``; ``run_jobs`` / ``iter_jobs`` hooks
 #: receive ``(done_count, total, job)``.
 ProgressHook = Callable[[int, int, Any], None]
+
+
+@dataclass
+class BatchCacheStats:
+    """Compiled-model cache counters of ONE batch iteration.
+
+    Each ``iter_jobs`` / ``run_jobs`` call accumulates into its own instance,
+    so concurrent batches on a shared executor (e.g. several studies
+    multiplexed over one pool by :func:`repro.engine.gather_studies`) cannot
+    clobber each other's statistics.  The executor-global
+    ``last_cache_hits`` / ``last_cache_misses`` attributes survive only as a
+    snapshot of the most recently *finished* batch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    def record(self, cache_hit: bool) -> None:
+        if cache_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
 
 
 def _simulate_payload(payload: Dict[str, Any]):
@@ -97,6 +122,9 @@ class SerialExecutor:
 
     name = "serial"
     workers = 1
+    #: This executor's ``iter_jobs`` / ``run_jobs`` accept a per-batch
+    #: :class:`BatchCacheStats` sink (see that class for why).
+    supports_batch_stats = True
 
     def open(self) -> "SerialExecutor":
         """No-op (the serial executor owns no resources); returns ``self``."""
@@ -132,6 +160,7 @@ class SerialExecutor:
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
         ordered: bool = True,
+        batch_stats: Optional[BatchCacheStats] = None,
     ) -> Iterator[Tuple[int, Trajectory]]:
         """Yield ``(index, trajectory)`` per job as each run completes.
 
@@ -139,11 +168,16 @@ class SerialExecutor:
         has no effect; it is accepted for interface parity with the pool.
         Only the trajectory currently yielded is alive — callers that analyze
         and discard hold O(1) trajectories regardless of batch size.
+        ``batch_stats`` (when given) accumulates this batch's compiled-model
+        cache hits/misses, so interleaved batches sharing one cache still see
+        their own counts.
         """
         cache = cache if cache is not None else default_cache()
         total = len(jobs)
         for index, job in enumerate(jobs):
-            compiled = cache.get(job.model, job.frozen_overrides())
+            compiled, cache_hit = cache.lookup(job.model, job.frozen_overrides())
+            if batch_stats is not None:
+                batch_stats.record(cache_hit)
             simulate = resolve_simulator(job.simulator)
             trajectory = simulate(
                 compiled,
@@ -160,10 +194,16 @@ class SerialExecutor:
         jobs: Sequence[SimulationJob],
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
+        batch_stats: Optional[BatchCacheStats] = None,
     ) -> List[Trajectory]:
         jobs = list(jobs)
         results: List[Optional[Trajectory]] = [None] * len(jobs)
-        for index, trajectory in self.iter_jobs(jobs, cache=cache, progress=progress):
+        for index, trajectory in self.iter_jobs(
+            jobs,
+            cache=cache,
+            progress=progress,
+            batch_stats=batch_stats,
+        ):
             results[index] = trajectory
         return results
 
@@ -181,13 +221,18 @@ class ProcessPoolEnsembleExecutor:
     a live generator cannot cross the process boundary without breaking the
     bit-identical-results contract, so it is rejected up front.
 
-    After :meth:`run_jobs` (or exhausting :meth:`iter_jobs`),
-    ``last_cache_hits`` / ``last_cache_misses`` hold the worker-side
-    compiled-model cache statistics of that batch (the parent cache is not
-    involved in pool execution).
+    One executor may serve several concurrent batches (e.g. independent
+    studies multiplexed over one pool by :func:`repro.engine.gather_studies`):
+    submission is thread-safe and each batch counts its own cache statistics
+    into the :class:`BatchCacheStats` it was given.  ``last_cache_hits`` /
+    ``last_cache_misses`` are kept as a snapshot of the most recently
+    *finished* batch (the parent cache is never involved in pool execution).
     """
 
     name = "process-pool"
+    #: This executor's ``iter_jobs`` / ``run_jobs`` accept a per-batch
+    #: :class:`BatchCacheStats` sink (see that class for why).
+    supports_batch_stats = True
 
     def __init__(self, workers: int):
         if workers < 1:
@@ -196,6 +241,7 @@ class ProcessPoolEnsembleExecutor:
         self.last_cache_hits = 0
         self.last_cache_misses = 0
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._lifecycle_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------------
     @property
@@ -205,15 +251,17 @@ class ProcessPoolEnsembleExecutor:
 
     def open(self) -> "ProcessPoolEnsembleExecutor":
         """Start the worker pool now (otherwise it starts on first use)."""
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers,
-            )
+        with self._lifecycle_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                )
         return self
 
     def close(self) -> None:
         """Shut the worker pool down.  Idempotent; next use re-opens a pool."""
-        pool, self._pool = self._pool, None
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -235,23 +283,44 @@ class ProcessPoolEnsembleExecutor:
         payloads: Sequence[Any],
         progress: Optional[ProgressHook] = None,
     ) -> List[Any]:
-        """Apply ``fn`` (a module-level function) across the pool, preserving order."""
+        """Apply ``fn`` (a module-level function) across the pool, preserving order.
+
+        Submission is windowed exactly like :meth:`iter_jobs`: at most
+        ``2 * workers`` payloads are pickled-and-pending at any moment, so a
+        long payload list does not land on the pool's call queue all at once.
+        If any payload raises, the remaining queued payloads are cancelled
+        before the exception propagates — a failed batch does not leave the
+        pool grinding through work nobody will collect.
+        """
         payloads = list(payloads)
         total = len(payloads)
         if total == 0:
             return []
         pool = self.open()._pool
         results: List[Any] = [None] * total
-        futures = {
-            pool.submit(fn, payload): index for index, payload in enumerate(payloads)
-        }
+        window = 2 * self.workers
+        pending: Dict[concurrent.futures.Future, int] = {}
+        next_submit = 0
         done = 0
-        for future in concurrent.futures.as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
-            done += 1
-            if progress is not None:
-                progress(done, total, index)
+        try:
+            while next_submit < total or pending:
+                while next_submit < total and len(pending) < window:
+                    future = pool.submit(fn, payloads[next_submit])
+                    pending[future] = next_submit
+                    next_submit += 1
+                completed, _ = concurrent.futures.wait(
+                    pending,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in completed:
+                    index = pending.pop(future)
+                    results[index] = future.result()
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, index)
+        finally:
+            for future in pending:
+                future.cancel()
         return results
 
     def _payloads(self, jobs: Sequence[SimulationJob]) -> List[Dict[str, Any]]:
@@ -293,6 +362,7 @@ class ProcessPoolEnsembleExecutor:
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
         ordered: bool = True,
+        batch_stats: Optional[BatchCacheStats] = None,
     ) -> Iterator[Tuple[int, Trajectory]]:
         """Yield ``(index, trajectory)`` pairs as worker runs complete.
 
@@ -303,14 +373,17 @@ class ProcessPoolEnsembleExecutor:
         dispatched as earlier results are yielded, so the parent's peak
         trajectory memory is bounded by the window, not by ``len(jobs)``.
 
+        Worker-side cache hits/misses accumulate into ``batch_stats`` (this
+        batch's own counter, so concurrent batches on one shared executor
+        never clobber each other); when the batch finishes, its totals are
+        also snapshotted onto ``last_cache_hits`` / ``last_cache_misses``.
         ``cache`` is unused (workers keep their own caches); it is accepted so
         both executors share one call signature.
         """
         jobs = list(jobs)
         payloads = self._payloads(jobs)
         total = len(jobs)
-        self.last_cache_hits = 0
-        self.last_cache_misses = 0
+        stats = batch_stats if batch_stats is not None else BatchCacheStats()
         if total == 0:
             return
         pool = self.open()._pool
@@ -334,10 +407,7 @@ class ProcessPoolEnsembleExecutor:
                     for future in completed:
                         index = pending.pop(future)
                         trajectory, cache_hit = future.result()
-                        if cache_hit:
-                            self.last_cache_hits += 1
-                        else:
-                            self.last_cache_misses += 1
+                        stats.record(cache_hit)
                         done += 1
                         if progress is not None:
                             progress(done, total, jobs[index])
@@ -354,12 +424,17 @@ class ProcessPoolEnsembleExecutor:
         finally:
             for future in pending:
                 future.cancel()
+            # Legacy snapshot of the batch that finished (or was abandoned)
+            # last; concurrent batches should read their own ``batch_stats``.
+            self.last_cache_hits = stats.hits
+            self.last_cache_misses = stats.misses
 
     def run_jobs(
         self,
         jobs: Sequence[SimulationJob],
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
+        batch_stats: Optional[BatchCacheStats] = None,
     ) -> List[Trajectory]:
         jobs = list(jobs)
         results: List[Optional[Trajectory]] = [None] * len(jobs)
@@ -368,6 +443,7 @@ class ProcessPoolEnsembleExecutor:
             cache=cache,
             progress=progress,
             ordered=False,
+            batch_stats=batch_stats,
         ):
             results[index] = trajectory
         return results

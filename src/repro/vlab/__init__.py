@@ -17,7 +17,12 @@ from .protocol import (
     gray_code_protocol,
     random_protocol,
 )
-from .threshold import ThresholdAnalysis, estimate_threshold, settled_output_levels
+from .threshold import (
+    ThresholdAnalysis,
+    aestimate_threshold,
+    estimate_threshold,
+    settled_output_levels,
+)
 
 __all__ = [
     "StimulusProtocol",
@@ -30,6 +35,7 @@ __all__ = [
     "run_logic_experiment",
     "ThresholdAnalysis",
     "estimate_threshold",
+    "aestimate_threshold",
     "settled_output_levels",
     "PropagationDelayAnalysis",
     "estimate_propagation_delay",

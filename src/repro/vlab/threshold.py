@@ -15,6 +15,7 @@ available for studying how noise shifts the estimate.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -27,7 +28,12 @@ from ..stochastic import canonical_simulator_name
 from ..stochastic.events import InputSchedule
 from ..stochastic.rng import RandomState, fan_out_seeds
 
-__all__ = ["ThresholdAnalysis", "estimate_threshold", "settled_output_levels"]
+__all__ = [
+    "ThresholdAnalysis",
+    "estimate_threshold",
+    "aestimate_threshold",
+    "settled_output_levels",
+]
 
 
 @dataclass
@@ -185,3 +191,16 @@ def estimate_threshold(
         high_group=high_group,
         output_species=output_species,
     )
+
+
+async def aestimate_threshold(*args, **kwargs) -> ThresholdAnalysis:
+    """Async entry point: :func:`estimate_threshold` off the event loop.
+
+    Runs the (blocking) estimation on a worker thread via
+    :func:`asyncio.to_thread`, so callers inside an event loop — e.g. a
+    service estimating a threshold per uploaded model — never stall it.
+    Accepts exactly the arguments of :func:`estimate_threshold`; share a
+    warm pool across concurrent scans with ``executor=`` (see
+    :func:`repro.engine.gather_studies`).
+    """
+    return await asyncio.to_thread(estimate_threshold, *args, **kwargs)
