@@ -62,3 +62,20 @@ def paper_analyzer() -> LogicAnalyzer:
 @pytest.fixture(scope="session")
 def analyzer():
     return paper_analyzer()
+
+
+def check_wallclock(condition: bool, message: str) -> None:
+    """Hard-assert a wall-clock ratio locally; warn when ``REPRO_BENCH_SOFT=1``.
+
+    Shared CI runners make timing ratios flaky, so the bench-smoke job sets
+    the soft flag: the measured numbers still land in ``extra_info`` (and
+    the printed summaries), only the pass/fail gate is relaxed.
+    """
+    import warnings
+
+    if condition:
+        return
+    if os.environ.get("REPRO_BENCH_SOFT") == "1":
+        warnings.warn(message, stacklevel=2)
+        return
+    pytest.fail(message)

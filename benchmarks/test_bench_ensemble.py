@@ -22,7 +22,7 @@ import tracemalloc
 import numpy as np
 import pytest
 
-from conftest import HOLD_TIME
+from conftest import HOLD_TIME, check_wallclock
 from repro.analysis import run_replicate_study
 from repro.engine import (
     ProcessPoolEnsembleExecutor,
@@ -118,7 +118,11 @@ def test_parallel_matches_serial_and_scales(template_job):
     )
     if _cpus() > 1:
         # With real cores available the pool must deliver a measurable win.
-        assert parallel_wall < serial_wall * 0.9
+        check_wallclock(
+            parallel_wall < serial_wall * 0.9,
+            f"jobs=4 ({parallel_wall:.2f} s) did not beat serial "
+            f"({serial_wall:.2f} s) by 10% on {_cpus()} CPU(s)",
+        )
 
 
 @pytest.fixture(scope="module")
@@ -258,7 +262,11 @@ def test_gather_studies_vs_sequential_on_one_pool(benchmark):
         assert gathered_study.stats.cache_misses == 0
     if _cpus() >= 2 * GATHER_WORKERS:
         # Plenty of real cores: multiplexed studies must beat one-at-a-time.
-        assert gather_wall < sequential_wall
+        check_wallclock(
+            gather_wall < sequential_wall,
+            f"gathered studies ({gather_wall:.2f} s) did not beat sequential "
+            f"({sequential_wall:.2f} s) on {_cpus()} CPU(s)",
+        )
 
 
 def _template_for(circuit):

@@ -38,11 +38,14 @@ import numpy as np
 
 from ..errors import EngineError
 from ..stochastic import resolve_simulator
+from ..stochastic.codegen import BACKEND_CODEGEN, default_backend
 from ..stochastic.trajectory import Trajectory
 from .cache import (
     CompiledModelCache,
     default_cache,
+    kernel_artifact_for_blob,
     model_blob,
+    register_worker_kernel,
     worker_compiled,
     worker_model_from_blob,
 )
@@ -97,11 +100,9 @@ def _simulate_payload(payload: Dict[str, Any]):
     """
     fingerprint = payload["fingerprint"]
     model = worker_model_from_blob(fingerprint, payload["model_blob"])
-    compiled, cache_hit = worker_compiled(
-        model,
-        fingerprint,
-        payload.get("overrides", ()),
-    )
+    overrides = payload.get("overrides", ())
+    register_worker_kernel(fingerprint, overrides, payload.get("kernel"))
+    compiled, cache_hit = worker_compiled(model, fingerprint, overrides)
     simulate = resolve_simulator(payload["simulator"])
     trajectory = simulate(
         compiled,
@@ -328,9 +329,16 @@ class ProcessPoolEnsembleExecutor:
 
         The blob is serialized once per distinct model and shared by every
         payload referencing it, so per-job submission pays a bytes copy
-        rather than re-pickling the model object graph.
+        rather than re-pickling the model object graph.  With the codegen
+        backend active, each payload also carries the generated
+        propensity-kernel artifact for *its own* ``(model, overrides)`` pair
+        (not the whole batch's override grid — that would make sweep IPC
+        quadratic): the worker ``exec``'s the shipped module instead of
+        re-compiling kinetic-law ASTs on its first job.
         """
+        ship_kernels = default_backend() == BACKEND_CODEGEN
         blobs: Dict[int, Tuple[bytes, str]] = {}
+        kernels: Dict[Tuple[int, Tuple], Any] = {}
         payloads = []
         for job in jobs:
             if isinstance(job.seed, np.random.Generator):
@@ -343,15 +351,33 @@ class ProcessPoolEnsembleExecutor:
             if key not in blobs:
                 blobs[key] = model_blob(job.model)
             blob, fingerprint = blobs[key]
+            frozen = job.frozen_overrides()
+            kernel = None
+            if ship_kernels:
+                kernel_key = (key, frozen)
+                if kernel_key not in kernels:
+                    try:
+                        kernels[kernel_key] = kernel_artifact_for_blob(
+                            job.model,
+                            fingerprint,
+                            frozen,
+                        )
+                    except Exception:
+                        # Codegen failures are not fatal at dispatch time:
+                        # the worker falls back to an AST compile, which
+                        # surfaces any real model error where it always did.
+                        kernels[kernel_key] = None
+                kernel = kernels[kernel_key]
             payloads.append(
                 {
                     "fingerprint": fingerprint,
                     "model_blob": blob,
-                    "overrides": job.frozen_overrides(),
+                    "overrides": frozen,
                     "simulator": job.simulator,
                     "t_end": job.t_end,
                     "seed": job.seed,
                     "kwargs": job.simulate_kwargs(),
+                    "kernel": kernel,
                 },
             )
         return payloads

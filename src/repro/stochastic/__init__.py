@@ -7,10 +7,11 @@ mechanism and one sampled-trajectory output format.
 """
 
 from ..errors import SimulationError
+from .codegen import BACKEND_CODEGEN, BACKEND_INTERP, KERNEL_ENV_VAR, default_backend
 from .events import InputEvent, InputSchedule
 from .nextreaction import NextReactionSimulator, simulate_next_reaction
 from .ode import OdeSimulator, simulate_ode
-from .propensity import CompiledModel, compile_model
+from .propensity import CompiledModel, compile_model, kernel_source_for
 from .rng import fan_out_seeds, make_rng, spawn_rngs
 from .sampling import SampleRecorder, make_sample_times
 from .ssa import DirectMethodSimulator, simulate_ssa
@@ -73,6 +74,11 @@ __all__ = [
     "Trajectory",
     "CompiledModel",
     "compile_model",
+    "kernel_source_for",
+    "KERNEL_ENV_VAR",
+    "BACKEND_CODEGEN",
+    "BACKEND_INTERP",
+    "default_backend",
     "make_rng",
     "spawn_rngs",
     "fan_out_seeds",

@@ -1,0 +1,648 @@
+"""Whole-model propensity kernel code generation.
+
+The interpreted path (:class:`~repro.stochastic.propensity.CompiledModel` with
+``REPRO_KERNEL=interp``) evaluates propensities by calling one small compiled
+function per reaction, paying Python call overhead, argument unpacking and
+constant-dictionary lookups *R* times per evaluation.  This module instead
+emits **one generated Python module per model** containing three fused
+kernels:
+
+* ``propensities_all(state, out)`` — the full propensity vector with every
+  constant folded to a literal and direct ``state[i]`` indexing (no
+  per-reaction call, no tuple unpacking);
+* ``propensities_after(r, state, out)`` — recompute only the reactions that
+  depend on species changed by reaction ``r`` (the Gibson–Bruck update);
+* ``propensities_batch(states, out)`` — propensities of a ``[B, S]`` state
+  matrix at once, used as the ODE right-hand side and the tau-leap evaluator.
+
+Bit-identity contract
+---------------------
+The kernels are constructed to produce **bit-identical** values to the
+interpreted per-reaction path:
+
+* generated scalar expressions mirror :meth:`Expr.to_python` exactly — same
+  operator tree, same parenthesisation — so each operation sees the same
+  operands in the same order;
+* constant folding only replaces *fully constant* subtrees with the value the
+  interpreter would compute at run time (evaluated with the same CPython
+  float semantics), never re-associates mixed expressions;
+* scalar kernels read state entries as Python floats (``state.item(i)``),
+  which halves arithmetic cost versus ``numpy.float64`` scalars while
+  producing identical bits: IEEE ``+ - * /`` agree exactly and CPython pow
+  matches numpy scalar pow (both defer to libm).  The one observable
+  difference is *error style* on pathological laws — dividing by zero or a
+  pow domain/overflow error raises ``ZeroDivisionError``/``OverflowError``
+  under float semantics where numpy scalars yield ``inf``/``nan`` with a
+  warning; no finite propensity value ever differs;
+* the batch kernel routes ``^``/``pow`` and the transcendental functions
+  through exact elementwise helpers instead of numpy's vectorised ufuncs —
+  numpy's SIMD ``exp``/``power`` loops are allowed to differ from libm by an
+  ulp, which would break trajectory parity (verified empirically; see
+  ``tests/stochastic/test_kernel_parity.py``).
+
+The generated source is a plain string: it can be shipped across process
+boundaries and ``exec``'d by pool workers (see :mod:`repro.engine.cache`),
+which is far cheaper than re-parsing and re-compiling every kinetic-law AST.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PropensityError, SimulationError
+from ..sbml.ast import FUNCTIONS, BinOp, Call, Expr, Neg, Num, Sym
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "BACKEND_CODEGEN",
+    "BACKEND_INTERP",
+    "KERNEL_FORMAT",
+    "default_backend",
+    "ReactionKernelSpec",
+    "dependents_table",
+    "generate_kernel_source",
+    "PropensityKernel",
+    "compile_kernel",
+    "load_kernel",
+    "kernel_namespace",
+]
+
+#: Environment variable selecting the propensity backend for newly compiled
+#: models: ``codegen`` (default, generated whole-model kernels) or ``interp``
+#: (the documented per-reaction interpreted fallback).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+BACKEND_CODEGEN = "codegen"
+BACKEND_INTERP = "interp"
+
+#: Version stamp embedded in every generated module.  A worker handed kernel
+#: source from a different package version refuses to load it (and recompiles
+#: from the model instead of silently running a stale kernel).
+KERNEL_FORMAT = 1
+
+#: Above this many generated update statements the per-reaction incremental
+#: functions would bloat the module (dense dependency graphs are O(R^2));
+#: ``propensities_after`` then degrades to a full recompute, which is always
+#: correct because untouched reactions recompute to their previous values.
+_AFTER_STATEMENT_CAP = 20_000
+
+
+def default_backend() -> str:
+    """The backend selected by ``REPRO_KERNEL`` (``codegen`` when unset)."""
+    value = os.environ.get(KERNEL_ENV_VAR, "").strip().lower() or BACKEND_CODEGEN
+    if value not in (BACKEND_CODEGEN, BACKEND_INTERP):
+        raise SimulationError(
+            f"unknown propensity backend {value!r} in ${KERNEL_ENV_VAR}; "
+            f"choose {BACKEND_CODEGEN!r} or {BACKEND_INTERP!r}",
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class ReactionKernelSpec:
+    """Everything codegen needs to know about one reaction.
+
+    ``species_args`` maps each species symbol the law reads to its state
+    column; ``constants`` is the fully folded constant environment (global
+    parameters, compile-time overrides, then local parameters — local values
+    shadow globals, exactly as in SBML).
+    """
+
+    rid: str
+    expr: Expr
+    species_args: Tuple[Tuple[str, int], ...]
+    constants: Mapping[str, float]
+
+
+def dependents_table(
+    law_species: Sequence[Iterable[str]],
+    changed_species: Sequence[Iterable[str]],
+) -> List[List[int]]:
+    """Reaction dependency graph in one pass over a species→readers index.
+
+    ``dependents[r]`` lists every reaction (including ``r`` itself) whose
+    kinetic law reads a species changed when ``r`` fires — the set Gibson–
+    Bruck must recompute.  Built as species→readers index + one union per
+    reaction, i.e. O(R · deps) instead of the O(R²) all-pairs set
+    intersections it replaces.
+    """
+    readers: Dict[str, List[int]] = {}
+    for j, symbols in enumerate(law_species):
+        for sid in symbols:
+            readers.setdefault(sid, []).append(j)
+    dependents: List[List[int]] = []
+    for r, changed in enumerate(changed_species):
+        deps = {r}
+        for sid in changed:
+            deps.update(readers.get(sid, ()))
+        dependents.append(sorted(deps))
+    return dependents
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering
+# ---------------------------------------------------------------------------
+
+
+def _literal(value: float) -> str:
+    """A Python literal that round-trips ``value`` exactly."""
+    value = float(value)
+    if math.isinf(value):
+        return 'float("inf")' if value > 0 else 'float("-inf")'
+    if math.isnan(value):
+        return 'float("nan")'
+    return repr(value)
+
+
+def _fold_constants(expr: Expr, constants: Mapping[str, float]) -> Expr:
+    """Replace fully constant subtrees with the value the interpreter computes.
+
+    Folding is bottom-up and only collapses subtrees whose leaves are all
+    constants, evaluated with the exact same CPython float operations the
+    interpreted path performs at run time — so the folded literal is
+    bit-identical to the runtime value.  Subtrees whose evaluation raises
+    (division by zero, overflow, domain errors) are left unfolded so the
+    error still occurs at simulation time, as it does today.
+    """
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, Sym):
+        if expr.name in constants:
+            return Num(float(constants[expr.name]))
+        return expr
+    if isinstance(expr, Neg):
+        folded: Expr = Neg(_fold_constants(expr.operand, constants))
+        children: Tuple[Expr, ...] = (folded.operand,)
+    elif isinstance(expr, BinOp):
+        folded = BinOp(
+            expr.op,
+            _fold_constants(expr.left, constants),
+            _fold_constants(expr.right, constants),
+        )
+        children = (folded.left, folded.right)
+    elif isinstance(expr, Call):
+        folded = Call(expr.func, tuple(_fold_constants(a, constants) for a in expr.args))
+        children = folded.args
+    else:  # pragma: no cover - Expr has no other node types
+        return expr
+    if all(isinstance(child, Num) for child in children):
+        try:
+            return Num(folded.evaluate({}))
+        except Exception:
+            return folded
+    return folded
+
+
+class _FunctionBody:
+    """Collects preamble statements (temporaries) for one generated function."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._counter = 0
+
+    def temp(self) -> str:
+        self._counter += 1
+        return f"_t{self._counter}"
+
+
+_ATOM_TYPES = (Num, Sym)
+
+
+def _render(expr: Expr, names: Mapping[str, str], body: _FunctionBody, vector: bool) -> str:
+    """Render a (folded) expression to Python source.
+
+    Mirrors :meth:`Expr.to_python` exactly in operator structure so the
+    generated code performs the same operations in the same order as the
+    interpreted per-reaction functions.  ``names`` maps species symbols to
+    hoisted local variables; every other symbol must have been folded away.
+    """
+    if isinstance(expr, Num):
+        return _literal(expr.value)
+    if isinstance(expr, Sym):
+        try:
+            return names[expr.name]
+        except KeyError:
+            # Matches compile_function's diagnostic for e.g. `time`.
+            raise PropensityError(
+                f"symbol {expr.name!r} is neither an argument nor a supplied constant",
+            ) from None
+    if isinstance(expr, Neg):
+        return f"(-{_render(expr.operand, names, body, vector)})"
+    if isinstance(expr, BinOp):
+        left = _render(expr.left, names, body, vector)
+        right = _render(expr.right, names, body, vector)
+        if expr.op == "^":
+            if vector:
+                # numpy's vectorised power ufunc is not bit-identical to
+                # scalar pow; _vpow applies scalar pow elementwise.
+                return f"_vpow({left}, {right})"
+            return f"({left} ** {right})"
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, Call):
+        if not vector and expr.func in ("hill_act", "hill_rep"):
+            inlined = _render_hill_inline(expr, names, body)
+            if inlined is not None:
+                return inlined
+        prefix = "_vfn_" if vector else "_fn_"
+        args = ", ".join(_render(a, names, body, vector) for a in expr.args)
+        return f"{prefix}{expr.func}({args})"
+    raise PropensityError(f"cannot generate code for expression node {expr!r}")
+
+
+def _render_hill_inline(expr: Call, names: Mapping[str, str], body: _FunctionBody):
+    """Inline ``hill_act``/``hill_rep`` when K and n folded to literals.
+
+    The Hill functions are the inner-loop workhorses of genetic gate models;
+    inlining removes a Python call per reaction per event and folds ``K^n``
+    to a literal.  The emitted expression replicates the scalar helpers'
+    bodies operation-for-operation (including the ``x <= 0`` guard and the
+    single evaluation of ``x^n``), so the value is bit-identical.
+    """
+    x, k, n = expr.args
+    if not (isinstance(k, Num) and isinstance(n, Num)):
+        return None
+    k_value, n_value = float(k.value), float(n.value)
+    try:
+        kn = k_value**n_value  # the same CPython pow _hill_* performs at run time
+    except Exception:
+        return None
+    xs = _render(x, names, body, vector=False)
+    if not isinstance(x, _ATOM_TYPES):
+        # Guard and power both read x; a temporary keeps it single-evaluation.
+        temp = body.temp()
+        body.lines.append(f"{temp} = {xs}")
+        xs = temp
+    kn_lit, n_lit = _literal(kn), _literal(n_value)
+    if expr.func == "hill_rep":
+        return f"(1.0 if {xs} <= 0.0 else ({kn_lit} / ({kn_lit} + {xs} ** {n_lit})))"
+    xn = body.temp()
+    return f"(0.0 if {xs} <= 0.0 else (({xn} := {xs} ** {n_lit}) / ({kn_lit} + {xn})))"
+
+
+# ---------------------------------------------------------------------------
+# Module generation
+# ---------------------------------------------------------------------------
+
+
+def _int_tuple(values: Iterable[int]) -> str:
+    items = ", ".join(str(int(v)) for v in values)
+    return f"({items},)" if items else "()"
+
+
+@dataclass
+class _RenderedReaction:
+    """One reaction's scalar snippet, reusable across generated functions.
+
+    ``folded`` and ``used_species`` are also reused by the batch-kernel
+    section so the (identical) folding pass runs exactly once per reaction.
+    """
+
+    preamble: List[str]
+    guarded: List[str]
+    used_species: Tuple[Tuple[str, int], ...]
+    folded: Expr
+
+
+def _scalar_reaction(spec: ReactionKernelSpec, r: int, counter: _FunctionBody) -> _RenderedReaction:
+    folded = _fold_constants(spec.expr, spec.constants)
+    used = tuple((sid, idx) for sid, idx in spec.species_args if sid in set(folded.symbols()))
+    names = {sid: f"_s{idx}" for sid, idx in used}
+    body = _FunctionBody()
+    body._counter = counter._counter
+    rendered = _render(folded, names, body, vector=False)
+    counter._counter = body._counter  # keep temporaries unique module-wide
+    guarded = [
+        f"_v = {rendered}",
+        "if _v > 0.0:",
+        f"    out[{r}] = _v",
+        "elif _v != _v:",
+        f"    _nan({r})",
+        "else:",
+        f"    out[{r}] = 0.0",
+    ]
+    return _RenderedReaction(body.lines, guarded, used, folded)
+
+
+def _emit_function(
+    lines: List[str],
+    name: str,
+    arg: str,
+    reactions: Sequence[_RenderedReaction],
+) -> None:
+    lines.append(f"def {name}({arg}, out):")
+    hoisted = sorted(
+        {(sid, idx) for block in reactions for sid, idx in block.used_species},
+        key=lambda item: item[1],
+    )
+    for _, idx in hoisted:
+        # .item() yields a Python float: bit-identical values, ~2x cheaper
+        # arithmetic than numpy scalar ops (see module docstring).
+        lines.append(f"    _s{idx} = {arg}.item({idx})")
+    for block in reactions:
+        for line in block.preamble:
+            lines.append(f"    {line}")
+        for line in block.guarded:
+            lines.append(f"    {line}")
+    lines.append("    return out")
+    lines.append("")
+
+
+def generate_kernel_source(
+    model_sid: str,
+    specs: Sequence[ReactionKernelSpec],
+    dependents: Sequence[Sequence[int]],
+    n_species: int,
+) -> str:
+    """Emit the Python module source of one model's propensity kernels."""
+    n_reactions = len(specs)
+    counter = _FunctionBody()
+    rendered = [_scalar_reaction(spec, r, counter) for r, spec in enumerate(specs)]
+
+    lines: List[str] = [
+        f'"""Propensity kernel generated for model {model_sid!r} '
+        f'({n_reactions} reactions, {n_species} species).',
+        "",
+        "Generated by repro.stochastic.codegen — do not edit; regenerate from the",
+        "model instead.  Executed inside the namespace built by kernel_namespace().",
+        '"""',
+        "",
+        f"KERNEL_FORMAT = {KERNEL_FORMAT}",
+        f"N_REACTIONS = {n_reactions}",
+        f"N_SPECIES = {n_species}",
+        f"_REACTION_IDS = ({', '.join(repr(s.rid) for s in specs)},)",
+        f"DEPENDENTS = ({', '.join(_int_tuple(deps) for deps in dependents)},)",
+        "",
+        "",
+        "def _nan(r):",
+        "    raise PropensityError('propensity of reaction %r is NaN' % (_REACTION_IDS[r],))",
+        "",
+        "",
+    ]
+
+    _emit_function(lines, "propensities_all", "state", rendered)
+    lines.append("")
+
+    total_after_statements = sum(len(dependents[r]) for r in range(n_reactions))
+    if total_after_statements <= _AFTER_STATEMENT_CAP:
+        for r in range(n_reactions):
+            _emit_function(
+                lines,
+                f"_after_{r}",
+                "state",
+                [rendered[j] for j in dependents[r]],
+            )
+        lines.append(f"_AFTER = ({', '.join(f'_after_{r}' for r in range(n_reactions))},)")
+        lines.extend(
+            [
+                "",
+                "",
+                "def propensities_after(r, state, out):",
+                "    _AFTER[r](state, out)",
+                "    return out",
+                "",
+            ],
+        )
+    else:
+        lines.extend(
+            [
+                "",
+                "def propensities_after(r, state, out):",
+                "    # Dense dependency graph: per-reaction update functions would",
+                "    # exceed the generated-module size cap, so fall back to a full",
+                "    # recompute (untouched reactions recompute to the same values).",
+                "    return propensities_all(state, out)",
+                "",
+            ],
+        )
+
+    # Batch kernel: vectorised over the rows of a [B, S] state matrix.  The
+    # NaN guard and the zero clamp run once over the whole matrix (not per
+    # reaction) — same values, far less per-call numpy overhead.
+    lines.extend(
+        [
+            "",
+            "def _nan_batch(out):",
+            "    _nan(int(np.argmax(np.isnan(out).any(axis=0))))",
+            "",
+            "",
+            "def propensities_batch(states, out=None):",
+            "    if out is None:",
+            "        out = np.empty((states.shape[0], N_REACTIONS), dtype=float)",
+        ],
+    )
+    batch_used = set()
+    batch_blocks: List[List[str]] = []
+    for r, block_info in enumerate(rendered):
+        batch_used.update(block_info.used_species)
+        names = {sid: f"_s{idx}" for sid, idx in block_info.used_species}
+        body = _FunctionBody()
+        expr_src = _render(block_info.folded, names, body, vector=True)
+        block = [f"    {line}" for line in body.lines]
+        block.append(f"    out[:, {r}] = {expr_src}")
+        batch_blocks.append(block)
+    for _, idx in sorted(batch_used, key=lambda item: item[1]):
+        lines.append(f"    _s{idx} = states[:, {idx}]")
+    for block in batch_blocks:
+        lines.extend(block)
+    lines.extend(
+        [
+            "    if np.isnan(out).any():",
+            "        _nan_batch(out)",
+            "    np.copyto(out, np.where(out > 0.0, out, 0.0))",
+            "    return out",
+            "",
+        ],
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Kernel loading
+# ---------------------------------------------------------------------------
+
+
+def _vpow(base, exponent):
+    """Elementwise power with *scalar* pow semantics.
+
+    numpy's vectorised ``power`` ufunc may differ from scalar libm ``pow`` in
+    the last ulp (SIMD implementations), which would break the bit-identity
+    contract between the batch kernel and the scalar paths.  Scalar numpy
+    ``**`` matches CPython pow exactly, so apply it per element.
+    """
+    if np.ndim(base) == 0 and np.ndim(exponent) == 0:
+        return base**exponent
+    base_b, exp_b = np.broadcast_arrays(
+        np.asarray(base, dtype=float),
+        np.asarray(exponent, dtype=float),
+    )
+    out = np.empty(base_b.shape, dtype=float)
+    flat_out = out.ravel()
+    flat_base = base_b.ravel()
+    flat_exp = exp_b.ravel()
+    for i in range(flat_base.size):
+        flat_out[i] = flat_base[i] ** flat_exp[i]
+    return out
+
+
+def _elementwise(fn):
+    """Vectorise a scalar function by exact per-element application."""
+
+    def vectorised(values):
+        if np.ndim(values) == 0:
+            return fn(values)
+        arr = np.asarray(values, dtype=float)
+        out = np.empty(arr.shape, dtype=float)
+        flat_in = arr.ravel()
+        flat_out = out.ravel()
+        for i in range(flat_in.size):
+            flat_out[i] = fn(flat_in[i])
+        return out
+
+    return vectorised
+
+
+def _vfn_hill_act(x, k, n):
+    with np.errstate(all="ignore"):
+        xn = _vpow(x, n)
+        kn = _vpow(k, n)
+        ratio = xn / (kn + xn)
+    return np.where(np.asarray(x) <= 0.0, 0.0, ratio)
+
+
+def _vfn_hill_rep(x, k, n):
+    with np.errstate(all="ignore"):
+        xn = _vpow(x, n)
+        kn = _vpow(k, n)
+        ratio = kn / (kn + xn)
+    return np.where(np.asarray(x) <= 0.0, 1.0, ratio)
+
+
+def _vfn_piecewise(*args):
+    if len(args) % 2:
+        result = args[-1]
+        pairs = args[:-1]
+    else:
+        result = 0.0
+        pairs = args
+    for i in range(len(pairs) - 2, -1, -2):
+        # Scalar piecewise tests truthiness: non-zero (including NaN) selects.
+        result = np.where(np.asarray(pairs[i + 1]) != 0.0, pairs[i], result)
+    return result
+
+
+def _vfn_reduce(scalar_fn):
+    """Vectorise variadic ``min``/``max`` by exact per-element application.
+
+    ``np.minimum``/``np.maximum`` propagate NaN where Python's ``min``/``max``
+    are comparison-driven (``min(2.0, nan) == 2.0``); applying the scalar
+    builtin per element keeps the batch kernel bit-identical to the scalar
+    paths even in that corner.
+    """
+
+    def reducer(*args):
+        if all(np.ndim(a) == 0 for a in args):
+            return scalar_fn(*args)
+        arrays = np.broadcast_arrays(*[np.asarray(a, dtype=float) for a in args])
+        out = np.empty(arrays[0].shape, dtype=float)
+        flats = [a.ravel() for a in arrays]
+        flat_out = out.ravel()
+        for i in range(flat_out.size):
+            flat_out[i] = scalar_fn(*(flat[i] for flat in flats))
+        return out
+
+    return reducer
+
+
+#: Vectorised counterparts of :data:`repro.sbml.ast.FUNCTIONS`, bit-identical
+#: to the scalar versions per element (see module docstring).
+_VECTOR_FUNCTIONS = {
+    "_vfn_exp": _elementwise(math.exp),
+    "_vfn_ln": _elementwise(math.log),
+    "_vfn_log": _elementwise(math.log),
+    "_vfn_log10": _elementwise(math.log10),
+    "_vfn_sqrt": np.sqrt,  # correctly rounded everywhere; matches math.sqrt
+    "_vfn_abs": np.abs,
+    "_vfn_floor": np.floor,
+    "_vfn_ceil": np.ceil,
+    "_vfn_min": _vfn_reduce(min),
+    "_vfn_max": _vfn_reduce(max),
+    "_vfn_pow": _vpow,
+    "_vfn_hill_act": _vfn_hill_act,
+    "_vfn_hill_rep": _vfn_hill_rep,
+    "_vfn_piecewise": _vfn_piecewise,
+}
+
+
+def kernel_namespace() -> Dict[str, object]:
+    """The execution namespace every generated kernel module runs in."""
+    namespace: Dict[str, object] = {"np": np, "PropensityError": PropensityError}
+    for name, (_, fn) in FUNCTIONS.items():
+        namespace[f"_fn_{name}"] = fn
+    namespace.update(_VECTOR_FUNCTIONS)
+    namespace["_vpow"] = _vpow
+    return namespace
+
+
+class PropensityKernel:
+    """The loaded (exec'd) kernels of one generated module."""
+
+    __slots__ = (
+        "source",
+        "n_reactions",
+        "n_species",
+        "dependents",
+        "propensities_all",
+        "propensities_after",
+        "propensities_batch",
+    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PropensityKernel(reactions={self.n_reactions}, species={self.n_species})"
+
+
+def compile_kernel(source: str):
+    """Byte-compile a generated kernel module (without executing it).
+
+    Split out of :func:`load_kernel` because byte-compilation dominates
+    kernel loading time: the ensemble engine compiles once in the parent and
+    ships the marshalled code object to every worker, which then only pays
+    the (microsecond) ``exec``.
+    """
+    try:
+        return compile(source, "<repro-propensity-kernel>", "exec")
+    except SyntaxError as error:
+        raise PropensityError(f"invalid propensity kernel source: {error}") from error
+
+
+def load_kernel(source: str, code=None) -> PropensityKernel:
+    """``exec`` a generated kernel module and wrap its entry points.
+
+    This is the only compilation work a pool worker performs when the parent
+    ships kernel source alongside the pickled model: one ``exec`` replaces
+    per-reaction AST analysis, per-reaction ``compile_function`` calls and
+    the dependency-graph build.  ``code`` (a pre-compiled code object for
+    exactly ``source``) skips even the byte-compilation.
+    """
+    namespace = kernel_namespace()
+    if code is None:
+        code = compile_kernel(source)
+    exec(code, namespace)  # noqa: S102 - code generated from a validated AST
+    if namespace.get("KERNEL_FORMAT") != KERNEL_FORMAT:
+        raise PropensityError(
+            "propensity kernel source has an incompatible format "
+            f"(expected {KERNEL_FORMAT}, got {namespace.get('KERNEL_FORMAT')!r}); "
+            "regenerate it from the model",
+        )
+    kernel = PropensityKernel()
+    kernel.source = source
+    kernel.n_reactions = int(namespace["N_REACTIONS"])
+    kernel.n_species = int(namespace["N_SPECIES"])
+    kernel.dependents = [list(deps) for deps in namespace["DEPENDENTS"]]
+    kernel.propensities_all = namespace["propensities_all"]
+    kernel.propensities_after = namespace["propensities_after"]
+    kernel.propensities_batch = namespace["propensities_batch"]
+    return kernel

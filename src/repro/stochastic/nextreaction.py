@@ -83,10 +83,14 @@ class NextReactionSimulator:
         propensities = np.zeros(n_reactions, dtype=float)
         queue = _PutativeTimes(n_reactions)
         events_fired = 0
+        # Dependent index arrays, precomputed so the incremental update can
+        # snapshot old propensities with one fancy-index read per event.
+        dependents_of = [compiled.dependents(r) for r in range(n_reactions)]
+        dependent_arrays = [np.asarray(deps, dtype=np.intp) for deps in dependents_of]
 
         def reschedule_all(now: float) -> None:
+            compiled.propensities(state, out=propensities)
             for r in range(n_reactions):
-                propensities[r] = compiled.propensity(r, state)
                 if propensities[r] > 0.0:
                     queue.set(r, now + generator.exponential(1.0 / propensities[r]))
                 else:
@@ -114,10 +118,14 @@ class NextReactionSimulator:
                     raise SimulationError(
                         f"simulation exceeded {max_events} reaction events before t_end",
                     )
-                for dependent in compiled.dependents(reaction):
-                    old_propensity = propensities[dependent]
-                    new_propensity = compiled.propensity(dependent, state)
-                    propensities[dependent] = new_propensity
+                # Recompute every dependent propensity in one fused kernel
+                # call, then walk the dependents in the same order as before
+                # (the RNG draw sequence is part of the results contract).
+                old_values = propensities[dependent_arrays[reaction]]
+                compiled.propensities_after(reaction, state, propensities)
+                for position, dependent in enumerate(dependents_of[reaction]):
+                    old_propensity = old_values[position]
+                    new_propensity = propensities[dependent]
                     if dependent == reaction:
                         if new_propensity > 0.0:
                             queue.set(dependent, t + generator.exponential(1.0 / new_propensity))

@@ -10,7 +10,11 @@ mean-field trajectory is still useful in this toolchain:
   (feeding noise-free traces through the same logic analyzer).
 
 A classic fixed-step RK4 integrator is used so the package does not require
-scipy (scipy is an optional extra; when present it is not needed here).
+scipy (scipy is an optional extra; when present it is not needed here).  The
+right-hand side is :meth:`CompiledModel.rates`, which evaluates all reaction
+propensities through the model's generated batch kernel
+(``propensities_batch``) in one fused call per stage instead of one Python
+call per reaction.
 """
 
 from __future__ import annotations

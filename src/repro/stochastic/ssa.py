@@ -28,10 +28,19 @@ __all__ = ["simulate_ssa", "DirectMethodSimulator"]
 
 
 class DirectMethodSimulator:
-    """Reusable direct-method SSA simulator bound to one compiled model."""
+    """Reusable direct-method SSA simulator bound to one compiled model.
+
+    The inner loop evaluates the whole propensity vector through the model's
+    generated kernel (one fused call instead of one Python call per reaction)
+    and selects the firing reaction with a sequential cumulative sum +
+    ``searchsorted`` — both bit-identical to the historical per-reaction
+    loop, for either propensity backend.  ``last_event_count`` reports the
+    number of reaction firings of the most recent :meth:`run`.
+    """
 
     def __init__(self, model, parameter_overrides: Optional[Dict[str, float]] = None):
         self.compiled = compile_model(model, parameter_overrides)
+        self.last_event_count = 0
 
     def run(
         self,
@@ -76,6 +85,7 @@ class DirectMethodSimulator:
         recorder = SampleRecorder(sample_times, compiled.n_species)
 
         propensities = np.empty(compiled.n_reactions, dtype=float)
+        cumulative = np.empty(compiled.n_reactions, dtype=float)
         t = 0.0
         events_fired = 0
 
@@ -102,13 +112,15 @@ class DirectMethodSimulator:
                 t += tau
                 recorder.fill_before(t, state)
                 threshold = generator.random() * total
-                cumulative = 0.0
-                chosen = compiled.n_reactions - 1
-                for r in range(compiled.n_reactions):
-                    cumulative += propensities[r]
-                    if threshold < cumulative:
-                        chosen = r
-                        break
+                # np.cumsum accumulates sequentially, so searchsorted picks
+                # the same reaction as the historical linear scan did.
+                np.cumsum(propensities, out=cumulative)
+                chosen = int(np.searchsorted(cumulative, threshold, side="right"))
+                if chosen >= compiled.n_reactions:
+                    # `total` comes from the pairwise .sum() and may exceed
+                    # the sequential cumulative sum by an ulp; the linear
+                    # scan fell through to the last reaction in that case.
+                    chosen = compiled.n_reactions - 1
                 compiled.apply(chosen, state)
                 events_fired += 1
                 if events_fired > max_events:
@@ -119,6 +131,7 @@ class DirectMethodSimulator:
             segment_start = segment_end
 
         recorder.finish(state)
+        self.last_event_count = events_fired
         trajectory = Trajectory(sample_times, list(compiled.species), recorder.data)
         if record_species is not None:
             trajectory = trajectory.select(list(record_species))

@@ -95,16 +95,28 @@ class TauLeapSimulator:
         sample_times = make_sample_times(t_end, sample_interval)
         recorder = SampleRecorder(sample_times, compiled.n_species)
         propensities = np.empty(compiled.n_reactions, dtype=float)
+        propensities_row = propensities[None, :]  # [1, R] view for the batch kernel
         steps = 0
+        # `counts @ change_matrix` is bit-identical to the historical
+        # sequential per-reaction loop only when every addition is exact:
+        # whole-number stoichiometries AND a whole-number state (a fractional
+        # state double-rounds differently under `state + (c1*d1 + c2*d2)`
+        # than under `((state + c1*d1) + c2*d2)`).  Stoichiometry is a model
+        # constant; state integrality is re-checked per segment below (input
+        # clamps can introduce fractional amounts) and is invariant within a
+        # segment, because the matmul path only ever adds whole numbers.
+        integral_stoichiometry = compiled.has_integral_stoichiometry
+        change_matrix = compiled.change_matrix() if integral_stoichiometry else None
 
         boundaries = schedule.segment_boundaries(t_end)
         segment_start = 0.0
         for segment_end in boundaries:
             for event in schedule.events_between(segment_start, segment_start + 1e-12):
                 compiled.clamp(state, event.settings)
+            use_matrix = integral_stoichiometry and bool((state == np.floor(state)).all())
             t = segment_start
             while t < segment_end:
-                compiled.propensities(state, out=propensities)
+                compiled.propensities_batch(state[None, :], out=propensities_row)
                 total = float(propensities.sum())
                 if total <= 0.0:
                     break
@@ -114,12 +126,15 @@ class TauLeapSimulator:
                 # would go negative (bounded number of retries).
                 for _ in range(40):
                     counts = generator.poisson(propensities * tau)
-                    trial = state.copy()
-                    for r in range(compiled.n_reactions):
-                        if counts[r]:
-                            idx = compiled._change_indices[r]
-                            if idx.size:
-                                trial[idx] += counts[r] * compiled._change_deltas[r]
+                    if use_matrix:
+                        trial = state + counts @ change_matrix
+                    else:
+                        trial = state.copy()
+                        for r in range(compiled.n_reactions):
+                            if counts[r]:
+                                idx = compiled._change_indices[r]
+                                if idx.size:
+                                    trial[idx] += counts[r] * compiled._change_deltas[r]
                     if (trial >= 0).all():
                         break
                     tau *= 0.5

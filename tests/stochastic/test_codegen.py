@@ -1,0 +1,304 @@
+"""Unit tests for whole-model propensity kernel code generation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import PropensityError, SimulationError
+from repro.sbml import Model
+from repro.stochastic import CompiledModel, compile_model, kernel_source_for
+from repro.stochastic import codegen
+from repro.stochastic.codegen import (
+    BACKEND_CODEGEN,
+    BACKEND_INTERP,
+    KERNEL_ENV_VAR,
+    KERNEL_FORMAT,
+    default_backend,
+    load_kernel,
+)
+
+
+def _random_states(compiled, count, seed=7):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(15.0, 10.0, size=(count, compiled.n_species)))
+
+
+@pytest.fixture()
+def backends(toy_model):
+    return (
+        CompiledModel(toy_model, backend=BACKEND_CODEGEN),
+        CompiledModel(toy_model, backend=BACKEND_INTERP),
+    )
+
+
+class TestSourceGeneration:
+    def test_module_layout(self, toy_model):
+        source = kernel_source_for(toy_model)
+        assert f"KERNEL_FORMAT = {KERNEL_FORMAT}" in source
+        assert "def propensities_all(state, out):" in source
+        assert "def propensities_after(r, state, out):" in source
+        assert "def propensities_batch(states, out=None):" in source
+        assert "DEPENDENTS = " in source
+
+    def test_constants_folded_to_literals(self, toy_model):
+        source = kernel_source_for(toy_model)
+        # No constant-dictionary lookups survive codegen; the Hill threshold
+        # K^n = 10^2.5 is folded to a literal at generation time.
+        assert "_c[" not in source
+        assert repr(10.0**2.5) in source
+
+    def test_generation_is_deterministic(self, toy_model):
+        assert kernel_source_for(toy_model) == kernel_source_for(toy_model)
+
+    def test_compiled_model_exposes_its_source(self, toy_model):
+        compiled = CompiledModel(toy_model, backend=BACKEND_CODEGEN)
+        assert compiled.kernel is not None
+        assert compiled.kernel.source == compiled.kernel_source
+        # The interp backend can still generate (without loading) the source.
+        interp = CompiledModel(toy_model, backend=BACKEND_INTERP)
+        assert interp.kernel is None
+        assert interp.kernel_source == compiled.kernel_source
+
+    def test_override_constants_change_the_source(self, toy_model):
+        assert kernel_source_for(toy_model) != kernel_source_for(toy_model, {"kmax": 8.0})
+
+    def test_incompatible_format_rejected(self, toy_model):
+        source = kernel_source_for(toy_model).replace(
+            f"KERNEL_FORMAT = {KERNEL_FORMAT}",
+            "KERNEL_FORMAT = 9999",
+        )
+        with pytest.raises(PropensityError, match="incompatible format"):
+            load_kernel(source)
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(PropensityError, match="invalid propensity kernel source"):
+            load_kernel("def propensities_all(state, out:\n")
+
+    def test_stale_kernel_shape_rejected(self, toy_model):
+        other = Model("other")
+        other.add_species("X", initial_amount=1.0)
+        other.add_parameter("k", 1.0)
+        other.add_reaction("decay", reactants=[("X", 1.0)], kinetic_law="k * X")
+        with pytest.raises(PropensityError, match="stale"):
+            CompiledModel(other, kernel_source=kernel_source_for(toy_model))
+
+
+class TestKernelSemantics:
+    def test_full_vector_matches_interp(self, backends):
+        codegen_model, interp_model = backends
+        for state in _random_states(codegen_model, 25):
+            assert np.array_equal(
+                codegen_model.propensities(state),
+                interp_model.propensities(state),
+            )
+
+    def test_incremental_matches_full_recompute(self, backends):
+        codegen_model, _ = backends
+        state = codegen_model.state_from_dict({"A": 12.0, "Y": 9.0})
+        for r in range(codegen_model.n_reactions):
+            out = codegen_model.propensities(state)
+            codegen_model.apply(r, state)
+            codegen_model.propensities_after(r, state, out)
+            assert np.array_equal(out, codegen_model.propensities(state))
+
+    def test_batch_matches_rowwise_scalar(self, backends):
+        codegen_model, interp_model = backends
+        states = _random_states(codegen_model, 17)
+        expected = np.stack([codegen_model.propensities(row) for row in states])
+        assert np.array_equal(codegen_model.propensities_batch(states), expected)
+        assert np.array_equal(interp_model.propensities_batch(states), expected)
+
+    def test_batch_requires_a_matrix(self, backends):
+        codegen_model, _ = backends
+        with pytest.raises(SimulationError, match="batch"):
+            codegen_model.propensities_batch(np.zeros(codegen_model.n_species))
+
+    def test_negative_propensity_clamped(self):
+        model = Model("m")
+        model.add_species("X", initial_amount=1.0)
+        model.add_parameter("k", 1.0)
+        model.add_reaction("weird", reactants=[("X", 1.0)], kinetic_law="k * (X - 5)")
+        compiled = CompiledModel(model, backend=BACKEND_CODEGEN)
+        assert compiled.propensities(compiled.initial_state)[0] == 0.0
+        assert compiled.propensities_batch(compiled.initial_state[None, :])[0, 0] == 0.0
+
+    def test_nan_raises_like_interp(self):
+        # inf - inf yields NaN under both Python-float and numpy-scalar
+        # semantics (multiplication overflow is exception-free in both).
+        model = Model("m")
+        model.add_species("X", initial_amount=1.0)
+        model.add_reaction(
+            "undefined",
+            products=[("X", 1.0)],
+            kinetic_law="X * 1e308 * 10 - X * 1e308 * 10",
+        )
+        state = np.ones(1)
+        for backend in (BACKEND_CODEGEN, BACKEND_INTERP):
+            compiled = CompiledModel(model, backend=backend)
+            with np.errstate(all="ignore"):
+                with pytest.raises(PropensityError, match="'undefined' is NaN"):
+                    compiled.propensities(state)
+                if backend == BACKEND_CODEGEN:
+                    with pytest.raises(PropensityError, match="'undefined' is NaN"):
+                        compiled.propensities_batch(state[None, :])
+
+
+    def test_min_with_nan_matches_scalar_semantics(self):
+        # min(5, NaN) is 5.0 under Python's comparison-driven min; the batch
+        # kernel must agree (np.minimum would propagate the NaN and trip the
+        # NaN guard instead).
+        model = Model("m")
+        model.add_species("X", initial_amount=1.0)
+        model.add_reaction(
+            "guarded",
+            products=[("X", 1.0)],
+            kinetic_law="min(5.0, X * 1e308 * 10 - X * 1e308 * 10)",
+        )
+        state = np.ones(1)
+        with np.errstate(all="ignore"):
+            for backend in (BACKEND_CODEGEN, BACKEND_INTERP):
+                compiled = CompiledModel(model, backend=backend)
+                assert compiled.propensities(state)[0] == 5.0
+                assert compiled.propensities_batch(np.ones((3, 1)))[0, 0] == 5.0
+
+    def test_species_shadowing_a_local_parameter_resolves_to_the_species(self):
+        # The interpreted name map gives species precedence over a local
+        # parameter of the same id; the folder must not fold it away.
+        model = Model("shadow")
+        model.add_species("X", initial_amount=7.0)
+        model.add_reaction(
+            "odd",
+            products=[("X", 1.0)],
+            kinetic_law="0.1 * X",
+            local_parameters={"X": 99.0},
+        )
+        state = np.array([7.0])
+        for backend in (BACKEND_CODEGEN, BACKEND_INTERP):
+            compiled = CompiledModel(model, backend=backend)
+            assert compiled.propensities(state)[0] == 0.1 * 7.0
+
+    def test_dense_graph_falls_back_to_full_recompute(self, toy_model, monkeypatch):
+        monkeypatch.setattr(codegen, "_AFTER_STATEMENT_CAP", 0)
+        compiled = CompiledModel(toy_model, backend=BACKEND_CODEGEN)
+        assert "_AFTER" not in compiled.kernel.source
+        state = compiled.state_from_dict({"A": 5.0, "Y": 3.0})
+        out = compiled.propensities(state)
+        compiled.apply(0, state)
+        compiled.propensities_after(0, state, out)
+        assert np.array_equal(out, compiled.propensities(state))
+
+
+class TestBackendSelection:
+    def test_codegen_is_the_default(self, toy_model, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert default_backend() == BACKEND_CODEGEN
+        assert CompiledModel(toy_model).kernel is not None
+
+    def test_env_var_selects_interp(self, toy_model, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "interp")
+        compiled = CompiledModel(toy_model)
+        assert compiled.backend == BACKEND_INTERP
+        assert compiled.kernel is None
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "turbo")
+        with pytest.raises(SimulationError, match="turbo"):
+            default_backend()
+
+    def test_unknown_backend_argument_rejected(self, toy_model):
+        with pytest.raises(SimulationError):
+            CompiledModel(toy_model, backend="turbo")
+
+    def test_interp_scalar_propensity_still_works_on_codegen_backend(self, backends):
+        codegen_model, interp_model = backends
+        state = codegen_model.state_from_dict({"A": 3.0, "Y": 8.0})
+        for r in range(codegen_model.n_reactions):
+            assert codegen_model.propensity(r, state) == interp_model.propensity(r, state)
+
+
+class TestDependencyGraph:
+    @staticmethod
+    def _reference_graph(compiled):
+        """The historical O(R^2) all-pairs algorithm, as a test oracle."""
+        changed_by = [
+            {compiled.species[i] for i in compiled._change_indices[r]}
+            for r in range(compiled.n_reactions)
+        ]
+        dependents = []
+        for r in range(compiled.n_reactions):
+            deps = []
+            for j in range(compiled.n_reactions):
+                if j == r or (compiled._law_species[j] & changed_by[r]):
+                    deps.append(j)
+            dependents.append(deps)
+        return dependents
+
+    def test_fast_graph_matches_reference(self, and_circuit, cello_0x0b):
+        for circuit in (and_circuit, cello_0x0b):
+            compiled = CompiledModel(circuit.model, backend=BACKEND_INTERP)
+            reference = self._reference_graph(compiled)
+            assert [compiled.dependents(r) for r in range(compiled.n_reactions)] == reference
+
+    def test_kernel_dependents_match_interp(self, and_circuit):
+        codegen_model = CompiledModel(and_circuit.model, backend=BACKEND_CODEGEN)
+        interp_model = CompiledModel(and_circuit.model, backend=BACKEND_INTERP)
+        for r in range(codegen_model.n_reactions):
+            assert codegen_model.dependents(r) == interp_model.dependents(r)
+
+
+class TestCompileModelEarlyOut:
+    def test_matching_overrides_are_a_noop(self, toy_model):
+        compiled = compile_model(toy_model)
+        assert compile_model(compiled, {"kmax": 4.0}) is compiled
+        assert compile_model(compiled, {"kmax": 4.0, "K": 10.0}) is compiled
+
+    def test_matching_overrides_on_an_overridden_compile(self, toy_model):
+        compiled = compile_model(toy_model, {"kmax": 8.0})
+        assert compile_model(compiled, {"kmax": 8.0}) is compiled
+
+    def test_prior_overrides_are_not_silently_retained(self, toy_model):
+        # compile_model(compiled, {K: 10.0}) asks for *only* K=10 (the global
+        # default); a compiled object carrying kmax=8.0 must not be reused.
+        compiled = compile_model(toy_model, {"kmax": 8.0})
+        recompiled = compile_model(compiled, {"K": 10.0})
+        assert recompiled is not compiled
+        assert recompiled.constants["kmax"] == 4.0
+        assert recompiled.constants["K"] == 10.0
+
+    def test_differing_overrides_recompile(self, toy_model):
+        compiled = compile_model(toy_model)
+        recompiled = compile_model(compiled, {"kmax": 8.0})
+        assert recompiled is not compiled
+        assert recompiled.constants["kmax"] == 8.0
+
+    def test_unknown_override_still_rejected(self, toy_model):
+        compiled = compile_model(toy_model)
+        with pytest.raises(PropensityError):
+            compile_model(compiled, {"nonexistent": 1.0})
+
+
+class TestSerialization:
+    def test_pickle_round_trip_carries_the_source(self, toy_model):
+        compiled = CompiledModel(toy_model, backend=BACKEND_CODEGEN)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.kernel is not None
+        assert clone.kernel.source == compiled.kernel.source
+        state = compiled.state_from_dict({"A": 10.0, "Y": 20.0})
+        assert np.array_equal(clone.propensities(state), compiled.propensities(state))
+
+    def test_interp_backend_survives_pickling(self, toy_model):
+        compiled = CompiledModel(toy_model, backend=BACKEND_INTERP)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.backend == BACKEND_INTERP
+        assert clone.kernel is None
+
+    def test_construction_from_source_matches_fresh_compile(self, toy_model):
+        source = kernel_source_for(toy_model)
+        from_source = CompiledModel(toy_model, kernel_source=source, backend=BACKEND_CODEGEN)
+        fresh = CompiledModel(toy_model, backend=BACKEND_CODEGEN)
+        for state in _random_states(fresh, 10):
+            assert np.array_equal(from_source.propensities(state), fresh.propensities(state))
+        assert [from_source.dependents(r) for r in range(from_source.n_reactions)] == [
+            fresh.dependents(r) for r in range(fresh.n_reactions)
+        ]
