@@ -1,0 +1,124 @@
+"""Experiment E9 — distributed backend overhead (process pool vs TCP loopback).
+
+The socket-based :class:`DistributedEnsembleExecutor` exists for cross-machine
+sharding, where its per-job cost is network latency.  On one machine we can
+measure exactly what the transport itself costs relative to the process pool:
+both backends run the same seeded SSA replicate batch (bit-identical results
+by the engine contract) with two workers, and the benchmark records
+
+* events/sec through each backend (``extra_info["events_per_second_*"]``),
+* the per-job dispatch overhead, measured on near-empty jobs where transport
+  cost dominates (``extra_info["dispatch_overhead_*_ms"]``).
+
+The loopback fabric spawns real ``genlogic worker`` subprocesses and ships
+every payload through the length-prefixed pickle protocol — only the wire is
+local.  Wall-clock gates are soft under ``REPRO_BENCH_SOFT=1`` (shared
+runners); the measured numbers always land in the JSON artifact.
+"""
+
+import time
+
+from conftest import HOLD_TIME, check_wallclock
+from repro.engine import (
+    DistributedEnsembleExecutor,
+    ProcessPoolEnsembleExecutor,
+    SimulationJob,
+    replicate_jobs,
+    run_ensemble,
+)
+from repro.gates import and_gate_circuit
+from repro.vlab import LogicExperiment
+
+N_REPLICATES = 8
+N_DISPATCH_JOBS = 24
+N_WORKERS = 2
+BASE_SEED = 20170654
+
+
+def _template_job():
+    circuit = and_gate_circuit()
+    experiment = LogicExperiment.for_circuit(circuit, simulator="ssa")
+    return experiment.job(hold_time=HOLD_TIME / 2.0, repeats=1)
+
+
+def _events_per_second(template, executor):
+    result = run_ensemble(
+        replicate_jobs(template, N_REPLICATES, seed=BASE_SEED),
+        executor=executor,
+    )
+    events = sum(
+        trajectory.data.shape[0] * trajectory.data.shape[1] for trajectory in result.trajectories
+    )
+    return events / result.stats.wall_seconds, result
+
+
+def _dispatch_overhead_ms(template, executor):
+    """Mean per-job wall time on near-empty jobs: transport cost dominates.
+
+    The model is already warm in every worker (the throughput pass ran
+    first), and a t_end this short makes the simulation itself microseconds,
+    so what remains is serialization + queueing + the result trip home.
+    """
+    tiny = replicate_jobs(
+        SimulationJob(
+            model=template.model,
+            t_end=1.0,
+            simulator="ode",
+            sample_interval=1.0,
+        ),
+        N_DISPATCH_JOBS,
+        seed=BASE_SEED + 1,
+    )
+    started = time.perf_counter()
+    run_ensemble(tiny, executor=executor)
+    wall = time.perf_counter() - started
+    return wall / N_DISPATCH_JOBS * 1000.0
+
+
+def test_distributed_loopback_vs_process_pool(benchmark):
+    template = _template_job()
+
+    with ProcessPoolEnsembleExecutor(N_WORKERS) as pool:
+        # Warm the pool workers' caches so both backends are measured warm.
+        run_ensemble(replicate_jobs(template, N_WORKERS, seed=BASE_SEED), executor=pool)
+        pool_eps, pool_result = benchmark.pedantic(
+            _events_per_second,
+            args=(template, pool),
+            rounds=2,
+            iterations=1,
+        )
+        pool_dispatch_ms = _dispatch_overhead_ms(template, pool)
+
+    with DistributedEnsembleExecutor.loopback(N_WORKERS) as fabric:
+        run_ensemble(replicate_jobs(template, N_WORKERS, seed=BASE_SEED), executor=fabric)
+        fabric_eps, fabric_result = _events_per_second(template, fabric)
+        fabric_dispatch_ms = _dispatch_overhead_ms(template, fabric)
+
+    # The engine contract: both backends produced bit-identical batches.
+    assert pool_result.stats.n_jobs == fabric_result.stats.n_jobs == N_REPLICATES
+    for index in range(N_REPLICATES):
+        assert (
+            pool_result.trajectory(index).data.tobytes()
+            == fabric_result.trajectory(index).data.tobytes()
+        )
+
+    benchmark.extra_info["workers"] = N_WORKERS
+    benchmark.extra_info["n_replicates"] = N_REPLICATES
+    benchmark.extra_info["events_per_second_pool"] = pool_eps
+    benchmark.extra_info["events_per_second_distributed"] = fabric_eps
+    benchmark.extra_info["dispatch_overhead_pool_ms"] = pool_dispatch_ms
+    benchmark.extra_info["dispatch_overhead_distributed_ms"] = fabric_dispatch_ms
+    benchmark.extra_info["distributed_vs_pool_throughput"] = fabric_eps / pool_eps
+
+    # Loopback TCP should stay within a small factor of the pool on real
+    # batches (dispatch overhead is per-job milliseconds, simulations are
+    # tens of milliseconds); a collapse here means the transport regressed.
+    check_wallclock(
+        fabric_eps >= 0.3 * pool_eps,
+        f"distributed loopback throughput collapsed: {fabric_eps:.0f} events/s "
+        f"vs pool {pool_eps:.0f} events/s",
+    )
+    check_wallclock(
+        fabric_dispatch_ms <= 50.0,
+        f"distributed per-job dispatch overhead is {fabric_dispatch_ms:.1f} ms",
+    )

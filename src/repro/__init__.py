@@ -43,6 +43,7 @@ from .core import (
 from .engine import (
     AsyncEnsembleExecutor,
     CompiledModelCache,
+    DistributedEnsembleExecutor,
     EnsembleResult,
     EnsembleStats,
     EnsembleStream,
@@ -171,6 +172,7 @@ __all__ = [
     "EnsembleStream",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
+    "DistributedEnsembleExecutor",
     "AsyncEnsembleExecutor",
     "CompiledModelCache",
     "get_executor",

@@ -123,6 +123,7 @@ def measure_analysis_runtime(
     rng: RandomState = None,
     jobs: int = 1,
     progress=None,
+    executor=None,
 ) -> List[RuntimeMeasurement]:
     """Time the analyzer over a range of trace sizes.
 
@@ -131,12 +132,15 @@ def measure_analysis_runtime(
     noise in micro-benchmarks).  With ``jobs=N`` the sizes are distributed
     over the ensemble engine's process-pool executor (one independent seed per
     size); wall-clock timings taken under contention are noisier, so keep
-    ``jobs=1`` when absolute numbers matter.  ``progress`` is called after
-    each measured size with ``(done, total, size_index)``.
+    ``jobs=1`` when absolute numbers matter.  An explicit ``executor`` (e.g.
+    a :class:`~repro.engine.DistributedEnsembleExecutor` behind the CLI's
+    ``--dispatch``) overrides ``jobs`` and stays open for the caller.
+    ``progress`` is called after each measured size with
+    ``(done, total, size_index)``.
     """
     if repeats < 1:
         raise AnalysisError("repeats must be at least 1")
-    if jobs and jobs > 1:
+    if executor is not None or (jobs and jobs > 1):
         from ..engine.executors import get_executor
 
         seeds = fan_out_seeds(rng, len(sample_sizes))
@@ -144,8 +148,10 @@ def measure_analysis_runtime(
             (int(size), n_inputs, threshold, fov_ud, repeats, seed)
             for size, seed in zip(sample_sizes, seeds)
         ]
-        with get_executor(jobs) as executor:
+        if executor is not None:
             return executor.map(_measure_one_size, payloads, progress=progress)
+        with get_executor(jobs) as pool:
+            return pool.map(_measure_one_size, payloads, progress=progress)
     generator = make_rng(rng)
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
     measurements: List[RuntimeMeasurement] = []

@@ -14,6 +14,8 @@ Four sub-commands cover the paper's workflow end to end:
 ``genlogic synth 0x0B``
     Synthesize a NOT/NOR netlist for a truth table given as a hex name or an
     expression and print its structure.
+``genlogic worker --connect host:port`` / ``--listen host:port``
+    Serve as one node of a distributed ensemble fabric (see below).
 
 Multi-run execution: ``simulate``, ``verify`` and ``runtime`` accept
 ``--replicates N`` (independent seeded runs; measurement repeats for
@@ -24,6 +26,15 @@ jobs-sensitive.  Replicate CSVs are written as each run completes (the
 engine's streamed path), and a live ``done/total`` progress line is shown on
 interactive terminals — ``--progress`` / ``--no-progress`` override the TTY
 autodetection (CI logs stay clean by default).
+
+Distributed execution: the same three sub-commands accept
+``--dispatch host:port,...`` — a comma-separated list of machines running
+``genlogic worker --listen host:port`` — and shard the batch across them via
+:class:`repro.engine.DistributedEnsembleExecutor`, with results bit-identical
+to ``--jobs`` (and to serial) for the same seed.  A worker started with
+``--connect`` instead dials a listening coordinator (the
+``DistributedEnsembleExecutor(listen=...)`` shape used by services and
+tests).  ``--dispatch`` and ``--jobs`` are mutually exclusive.
 """
 
 from __future__ import annotations
@@ -32,10 +43,12 @@ import argparse
 import json
 import os
 import sys
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from .analysis.replicates import run_replicate_study
 from .analysis.runtime import measure_analysis_runtime
+from .engine.distributed import DistributedEnsembleExecutor, parse_dispatch_spec
 from .core.analyzer import LogicAnalyzer
 from .core.report import format_analysis_report
 from .errors import ReproError
@@ -119,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the replicate batch",
     )
+    _add_dispatch_flag(simulate)
     _add_progress_flag(simulate)
 
     analyze = subparsers.add_parser("analyze", help="analyze a logged CSV")
@@ -150,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the replicate batch",
     )
+    _add_dispatch_flag(verify)
     _add_progress_flag(verify)
 
     synth = subparsers.add_parser("synth", help="synthesize a NOT/NOR netlist")
@@ -172,9 +187,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes measuring different sizes concurrently",
     )
+    _add_dispatch_flag(runtime)
     _add_progress_flag(runtime)
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve as one node of a distributed ensemble fabric",
+    )
+    worker_mode = worker.add_mutually_exclusive_group(required=True)
+    worker_mode.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="dial a listening coordinator and serve that one session",
+    )
+    worker_mode.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="bind and serve coordinator sessions (the --dispatch shape)",
+    )
+    worker.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help=(
+            "jobs the coordinator may pipeline to this worker at once; they "
+            "execute sequentially — >1 hides dispatch latency, it is not "
+            "worker-side parallelism (run one worker per core for that)"
+        ),
+    )
+    worker.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="with --listen: exit after serving this many coordinator sessions",
+    )
+
     return parser
+
+
+def _add_dispatch_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--dispatch",
+        metavar="HOST:PORT,...",
+        default=None,
+        help=(
+            "shard the batch across 'genlogic worker --listen' processes at "
+            "these addresses (bit-identical results; excludes --jobs)"
+        ),
+    )
 
 
 def _add_progress_flag(subparser: argparse.ArgumentParser) -> None:
@@ -262,18 +322,24 @@ def _command_simulate(args: argparse.Namespace) -> int:
     # Streamed execution: each replicate's CSV is written the moment its run
     # completes and the trajectory is dropped, so memory stays bounded no
     # matter how many replicates were requested.
-    stream = experiment.iter_replicates(
-        args.replicates,
-        hold_time=args.hold_time,
-        repeats=args.repeats,
-        seed=args.seed,
-        workers=args.jobs,
-        progress=_progress_hook(args),
-    )
-    for index, log in stream:
-        path = _replicate_out_path(args.out, index)
-        write_datalog_csv(log, path)
-        print(f"wrote {log.n_samples} samples for {log.circuit_name or args.circuit} to {path}")
+    with _dispatch_executor(args) as executor:
+        stream = experiment.iter_replicates(
+            args.replicates,
+            hold_time=args.hold_time,
+            repeats=args.repeats,
+            seed=args.seed,
+            workers=args.jobs,
+            executor=executor,
+            progress=_progress_hook(args),
+        )
+        with stream:
+            for index, log in stream:
+                path = _replicate_out_path(args.out, index)
+                write_datalog_csv(log, path)
+                print(
+                    f"wrote {log.n_samples} samples for "
+                    f"{log.circuit_name or args.circuit} to {path}"
+                )
     print(stream.stats.summary())
     return 0
 
@@ -292,13 +358,36 @@ def _command_analyze(args: argparse.Namespace) -> int:
 def _validate_jobs(args: argparse.Namespace) -> None:
     if args.jobs < 1:
         raise ReproError("--jobs must be at least 1")
+    if getattr(args, "dispatch", None) is not None and args.jobs > 1:
+        raise ReproError("--dispatch and --jobs are mutually exclusive")
+
+
+@contextmanager
+def _dispatch_executor(args: argparse.Namespace):
+    """The distributed executor for ``--dispatch host:port,...`` (or ``None``).
+
+    The CLI owns the executor's lifecycle: commands run their batches inside
+    this context and the executor is closed on exit (disconnecting from the
+    workers, which keep listening for the next coordinator).  Without
+    ``--dispatch`` the context yields ``None`` and the command falls back to
+    its ``--jobs`` behaviour.
+    """
+    spec = getattr(args, "dispatch", None)
+    if spec is None:
+        yield None
+        return
+    executor = DistributedEnsembleExecutor(connect=parse_dispatch_spec(spec))
+    try:
+        yield executor
+    finally:
+        executor.close()
 
 
 def _warn_if_jobs_unused(args: argparse.Namespace) -> None:
-    if args.jobs > 1:
+    if args.jobs > 1 or getattr(args, "dispatch", None) is not None:
         print(
-            "note: --jobs only parallelises replicate batches; "
-            "a single run (--replicates 1) executes serially",
+            "note: --jobs only parallelises replicate batches (--dispatch "
+            "likewise); a single run (--replicates 1) executes serially",
             file=sys.stderr,
         )
 
@@ -311,18 +400,20 @@ def _command_verify(args: argparse.Namespace) -> int:
     if args.replicates == 1:
         _warn_if_jobs_unused(args)
     if args.replicates > 1:
-        study = run_replicate_study(
-            circuit,
-            n_replicates=args.replicates,
-            threshold=args.threshold,
-            fov_ud=args.fov,
-            hold_time=args.hold_time,
-            repeats=args.repeats,
-            simulator=args.simulator,
-            rng=args.seed,
-            jobs=args.jobs,
-            progress=_progress_hook(args),
-        )
+        with _dispatch_executor(args) as executor:
+            study = run_replicate_study(
+                circuit,
+                n_replicates=args.replicates,
+                threshold=args.threshold,
+                fov_ud=args.fov,
+                hold_time=args.hold_time,
+                repeats=args.repeats,
+                simulator=args.simulator,
+                rng=args.seed,
+                jobs=args.jobs,
+                executor=executor,
+                progress=_progress_hook(args),
+            )
         print(study.summary())
         agreement = study.combination_agreement()
         worst = study.worst_combination()
@@ -371,16 +462,39 @@ def _command_synth(args: argparse.Namespace) -> int:
 
 def _command_runtime(args: argparse.Namespace) -> int:
     _validate_jobs(args)
-    measurements = measure_analysis_runtime(
-        args.sizes,
-        n_inputs=args.inputs,
-        rng=args.seed,
-        repeats=args.replicates,
-        jobs=args.jobs,
-        progress=_progress_hook(args, unit="sizes"),
-    )
+    with _dispatch_executor(args) as executor:
+        measurements = measure_analysis_runtime(
+            args.sizes,
+            n_inputs=args.inputs,
+            rng=args.seed,
+            repeats=args.replicates,
+            jobs=args.jobs,
+            executor=executor,
+            progress=_progress_hook(args, unit="sizes"),
+        )
     for measurement in measurements:
         print(measurement.summary())
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .engine.worker import run_worker
+
+    if args.capacity < 1:
+        raise ReproError("--capacity must be at least 1")
+    if args.max_sessions is not None and args.connect:
+        raise ReproError("--max-sessions only applies to --listen workers")
+    try:
+        run_worker(
+            connect=args.connect,
+            listen=args.listen,
+            capacity=args.capacity,
+            max_sessions=args.max_sessions,
+        )
+    except OSError as error:
+        # Refused/unreachable coordinator, port in use, ...: CLI-style error,
+        # not a traceback.
+        raise ReproError(f"worker transport error: {error}") from error
     return 0
 
 
@@ -391,6 +505,7 @@ _COMMANDS = {
     "verify": _command_verify,
     "synth": _command_synth,
     "runtime": _command_runtime,
+    "worker": _command_worker,
 }
 
 

@@ -7,11 +7,18 @@ simulations cheaply; this subsystem is where they all execute:
 
 * :class:`SimulationJob` / :class:`EnsembleResult` — declarative job specs
   and ordered result containers;
-* :class:`SerialExecutor` / :class:`ProcessPoolEnsembleExecutor` — pluggable
-  context-managed executors selected by ``jobs=N``, bit-identical by
-  construction because seeds are fanned out from one root ``SeedSequence``
-  before dispatch; a pool executor keeps one live worker pool per instance,
-  reused across batches until ``close()``;
+* :mod:`repro.engine.core` — the transport-agnostic submission core: ONE
+  windowed submission loop (:func:`iter_windowed`) with ordered/completion
+  delivery, cancel-on-failure and per-batch statistics, driven through the
+  narrow :class:`ExecutorBackend` protocol so every transport shares it;
+* :class:`SerialExecutor` / :class:`ProcessPoolEnsembleExecutor` /
+  :class:`DistributedEnsembleExecutor` — pluggable context-managed executors
+  (thin transport adapters over the core) selected by ``jobs=N`` or built
+  explicitly, bit-identical by construction because seeds are fanned out from
+  one root ``SeedSequence`` before dispatch; pool and distributed executors
+  keep one live transport per instance, reused across batches until
+  ``close()``; the distributed executor shards batches across
+  ``genlogic worker`` processes on any number of machines over TCP;
 * :class:`CompiledModelCache` — compile each ``(model, overrides)`` pair
   once per study instead of once per run (worker-side caches stay warm
   across the batches of a persistent pool);
@@ -46,8 +53,13 @@ from .api import (
     run_job,
 )
 from .cache import CompiledModelCache, default_cache, model_fingerprint
+from .core import BaseEnsembleExecutor, BatchCacheStats, ExecutorBackend
+from .distributed import (
+    DistributedEnsembleExecutor,
+    RemoteWorkerError,
+    WorkerConnectionError,
+)
 from .executors import (
-    BatchCacheStats,
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     get_executor,
@@ -59,8 +71,13 @@ __all__ = [
     "EnsembleResult",
     "EnsembleStats",
     "BatchCacheStats",
+    "ExecutorBackend",
+    "BaseEnsembleExecutor",
     "SerialExecutor",
     "ProcessPoolEnsembleExecutor",
+    "DistributedEnsembleExecutor",
+    "RemoteWorkerError",
+    "WorkerConnectionError",
     "AsyncEnsembleExecutor",
     "get_executor",
     "CompiledModelCache",

@@ -7,7 +7,7 @@ This module is the non-blocking facade over the same execution machinery:
 
 * :func:`aiter_ensemble` — the async twin of :func:`repro.engine.iter_ensemble`:
   an async generator yielding ``(index, job, trajectory)`` as runs complete,
-  with the same bounded ``2 * workers`` submission window, the same
+  with the same bounded ``2 * capacity`` submission window, the same
   ordered/completion-order delivery modes, and the same bit-identical-seeds
   contract (seeds are fanned out before dispatch, so the async path produces
   exactly the trajectories the sync path would);
@@ -15,19 +15,24 @@ This module is the non-blocking facade over the same execution machinery:
   materialized or ``reduce=``-streamed (the reducer may be a plain function
   or a coroutine function), returning the same :class:`EnsembleResult`;
 * :class:`AsyncEnsembleExecutor` — an ``async with`` facade that owns one
-  persistent :class:`ProcessPoolEnsembleExecutor` pool, so many async batches
+  persistent executor (a process pool by default), so many async batches
   share warm worker-side compiled-model caches;
 * :func:`gather_studies` — N independent studies (replicate studies, sweeps,
   threshold scans ...) executing *concurrently*, multiplexed over ONE shared
   warm pool.
 
-How it stays non-blocking: pool runs are submitted to the persistent
-``concurrent.futures`` pool and their futures bridged onto the event loop
-with :func:`asyncio.wrap_future`, so awaiting a batch costs the loop nothing;
-serial (``workers=1``) runs and the blocking phases of synchronous study
-functions execute on worker threads via :func:`asyncio.to_thread`.  Each
-batch counts its cache statistics into its own
-:class:`~repro.engine.executors.BatchCacheStats`, which is what makes the
+How it stays non-blocking — and why it is now genuinely thin: there is
+exactly ONE windowed submission loop in the engine
+(:func:`repro.engine.core.iter_windowed`), shared by every transport, and the
+async layer simply pulls that synchronous stream from worker threads via
+:func:`asyncio.to_thread`.  Each pull blocks a worker thread, never the loop,
+so the async path *is* the sync path — same code, same window accounting,
+same delivery buffering, bit-identical results — rather than a re-implemented
+mirror of it.  Any executor implementing the
+:class:`~repro.engine.core.ExecutorBackend` protocol (serial, process pool,
+socket-distributed) therefore gets async execution for free.  Each batch
+counts its cache statistics into its own
+:class:`~repro.engine.core.BatchCacheStats`, which is what makes the
 concurrent-studies pattern report per-study numbers instead of clobbered
 executor-global ones.
 """
@@ -35,7 +40,6 @@ executor-global ones.
 from __future__ import annotations
 
 import asyncio
-import concurrent.futures
 import inspect
 import time
 from contextlib import aclosing
@@ -43,7 +47,6 @@ from typing import (
     Any,
     AsyncIterator,
     Callable,
-    Dict,
     List,
     Optional,
     Sequence,
@@ -54,14 +57,8 @@ from ..errors import EngineError
 from ..stochastic.trajectory import Trajectory
 from .api import EnsembleReducer, _batch_stats
 from .cache import CompiledModelCache, default_cache
-from .executors import (
-    BatchCacheStats,
-    ProcessPoolEnsembleExecutor,
-    ProgressHook,
-    SerialExecutor,
-    _simulate_payload,
-    get_executor,
-)
+from .core import BatchCacheStats, ProgressHook
+from .executors import ProcessPoolEnsembleExecutor, get_executor
 from .jobs import EnsembleResult, SimulationJob
 
 __all__ = [
@@ -79,14 +76,17 @@ Study = Callable[[Any], Any]
 
 
 class AsyncEnsembleExecutor:
-    """``async with`` facade over one persistent process-pool executor.
+    """``async with`` facade over one persistent synchronous executor.
 
-    Owns (or wraps) a :class:`ProcessPoolEnsembleExecutor` whose single live
-    pool serves every batch submitted through the async APIs, so worker-side
-    compiled-model caches stay warm across batches and across *concurrent*
-    studies.  Opening and closing happen on a worker thread — pool startup
-    and ``shutdown(wait=True)`` both block, and neither should stall the
-    event loop.
+    Owns (or wraps) an executor — a :class:`ProcessPoolEnsembleExecutor` when
+    built from ``workers=N``, or any :class:`~repro.engine.core.ExecutorBackend`
+    adapter you pass in (including a
+    :class:`~repro.engine.distributed.DistributedEnsembleExecutor`) — whose
+    single live transport serves every batch submitted through the async
+    APIs, so worker-side compiled-model caches stay warm across batches and
+    across *concurrent* studies.  Opening and closing happen on a worker
+    thread — pool startup and ``shutdown(wait=True)`` both block, and neither
+    should stall the event loop.
 
     Wrapping an executor you opened yourself leaves its lifecycle with you:
     ``async with AsyncEnsembleExecutor(executor=mine)`` will not close
@@ -98,7 +98,7 @@ class AsyncEnsembleExecutor:
     def __init__(
         self,
         workers: Optional[int] = None,
-        executor: Optional[ProcessPoolEnsembleExecutor] = None,
+        executor=None,
     ):
         if (workers is None) == (executor is None):
             raise EngineError(
@@ -111,7 +111,7 @@ class AsyncEnsembleExecutor:
         )
 
     @property
-    def sync_executor(self) -> ProcessPoolEnsembleExecutor:
+    def sync_executor(self):
         """The wrapped synchronous executor (for sync studies sharing the pool)."""
         return self._executor
 
@@ -121,7 +121,7 @@ class AsyncEnsembleExecutor:
 
     @property
     def is_open(self) -> bool:
-        return self._executor.is_open
+        return getattr(self._executor, "is_open", True)
 
     async def aopen(self) -> "AsyncEnsembleExecutor":
         """Start the worker pool now, off-loop (otherwise it starts on first use)."""
@@ -147,104 +147,28 @@ def _resolve_sync(executor):
     return executor
 
 
-async def _drive_pool(
-    executor: ProcessPoolEnsembleExecutor,
-    jobs: List[SimulationJob],
-    *,
-    ordered: bool,
-    progress: Optional[ProgressHook],
-    stats: BatchCacheStats,
-) -> AsyncIterator[Tuple[int, Trajectory]]:
-    """Submit jobs to the persistent pool, awaiting results on the event loop.
-
-    The mirror image of :meth:`ProcessPoolEnsembleExecutor.iter_jobs` with
-    ``concurrent.futures.wait`` replaced by ``asyncio.wait`` over
-    :func:`asyncio.wrap_future` bridges: the same ``2 * workers`` in-flight
-    window, the same ordered/completion-order delivery, the same
-    cancel-on-exit — but zero blocking of the loop between completions.
-    """
-    # Model pickling and pool startup both block; keep them off the loop.
-    payloads = await asyncio.to_thread(executor._payloads, jobs)
-    total = len(jobs)
-    pool = (await asyncio.to_thread(executor.open))._pool
-    window = 2 * executor.workers
-    #: asyncio bridge future -> (submission index, underlying pool future)
-    pending: Dict[asyncio.Future, Tuple[int, concurrent.futures.Future]] = {}
-    buffered: Dict[int, Trajectory] = {}
-    next_submit = 0
-    next_yield = 0
-    done = 0
-    try:
-        while next_submit < total or pending or buffered:
-            while next_submit < total and len(pending) + len(buffered) < window:
-                future = pool.submit(_simulate_payload, payloads[next_submit])
-                pending[asyncio.wrap_future(future)] = (next_submit, future)
-                next_submit += 1
-            if pending:
-                completed, _ = await asyncio.wait(
-                    set(pending),
-                    return_when=asyncio.FIRST_COMPLETED,
-                )
-                for bridge in completed:
-                    index, _ = pending.pop(bridge)
-                    trajectory, cache_hit = bridge.result()
-                    stats.record(cache_hit)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, jobs[index])
-                    if ordered:
-                        buffered[index] = trajectory
-                    else:
-                        yield index, trajectory
-            if ordered:
-                # The smallest unyielded index is always submitted (jobs are
-                # dispatched in order), so this drain cannot starve.
-                while next_yield in buffered:
-                    yield next_yield, buffered.pop(next_yield)
-                    next_yield += 1
-    finally:
-        for _, future in pending.values():
-            future.cancel()
-        executor.last_cache_hits = stats.hits
-        executor.last_cache_misses = stats.misses
-
-
 #: Exhaustion marker for pulling a sync iterator from worker threads.
 _EXHAUSTED = object()
 
 
-async def _drive_serial(
-    executor: SerialExecutor,
-    jobs: List[SimulationJob],
-    *,
-    cache: CompiledModelCache,
-    progress: Optional[ProgressHook],
-    stats: BatchCacheStats,
-    ordered: bool = True,
-) -> AsyncIterator[Tuple[int, Trajectory]]:
-    """Pull a non-pool executor's ``iter_jobs`` from worker threads.
+async def _aclose_iterator(iterator) -> None:
+    """Close a sync generator from the event loop, off-loop and race-safely.
 
-    Each pull executes via :func:`asyncio.to_thread`, so the event loop stays
-    responsive between (and, GIL releases permitting, during) runs.  With the
-    built-in :class:`SerialExecutor`, runs stay strictly sequential on one
-    shared in-process cache — trajectories are bit-identical to the
-    synchronous serial executor by construction.  ``ordered`` is forwarded so
-    duck-typed parallel executors keep their delivery-mode contract;
-    third-party executors that predate the ``batch_stats`` keyword are driven
-    without it (their batches simply report no cache statistics).
+    A cancelled pull may leave the generator executing ``next()`` on its
+    worker thread; ``close()`` then raises ``ValueError`` ("generator already
+    executing") until that pull returns.  Retry until the close lands — this
+    is what guarantees an abandoned stream cancels its in-flight work and
+    closes its transport deterministically, not at garbage collection.
     """
-    if getattr(executor, "supports_batch_stats", False):
-        source = executor.iter_jobs(
-            jobs, cache=cache, progress=progress, ordered=ordered, batch_stats=stats
-        )
-    else:
-        source = executor.iter_jobs(jobs, cache=cache, progress=progress, ordered=ordered)
-    iterator = iter(source)
+    closer = getattr(iterator, "close", None)
+    if closer is None:
+        return
     while True:
-        item = await asyncio.to_thread(next, iterator, _EXHAUSTED)
-        if item is _EXHAUSTED:
+        try:
+            await asyncio.to_thread(closer)
             return
-        yield item
+        except ValueError:
+            await asyncio.sleep(0.01)
 
 
 async def aiter_ensemble(
@@ -261,25 +185,28 @@ async def aiter_ensemble(
 
     The asyncio twin of :func:`repro.engine.iter_ensemble`, safe to drive
     from inside an event loop: awaiting the next result never blocks the
-    loop, whether the batch runs on worker processes (futures are bridged
-    with :func:`asyncio.wrap_future`) or serially (each run executes on a
-    worker thread).  Submission, delivery order and seeds follow the sync
-    stream exactly — at most ``2 * workers`` undelivered results in flight,
-    ``ordered=True`` for submission order / ``False`` for completion order,
-    and trajectories bit-identical to :func:`repro.engine.run_ensemble` for
-    the same job list because every seed was fanned out before dispatch.
+    loop, because each pull of the underlying synchronous stream executes on
+    a worker thread.  Submission, delivery order and seeds ARE the sync
+    stream — the same :func:`repro.engine.core.iter_windowed` loop runs
+    underneath, so at most ``2 * capacity`` undelivered results are in
+    flight, ``ordered=True`` delivers in submission order / ``False`` in
+    completion order, and trajectories are bit-identical to
+    :func:`repro.engine.run_ensemble` for the same job list because every
+    seed was fanned out before dispatch.
 
-    ``executor`` may be a :class:`ProcessPoolEnsembleExecutor`, an
-    :class:`AsyncEnsembleExecutor` facade, or a :class:`SerialExecutor`; its
-    lifecycle stays with the caller.  Without one, an ephemeral executor is
-    built from ``workers=N`` and closed (off-loop) when the generator
-    finishes.  ``batch_stats`` collects this batch's cache counters for
-    callers assembling their own :class:`EnsembleStats`.
+    ``executor`` may be any synchronous executor (serial, process-pool,
+    distributed) or an :class:`AsyncEnsembleExecutor` facade; its lifecycle
+    stays with the caller.  Without one, an ephemeral executor is built from
+    ``workers=N`` — lazily, on the first ``async for`` pull, so a generator
+    that is never started creates nothing — and closed (off-loop) when the
+    generator finishes *or is closed early*: ``aclose()`` cancels in-flight
+    runs and closes the ephemeral executor deterministically.
+    ``batch_stats`` collects this batch's cache counters for callers
+    assembling their own :class:`EnsembleStats`.
 
     A ``break`` out of ``async for`` does *not* finalize an async generator
-    immediately — cleanup (cancelling in-flight runs, closing an ephemeral
-    executor) would wait for garbage collection.  When you may exit early,
-    iterate under :func:`contextlib.aclosing`::
+    immediately — cleanup would wait for garbage collection.  When you may
+    exit early, iterate under :func:`contextlib.aclosing`::
 
         async with aclosing(aiter_ensemble(jobs, workers=8)) as stream:
             async for index, job, trajectory in stream:
@@ -292,17 +219,24 @@ async def aiter_ensemble(
     chosen = _resolve_sync(executor) if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
     stats = batch_stats if batch_stats is not None else BatchCacheStats()
-    if isinstance(chosen, ProcessPoolEnsembleExecutor):
-        driver = _drive_pool(chosen, jobs, ordered=ordered, progress=progress, stats=stats)
-    else:
-        driver = _drive_serial(
-            chosen, jobs, cache=cache, progress=progress, stats=stats, ordered=ordered
+    if getattr(chosen, "supports_batch_stats", False):
+        source = chosen.iter_jobs(
+            jobs, cache=cache, progress=progress, ordered=ordered, batch_stats=stats
         )
+    else:
+        # Third-party executors that predate the ``batch_stats`` keyword are
+        # driven without it (their batches simply report no cache statistics).
+        source = chosen.iter_jobs(jobs, cache=cache, progress=progress, ordered=ordered)
+    iterator = iter(source)
     try:
-        async for index, trajectory in driver:
+        while True:
+            item = await asyncio.to_thread(next, iterator, _EXHAUSTED)
+            if item is _EXHAUSTED:
+                break
+            index, trajectory = item
             yield index, jobs[index], trajectory
     finally:
-        await driver.aclose()
+        await _aclose_iterator(iterator)
         if owns_executor:
             await asyncio.to_thread(chosen.close)
 
@@ -332,12 +266,7 @@ async def arun_ensemble(
     owns_executor = executor is None
     chosen = _resolve_sync(executor) if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
-    is_pool = isinstance(chosen, ProcessPoolEnsembleExecutor)
-    counter = (
-        BatchCacheStats()
-        if is_pool or getattr(chosen, "supports_batch_stats", False)
-        else None
-    )
+    counter = BatchCacheStats() if getattr(chosen, "supports_batch_stats", False) else None
     trajectories: Optional[List[Optional[Trajectory]]] = None
     reduced: Optional[List[Any]] = None
     if reduce is not None:
@@ -398,16 +327,16 @@ async def gather_studies(
     executor=ex)``.  Plain callables run on worker threads (their blocking
     waits never stall the loop); coroutine functions are awaited on the loop
     and may use :func:`arun_ensemble` / :func:`aiter_ensemble` directly.
-    Every study submits its batches to the same persistent pool, so each
+    Every study submits its batches to the same persistent transport, so each
     distinct model compiles once per worker *across all studies* — every
     study after the first runs on warm worker-side caches — and per-batch
-    :class:`~repro.engine.executors.BatchCacheStats` keep each study's
-    reported statistics its own.
+    :class:`~repro.engine.core.BatchCacheStats` keep each study's reported
+    statistics its own.
 
-    ``executor`` (a pool executor, an :class:`AsyncEnsembleExecutor`, or a
-    serial executor) is shared and left open; without one, an ephemeral
-    executor is built from ``workers`` (serial when ``None``/1) and closed
-    when all studies finish.  Results come back in ``studies`` order.
+    ``executor`` (any synchronous executor or an
+    :class:`AsyncEnsembleExecutor`) is shared and left open; without one, an
+    ephemeral executor is built from ``workers`` (serial when ``None``/1) and
+    closed when all studies finish.  Results come back in ``studies`` order.
     Studies running on threads cannot be cancelled, so a failing study never
     aborts its siblings: every study always runs to completion, then either
     the full result list is returned (``return_exceptions=True`` puts a

@@ -11,9 +11,11 @@ routes its simulations through :func:`run_ensemble` or :func:`iter_ensemble`:
    dispatch, so neither the choice of executor nor the delivery mode can
    change the results;
 3. the selected executor runs the batch — serially with a shared
-   compiled-model cache, or on ``jobs=N`` worker processes — and results are
-   delivered either *materialized* (every trajectory, in submission order,
-   inside an :class:`EnsembleResult`) or *streamed* (an
+   compiled-model cache, on ``jobs=N`` worker processes, or across machines
+   on a :class:`~repro.engine.DistributedEnsembleExecutor` — every executor
+   drives the one windowed submission loop in :mod:`repro.engine.core` — and
+   results are delivered either *materialized* (every trajectory, in
+   submission order, inside an :class:`EnsembleResult`) or *streamed* (an
    :class:`EnsembleStream` yielding each run as it completes, or a per-run
    ``reduce`` callback whose summaries replace the trajectories), always with
    throughput/cache statistics.
@@ -44,7 +46,8 @@ from ..errors import EngineError
 from ..stochastic.rng import RandomState, fan_out_seeds
 from ..stochastic.trajectory import Trajectory
 from .cache import CompiledModelCache, default_cache
-from .executors import BatchCacheStats, ProgressHook, SerialExecutor, get_executor
+from .core import BatchCacheStats, ProgressHook
+from .executors import SerialExecutor, get_executor
 from .jobs import EnsembleResult, EnsembleStats, SimulationJob
 
 __all__ = [

@@ -1,0 +1,755 @@
+"""Socket-based multi-host transport for the ensemble engine.
+
+:class:`DistributedEnsembleExecutor` runs ensemble batches on worker
+*processes that may live on other machines*, speaking a length-prefixed
+pickle protocol over TCP to ``genlogic worker`` processes.  It is a thin
+adapter over the engine's shared submission core — the same
+:class:`~repro.engine.core.BaseEnsembleExecutor` surface, the same windowed
+submission loop, the same declarative payload envelope (model blob keyed on a
+content fingerprint, generated propensity-kernel artifact per ``(model,
+overrides)`` pair) and therefore the same worker-side fingerprint seen-set
+and warm-cache discipline as the process pool — so every study that accepts
+``executor=`` shards across machines with no study-code changes, and results
+are bit-identical to the serial executor because seeds are fanned out before
+dispatch.
+
+Two ways to assemble a fabric (the wire protocol is identical once a
+connection is up; the worker always speaks first with a ``hello`` frame):
+
+* **coordinator listens** (``listen="host:port"``): workers dial in with
+  ``genlogic worker --connect host:port``.  New workers may join mid-batch —
+  capacity grows and the submission window widens on the next scheduling
+  round — which is also how a lost worker's replacement re-enters the fabric.
+* **coordinator dials** (``connect=["host:port", ...]``): workers were
+  started with ``genlogic worker --listen host:port`` and the executor
+  connects out to each — the shape behind the CLI's ``--dispatch`` flag.
+
+Fault tolerance: every dispatched task is tracked per connection; when a
+worker is lost (socket error, process death) its in-flight tasks are requeued
+at the front of the dispatch queue and rerun on surviving or newly joined
+workers — safe because payloads are deterministic pure functions of their
+pre-fanned-out seeds.  A task that keeps killing workers fails after
+``MAX_TASK_ATTEMPTS`` dispatches instead of cycling forever, and a
+coordinator left with no workers and no way to get one fails the batch with
+:class:`WorkerConnectionError` rather than hanging.
+
+Wire format: each frame is a 4-byte big-endian length followed by a pickled
+message dict — see :func:`send_message` / :func:`recv_message`, shared
+verbatim by :mod:`repro.engine.worker`.
+
+.. warning:: **Trust model.**  The protocol is pickle over plain TCP with no
+   authentication or encryption — like :mod:`multiprocessing` sockets
+   without an authkey, anyone who can reach a listening port can execute
+   arbitrary code on that process (``pickle.loads`` of attacker bytes), on
+   the worker *and* the coordinator side alike.  Run fabrics only on
+   trusted, isolated networks (bind loopback or a private interface, never a
+   public one) or inside an authenticated tunnel (SSH/WireGuard/VPN).  An
+   HMAC handshake à la ``multiprocessing.connection`` is on the roadmap.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import EngineError
+from .core import BaseEnsembleExecutor, BatchCacheStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteWorkerError",
+    "WorkerConnectionError",
+    "DistributedEnsembleExecutor",
+    "parse_address",
+    "parse_dispatch_spec",
+    "send_message",
+    "recv_message",
+    "spawn_worker_process",
+]
+
+#: Bumped on incompatible frame-format changes; exchanged in the hello frame.
+PROTOCOL_VERSION = 1
+
+#: Frames carry a 4-byte unsigned length; anything larger is a protocol error.
+_MAX_FRAME_BYTES = (1 << 32) - 1
+
+#: A task is dispatched at most this many times (first try + requeues after
+#: worker loss) before its future fails instead of hunting for a next victim.
+MAX_TASK_ATTEMPTS = 3
+
+
+class RemoteWorkerError(EngineError):
+    """A shipped task raised on the worker; carries the remote traceback text."""
+
+
+class WorkerConnectionError(EngineError):
+    """The coordinator lost (or never had) the workers a batch needs."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (host defaults to all interfaces)."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not port.isdigit():
+        raise EngineError(f"worker address {address!r} is not of the form host:port")
+    return host or "0.0.0.0", int(port)
+
+
+def parse_dispatch_spec(spec: str) -> List[str]:
+    """Split a CLI ``--dispatch host:port,host:port`` spec, validating each."""
+    addresses = [entry.strip() for entry in spec.split(",") if entry.strip()]
+    if not addresses:
+        raise EngineError("--dispatch needs at least one host:port worker address")
+    for address in addresses:
+        parse_address(address)
+    return addresses
+
+
+# -- framing (shared with repro.engine.worker) --------------------------------------
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one length-prefixed pickled frame."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > _MAX_FRAME_BYTES:
+        raise EngineError(f"protocol frame of {len(data)} bytes exceeds the 4 GiB limit")
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read one length-prefixed pickled frame (raises ConnectionError on EOF)."""
+    header = sock.recv(4)
+    if not header:
+        raise ConnectionError("peer closed the connection")
+    if len(header) < 4:
+        header += _recv_exact(sock, 4 - len(header))
+    (length,) = struct.unpack(">I", header)
+    return pickle.loads(_recv_exact(sock, length))
+
+
+# -- coordinator-side task bookkeeping ----------------------------------------------
+
+
+class _Task:
+    """One submitted call: its future plus dispatch bookkeeping."""
+
+    __slots__ = ("task_id", "fn", "payload", "future", "attempts")
+
+    def __init__(self, task_id: int, fn: Callable[[Any], Any], payload: Any):
+        self.task_id = task_id
+        self.fn = fn
+        self.payload = payload
+        self.future: concurrent.futures.Future = concurrent.futures.Future()
+        self.attempts = 0
+
+
+class _WorkerLink:
+    """One connected worker: its socket, capacity, and in-flight tasks."""
+
+    def __init__(self, link_id: int, sock: socket.socket, capacity: int, peer: str):
+        self.link_id = link_id
+        self.sock = sock
+        self.capacity = max(1, int(capacity))
+        self.peer = peer
+        self.in_flight: Dict[int, _Task] = {}
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.in_flight)
+
+
+class DistributedEnsembleExecutor(BaseEnsembleExecutor):
+    """Run ensemble jobs on ``genlogic worker`` processes over TCP.
+
+    Exactly one of ``connect`` (dial out to listening workers) or ``listen``
+    (bind and accept dialing workers; block in :meth:`open` until
+    ``min_workers`` have joined) must be given.  The executor then behaves
+    like any other engine executor: a context manager with a persistent
+    transport, ``iter_jobs`` / ``run_jobs`` / ``map`` inherited from the
+    shared core, per-batch :class:`BatchCacheStats`, and submission-order
+    result delivery bit-identical to the serial executor for the same seeds.
+    Worker processes keep their fingerprint-keyed model and kernel caches
+    across batches exactly like pool workers, so a closed-and-reopened batch
+    on the same fabric starts warm.
+
+    ``close()`` cancels queued work, asks each worker to shut down (dial-in
+    workers exit; ``--listen`` workers go back to accepting the next
+    coordinator) and releases the sockets; like the pool executor, the next
+    use transparently re-opens the fabric.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        connect: Optional[Sequence[str]] = None,
+        *,
+        listen: Optional[str] = None,
+        min_workers: Optional[int] = None,
+        connect_timeout: float = 30.0,
+        regrow_timeout: Optional[float] = None,
+    ):
+        if (connect is None) == (listen is None):
+            raise EngineError(
+                "DistributedEnsembleExecutor needs exactly one of connect=[...] "
+                "(dial listening workers) or listen='host:port' (accept dialing "
+                "workers)",
+            )
+        self._addresses = [str(address) for address in connect] if connect else []
+        for address in self._addresses:
+            parse_address(address)
+        self._listen_address = listen
+        if listen is not None:
+            parse_address(listen)
+        self._min_workers = (
+            int(min_workers) if min_workers is not None else max(1, len(self._addresses))
+        )
+        if self._min_workers < 1:
+            raise EngineError("a distributed executor needs at least one worker")
+        self.connect_timeout = float(connect_timeout)
+        #: How long a workerless fabric may wait for a replacement to join
+        #: before failing the queued batch (defaults to ``connect_timeout``).
+        self.regrow_timeout = (
+            float(regrow_timeout) if regrow_timeout is not None else self.connect_timeout
+        )
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
+        self._lifecycle_lock = threading.Lock()
+        self._state = threading.Condition()
+        self._open = False
+        self._queue: Deque[_Task] = deque()
+        self._links: List[_WorkerLink] = []
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._task_ids = itertools.count()
+        self._link_ids = itertools.count()
+        #: The address actually bound in listen mode (real port for ":0").
+        self.bound_address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def workers(self) -> int:
+        """Workers connected right now (``min_workers`` while none are).
+
+        Live, not the configured floor: a listening fabric that eight workers
+        joined reports eight in :class:`EnsembleStats`, and loses them again
+        as they leave.
+        """
+        with self._state:
+            live = len(self._links)
+        return live or self._min_workers
+
+    @property
+    def capacity(self) -> int:
+        """Live parallel slots across every connected worker.
+
+        Never reports zero: while the fabric is (re)assembling, the nominal
+        worker count keeps the submission window open so tasks queue instead
+        of stalling submission.
+        """
+        with self._state:
+            live = sum(link.capacity for link in self._links if link.alive)
+        return live or max(1, self._min_workers)
+
+    def open(self) -> "DistributedEnsembleExecutor":
+        """Assemble the worker fabric now (otherwise on first use).
+
+        Dial mode connects to every configured address; listen mode binds,
+        starts accepting, and blocks until ``min_workers`` workers have said
+        hello (``WorkerConnectionError`` after ``connect_timeout`` seconds).
+        """
+        with self._lifecycle_lock:
+            if self._open:
+                return self
+            self._queue.clear()
+            self._links = []
+            self._open = True
+            try:
+                self._assemble()
+                self._start_thread(self._dispatch_loop, "genlogic-dispatch")
+                self._await_assembled()
+            except Exception:
+                self._teardown()
+                raise
+        return self
+
+    def _assemble(self) -> None:
+        """Start acquiring workers (subclass hook; runs before the dispatcher)."""
+        if self._listen_address is not None:
+            self._start_listening()
+        else:
+            for address in self._addresses:
+                self._dial(address)
+
+    def _await_assembled(self) -> None:
+        """Block until the fabric is usable (runs after the dispatcher starts)."""
+        if self._listen_address is not None:
+            self._await_min_workers()
+
+    def close(self) -> None:
+        """Tear the fabric down.  Idempotent; next use re-opens it."""
+        with self._lifecycle_lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        with self._state:
+            self._open = False
+            queued, self._queue = list(self._queue), deque()
+            links, self._links = list(self._links), []
+            in_flight: List[_Task] = []
+            for link in links:
+                # Mark dead under the lock so reader threads' _drop_link
+                # becomes a no-op and cannot requeue into the dead queue.
+                link.alive = False
+                in_flight.extend(link.in_flight.values())
+                link.in_flight.clear()
+            self._state.notify_all()
+        for task in queued + in_flight:
+            # Every outstanding future must settle: a caller blocked in
+            # wait_any on a task we will never hear back about would
+            # otherwise hang forever.
+            if not task.future.cancel() and not task.future.done():
+                task.future.set_exception(
+                    WorkerConnectionError(
+                        "the distributed executor was closed with this task "
+                        "still in flight",
+                    ),
+                )
+        server, self._server = self._server, None
+        if server is not None:
+            _close_quietly(server)
+        for link in links:
+            try:
+                with link.send_lock:
+                    send_message(link.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            _close_quietly(link.sock)
+        threads, self._threads = self._threads, []
+        for thread in threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        if getattr(self, "_open", False):
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    # -- fabric assembly -----------------------------------------------------------
+    def _start_thread(self, target, name: str, *args) -> None:
+        thread = threading.Thread(target=target, args=args, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _start_listening(self) -> None:
+        host, port = parse_address(self._listen_address)
+        server = socket.create_server((host, port))
+        server.settimeout(0.2)
+        self._server = server
+        self.bound_address = server.getsockname()[:2]
+        self._start_thread(self._accept_loop, "genlogic-accept", server)
+
+    def _accept_loop(self, server: socket.socket) -> None:
+        while self._open:
+            try:
+                sock, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._adopt(sock)
+            except (OSError, ConnectionError, EngineError):
+                _close_quietly(sock)
+
+    def _dial(self, address: str) -> None:
+        host, port = parse_address(address)
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+                break
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise WorkerConnectionError(
+                        f"could not reach worker at {address} within "
+                        f"{self.connect_timeout:.0f} s: {error}",
+                    ) from error
+                time.sleep(0.1)
+        self._adopt(sock)
+
+    def _adopt(self, sock: socket.socket) -> None:
+        """Handshake a fresh worker socket and add it to the fabric."""
+        sock.settimeout(self.connect_timeout)
+        hello = recv_message(sock)
+        if hello.get("type") != "hello":
+            raise EngineError(f"expected a hello frame, got {hello.get('type')!r}")
+        if hello.get("version") != PROTOCOL_VERSION:
+            raise EngineError(
+                f"worker speaks protocol {hello.get('version')!r}, "
+                f"coordinator speaks {PROTOCOL_VERSION}",
+            )
+        sock.settimeout(None)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - transport nicety only
+            pass
+        peer_host, peer_port = sock.getpeername()[:2]
+        peer = f"{peer_host}:{peer_port}"
+        link = _WorkerLink(next(self._link_ids), sock, hello.get("capacity", 1), peer)
+        with self._state:
+            self._links.append(link)
+            self._state.notify_all()
+        self._start_thread(self._reader_loop, f"genlogic-read-{link.link_id}", link)
+
+    def _await_min_workers(self) -> None:
+        deadline = time.monotonic() + self.connect_timeout
+        with self._state:
+            while len(self._links) < self._min_workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerConnectionError(
+                        f"only {len(self._links)} of {self._min_workers} workers "
+                        f"connected within {self.connect_timeout:.0f} s",
+                    )
+                self._state.wait(timeout=min(remaining, 0.2))
+
+    # -- dispatch ------------------------------------------------------------------
+    def submit(self, fn, payload) -> concurrent.futures.Future:
+        task = _Task(next(self._task_ids), fn, payload)
+        with self._state:
+            if not self._open:
+                raise EngineError("this distributed executor is closed")
+            self._queue.append(task)
+            self._state.notify_all()
+        return task.future
+
+    # wait_any: the base's first-completion wait (reader threads resolve the
+    # futures as result frames arrive).
+
+    def _record_last_stats(self, stats: BatchCacheStats) -> None:
+        self.last_cache_hits = stats.hits
+        self.last_cache_misses = stats.misses
+
+    def _dispatch_loop(self) -> None:
+        """Move queued tasks onto workers with free slots (single scheduler)."""
+        workerless_since: Optional[float] = None
+        while True:
+            task: Optional[_Task] = None
+            link: Optional[_WorkerLink] = None
+            redial = False
+            with self._state:
+                while self._open:
+                    if self._queue and not self._links:
+                        # A workerless fabric gets ``regrow_timeout`` seconds
+                        # for a replacement to join (on its own in listen
+                        # mode; via re-dial in connect mode) before the
+                        # queued batch fails instead of hanging forever.
+                        now = time.monotonic()
+                        if workerless_since is None:
+                            workerless_since = now
+                        if now - workerless_since > self.regrow_timeout:
+                            self._fail_everything_locked(
+                                WorkerConnectionError(
+                                    "no workers joined within "
+                                    f"{self.regrow_timeout:.0f} s of losing the "
+                                    "last one; failing the queued batch",
+                                ),
+                            )
+                            workerless_since = None
+                            continue
+                        if self._listen_address is None:
+                            # Blocking connect + hello handshake must happen
+                            # OUTSIDE the lock: submit(), capacity reads and
+                            # reader threads all contend on _state.
+                            redial = True
+                            break
+                    elif self._links:
+                        workerless_since = None
+                    if self._queue:
+                        link = self._pick_link()
+                        if link is not None:
+                            task = self._queue.popleft()
+                            if task.future.cancelled():
+                                task = None
+                                continue
+                            task.attempts += 1
+                            link.in_flight[task.task_id] = task
+                            break
+                    self._state.wait(timeout=0.2)
+                if not self._open:
+                    return
+            if redial:
+                self._try_regrow()
+                time.sleep(0.1)
+            elif task is not None:
+                self._send_task(link, task)
+
+    def _pick_link(self) -> Optional[_WorkerLink]:
+        """The live worker with the most free slots (None when all are full)."""
+        best = None
+        for link in self._links:
+            if link.alive and link.free_slots > 0:
+                if best is None or link.free_slots > best.free_slots:
+                    best = link
+        return best
+
+    def _try_regrow(self) -> None:
+        """Re-dial the configured addresses, looking for a restarted worker.
+
+        Dial mode only (a listening fabric regrows through its acceptor);
+        called by the dispatcher WITHOUT ``_state`` held, because connects
+        and the hello handshake block.
+        """
+        for address in self._addresses:
+            try:
+                host, port = parse_address(address)
+                sock = socket.create_connection((host, port), timeout=1.0)
+            except OSError:
+                continue
+            try:
+                self._adopt(sock)
+                return
+            except (OSError, ConnectionError, EngineError):
+                _close_quietly(sock)
+
+    def _send_task(self, link: _WorkerLink, task: _Task) -> None:
+        # The call travels as a nested pickle: the outer frame stays decodable
+        # (plain types only) even when fn/payload cannot be unpickled on the
+        # worker, so the worker reports a per-task failure instead of dying.
+        try:
+            call = pickle.dumps((task.fn, task.payload), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            with self._state:
+                link.in_flight.pop(task.task_id, None)
+                self._state.notify_all()
+            if not task.future.cancelled():
+                task.future.set_exception(error)
+            return
+        message = {"type": "job", "id": task.task_id, "call": call}
+        try:
+            with link.send_lock:
+                send_message(link.sock, message)
+        except (OSError, ConnectionError):
+            self._drop_link(link)
+        except Exception as error:
+            # The task itself is unshippable (e.g. an unpicklable payload):
+            # that is the caller's error, not the worker's.
+            with self._state:
+                link.in_flight.pop(task.task_id, None)
+                self._state.notify_all()
+            if not task.future.cancelled():
+                task.future.set_exception(error)
+
+    def _reader_loop(self, link: _WorkerLink) -> None:
+        while True:
+            try:
+                message = recv_message(link.sock)
+            except Exception:
+                # EOF, socket error, or an undecodable frame: either way this
+                # link is no longer trustworthy — drop it and requeue its work.
+                self._drop_link(link)
+                return
+            if message.get("type") != "result":
+                continue
+            with self._state:
+                task = link.in_flight.pop(message["id"], None)
+                self._state.notify_all()
+            if task is None or task.future.cancelled():
+                continue
+            if message.get("ok"):
+                task.future.set_result(message["value"])
+            else:
+                task.future.set_exception(_remote_error(message))
+
+    def _drop_link(self, link: _WorkerLink) -> None:
+        """Remove a dead worker and requeue its in-flight tasks (front first)."""
+        with self._state:
+            if not link.alive:
+                return
+            link.alive = False
+            if link in self._links:
+                self._links.remove(link)
+            orphans = [link.in_flight.pop(task_id) for task_id in sorted(link.in_flight)]
+            for task in reversed(orphans):
+                if task.future.cancelled():
+                    continue
+                if not self._open:
+                    # Tearing down: settle the future instead of requeueing
+                    # into a queue nobody will drain.
+                    task.future.cancel()
+                elif task.attempts >= MAX_TASK_ATTEMPTS:
+                    task.future.set_exception(
+                        WorkerConnectionError(
+                            f"task failed {task.attempts} workers (last: "
+                            f"{link.peer}); giving up instead of requeueing",
+                        ),
+                    )
+                else:
+                    self._queue.appendleft(task)
+            self._state.notify_all()
+        _close_quietly(link.sock)
+
+    def _fail_everything_locked(self, error: Exception) -> None:
+        """Fail every queued task (called with ``_state`` held)."""
+        while self._queue:
+            task = self._queue.popleft()
+            if not task.future.cancelled():
+                task.future.set_exception(error)
+        self._state.notify_all()
+
+    # -- convenience fabrics ---------------------------------------------------------
+    @classmethod
+    def loopback(
+        cls,
+        n_workers: int = 2,
+        *,
+        capacity: int = 1,
+        connect_timeout: float = 60.0,
+    ) -> "DistributedEnsembleExecutor":
+        """A self-contained local fabric: listen on an ephemeral loopback port
+        and spawn ``n_workers`` ``genlogic worker --connect`` subprocesses.
+
+        The degenerate-but-real deployment used by the conformance tests, the
+        distributed benchmark and CI's distributed-smoke job: every byte goes
+        through the actual TCP protocol, only the machines are the same.
+        ``close()`` additionally terminates the spawned worker processes.
+        """
+        executor = _LoopbackExecutor(
+            n_workers,
+            capacity=capacity,
+            connect_timeout=connect_timeout,
+        )
+        return executor
+
+
+class _LoopbackExecutor(DistributedEnsembleExecutor):
+    """Listen-mode executor that owns its spawned local worker subprocesses."""
+
+    def __init__(self, n_workers: int, *, capacity: int = 1, connect_timeout: float = 60.0):
+        super().__init__(
+            listen="127.0.0.1:0",
+            min_workers=n_workers,
+            connect_timeout=connect_timeout,
+        )
+        self._spawn_capacity = capacity
+        self._processes: List[subprocess.Popen] = []
+
+    def _assemble(self) -> None:
+        super()._assemble()
+        host, port = self.bound_address
+        for _ in range(self._min_workers):
+            self._processes.append(
+                spawn_worker_process(
+                    f"{host}:{port}",
+                    capacity=self._spawn_capacity,
+                ),
+            )
+
+    def _teardown(self) -> None:
+        super()._teardown()
+        processes, self._processes = self._processes, []
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                process.kill()
+                process.wait(timeout=5.0)
+
+
+def spawn_worker_process(
+    connect: str,
+    *,
+    capacity: int = 1,
+    python: Optional[str] = None,
+) -> subprocess.Popen:
+    """Start a local ``genlogic worker --connect`` subprocess.
+
+    Runs ``python -m repro.cli worker`` with the current interpreter and the
+    parent's full ``sys.path`` exported as ``PYTHONPATH`` — so a local worker
+    can import exactly what the parent can (source checkouts, test modules),
+    matching the visibility a forked pool worker would have.  Remote machines
+    start the same entry point by hand and must have the dispatched functions
+    importable themselves.
+    """
+    command = [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--connect",
+        connect,
+        "--capacity",
+        str(int(capacity)),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(path for path in sys.path if path)
+    return subprocess.Popen(command, env=env)
+
+
+def _remote_error(message: Dict[str, Any]) -> BaseException:
+    """Reconstruct a worker-side failure as a raisable exception.
+
+    The nested error pickle is decoded defensively: if the exception's class
+    does not exist on this machine, the failure degrades to a
+    :class:`RemoteWorkerError` carrying the remote traceback text — per
+    task, without poisoning the connection it arrived on.
+    """
+    blob = message.get("error_pickle")
+    if blob is not None:
+        try:
+            error = pickle.loads(blob)
+        except Exception:
+            error = None
+        if isinstance(error, BaseException):
+            return error
+    detail = message.get("traceback") or "(no traceback shipped)"
+    return RemoteWorkerError(f"worker-side task failure: {detail}")
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - close() on a dead socket
+        pass

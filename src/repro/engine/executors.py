@@ -1,6 +1,13 @@
-"""Pluggable executors: where the runs of an ensemble actually execute.
+"""In-process executors: the serial and process-pool transports.
 
-Two executors ship with the engine:
+Both executors are thin adapters over the engine's shared submission core
+(:mod:`repro.engine.core`): they implement only the
+:class:`~repro.engine.core.ExecutorBackend` transport protocol — ``submit`` /
+``wait_any`` / ``capacity`` / lifecycle — and inherit windowed submission,
+ordered-vs-completion delivery, cancel-on-failure and per-batch statistics
+from :class:`~repro.engine.core.BaseEnsembleExecutor`.  The socket-based
+multi-host transport lives in :mod:`repro.engine.distributed` behind the same
+protocol.
 
 * :class:`SerialExecutor` — runs every job in this process, reusing compiled
   models through the in-process :class:`~repro.engine.cache.CompiledModelCache`;
@@ -16,38 +23,26 @@ warm worker-side compiled-model caches on every batch after the first.
 :func:`repro.engine.run_ensemble` closes executors it creates itself; pass
 your own executor to keep the pool alive across calls.
 
-Two delivery modes: :meth:`run_jobs` materializes the whole batch in
-submission order; :meth:`iter_jobs` *streams* ``(index, trajectory)`` pairs as
-runs complete, keeping only a bounded window of results in flight — peak
-trajectory memory is O(workers), not O(n_jobs).
-
 Determinism contract: executors never *create* randomness.  Every job arrives
-with its seed already fanned out from the root seed, so the serial and
-parallel executors — and the streamed and materialized delivery modes —
-produce bit-identical trajectories for the same job list.
+with its seed already fanned out from the root seed, so all executors — and
+the streamed and materialized delivery modes — produce bit-identical
+trajectories for the same job list.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Collection, Mapping, Optional, Tuple
 
 from ..errors import EngineError
 from ..stochastic import resolve_simulator
-from ..stochastic.codegen import BACKEND_CODEGEN, default_backend
-from ..stochastic.trajectory import Trajectory
-from .cache import (
-    CompiledModelCache,
-    default_cache,
-    kernel_artifact_for_blob,
-    model_blob,
-    register_worker_kernel,
-    worker_compiled,
-    worker_model_from_blob,
+from .cache import CompiledModelCache, default_cache
+from .core import (
+    BaseEnsembleExecutor,
+    BatchCacheStats,
+    ProgressHook,
+    simulate_payload,
 )
 from .jobs import SimulationJob
 
@@ -59,126 +54,66 @@ __all__ = [
     "get_executor",
 ]
 
-#: Called after each completed run.  ``executor.map`` hooks receive
-#: ``(done_count, total, payload_index)``; ``run_jobs`` / ``iter_jobs`` hooks
-#: receive ``(done_count, total, job)``.
-ProgressHook = Callable[[int, int, Any], None]
+#: Worker-side entry point, re-exported under its historical private name for
+#: callers that dispatched it to pools directly.
+_simulate_payload = simulate_payload
 
 
-@dataclass
-class BatchCacheStats:
-    """Compiled-model cache counters of ONE batch iteration.
+class _DeferredCall(concurrent.futures.Future):
+    """A future whose work runs lazily, when the serial transport waits on it.
 
-    Each ``iter_jobs`` / ``run_jobs`` call accumulates into its own instance,
-    so concurrent batches on a shared executor (e.g. several studies
-    multiplexed over one pool by :func:`repro.engine.gather_studies`) cannot
-    clobber each other's statistics.  The executor-global
-    ``last_cache_hits`` / ``last_cache_misses`` attributes survive only as a
-    snapshot of the most recently *finished* batch.
+    Submission must not execute anything (the core submits a full window
+    ahead), so the call is captured here and performed by
+    :meth:`SerialExecutor.wait_any` — preserving the serial executor's
+    one-job-per-pull laziness and letting ``Future.cancel`` drop abandoned
+    work without ever running it.
     """
 
-    hits: int = 0
-    misses: int = 0
+    def __init__(self, fn: Callable[[Any], Any], payload: Any):
+        super().__init__()
+        self._call = (fn, payload)
 
-    def record(self, cache_hit: bool) -> None:
-        if cache_hit:
-            self.hits += 1
-        else:
-            self.misses += 1
-
-
-def _simulate_payload(payload: Dict[str, Any]):
-    """Execute one declarative simulation payload (worker-side entry point).
-
-    The payload is a plain dict (not a :class:`SimulationJob`) so the worker
-    does not re-validate the job.  It carries the pickled model together with
-    a parent-computed content fingerprint; the worker deserializes each
-    fingerprint once, so each distinct model unpickles and compiles once per
-    worker process regardless of how many jobs or batches reference it.
-    Returns ``(trajectory, cache_hit)``; the hit flag lets the parent
-    aggregate worker-side cache statistics.
-    """
-    fingerprint = payload["fingerprint"]
-    model = worker_model_from_blob(fingerprint, payload["model_blob"])
-    overrides = payload.get("overrides", ())
-    register_worker_kernel(fingerprint, overrides, payload.get("kernel"))
-    compiled, cache_hit = worker_compiled(model, fingerprint, overrides)
-    simulate = resolve_simulator(payload["simulator"])
-    trajectory = simulate(
-        compiled,
-        payload["t_end"],
-        rng=payload["seed"],
-        **payload["kwargs"],
-    )
-    return trajectory, cache_hit
+    def run(self) -> None:
+        if not self.set_running_or_notify_cancel():
+            return
+        fn, payload = self._call
+        try:
+            self.set_result(fn(payload))
+        except BaseException as error:  # noqa: B036 - relayed via the future
+            self.set_exception(error)
 
 
-class SerialExecutor:
+class SerialExecutor(BaseEnsembleExecutor):
     """Run jobs one after another in the calling process.
 
     Holds no external resources, but implements the same lifecycle protocol as
     the pool executor (``open`` / ``close`` / context manager) so callers can
-    treat any executor uniformly.
+    treat any executor uniformly.  As a transport it is *lazy*: submitted
+    calls execute only when the core waits for them, so pulling one result
+    from a stream runs exactly one job.
     """
 
     name = "serial"
     workers = 1
-    #: This executor's ``iter_jobs`` / ``run_jobs`` accept a per-batch
-    #: :class:`BatchCacheStats` sink (see that class for why).
-    supports_batch_stats = True
 
-    def open(self) -> "SerialExecutor":
-        """No-op (the serial executor owns no resources); returns ``self``."""
-        return self
+    def submit(self, fn, payload) -> _DeferredCall:
+        return _DeferredCall(fn, payload)
 
-    def close(self) -> None:
-        """No-op; present for lifecycle symmetry with the pool executor."""
-
-    def __enter__(self) -> "SerialExecutor":
-        return self.open()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def map(
+    def wait_any(
         self,
-        fn: Callable[[Any], Any],
-        payloads: Sequence[Any],
-        progress: Optional[ProgressHook] = None,
-    ) -> List[Any]:
-        """Apply ``fn`` to every payload, in order."""
-        results: List[Any] = []
-        total = len(payloads)
-        for index, payload in enumerate(payloads):
-            results.append(fn(payload))
-            if progress is not None:
-                progress(index + 1, total, index)
-        return results
+        pending: Mapping[concurrent.futures.Future, int],
+    ) -> Collection[concurrent.futures.Future]:
+        """Execute the oldest submitted call now (submission order == FIFO)."""
+        future = next(iter(pending))
+        future.run()
+        return (future,)
 
-    def iter_jobs(
-        self,
-        jobs: Sequence[SimulationJob],
-        cache: Optional[CompiledModelCache] = None,
-        progress: Optional[ProgressHook] = None,
-        ordered: bool = True,
-        batch_stats: Optional[BatchCacheStats] = None,
-    ) -> Iterator[Tuple[int, Trajectory]]:
-        """Yield ``(index, trajectory)`` per job as each run completes.
+    def _job_submissions(self, jobs, cache: Optional[CompiledModelCache]):
+        """Run jobs in-process against the shared compiled-model cache."""
+        chosen = cache if cache is not None else default_cache()
 
-        The serial executor completes jobs in submission order, so ``ordered``
-        has no effect; it is accepted for interface parity with the pool.
-        Only the trajectory currently yielded is alive — callers that analyze
-        and discard hold O(1) trajectories regardless of batch size.
-        ``batch_stats`` (when given) accumulates this batch's compiled-model
-        cache hits/misses, so interleaved batches sharing one cache still see
-        their own counts.
-        """
-        cache = cache if cache is not None else default_cache()
-        total = len(jobs)
-        for index, job in enumerate(jobs):
-            compiled, cache_hit = cache.lookup(job.model, job.frozen_overrides())
-            if batch_stats is not None:
-                batch_stats.record(cache_hit)
+        def run(job: SimulationJob) -> Tuple[Any, bool]:
+            compiled, cache_hit = chosen.lookup(job.model, job.frozen_overrides())
             simulate = resolve_simulator(job.simulator)
             trajectory = simulate(
                 compiled,
@@ -186,30 +121,12 @@ class SerialExecutor:
                 rng=job.seed,
                 **job.simulate_kwargs(),
             )
-            if progress is not None:
-                progress(index + 1, total, job)
-            yield index, trajectory
+            return trajectory, cache_hit
 
-    def run_jobs(
-        self,
-        jobs: Sequence[SimulationJob],
-        cache: Optional[CompiledModelCache] = None,
-        progress: Optional[ProgressHook] = None,
-        batch_stats: Optional[BatchCacheStats] = None,
-    ) -> List[Trajectory]:
-        jobs = list(jobs)
-        results: List[Optional[Trajectory]] = [None] * len(jobs)
-        for index, trajectory in self.iter_jobs(
-            jobs,
-            cache=cache,
-            progress=progress,
-            batch_stats=batch_stats,
-        ):
-            results[index] = trajectory
-        return results
+        return run, jobs
 
 
-class ProcessPoolEnsembleExecutor:
+class ProcessPoolEnsembleExecutor(BaseEnsembleExecutor):
     """Run jobs on a persistent pool of worker processes.
 
     The underlying :class:`concurrent.futures.ProcessPoolExecutor` is created
@@ -231,9 +148,6 @@ class ProcessPoolEnsembleExecutor:
     """
 
     name = "process-pool"
-    #: This executor's ``iter_jobs`` / ``run_jobs`` accept a per-batch
-    #: :class:`BatchCacheStats` sink (see that class for why).
-    supports_batch_stats = True
 
     def __init__(self, workers: int):
         if workers < 1:
@@ -266,213 +180,18 @@ class ProcessPoolEnsembleExecutor:
         if pool is not None:
             pool.shutdown(wait=True)
 
-    def __enter__(self) -> "ProcessPoolEnsembleExecutor":
-        return self.open()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
     def __del__(self):  # pragma: no cover - GC safety net
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.shutdown(wait=False)
 
-    # -- execution -----------------------------------------------------------------
-    def map(
-        self,
-        fn: Callable[[Any], Any],
-        payloads: Sequence[Any],
-        progress: Optional[ProgressHook] = None,
-    ) -> List[Any]:
-        """Apply ``fn`` (a module-level function) across the pool, preserving order.
+    # -- transport (wait_any: the base's first-completion wait) ----------------------
+    def submit(self, fn, payload) -> concurrent.futures.Future:
+        return self.open()._pool.submit(fn, payload)
 
-        Submission is windowed exactly like :meth:`iter_jobs`: at most
-        ``2 * workers`` payloads are pickled-and-pending at any moment, so a
-        long payload list does not land on the pool's call queue all at once.
-        If any payload raises, the remaining queued payloads are cancelled
-        before the exception propagates — a failed batch does not leave the
-        pool grinding through work nobody will collect.
-        """
-        payloads = list(payloads)
-        total = len(payloads)
-        if total == 0:
-            return []
-        pool = self.open()._pool
-        results: List[Any] = [None] * total
-        window = 2 * self.workers
-        pending: Dict[concurrent.futures.Future, int] = {}
-        next_submit = 0
-        done = 0
-        try:
-            while next_submit < total or pending:
-                while next_submit < total and len(pending) < window:
-                    future = pool.submit(fn, payloads[next_submit])
-                    pending[future] = next_submit
-                    next_submit += 1
-                completed, _ = concurrent.futures.wait(
-                    pending,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
-                for future in completed:
-                    index = pending.pop(future)
-                    results[index] = future.result()
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, index)
-        finally:
-            for future in pending:
-                future.cancel()
-        return results
-
-    def _payloads(self, jobs: Sequence[SimulationJob]) -> List[Dict[str, Any]]:
-        """Declarative worker payloads, with one pickled blob per distinct model.
-
-        The blob is serialized once per distinct model and shared by every
-        payload referencing it, so per-job submission pays a bytes copy
-        rather than re-pickling the model object graph.  With the codegen
-        backend active, each payload also carries the generated
-        propensity-kernel artifact for *its own* ``(model, overrides)`` pair
-        (not the whole batch's override grid — that would make sweep IPC
-        quadratic): the worker ``exec``'s the shipped module instead of
-        re-compiling kinetic-law ASTs on its first job.
-        """
-        ship_kernels = default_backend() == BACKEND_CODEGEN
-        blobs: Dict[int, Tuple[bytes, str]] = {}
-        kernels: Dict[Tuple[int, Tuple], Any] = {}
-        payloads = []
-        for job in jobs:
-            if isinstance(job.seed, np.random.Generator):
-                raise EngineError(
-                    "jobs dispatched to worker processes need picklable seeds "
-                    "(None, int or SeedSequence), not a live Generator; fan the "
-                    "root seed out with repro.stochastic.fan_out_seeds first",
-                )
-            key = id(job.model)
-            if key not in blobs:
-                blobs[key] = model_blob(job.model)
-            blob, fingerprint = blobs[key]
-            frozen = job.frozen_overrides()
-            kernel = None
-            if ship_kernels:
-                kernel_key = (key, frozen)
-                if kernel_key not in kernels:
-                    try:
-                        kernels[kernel_key] = kernel_artifact_for_blob(
-                            job.model,
-                            fingerprint,
-                            frozen,
-                        )
-                    except Exception:
-                        # Codegen failures are not fatal at dispatch time:
-                        # the worker falls back to an AST compile, which
-                        # surfaces any real model error where it always did.
-                        kernels[kernel_key] = None
-                kernel = kernels[kernel_key]
-            payloads.append(
-                {
-                    "fingerprint": fingerprint,
-                    "model_blob": blob,
-                    "overrides": frozen,
-                    "simulator": job.simulator,
-                    "t_end": job.t_end,
-                    "seed": job.seed,
-                    "kwargs": job.simulate_kwargs(),
-                    "kernel": kernel,
-                },
-            )
-        return payloads
-
-    def iter_jobs(
-        self,
-        jobs: Sequence[SimulationJob],
-        cache: Optional[CompiledModelCache] = None,
-        progress: Optional[ProgressHook] = None,
-        ordered: bool = True,
-        batch_stats: Optional[BatchCacheStats] = None,
-    ) -> Iterator[Tuple[int, Trajectory]]:
-        """Yield ``(index, trajectory)`` pairs as worker runs complete.
-
-        With ``ordered=True`` (the default) results are delivered in
-        submission order; ``ordered=False`` delivers them in completion order
-        for minimum latency.  Either way, at most ``2 * workers`` results are
-        submitted-but-unconsumed at any moment — later jobs are only
-        dispatched as earlier results are yielded, so the parent's peak
-        trajectory memory is bounded by the window, not by ``len(jobs)``.
-
-        Worker-side cache hits/misses accumulate into ``batch_stats`` (this
-        batch's own counter, so concurrent batches on one shared executor
-        never clobber each other); when the batch finishes, its totals are
-        also snapshotted onto ``last_cache_hits`` / ``last_cache_misses``.
-        ``cache`` is unused (workers keep their own caches); it is accepted so
-        both executors share one call signature.
-        """
-        jobs = list(jobs)
-        payloads = self._payloads(jobs)
-        total = len(jobs)
-        stats = batch_stats if batch_stats is not None else BatchCacheStats()
-        if total == 0:
-            return
-        pool = self.open()._pool
-        window = 2 * self.workers
-        pending: Dict[concurrent.futures.Future, int] = {}
-        buffered: Dict[int, Trajectory] = {}
-        next_submit = 0
-        next_yield = 0
-        done = 0
-        try:
-            while next_submit < total or pending or buffered:
-                while next_submit < total and len(pending) + len(buffered) < window:
-                    future = pool.submit(_simulate_payload, payloads[next_submit])
-                    pending[future] = next_submit
-                    next_submit += 1
-                if pending:
-                    completed, _ = concurrent.futures.wait(
-                        pending,
-                        return_when=concurrent.futures.FIRST_COMPLETED,
-                    )
-                    for future in completed:
-                        index = pending.pop(future)
-                        trajectory, cache_hit = future.result()
-                        stats.record(cache_hit)
-                        done += 1
-                        if progress is not None:
-                            progress(done, total, jobs[index])
-                        if ordered:
-                            buffered[index] = trajectory
-                        else:
-                            yield index, trajectory
-                if ordered:
-                    # The smallest unyielded index is always submitted (jobs
-                    # are dispatched in order), so this drain cannot starve.
-                    while next_yield in buffered:
-                        yield next_yield, buffered.pop(next_yield)
-                        next_yield += 1
-        finally:
-            for future in pending:
-                future.cancel()
-            # Legacy snapshot of the batch that finished (or was abandoned)
-            # last; concurrent batches should read their own ``batch_stats``.
-            self.last_cache_hits = stats.hits
-            self.last_cache_misses = stats.misses
-
-    def run_jobs(
-        self,
-        jobs: Sequence[SimulationJob],
-        cache: Optional[CompiledModelCache] = None,
-        progress: Optional[ProgressHook] = None,
-        batch_stats: Optional[BatchCacheStats] = None,
-    ) -> List[Trajectory]:
-        jobs = list(jobs)
-        results: List[Optional[Trajectory]] = [None] * len(jobs)
-        for index, trajectory in self.iter_jobs(
-            jobs,
-            cache=cache,
-            progress=progress,
-            ordered=False,
-            batch_stats=batch_stats,
-        ):
-            results[index] = trajectory
-        return results
+    def _record_last_stats(self, stats: BatchCacheStats) -> None:
+        self.last_cache_hits = stats.hits
+        self.last_cache_misses = stats.misses
 
 
 def get_executor(jobs: int = 1):

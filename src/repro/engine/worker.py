@@ -1,0 +1,192 @@
+"""The ``genlogic worker`` process: one node of a distributed fabric.
+
+A worker is the remote half of
+:class:`~repro.engine.distributed.DistributedEnsembleExecutor`: it speaks the
+same length-prefixed pickle protocol, executes the same declarative payloads
+through the same entry points as a process-pool worker
+(:func:`repro.engine.core.simulate_payload` and friends, dispatched by
+pickled-by-reference function name), and therefore shares the pool workers'
+cache discipline verbatim — the fingerprint-keyed model seen-set, the shipped
+propensity-kernel registry and the compiled-model LRU all live in this
+process's :mod:`repro.engine.cache` module state and stay warm across batches
+and across coordinators.
+
+Two ways to join a fabric:
+
+* ``genlogic worker --connect host:port`` dials a listening coordinator and
+  serves it until the coordinator shuts the session down, then exits;
+* ``genlogic worker --listen host:port`` binds and serves coordinators one
+  after another (each ``--dispatch`` run is one session), which is the shape
+  behind the CLI's ``--dispatch host:port,...`` flag.
+
+Protocol (worker side): on connect the worker speaks first with a ``hello``
+frame carrying its protocol version and capacity; afterwards it answers every
+``job`` frame with a ``result`` frame (``ok=True`` plus the return value, or
+``ok=False`` plus the pickled exception and traceback text) and exits the
+session on a ``shutdown`` frame or EOF.  Task failures never kill the worker
+— only transport failures (and the operator's Ctrl-C) end a session.
+
+.. warning:: The wire protocol is unauthenticated pickle: a worker executes
+   whatever a connected coordinator sends it.  Only listen on trusted,
+   isolated networks — see the trust-model warning in
+   :mod:`repro.engine.distributed`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import sys
+import traceback
+from typing import Optional
+
+from ..errors import EngineError
+from .distributed import (
+    PROTOCOL_VERSION,
+    RemoteWorkerError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["serve_connection", "run_worker"]
+
+
+def _result_frame(task_id: int, value) -> dict:
+    return {"type": "result", "id": task_id, "ok": True, "value": value}
+
+
+def _error_frame(task_id: int, error: BaseException) -> dict:
+    """A failure frame whose exception survives the trip back if it can.
+
+    The exception travels as a *nested* pickle so the outer frame stays
+    decodable even when the exception's class is not importable on the
+    coordinator (e.g. a worker-only dependency): the coordinator then falls
+    back to a :class:`RemoteWorkerError` carrying the traceback text for
+    that one task, instead of treating the whole connection as broken.
+    """
+    detail = "".join(traceback.format_exception(type(error), error, error.__traceback__))
+    try:
+        shipped: Optional[bytes] = pickle.dumps(error, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        shipped = None
+    return {
+        "type": "result",
+        "id": task_id,
+        "ok": False,
+        "error_pickle": shipped,
+        "traceback": detail,
+    }
+
+
+def serve_connection(sock: socket.socket, *, capacity: int = 1) -> int:
+    """Serve one coordinator session on an established socket.
+
+    Sends the hello frame, then executes job frames **sequentially** until a
+    shutdown frame or EOF.  ``capacity`` is the pipelining depth advertised
+    to the coordinator — how many jobs it may keep in flight on this socket
+    so the next one is already queued when the current one finishes.  It is
+    *not* worker-side parallelism: run one worker process per core for that.
+    Returns the number of jobs executed.  The caller owns the socket (and
+    closes it).
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - transport nicety only
+        pass
+    send_message(
+        sock,
+        {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "capacity": max(1, int(capacity)),
+            "pid": os.getpid(),
+        },
+    )
+    executed = 0
+    while True:
+        try:
+            message = recv_message(sock)
+        except (ConnectionError, OSError):
+            return executed
+        kind = message.get("type")
+        if kind == "shutdown":
+            return executed
+        if kind != "job":
+            continue
+        task_id = message.get("id")
+        try:
+            # The nested call pickle may fail to decode here (e.g. the
+            # dispatched function is not importable on this machine); that is
+            # a per-task failure to report, not a reason to die.  Exceptions
+            # only: an operator's Ctrl-C (KeyboardInterrupt) or a SystemExit
+            # must stop THIS worker, not travel to the coordinator as a task
+            # failure while the worker keeps serving.
+            fn, payload = pickle.loads(message["call"])
+            result = fn(payload)
+            frame = _result_frame(task_id, result)
+        except Exception as error:
+            frame = _error_frame(task_id, error)
+        try:
+            send_message(sock, frame)
+        except Exception as error:
+            # An unpicklable / oversized *result* must not kill the session:
+            # report the shipping failure for this task and keep serving.
+            try:
+                send_message(
+                    sock,
+                    _error_frame(
+                        task_id,
+                        RemoteWorkerError(f"result could not be shipped back: {error!r}"),
+                    ),
+                )
+            except (ConnectionError, OSError):
+                return executed
+        executed += 1
+
+
+def run_worker(
+    connect: Optional[str] = None,
+    listen: Optional[str] = None,
+    *,
+    capacity: int = 1,
+    max_sessions: Optional[int] = None,
+    on_ready=None,
+) -> int:
+    """Worker main loop (the ``genlogic worker`` subcommand body).
+
+    ``connect`` dials a listening coordinator and serves that one session.
+    ``listen`` binds and serves coordinator sessions back to back —
+    ``max_sessions`` bounds how many (mostly for tests); ``on_ready`` (if
+    given) is called with the bound ``(host, port)`` once accepting, so
+    embedding callers can synchronize instead of polling.  Returns the total
+    number of jobs executed.
+    """
+    if (connect is None) == (listen is None):
+        raise EngineError("worker needs exactly one of --connect or --listen")
+    if connect is not None:
+        host, port = parse_address(connect)
+        with socket.create_connection((host, port)) as sock:
+            return serve_connection(sock, capacity=capacity)
+    host, port = parse_address(listen)
+    executed = 0
+    sessions = 0
+    with socket.create_server((host, port)) as server:
+        if on_ready is not None:
+            on_ready(server.getsockname()[:2])
+        while max_sessions is None or sessions < max_sessions:
+            sock, _ = server.accept()
+            try:
+                executed += serve_connection(sock, capacity=capacity)
+            finally:
+                sock.close()
+            sessions += 1
+    return executed
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via the CLI tests
+    """Standalone entry point (``python -m repro.engine.worker``)."""
+    from ..cli import main as cli_main
+
+    return cli_main(["worker", *(argv if argv is not None else sys.argv[1:])])
