@@ -126,6 +126,7 @@ def run_replicate_study(
     executor=None,
     progress=None,
     analysis_jobs: int = 1,
+    batch_size: int = 1,
 ) -> ReplicateStudy:
     """Run ``n_replicates`` independent experiments and aggregate the analyses.
 
@@ -146,6 +147,10 @@ def run_replicate_study(
     dominates (long hold times, many samples); it trades the streamed path's
     bounded memory for parallel analysis, and the recovered results are
     identical either way.
+
+    ``batch_size=B`` dispatches the replicates in lockstep batches of up to B
+    per worker call — same trajectories, same analyses, less dispatch and
+    result-transport overhead per replicate.
     """
     if n_replicates < 1:
         raise AnalysisError("n_replicates must be at least 1")
@@ -157,7 +162,9 @@ def run_replicate_study(
         owns_executor = executor is None
         runner = executor if executor is not None else get_executor(max(jobs, analysis_jobs))
         try:
-            ensemble = run_ensemble(batch, executor=runner, progress=progress)
+            ensemble = run_ensemble(
+                batch, executor=runner, progress=progress, batch_size=batch_size
+            )
             bundle, fingerprint = model_blob(
                 (experiment, float(threshold), float(fov_ud), circuit.expected_table),
             )
@@ -191,6 +198,7 @@ def run_replicate_study(
         executor=executor,
         progress=progress,
         reduce=_analyze,
+        batch_size=batch_size,
     )
     results: List[LogicAnalysisResult] = list(ensemble.reduced)
     return ReplicateStudy(

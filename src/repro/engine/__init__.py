@@ -25,7 +25,10 @@ simulations cheaply; this subsystem is where they all execute:
 * :func:`run_ensemble` / :func:`iter_ensemble` / :func:`map_over_parameters`
   — batch submission with progress and throughput/cache statistics, either
   materialized or streamed one result at a time (``iter_ensemble`` /
-  ``reduce=``) with peak memory bounded by the in-flight window;
+  ``reduce=``) with peak memory bounded by the in-flight window; all accept
+  ``batch_size=B`` to pack consecutive same-configuration replicates into
+  lockstep batches (one dispatch, one compact binary result frame per B
+  replicates — bit-identical to ``batch_size=1``);
 * :func:`arun_ensemble` / :func:`aiter_ensemble` / :func:`gather_studies` /
   :class:`AsyncEnsembleExecutor` — the asyncio layer: the same batches (and
   bit-identical trajectories) driven from inside an event loop without
@@ -53,7 +56,13 @@ from .api import (
     run_job,
 )
 from .cache import CompiledModelCache, default_cache, model_fingerprint
-from .core import BaseEnsembleExecutor, BatchCacheStats, ExecutorBackend
+from .core import (
+    BATCH_TRANSPORTS,
+    BaseEnsembleExecutor,
+    BatchCacheStats,
+    ExecutorBackend,
+    batch_job_groups,
+)
 from .distributed import (
     DistributedEnsembleExecutor,
     RemoteWorkerError,
@@ -92,4 +101,6 @@ __all__ = [
     "EnsembleStream",
     "replicate_jobs",
     "map_over_parameters",
+    "BATCH_TRANSPORTS",
+    "batch_job_groups",
 ]

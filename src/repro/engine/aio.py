@@ -55,7 +55,7 @@ from typing import (
 
 from ..errors import EngineError
 from ..stochastic.trajectory import Trajectory
-from .api import EnsembleReducer, _batch_stats
+from .api import EnsembleReducer, _batch_stats, _batching_kwargs
 from .cache import CompiledModelCache, default_cache
 from .core import BatchCacheStats, ProgressHook
 from .executors import ProcessPoolEnsembleExecutor, get_executor
@@ -180,6 +180,7 @@ async def aiter_ensemble(
     progress: Optional[ProgressHook] = None,
     ordered: bool = True,
     batch_stats: Optional[BatchCacheStats] = None,
+    batch_size: int = 1,
 ) -> AsyncIterator[Tuple[int, SimulationJob, Trajectory]]:
     """Async generator over an executing ensemble: ``(index, job, trajectory)``.
 
@@ -202,7 +203,10 @@ async def aiter_ensemble(
     generator finishes *or is closed early*: ``aclose()`` cancels in-flight
     runs and closes the ephemeral executor deterministically.
     ``batch_stats`` collects this batch's cache counters for callers
-    assembling their own :class:`EnsembleStats`.
+    assembling their own :class:`EnsembleStats`.  ``batch_size=B`` packs
+    consecutive same-configuration jobs into lockstep batches of up to B
+    replicates per dispatch, exactly as in the sync API — results, order and
+    bits are unchanged.
 
     A ``break`` out of ``async for`` does *not* finalize an async generator
     immediately — cleanup would wait for garbage collection.  When you may
@@ -219,14 +223,18 @@ async def aiter_ensemble(
     chosen = _resolve_sync(executor) if executor is not None else get_executor(workers)
     cache = cache if cache is not None else default_cache()
     stats = batch_stats if batch_stats is not None else BatchCacheStats()
+    iter_kwargs = _batching_kwargs(chosen, batch_size)
     if getattr(chosen, "supports_batch_stats", False):
+        iter_kwargs["batch_stats"] = stats
         source = chosen.iter_jobs(
-            jobs, cache=cache, progress=progress, ordered=ordered, batch_stats=stats
+            jobs, cache=cache, progress=progress, ordered=ordered, **iter_kwargs
         )
     else:
         # Third-party executors that predate the ``batch_stats`` keyword are
         # driven without it (their batches simply report no cache statistics).
-        source = chosen.iter_jobs(jobs, cache=cache, progress=progress, ordered=ordered)
+        source = chosen.iter_jobs(
+            jobs, cache=cache, progress=progress, ordered=ordered, **iter_kwargs
+        )
     iterator = iter(source)
     try:
         while True:
@@ -249,6 +257,7 @@ async def arun_ensemble(
     cache: Optional[CompiledModelCache] = None,
     progress: Optional[ProgressHook] = None,
     reduce: Optional[EnsembleReducer] = None,
+    batch_size: int = 1,
 ) -> EnsembleResult:
     """Execute a batch without blocking the event loop; same result as sync.
 
@@ -286,6 +295,7 @@ async def arun_ensemble(
                 progress=progress,
                 ordered=False,
                 batch_stats=counter,
+                batch_size=batch_size,
             ),
         ) as stream:
             async for index, job, trajectory in stream:

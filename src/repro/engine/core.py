@@ -32,7 +32,9 @@ bit-identical trajectories for the same job list.
 from __future__ import annotations
 
 import concurrent.futures
+import secrets
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 from typing import (
     Any,
     Callable,
@@ -52,8 +54,9 @@ import numpy as np
 
 from ..errors import EngineError
 from ..stochastic import resolve_simulator
+from ..stochastic.batch import simulate_ssa_batch
 from ..stochastic.codegen import BACKEND_CODEGEN, default_backend
-from ..stochastic.trajectory import Trajectory
+from ..stochastic.trajectory import Trajectory, decode_trajectories, encode_trajectories
 from .cache import (
     CompiledModelCache,
     kernel_artifact_for_blob,
@@ -73,6 +76,12 @@ __all__ = [
     "submission_window",
     "job_payloads",
     "simulate_payload",
+    "BATCH_TRANSPORTS",
+    "batch_job_groups",
+    "batch_job_payloads",
+    "simulate_batch_payload",
+    "decode_batch_result",
+    "discard_batch_segment",
 ]
 
 #: Called after each completed run.  ``executor.map`` hooks receive
@@ -166,6 +175,8 @@ def iter_windowed(
     ordered: bool = True,
     progress: Optional[ProgressHook] = None,
     items: Optional[Sequence[Any]] = None,
+    weights: Optional[Sequence[int]] = None,
+    drain_on_close: bool = False,
 ) -> Iterator[Tuple[int, Any]]:
     """THE windowed submission loop, yielding ``(index, result)`` per payload.
 
@@ -178,20 +189,34 @@ def iter_windowed(
     completion time with ``(done, total, items[index])`` — ``items`` defaults
     to the payload index, which is the ``map`` contract.
 
+    ``weights`` makes the window count *work units* instead of payloads: a
+    batch payload carrying B replicates weighs B, so the in-flight bound
+    stays "at most ``2 * capacity`` undelivered *runs*" regardless of how
+    runs are packed into frames.  Submission stops while the summed weight of
+    pending-plus-buffered payloads meets the window (a single over-weight
+    payload still submits alone rather than deadlocking).
+
     Failure and abandonment semantics: a payload whose future raises
     propagates its exception to the consumer, and the ``finally`` below
     cancels every still-pending future — whether the loop ended by
     exhaustion, by a raising payload, or by the consumer closing the
     generator mid-stream, the backend is never left grinding through work
-    nobody will collect.
+    nobody will collect.  ``drain_on_close=True`` additionally *waits* for
+    futures that refused cancellation (they were already executing) before
+    returning — required when results own external resources (shared-memory
+    segments) that the caller sweeps up right after the loop ends.
     """
     payloads = list(payloads)
     total = len(payloads)
     if total == 0:
         return
+    weight = [1] * total if weights is None else [max(1, int(w)) for w in weights]
+    if len(weight) != total:
+        raise EngineError(f"{len(weight)} weights for {total} payloads")
     backend.open()
     pending: Dict[concurrent.futures.Future, int] = {}
     buffered: Dict[int, Any] = {}
+    in_flight = 0  # summed weight of pending + (ordered) buffered payloads
     next_submit = 0
     next_yield = 0
     done = 0
@@ -200,9 +225,10 @@ def iter_windowed(
             # Capacity is re-read every round: a distributed backend's window
             # widens as workers join and narrows when they are lost.
             window = submission_window(backend.capacity)
-            while next_submit < total and len(pending) + len(buffered) < window:
+            while next_submit < total and in_flight < window:
                 future = backend.submit(fn, payloads[next_submit])
                 pending[future] = next_submit
+                in_flight += weight[next_submit]
                 next_submit += 1
             if pending:
                 completed = backend.wait_any(pending)
@@ -215,16 +241,19 @@ def iter_windowed(
                     if ordered:
                         buffered[index] = result
                     else:
+                        in_flight -= weight[index]
                         yield index, result
             if ordered:
                 # The smallest unyielded index is always submitted (payloads
                 # are dispatched in order), so this drain cannot starve.
                 while next_yield in buffered:
+                    in_flight -= weight[next_yield]
                     yield next_yield, buffered.pop(next_yield)
                     next_yield += 1
     finally:
-        for future in pending:
-            future.cancel()
+        uncancellable = [future for future in pending if not future.cancel()]
+        if drain_on_close and uncancellable:
+            concurrent.futures.wait(uncancellable)
 
 
 def job_payloads(jobs: Sequence[SimulationJob]) -> List[Dict[str, Any]]:
@@ -315,6 +344,214 @@ def simulate_payload(payload: Dict[str, Any]) -> Tuple[Trajectory, bool]:
     return trajectory, cache_hit
 
 
+# -- batch-lockstep payloads ----------------------------------------------------
+#
+# With ``batch_size > 1`` the engine packs consecutive jobs that share one
+# simulation configuration (same model, overrides, simulator, schedule and
+# sampling) into one *batch payload*: the worker advances all B replicates in
+# lockstep (``repro.stochastic.batch``) and returns one compact binary frame
+# instead of B pickled trajectories.  Dispatch overhead and result framing are
+# paid once per batch, which is the whole point; per-replicate seeds are still
+# fanned out by the parent, so every replicate stays bit-identical to its
+# serial ``batch_size=1`` run.
+
+#: How a backend wants batch results returned.  ``"inline"`` — in-process
+#: objects (serial); ``"frame"`` — the binary frame as bytes riding the
+#: transport's existing result path (sockets); ``"shm"`` — the frame in a
+#: ``multiprocessing.shared_memory`` segment, name + size returned (pools).
+BATCH_TRANSPORTS = ("inline", "frame", "shm")
+
+
+def _batch_config_key(job: SimulationJob) -> Tuple:
+    """Everything replicates must share to run in one lockstep batch."""
+    initial = tuple(sorted(job.initial_state.items())) if job.initial_state else None
+    record = tuple(job.record_species) if job.record_species is not None else None
+    return (
+        id(job.model),
+        job.frozen_overrides(),
+        job.simulator,
+        float(job.t_end),
+        # InputSchedule has no value equality; replicate_jobs clones share
+        # the schedule object, which is exactly the batchable case.
+        id(job.schedule) if job.schedule is not None else None,
+        float(job.sample_interval),
+        initial,
+        record,
+    )
+
+
+def batch_job_groups(jobs: Sequence[SimulationJob], batch_size: int) -> List[List[int]]:
+    """Pack job indices into batches of at most ``batch_size``.
+
+    Only *consecutive* jobs sharing one configuration (same model, overrides,
+    simulator, ``t_end``, schedule object, sampling and recording) batch
+    together — submission order, and therefore ordered delivery, is
+    preserved.  A replicate fan-out becomes ``ceil(n / batch_size)`` groups
+    (the remainder group is simply smaller); a parameter sweep degenerates to
+    singleton groups, which run exactly like ``batch_size=1``.
+    """
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise EngineError("batch_size must be a positive integer")
+    groups: List[List[int]] = []
+    current: List[int] = []
+    current_key: Optional[Tuple] = None
+    for index, job in enumerate(jobs):
+        key = _batch_config_key(job)
+        if current and (key != current_key or len(current) >= batch_size):
+            groups.append(current)
+            current = []
+        current.append(index)
+        current_key = key
+    if current:
+        groups.append(current)
+    return groups
+
+
+def batch_job_payloads(
+    jobs: Sequence[SimulationJob],
+    groups: Sequence[Sequence[int]],
+    transport: str = "frame",
+) -> List[Dict[str, Any]]:
+    """One declarative batch payload per group (model blob + seed list).
+
+    The payload is the single-job envelope of :func:`job_payloads` with the
+    scalar ``seed`` replaced by the group's ``seeds`` list plus the result
+    ``transport`` the backend wants; shared-memory transports pre-assign the
+    segment name here, in the parent, so an abandoned or failed batch can be
+    swept up by name no matter how far the worker got.
+    """
+    if transport not in BATCH_TRANSPORTS:
+        raise EngineError(f"unknown batch transport {transport!r}")
+    for job in jobs:
+        if isinstance(job.seed, np.random.Generator):
+            raise EngineError(
+                "jobs dispatched to worker processes need picklable seeds "
+                "(None, int or SeedSequence), not a live Generator; fan the "
+                "root seed out with repro.stochastic.fan_out_seeds first",
+            )
+    payloads = job_payloads([jobs[group[0]] for group in groups])
+    for payload, group in zip(payloads, groups):
+        del payload["seed"]
+        payload["seeds"] = [jobs[index].seed for index in group]
+        payload["transport"] = transport
+        if transport == "shm":
+            payload["shm_name"] = "glt_" + secrets.token_hex(8)
+    return payloads
+
+
+def _untrack_segment(segment) -> None:
+    """Forget a segment in this process's resource tracker (3.11 registers on
+    both create and attach; whoever is *not* responsible for the unlink must
+    unregister, or a clean exit would tear the segment down under the reader)."""
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker already gone at shutdown
+        pass
+
+
+def _unlink_segment(segment) -> None:
+    """Close and remove a segment, leaving the resource tracker consistent."""
+    segment.close()
+    try:
+        segment.unlink()  # unregisters on success
+    except OSError:  # pragma: no cover - raced with another unlinker
+        _untrack_segment(segment)
+
+
+def _pack_batch_result(trajectories: List[Trajectory], payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker side: wrap a batch's trajectories for the requested transport.
+
+    Shared-memory packing degrades gracefully: if the segment cannot be
+    created (exhausted ``/dev/shm``, unsupported platform) the frame rides
+    the ordinary result path inline.  After a successful write the worker
+    unregisters the segment from *its* resource tracker — the parent owns the
+    unlink once it has decoded (or swept) the segment.
+    """
+    transport = payload.get("transport", "inline")
+    if transport == "inline":
+        return {"kind": "inline", "trajectories": trajectories}
+    frame = encode_trajectories(trajectories)
+    if transport == "shm":
+        name = payload.get("shm_name")
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True, size=len(frame))
+        except (OSError, ValueError):
+            return {"kind": "frame", "frame": frame}
+        try:
+            segment.buf[: len(frame)] = frame
+        except BaseException:
+            _unlink_segment(segment)
+            raise
+        segment.close()
+        _untrack_segment(segment)
+        return {"kind": "shm", "shm_name": name, "frame_bytes": len(frame)}
+    return {"kind": "frame", "frame": frame}
+
+
+def simulate_batch_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+    """Execute one batch payload (remote-side entry point).
+
+    The SSA runs all replicates through the lockstep stepper
+    (:func:`repro.stochastic.batch.simulate_ssa_batch`); other simulators run
+    their replicates sequentially inside the one dispatch — the dispatch and
+    result-transport amortization still applies, only the stepping is not
+    vectorised.  Returns ``(packed_result, cache_hit)``; unpack with
+    :func:`decode_batch_result`.
+    """
+    fingerprint = payload["fingerprint"]
+    model = worker_model_from_blob(fingerprint, payload["model_blob"])
+    overrides = payload.get("overrides", ())
+    register_worker_kernel(fingerprint, overrides, payload.get("kernel"))
+    compiled, cache_hit = worker_compiled(model, fingerprint, overrides)
+    seeds = payload["seeds"]
+    kwargs = payload["kwargs"]
+    if payload["simulator"] == "ssa":
+        trajectories = simulate_ssa_batch(compiled, payload["t_end"], seeds, **kwargs)
+    else:
+        simulate = resolve_simulator(payload["simulator"])
+        trajectories = [
+            simulate(compiled, payload["t_end"], rng=seed, **kwargs) for seed in seeds
+        ]
+    return _pack_batch_result(trajectories, payload), cache_hit
+
+
+def decode_batch_result(result: Dict[str, Any]) -> List[Trajectory]:
+    """Parent side: unpack a batch result, releasing its transport resources.
+
+    For shared-memory results this attaches, copies the frame out, and
+    **unlinks** the segment — decode is the hand-off point of the segment
+    lifetime contract (worker creates, parent removes).
+    """
+    kind = result.get("kind")
+    if kind == "inline":
+        return result["trajectories"]
+    if kind == "frame":
+        return decode_trajectories(result["frame"])
+    if kind == "shm":
+        segment = shared_memory.SharedMemory(name=result["shm_name"])
+        try:
+            frame = bytes(segment.buf[: result["frame_bytes"]])
+        finally:
+            _unlink_segment(segment)
+        return decode_trajectories(frame)
+    raise EngineError(f"unknown batch result kind {kind!r}")
+
+
+def discard_batch_segment(name: str) -> None:
+    """Best-effort sweep of one pre-assigned segment name (idempotent).
+
+    Used for payloads whose results were never decoded — a worker died
+    mid-batch, or the consumer abandoned the stream: if the worker got far
+    enough to create the segment, remove it; if not, there is nothing to do.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return
+    _unlink_segment(segment)
+
+
 class BaseEnsembleExecutor:
     """Shared orchestration surface of every executor; transport left abstract.
 
@@ -334,6 +571,13 @@ class BaseEnsembleExecutor:
     #: This executor's ``iter_jobs`` / ``run_jobs`` accept a per-batch
     #: :class:`BatchCacheStats` sink (see that class for why).
     supports_batch_stats = True
+    #: This executor's ``iter_jobs`` / ``run_jobs`` accept ``batch_size``.
+    supports_job_batching = True
+    #: How batch results travel back (one of :data:`BATCH_TRANSPORTS`).
+    #: ``"frame"`` — raw binary frame bytes on the existing result path — is
+    #: the safe default for any remote transport; pools override to ``"shm"``
+    #: and the in-process serial executor bypasses transport entirely.
+    batch_transport = "frame"
 
     # -- transport protocol (ExecutorBackend) — subclasses implement ---------------
     @property
@@ -383,6 +627,25 @@ class BaseEnsembleExecutor:
         """
         return simulate_payload, job_payloads(jobs)
 
+    def _batch_submissions(
+        self,
+        jobs: Sequence[SimulationJob],
+        cache: Optional[CompiledModelCache],
+        batch_size: int,
+    ) -> Tuple[Callable[[Any], Tuple[Dict[str, Any], bool]], Sequence[Any], List[List[int]]]:
+        """``(fn, payloads, groups)`` for a batched submission.
+
+        ``fn(payload)`` returns ``(packed_result, cache_hit)`` where the
+        packed result decodes through :func:`decode_batch_result` into one
+        trajectory per job index in the matching group.  The default ships
+        :func:`simulate_batch_payload` envelopes over this backend's
+        ``batch_transport``; the serial executor overrides to run lockstep
+        batches in-process against the shared ``cache``.
+        """
+        groups = batch_job_groups(jobs, batch_size)
+        payloads = batch_job_payloads(jobs, groups, transport=self.batch_transport)
+        return simulate_batch_payload, payloads, groups
+
     def _record_last_stats(self, stats: BatchCacheStats) -> None:
         """Snapshot hook for the legacy ``last_cache_hits/misses`` attributes."""
 
@@ -419,6 +682,7 @@ class BaseEnsembleExecutor:
         progress: Optional[ProgressHook] = None,
         ordered: bool = True,
         batch_stats: Optional[BatchCacheStats] = None,
+        batch_size: int = 1,
     ) -> Iterator[Tuple[int, Trajectory]]:
         """Yield ``(index, trajectory)`` pairs as runs complete.
 
@@ -428,6 +692,12 @@ class BaseEnsembleExecutor:
         submitted-but-unconsumed at any moment — later jobs are only
         dispatched as earlier results are yielded, so the parent's peak
         trajectory memory is bounded by the window, not by ``len(jobs)``.
+
+        ``batch_size=B`` packs consecutive same-configuration jobs into
+        lockstep batch payloads of up to B replicates (see
+        :func:`batch_job_groups`); yielded pairs, delivery order and
+        bit-identity are unchanged — batching is purely a dispatch/transport
+        amortization, and the window counts replicates, not payloads.
 
         Cache hits/misses accumulate into ``batch_stats`` (this batch's own
         counter, so concurrent batches on one shared executor never clobber
@@ -440,22 +710,93 @@ class BaseEnsembleExecutor:
         stats = batch_stats if batch_stats is not None else BatchCacheStats()
         if not jobs:
             return
-        fn, payloads = self._job_submissions(jobs, cache)
+        size = 1 if batch_size is None else int(batch_size)
+        if size < 1:
+            raise EngineError("batch_size must be a positive integer")
+        if size > 1:
+            inner = self._iter_jobs_batched(jobs, cache, progress, ordered, stats, size)
+        else:
+            inner = self._iter_jobs_single(jobs, cache, progress, ordered, stats)
         try:
-            for index, (trajectory, cache_hit) in iter_windowed(
-                self,
-                fn,
-                payloads,
-                ordered=ordered,
-                progress=progress,
-                items=jobs,
-            ):
-                stats.record(cache_hit)
-                yield index, trajectory
+            yield from inner
         finally:
             # Legacy snapshot of the batch that finished (or was abandoned)
             # last; concurrent batches should read their own ``batch_stats``.
             self._record_last_stats(stats)
+
+    def _iter_jobs_single(self, jobs, cache, progress, ordered, stats):
+        """The one-payload-per-job path (``batch_size=1``; today's behaviour)."""
+        fn, payloads = self._job_submissions(jobs, cache)
+        for index, (trajectory, cache_hit) in iter_windowed(
+            self,
+            fn,
+            payloads,
+            ordered=ordered,
+            progress=progress,
+            items=jobs,
+        ):
+            stats.record(cache_hit)
+            yield index, trajectory
+
+    def _iter_jobs_batched(self, jobs, cache, progress, ordered, stats, batch_size):
+        """The batched path: one payload per group, decoded back to per-job yields.
+
+        Statistics discipline: the worker reports one compile-cache flag per
+        batch (its first replicate); the remaining ``B - 1`` replicates reuse
+        that compiled model by construction and are recorded as hits, so
+        ``hits + misses == len(jobs)`` holds exactly as at ``batch_size=1``.
+
+        Shared-memory hygiene: segment names are pre-assigned in the parent,
+        decode unlinks each segment, and the ``finally`` sweeps every payload
+        that was submitted but never decoded (worker death, abandoned
+        stream) — combined with ``drain_on_close`` there are no leaked
+        ``/dev/shm`` entries on any exit path.
+        """
+        fn, payloads, groups = self._batch_submissions(jobs, cache, batch_size)
+        weights = [len(group) for group in groups]
+        shm_names = {
+            index: payload["shm_name"]
+            for index, payload in enumerate(payloads)
+            if isinstance(payload, dict) and payload.get("transport") == "shm"
+        }
+        decoded = set()
+        hook = None
+        if progress is not None:
+            total_jobs = len(jobs)
+            done_jobs = [0]
+
+            def hook(done, total, group):
+                done_jobs[0] += len(group)
+                progress(done_jobs[0], total_jobs, jobs[group[-1]])
+
+        try:
+            for payload_index, (result, cache_hit) in iter_windowed(
+                self,
+                fn,
+                payloads,
+                ordered=ordered,
+                progress=hook,
+                items=groups,
+                weights=weights,
+                drain_on_close=bool(shm_names),
+            ):
+                group = groups[payload_index]
+                trajectories = decode_batch_result(result)
+                decoded.add(payload_index)
+                if len(trajectories) != len(group):
+                    raise EngineError(
+                        f"batch payload returned {len(trajectories)} trajectories "
+                        f"for {len(group)} jobs",
+                    )
+                stats.record(cache_hit)
+                for _ in range(len(group) - 1):
+                    stats.record(True)
+                for job_index, trajectory in zip(group, trajectories):
+                    yield job_index, trajectory
+        finally:
+            for payload_index, name in shm_names.items():
+                if payload_index not in decoded:
+                    discard_batch_segment(name)
 
     def run_jobs(
         self,
@@ -463,6 +804,7 @@ class BaseEnsembleExecutor:
         cache: Optional[CompiledModelCache] = None,
         progress: Optional[ProgressHook] = None,
         batch_stats: Optional[BatchCacheStats] = None,
+        batch_size: int = 1,
     ) -> List[Trajectory]:
         """Materialize the whole batch, in submission order."""
         jobs = list(jobs)
@@ -473,6 +815,7 @@ class BaseEnsembleExecutor:
             progress=progress,
             ordered=False,
             batch_stats=batch_stats,
+            batch_size=batch_size,
         ):
             results[index] = trajectory
         return results

@@ -10,6 +10,15 @@ dispatch, both paths produce bit-identical trajectories.
 
 An :class:`EnsembleResult` pairs the submitted jobs with their trajectories
 (in submission order) and the execution statistics of the batch.
+
+Jobs are also the unit of *lockstep batching* (``batch_size=B`` on the run
+APIs): consecutive jobs describing the same configuration — same model
+object, frozen overrides, simulator, schedule object, horizon, sampling and
+recording choices — pack into one dispatch that steps all their replicates
+together and ships one compact binary result frame back.  Replicate fan-outs
+built by :func:`repro.engine.replicate_jobs` satisfy that by construction;
+jobs that differ in any configuration field simply fall back to one dispatch
+each.
 """
 
 from __future__ import annotations

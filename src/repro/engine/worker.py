@@ -23,7 +23,12 @@ Protocol (worker side): on connect the worker speaks first with a ``hello``
 frame carrying its protocol version and capacity; afterwards it answers every
 ``job`` frame with a ``result`` frame (``ok=True`` plus the return value, or
 ``ok=False`` plus the pickled exception and traceback text) and exits the
-session on a ``shutdown`` frame or EOF.  Task failures never kill the worker
+session on a ``shutdown`` frame or EOF.  Batched payloads
+(:func:`repro.engine.core.simulate_batch_payload`, dispatched at
+``batch_size > 1``) need no protocol change: the worker runs the lockstep
+batch and the ``result`` frame's value carries the replicates as one compact
+binary trajectory frame (``bytes``) instead of per-replicate pickled
+``Trajectory`` objects.  Task failures never kill the worker
 — only transport failures (and the operator's Ctrl-C) end a session.
 
 .. warning:: The wire protocol is unauthenticated pickle: a worker executes

@@ -7,6 +7,7 @@ mechanism and one sampled-trajectory output format.
 """
 
 from ..errors import SimulationError
+from .batch import simulate_ssa_batch
 from .codegen import BACKEND_CODEGEN, BACKEND_INTERP, KERNEL_ENV_VAR, default_backend
 from .events import InputEvent, InputSchedule
 from .nextreaction import NextReactionSimulator, simulate_next_reaction
@@ -16,7 +17,7 @@ from .rng import fan_out_seeds, make_rng, spawn_rngs
 from .sampling import SampleRecorder, make_sample_times
 from .ssa import DirectMethodSimulator, simulate_ssa
 from .tauleap import TauLeapSimulator, simulate_tau_leap
-from .trajectory import Trajectory
+from .trajectory import Trajectory, decode_trajectories, encode_trajectories
 
 #: The canonical simulators: one entry per distinct algorithm.
 CANONICAL_SIMULATORS = {
@@ -90,6 +91,9 @@ __all__ = [
     "make_sample_times",
     "DirectMethodSimulator",
     "simulate_ssa",
+    "simulate_ssa_batch",
+    "encode_trajectories",
+    "decode_trajectories",
     "NextReactionSimulator",
     "simulate_next_reaction",
     "TauLeapSimulator",

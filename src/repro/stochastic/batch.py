@@ -1,0 +1,163 @@
+"""Batch-lockstep direct-method SSA: B replicates stepped together.
+
+One worker advances ``B`` replicates of the *same* ``(model, overrides,
+schedule, t_end)`` configuration in lockstep: every step evaluates the whole
+``[live, n_reactions]`` propensity matrix with one
+:meth:`~repro.stochastic.propensity.CompiledModel.propensities_batch` call and
+one axis-1 ``cumsum``, instead of ``B`` separate kernel invocations.  Rows
+whose segment has ended (or whose total propensity hit zero) go inactive and
+rejoin at the next input-schedule boundary, exactly as the serial simulator's
+inner loop breaks and resumes.
+
+Bit-identity contract
+---------------------
+Each replicate is **bit-identical to its serial single-replicate run** with
+the same seed (:class:`~repro.stochastic.ssa.DirectMethodSimulator`):
+
+* every replicate owns its private :class:`numpy.random.Generator`, and the
+  two draws per step (exponential waiting time, uniform reaction selector)
+  happen in the same per-row order as serially — batching never reorders or
+  shares a stream;
+* ``propensities_batch`` is bit-identical per row to the scalar kernel (the
+  PR 4 parity contract), and the per-row ``total`` uses the same contiguous
+  1-D pairwise ``.sum()`` the serial loop uses;
+* ``cumsum`` along axis 1 accumulates each row sequentially, so the
+  ``searchsorted`` selection (including the ulp-overshoot clamp) picks the
+  same reaction the serial scan picks.
+
+Deactivated rows stop drawing, so draw order within a row never changes no
+matter which other rows are still live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .events import InputSchedule
+from .propensity import compile_model
+from .sampling import SampleRecorder, make_sample_times
+from .trajectory import Trajectory
+
+__all__ = ["simulate_ssa_batch"]
+
+
+def simulate_ssa_batch(
+    model,
+    t_end: float,
+    seeds: Sequence,
+    sample_interval: float = 1.0,
+    schedule: Optional[InputSchedule] = None,
+    initial_state: Optional[Dict[str, float]] = None,
+    record_species: Optional[Sequence[str]] = None,
+    parameter_overrides: Optional[Dict[str, float]] = None,
+    max_events: int = 50_000_000,
+) -> List[Trajectory]:
+    """Run ``len(seeds)`` lockstep SSA replicates; one trajectory per seed.
+
+    Accepts the same per-run keywords as :func:`~repro.stochastic.ssa.simulate_ssa`
+    (every replicate shares them) plus ``seeds`` — one seed/generator per
+    replicate, typically a slice of :func:`~repro.stochastic.rng.fan_out_seeds`.
+    The returned trajectories share one sample-time array object (lockstep
+    replicates share the grid), which is what lets the binary transport encode
+    the grid once per batch.
+    """
+    compiled = compile_model(model, parameter_overrides)
+    schedule = schedule or InputSchedule()
+    generators = [np.random.default_rng(seed) if not isinstance(seed, np.random.Generator)
+                  else seed for seed in seeds]
+    n_rows = len(generators)
+    if n_rows == 0:
+        return []
+
+    base_state = compiled.initial_state.copy()
+    if initial_state:
+        base_state = compiled.state_from_dict(
+            {**compiled.model.initial_state(), **initial_state},
+        )
+
+    sample_times = make_sample_times(t_end, sample_interval)
+    recorders = [SampleRecorder(sample_times, compiled.n_species) for _ in range(n_rows)]
+
+    n_reactions = compiled.n_reactions
+    states = np.tile(base_state, (n_rows, 1))
+    prop_matrix = np.empty((n_rows, n_reactions), dtype=float)
+    cum_matrix = np.empty((n_rows, n_reactions), dtype=float)
+    t = np.zeros(n_rows)
+    events_fired = [0] * n_rows
+
+    boundaries = schedule.segment_boundaries(t_end)
+    segment_start = 0.0
+    for segment_end in boundaries:
+        # Apply every event scheduled at the start of this segment (plus the
+        # same strictly-inside guard the serial loop has) to every row.
+        for event in schedule.events_between(segment_start, segment_start + 1e-12):
+            for row in range(n_rows):
+                compiled.clamp(states[row], event.settings)
+        for event in schedule.events_between(segment_start + 1e-12, segment_end):
+            for row in range(n_rows):
+                compiled.clamp(states[row], event.settings)
+
+        t[:] = segment_start
+        # Every row re-enters the segment live; rows drop out exactly where
+        # the serial inner loop would `break` (zero total propensity, or the
+        # next waiting time overshooting the segment).  Degenerate segments
+        # (an event at t=0 yields a [0, 0) segment) never enter the serial
+        # `while t < segment_end` loop, so they must not draw here either.
+        live = list(range(n_rows)) if segment_start < segment_end else []
+        while live:
+            n_live = len(live)
+            live_idx = np.asarray(live, dtype=np.intp)
+            propensities = prop_matrix[:n_live]
+            compiled.propensities_batch(states[live_idx], out=propensities)
+            # One sequential cumulative sum per row, vectorised across rows;
+            # axis-1 cumsum accumulates in the same order as the serial 1-D
+            # cumsum, so selection below is bit-identical.
+            cumulative = cum_matrix[:n_live]
+            np.cumsum(propensities, axis=1, out=cumulative)
+            finished = []
+            for pos in range(n_live):
+                row = live[pos]
+                # A row of the C-contiguous matrix: same pairwise .sum() the
+                # serial loop applies to its 1-D propensity vector.
+                total = float(propensities[pos].sum())
+                if total <= 0.0:
+                    finished.append(row)
+                    continue
+                generator = generators[row]
+                tau = generator.exponential(1.0 / total)
+                if t[row] + tau >= segment_end:
+                    finished.append(row)
+                    continue
+                t[row] += tau
+                recorders[row].fill_before(t[row], states[row])
+                threshold = generator.random() * total
+                chosen = int(np.searchsorted(cumulative[pos], threshold, side="right"))
+                if chosen >= n_reactions:
+                    # `total` comes from the pairwise .sum() and may exceed
+                    # the sequential cumulative sum by an ulp; fall through
+                    # to the last reaction, as the serial loop does.
+                    chosen = n_reactions - 1
+                compiled.apply(chosen, states[row])
+                events_fired[row] += 1
+                if events_fired[row] > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} reaction events before t_end",
+                    )
+            if finished:
+                live = [row for row in live if row not in finished]
+        for row in range(n_rows):
+            recorders[row].fill_before(segment_end, states[row])
+        segment_start = segment_end
+
+    trajectories = []
+    species = list(compiled.species)
+    for row in range(n_rows):
+        recorders[row].finish(states[row])
+        trajectory = Trajectory(sample_times, species, recorders[row].data)
+        if record_species is not None:
+            trajectory = trajectory.select(list(record_species))
+        trajectories.append(trajectory)
+    return trajectories

@@ -9,6 +9,7 @@ this object (or its CSV serialization, see :mod:`repro.io.csvlog`).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -16,7 +17,13 @@ import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["Trajectory"]
+__all__ = [
+    "Trajectory",
+    "encode_trajectories",
+    "decode_trajectories",
+    "TRAJECTORY_FRAME_MAGIC",
+    "TRAJECTORY_FRAME_VERSION",
+]
 
 
 @dataclass
@@ -39,8 +46,13 @@ class Trajectory:
     data: np.ndarray
 
     def __post_init__(self) -> None:
-        self.times = np.asarray(self.times, dtype=float)
-        self.data = np.asarray(self.data, dtype=float)
+        # C-contiguous float64 is part of the dataclass contract: the binary
+        # transport (encode_trajectories) takes zero-copy memoryviews of both
+        # arrays.  ascontiguousarray is a no-op for arrays already in that
+        # layout (every simulator's output), and normalizes Fortran-ordered
+        # or integer input.
+        self.times = np.ascontiguousarray(self.times, dtype=float)
+        self.data = np.ascontiguousarray(self.data, dtype=float)
         self.species = list(self.species)
         if self.times.ndim != 1:
             raise SimulationError("trajectory times must be a 1-D array")
@@ -204,3 +216,165 @@ class Trajectory:
     def empty(cls, species: Sequence[str]) -> "Trajectory":
         """A trajectory with no samples (useful as a concat identity)."""
         return cls(np.empty(0, dtype=float), list(species), np.empty((0, len(species))))
+
+
+# -- compact binary transport -------------------------------------------------
+#
+# The ensemble engine's batch result path ships trajectories as one versioned
+# binary frame per batch instead of one pickle per replicate.  Layout (all
+# integers little-endian):
+#
+#   magic      4 bytes   b"GLTF"
+#   version    u16       TRAJECTORY_FRAME_VERSION
+#   flags      u16       bit 0: all trajectories share one time grid
+#   n_traj     u32
+#   n_species  u32
+#   species    n_species × (u16 length + UTF-8 bytes)   (shared by the batch)
+#   times      shared grid: one block; else one per trajectory:
+#              u32 n_times + n_times × f64 (raw little-endian)
+#   data       n_traj × (n_times × n_species × f64, C order, raw LE)
+#
+# Lockstep batch replicates share grid and species, so the header and the
+# time block are paid once per *batch*; the per-replicate cost is exactly the
+# raw float64 data block, with no pickle framing, no per-object type tags and
+# no duplicated species strings.  Values round-trip exactly (same bits,
+# including NaN payloads).
+
+TRAJECTORY_FRAME_MAGIC = b"GLTF"
+TRAJECTORY_FRAME_VERSION = 1
+_FLAG_SHARED_GRID = 1
+
+_HEADER = struct.Struct("<4sHHII")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def _le_f64_view(array: np.ndarray) -> memoryview:
+    """A zero-copy little-endian float64 memoryview of a contiguous array."""
+    # Trajectory.__post_init__ guarantees C-contiguous float64, and the
+    # supported platforms are little-endian, so this never copies; the
+    # astype is a safety net for exotic inputs.
+    if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        array = array.astype("<f8")
+    return memoryview(np.ascontiguousarray(array, dtype=np.float64)).cast("B")
+
+
+def encode_trajectories(trajectories: Sequence[Trajectory]) -> bytes:
+    """Encode a batch of trajectories into one compact binary frame.
+
+    Every trajectory must record the same species (true for lockstep batch
+    replicates by construction); a shared time grid is detected and encoded
+    once.  The inverse is :func:`decode_trajectories`.
+    """
+    trajectories = list(trajectories)
+    if not trajectories:
+        raise SimulationError("cannot encode an empty trajectory batch")
+    species = trajectories[0].species
+    for trajectory in trajectories[1:]:
+        if trajectory.species != species:
+            raise SimulationError(
+                "a trajectory frame requires one shared species table; got "
+                f"{species} and {trajectory.species}",
+            )
+    first_times = trajectories[0].times
+    shared_grid = all(
+        t.times is first_times
+        or (t.times.shape == first_times.shape and np.array_equal(t.times, first_times))
+        for t in trajectories[1:]
+    )
+    flags = _FLAG_SHARED_GRID if shared_grid else 0
+
+    pieces = [
+        _HEADER.pack(
+            TRAJECTORY_FRAME_MAGIC,
+            TRAJECTORY_FRAME_VERSION,
+            flags,
+            len(trajectories),
+            len(species),
+        ),
+    ]
+    for name in species:
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise SimulationError(f"species name too long to encode: {name[:40]!r}...")
+        pieces.append(_U16.pack(len(encoded)))
+        pieces.append(encoded)
+    if shared_grid:
+        pieces.append(_U32.pack(first_times.shape[0]))
+        pieces.append(_le_f64_view(first_times))
+        for trajectory in trajectories:
+            pieces.append(_le_f64_view(trajectory.data))
+    else:
+        for trajectory in trajectories:
+            pieces.append(_U32.pack(trajectory.times.shape[0]))
+            pieces.append(_le_f64_view(trajectory.times))
+            pieces.append(_le_f64_view(trajectory.data))
+    return b"".join(pieces)
+
+
+class _FrameReader:
+    """Cursor over a frame's bytes; every read validates the remaining length."""
+
+    def __init__(self, frame: bytes):
+        self.buffer = frame
+        self.offset = 0
+
+    def take(self, count: int) -> memoryview:
+        if self.offset + count > len(self.buffer):
+            raise SimulationError(
+                f"truncated trajectory frame: wanted {count} bytes at offset "
+                f"{self.offset}, frame has {len(self.buffer)}",
+            )
+        view = memoryview(self.buffer)[self.offset : self.offset + count]
+        self.offset += count
+        return view
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(_U16.size))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(_U32.size))[0]
+
+    def f64_block(self, count: int) -> np.ndarray:
+        raw = self.take(count * 8)
+        # frombuffer views are read-only and borrow the frame's memory;
+        # trajectories own writable native-endian copies.
+        return np.frombuffer(raw, dtype="<f8", count=count).astype(np.float64)
+
+
+def decode_trajectories(frame: bytes) -> List[Trajectory]:
+    """Decode a frame produced by :func:`encode_trajectories`.
+
+    Raises :class:`~repro.errors.SimulationError` for wrong magic, an
+    unsupported version, or a truncated frame; the returned trajectories own
+    their (writable, native-endian) arrays.
+    """
+    reader = _FrameReader(frame)
+    magic, version, flags, n_traj, n_species = _HEADER.unpack(reader.take(_HEADER.size))
+    if magic != TRAJECTORY_FRAME_MAGIC:
+        raise SimulationError(f"not a trajectory frame (magic {magic!r})")
+    if version != TRAJECTORY_FRAME_VERSION:
+        raise SimulationError(
+            f"unsupported trajectory frame version {version} "
+            f"(this build reads version {TRAJECTORY_FRAME_VERSION})",
+        )
+    species = [str(reader.take(reader.u16()), "utf-8") for _ in range(n_species)]
+
+    trajectories = []
+    if flags & _FLAG_SHARED_GRID:
+        n_times = reader.u32()
+        times = reader.f64_block(n_times)
+        for _ in range(n_traj):
+            data = reader.f64_block(n_times * n_species).reshape(n_times, n_species)
+            trajectories.append(Trajectory(times, species, data))
+    else:
+        for _ in range(n_traj):
+            n_times = reader.u32()
+            times = reader.f64_block(n_times)
+            data = reader.f64_block(n_times * n_species).reshape(n_times, n_species)
+            trajectories.append(Trajectory(times, species, data))
+    if reader.offset != len(frame):
+        raise SimulationError(
+            f"trajectory frame has {len(frame) - reader.offset} trailing bytes",
+        )
+    return trajectories

@@ -188,6 +188,7 @@ class LogicExperiment:
         executor=None,
         progress=None,
         ordered: bool = True,
+        batch_size: int = 1,
     ) -> EnsembleStream:
         """Stream ``n_replicates`` independent seeded runs as data logs.
 
@@ -199,6 +200,8 @@ class LogicExperiment:
         The stream's ``.stats`` carry the batch statistics once exhausted.
         Pass an opened ``executor`` to reuse a live worker pool across
         batches; otherwise ``workers=N`` builds (and afterwards closes) one.
+        ``batch_size=B`` dispatches the replicates in lockstep batches of up
+        to B per worker call (bit-identical, just cheaper dispatch).
         """
         template = self.job(
             protocol=protocol,
@@ -212,6 +215,7 @@ class LogicExperiment:
             executor=executor,
             progress=progress,
             ordered=ordered,
+            batch_size=batch_size,
         )
         return stream.transform(
             lambda index,

@@ -12,6 +12,11 @@ gets the whole contract for free by adding one fixture param:
 * **cancel-on-failure** — a raising ``map`` payload propagates its exception,
   cancels the not-yet-windowed remainder, and leaves the executor usable.
 
+The run-path tests are additionally parametrized over ``batch_size`` ∈ {1, 3}
+— 4 replicates at batch 3 makes the last lockstep batch a partial one — so
+every backend proves the whole contract (bit-identity included) through the
+batched dispatch/transport path too.
+
 The distributed backend here is a *real* TCP fabric (listen + two spawned
 ``genlogic worker --connect`` subprocesses); only the machines are local.
 """
@@ -48,25 +53,29 @@ class _Backend:
         #: The async layer has no generic ``map`` surface.
         self.supports_map = not self.is_async
 
-    def materialize(self, jobs):
+    def materialize(self, jobs, batch_size=1):
         if self.is_async:
-            return asyncio.run(arun_ensemble(jobs, executor=self.executor))
-        return run_ensemble(jobs, executor=self.executor)
+            return asyncio.run(
+                arun_ensemble(jobs, executor=self.executor, batch_size=batch_size)
+            )
+        return run_ensemble(jobs, executor=self.executor, batch_size=batch_size)
 
-    def stream(self, jobs, ordered=True):
+    def stream(self, jobs, ordered=True, batch_size=1):
         """``[(index, trajectory), ...]`` in delivery order."""
         if self.is_async:
 
             async def _collect():
                 collected = []
                 async for index, _, trajectory in aiter_ensemble(
-                    jobs, executor=self.executor, ordered=ordered
+                    jobs, executor=self.executor, ordered=ordered, batch_size=batch_size
                 ):
                     collected.append((index, trajectory))
                 return collected
 
             return asyncio.run(_collect())
-        stream = iter_ensemble(jobs, executor=self.executor, ordered=ordered)
+        stream = iter_ensemble(
+            jobs, executor=self.executor, ordered=ordered, batch_size=batch_size
+        )
         return [(index, trajectory) for index, _, trajectory in stream]
 
     def map(self, fn, payloads):
@@ -89,6 +98,16 @@ def backend(request):
             yield _Backend("async-facade", executor)
 
 
+@pytest.fixture(scope="module", params=[1, 3], ids=["batch1", "batch3"])
+def batch_size(request):
+    """Dispatch granularity: 1 = the classic path, 3 = lockstep batches.
+
+    The job list holds 4 replicates, so batch 3 exercises a batch count that
+    does not divide the replicate count (one full batch + one partial).
+    """
+    return request.param
+
+
 @pytest.fixture(scope="module")
 def ssa_jobs(and_circuit):
     """A seeded SSA batch (stochastic, so any divergence shows at bit level)."""
@@ -108,8 +127,10 @@ def serial_baseline(ssa_jobs):
 
 
 class TestBitIdentity:
-    def test_materialized_matches_serial_bit_for_bit(self, backend, ssa_jobs, serial_baseline):
-        result = backend.materialize(ssa_jobs)
+    def test_materialized_matches_serial_bit_for_bit(
+        self, backend, ssa_jobs, serial_baseline, batch_size
+    ):
+        result = backend.materialize(ssa_jobs, batch_size=batch_size)
         assert len(result) == len(serial_baseline)
         for index, (_, expected) in enumerate(serial_baseline):
             assert np.array_equal(result.trajectory(index).times, expected.times)
@@ -117,27 +138,37 @@ class TestBitIdentity:
 
     @pytest.mark.parametrize("ordered", [True, False])
     def test_streamed_matches_serial_bit_for_bit(
-        self, backend, ssa_jobs, serial_baseline, ordered
+        self, backend, ssa_jobs, serial_baseline, ordered, batch_size
     ):
-        for index, trajectory in backend.stream(ssa_jobs, ordered=ordered):
+        for index, trajectory in backend.stream(
+            ssa_jobs, ordered=ordered, batch_size=batch_size
+        ):
             expected = serial_baseline.trajectory(index)
             assert np.array_equal(trajectory.times, expected.times)
             assert np.array_equal(trajectory.data, expected.data)
 
 
 class TestOrdering:
-    def test_ordered_stream_delivers_in_submission_order(self, backend, ssa_jobs):
-        indices = [index for index, _ in backend.stream(ssa_jobs, ordered=True)]
+    def test_ordered_stream_delivers_in_submission_order(self, backend, ssa_jobs, batch_size):
+        indices = [
+            index
+            for index, _ in backend.stream(ssa_jobs, ordered=True, batch_size=batch_size)
+        ]
         assert indices == list(range(len(ssa_jobs)))
 
-    def test_completion_order_stream_covers_every_index_once(self, backend, ssa_jobs):
-        indices = [index for index, _ in backend.stream(ssa_jobs, ordered=False)]
+    def test_completion_order_stream_covers_every_index_once(
+        self, backend, ssa_jobs, batch_size
+    ):
+        indices = [
+            index
+            for index, _ in backend.stream(ssa_jobs, ordered=False, batch_size=batch_size)
+        ]
         assert sorted(indices) == list(range(len(ssa_jobs)))
 
 
 class TestStatistics:
-    def test_every_run_is_accounted_to_the_cache_counters(self, backend, ssa_jobs):
-        result = backend.materialize(ssa_jobs)
+    def test_every_run_is_accounted_to_the_cache_counters(self, backend, ssa_jobs, batch_size):
+        result = backend.materialize(ssa_jobs, batch_size=batch_size)
         assert result.stats.n_jobs == len(ssa_jobs)
         assert result.stats.cache_hits + result.stats.cache_misses == len(ssa_jobs)
         assert result.stats.wall_seconds > 0

@@ -1,0 +1,212 @@
+"""Batch grouping, the batch transports, and the shared-memory lifetime contract.
+
+The engine-level half of the lockstep-batching tests: how jobs pack into
+groups, how batch results cross each transport (inline objects, binary frame
+bytes, shared-memory segments), and — the part that can silently rot a
+machine — that ``/dev/shm`` holds no leaked ``glt_*`` segments after decode,
+after an abandoned stream, or after a worker dies mid-batch.
+"""
+
+import dataclasses
+import glob
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ProcessPoolEnsembleExecutor,
+    SerialExecutor,
+    batch_job_groups,
+    iter_ensemble,
+    replicate_jobs,
+    run_ensemble,
+)
+from repro.engine.core import (
+    batch_job_payloads,
+    decode_batch_result,
+    discard_batch_segment,
+    simulate_batch_payload,
+)
+from repro.engine.jobs import SimulationJob
+from repro.errors import EngineError
+from repro.stochastic.events import InputSchedule
+
+
+def _shm_segments():
+    return sorted(os.path.basename(p) for p in glob.glob("/dev/shm/glt_*"))
+
+
+@pytest.fixture(autouse=True)
+def _isolate_parent_worker_caches():
+    """Restore the parent-process worker-side caches after every test.
+
+    ``simulate_batch_payload`` is the *worker* entry point; calling it
+    in-process warms this process's module-level worker caches, and
+    fork-started pools inherit parent memory — without this isolation a
+    later test's "fresh" pool would start warm and its cold-compile
+    assertions would fail.
+    """
+    import repro.engine.cache as cache_module
+
+    names = ("_WORKER_CACHE", "_WORKER_MODELS", "_WORKER_KERNELS", "_WORKER_BLOBS_SEEN")
+    saved = {name: dict(getattr(cache_module, name)) for name in names}
+    yield
+    for name, value in saved.items():
+        current = getattr(cache_module, name)
+        current.clear()
+        current.update(value)
+
+
+@pytest.fixture(scope="module")
+def template(and_circuit):
+    schedule = InputSchedule.from_combinations(
+        list(and_circuit.inputs), [(0, 0), (1, 1)], 30.0, 30.0
+    )
+    return SimulationJob(
+        model=and_circuit.model, t_end=60.0, simulator="ssa", schedule=schedule
+    )
+
+
+class TestGrouping:
+    def test_replicates_pack_into_ceil_div_groups(self, template):
+        jobs = replicate_jobs(template, 7, seed=1)
+        groups = batch_job_groups(jobs, 3)
+        assert groups == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_configuration_change_closes_the_group(self, template):
+        jobs = replicate_jobs(template, 4, seed=1)
+        jobs[2] = dataclasses.replace(jobs[2], t_end=45.0)
+        groups = batch_job_groups(jobs, 4)
+        assert groups == [[0, 1], [2], [3]]
+
+    def test_different_schedule_objects_do_not_batch(self, template, and_circuit):
+        jobs = replicate_jobs(template, 2, seed=1)
+        other_schedule = InputSchedule.from_combinations(
+            list(and_circuit.inputs), [(0, 0), (1, 1)], 30.0, 30.0
+        )
+        jobs[1] = dataclasses.replace(jobs[1], schedule=other_schedule)
+        assert batch_job_groups(jobs, 2) == [[0], [1]]
+
+    def test_nonpositive_batch_size_rejected(self, template):
+        with pytest.raises(EngineError):
+            batch_job_groups(replicate_jobs(template, 2, seed=1), 0)
+
+    def test_generator_seeds_rejected_for_remote_transports(self, template):
+        jobs = [
+            dataclasses.replace(job, seed=np.random.default_rng(3))
+            for job in replicate_jobs(template, 2, seed=1)
+        ]
+        groups = batch_job_groups(jobs, 2)
+        with pytest.raises(EngineError, match="picklable seeds"):
+            batch_job_payloads(jobs, groups, transport="frame")
+
+    def test_unknown_transport_rejected(self, template):
+        jobs = replicate_jobs(template, 2, seed=1)
+        with pytest.raises(EngineError, match="transport"):
+            batch_job_payloads(jobs, batch_job_groups(jobs, 2), transport="carrier-pigeon")
+
+
+class TestTransports:
+    @pytest.mark.parametrize("transport", ["inline", "frame", "shm"])
+    def test_round_trip_matches_serial_baseline(self, template, transport):
+        jobs = replicate_jobs(template, 3, seed=17)
+        baseline = run_ensemble(jobs, workers=1)
+        payloads = batch_job_payloads(jobs, batch_job_groups(jobs, 3), transport=transport)
+        assert len(payloads) == 1
+        packed, cache_hit = simulate_batch_payload(payloads[0])
+        trajectories = decode_batch_result(packed)
+        assert isinstance(cache_hit, bool)
+        assert len(trajectories) == 3
+        for index, trajectory in enumerate(trajectories):
+            expected = baseline.trajectory(index)
+            assert np.array_equal(trajectory.times, expected.times)
+            assert np.array_equal(trajectory.data, expected.data)
+        # Whatever the transport allocated, decode released it.
+        assert _shm_segments() == []
+
+    def test_unknown_result_kind_rejected(self):
+        with pytest.raises(EngineError, match="kind"):
+            decode_batch_result({"kind": "telegram"})
+
+
+class TestSharedMemoryLifetime:
+    def test_decode_unlinks_the_segment(self, template):
+        jobs = replicate_jobs(template, 2, seed=5)
+        payloads = batch_job_payloads(jobs, batch_job_groups(jobs, 2), transport="shm")
+        packed, _ = simulate_batch_payload(payloads[0])
+        assert packed["kind"] == "shm"
+        assert packed["shm_name"] in _shm_segments()
+        decode_batch_result(packed)
+        assert _shm_segments() == []
+
+    def test_discard_sweeps_an_undecoded_segment(self, template):
+        """The abandoned-batch path: the worker wrote its segment but no one
+        ever decoded the result — the sweep must remove it by name."""
+        jobs = replicate_jobs(template, 2, seed=5)
+        payloads = batch_job_payloads(jobs, batch_job_groups(jobs, 2), transport="shm")
+        packed, _ = simulate_batch_payload(payloads[0])
+        assert _shm_segments() == [packed["shm_name"]]
+        discard_batch_segment(payloads[0]["shm_name"])
+        assert _shm_segments() == []
+
+    def test_discard_is_idempotent_for_never_created_segments(self):
+        discard_batch_segment("glt_never_created")
+        discard_batch_segment("glt_never_created")
+
+    def test_worker_death_mid_batch_leaves_no_segment_behind(self, template):
+        """A worker that dies *after* writing its segment but before the
+        parent decodes: the parent's by-name sweep is all the cleanup there
+        is, and it must suffice — no ``/dev/shm`` entry may outlive it."""
+        jobs = replicate_jobs(template, 2, seed=5)
+        payloads = batch_job_payloads(jobs, batch_job_groups(jobs, 2), transport="shm")
+
+        context = multiprocessing.get_context("spawn")
+        worker = context.Process(target=_run_payload_then_die, args=(payloads[0],))
+        worker.start()
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+        # The worker hard-exited without its resource tracker unlinking the
+        # segment (it unregistered after writing — the parent owns the unlink).
+        assert _shm_segments() == [payloads[0]["shm_name"]]
+        discard_batch_segment(payloads[0]["shm_name"])
+        assert _shm_segments() == []
+
+    def test_abandoned_pool_stream_sweeps_its_segments(self, template):
+        """Breaking out of a batched pool stream must leave ``/dev/shm`` clean:
+        undecoded in-flight batches are swept when the stream closes."""
+        jobs = replicate_jobs(template, 8, seed=9)
+        with ProcessPoolEnsembleExecutor(2) as executor:
+            stream = iter_ensemble(jobs, executor=executor, batch_size=2, ordered=True)
+            for index, _, _ in stream:
+                break  # leaves ~3 batches undecoded or in flight
+            stream.close()
+            assert _shm_segments() == []
+
+    def test_exhausted_pool_run_leaves_no_segments(self, template):
+        jobs = replicate_jobs(template, 5, seed=3)
+        with ProcessPoolEnsembleExecutor(2) as executor:
+            run_ensemble(jobs, executor=executor, batch_size=2)
+        assert _shm_segments() == []
+
+
+def _run_payload_then_die(payload):
+    """Subprocess body: execute the batch, then exit without any cleanup —
+    ``os._exit`` skips atexit hooks, finalizers and the resource tracker's
+    orderly shutdown, approximating a crash right after the result was ready."""
+    simulate_batch_payload(payload)
+    os._exit(0)
+
+
+class TestStatisticsInvariant:
+    def test_pool_batches_account_every_job_once(self, template):
+        jobs = replicate_jobs(template, 7, seed=21)
+        with ProcessPoolEnsembleExecutor(2) as executor:
+            result = run_ensemble(jobs, executor=executor, batch_size=3)
+        assert result.stats.cache_hits + result.stats.cache_misses == len(jobs)
+
+    def test_serial_batches_account_every_job_once(self, template):
+        jobs = replicate_jobs(template, 5, seed=21)
+        result = run_ensemble(jobs, executor=SerialExecutor(), batch_size=2)
+        assert result.stats.cache_hits + result.stats.cache_misses == len(jobs)
