@@ -50,6 +50,7 @@ from .engine import (
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     SimulationJob,
+    StudySpec,
     aiter_ensemble,
     arun_ensemble,
     gather_studies,
@@ -84,6 +85,7 @@ from .io import read_datalog_csv, result_to_dict, save_result_json, write_datalo
 from .logic import TruthTable, compare_tables, identify_gate, minimize, parse_expr
 from .sbml import Model, read_sbml_file, read_sbml_string, write_sbml_file, write_sbml_string
 from .sbol import ConversionParameters, SBOLDocument, sbol_to_sbml
+from .service import AnalysisService, ResultCache, ServiceServer, serve
 from .stochastic import (
     InputSchedule,
     Trajectory,
@@ -166,6 +168,7 @@ __all__ = [
     "format_analysis_report",
     "format_suite_table",
     # ensemble engine
+    "StudySpec",
     "SimulationJob",
     "EnsembleResult",
     "EnsembleStats",
@@ -196,6 +199,11 @@ __all__ = [
     "measure_analysis_runtime",
     "ameasure_analysis_runtime",
     "RuntimeMeasurement",
+    # HTTP analysis service
+    "AnalysisService",
+    "ResultCache",
+    "ServiceServer",
+    "serve",
     # I/O
     "write_datalog_csv",
     "read_datalog_csv",

@@ -11,6 +11,14 @@ study runs the same experiment under independent random seeds and reports
 
 which is the statistically honest version of that reliability argument and a
 natural extension the paper's conclusion points towards.
+
+The canonical request form is a frozen :class:`~repro.engine.StudySpec` —
+one serializable object naming the circuit, protocol, seed, analyzer
+configuration and execution knobs — consumed identically by
+:func:`run_replicate_study`, :func:`arun_replicate_study`, the CLI
+(``genlogic verify --spec``) and the HTTP service (:mod:`repro.service`).
+The legacy keyword form (circuit object plus scattered kwargs) is kept as a
+thin shim that constructs a spec.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -27,7 +35,8 @@ from ..engine.api import replicate_jobs, run_ensemble
 from ..engine.cache import model_blob, worker_model_from_blob
 from ..engine.executors import get_executor
 from ..engine.jobs import EnsembleStats
-from ..errors import AnalysisError
+from ..engine.spec import StudySpec, canonical_workers
+from ..errors import AnalysisError, EngineError
 from ..gates.circuits import GeneticCircuit
 from ..logic.truthtable import TruthTable
 from ..stochastic.rng import RandomState
@@ -46,6 +55,9 @@ class ReplicateStudy:
     #: Execution statistics of the simulation ensemble (None for studies
     #: assembled from pre-existing results).
     stats: Optional[EnsembleStats] = None
+    #: The canonical spec this study executed (None for studies assembled
+    #: from pre-existing results).
+    spec: Optional[StudySpec] = None
 
     def __post_init__(self) -> None:
         if not self.results:
@@ -95,6 +107,40 @@ class ReplicateStudy:
             f"{self.std_fitness:.2f}"
         )
 
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-serializable summary of the study (the service result shape).
+
+        ``fitness_values`` and ``recovered_tables`` carry the full
+        per-replicate outcome, so the result fields (everything except the
+        ``engine`` timing block) compare equal exactly when the underlying
+        studies were bit-identical — the property the service's
+        content-addressed cache (and its tests) rely on.
+        """
+        payload: Dict[str, object] = {
+            "circuit": self.circuit_name,
+            "expected": self.expected.to_hex(),
+            "n_replicates": self.n_replicates,
+            "recovery_rate": self.recovery_rate,
+            "mean_fitness": self.mean_fitness,
+            "std_fitness": self.std_fitness,
+            "fitness_values": [float(v) for v in self.fitness_values],
+            "recovered_tables": [r.truth_table.to_hex() for r in self.results],
+            "combination_agreement": self.combination_agreement(),
+            "worst_combination": self.worst_combination(),
+        }
+        if self.stats is not None:
+            payload["engine"] = {
+                "executor": self.stats.executor,
+                "workers": self.stats.workers,
+                "wall_seconds": self.stats.wall_seconds,
+                "runs_per_second": self.stats.runs_per_second,
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+            }
+        if self.spec is not None:
+            payload["spec"] = self.spec.to_dict()
+        return payload
+
 
 def _analyze_replicate_payload(payload) -> LogicAnalysisResult:
     """Analyze one replicate's trajectory (module-level, so executors can
@@ -113,31 +159,133 @@ def _analyze_replicate_payload(payload) -> LogicAnalysisResult:
     return analyzer.analyze(data, expected=expected)
 
 
+_STUDY_FIELD_DEFAULTS = {
+    "n_replicates": 5,
+    "threshold": 15.0,
+    "fov_ud": 0.25,
+    "hold_time": 200.0,
+    "repeats": 1,
+    "simulator": "ssa",
+}
+
+
+def _as_study_spec(
+    circuit: Union[StudySpec, GeneticCircuit, str],
+    *,
+    n_replicates: Optional[int],
+    threshold: Optional[float],
+    fov_ud: Optional[float],
+    hold_time: Optional[float],
+    repeats: Optional[int],
+    simulator: Optional[str],
+    rng: RandomState,
+    workers: Optional[int],
+    analysis_jobs: Optional[int],
+    batch_size: Optional[int],
+) -> StudySpec:
+    """The spec a (possibly legacy-keyword) call describes.
+
+    Given a ready :class:`StudySpec`, study-defining keywords may not also be
+    set (a spec *is* the study; silently merging the two would make one of
+    them lie), while the execution knobs — ``workers``, ``batch_size``,
+    ``analysis_jobs`` — may still be overridden at the call site, since they
+    never change the result.  Given a circuit, the keywords are folded into a
+    fresh spec with the documented defaults.
+    """
+    study_fields = {
+        "n_replicates": n_replicates,
+        "threshold": threshold,
+        "fov_ud": fov_ud,
+        "hold_time": hold_time,
+        "repeats": repeats,
+        "simulator": simulator,
+    }
+    if isinstance(circuit, StudySpec):
+        conflicting = sorted(name for name, value in study_fields.items() if value is not None)
+        if rng is not None:
+            conflicting.append("rng")
+        if conflicting:
+            raise AnalysisError(
+                f"got both a StudySpec and study-defining keyword(s) {conflicting}; "
+                "build the spec with those values (spec.replace(...)) instead",
+            )
+        knobs = {
+            name: int(value)
+            for name, value in (
+                ("workers", workers),
+                ("analysis_jobs", analysis_jobs),
+                ("batch_size", batch_size),
+            )
+            if value is not None and int(value) != getattr(circuit, name)
+        }
+        return circuit.replace(**knobs) if knobs else circuit
+    fields = {
+        name: value if value is not None else _STUDY_FIELD_DEFAULTS[name]
+        for name, value in study_fields.items()
+    }
+    for name, value in (
+        ("workers", workers),
+        ("analysis_jobs", analysis_jobs),
+        ("batch_size", batch_size),
+    ):
+        if value is not None:
+            fields[name] = int(value)
+    attach_rng = None
+    if rng is None or isinstance(rng, (int, np.integer)):
+        fields["seed"] = None if rng is None else int(rng)
+    else:
+        # A live Generator / SeedSequence cannot live in a frozen, serializable
+        # spec; carry it alongside for execution (such a spec has no cache key).
+        attach_rng = rng
+    try:
+        spec = StudySpec.for_circuit(circuit, **fields)
+    except EngineError as error:
+        # Legacy keyword callers predate StudySpec and expect AnalysisError
+        # for invalid study parameters.
+        raise AnalysisError(str(error)) from None
+    if attach_rng is not None:
+        object.__setattr__(spec, "_rng", attach_rng)
+    return spec
+
+
 def run_replicate_study(
-    circuit: GeneticCircuit,
-    n_replicates: int = 5,
-    threshold: float = 15.0,
-    fov_ud: float = 0.25,
-    hold_time: float = 200.0,
-    repeats: int = 1,
-    simulator: str = "ssa",
+    circuit: Union[StudySpec, GeneticCircuit, str],
+    n_replicates: Optional[int] = None,
+    threshold: Optional[float] = None,
+    fov_ud: Optional[float] = None,
+    hold_time: Optional[float] = None,
+    repeats: Optional[int] = None,
+    simulator: Optional[str] = None,
     rng: RandomState = None,
-    jobs: int = 1,
+    workers: Optional[int] = None,
     executor=None,
     progress=None,
-    analysis_jobs: int = 1,
-    batch_size: int = 1,
+    analysis_jobs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    *,
+    jobs: Optional[int] = None,
 ) -> ReplicateStudy:
     """Run ``n_replicates`` independent experiments and aggregate the analyses.
 
+    The canonical call passes one :class:`~repro.engine.StudySpec` (or a
+    circuit name) — ``run_replicate_study(StudySpec(circuit="0x0B",
+    n_replicates=20, seed=7, workers=4))`` — and the returned study records
+    that spec at ``.spec``.  The legacy form (a circuit object plus keywords:
+    ``n_replicates=5``, ``threshold=15.0``, ``fov_ud=0.25``,
+    ``hold_time=200.0``, ``repeats=1``, ``simulator="ssa"``) is a shim that
+    constructs the same spec, so both forms execute identically, bit for
+    bit.  ``workers`` is the canonical concurrency keyword (``jobs=`` is a
+    deprecated alias that warns).
+
     The replicate simulations are submitted as one batch to the ensemble
-    engine: ``jobs=N`` runs them on ``N`` worker processes, with bit-identical
-    results to the serial path because the per-replicate seeds are fanned out
-    from ``rng`` before dispatch.  Execution streams: each trajectory is
-    analyzed (datalog statistics, logic recovery) the moment its run
-    completes and then discarded, so peak memory holds a bounded window of
-    trajectories rather than all ``n_replicates`` of them.  Pass an opened
-    ``executor`` to reuse one live worker pool across several studies.
+    engine: ``workers=N`` runs them on ``N`` worker processes, with
+    bit-identical results to the serial path because the per-replicate seeds
+    are fanned out from the spec's seed before dispatch.  Execution streams:
+    each trajectory is analyzed (datalog statistics, logic recovery) the
+    moment its run completes and then discarded, so peak memory holds a
+    bounded window of trajectories rather than all ``n_replicates`` of them.
+    Pass an opened ``executor`` to reuse one live worker pool across several
+    studies (it overrides ``workers``).
 
     ``analysis_jobs=N > 1`` fans the *analysis* out to worker processes too,
     through the engine's generic ``map`` path: the trajectories are
@@ -152,21 +300,45 @@ def run_replicate_study(
     per worker call — same trajectories, same analyses, less dispatch and
     result-transport overhead per replicate.
     """
-    if n_replicates < 1:
-        raise AnalysisError("n_replicates must be at least 1")
-    experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
-    template = experiment.job(hold_time=hold_time, repeats=repeats)
-    batch = replicate_jobs(template, n_replicates, seed=rng)
+    workers = canonical_workers(workers, jobs, default=1) if (
+        workers is not None or jobs is not None
+    ) else None
+    spec = _as_study_spec(
+        circuit,
+        n_replicates=n_replicates,
+        threshold=threshold,
+        fov_ud=fov_ud,
+        hold_time=hold_time,
+        repeats=repeats,
+        simulator=simulator,
+        rng=rng,
+        workers=workers,
+        analysis_jobs=analysis_jobs,
+        batch_size=batch_size,
+    )
+    resolved = spec.resolve_circuit()
+    seed = spec.__dict__.get("_rng", spec.seed)
+    experiment = LogicExperiment.for_spec(spec)
+    template = experiment.job(
+        hold_time=spec.hold_time,
+        repeats=spec.repeats,
+        overrides=dict(spec.overrides) if spec.overrides else None,
+    )
+    batch = replicate_jobs(template, spec.n_replicates, seed=seed)
 
-    if analysis_jobs > 1:
+    if spec.analysis_jobs > 1:
         owns_executor = executor is None
-        runner = executor if executor is not None else get_executor(max(jobs, analysis_jobs))
+        runner = (
+            executor
+            if executor is not None
+            else get_executor(max(spec.workers, spec.analysis_jobs))
+        )
         try:
             ensemble = run_ensemble(
-                batch, executor=runner, progress=progress, batch_size=batch_size
+                batch, executor=runner, progress=progress, batch_size=spec.batch_size
             )
             bundle, fingerprint = model_blob(
-                (experiment, float(threshold), float(fov_ud), circuit.expected_table),
+                (experiment, spec.threshold, spec.fov_ud, resolved.expected_table),
             )
             payloads = [
                 # The job ships without its model: the analysis only needs the
@@ -180,44 +352,80 @@ def run_replicate_study(
             if owns_executor:
                 runner.close()
         return ReplicateStudy(
-            circuit_name=circuit.name,
-            expected=circuit.expected_table,
+            circuit_name=resolved.name,
+            expected=resolved.expected_table,
             results=results,
             stats=ensemble.stats,
+            spec=spec,
         )
 
-    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)
+    analyzer = LogicAnalyzer(threshold=spec.threshold, fov_ud=spec.fov_ud)
 
     def _analyze(index, job, trajectory) -> LogicAnalysisResult:
         data = experiment.datalog_from(job, trajectory)
-        return analyzer.analyze(data, expected=circuit.expected_table)
+        return analyzer.analyze(data, expected=resolved.expected_table)
 
     ensemble = run_ensemble(
         batch,
-        workers=jobs,
+        workers=spec.workers,
         executor=executor,
         progress=progress,
         reduce=_analyze,
-        batch_size=batch_size,
+        batch_size=spec.batch_size,
     )
     results: List[LogicAnalysisResult] = list(ensemble.reduced)
     return ReplicateStudy(
-        circuit_name=circuit.name,
-        expected=circuit.expected_table,
+        circuit_name=resolved.name,
+        expected=resolved.expected_table,
         results=results,
         stats=ensemble.stats,
+        spec=spec,
     )
 
 
-async def arun_replicate_study(*args, **kwargs) -> ReplicateStudy:
+async def arun_replicate_study(
+    circuit: Union[StudySpec, GeneticCircuit, str],
+    n_replicates: Optional[int] = None,
+    threshold: Optional[float] = None,
+    fov_ud: Optional[float] = None,
+    hold_time: Optional[float] = None,
+    repeats: Optional[int] = None,
+    simulator: Optional[str] = None,
+    rng: RandomState = None,
+    workers: Optional[int] = None,
+    executor=None,
+    progress=None,
+    analysis_jobs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> ReplicateStudy:
     """Async entry point: :func:`run_replicate_study` off the event loop.
 
     Runs the (blocking) study on a worker thread via
     :func:`asyncio.to_thread`, so a caller inside an event loop — e.g. a web
     handler running one study per request — never stalls its loop while the
-    simulations execute.  Accepts exactly the arguments of
-    :func:`run_replicate_study`; pass ``executor=`` (e.g. the shared pool of
-    :func:`repro.engine.gather_studies`) to multiplex many concurrent
-    studies over one warm worker pool.
+    simulations execute.  Mirrors the signature of
+    :func:`run_replicate_study` exactly (same canonical
+    :class:`~repro.engine.StudySpec` form, same legacy keyword shim, same
+    deprecated ``jobs=`` alias); pass ``executor=`` (e.g. the shared pool of
+    :func:`repro.engine.gather_studies` or the HTTP service's warm executor)
+    to multiplex many concurrent studies over one worker pool.
     """
-    return await asyncio.to_thread(run_replicate_study, *args, **kwargs)
+    return await asyncio.to_thread(
+        run_replicate_study,
+        circuit,
+        n_replicates=n_replicates,
+        threshold=threshold,
+        fov_ud=fov_ud,
+        hold_time=hold_time,
+        repeats=repeats,
+        simulator=simulator,
+        rng=rng,
+        workers=workers,
+        executor=executor,
+        progress=progress,
+        analysis_jobs=analysis_jobs,
+        batch_size=batch_size,
+        jobs=jobs,
+    )

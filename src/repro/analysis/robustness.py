@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..engine.spec import canonical_workers
 from ..errors import AnalysisError
 from ..gates.circuits import GeneticCircuit
 from ..stochastic.rng import RandomState
@@ -88,17 +89,20 @@ def assess_robustness(
     simulator: str = "ssa",
     rng: RandomState = None,
     fov_ud: float = 0.25,
-    jobs: int = 1,
+    workers: Optional[int] = None,
     executor=None,
     progress=None,
+    *,
+    jobs: Optional[int] = None,
 ) -> RobustnessReport:
     """Sweep the thresholds and package the verdicts into a report.
 
-    The underlying sweep runs through the ensemble engine; ``jobs=N``
-    parallelises the per-threshold simulations across worker processes, and
-    an opened ``executor`` lets several robustness reports share one live
-    worker pool.
+    The underlying sweep runs through the ensemble engine; ``workers=N``
+    parallelises the per-threshold simulations across worker processes
+    (``jobs=`` is a deprecated alias), and an opened ``executor`` lets
+    several robustness reports share one live worker pool.
     """
+    workers = canonical_workers(workers, jobs, default=1)
     if nominal_threshold <= 0:
         raise AnalysisError("nominal_threshold must be positive")
     entries = threshold_sweep(
@@ -109,7 +113,7 @@ def assess_robustness(
         simulator=simulator,
         rng=rng,
         fov_ud=fov_ud,
-        jobs=jobs,
+        workers=workers,
         executor=executor,
         progress=progress,
     )

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.analyzer import LogicAnalyzer
+from ..engine.spec import canonical_workers
 from ..errors import AnalysisError
 from ..logic.truthtable import TruthTable
 from ..stochastic.rng import RandomState, fan_out_seeds, make_rng
@@ -121,26 +122,29 @@ def measure_analysis_runtime(
     fov_ud: float = 0.25,
     repeats: int = 3,
     rng: RandomState = None,
-    jobs: int = 1,
+    workers: Optional[int] = None,
     progress=None,
     executor=None,
+    *,
+    jobs: Optional[int] = None,
 ) -> List[RuntimeMeasurement]:
     """Time the analyzer over a range of trace sizes.
 
     Each size is measured ``repeats`` times on freshly generated data and the
     *minimum* wall time is reported (the usual way to suppress scheduler
-    noise in micro-benchmarks).  With ``jobs=N`` the sizes are distributed
+    noise in micro-benchmarks).  With ``workers=N`` the sizes are distributed
     over the ensemble engine's process-pool executor (one independent seed per
     size); wall-clock timings taken under contention are noisier, so keep
-    ``jobs=1`` when absolute numbers matter.  An explicit ``executor`` (e.g.
-    a :class:`~repro.engine.DistributedEnsembleExecutor` behind the CLI's
-    ``--dispatch``) overrides ``jobs`` and stays open for the caller.
-    ``progress`` is called after each measured size with
-    ``(done, total, size_index)``.
+    ``workers=1`` when absolute numbers matter.  An explicit ``executor``
+    (e.g. a :class:`~repro.engine.DistributedEnsembleExecutor` behind the
+    CLI's ``--dispatch``) overrides ``workers`` and stays open for the
+    caller.  ``jobs=`` is a deprecated alias for ``workers=``.  ``progress``
+    is called after each measured size with ``(done, total, size_index)``.
     """
+    workers = canonical_workers(workers, jobs, default=1)
     if repeats < 1:
         raise AnalysisError("repeats must be at least 1")
-    if executor is not None or (jobs and jobs > 1):
+    if executor is not None or workers > 1:
         from ..engine.executors import get_executor
 
         seeds = fan_out_seeds(rng, len(sample_sizes))
@@ -150,7 +154,7 @@ def measure_analysis_runtime(
         ]
         if executor is not None:
             return executor.map(_measure_one_size, payloads, progress=progress)
-        with get_executor(jobs) as pool:
+        with get_executor(workers) as pool:
             return pool.map(_measure_one_size, payloads, progress=progress)
     generator = make_rng(rng)
     analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov_ud)

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from ..core.analyzer import LogicAnalysisResult, LogicAnalyzer
 from ..engine.api import run_ensemble
+from ..engine.spec import canonical_workers
 from ..errors import AnalysisError
 from ..gates.circuits import GeneticCircuit
 from ..logic.compare import LogicComparison
@@ -77,9 +78,11 @@ def threshold_sweep(
     fov_ud: float = 0.25,
     input_high_equals_threshold: bool = True,
     input_high: Optional[float] = None,
-    jobs: int = 1,
+    workers: Optional[int] = None,
     executor=None,
     progress=None,
+    *,
+    jobs: Optional[int] = None,
 ) -> List[ThresholdSweepEntry]:
     """Analyse ``circuit`` once per threshold value.
 
@@ -90,12 +93,14 @@ def threshold_sweep(
 
     All per-threshold simulations are submitted as one batch to the ensemble
     engine (compiling the circuit model once for the whole sweep);
-    ``jobs=N`` runs them on ``N`` worker processes with results identical to
-    the serial path.  Each run is analyzed as it completes and its trajectory
-    discarded, so the sweep never materializes more than the executor's
-    in-flight window.  An opened ``executor`` is reused (and left open) so
-    several sweeps can share one warm worker pool.
+    ``workers=N`` runs them on ``N`` worker processes with results identical
+    to the serial path (``jobs=`` is a deprecated alias).  Each run is
+    analyzed as it completes and its trajectory discarded, so the sweep never
+    materializes more than the executor's in-flight window.  An opened
+    ``executor`` is reused (and left open) so several sweeps can share one
+    warm worker pool.
     """
+    workers = canonical_workers(workers, jobs, default=1)
     thresholds = list(thresholds)
     if not thresholds:
         raise AnalysisError("threshold_sweep needs at least one threshold value")
@@ -136,7 +141,7 @@ def threshold_sweep(
 
     ensemble = run_ensemble(
         sweep_jobs,
-        workers=jobs,
+        workers=workers,
         executor=executor,
         progress=progress,
         reduce=_entry,

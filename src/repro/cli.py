@@ -16,13 +16,19 @@ Four sub-commands cover the paper's workflow end to end:
     expression and print its structure.
 ``genlogic worker --connect host:port`` / ``--listen host:port``
     Serve as one node of a distributed ensemble fabric (see below).
+``genlogic serve --port 8080 --workers 4``
+    Run the HTTP analysis service (``POST /v1/studies`` with a StudySpec
+    body; see :mod:`repro.service`) over one warm worker pool — or over the
+    distributed fabric with ``--dispatch``.  Loopback binds only, until the
+    fabric's HMAC handshake lands.
 
 Multi-run execution: ``simulate``, ``verify`` and ``runtime`` accept
 ``--replicates N`` (independent seeded runs; measurement repeats for
-``runtime``) and ``--jobs N`` (worker processes).  Simulation batches go
-through :mod:`repro.engine`, so their results are bit-identical regardless
-of ``--jobs``; ``runtime`` measures wall time, which is inherently
-jobs-sensitive.  Replicate CSVs are written as each run completes (the
+``runtime``) and ``--workers N`` (worker processes; ``--jobs`` is the
+deprecated spelling of the same flag).  Simulation batches go through
+:mod:`repro.engine`, so their results are bit-identical regardless of
+``--workers``; ``runtime`` measures wall time, which is inherently
+workers-sensitive.  Replicate CSVs are written as each run completes (the
 engine's streamed path), and a live ``done/total`` progress line is shown on
 interactive terminals — ``--progress`` / ``--no-progress`` override the TTY
 autodetection (CI logs stay clean by default).  ``simulate`` and ``verify``
@@ -35,10 +41,10 @@ Distributed execution: the same three sub-commands accept
 ``--dispatch host:port,...`` — a comma-separated list of machines running
 ``genlogic worker --listen host:port`` — and shard the batch across them via
 :class:`repro.engine.DistributedEnsembleExecutor`, with results bit-identical
-to ``--jobs`` (and to serial) for the same seed.  A worker started with
+to ``--workers`` (and to serial) for the same seed.  A worker started with
 ``--connect`` instead dials a listening coordinator (the
 ``DistributedEnsembleExecutor(listen=...)`` shape used by services and
-tests).  ``--dispatch`` and ``--jobs`` are mutually exclusive.
+tests).  ``--dispatch`` and ``--workers`` are mutually exclusive.
 """
 
 from __future__ import annotations
@@ -53,19 +59,12 @@ from typing import Optional, Sequence
 from .analysis.replicates import run_replicate_study
 from .analysis.runtime import measure_analysis_runtime
 from .engine.distributed import DistributedEnsembleExecutor, parse_dispatch_spec
+from .engine.spec import StudySpec, canonical_workers
 from .core.analyzer import LogicAnalyzer
 from .core.report import format_analysis_report
 from .errors import ReproError
 from .gates.cello import CELLO_CIRCUIT_NAMES, cello_circuit
-from .gates.circuits import (
-    GeneticCircuit,
-    and_gate_circuit,
-    nand_gate_circuit,
-    nor_gate_circuit,
-    not_gate_circuit,
-    or_gate_circuit,
-    standard_suite,
-)
+from .gates.circuits import resolve_circuit, standard_suite
 from .gates.synthesis import synthesize_from_expression, synthesize_from_hex
 from .io.csvlog import read_datalog_csv, write_datalog_csv
 from .io.results import save_result_json
@@ -74,29 +73,6 @@ from .vlab.experiment import LogicExperiment
 from .version import __version__
 
 __all__ = ["main", "build_parser"]
-
-_NAMED_CIRCUITS = {
-    "not": not_gate_circuit,
-    "and": and_gate_circuit,
-    "or": or_gate_circuit,
-    "nand": nand_gate_circuit,
-    "nor": nor_gate_circuit,
-}
-
-
-def _resolve_circuit(name: str) -> GeneticCircuit:
-    """Look up a built-in circuit by name (``and``, ``0x0B``, ``cello_0x0b``...)."""
-    key = name.lower()
-    if key in _NAMED_CIRCUITS:
-        return _NAMED_CIRCUITS[key]()
-    if key.startswith("cello_"):
-        key = key[len("cello_") :]
-    if key.startswith("0x"):
-        return cello_circuit(key)
-    raise ReproError(
-        f"unknown circuit {name!r}; use one of {sorted(_NAMED_CIRCUITS)} or a hex name "
-        "such as 0x0B",
-    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,12 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent seeded runs; replicate R is written to OUT with a -rR suffix",
     )
-    simulate.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the replicate batch",
-    )
+    _add_workers_flag(simulate, "worker processes for the replicate batch")
     _add_dispatch_flag(simulate)
     _add_batch_flag(simulate)
     _add_progress_flag(simulate)
@@ -149,26 +120,35 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", help="also write the result as JSON to this path")
 
     verify = subparsers.add_parser("verify", help="simulate + analyze + verify a built-in circuit")
-    verify.add_argument("circuit", help="built-in circuit name or hex name")
-    verify.add_argument("--threshold", type=float, default=15.0)
-    verify.add_argument("--fov", type=float, default=0.25)
-    verify.add_argument("--hold-time", type=float, default=250.0)
-    verify.add_argument("--repeats", type=int, default=1)
-    verify.add_argument("--simulator", default="ssa")
+    verify.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="built-in circuit name or hex name (omit when using --spec)",
+    )
+    verify.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE.json",
+        help=(
+            "run the StudySpec in this JSON file (the canonical request form; "
+            "study-defining flags may not be combined with it)"
+        ),
+    )
+    verify.add_argument("--threshold", type=float, default=None)
+    verify.add_argument("--fov", type=float, default=None)
+    verify.add_argument("--hold-time", type=float, default=None)
+    verify.add_argument("--repeats", type=int, default=None)
+    verify.add_argument("--simulator", default=None)
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--json", help="also write the result as JSON to this path")
     verify.add_argument(
         "--replicates",
         type=int,
-        default=1,
+        default=None,
         help="run a replicate study instead of a single verification",
     )
-    verify.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the replicate batch",
-    )
+    _add_workers_flag(verify, "worker processes for the replicate batch")
     _add_dispatch_flag(verify)
     _add_batch_flag(verify)
     _add_progress_flag(verify)
@@ -187,12 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="measurement repeats per size (the minimum wall time is reported)",
     )
-    runtime.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes measuring different sizes concurrently",
-    )
+    _add_workers_flag(runtime, "worker processes measuring different sizes concurrently")
     _add_dispatch_flag(runtime)
     _add_progress_flag(runtime)
 
@@ -228,7 +203,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --listen: exit after serving this many coordinator sessions",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP analysis service (StudySpec in, cached results out)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address; must be loopback until the fabric's HMAC handshake lands",
+    )
+    serve.add_argument("--port", type=int, default=8080, help="listen port (0 = ephemeral)")
+    _add_workers_flag(serve, "local worker processes for the shared pool")
+    _add_dispatch_flag(serve)
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrently executing studies before submissions get 429",
+    )
+    serve.add_argument(
+        "--max-replicates",
+        type=int,
+        default=64,
+        help="per-request replicate budget (larger specs get 413)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="byte budget of the content-addressed result cache (0 disables)",
+    )
+
     return parser
+
+
+def _add_workers_flag(subparser: argparse.ArgumentParser, help_text: str) -> None:
+    subparser.add_argument("--workers", type=int, default=None, help=help_text)
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="deprecated alias for --workers (same meaning)",
+    )
 
 
 def _add_dispatch_flag(subparser: argparse.ArgumentParser) -> None:
@@ -312,7 +328,7 @@ def _replicate_out_path(out: str, replicate: int) -> str:
 def _command_simulate(args: argparse.Namespace) -> int:
     if args.replicates < 1:
         raise ReproError("--replicates must be at least 1")
-    _validate_jobs(args)
+    _validate_workers(args)
     if args.circuit.endswith(".xml") or args.circuit.endswith(".sbml"):
         model = read_sbml_file(args.circuit)
         if not args.inputs or not args.output:
@@ -325,14 +341,14 @@ def _command_simulate(args: argparse.Namespace) -> int:
             simulator=args.simulator,
         )
     else:
-        circuit = _resolve_circuit(args.circuit)
+        circuit = resolve_circuit(args.circuit)
         experiment = LogicExperiment.for_circuit(
             circuit,
             simulator=args.simulator,
             input_high=args.input_high,
         )
     if args.replicates == 1:
-        _warn_if_jobs_unused(args)
+        _warn_if_workers_unused(args)
         # Single run: the seed feeds the simulator directly (the historical
         # behaviour, so seeded CSVs stay reproducible across versions).
         log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
@@ -348,7 +364,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             hold_time=args.hold_time,
             repeats=args.repeats,
             seed=args.seed,
-            workers=args.jobs,
+            workers=args.workers,
             executor=executor,
             progress=_progress_hook(args),
             batch_size=getattr(args, "batch", 1),
@@ -376,11 +392,20 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _validate_jobs(args: argparse.Namespace) -> None:
-    if args.jobs < 1:
+def _validate_workers(args: argparse.Namespace) -> None:
+    """Fold the deprecated ``--jobs`` alias into canonical ``args.workers``."""
+    if args.jobs is not None and args.jobs < 1:
         raise ReproError("--jobs must be at least 1")
-    if getattr(args, "dispatch", None) is not None and args.jobs > 1:
-        raise ReproError("--dispatch and --jobs are mutually exclusive")
+    if args.workers is not None and args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    if args.jobs is not None:
+        print("note: --jobs is deprecated; use --workers (same meaning)", file=sys.stderr)
+    try:
+        args.workers = canonical_workers(args.workers, args.jobs, default=1)
+    except ReproError:
+        raise ReproError("pass either --workers or the deprecated --jobs, not both") from None
+    if getattr(args, "dispatch", None) is not None and args.workers > 1:
+        raise ReproError("--dispatch and --workers/--jobs are mutually exclusive")
     if getattr(args, "batch", 1) < 1:
         raise ReproError("--batch must be at least 1")
 
@@ -406,65 +431,104 @@ def _dispatch_executor(args: argparse.Namespace):
         executor.close()
 
 
-def _warn_if_jobs_unused(args: argparse.Namespace) -> None:
-    if args.jobs > 1 or getattr(args, "dispatch", None) is not None:
+def _warn_if_workers_unused(args: argparse.Namespace) -> None:
+    if args.workers > 1 or getattr(args, "dispatch", None) is not None:
         print(
-            "note: --jobs only parallelises replicate batches (--dispatch "
-            "likewise); a single run (--replicates 1) executes serially",
+            "note: --workers / --jobs only parallelises replicate batches "
+            "(--dispatch likewise); a single run (--replicates 1) executes serially",
             file=sys.stderr,
         )
 
 
+def _load_spec_file(path: str) -> StudySpec:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return StudySpec.from_json(handle.read())
+    except OSError as error:
+        raise ReproError(f"cannot read spec file {path!r}: {error}") from None
+
+
+def _print_replicate_study(study, args: argparse.Namespace) -> int:
+    print(study.summary())
+    agreement = study.combination_agreement()
+    worst = study.worst_combination()
+    print(f"worst combination: {worst} ({agreement[worst] * 100:.0f}% agreement)")
+    print(study.stats.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(study.to_payload(), handle, indent=2)
+        print(f"study JSON written to {args.json}")
+    return 0 if study.recovery_rate == 1.0 else 1
+
+
 def _command_verify(args: argparse.Namespace) -> int:
-    circuit = _resolve_circuit(args.circuit)
-    if args.replicates < 1:
+    _validate_workers(args)
+    if args.spec is not None:
+        # The canonical request form: the spec IS the study; study-defining
+        # flags may not silently disagree with it.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("CIRCUIT", args.circuit),
+                ("--threshold", args.threshold),
+                ("--fov", args.fov),
+                ("--hold-time", args.hold_time),
+                ("--repeats", args.repeats),
+                ("--simulator", args.simulator),
+                ("--seed", args.seed),
+                ("--replicates", args.replicates),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ReproError(
+                f"--spec may not be combined with {conflicting}; "
+                "edit the spec file instead",
+            )
+        spec = _load_spec_file(args.spec)
+        knobs = {}
+        if args.workers != spec.workers and args.workers != 1:
+            knobs["workers"] = args.workers
+        if getattr(args, "batch", 1) != 1:
+            knobs["batch_size"] = args.batch
+        if knobs:
+            spec = spec.replace(**knobs)
+        with _dispatch_executor(args) as executor:
+            study = run_replicate_study(spec, executor=executor, progress=_progress_hook(args))
+        return _print_replicate_study(study, args)
+    if args.circuit is None:
+        raise ReproError("verify needs a circuit name or --spec FILE.json")
+    circuit = resolve_circuit(args.circuit)
+    replicates = args.replicates if args.replicates is not None else 1
+    threshold = args.threshold if args.threshold is not None else 15.0
+    fov = args.fov if args.fov is not None else 0.25
+    hold_time = args.hold_time if args.hold_time is not None else 250.0
+    repeats = args.repeats if args.repeats is not None else 1
+    simulator = args.simulator if args.simulator is not None else "ssa"
+    if replicates < 1:
         raise ReproError("--replicates must be at least 1")
-    _validate_jobs(args)
-    if args.replicates == 1:
-        _warn_if_jobs_unused(args)
-    if args.replicates > 1:
+    if replicates == 1:
+        _warn_if_workers_unused(args)
+    if replicates > 1:
         with _dispatch_executor(args) as executor:
             study = run_replicate_study(
                 circuit,
-                n_replicates=args.replicates,
-                threshold=args.threshold,
-                fov_ud=args.fov,
-                hold_time=args.hold_time,
-                repeats=args.repeats,
-                simulator=args.simulator,
+                n_replicates=replicates,
+                threshold=threshold,
+                fov_ud=fov,
+                hold_time=hold_time,
+                repeats=repeats,
+                simulator=simulator,
                 rng=args.seed,
-                jobs=args.jobs,
+                workers=args.workers,
                 executor=executor,
                 progress=_progress_hook(args),
                 batch_size=getattr(args, "batch", 1),
             )
-        print(study.summary())
-        agreement = study.combination_agreement()
-        worst = study.worst_combination()
-        print(f"worst combination: {worst} ({agreement[worst] * 100:.0f}% agreement)")
-        print(study.stats.summary())
-        if args.json:
-            payload = {
-                "circuit": study.circuit_name,
-                "n_replicates": study.n_replicates,
-                "recovery_rate": study.recovery_rate,
-                "mean_fitness": study.mean_fitness,
-                "std_fitness": study.std_fitness,
-                "combination_agreement": agreement,
-                "engine": {
-                    "executor": study.stats.executor,
-                    "workers": study.stats.workers,
-                    "wall_seconds": study.stats.wall_seconds,
-                    "runs_per_second": study.stats.runs_per_second,
-                },
-            }
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-            print(f"study JSON written to {args.json}")
-        return 0 if study.recovery_rate == 1.0 else 1
-    experiment = LogicExperiment.for_circuit(circuit, simulator=args.simulator)
-    log = experiment.run(hold_time=args.hold_time, repeats=args.repeats, rng=args.seed)
-    analyzer = LogicAnalyzer(threshold=args.threshold, fov_ud=args.fov)
+        return _print_replicate_study(study, args)
+    experiment = LogicExperiment.for_circuit(circuit, simulator=simulator)
+    log = experiment.run(hold_time=hold_time, repeats=repeats, rng=args.seed)
+    analyzer = LogicAnalyzer(threshold=threshold, fov_ud=fov)
     result = analyzer.analyze(log, expected=circuit.expected_table)
     print(format_analysis_report(result))
     if args.json:
@@ -485,14 +549,14 @@ def _command_synth(args: argparse.Namespace) -> int:
 
 
 def _command_runtime(args: argparse.Namespace) -> int:
-    _validate_jobs(args)
+    _validate_workers(args)
     with _dispatch_executor(args) as executor:
         measurements = measure_analysis_runtime(
             args.sizes,
             n_inputs=args.inputs,
             rng=args.seed,
             repeats=args.replicates,
-            jobs=args.jobs,
+            workers=args.workers,
             executor=executor,
             progress=_progress_hook(args, unit="sizes"),
         )
@@ -522,6 +586,60 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import ipaddress
+    import socket
+
+    from .service import AnalysisService, serve as service_serve
+
+    _validate_workers(args)
+    # The service speaks plaintext HTTP and trusts its clients, exactly like
+    # the worker fabric (see the trust model in repro/engine/distributed.py).
+    # Refuse non-loopback binds until the fabric's HMAC handshake lands.
+    try:
+        loopback = ipaddress.ip_address(args.host).is_loopback
+    except ValueError:
+        try:
+            loopback = ipaddress.ip_address(socket.gethostbyname(args.host)).is_loopback
+        except OSError:
+            loopback = False
+    if not loopback:
+        raise ReproError(
+            f"refusing to bind {args.host!r}: genlogic serve is loopback-only "
+            "until the fabric's HMAC handshake lands (see the trust model in "
+            "repro/engine/distributed.py); front it with an authenticating "
+            "reverse proxy to expose it",
+        )
+    if args.max_inflight < 1:
+        raise ReproError("--max-inflight must be at least 1")
+    if args.max_replicates < 1:
+        raise ReproError("--max-replicates must be at least 1")
+    if args.cache_bytes < 0:
+        raise ReproError("--cache-bytes must be non-negative")
+
+    executor = None
+    if args.dispatch is not None:
+        executor = DistributedEnsembleExecutor(connect=parse_dispatch_spec(args.dispatch))
+    service = AnalysisService(
+        workers=args.workers,
+        executor=executor,
+        max_inflight=args.max_inflight,
+        max_replicates=args.max_replicates,
+        cache_bytes=args.cache_bytes,
+    )
+
+    def _ready(address) -> None:
+        host, port = address
+        print(f"genlogic service listening on http://{host}:{port}", flush=True)
+
+    try:
+        service_serve(host=args.host, port=args.port, service=service, ready=_ready)
+    finally:
+        if executor is not None:
+            executor.close()
+    return 0
+
+
 _COMMANDS = {
     "list": _command_list,
     "simulate": _command_simulate,
@@ -530,6 +648,7 @@ _COMMANDS = {
     "synth": _command_synth,
     "runtime": _command_runtime,
     "worker": _command_worker,
+    "serve": _command_serve,
 }
 
 

@@ -33,12 +33,17 @@ simulations cheaply; this subsystem is where they all execute:
   :class:`AsyncEnsembleExecutor` — the asyncio layer: the same batches (and
   bit-identical trajectories) driven from inside an event loop without
   blocking it, including N independent studies multiplexed concurrently over
-  one shared warm pool.
+  one shared warm pool;
+* :class:`StudySpec` — the canonical, frozen, JSON-round-trippable request
+  object naming one replicate study, consumed identically by the Python API,
+  the CLI (``genlogic verify --spec``) and the HTTP service
+  (:mod:`repro.service`); its content-addressed :meth:`StudySpec.cache_key`
+  is the identity under which the service caches results.
 
 See ``analysis/replicates.py``, ``analysis/sweep.py``,
 ``analysis/robustness.py`` and ``vlab/propagation.py`` for the studies built
-on top, and the CLI's ``--jobs`` / ``--replicates`` flags for the user-facing
-entry points.
+on top, and the CLI's ``--workers`` / ``--replicates`` flags for the
+user-facing entry points.
 """
 
 from .aio import (
@@ -55,6 +60,7 @@ from .api import (
     run_ensemble,
     run_job,
 )
+from .spec import STUDY_SPEC_SCHEMA, StudySpec, canonical_workers
 from .cache import CompiledModelCache, default_cache, model_fingerprint
 from .core import (
     BATCH_TRANSPORTS,
@@ -76,6 +82,9 @@ from .executors import (
 from .jobs import EnsembleResult, EnsembleStats, SimulationJob
 
 __all__ = [
+    "STUDY_SPEC_SCHEMA",
+    "StudySpec",
+    "canonical_workers",
     "SimulationJob",
     "EnsembleResult",
     "EnsembleStats",

@@ -72,6 +72,8 @@ __all__ = [
 #: executor as its only argument.  Plain callables (e.g.
 #: ``lambda ex: run_replicate_study(circuit, 20, executor=ex)``) run on a
 #: worker thread; coroutine functions are awaited on the loop directly.
+#: A :class:`~repro.engine.StudySpec` is accepted directly as shorthand for
+#: ``lambda ex: run_replicate_study(spec, executor=ex)``.
 Study = Callable[[Any], Any]
 
 
@@ -343,6 +345,10 @@ async def gather_studies(
     :class:`~repro.engine.core.BatchCacheStats` keep each study's reported
     statistics its own.
 
+    A :class:`StudySpec` may be passed in place of a callable — it runs as
+    ``run_replicate_study(spec, executor=shared)``, which is how the HTTP
+    service submits its requests.
+
     ``executor`` (any synchronous executor or an
     :class:`AsyncEnsembleExecutor`) is shared and left open; without one, an
     ephemeral executor is built from ``workers`` (serial when ``None``/1) and
@@ -352,7 +358,19 @@ async def gather_studies(
     the full result list is returned (``return_exceptions=True`` puts a
     failed study's exception in its slot) or the first failure is re-raised.
     """
-    studies = list(studies)
+    from .spec import StudySpec
+
+    def _spec_study(spec: StudySpec) -> Study:
+        def run(shared):
+            from ..analysis.replicates import run_replicate_study
+
+            return run_replicate_study(spec, executor=shared)
+
+        return run
+
+    studies = [
+        _spec_study(study) if isinstance(study, StudySpec) else study for study in studies
+    ]
     if not studies:
         raise EngineError("gather_studies needs at least one study")
     owns_executor = executor is None

@@ -11,8 +11,8 @@ routes its simulations through :func:`run_ensemble` or :func:`iter_ensemble`:
    dispatch, so neither the choice of executor nor the delivery mode can
    change the results;
 3. the selected executor runs the batch — serially with a shared
-   compiled-model cache, on ``jobs=N`` worker processes, or across machines
-   on a :class:`~repro.engine.DistributedEnsembleExecutor` — every executor
+   compiled-model cache, on ``workers=N`` worker processes, or across
+   machines on a :class:`~repro.engine.DistributedEnsembleExecutor` — every executor
    drives the one windowed submission loop in :mod:`repro.engine.core` — and
    results are delivered either *materialized* (every trajectory, in
    submission order, inside an :class:`EnsembleResult`) or *streamed* (an
@@ -24,6 +24,12 @@ Executor lifecycle: both entry points accept an ``executor`` you opened
 yourself (its worker pool then survives this batch, keeping worker caches
 warm for the next one) or create — and afterwards close — an ephemeral one
 from ``workers=N``.
+
+Whole studies (rather than raw job batches) are named by the canonical
+:class:`~repro.engine.StudySpec` request object (see
+:mod:`repro.engine.spec`), which the study APIs, the CLI and the HTTP
+service all consume; :data:`StudySpec` is re-exported here for
+discoverability next to the batch entry points it drives.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from .cache import CompiledModelCache, default_cache
 from .core import BatchCacheStats, ProgressHook
 from .executors import SerialExecutor, get_executor
 from .jobs import EnsembleResult, EnsembleStats, SimulationJob
+from .spec import StudySpec
 
 __all__ = [
     "run_job",
@@ -57,6 +64,7 @@ __all__ = [
     "EnsembleStream",
     "replicate_jobs",
     "map_over_parameters",
+    "StudySpec",
 ]
 
 #: Per-run reducer for ``run_ensemble(..., reduce=fn)``: called with

@@ -50,6 +50,9 @@ inside the result message, instead of B pickled ``Trajectory`` objects.
    trusted, isolated networks (bind loopback or a private interface, never a
    public one) or inside an authenticated tunnel (SSH/WireGuard/VPN).  An
    HMAC handshake à la ``multiprocessing.connection`` is on the roadmap.
+   The HTTP tier inherits this trust model: ``genlogic serve`` refuses to
+   bind a non-loopback address until that handshake lands — expose it only
+   behind an authenticating reverse proxy.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from .circuits import (
     nor_gate_circuit,
     not_gate_circuit,
     or_gate_circuit,
+    resolve_circuit,
     standard_suite,
 )
 from .compose import assign_proteins, netlist_to_model, netlist_to_sbol
@@ -50,6 +51,7 @@ __all__ = [
     "netlist_to_model",
     "GeneticCircuit",
     "build_circuit",
+    "resolve_circuit",
     "not_gate_circuit",
     "and_gate_circuit",
     "or_gate_circuit",

@@ -30,6 +30,7 @@ from .parts_library import PartsLibrary, default_library
 __all__ = [
     "GeneticCircuit",
     "build_circuit",
+    "resolve_circuit",
     "not_gate_circuit",
     "and_gate_circuit",
     "or_gate_circuit",
@@ -213,3 +214,39 @@ def standard_suite(library: Optional[PartsLibrary] = None) -> List[GeneticCircui
 
     base = library or default_library()
     return myers_suite(base) + cello_suite(base)
+
+
+#: Builders of the five named textbook circuits, by canonical lowercase name.
+_NAMED_CIRCUIT_BUILDERS = {
+    "not": not_gate_circuit,
+    "and": and_gate_circuit,
+    "or": or_gate_circuit,
+    "nand": nand_gate_circuit,
+    "nor": nor_gate_circuit,
+}
+
+
+def resolve_circuit(name: str) -> GeneticCircuit:
+    """Look up a built-in circuit by name (``"and"``, ``"0x0B"``, ``"cello_0x0b"``...).
+
+    The one canonical name-to-circuit mapping, shared by the CLI, by
+    :meth:`repro.StudySpec.resolve_circuit` and by the HTTP service — all
+    three accept exactly the same names.  Textbook gates resolve through
+    their lowercase names; anything starting with ``0x`` (optionally prefixed
+    ``cello_``) resolves through :func:`repro.gates.cello.cello_circuit`.
+    """
+    from ..errors import ReproError
+
+    key = str(name).lower()
+    if key in _NAMED_CIRCUIT_BUILDERS:
+        return _NAMED_CIRCUIT_BUILDERS[key]()
+    if key.startswith("cello_"):
+        key = key[len("cello_") :]
+    if key.startswith("0x"):
+        from .cello import cello_circuit
+
+        return cello_circuit(key)
+    raise ReproError(
+        f"unknown circuit {name!r}; use one of {sorted(_NAMED_CIRCUIT_BUILDERS)} or a "
+        "hex truth-table name such as 0x0B",
+    )

@@ -1,0 +1,34 @@
+"""HTTP analysis service: StudySpec in, verified logic out, hot results cached.
+
+The ROADMAP's north star is serving the paper's verification workload to
+heavy traffic; this package is the web tier over the ensemble engine that
+makes it reachable without writing Python:
+
+* :mod:`repro.service.cache` — :class:`ResultCache`, an LRU result store with
+  a byte budget, keyed on :meth:`repro.engine.StudySpec.cache_key` (a
+  content-addressed digest of everything that determines a study's result),
+  so a hot circuit is verified once and then served from memory;
+* :mod:`repro.service.app` — :class:`AnalysisService`, the transport-free
+  core: one warm executor (local pool or distributed fabric), a study
+  registry, in-flight coalescing of identical requests, per-request replicate
+  budgets and an in-flight bound that produces backpressure instead of an
+  unbounded queue;
+* :mod:`repro.service.http` — a hand-rolled, stdlib-only asyncio HTTP/1.1
+  server exposing the service as ``POST /v1/studies``,
+  ``GET /v1/studies/{id}``, ``GET /v1/healthz`` and ``GET /v1/stats``.
+
+Start it from the CLI — ``genlogic serve --port 8080 --workers 4`` — or
+programmatically via :func:`serve`.
+"""
+
+from .app import AnalysisService, StudyRecord
+from .cache import ResultCache
+from .http import ServiceServer, serve
+
+__all__ = [
+    "AnalysisService",
+    "ResultCache",
+    "ServiceServer",
+    "StudyRecord",
+    "serve",
+]

@@ -1,0 +1,328 @@
+"""Transport-free core of the analysis service.
+
+:class:`AnalysisService` is everything the HTTP layer is not: it owns ONE
+warm executor (a local process pool, or the distributed fabric behind
+``--dispatch``), a registry of submitted studies, the content-addressed
+:class:`~repro.service.cache.ResultCache`, and the admission policy — per
+-request replicate budgets and an in-flight bound that turns overload into an
+explicit backpressure signal instead of an unbounded queue.  Keeping it
+transport-free means the whole service contract is testable without sockets,
+and an alternative frontend (a job queue, a gRPC layer) would reuse it
+unchanged.
+
+Life of a request: the decoded JSON body becomes a
+:class:`~repro.engine.StudySpec` (malformed bodies raise
+:class:`~repro.errors.EngineError` → 400); a seeded spec is looked up in the
+cache (hit → answered instantly, no dispatch); a spec identical to one
+already *running* coalesces onto that study instead of dispatching twice;
+otherwise — if admission passes — the study is dispatched to the warm
+executor on a worker thread via :func:`asyncio.to_thread`, exactly the
+pattern :func:`repro.engine.gather_studies` uses, so many studies multiplex
+over the one pool without blocking the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..engine.executors import get_executor
+from ..engine.spec import StudySpec
+from ..errors import EngineError, ReproError
+from .cache import ResultCache
+
+__all__ = ["AnalysisService", "BackpressureError", "BudgetError", "StudyRecord"]
+
+
+class BackpressureError(EngineError):
+    """The in-flight bound is saturated; the client should retry later (429)."""
+
+
+class BudgetError(EngineError):
+    """The spec exceeds the per-request replicate budget (413)."""
+
+
+@dataclass
+class StudyRecord:
+    """One submitted study and its lifecycle.
+
+    ``status`` walks ``running`` → ``done`` | ``error`` (records answered
+    straight from the cache are born ``done`` with ``cached=True``).
+    ``done_event`` is set on completion, which is what ``?wait=1`` long-polls
+    and the tests await.
+    """
+
+    study_id: str
+    spec: StudySpec
+    cache_key: Optional[str]
+    status: str = "running"
+    cached: bool = False
+    coalesced: bool = False
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    wall_seconds: Optional[float] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def to_response(self) -> Dict[str, Any]:
+        """The ``GET /v1/studies/{id}`` JSON body."""
+        body: Dict[str, Any] = {
+            "id": self.study_id,
+            "status": self.status,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "cache_key": self.cache_key,
+            "spec": self.spec.to_dict(),
+        }
+        if self.wall_seconds is not None:
+            body["wall_seconds"] = self.wall_seconds
+        if self.status == "done":
+            body["result"] = self.result
+        elif self.status == "error":
+            body["error"] = self.error
+        return body
+
+
+class AnalysisService:
+    """The service core: one warm executor, a study registry, the cache.
+
+    Parameters
+    ----------
+    workers:
+        Size of the local worker pool (ignored when ``executor`` is given).
+    executor:
+        An opened engine executor to run studies on — e.g. a
+        :class:`~repro.engine.DistributedEnsembleExecutor` over the fabric.
+        Its lifecycle stays with the caller.
+    max_inflight:
+        Bound on concurrently executing studies; submissions beyond it raise
+        :class:`BackpressureError` (HTTP 429) instead of queuing unboundedly.
+        Cache hits and coalesced submissions never count against it.
+    max_replicates:
+        Per-request budget: specs asking for more replicates raise
+        :class:`BudgetError` (HTTP 413).
+    cache_bytes:
+        Byte budget of the content-addressed result cache (0 disables it).
+    runner:
+        Test seam: ``runner(spec, executor) -> payload dict`` replaces the
+        default ``run_replicate_study(spec, executor=...).to_payload()``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        executor=None,
+        max_inflight: int = 4,
+        max_replicates: int = 64,
+        cache_bytes: int = 64 * 1024 * 1024,
+        runner=None,
+    ):
+        if max_inflight < 1:
+            raise EngineError("max_inflight must be at least 1")
+        if max_replicates < 1:
+            raise EngineError("max_replicates must be at least 1")
+        self.max_inflight = int(max_inflight)
+        self.max_replicates = int(max_replicates)
+        self.cache = ResultCache(max_bytes=cache_bytes)
+        self._owns_executor = executor is None
+        self._workers = int(workers)
+        self._executor = executor
+        self._runner = runner if runner is not None else _default_runner
+        self._records: Dict[str, StudyRecord] = {}
+        self._inflight_by_key: Dict[str, StudyRecord] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._coalesced = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def executor(self):
+        if self._executor is None:
+            self._executor = get_executor(self._workers)
+        return self._executor
+
+    @property
+    def workers(self) -> int:
+        return getattr(self.executor, "workers", self._workers)
+
+    def open(self) -> "AnalysisService":
+        """Start the worker pool now (otherwise it starts on first use)."""
+        self.executor.open()
+        return self
+
+    def close(self) -> None:
+        """Shut the pool down — only if this service owns it."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+
+    # -- submission ------------------------------------------------------------
+    def parse_spec(self, data: Union[StudySpec, Mapping[str, Any], str, bytes]) -> StudySpec:
+        """The :class:`StudySpec` a request body describes (EngineError → 400)."""
+        if isinstance(data, StudySpec):
+            return data
+        if isinstance(data, (str, bytes)):
+            return StudySpec.from_json(data)
+        return StudySpec.from_dict(data)
+
+    async def submit(
+        self,
+        data: Union[StudySpec, Mapping[str, Any], str, bytes],
+    ) -> StudyRecord:
+        """Admit one study: cache hit, coalesce, or dispatch.
+
+        Returns the (possibly already-done) :class:`StudyRecord`.  Raises
+        :class:`~repro.errors.EngineError` for a malformed spec,
+        :class:`BudgetError` over the replicate budget and
+        :class:`BackpressureError` when the in-flight bound is saturated.
+        """
+        spec = self.parse_spec(data)
+        if spec.n_replicates > self.max_replicates:
+            self._rejected += 1
+            raise BudgetError(
+                f"spec asks for {spec.n_replicates} replicates; this service "
+                f"accepts at most {self.max_replicates} per request",
+            )
+        key = spec.cache_key() if spec.seed is not None else None
+
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                record = self._new_record(spec, key, status="done", cached=True)
+                record.result = hit
+                record.wall_seconds = 0.0
+                record.done_event.set()
+                self._completed += 1
+                return record
+            with self._lock:
+                running = self._inflight_by_key.get(key)
+            if running is not None:
+                # Identical study already executing: attach, don't dispatch.
+                self._coalesced += 1
+                record = self._new_record(spec, key, coalesced=True)
+                asyncio.ensure_future(self._follow(record, running))
+                return record
+
+        with self._lock:
+            if len(self._inflight_by_key) >= self.max_inflight:
+                self._rejected += 1
+                raise BackpressureError(
+                    f"{len(self._inflight_by_key)} studies in flight "
+                    f"(bound {self.max_inflight}); retry later",
+                )
+            record = self._new_record(spec, key)
+            if key is not None:
+                self._inflight_by_key[key] = record
+            else:
+                # Unseeded specs have no stable key; track them under their id
+                # so they still count against the in-flight bound.
+                self._inflight_by_key[record.study_id] = record
+        asyncio.ensure_future(self._execute(record))
+        return record
+
+    def _new_record(
+        self,
+        spec: StudySpec,
+        key: Optional[str],
+        status: str = "running",
+        cached: bool = False,
+        coalesced: bool = False,
+    ) -> StudyRecord:
+        record = StudyRecord(
+            study_id=f"study-{next(self._ids):06d}",
+            spec=spec,
+            cache_key=key,
+            status=status,
+            cached=cached,
+            coalesced=coalesced,
+        )
+        self._records[record.study_id] = record
+        self._submitted += 1
+        return record
+
+    async def _execute(self, record: StudyRecord) -> None:
+        started = time.monotonic()
+        try:
+            payload = await asyncio.to_thread(self._runner, record.spec, self.executor)
+        except ReproError as error:
+            record.status = "error"
+            record.error = str(error)
+            self._failed += 1
+        except Exception as error:  # noqa: BLE001 - a study must never kill the loop
+            record.status = "error"
+            record.error = f"{type(error).__name__}: {error}"
+            self._failed += 1
+        else:
+            record.result = payload
+            record.status = "done"
+            self._completed += 1
+            if record.cache_key is not None:
+                self.cache.put(record.cache_key, payload)
+        finally:
+            record.wall_seconds = time.monotonic() - started
+            with self._lock:
+                self._inflight_by_key.pop(record.cache_key or record.study_id, None)
+            record.done_event.set()
+
+    async def _follow(self, record: StudyRecord, leader: StudyRecord) -> None:
+        """Mirror the leader's outcome onto a coalesced record."""
+        await leader.done_event.wait()
+        record.status = leader.status
+        record.result = leader.result
+        record.error = leader.error
+        record.wall_seconds = leader.wall_seconds
+        if leader.status == "done":
+            self._completed += 1
+        else:
+            self._failed += 1
+        record.done_event.set()
+
+    # -- queries ---------------------------------------------------------------
+    def get(self, study_id: str) -> Optional[StudyRecord]:
+        return self._records.get(study_id)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight_by_key)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /v1/stats`` JSON body."""
+        inflight = self.inflight
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "pool": {
+                "executor": getattr(self.executor, "name", "unknown"),
+                "workers": self.workers,
+                "inflight": inflight,
+                "max_inflight": self.max_inflight,
+                "saturation": inflight / self.max_inflight,
+            },
+            "studies": {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+                "coalesced": self._coalesced,
+                "queue_depth": inflight,
+            },
+            "cache": self.cache.stats(),
+            "limits": {
+                "max_replicates": self.max_replicates,
+            },
+        }
+
+
+def _default_runner(spec: StudySpec, executor) -> Dict[str, Any]:
+    """Run the study on the shared executor and return its JSON payload."""
+    from ..analysis.replicates import run_replicate_study
+
+    return run_replicate_study(spec, executor=executor).to_payload()

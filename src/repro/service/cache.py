@@ -1,0 +1,113 @@
+"""Content-addressed result cache for the analysis service.
+
+Results are keyed on :meth:`repro.engine.StudySpec.cache_key` — a digest of
+the resolved model's *content* fingerprint, the stimulus schedule, sampling,
+simulator, seed, replicate count, overrides and analyzer configuration — so
+the cache recognises a repeated study even when the request was built by a
+different process (or machine) than the one that first ran it.  Execution
+knobs never enter the key: the engine's bit-identical contract means
+``workers=8`` and ``workers=1`` produce the same result, so they share an
+entry.
+
+Entries are JSON-ready payload dicts (see
+:meth:`repro.analysis.ReplicateStudy.to_payload`).  Eviction is LRU under a
+byte budget measured on the encoded JSON size of each payload — the service
+caches *bytes served*, so the budget maps directly to memory spent holding
+hot responses.  All operations are lock-protected: the HTTP layer runs on an
+event loop but studies complete on worker threads, so gets and puts race
+without it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import EngineError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU map from cache key (hex digest) to a JSON-ready result payload.
+
+    ``max_bytes`` bounds the total encoded size of the stored payloads; a
+    payload larger than the whole budget is simply not stored (the study
+    still ran — the service returns it, it just will not be a future hit).
+    ``max_bytes=0`` disables caching while keeping the counters, so ``/v1/stats``
+    stays meaningful on a cache-less deployment.
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024):
+        if max_bytes < 0:
+            raise EngineError("ResultCache max_bytes must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, Tuple[Dict[str, Any], int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None (counts a hit or a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``, evicting LRU entries over budget."""
+        size = len(json.dumps(payload, sort_keys=True).encode("utf-8"))
+        with self._lock:
+            if size > self.max_bytes:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (payload, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes and self._entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- statistics ------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for ``/v1/stats`` (hit rate is None before any lookup)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "bytes_used": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else None,
+            }

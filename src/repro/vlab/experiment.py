@@ -118,6 +118,23 @@ class LogicExperiment:
             circuit_name=circuit.name,
         )
 
+    @classmethod
+    def for_spec(cls, spec) -> "LogicExperiment":
+        """Build the experiment a :class:`~repro.engine.StudySpec` describes.
+
+        The canonical-spec twin of :meth:`for_circuit`: the circuit is
+        resolved through the spec (name registry or attached instance), the
+        simulator and sampling interval come from the spec's fields, and the
+        clamp levels fall back to the circuit's library levels exactly as the
+        legacy keyword path does — so a spec-built experiment runs the same
+        jobs, bit for bit, as the keyword form it replaced.
+        """
+        return cls.for_circuit(
+            spec.resolve_circuit(),
+            simulator=spec.simulator,
+            sample_interval=spec.sample_interval,
+        )
+
     # -- execution -----------------------------------------------------------------
     def job(
         self,
@@ -126,6 +143,7 @@ class LogicExperiment:
         repeats: int = 1,
         seed: RandomState = None,
         total_time: Optional[float] = None,
+        overrides: Optional[dict] = None,
     ) -> SimulationJob:
         """Describe this experiment as an engine :class:`SimulationJob`.
 
@@ -156,6 +174,7 @@ class LogicExperiment:
             simulator=self.simulator,
             schedule=schedule,
             sample_interval=self.sample_interval,
+            parameter_overrides=dict(overrides) if overrides else None,
             record_species=self.record_species,
             seed=seed,
             meta={"hold_time": protocol.hold_time},

@@ -1,0 +1,332 @@
+"""The analysis service: cache, admission policy, and the HTTP frontend.
+
+The service core (:class:`AnalysisService`) is transport-free, so most of
+this file exercises it directly with an injected stub runner — backpressure,
+coalescing, cache hits and budgets are all contract, not plumbing.  The last
+class drives the real HTTP frontend end-to-end over a loopback socket and
+pins the acceptance criteria: a served study is bit-identical to a direct
+``run_replicate_study`` call, a repeated request is a cache hit visible in
+``/v1/stats``, and saturating the in-flight bound yields 429.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.analysis import run_replicate_study
+from repro.engine import StudySpec
+from repro.errors import EngineError
+from repro.service import AnalysisService, ResultCache, ServiceServer
+from repro.service.app import BackpressureError, BudgetError
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"value": 1})
+        assert cache.get("k") == {"value": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_hit_rate_is_none_before_any_lookup(self):
+        assert ResultCache().stats()["hit_rate"] is None
+
+    def test_lru_eviction_under_byte_budget(self):
+        payloads = {name: {"name": name} for name in ("a", "b", "c")}
+        one_size = len(json.dumps(payloads["a"], sort_keys=True).encode())
+        cache = ResultCache(max_bytes=2 * one_size)
+        cache.put("a", payloads["a"])
+        cache.put("b", payloads["b"])
+        cache.get("a")  # refresh "a" → "b" is now least recent
+        cache.put("c", payloads["c"])
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats()["evictions"] == 1
+        assert cache.bytes_used <= cache.max_bytes
+
+    def test_oversized_payload_not_stored(self):
+        cache = ResultCache(max_bytes=8)
+        cache.put("k", {"value": "x" * 100})
+        assert "k" not in cache and len(cache) == 0
+
+    def test_zero_budget_disables_caching_but_keeps_counters(self):
+        cache = ResultCache(max_bytes=0)
+        cache.put("k", {"value": 1})
+        assert cache.get("k") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_replacing_a_key_does_not_double_count(self):
+        cache = ResultCache()
+        cache.put("k", {"value": 1})
+        cache.put("k", {"value": 2})
+        assert len(cache) == 1
+        assert cache.bytes_used == len(json.dumps({"value": 2}, sort_keys=True).encode())
+        cache.clear()
+        assert cache.bytes_used == 0 and len(cache) == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(EngineError):
+            ResultCache(max_bytes=-1)
+
+
+def _spec(seed=7, **changes):
+    base = StudySpec(circuit="not", n_replicates=2, seed=seed, hold_time=60.0)
+    return base.replace(**changes) if changes else base
+
+
+class _StubRunner:
+    """An injectable runner: counts calls, optionally blocks until released."""
+
+    def __init__(self, blocking=False, error=None):
+        self.calls = 0
+        self.specs = []
+        self.error = error
+        self._release = threading.Event()
+        if not blocking:
+            self._release.set()
+
+    def release(self):
+        self._release.set()
+
+    def __call__(self, spec, executor):
+        self.calls += 1
+        self.specs.append(spec)
+        assert self._release.wait(timeout=30), "stub runner was never released"
+        if self.error is not None:
+            raise self.error
+        return {"circuit": spec.circuit, "seed": spec.seed}
+
+
+class TestAnalysisService:
+    def test_submit_runs_and_caches(self):
+        runner = _StubRunner()
+
+        async def _go():
+            service = AnalysisService(runner=runner)
+            first = await service.submit(_spec())
+            await first.done_event.wait()
+            second = await service.submit(_spec())
+            return service, first, second
+
+        service, first, second = asyncio.run(_go())
+        assert first.status == "done" and not first.cached
+        assert first.result == {"circuit": "not", "seed": 7}
+        assert second.cached and second.status == "done"
+        assert second.result == first.result
+        assert second.wall_seconds == 0.0
+        assert runner.calls == 1
+        stats = service.stats()
+        assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1
+        assert stats["studies"]["submitted"] == 2
+        assert stats["studies"]["completed"] == 2
+
+    def test_json_and_dict_bodies_accepted(self):
+        runner = _StubRunner()
+
+        async def _go():
+            service = AnalysisService(runner=runner)
+            record = await service.submit(_spec().to_json())
+            await record.done_event.wait()
+            repeat = await service.submit(_spec().to_dict())
+            return record, repeat
+
+        record, repeat = asyncio.run(_go())
+        assert record.status == "done"
+        assert repeat.cached, "a JSON body and a dict body must share a cache entry"
+
+    def test_malformed_spec_raises_engine_error(self):
+        async def _go():
+            await AnalysisService(runner=_StubRunner()).submit({"circuit": "not", "oops": 1})
+
+        with pytest.raises(EngineError, match="oops"):
+            asyncio.run(_go())
+
+    def test_replicate_budget_enforced(self):
+        async def _go():
+            service = AnalysisService(runner=_StubRunner(), max_replicates=4)
+            await service.submit(_spec(n_replicates=5))
+
+        with pytest.raises(BudgetError, match="at most 4"):
+            asyncio.run(_go())
+
+    def test_backpressure_when_inflight_bound_saturated(self):
+        runner = _StubRunner(blocking=True)
+
+        async def _go():
+            service = AnalysisService(runner=runner, max_inflight=2)
+            held = [await service.submit(_spec(seed=s)) for s in (1, 2)]
+            assert service.inflight == 2
+            with pytest.raises(BackpressureError, match="retry later"):
+                await service.submit(_spec(seed=3))
+            runner.release()
+            for record in held:
+                await record.done_event.wait()
+            # Capacity is back: the same spec is admitted now.
+            late = await service.submit(_spec(seed=3))
+            await late.done_event.wait()
+            return service, late
+
+        service, late = asyncio.run(_go())
+        assert late.status == "done"
+        assert service.stats()["studies"]["rejected"] == 1
+        assert service.inflight == 0
+
+    def test_identical_inflight_spec_coalesces(self):
+        runner = _StubRunner(blocking=True)
+
+        async def _go():
+            service = AnalysisService(runner=runner, max_inflight=1)
+            leader = await service.submit(_spec())
+            follower = await service.submit(_spec())  # same spec → no 429, no dispatch
+            assert follower.coalesced and not follower.cached
+            runner.release()
+            await leader.done_event.wait()
+            await follower.done_event.wait()
+            return service, leader, follower
+
+        service, leader, follower = asyncio.run(_go())
+        assert runner.calls == 1, "a coalesced submission must not dispatch again"
+        assert follower.status == "done"
+        assert follower.result == leader.result
+        assert service.stats()["studies"]["coalesced"] == 1
+
+    def test_failed_study_reports_error_and_is_not_cached(self):
+        runner = _StubRunner(error=EngineError("boom"))
+
+        async def _go():
+            service = AnalysisService(runner=runner)
+            record = await service.submit(_spec())
+            await record.done_event.wait()
+            retry = await service.submit(_spec())
+            await retry.done_event.wait()
+            return service, record, retry
+
+        service, record, retry = asyncio.run(_go())
+        assert record.status == "error" and record.error == "boom"
+        assert not retry.cached, "a failed study must not poison the cache"
+        assert service.stats()["studies"]["failed"] == 2
+
+    def test_unseeded_spec_skips_cache_but_counts_inflight(self):
+        runner = _StubRunner(blocking=True)
+
+        async def _go():
+            service = AnalysisService(runner=runner, max_inflight=1)
+            record = await service.submit(_spec(seed=None))
+            assert record.cache_key is None
+            assert service.inflight == 1
+            with pytest.raises(BackpressureError):
+                await service.submit(_spec(seed=None))
+            runner.release()
+            await record.done_event.wait()
+            return service, record
+
+        service, record = asyncio.run(_go())
+        assert record.status == "done"
+        assert service.cache.stats()["entries"] == 0
+        assert service.inflight == 0
+
+    def test_admission_limits_validated(self):
+        with pytest.raises(EngineError):
+            AnalysisService(max_inflight=0)
+        with pytest.raises(EngineError):
+            AnalysisService(max_replicates=0)
+
+
+def _request(port, method, path, body=None):
+    """One HTTP request against the loopback service; returns (status, headers, json)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body)
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestHttpService:
+    """The real frontend over a loopback socket (port 0 → ephemeral)."""
+
+    def _serve(self, exercise, **service_kwargs):
+        """Start a server, run blocking ``exercise(port)`` on a thread, stop."""
+
+        async def _go():
+            server = ServiceServer(host="127.0.0.1", port=0, **service_kwargs)
+            await server.start()
+            try:
+                return await asyncio.to_thread(exercise, server.address[1])
+            finally:
+                await server.stop()
+
+        return asyncio.run(_go())
+
+    def test_end_to_end_cache_hit_and_bit_identity(self):
+        spec = _spec()
+
+        def exercise(port):
+            status, _, health = _request(port, "GET", "/v1/healthz")
+            assert status == 200 and health == {"status": "ok"}
+
+            status, _, first = _request(port, "POST", "/v1/studies?wait=1", spec.to_dict())
+            assert status == 200, first
+            assert first["status"] == "done" and not first["cached"]
+
+            status, _, second = _request(port, "POST", "/v1/studies?wait=1", spec.to_dict())
+            assert status == 200 and second["cached"]
+            assert second["result"] == first["result"]
+
+            status, _, fetched = _request(port, "GET", f"/v1/studies/{first['id']}")
+            assert status == 200 and fetched["result"] == first["result"]
+
+            status, _, stats = _request(port, "GET", "/v1/stats")
+            assert status == 200
+            assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1
+            assert stats["studies"]["submitted"] == 2
+            return first["result"]
+
+        served = self._serve(exercise, workers=1)
+        direct = run_replicate_study(spec).to_payload()
+        assert {k: v for k, v in served.items() if k != "engine"} == {
+            k: v for k, v in direct.items() if k != "engine"
+        }, "the service must answer bit-identically to run_replicate_study"
+
+    def test_backpressure_maps_to_429_with_retry_after(self):
+        runner = _StubRunner(blocking=True)
+
+        def exercise(port):
+            status, _, first = _request(port, "POST", "/v1/studies", _spec(seed=1).to_dict())
+            assert status == 200 and first["status"] == "running"
+            status, headers, body = _request(port, "POST", "/v1/studies", _spec(seed=2).to_dict())
+            assert status == 429, body
+            assert headers.get("Retry-After") == "1"
+            runner.release()
+            status, _, done = _request(port, "POST", "/v1/studies?wait=1", _spec(seed=1).to_dict())
+            assert status == 200 and done["status"] == "done"
+
+        self._serve(exercise, runner=runner, max_inflight=1)
+
+    def test_error_mapping(self):
+        def exercise(port):
+            status, _, body = _request(port, "POST", "/v1/studies", {"circuit": "not", "oops": 1})
+            assert status == 400 and "oops" in body["error"]
+
+            status, _, body = _request(
+                port, "POST", "/v1/studies", _spec(n_replicates=9).to_dict()
+            )
+            assert status == 413 and "at most 4" in body["error"]
+
+            status, _, body = _request(port, "GET", "/v1/studies/study-999999")
+            assert status == 404
+
+            status, _, body = _request(port, "DELETE", "/v1/healthz")
+            assert status == 405
+
+            status, _, body = _request(port, "GET", "/v1/nope")
+            assert status == 404
+
+        self._serve(exercise, runner=_StubRunner(), max_replicates=4)

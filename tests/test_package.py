@@ -50,6 +50,34 @@ class TestPublicApi:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
 
+    def test_all_matches_readme_public_surface(self):
+        """The README's "Public surface" block IS repro.__all__, exactly.
+
+        A name exported but undocumented (or documented but not exported)
+        fails here, so the README cannot drift from the package.
+        """
+        import re
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parent.parent / "README.md"
+        text = readme.read_text(encoding="utf-8")
+        match = re.search(r"## Public surface.*?```text\n(.*?)```", text, re.DOTALL)
+        assert match, "README.md must keep a '## Public surface' section with a text block"
+        documented = set(match.group(1).split())
+        exported = set(repro.__all__)
+        assert documented == exported, (
+            f"README but not exported: {sorted(documented - exported)}; "
+            f"exported but not in README: {sorted(exported - documented)}"
+        )
+
+    def test_service_entry_points_exported(self):
+        import repro.engine
+
+        for name in ("StudySpec", "run_replicate_study", "serve", "AnalysisService"):
+            assert name in repro.__all__
+        for name in ("StudySpec", "STUDY_SPEC_SCHEMA", "canonical_workers"):
+            assert name in repro.engine.__all__
+
 
 class TestErrorHierarchy:
     def test_every_error_derives_from_repro_error(self):
