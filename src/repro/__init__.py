@@ -18,6 +18,7 @@ Typical use::
 """
 
 from .analysis import (
+    CandidateScore,
     ReplicateStudy,
     RobustnessReport,
     RuntimeMeasurement,
@@ -66,11 +67,14 @@ from .gates import (
     CELLO_CIRCUIT_NAMES,
     GeneticCircuit,
     Netlist,
+    PartAssignment,
     and_gate_circuit,
     build_circuit,
     cello_circuit,
     cello_suite,
     default_library,
+    diverse_library,
+    enumerate_assignments,
     myers_suite,
     nand_gate_circuit,
     nor_gate_circuit,
@@ -85,6 +89,7 @@ from .io import read_datalog_csv, result_to_dict, save_result_json, write_datalo
 from .logic import TruthTable, compare_tables, identify_gate, minimize, parse_expr
 from .sbml import Model, read_sbml_file, read_sbml_string, write_sbml_file, write_sbml_string
 from .sbol import ConversionParameters, SBOLDocument, sbol_to_sbml
+from .search import SearchFrontier, SearchSpec, arun_design_search, run_design_search
 from .service import AnalysisService, ResultCache, ServiceServer, serve
 from .stochastic import (
     InputSchedule,
@@ -129,7 +134,10 @@ __all__ = [
     "Netlist",
     "GeneticCircuit",
     "default_library",
+    "diverse_library",
     "build_circuit",
+    "PartAssignment",
+    "enumerate_assignments",
     "synthesize",
     "synthesize_from_hex",
     "synthesize_from_expression",
@@ -196,9 +204,15 @@ __all__ = [
     "run_replicate_study",
     "arun_replicate_study",
     "ReplicateStudy",
+    "CandidateScore",
     "measure_analysis_runtime",
     "ameasure_analysis_runtime",
     "RuntimeMeasurement",
+    # design-space search
+    "SearchSpec",
+    "SearchFrontier",
+    "run_design_search",
+    "arun_design_search",
     # HTTP analysis service
     "AnalysisService",
     "ResultCache",

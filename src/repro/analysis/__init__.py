@@ -2,6 +2,7 @@
 
 from .replicates import ReplicateStudy, arun_replicate_study, run_replicate_study
 from .robustness import RobustnessReport, assess_robustness
+from .scoring import CandidateScore
 from .runtime import (
     RuntimeMeasurement,
     ameasure_analysis_runtime,
@@ -16,6 +17,7 @@ __all__ = [
     "athreshold_sweep",
     "RobustnessReport",
     "assess_robustness",
+    "CandidateScore",
     "ReplicateStudy",
     "run_replicate_study",
     "arun_replicate_study",

@@ -41,6 +41,7 @@ from ..gates.circuits import GeneticCircuit
 from ..logic.truthtable import TruthTable
 from ..stochastic.rng import RandomState
 from ..vlab.experiment import LogicExperiment
+from .scoring import CandidateScore
 
 __all__ = ["ReplicateStudy", "run_replicate_study", "arun_replicate_study"]
 
@@ -67,11 +68,19 @@ class ReplicateStudy:
     def n_replicates(self) -> int:
         return len(self.results)
 
+    def score(self) -> CandidateScore:
+        """The study's aggregation as a reusable :class:`CandidateScore`.
+
+        Every statistic below delegates here; the score object itself is what
+        the search layer keeps per candidate, because it can be *refined* by
+        adding replicates instead of recomputing a study from scratch.
+        """
+        return CandidateScore.from_results(self.expected, self.results)
+
     @property
     def recovery_rate(self) -> float:
         """Fraction of replicates that recovered exactly the expected table."""
-        matches = sum(1 for r in self.results if r.truth_table.outputs == self.expected.outputs)
-        return matches / self.n_replicates
+        return self.score().recovery_rate
 
     @property
     def fitness_values(self) -> List[float]:
@@ -79,26 +88,38 @@ class ReplicateStudy:
 
     @property
     def mean_fitness(self) -> float:
-        return float(np.mean(self.fitness_values))
+        return self.score().mean_fitness
 
     @property
     def std_fitness(self) -> float:
-        return float(np.std(self.fitness_values))
+        """Population standard deviation (``ddof=0``), the historical number.
+
+        Reported in summaries and payloads since the first replicate studies;
+        pinned to ``numpy.std`` population semantics.  For an interval around
+        the mean use :meth:`sem_fitness` / :meth:`fitness_ci`, which use the
+        sample variance (``ddof=1``).
+        """
+        return self.score().std_fitness
+
+    def sem_fitness(self) -> float:
+        """Standard error of the mean fitness (sample variance, ``ddof=1``).
+
+        ``inf`` for a single replicate — see
+        :meth:`repro.analysis.scoring.CandidateScore.sem_fitness`.
+        """
+        return self.score().sem_fitness()
+
+    def fitness_ci(self, level: float = 0.95) -> tuple:
+        """Normal-approximation CI for the mean fitness (``(-inf, inf)`` at n=1)."""
+        return self.score().fitness_ci(level)
 
     def combination_agreement(self) -> Dict[str, float]:
         """Per-combination fraction of replicates agreeing with the expectation."""
-        labels = self.expected.combination_labels()
-        agreement: Dict[str, float] = {}
-        for index, label in enumerate(labels):
-            expected_bit = self.expected.outputs[index]
-            agreeing = sum(1 for r in self.results if r.truth_table.outputs[index] == expected_bit)
-            agreement[label] = agreeing / self.n_replicates
-        return agreement
+        return self.score().combination_agreement()
 
     def worst_combination(self) -> str:
         """The input combination most often recovered incorrectly."""
-        agreement = self.combination_agreement()
-        return min(agreement, key=agreement.get)
+        return self.score().worst_combination()
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,267 @@
+"""Refinable candidate scoring: the aggregation core of replicate studies.
+
+A replicate study aggregates per-replicate :class:`LogicAnalysisResult`\\ s
+into summary statistics (mean fitness, spread, recovery rate,
+per-combination agreement).  :class:`CandidateScore` is that aggregation as
+a standalone, *incrementally refinable* object: feed it more replicates and
+every statistic updates — which is what an adaptive search allocator needs,
+since it keeps adding replicate batches to a candidate until its confidence
+interval separates from the frontier cut.
+
+Two spread measures coexist deliberately:
+
+* :attr:`std_fitness` is the **population** standard deviation
+  (``numpy.std`` with ``ddof=0``) — the historical number reported by
+  :class:`~repro.analysis.replicates.ReplicateStudy` summaries and payloads,
+  pinned so existing outputs never shift.
+* :meth:`sem_fitness` / :meth:`fitness_ci` use the **sample** variance
+  (``ddof=1``): the standard error of the mean and the normal-approximation
+  confidence interval around it.  An allocator comparing candidates needs a
+  defensible interval for the *estimate of the mean*, which the population
+  std is not.  With a single replicate the sample variance is undefined —
+  both report ``inf`` (an unbounded interval), never a silent 0.0 that would
+  let a one-replicate candidate masquerade as perfectly known.
+
+The raw ``fitness`` is the paper's PFoBE — the stability of whatever
+expression the replicate *recovered*, which is 100% for a cleanly broken
+circuit stuck at CONST0.  A search ranking candidates against a target
+function must not reward that, so the score also exposes the **design
+fitness**: per replicate, ``fitness × (fraction of truth-table rows whose
+recovered bit matches the expected bit)``.  A correct replicate keeps its
+fitness; a dead AND circuit scores 100 × 3/4 = 75 and sinks below any
+candidate that actually computes AND.  :meth:`design_ci` is the interval
+the racing allocator separates candidates on.
+
+Aggregation is order-independent *given the replicate slots*: values are
+keyed by replicate index, and the statistics are always computed over the
+slot-ordered value vector — so a score filled from results arriving in any
+completion order equals the score filled serially, bit for bit.
+"""
+
+from __future__ import annotations
+
+from statistics import NormalDist
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.analyzer import LogicAnalysisResult
+from ..errors import AnalysisError
+from ..logic.truthtable import TruthTable
+
+__all__ = ["CandidateScore"]
+
+
+def z_value(level: float) -> float:
+    """Two-sided normal critical value for a confidence ``level`` in (0, 1)."""
+    if not 0.0 < level < 1.0:
+        raise AnalysisError(f"confidence level must be in (0, 1), got {level!r}")
+    return NormalDist().inv_cdf(0.5 + level / 2.0)
+
+
+class CandidateScore:
+    """Aggregated replicate statistics for one candidate circuit, refinable.
+
+    Parameters
+    ----------
+    expected:
+        The truth table the candidate is supposed to implement; recovery and
+        per-combination agreement are measured against it.
+
+    Results are added with :meth:`add` (slot-keyed) or :meth:`extend`; every
+    property reflects the replicates added so far.
+    """
+
+    def __init__(self, expected: TruthTable):
+        self.expected = expected
+        self._results: Dict[int, LogicAnalysisResult] = {}
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_results(
+        cls,
+        expected: TruthTable,
+        results: Iterable[LogicAnalysisResult],
+    ) -> "CandidateScore":
+        score = cls(expected)
+        score.extend(results)
+        return score
+
+    def add(self, result: LogicAnalysisResult, slot: Optional[int] = None) -> None:
+        """Record one replicate's analysis under replicate index ``slot``.
+
+        ``slot`` defaults to the next free index.  Results may arrive in any
+        order (parallel backends complete out of order); the statistics are
+        computed over slots in ascending order, so the aggregate is identical
+        however the same results were interleaved.
+        """
+        if slot is None:
+            slot = len(self._results)
+        slot = int(slot)
+        if slot < 0:
+            raise AnalysisError("replicate slot must be non-negative")
+        if slot in self._results:
+            raise AnalysisError(f"replicate slot {slot} already scored")
+        self._results[slot] = result
+
+    def extend(self, results: Iterable[LogicAnalysisResult]) -> None:
+        for result in results:
+            self.add(result)
+
+    # -- basic statistics ------------------------------------------------------
+    @property
+    def results(self) -> List[LogicAnalysisResult]:
+        """Recorded results in replicate-slot order."""
+        return [self._results[slot] for slot in sorted(self._results)]
+
+    @property
+    def n_replicates(self) -> int:
+        return len(self._results)
+
+    @property
+    def fitness_values(self) -> List[float]:
+        return [r.fitness for r in self.results]
+
+    def _require_results(self) -> List[float]:
+        values = self.fitness_values
+        if not values:
+            raise AnalysisError("no replicates scored yet")
+        return values
+
+    @property
+    def mean_fitness(self) -> float:
+        return float(np.mean(self._require_results()))
+
+    @property
+    def std_fitness(self) -> float:
+        """Population standard deviation (``ddof=0``) — the historical number."""
+        return float(np.std(self._require_results()))
+
+    @staticmethod
+    def _sem_of(values: List[float]) -> float:
+        if len(values) < 2:
+            return float("inf")
+        return float(np.std(values, ddof=1) / np.sqrt(len(values)))
+
+    @staticmethod
+    def _ci_of(values: List[float], level: float) -> Tuple[float, float]:
+        sem = CandidateScore._sem_of(values)
+        if not np.isfinite(sem):
+            return (float("-inf"), float("inf"))
+        mean = float(np.mean(values))
+        half = z_value(level) * sem
+        return (mean - half, mean + half)
+
+    def sem_fitness(self) -> float:
+        """Standard error of the mean, from the *sample* variance (``ddof=1``).
+
+        ``inf`` for a single replicate: one observation carries no spread
+        information, and an unbounded uncertainty keeps an allocator honest.
+        """
+        return self._sem_of(self._require_results())
+
+    def fitness_ci(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean fitness.
+
+        ``(-inf, inf)`` for a single replicate (see :meth:`sem_fitness`).
+        """
+        return self._ci_of(self._require_results(), level)
+
+    # -- design fitness (correctness-weighted) ---------------------------------
+    def _truth_agreement(self, result: LogicAnalysisResult) -> float:
+        """Fraction of truth-table rows whose recovered bit matches the target."""
+        expected = self.expected.outputs
+        recovered = result.truth_table.outputs
+        matches = sum(1 for e, r in zip(expected, recovered) if e == r)
+        return matches / len(expected)
+
+    @property
+    def design_values(self) -> List[float]:
+        """Per-replicate design fitness: ``fitness × truth-table agreement``.
+
+        The search objective.  The raw fitness rewards *stability of the
+        recovered expression* — a circuit stuck at CONST0 is perfectly stable
+        — so it is weighted by how much of the target truth table the
+        replicate actually recovered (see the module docstring).
+        """
+        return [r.fitness * self._truth_agreement(r) for r in self.results]
+
+    @property
+    def mean_design_fitness(self) -> float:
+        values = self.design_values
+        if not values:
+            raise AnalysisError("no replicates scored yet")
+        return float(np.mean(values))
+
+    def design_sem(self) -> float:
+        """Standard error of the mean design fitness (``inf`` at n=1)."""
+        if not self._results:
+            raise AnalysisError("no replicates scored yet")
+        return self._sem_of(self.design_values)
+
+    def design_ci(self, level: float = 0.95) -> Tuple[float, float]:
+        """Confidence interval for the mean design fitness (the racing band)."""
+        if not self._results:
+            raise AnalysisError("no replicates scored yet")
+        return self._ci_of(self.design_values, level)
+
+    # -- logic-recovery statistics ---------------------------------------------
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of replicates that recovered exactly the expected table."""
+        results = self.results
+        if not results:
+            raise AnalysisError("no replicates scored yet")
+        matches = sum(1 for r in results if r.truth_table.outputs == self.expected.outputs)
+        return matches / len(results)
+
+    def combination_agreement(self) -> Dict[str, float]:
+        """Per-combination fraction of replicates agreeing with the expectation."""
+        results = self.results
+        if not results:
+            raise AnalysisError("no replicates scored yet")
+        labels = self.expected.combination_labels()
+        agreement: Dict[str, float] = {}
+        for index, label in enumerate(labels):
+            expected_bit = self.expected.outputs[index]
+            agreeing = sum(1 for r in results if r.truth_table.outputs[index] == expected_bit)
+            agreement[label] = agreeing / len(results)
+        return agreement
+
+    def worst_combination(self) -> str:
+        """The input combination most often recovered incorrectly."""
+        agreement = self.combination_agreement()
+        return min(agreement, key=agreement.get)
+
+    def worst_combination_margin(self) -> float:
+        """Agreement fraction of the worst input combination (robustness).
+
+        1.0 means every replicate recovered every combination correctly; the
+        lower the margin, the closer the candidate's weakest combination sits
+        to flipping — the search frontier ranks on (fitness, this margin).
+        """
+        return min(self.combination_agreement().values())
+
+    # -- serialization ---------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready statistics block (the frontier-entry shape)."""
+        return {
+            "n_replicates": self.n_replicates,
+            "mean_fitness": self.mean_fitness,
+            "std_fitness": self.std_fitness,
+            "sem_fitness": self.sem_fitness(),
+            "mean_design_fitness": self.mean_design_fitness,
+            "recovery_rate": self.recovery_rate,
+            "worst_combination": self.worst_combination(),
+            "worst_combination_margin": self.worst_combination_margin(),
+            "fitness_values": [float(v) for v in self.fitness_values],
+            "design_values": [float(v) for v in self.design_values],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if not self._results:
+            return "CandidateScore(empty)"
+        return (
+            f"CandidateScore(n={self.n_replicates}, mean={self.mean_fitness:.2f}, "
+            f"sem={self.sem_fitness():.2f})"
+        )

@@ -14,6 +14,14 @@ Four sub-commands cover the paper's workflow end to end:
 ``genlogic synth 0x0B``
     Synthesize a NOT/NOR netlist for a truth table given as a hex name or an
     expression and print its structure.
+``genlogic search 0x0B --budget-replicates 500``
+    Design-space search: enumerate every part assignment of the function
+    (repressor permutations × ``--variant`` kinetic override sets), allocate
+    replicates adaptively (racing/successive halving) and print the ranked
+    frontier.  Accepts the same execution flags as ``verify``
+    (``--workers`` / ``--dispatch`` / ``--batch``) with bit-identical
+    frontiers on every backend, and ``--spec FILE.json`` with a canonical
+    :class:`~repro.search.SearchSpec` body.
 ``genlogic worker --connect host:port`` / ``--listen host:port``
     Serve as one node of a distributed ensemble fabric (see below).
 ``genlogic serve --port 8080 --workers 4``
@@ -69,6 +77,7 @@ from .gates.synthesis import synthesize_from_expression, synthesize_from_hex
 from .io.csvlog import read_datalog_csv, write_datalog_csv
 from .io.results import save_result_json
 from .sbml.reader import read_sbml_file
+from .search import SearchSpec, run_design_search
 from .vlab.experiment import LogicExperiment
 from .version import __version__
 
@@ -157,6 +166,71 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("spec", help="hex truth-table name (0x0B) or Boolean expression")
     synth.add_argument("--inputs", nargs="*", help="input names (default LacI TetR AraC)")
 
+    search = subparsers.add_parser(
+        "search",
+        help="design-space search: rank every part assignment of a function",
+    )
+    search.add_argument(
+        "function",
+        nargs="?",
+        default=None,
+        help="hex truth-table name, e.g. 0x0B (omit when using --spec)",
+    )
+    search.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE.json",
+        help=(
+            "run the SearchSpec in this JSON file (the canonical request form; "
+            "search-defining flags may not be combined with it)"
+        ),
+    )
+    search.add_argument("--inputs", nargs="*", help="input proteins (default LacI TetR AraC)")
+    search.add_argument("--library", default=None, help="parts library name (default: diverse)")
+    search.add_argument("--output-protein", default=None)
+    search.add_argument(
+        "--variant",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE[,NAME=VALUE...]",
+        help=(
+            "add one kinetic variant (a set of parameter overrides applied at "
+            "simulation time) to the candidate grid; repeatable — the "
+            "no-override baseline variant is always part of the grid"
+        ),
+    )
+    search.add_argument("--allocator", choices=["racing", "fixed"], default=None)
+    search.add_argument(
+        "--budget-replicates",
+        type=int,
+        default=None,
+        help="hard cap on total replicates across the search",
+    )
+    search.add_argument(
+        "--fixed-replicates",
+        type=int,
+        default=None,
+        help="replicates per candidate (fixed allocator) / per-candidate cap (racing)",
+    )
+    search.add_argument("--n0", type=int, default=None, help="initial replicates per candidate")
+    search.add_argument(
+        "--refine-step",
+        type=int,
+        default=None,
+        help="replicates added per racing round to each still-ambiguous candidate",
+    )
+    search.add_argument("--top-k", type=int, default=None, help="frontier size to separate")
+    search.add_argument("--max-candidates", type=int, default=None)
+    search.add_argument("--hold-time", type=float, default=None)
+    search.add_argument("--threshold", type=float, default=None)
+    search.add_argument("--simulator", default=None)
+    search.add_argument("--seed", type=int, default=None)
+    search.add_argument("--json", help="write the frontier payload as JSON to this path")
+    _add_workers_flag(search, "worker processes for the replicate rounds")
+    _add_dispatch_flag(search)
+    _add_batch_flag(search)
+    _add_progress_flag(search)
+
     runtime = subparsers.add_parser("runtime", help="measure analyzer throughput")
     runtime.add_argument("--sizes", nargs="*", type=int, default=[10_000, 100_000, 1_000_000])
     runtime.add_argument("--inputs", type=int, default=3)
@@ -226,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-request replicate budget (larger specs get 413)",
+    )
+    serve.add_argument(
+        "--max-search-replicates",
+        type=int,
+        default=5000,
+        help="per-request total replicate budget for POST /v1/search (413 beyond)",
     )
     serve.add_argument(
         "--cache-bytes",
@@ -537,6 +617,122 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0 if result.comparison and result.comparison.matches else 1
 
 
+def _parse_variant(text: str):
+    """``"kmax=2.0,K0=5"`` → ``(("kmax", 2.0), ("K0", 5.0))``."""
+    pairs = []
+    for item in text.split(","):
+        name, sep, value = item.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ReproError(
+                f"malformed --variant entry {item!r}: expected NAME=VALUE[,NAME=VALUE...]",
+            )
+        try:
+            pairs.append((name, float(value)))
+        except ValueError:
+            raise ReproError(
+                f"malformed --variant value in {item!r}: {value!r} is not a number",
+            ) from None
+    return tuple(pairs)
+
+
+def _load_search_spec_file(path: str) -> SearchSpec:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return SearchSpec.from_json(handle.read())
+    except OSError as error:
+        raise ReproError(f"cannot read spec file {path!r}: {error}") from None
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    _validate_workers(args)
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("FUNCTION", args.function),
+                ("--inputs", args.inputs),
+                ("--library", args.library),
+                ("--output-protein", args.output_protein),
+                ("--variant", args.variant),
+                ("--allocator", args.allocator),
+                ("--budget-replicates", args.budget_replicates),
+                ("--fixed-replicates", args.fixed_replicates),
+                ("--n0", args.n0),
+                ("--refine-step", args.refine_step),
+                ("--top-k", args.top_k),
+                ("--max-candidates", args.max_candidates),
+                ("--hold-time", args.hold_time),
+                ("--threshold", args.threshold),
+                ("--simulator", args.simulator),
+                ("--seed", args.seed),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ReproError(
+                f"--spec may not be combined with {conflicting}; "
+                "edit the spec file instead",
+            )
+        spec = _load_search_spec_file(args.spec)
+        knobs = {}
+        if args.workers != spec.workers and args.workers != 1:
+            knobs["workers"] = args.workers
+        if getattr(args, "batch", 1) != 1:
+            knobs["batch_size"] = args.batch
+        if knobs:
+            spec = spec.replace(**knobs)
+    else:
+        if args.function is None:
+            raise ReproError("search needs a hex function name or --spec FILE.json")
+        fields = {
+            name: value
+            for name, value in (
+                ("inputs", tuple(args.inputs) if args.inputs else None),
+                ("library", args.library),
+                ("output_protein", args.output_protein),
+                ("allocator", args.allocator),
+                ("budget_replicates", args.budget_replicates),
+                ("fixed_replicates", args.fixed_replicates),
+                ("n0", args.n0),
+                ("refine_step", args.refine_step),
+                ("top_k", args.top_k),
+                ("max_candidates", args.max_candidates),
+                ("hold_time", args.hold_time),
+                ("threshold", args.threshold),
+                ("simulator", args.simulator),
+                ("seed", args.seed),
+            )
+            if value is not None
+        }
+        if args.variant:
+            # The baseline (no-override) variant always anchors the grid.
+            fields["variants"] = ((),) + tuple(_parse_variant(v) for v in args.variant)
+        fields["workers"] = args.workers
+        if getattr(args, "batch", 1) != 1:
+            fields["batch_size"] = args.batch
+        spec = SearchSpec(function=args.function, **fields)
+    with _dispatch_executor(args) as executor:
+        frontier = run_design_search(
+            spec,
+            executor=executor,
+            progress=_progress_hook(args, unit="replicates"),
+        )
+    print(frontier.summary())
+    stats = frontier.engine_stats or {}
+    if stats.get("executor") is not None:
+        print(
+            f"{frontier.total_replicates} replicates via {stats['executor']} "
+            f"(workers={stats['workers']}) in {stats['wall_seconds']:.2f} s "
+            f"({stats['replicates_per_second']:.2f} replicates/s)"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(frontier.to_payload(), handle, indent=2)
+        print(f"frontier JSON written to {args.json}")
+    return 0
+
+
 def _command_synth(args: argparse.Namespace) -> int:
     inputs = args.inputs or ["LacI", "TetR", "AraC"]
     if args.spec.lower().startswith("0x"):
@@ -614,6 +810,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise ReproError("--max-inflight must be at least 1")
     if args.max_replicates < 1:
         raise ReproError("--max-replicates must be at least 1")
+    if args.max_search_replicates < 1:
+        raise ReproError("--max-search-replicates must be at least 1")
     if args.cache_bytes < 0:
         raise ReproError("--cache-bytes must be non-negative")
 
@@ -625,6 +823,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         executor=executor,
         max_inflight=args.max_inflight,
         max_replicates=args.max_replicates,
+        max_search_replicates=args.max_search_replicates,
         cache_bytes=args.cache_bytes,
     )
 
@@ -646,6 +845,7 @@ _COMMANDS = {
     "analyze": _command_analyze,
     "verify": _command_verify,
     "synth": _command_synth,
+    "search": _command_search,
     "runtime": _command_runtime,
     "worker": _command_worker,
     "serve": _command_serve,

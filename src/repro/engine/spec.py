@@ -50,7 +50,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 from ..errors import EngineError
 from ..stochastic import canonical_simulator_name
 
-__all__ = ["STUDY_SPEC_SCHEMA", "StudySpec", "canonical_workers"]
+__all__ = ["STUDY_SPEC_SCHEMA", "StudySpec", "canonical_workers", "frozen_overrides"]
 
 #: Version of the StudySpec wire schema.  Bump when a field is added,
 #: removed or changes meaning; :meth:`StudySpec.from_dict` rejects specs from
@@ -86,10 +86,17 @@ def canonical_workers(
     return default if workers is None else int(workers)
 
 
-def _frozen_overrides(
+def frozen_overrides(
     overrides: Union[None, Mapping[str, float], Iterable[Tuple[str, float]]],
 ) -> Tuple[Tuple[str, float], ...]:
-    """Overrides as a sorted, hashable ``((name, value), ...)`` tuple."""
+    """Overrides as a sorted, hashable ``((name, value), ...)`` tuple.
+
+    The canonical frozen form shared by every spec that carries parameter
+    overrides (:class:`StudySpec` here, :class:`repro.search.SearchSpec`'s
+    variant grid): sorted by name, values coerced to float, duplicate names
+    rejected — so two equal override sets always compare, hash and serialize
+    identically.
+    """
     if overrides is None:
         return ()
     if isinstance(overrides, Mapping):
@@ -101,6 +108,10 @@ def _frozen_overrides(
     if len(set(names)) != len(names):
         raise EngineError(f"duplicate parameter override names in {names}")
     return frozen
+
+
+#: Backwards-compatible alias of :func:`frozen_overrides` (pre-public name).
+_frozen_overrides = frozen_overrides
 
 
 @dataclass(frozen=True)

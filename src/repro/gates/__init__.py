@@ -6,6 +6,13 @@ from .characterize import (
     characterize_library,
     response_curve,
 )
+from .assignment import (
+    PartAssignment,
+    assignable_gates,
+    count_assignments,
+    default_assignment,
+    enumerate_assignments,
+)
 from .cello import CELLO_CIRCUIT_NAMES, CELLO_INPUT_SPECIES, cello_circuit, cello_suite
 from .circuits import (
     GeneticCircuit,
@@ -23,11 +30,14 @@ from .compose import assign_proteins, netlist_to_model, netlist_to_sbol
 from .gate import GATE_TYPES, GateDefinition, GateType, gate_definition
 from .netlist import GateInstance, Netlist
 from .parts_library import (
+    LIBRARY_NAMES,
     InputSignal,
     PartsLibrary,
     ReporterPart,
     RepressorPart,
     default_library,
+    diverse_library,
+    resolve_library,
 )
 from .synthesis import synthesize, synthesize_from_expression, synthesize_from_hex
 
@@ -43,6 +53,14 @@ __all__ = [
     "InputSignal",
     "PartsLibrary",
     "default_library",
+    "diverse_library",
+    "resolve_library",
+    "LIBRARY_NAMES",
+    "PartAssignment",
+    "assignable_gates",
+    "default_assignment",
+    "enumerate_assignments",
+    "count_assignments",
     "synthesize",
     "synthesize_from_hex",
     "synthesize_from_expression",

@@ -62,6 +62,7 @@ def cello_circuit(
     library: Optional[PartsLibrary] = None,
     inputs: Optional[Sequence[str]] = None,
     output_protein: str = "YFP",
+    assignment=None,
 ) -> GeneticCircuit:
     """Regenerate one Cello circuit from its hexadecimal truth-table name.
 
@@ -70,12 +71,17 @@ def cello_circuit(
     name:
         Hexadecimal circuit name, e.g. ``"0x0B"``.
     library:
-        Parts library to allocate repressors from (a fresh default library if
+        Parts library to draw repressors from (a fresh default library if
         omitted).
     inputs:
         Input protein names (defaults to :data:`CELLO_INPUT_SPECIES`).
     output_protein:
         Reporter carried by the circuit output (Cello circuits use YFP).
+    assignment:
+        Explicit :class:`~repro.gates.assignment.PartAssignment` choosing the
+        repressor per synthesized gate (default: legacy first-fit).  Gate
+        names are stable across re-synthesis of the same function, so
+        assignments enumerated once apply to every rebuild.
     """
     inputs = list(inputs or CELLO_INPUT_SPECIES)
     try:
@@ -98,6 +104,7 @@ def cello_circuit(
         library=(library or default_library()).copy(),
         output_protein=output_protein,
         description=f"Cello circuit {name}: regenerated from its truth-table name.",
+        assignment=assignment,
     )
     circuit.name = f"cello_{name.lower()}"
     return circuit

@@ -96,11 +96,17 @@ def build_circuit(
     library: Optional[PartsLibrary] = None,
     output_protein: str = "GFP",
     description: str = "",
+    assignment=None,
 ) -> GeneticCircuit:
     """Assemble a :class:`GeneticCircuit` from a netlist.
 
     The circuit's input species are the netlist's primary input nets (which
-    must therefore be named after input proteins, e.g. ``LacI``).
+    must therefore be named after input proteins, e.g. ``LacI``).  Pass an
+    explicit :class:`~repro.gates.assignment.PartAssignment` to select which
+    repressor carries which gate (the default is the legacy first-fit
+    choice); the assignment's parameter ``overrides`` are *not* baked into
+    the model — apply them at simulation time as job overrides, so variants
+    of one permutation share a compiled model.
     """
     library = library or default_library()
     expected = netlist.truth_table()
@@ -108,6 +114,7 @@ def build_circuit(
         netlist,
         library=library,
         output_protein=output_protein,
+        assignment=assignment,
     )
     inputs = [net_protein[net] for net in netlist.inputs]
     output = net_protein[netlist.output]

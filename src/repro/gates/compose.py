@@ -22,6 +22,7 @@ from ..sbml.model import Model
 from ..sbol.converter import ConversionParameters, sbol_to_sbml
 from ..sbol.document import SBOLDocument
 from ..sbol.parts import ComponentDefinition, cds, promoter, protein, terminator
+from .assignment import PartAssignment, default_assignment
 from .gate import GateType
 from .netlist import GateInstance, Netlist
 from .parts_library import PartsLibrary, default_library
@@ -33,16 +34,29 @@ def assign_proteins(
     netlist: Netlist,
     library: Optional[PartsLibrary] = None,
     output_protein: str = "GFP",
+    assignment: Optional[PartAssignment] = None,
 ) -> Dict[str, str]:
     """Map every net of ``netlist`` to the protein species that carries it.
 
     Primary input nets map to themselves (they are already protein names such
-    as ``LacI``); internal nets get a distinct repressor from the library;
-    the output net maps to ``output_protein``.  The chosen repressor is also
-    recorded on each :class:`GateInstance` (its ``repressor`` attribute).
+    as ``LacI``); internal nets get a distinct repressor; the output net maps
+    to ``output_protein``.  The chosen repressor is also recorded on each
+    :class:`GateInstance` (its ``repressor`` attribute).
+
+    Which repressor carries which net is a pure function of ``assignment``
+    (an explicit :class:`~repro.gates.assignment.PartAssignment`): no library
+    state is read or written.  When ``assignment`` is omitted, the default is
+    :func:`~repro.gates.assignment.default_assignment` — the first-fit choice
+    the legacy stateful allocator always made, so existing callers see
+    identical circuits.  An explicit assignment wins over a gate's
+    pre-assigned ``repressor`` attribute; gates the assignment does not cover
+    fall back to their usable pre-assignment.
     """
     netlist.check_complete()
-    library = (library or default_library()).copy()
+    library = library or default_library()
+    if assignment is None:
+        assignment = default_assignment(netlist, library, output_protein)
+    chosen = dict(assignment.repressors)
     net_protein: Dict[str, str] = {net: net for net in netlist.inputs}
     reserved = set(netlist.inputs) | {output_protein}
 
@@ -51,18 +65,37 @@ def assign_proteins(
             net_protein[gate.output] = output_protein
             gate.repressor = output_protein
             continue
-        if gate.repressor and gate.repressor not in reserved:
-            # Respect a pre-assigned repressor (hand-built circuits).
-            part_name = gate.repressor
-            if part_name not in library.repressors:
+        part_name = chosen.pop(gate.name, None)
+        if part_name is None:
+            if gate.repressor and gate.repressor not in reserved:
+                # Respect a pre-assigned repressor (hand-built circuits).
+                part_name = gate.repressor
+                if part_name not in library.repressors:
+                    raise ModelError(
+                        f"gate {gate.name!r} requests unknown repressor {part_name!r}",
+                    )
+            else:
                 raise ModelError(
-                    f"gate {gate.name!r} requests unknown repressor {part_name!r}",
+                    f"assignment covers no repressor for gate {gate.name!r} "
+                    f"(assignable gates need one each)",
                 )
         else:
-            part_name = library.allocate_repressor(exclude=sorted(reserved)).name
-            gate.repressor = part_name
+            if part_name not in library.repressors:
+                raise ModelError(
+                    f"assignment gives gate {gate.name!r} unknown repressor {part_name!r}",
+                )
+            if part_name in reserved:
+                raise ModelError(
+                    f"assignment gives gate {gate.name!r} repressor {part_name!r}, "
+                    "which is already carrying another net (cross-talk)",
+                )
+        gate.repressor = part_name
         reserved.add(part_name)
         net_protein[gate.output] = part_name
+    if chosen:
+        raise ModelError(
+            f"assignment names unknown or non-assignable gate(s) {sorted(chosen)}",
+        )
     return net_protein
 
 
@@ -93,13 +126,15 @@ def netlist_to_sbol(
     netlist: Netlist,
     library: Optional[PartsLibrary] = None,
     output_protein: str = "GFP",
+    assignment: Optional[PartAssignment] = None,
 ) -> Tuple[SBOLDocument, Dict[str, str]]:
     """Build the SBOL structural design of a gate netlist.
 
-    Returns the document and the net → protein mapping used.
+    Returns the document and the net → protein mapping used.  ``assignment``
+    selects the parts explicitly (see :func:`assign_proteins`).
     """
     library = library or default_library()
-    net_protein = assign_proteins(netlist, library, output_protein)
+    net_protein = assign_proteins(netlist, library, output_protein, assignment=assignment)
 
     document = SBOLDocument(netlist.name, name=netlist.name)
 
@@ -184,15 +219,19 @@ def netlist_to_model(
     output_protein: str = "GFP",
     parameters: Optional[ConversionParameters] = None,
     model_id: Optional[str] = None,
+    assignment: Optional[PartAssignment] = None,
 ) -> Tuple[Model, SBOLDocument, Dict[str, str]]:
     """Full composition: netlist → SBOL → SBML model.
 
     Returns the model, the intermediate SBOL document, and the net → protein
     mapping (the model's input species are ``[net_protein[i] for i in
     netlist.inputs]`` and its output species is ``net_protein[netlist.output]``).
+    ``assignment`` selects the parts explicitly (see :func:`assign_proteins`).
     """
     library = library or default_library()
-    document, net_protein = netlist_to_sbol(netlist, library, output_protein)
+    document, net_protein = netlist_to_sbol(
+        netlist, library, output_protein, assignment=assignment
+    )
     model = sbol_to_sbml(
         document,
         parameters=parameters,

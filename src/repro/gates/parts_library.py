@@ -30,7 +30,16 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ModelError
 
-__all__ = ["RepressorPart", "ReporterPart", "InputSignal", "PartsLibrary", "default_library"]
+__all__ = [
+    "RepressorPart",
+    "ReporterPart",
+    "InputSignal",
+    "PartsLibrary",
+    "default_library",
+    "diverse_library",
+    "resolve_library",
+    "LIBRARY_NAMES",
+]
 
 
 @dataclass(frozen=True)
@@ -124,9 +133,20 @@ _DEFAULT_REPORTER_NAMES = ["GFP", "YFP", "RFP", "BFP"]
 class PartsLibrary:
     """A pool of repressors, reporters and input signals for circuit assembly.
 
-    The library hands out repressors one at a time (:meth:`allocate_repressor`)
-    so that every gate of a circuit uses a different repressor, mirroring
-    Cello's no-reuse constraint.
+    Part *selection* is pure: :meth:`select_repressor` answers "which
+    repressor would be picked given these unavailable names" without touching
+    any state, and :mod:`repro.gates.assignment` builds entire circuit
+    assignments on top of it.  The legacy stateful interface
+    (:meth:`allocate_repressor` / :meth:`reset_allocation`) is kept as a thin
+    shim over the pure selection: it records each handed-out name in the
+    library's allocation bookkeeping so that every gate of a circuit uses a
+    different repressor, mirroring Cello's no-reuse constraint.
+
+    Allocation-state semantics: the bookkeeping (``_allocated``) belongs to
+    *this instance only*.  :meth:`copy` and :meth:`with_kinetics` both return
+    a library with **fresh, empty** allocation state — a derived library
+    never shares (or inherits) the parent's bookkeeping, so composing one
+    circuit from a ``copy()`` can never exhaust another circuit's parts.
     """
 
     def __init__(
@@ -144,30 +164,50 @@ class PartsLibrary:
         self.inputs: Dict[str, InputSignal] = {s.name: s for s in inputs}
         self._allocated: List[str] = []
 
-    # -- allocation -----------------------------------------------------------
+    # -- selection (pure) ------------------------------------------------------
+    def select_repressor(self, unavailable: Sequence[str] = ()) -> RepressorPart:
+        """The first repressor not named in ``unavailable`` (pure, no state).
+
+        This is the library's selection rule — first fit in insertion order —
+        as a pure function: calling it never records anything, so the same
+        arguments always return the same part.  Names double-booked as input
+        signals of a circuit belong in ``unavailable`` to avoid cross-talk,
+        as do repressors already carrying other nets.
+        """
+        banned = set(unavailable)
+        for name, part in self.repressors.items():
+            if name not in banned:
+                return part
+        raise ModelError(
+            "parts library exhausted: no repressor available outside "
+            f"{sorted(banned)}",
+        )
+
+    # -- allocation (legacy stateful shim) -------------------------------------
     def allocate_repressor(self, exclude: Sequence[str] = ()) -> RepressorPart:
         """Return an unused repressor, skipping names in ``exclude``.
 
-        Repressors whose protein doubles as an input signal of the circuit
-        must be excluded to avoid cross-talk, which is what ``exclude`` is
-        for.
+        Stateful shim over :meth:`select_repressor`: the chosen name is
+        recorded so the next call skips it.  Repressors whose protein doubles
+        as an input signal of the circuit must be excluded to avoid
+        cross-talk, which is what ``exclude`` is for.  New code should prefer
+        an explicit :class:`~repro.gates.assignment.PartAssignment`.
         """
-        banned = set(self._allocated) | set(exclude)
-        for name, part in self.repressors.items():
-            if name not in banned:
-                self._allocated.append(name)
-                return part
-        raise ModelError(
-            "parts library exhausted: no unallocated repressor available "
-            f"(allocated: {self._allocated})",
-        )
+        part = self.select_repressor(unavailable=[*self._allocated, *exclude])
+        self._allocated.append(part.name)
+        return part
 
     def reset_allocation(self) -> None:
         """Forget previous allocations (call between circuits)."""
         self._allocated = []
 
     def copy(self) -> "PartsLibrary":
-        """A fresh library with no allocations."""
+        """An independent library with the same parts and *no* allocations.
+
+        The copy shares no allocation bookkeeping with its parent: names the
+        parent already handed out are available again in the copy, and
+        allocating from the copy never consumes the parent's pool.
+        """
         return PartsLibrary(
             list(self.repressors.values()),
             list(self.reporters.values()),
@@ -203,7 +243,9 @@ class PartsLibrary:
         """A copy of the library with uniformly overridden kinetics.
 
         Used by parameter sweeps (e.g. the threshold-robustness experiment of
-        Figure 5) to rescale every gate at once.
+        Figure 5) to rescale every gate at once.  Like :meth:`copy`, the
+        returned library starts with empty allocation state regardless of
+        what this instance has already handed out.
         """
         new_repressors = []
         for part in self.repressors.values():
@@ -266,3 +308,73 @@ def default_library(
         for name in _DEFAULT_INPUT_NAMES
     ]
     return PartsLibrary(repressors, reporters, inputs)
+
+
+#: Kinetic ladders of :func:`diverse_library`.  The cycle lengths (5, 4, 3)
+#: are pairwise coprime, so each of the 15 repressors gets a distinct
+#: (strength, K, n) combination.  Strengths keep every gate's ON level
+#: (``strength / degradation`` = 26–64 molecules) above the paper's
+#: 15-molecule threshold while spreading how much headroom each part has.
+_DIVERSE_STRENGTHS = [2.6, 3.4, 4.2, 5.2, 6.4]
+_DIVERSE_KS = [5.0, 6.5, 8.0, 9.5]
+_DIVERSE_NS = [2.4, 3.2, 4.0]
+
+
+def diverse_library(
+    degradation: float = 0.1,
+    input_high: float = 40.0,
+) -> PartsLibrary:
+    """A parts library whose repressors have deliberately *different* kinetics.
+
+    :func:`default_library` gives every repressor identical response
+    parameters, which makes all part assignments of a circuit statistically
+    equivalent — fine for verifying one circuit, useless for *searching* over
+    assignments.  This library assigns each repressor a distinct
+    (strength, K, n) combination from fixed ladders, deterministically by its
+    position in the Cello name list, so repressor permutations genuinely
+    differ in fitness and a design-space search has a real landscape to rank.
+    """
+    repressors = [
+        RepressorPart(
+            name=name,
+            promoter=f"p{name}",
+            strength=_DIVERSE_STRENGTHS[index % len(_DIVERSE_STRENGTHS)],
+            K=_DIVERSE_KS[index % len(_DIVERSE_KS)],
+            n=_DIVERSE_NS[index % len(_DIVERSE_NS)],
+            degradation=degradation,
+        )
+        for index, name in enumerate(_CELLO_REPRESSOR_NAMES)
+    ]
+    reporters = [
+        ReporterPart(name=name, degradation=degradation) for name in _DEFAULT_REPORTER_NAMES
+    ]
+    inputs = [
+        InputSignal(name=name, low=0.0, high=input_high) for name in _DEFAULT_INPUT_NAMES
+    ]
+    return PartsLibrary(repressors, reporters, inputs)
+
+
+#: Named library factories resolvable from serialized specs (SearchSpec's
+#: ``library`` field, the CLI's ``--library``).
+_LIBRARY_FACTORIES = {
+    "default": default_library,
+    "diverse": diverse_library,
+}
+
+LIBRARY_NAMES = sorted(_LIBRARY_FACTORIES)
+
+
+def resolve_library(name: str) -> PartsLibrary:
+    """Build the named parts library (``"default"`` or ``"diverse"``).
+
+    The registry the search layer uses to keep libraries serializable: a
+    library *name* can live in a frozen spec and travel as JSON, where a live
+    :class:`PartsLibrary` cannot.
+    """
+    try:
+        factory = _LIBRARY_FACTORIES[str(name).lower()]
+    except KeyError:
+        raise ModelError(
+            f"unknown parts library {name!r}; available: {LIBRARY_NAMES}",
+        ) from None
+    return factory()

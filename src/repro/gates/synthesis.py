@@ -100,6 +100,15 @@ def synthesize(
 
     Raises :class:`SynthesisError` for constant functions (a circuit that
     ignores its inputs has no genetic-gate implementation in this library).
+
+    Naming contract: gate and net names are a deterministic function of the
+    truth table alone (``g_inv0``, ``g_nor0``, ... numbered in synthesis
+    order by :class:`_NetNamer`).  Re-synthesizing the same table always
+    reproduces the same names, which is what lets a
+    :class:`~repro.gates.assignment.PartAssignment` — keyed by gate name —
+    be enumerated once and applied to every rebuild of the function, on any
+    machine.  The synthesized netlist carries no part choices: which
+    repressor implements which gate is decided later, by an assignment.
     """
     if max_fanin < 2:
         raise SynthesisError("max_fanin must be at least 2")

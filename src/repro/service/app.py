@@ -33,6 +33,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 from ..engine.executors import get_executor
 from ..engine.spec import StudySpec
 from ..errors import EngineError, ReproError
+from ..search.spec import SearchSpec
 from .cache import ResultCache
 
 __all__ = ["AnalysisService", "BackpressureError", "BudgetError", "StudyRecord"]
@@ -48,17 +49,21 @@ class BudgetError(EngineError):
 
 @dataclass
 class StudyRecord:
-    """One submitted study and its lifecycle.
+    """One submitted study or search and its lifecycle.
 
     ``status`` walks ``running`` → ``done`` | ``error`` (records answered
     straight from the cache are born ``done`` with ``cached=True``).
     ``done_event`` is set on completion, which is what ``?wait=1`` long-polls
-    and the tests await.
+    and the tests await.  ``kind`` is ``"study"`` (a
+    :class:`~repro.engine.StudySpec` replicate study) or ``"search"`` (a
+    :class:`~repro.search.SearchSpec` design-space search) — both kinds share
+    one registry, one in-flight bound and one result cache.
     """
 
     study_id: str
-    spec: StudySpec
+    spec: Union[StudySpec, SearchSpec]
     cache_key: Optional[str]
+    kind: str = "study"
     status: str = "running"
     cached: bool = False
     coalesced: bool = False
@@ -72,6 +77,7 @@ class StudyRecord:
         """The ``GET /v1/studies/{id}`` JSON body."""
         body: Dict[str, Any] = {
             "id": self.study_id,
+            "kind": self.kind,
             "status": self.status,
             "cached": self.cached,
             "coalesced": self.coalesced,
@@ -105,11 +111,19 @@ class AnalysisService:
     max_replicates:
         Per-request budget: specs asking for more replicates raise
         :class:`BudgetError` (HTTP 413).
+    max_search_replicates:
+        Per-request budget for design-space searches: specs whose total
+        replicate budget (``SearchSpec.total_budget()``) exceeds it raise
+        :class:`BudgetError` (HTTP 413).  Searches cost candidate-space ×
+        replicates, hence the separate, larger knob.
     cache_bytes:
         Byte budget of the content-addressed result cache (0 disables it).
     runner:
         Test seam: ``runner(spec, executor) -> payload dict`` replaces the
         default ``run_replicate_study(spec, executor=...).to_payload()``.
+    search_runner:
+        Test seam for searches; replaces the default
+        ``run_design_search(spec, executor=...).to_payload()``.
     """
 
     def __init__(
@@ -118,20 +132,28 @@ class AnalysisService:
         executor=None,
         max_inflight: int = 4,
         max_replicates: int = 64,
+        max_search_replicates: int = 5000,
         cache_bytes: int = 64 * 1024 * 1024,
         runner=None,
+        search_runner=None,
     ):
         if max_inflight < 1:
             raise EngineError("max_inflight must be at least 1")
         if max_replicates < 1:
             raise EngineError("max_replicates must be at least 1")
+        if max_search_replicates < 1:
+            raise EngineError("max_search_replicates must be at least 1")
         self.max_inflight = int(max_inflight)
         self.max_replicates = int(max_replicates)
+        self.max_search_replicates = int(max_search_replicates)
         self.cache = ResultCache(max_bytes=cache_bytes)
         self._owns_executor = executor is None
         self._workers = int(workers)
         self._executor = executor
         self._runner = runner if runner is not None else _default_runner
+        self._search_runner = (
+            search_runner if search_runner is not None else _default_search_runner
+        )
         self._records: Dict[str, StudyRecord] = {}
         self._inflight_by_key: Dict[str, StudyRecord] = {}
         self._ids = itertools.count(1)
@@ -173,6 +195,17 @@ class AnalysisService:
             return StudySpec.from_json(data)
         return StudySpec.from_dict(data)
 
+    def parse_search_spec(
+        self,
+        data: Union[SearchSpec, Mapping[str, Any], str, bytes],
+    ) -> SearchSpec:
+        """The :class:`SearchSpec` a request body describes (EngineError → 400)."""
+        if isinstance(data, SearchSpec):
+            return data
+        if isinstance(data, (str, bytes)):
+            return SearchSpec.from_json(data)
+        return SearchSpec.from_dict(data)
+
     async def submit(
         self,
         data: Union[StudySpec, Mapping[str, Any], str, bytes],
@@ -192,11 +225,44 @@ class AnalysisService:
                 f"accepts at most {self.max_replicates} per request",
             )
         key = spec.cache_key() if spec.seed is not None else None
+        return await self._admit(spec, key, kind="study")
 
+    async def submit_search(
+        self,
+        data: Union[SearchSpec, Mapping[str, Any], str, bytes],
+    ) -> StudyRecord:
+        """Admit one design-space search under the same policy as studies.
+
+        The admission pipeline is shared with :meth:`submit` — one in-flight
+        bound, one registry, one content-addressed cache (frontiers are keyed
+        by :meth:`SearchSpec.cache_key`) — only the budget check differs: a
+        search is charged its *total* replicate budget across the whole
+        candidate space.
+        """
+        spec = self.parse_search_spec(data)
+        budget = spec.total_budget()
+        if budget > self.max_search_replicates:
+            self._rejected += 1
+            raise BudgetError(
+                f"search budgets {budget} replicates over its candidate space; "
+                f"this service accepts at most {self.max_search_replicates} "
+                "per request (cap the space with max_candidates or lower "
+                "budget_replicates)",
+            )
+        key = spec.cache_key() if spec.seed is not None else None
+        return await self._admit(spec, key, kind="search")
+
+    async def _admit(
+        self,
+        spec: Union[StudySpec, SearchSpec],
+        key: Optional[str],
+        kind: str,
+    ) -> StudyRecord:
+        """The shared admission pipeline: cache hit, coalesce, or dispatch."""
         if key is not None:
             hit = self.cache.get(key)
             if hit is not None:
-                record = self._new_record(spec, key, status="done", cached=True)
+                record = self._new_record(spec, key, kind=kind, status="done", cached=True)
                 record.result = hit
                 record.wall_seconds = 0.0
                 record.done_event.set()
@@ -205,9 +271,9 @@ class AnalysisService:
             with self._lock:
                 running = self._inflight_by_key.get(key)
             if running is not None:
-                # Identical study already executing: attach, don't dispatch.
+                # Identical request already executing: attach, don't dispatch.
                 self._coalesced += 1
-                record = self._new_record(spec, key, coalesced=True)
+                record = self._new_record(spec, key, kind=kind, coalesced=True)
                 asyncio.ensure_future(self._follow(record, running))
                 return record
 
@@ -215,10 +281,10 @@ class AnalysisService:
             if len(self._inflight_by_key) >= self.max_inflight:
                 self._rejected += 1
                 raise BackpressureError(
-                    f"{len(self._inflight_by_key)} studies in flight "
+                    f"{len(self._inflight_by_key)} requests in flight "
                     f"(bound {self.max_inflight}); retry later",
                 )
-            record = self._new_record(spec, key)
+            record = self._new_record(spec, key, kind=kind)
             if key is not None:
                 self._inflight_by_key[key] = record
             else:
@@ -230,16 +296,18 @@ class AnalysisService:
 
     def _new_record(
         self,
-        spec: StudySpec,
+        spec: Union[StudySpec, SearchSpec],
         key: Optional[str],
+        kind: str = "study",
         status: str = "running",
         cached: bool = False,
         coalesced: bool = False,
     ) -> StudyRecord:
         record = StudyRecord(
-            study_id=f"study-{next(self._ids):06d}",
+            study_id=f"{kind}-{next(self._ids):06d}",
             spec=spec,
             cache_key=key,
+            kind=kind,
             status=status,
             cached=cached,
             coalesced=coalesced,
@@ -250,8 +318,9 @@ class AnalysisService:
 
     async def _execute(self, record: StudyRecord) -> None:
         started = time.monotonic()
+        runner = self._search_runner if record.kind == "search" else self._runner
         try:
-            payload = await asyncio.to_thread(self._runner, record.spec, self.executor)
+            payload = await asyncio.to_thread(runner, record.spec, self.executor)
         except ReproError as error:
             record.status = "error"
             record.error = str(error)
@@ -317,6 +386,7 @@ class AnalysisService:
             "cache": self.cache.stats(),
             "limits": {
                 "max_replicates": self.max_replicates,
+                "max_search_replicates": self.max_search_replicates,
             },
         }
 
@@ -326,3 +396,10 @@ def _default_runner(spec: StudySpec, executor) -> Dict[str, Any]:
     from ..analysis.replicates import run_replicate_study
 
     return run_replicate_study(spec, executor=executor).to_payload()
+
+
+def _default_search_runner(spec: SearchSpec, executor) -> Dict[str, Any]:
+    """Run the design-space search on the shared executor; JSON frontier out."""
+    from ..search.engine import run_design_search
+
+    return run_design_search(spec, executor=executor).to_payload()

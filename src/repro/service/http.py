@@ -12,6 +12,9 @@ Routes (all JSON)::
     POST /v1/studies          submit a StudySpec body; returns the study
                               record (add ?wait=1 to long-poll completion)
     GET  /v1/studies/{id}     status / result of one study
+    POST /v1/search           submit a SearchSpec body (design-space search);
+                              same record shape and ?wait=1 long-poll
+    GET  /v1/search/{id}      status / ranked frontier of one search
     GET  /v1/healthz          liveness probe
     GET  /v1/stats            pool saturation, cache hit rate, queue depth
 
@@ -231,29 +234,33 @@ class ServiceServer:
                 raise _HttpError(405, f"{method} not allowed on {path}")
             return 200, self.service.stats(), None
 
-        if path == "/v1/studies":
-            if method != "POST":
-                raise _HttpError(405, f"{method} not allowed on {path}")
-            try:
-                record = await self.service.submit(body)
-            except BudgetError as error:
-                raise _HttpError(413, str(error)) from None
-            except BackpressureError as error:
-                raise _HttpError(429, str(error), retry_after=1) from None
-            except EngineError as error:
-                raise _HttpError(400, str(error)) from None
-            if query.get("wait", ["0"])[-1] in ("1", "true", "yes"):
-                await record.done_event.wait()
-            return 200, record.to_response(), None
+        for base, kind, submit in (
+            ("/v1/studies", "study", self.service.submit),
+            ("/v1/search", "search", self.service.submit_search),
+        ):
+            if path == base:
+                if method != "POST":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                try:
+                    record = await submit(body)
+                except BudgetError as error:
+                    raise _HttpError(413, str(error)) from None
+                except BackpressureError as error:
+                    raise _HttpError(429, str(error), retry_after=1) from None
+                except EngineError as error:
+                    raise _HttpError(400, str(error)) from None
+                if query.get("wait", ["0"])[-1] in ("1", "true", "yes"):
+                    await record.done_event.wait()
+                return 200, record.to_response(), None
 
-        if path.startswith("/v1/studies/"):
-            if method != "GET":
-                raise _HttpError(405, f"{method} not allowed on {path}")
-            study_id = path[len("/v1/studies/"):]
-            record = self.service.get(study_id)
-            if record is None:
-                raise _HttpError(404, f"no study {study_id!r}")
-            return 200, record.to_response(), None
+            if path.startswith(base + "/"):
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                record_id = path[len(base) + 1:]
+                record = self.service.get(record_id)
+                if record is None or record.kind != kind:
+                    raise _HttpError(404, f"no {kind} {record_id!r}")
+                return 200, record.to_response(), None
 
         raise _HttpError(404, f"no route for {path}")
 

@@ -1,0 +1,203 @@
+"""Tests for CandidateScore: refinable aggregation and the two spread measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scoring import CandidateScore, z_value
+from repro.core.analyzer import LogicAnalysisResult
+from repro.errors import AnalysisError
+from repro.logic import TruthTable
+
+AND_TABLE = TruthTable(inputs=["LacI", "TetR"], outputs=[0, 0, 0, 1])
+CONST0_TABLE = TruthTable(inputs=["LacI", "TetR"], outputs=[0, 0, 0, 0])
+
+
+def fake_result(fitness, outputs=(0, 0, 0, 1)):
+    """A LogicAnalysisResult with just the fields scoring reads."""
+    table = TruthTable(inputs=["LacI", "TetR"], outputs=list(outputs))
+    return LogicAnalysisResult(
+        circuit_name="fake",
+        input_species=["LacI", "TetR"],
+        output_species="YFP",
+        threshold=15.0,
+        fov_ud=0.25,
+        combinations=[],
+        expression="LacI & TetR",
+        canonical_expression="LacI & TetR",
+        truth_table=table,
+        fitness=float(fitness),
+        gate_name="AND",
+        analysis_time_seconds=0.0,
+        n_samples=10,
+    )
+
+
+@pytest.fixture()
+def score():
+    return CandidateScore.from_results(
+        AND_TABLE,
+        [fake_result(90.0), fake_result(80.0), fake_result(100.0)],
+    )
+
+
+class TestAggregation:
+    def test_empty_score_raises(self):
+        empty = CandidateScore(AND_TABLE)
+        for attr in ("mean_fitness", "std_fitness", "mean_design_fitness"):
+            with pytest.raises(AnalysisError):
+                getattr(empty, attr)
+        with pytest.raises(AnalysisError):
+            empty.sem_fitness()
+        with pytest.raises(AnalysisError):
+            empty.design_ci()
+
+    def test_basic_statistics(self, score):
+        assert score.n_replicates == 3
+        assert score.mean_fitness == pytest.approx(90.0)
+        assert score.fitness_values == [90.0, 80.0, 100.0]
+        assert score.recovery_rate == 1.0
+
+    def test_slot_order_independence(self):
+        """Results arriving in any completion order give bit-identical stats."""
+        results = [fake_result(90.0), fake_result(80.0), fake_result(100.0)]
+        serial = CandidateScore(AND_TABLE)
+        for i, r in enumerate(results):
+            serial.add(r, slot=i)
+        shuffled = CandidateScore(AND_TABLE)
+        for i in (2, 0, 1):
+            shuffled.add(results[i], slot=i)
+        assert shuffled.fitness_values == serial.fitness_values
+        assert shuffled.to_payload() == serial.to_payload()
+
+    def test_duplicate_slot_rejected(self):
+        score = CandidateScore(AND_TABLE)
+        score.add(fake_result(90.0), slot=0)
+        with pytest.raises(AnalysisError):
+            score.add(fake_result(80.0), slot=0)
+
+    def test_negative_slot_rejected(self):
+        score = CandidateScore(AND_TABLE)
+        with pytest.raises(AnalysisError):
+            score.add(fake_result(90.0), slot=-1)
+
+    def test_add_without_slot_appends(self):
+        score = CandidateScore(AND_TABLE)
+        score.add(fake_result(90.0))
+        score.add(fake_result(80.0))
+        assert score.fitness_values == [90.0, 80.0]
+
+
+class TestSpreadMeasures:
+    """std_fitness stays ddof=0; sem/CI use ddof=1.  Pinned numerically."""
+
+    def test_std_is_population_ddof0(self, score):
+        # std([90, 80, 100], ddof=0) = sqrt(200/3)
+        assert score.std_fitness == pytest.approx(math.sqrt(200.0 / 3.0))
+        assert score.std_fitness == pytest.approx(float(np.std([90.0, 80.0, 100.0])))
+
+    def test_sem_is_sample_ddof1(self, score):
+        # std([90, 80, 100], ddof=1) = 10; sem = 10 / sqrt(3)
+        assert score.sem_fitness() == pytest.approx(10.0 / math.sqrt(3.0))
+
+    def test_ci_uses_normal_critical_value(self, score):
+        lo, hi = score.fitness_ci(level=0.95)
+        half = z_value(0.95) * 10.0 / math.sqrt(3.0)
+        assert lo == pytest.approx(90.0 - half)
+        assert hi == pytest.approx(90.0 + half)
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_single_replicate_is_unbounded_not_zero(self):
+        """n=1: sample variance undefined — sem is inf and the CI is the whole
+        line, never a silent 0.0."""
+        score = CandidateScore.from_results(AND_TABLE, [fake_result(90.0)])
+        assert score.std_fitness == 0.0  # population std of one value
+        assert score.sem_fitness() == float("inf")
+        assert score.fitness_ci() == (float("-inf"), float("inf"))
+        assert score.design_sem() == float("inf")
+        assert score.design_ci() == (float("-inf"), float("inf"))
+
+    def test_invalid_ci_level(self, score):
+        for level in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(AnalysisError):
+                score.fitness_ci(level=level)
+
+
+class TestDesignFitness:
+    def test_correct_replicates_keep_their_fitness(self, score):
+        assert score.design_values == score.fitness_values
+        assert score.mean_design_fitness == pytest.approx(score.mean_fitness)
+
+    def test_dead_circuit_is_discounted(self):
+        """A CONST0 recovery of an AND target matches 3 of 4 rows: a perfectly
+        stable dead circuit scores 75, not 100."""
+        score = CandidateScore.from_results(
+            AND_TABLE,
+            [fake_result(100.0, outputs=(0, 0, 0, 0))],
+        )
+        assert score.design_values == [pytest.approx(75.0)]
+        assert score.recovery_rate == 0.0
+
+    def test_mixed_replicates(self):
+        score = CandidateScore.from_results(
+            AND_TABLE,
+            [fake_result(100.0), fake_result(100.0, outputs=(0, 0, 0, 0))],
+        )
+        assert score.mean_design_fitness == pytest.approx((100.0 + 75.0) / 2.0)
+        assert score.recovery_rate == 0.5
+
+
+class TestCombinationAgreement:
+    def test_worst_combination_and_margin(self):
+        score = CandidateScore.from_results(
+            AND_TABLE,
+            [
+                fake_result(100.0),
+                fake_result(100.0, outputs=(0, 0, 0, 0)),  # 11 row wrong
+                fake_result(100.0),
+                fake_result(100.0, outputs=(0, 0, 0, 0)),  # 11 row wrong
+            ],
+        )
+        agreement = score.combination_agreement()
+        assert agreement["11"] == pytest.approx(0.5)
+        assert agreement["00"] == 1.0
+        assert score.worst_combination() == "11"
+        assert score.worst_combination_margin() == pytest.approx(0.5)
+
+    def test_perfect_margin(self, score):
+        assert score.worst_combination_margin() == 1.0
+
+
+class TestReplicateStudyDelegation:
+    """ReplicateStudy statistics delegate to CandidateScore — same numbers."""
+
+    def _study(self, results):
+        from repro.analysis.replicates import ReplicateStudy
+
+        return ReplicateStudy("fake", AND_TABLE, results)
+
+    def test_sem_and_ci_match_score(self):
+        results = [fake_result(90.0), fake_result(80.0), fake_result(100.0)]
+        study = self._study(results)
+        score = CandidateScore.from_results(AND_TABLE, results)
+        assert study.sem_fitness() == score.sem_fitness()
+        assert study.fitness_ci() == score.fitness_ci()
+        assert study.std_fitness == score.std_fitness  # still ddof=0
+
+    def test_single_replicate_edge(self):
+        study = self._study([fake_result(90.0)])
+        assert study.sem_fitness() == float("inf")
+        assert study.fitness_ci() == (float("-inf"), float("inf"))
+        assert study.std_fitness == 0.0
+
+
+class TestPayload:
+    def test_payload_carries_both_spreads_and_design(self, score):
+        payload = score.to_payload()
+        assert payload["n_replicates"] == 3
+        assert payload["std_fitness"] == pytest.approx(math.sqrt(200.0 / 3.0))
+        assert payload["sem_fitness"] == pytest.approx(10.0 / math.sqrt(3.0))
+        assert payload["mean_design_fitness"] == pytest.approx(90.0)
+        assert payload["design_values"] == payload["fitness_values"]
+        assert payload["worst_combination_margin"] == 1.0

@@ -1,0 +1,173 @@
+"""Tests for explicit part assignments and the candidate-space enumeration."""
+
+import pytest
+
+from repro.engine.cache import model_fingerprint
+from repro.errors import ModelError
+from repro.gates import (
+    PartAssignment,
+    assignable_gates,
+    build_circuit,
+    count_assignments,
+    default_assignment,
+    default_library,
+    enumerate_assignments,
+)
+from repro.gates.parts_library import InputSignal, PartsLibrary, RepressorPart
+from repro.gates.synthesis import synthesize_from_hex
+
+
+@pytest.fixture()
+def and_netlist():
+    """2-input AND (0x8): two assignable inverters feeding the output NOR."""
+    return synthesize_from_hex("0x8", inputs=["LacI", "TetR"])
+
+
+def _tiny_library(n_repressors):
+    """A library with exactly ``n_repressors`` free repressors (plus inputs)."""
+    repressors = [
+        RepressorPart(name=f"R{i}", promoter=f"pR{i}") for i in range(n_repressors)
+    ] + [
+        RepressorPart(name="LacI", promoter="pTac"),
+        RepressorPart(name="TetR", promoter="pTet"),
+    ]
+    inputs = [InputSignal(name="LacI"), InputSignal(name="TetR")]
+    return PartsLibrary(repressors=repressors, reporters=[], inputs=inputs)
+
+
+class TestPartAssignment:
+    def test_duplicate_gate_rejected(self):
+        with pytest.raises(ModelError):
+            PartAssignment(repressors=(("g_inv0", "PhlF"), ("g_inv0", "SrpR")))
+
+    def test_duplicate_part_rejected(self):
+        """Cello's no-reuse constraint: one repressor drives one gate."""
+        with pytest.raises(ModelError):
+            PartAssignment(repressors=(("g_inv0", "PhlF"), ("g_inv1", "PhlF")))
+
+    def test_dict_round_trip(self):
+        assignment = PartAssignment(
+            repressors=(("g_inv0", "PhlF"), ("g_inv1", "SrpR")),
+            overrides=(("kd_YFP", 0.2),),
+        )
+        clone = PartAssignment.from_dict(assignment.to_dict())
+        assert clone == assignment
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ModelError):
+            PartAssignment.from_dict({"repressors": [], "surprise": 1})
+
+    def test_label_names_parts_and_overrides(self):
+        assignment = PartAssignment(
+            repressors=(("g_inv0", "PhlF"),),
+            overrides=(("kmax", 2.0),),
+        )
+        label = assignment.label()
+        assert "PhlF" in label
+        assert "kmax" in label
+
+    def test_index_does_not_affect_equality(self):
+        base = PartAssignment(repressors=(("g_inv0", "PhlF"),))
+        indexed = PartAssignment(repressors=(("g_inv0", "PhlF"),), index=7)
+        assert base == indexed
+
+
+class TestAssignableGates:
+    def test_synthesized_netlist_exposes_inner_gates(self, and_netlist):
+        names = assignable_gates(and_netlist)
+        assert names == ["g_inv0", "g_inv1"]
+
+    def test_output_gate_is_not_assignable(self, and_netlist):
+        output_gate = next(
+            gate.name for gate in and_netlist.gates if gate.output == and_netlist.output
+        )
+        assert output_gate not in assignable_gates(and_netlist)
+
+
+class TestDefaultAssignment:
+    def test_matches_first_enumerated(self, and_netlist):
+        default = default_assignment(and_netlist, default_library())
+        first = next(enumerate_assignments(and_netlist, default_library()))
+        assert default.repressors == first.repressors
+
+    def test_reproduces_legacy_first_fit_model(self, and_netlist):
+        """An explicit default assignment builds the same model as the legacy
+        stateful allocation path, bit for bit."""
+        legacy = build_circuit(synthesize_from_hex("0x8", inputs=["LacI", "TetR"]))
+        assignment = default_assignment(and_netlist, default_library())
+        explicit = build_circuit(
+            synthesize_from_hex("0x8", inputs=["LacI", "TetR"]),
+            assignment=assignment,
+        )
+        assert model_fingerprint(explicit.model) == model_fingerprint(legacy.model)
+
+
+class TestEnumeration:
+    def test_count_matches_stream(self, and_netlist):
+        library = default_library()
+        variants = [(), (("kd_YFP", 0.2),)]
+        stream = list(enumerate_assignments(and_netlist, library, variants=variants))
+        assert len(stream) == count_assignments(and_netlist, library, variants=variants)
+        # 15 repressors minus the LacI/TetR inputs leaves a pool of 13:
+        # P(13, 2) permutations x 2 variants.
+        assert len(stream) == 13 * 12 * 2
+
+    def test_indices_are_the_stream_positions(self, and_netlist):
+        stream = list(enumerate_assignments(and_netlist, default_library(), limit=10))
+        assert [a.index for a in stream] == list(range(10))
+
+    def test_deterministic(self, and_netlist):
+        first = list(enumerate_assignments(and_netlist, default_library(), limit=20))
+        second = list(enumerate_assignments(and_netlist, default_library(), limit=20))
+        assert first == second
+
+    def test_resumable_from_any_start(self, and_netlist):
+        library = default_library()
+        variants = [(), (("kd_YFP", 0.2),)]
+        full = list(enumerate_assignments(and_netlist, library, variants=variants, limit=30))
+        for start in (0, 1, 7, 29):
+            resumed = list(
+                enumerate_assignments(
+                    and_netlist,
+                    library,
+                    variants=variants,
+                    start=start,
+                    limit=30 - start,
+                ),
+            )
+            assert resumed == full[start:]
+
+    def test_variants_iterate_within_each_permutation(self, and_netlist):
+        variants = [(), (("kd_YFP", 0.2),)]
+        stream = list(
+            enumerate_assignments(and_netlist, default_library(), variants=variants, limit=4),
+        )
+        assert stream[0].repressors == stream[1].repressors
+        assert stream[0].overrides == ()
+        assert stream[1].overrides == (("kd_YFP", 0.2),)
+        assert stream[2].repressors != stream[0].repressors
+
+    def test_no_part_reuse_within_a_candidate(self, and_netlist):
+        for assignment in enumerate_assignments(and_netlist, default_library(), limit=50):
+            names = assignment.repressor_names
+            assert len(set(names)) == len(names)
+
+    def test_pool_too_small_raises(self, and_netlist):
+        with pytest.raises(ModelError):
+            next(enumerate_assignments(and_netlist, _tiny_library(1)))
+
+    def test_exact_pool_enumerates_permutations(self, and_netlist):
+        stream = list(enumerate_assignments(and_netlist, _tiny_library(2)))
+        assert len(stream) == 2  # P(2, 2)
+
+    def test_enumerated_candidates_build_and_differ(self, and_netlist):
+        """Every candidate builds a circuit, and distinct permutations yield
+        distinct models."""
+        fingerprints = set()
+        for assignment in enumerate_assignments(and_netlist, default_library(), limit=4):
+            circuit = build_circuit(
+                synthesize_from_hex("0x8", inputs=["LacI", "TetR"]),
+                assignment=assignment,
+            )
+            fingerprints.add(model_fingerprint(circuit.model))
+        assert len(fingerprints) == 4

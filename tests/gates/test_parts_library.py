@@ -3,7 +3,15 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.gates import InputSignal, PartsLibrary, RepressorPart, default_library
+from repro.gates import (
+    LIBRARY_NAMES,
+    InputSignal,
+    PartsLibrary,
+    RepressorPart,
+    default_library,
+    diverse_library,
+    resolve_library,
+)
 
 
 class TestParts:
@@ -49,6 +57,36 @@ class TestDefaultLibrary:
         assert signal.high > signal.low
 
 
+class TestSelection:
+    """select_repressor is the pure core the stateful allocator shims over."""
+
+    def test_selection_is_pure(self, library):
+        first = library.select_repressor()
+        again = library.select_repressor()
+        assert first.name == again.name
+        # Selection never records anything: allocation still starts fresh.
+        assert library.allocate_repressor().name == first.name
+
+    def test_selection_skips_unavailable(self, library):
+        names = list(library.repressors)
+        part = library.select_repressor(unavailable=names[:3])
+        assert part.name == names[3]
+
+    def test_selection_exhaustion_raises(self, library):
+        with pytest.raises(ModelError):
+            library.select_repressor(unavailable=list(library.repressors))
+
+    def test_allocator_matches_selection_sequence(self):
+        """The legacy allocator is first-fit selection with bookkeeping."""
+        stateful = default_library()
+        pure = default_library()
+        taken = []
+        for _ in range(4):
+            expected = pure.select_repressor(unavailable=taken).name
+            assert stateful.allocate_repressor().name == expected
+            taken.append(expected)
+
+
 class TestAllocation:
     def test_allocations_are_unique(self):
         library = default_library()
@@ -79,6 +117,26 @@ class TestAllocation:
         fresh = library.copy()
         assert fresh.allocate_repressor().name == list(library.repressors)[0]
 
+    def test_copy_never_shares_bookkeeping(self):
+        """Allocating from a copy must not consume the parent's pool (and
+        vice versa) — each instance owns its allocation state."""
+        parent = default_library()
+        child = parent.copy()
+        child.allocate_repressor()
+        child.allocate_repressor()
+        # The parent is untouched: it still hands out the very first part.
+        assert parent.allocate_repressor().name == list(parent.repressors)[0]
+        # And allocations made on the parent afterwards don't leak back.
+        grandchild = child.copy()
+        assert grandchild.allocate_repressor().name == list(child.repressors)[0]
+
+    def test_with_kinetics_starts_with_empty_allocation(self):
+        library = default_library()
+        library.allocate_repressor()
+        library.allocate_repressor()
+        rescaled = library.with_kinetics(K=25.0)
+        assert rescaled.allocate_repressor().name == list(library.repressors)[0]
+
     def test_duplicate_repressors_rejected(self):
         part = RepressorPart(name="X", promoter="pX")
         with pytest.raises(ModelError):
@@ -97,3 +155,31 @@ class TestWithKinetics:
         original = library.repressor("PhlF")
         assert modified.repressor("PhlF").strength == original.strength
         assert modified.repressor("PhlF").degradation == 0.5
+
+
+class TestNamedLibraries:
+    def test_diverse_library_has_heterogeneous_kinetics(self):
+        """The diverse library exists to make candidates distinguishable:
+        parts must not all share one response curve."""
+        library = diverse_library()
+        assert set(library.repressors) == set(default_library().repressors)
+        kinetics = {(p.strength, p.K, p.n) for p in library.repressors.values()}
+        assert len(kinetics) > 1
+
+    def test_resolve_library_by_name(self):
+        assert set(LIBRARY_NAMES) >= {"default", "diverse"}
+        for name in LIBRARY_NAMES:
+            library = resolve_library(name)
+            assert library.repressors
+        assert resolve_library("diverse").repressor("PhlF") == diverse_library().repressor(
+            "PhlF",
+        )
+
+    def test_resolve_library_unknown_name(self):
+        with pytest.raises(ModelError):
+            resolve_library("exotic")
+
+    def test_resolve_library_is_case_insensitive(self):
+        assert set(resolve_library("DIVERSE").repressors) == set(
+            diverse_library().repressors,
+        )

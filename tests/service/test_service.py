@@ -19,6 +19,7 @@ import pytest
 from repro.analysis import run_replicate_study
 from repro.engine import StudySpec
 from repro.errors import EngineError
+from repro.search import SearchSpec, run_design_search
 from repro.service import AnalysisService, ResultCache, ServiceServer
 from repro.service.app import BackpressureError, BudgetError
 
@@ -237,6 +238,121 @@ class TestAnalysisService:
             AnalysisService(max_replicates=0)
 
 
+def _search_spec(seed=7, **changes):
+    base = SearchSpec(
+        function="0x8",
+        inputs=("LacI", "TetR"),
+        library="diverse",
+        max_candidates=4,
+        n0=2,
+        fixed_replicates=2,
+        hold_time=20.0,
+        seed=seed,
+    )
+    return base.replace(**changes) if changes else base
+
+
+class _StubSearchRunner:
+    """Injectable search runner mirroring :class:`_StubRunner`."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, spec, executor):
+        self.calls += 1
+        return {"function": spec.function, "seed": spec.seed}
+
+
+class TestSearchSubmission:
+    """Searches share the service's admission machinery with studies."""
+
+    def test_submit_search_runs_and_caches(self):
+        runner = _StubSearchRunner()
+
+        async def _go():
+            service = AnalysisService(runner=_StubRunner(), search_runner=runner)
+            first = await service.submit_search(_search_spec())
+            await first.done_event.wait()
+            second = await service.submit_search(_search_spec())
+            return first, second
+
+        first, second = asyncio.run(_go())
+        assert first.kind == "search"
+        assert first.study_id.startswith("search-")
+        assert first.status == "done" and not first.cached
+        assert first.result == {"function": "0x8", "seed": 7}
+        assert second.cached and second.result == first.result
+        assert runner.calls == 1
+
+    def test_search_json_body_accepted(self):
+        runner = _StubSearchRunner()
+
+        async def _go():
+            service = AnalysisService(runner=_StubRunner(), search_runner=runner)
+            record = await service.submit_search(_search_spec().to_json())
+            await record.done_event.wait()
+            return record
+
+        assert asyncio.run(_go()).status == "done"
+
+    def test_search_budget_enforced_over_the_candidate_space(self):
+        async def _go():
+            service = AnalysisService(
+                runner=_StubRunner(),
+                search_runner=_StubSearchRunner(),
+                max_search_replicates=7,
+            )
+            await service.submit_search(_search_spec())  # 4 candidates x 2 = 8
+
+        with pytest.raises(BudgetError, match="at most 7"):
+            asyncio.run(_go())
+
+    def test_searches_and_studies_share_the_inflight_bound(self):
+        study_runner = _StubRunner(blocking=True)
+
+        async def _go():
+            service = AnalysisService(
+                runner=study_runner,
+                search_runner=_StubSearchRunner(),
+                max_inflight=1,
+            )
+            held = await service.submit(_spec())
+            with pytest.raises(BackpressureError):
+                await service.submit_search(_search_spec())
+            study_runner.release()
+            await held.done_event.wait()
+            late = await service.submit_search(_search_spec())
+            await late.done_event.wait()
+            return late
+
+        assert asyncio.run(_go()).status == "done"
+
+    def test_search_records_are_not_studies(self):
+        async def _go():
+            service = AnalysisService(
+                runner=_StubRunner(),
+                search_runner=_StubSearchRunner(),
+            )
+            study = await service.submit(_spec())
+            search = await service.submit_search(_search_spec())
+            await study.done_event.wait()
+            await search.done_event.wait()
+            return service, study, search
+
+        service, study, search = asyncio.run(_go())
+        assert study.kind == "study" and search.kind == "search"
+        assert service.get(study.study_id).kind == "study"
+        assert service.get(search.study_id).kind == "search"
+        assert study.to_response()["kind"] == "study"
+        assert search.to_response()["kind"] == "search"
+
+    def test_search_limit_validated_and_reported(self):
+        with pytest.raises(EngineError):
+            AnalysisService(max_search_replicates=0)
+        service = AnalysisService(runner=_StubRunner(), max_search_replicates=123)
+        assert service.stats()["limits"]["max_search_replicates"] == 123
+
+
 def _request(port, method, path, body=None):
     """One HTTP request against the loopback service; returns (status, headers, json)."""
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
@@ -330,3 +446,59 @@ class TestHttpService:
             assert status == 404
 
         self._serve(exercise, runner=_StubRunner(), max_replicates=4)
+
+    def test_search_routes_end_to_end(self):
+        """POST /v1/search answers bit-identically to run_design_search."""
+        spec = _search_spec(max_candidates=3)
+
+        def exercise(port):
+            status, _, first = _request(port, "POST", "/v1/search?wait=1", spec.to_dict())
+            assert status == 200, first
+            assert first["kind"] == "search" and first["status"] == "done"
+            assert first["id"].startswith("search-")
+
+            status, _, second = _request(port, "POST", "/v1/search?wait=1", spec.to_dict())
+            assert status == 200 and second["cached"]
+            assert second["result"] == first["result"]
+
+            status, _, fetched = _request(port, "GET", f"/v1/search/{first['id']}")
+            assert status == 200 and fetched["result"] == first["result"]
+            return first["result"]
+
+        served = self._serve(exercise, workers=1)
+        direct = run_design_search(spec).to_payload()
+        assert {k: v for k, v in served.items() if k != "engine"} == {
+            k: v for k, v in direct.items() if k != "engine"
+        }, "the service must answer bit-identically to run_design_search"
+
+    def test_search_and_study_namespaces_are_disjoint(self):
+        def exercise(port):
+            status, _, study = _request(port, "POST", "/v1/studies?wait=1", _spec().to_dict())
+            assert status == 200
+            status, _, search = _request(
+                port, "POST", "/v1/search?wait=1", _search_spec().to_dict()
+            )
+            assert status == 200
+
+            # A study id is not fetchable as a search, and vice versa.
+            status, _, _body = _request(port, "GET", f"/v1/search/{study['id']}")
+            assert status == 404
+            status, _, _body = _request(port, "GET", f"/v1/studies/{search['id']}")
+            assert status == 404
+
+        self._serve(exercise, runner=_StubRunner(), search_runner=_StubSearchRunner())
+
+    def test_search_budget_maps_to_413(self):
+        def exercise(port):
+            status, _, body = _request(port, "POST", "/v1/search", _search_spec().to_dict())
+            assert status == 413 and "at most 7" in body["error"]
+
+            status, _, body = _request(port, "POST", "/v1/search", {"function": "0x8", "oops": 1})
+            assert status == 400 and "oops" in body["error"]
+
+        self._serve(
+            exercise,
+            runner=_StubRunner(),
+            search_runner=_StubSearchRunner(),
+            max_search_replicates=7,
+        )

@@ -336,3 +336,80 @@ class TestList:
         out = capsys.readouterr().out
         assert "cello_0x0b" in out
         assert out.count("\n") == 10
+
+
+class TestSearch:
+    SMALL = [
+        "search",
+        "0x8",
+        "--inputs",
+        "LacI",
+        "TetR",
+        "--library",
+        "diverse",
+        "--max-candidates",
+        "4",
+        "--n0",
+        "2",
+        "--fixed-replicates",
+        "2",
+        "--hold-time",
+        "20",
+        "--seed",
+        "7",
+    ]
+
+    def test_needs_function_or_spec(self, capsys):
+        assert main(["search"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_smoke_run_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "frontier.json"
+        assert main([*self.SMALL, "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "design fitness" in out
+        assert "replicates via" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_candidates"] == 4
+        assert payload["allocator"] == "racing"
+        assert payload["entries"][0]["rank"] == 1
+
+    def test_variant_flag_extends_the_grid(self, capsys):
+        assert main([*self.SMALL, "--variant", "kd_YFP=0.5"]) == 0
+        capsys.readouterr()
+
+    def test_malformed_variant_rejected(self, capsys):
+        assert main([*self.SMALL, "--variant", "kmax"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_malformed_variant_value_rejected(self, capsys):
+        assert main([*self.SMALL, "--variant", "kmax=fast"]) == 2
+        assert "not a number" in capsys.readouterr().err
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        from repro.search import SearchSpec
+
+        spec = SearchSpec(
+            function="0x8",
+            inputs=("LacI", "TetR"),
+            library="diverse",
+            max_candidates=4,
+            n0=2,
+            fixed_replicates=2,
+            hold_time=20.0,
+            seed=7,
+        )
+        path = tmp_path / "search.json"
+        path.write_text(spec.to_json())
+        assert main(["search", "--spec", str(path)]) == 0
+        assert "design fitness" in capsys.readouterr().out
+
+    def test_spec_file_conflicts_with_flags(self, capsys, tmp_path):
+        path = tmp_path / "search.json"
+        path.write_text("{}")
+        assert main(["search", "0x8", "--spec", str(path)]) == 2
+        assert "may not be combined" in capsys.readouterr().err
+
+    def test_missing_spec_file_errors_cleanly(self, capsys):
+        assert main(["search", "--spec", "/no/such/file.json"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
