@@ -61,6 +61,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from contextlib import contextmanager
 from typing import Optional, Sequence
 
@@ -276,6 +277,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --listen: exit after serving this many coordinator sessions",
     )
+    _add_key_flag(worker)
+
+    supervisor = subparsers.add_parser(
+        "supervisor",
+        help="keep a target number of local genlogic worker processes running",
+    )
+    supervisor.add_argument(
+        "target",
+        type=int,
+        help="number of worker processes to keep alive",
+    )
+    supervisor_mode = supervisor.add_mutually_exclusive_group(required=True)
+    supervisor_mode.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="supervised workers dial this listening coordinator",
+    )
+    supervisor_mode.add_argument(
+        "--listen-base",
+        metavar="HOST:PORT",
+        help=(
+            "supervised worker i listens on PORT+i (feed the printed list to a "
+            "coordinator's --dispatch)"
+        ),
+    )
+    supervisor.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="pipelining depth advertised by each supervised worker",
+    )
+    supervisor.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help="also serve GET /status (JSON health) on this loopback port",
+    )
+    supervisor.add_argument(
+        "--stable-after",
+        type=float,
+        default=5.0,
+        help="seconds of uptime after which a worker's restart backoff resets",
+    )
+    _add_key_flag(supervisor)
 
     serve = subparsers.add_parser(
         "serve",
@@ -284,7 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--host",
         default="127.0.0.1",
-        help="bind address; must be loopback until the fabric's HMAC handshake lands",
+        help=(
+            "bind address; non-loopback binds require a fabric key "
+            "(--key-file or GENLOGIC_FABRIC_KEY)"
+        ),
     )
     serve.add_argument("--port", type=int, default=8080, help="listen port (0 = ephemeral)")
     _add_workers_flag(serve, "local worker processes for the shared pool")
@@ -313,6 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=64 * 1024 * 1024,
         help="byte budget of the content-addressed result cache (0 disables)",
     )
+    serve.add_argument(
+        "--supervise",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run studies on a supervised fabric of N auto-restarting local "
+            "worker processes (excludes --dispatch)"
+        ),
+    )
 
     return parser
 
@@ -335,6 +393,20 @@ def _add_dispatch_flag(subparser: argparse.ArgumentParser) -> None:
         help=(
             "shard the batch across 'genlogic worker --listen' processes at "
             "these addresses (bit-identical results; excludes --jobs)"
+        ),
+    )
+    _add_key_flag(subparser)
+
+
+def _add_key_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--key-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "file holding the shared fabric secret for the authenticated "
+            "HMAC handshake (default: the GENLOGIC_FABRIC_KEY environment "
+            "variable; neither = unauthenticated trusted-network mode)"
         ),
     )
 
@@ -504,7 +576,10 @@ def _dispatch_executor(args: argparse.Namespace):
     if spec is None:
         yield None
         return
-    executor = DistributedEnsembleExecutor(connect=parse_dispatch_spec(spec))
+    executor = DistributedEnsembleExecutor(
+        connect=parse_dispatch_spec(spec),
+        key_file=getattr(args, "key_file", None),
+    )
     try:
         yield executor
     finally:
@@ -774,6 +849,7 @@ def _command_worker(args: argparse.Namespace) -> int:
             listen=args.listen,
             capacity=args.capacity,
             max_sessions=args.max_sessions,
+            key_file=args.key_file,
         )
     except OSError as error:
         # Refused/unreachable coordinator, port in use, ...: CLI-style error,
@@ -782,16 +858,54 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_supervisor(args: argparse.Namespace) -> int:
+    from .engine.supervisor import WorkerSupervisor
+
+    if args.target < 0:
+        raise ReproError("supervisor target must be non-negative")
+    if args.capacity < 1:
+        raise ReproError("--capacity must be at least 1")
+    supervisor = WorkerSupervisor(
+        args.target,
+        connect=args.connect,
+        listen_base=args.listen_base,
+        capacity=args.capacity,
+        key_file=args.key_file,
+        stable_after=args.stable_after,
+    )
+    with supervisor:
+        if args.listen_base is not None:
+            print("supervised workers listening at: " + ",".join(supervisor.addresses), flush=True)
+        if args.status_port is not None:
+            host, port = supervisor.serve_status(port=args.status_port)
+            print(f"supervisor status on http://{host}:{port}/status", flush=True)
+        print(
+            f"supervising {args.target} genlogic worker processes (Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import ipaddress
     import socket
 
+    from .engine.auth import resolve_key
     from .service import AnalysisService, serve as service_serve
 
     _validate_workers(args)
+    secret = resolve_key(key_file=args.key_file)
     # The service speaks plaintext HTTP and trusts its clients, exactly like
-    # the worker fabric (see the trust model in repro/engine/distributed.py).
-    # Refuse non-loopback binds until the fabric's HMAC handshake lands.
+    # an unkeyed worker fabric (see the trust model in
+    # repro/engine/distributed.py).  A configured fabric key is the
+    # operator's explicit opt-in to leaving loopback: it authenticates the
+    # worker fabric underneath, and says they have read the security notes
+    # (front the HTTP side with an authenticating reverse proxy).
     try:
         loopback = ipaddress.ip_address(args.host).is_loopback
     except ValueError:
@@ -799,12 +913,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             loopback = ipaddress.ip_address(socket.gethostbyname(args.host)).is_loopback
         except OSError:
             loopback = False
-    if not loopback:
+    if not loopback and secret is None:
         raise ReproError(
             f"refusing to bind {args.host!r}: genlogic serve is loopback-only "
-            "until the fabric's HMAC handshake lands (see the trust model in "
-            "repro/engine/distributed.py); front it with an authenticating "
-            "reverse proxy to expose it",
+            "without a fabric key (--key-file or GENLOGIC_FABRIC_KEY); see "
+            "the trust model in repro/engine/distributed.py and front the "
+            "HTTP side with an authenticating reverse proxy",
         )
     if args.max_inflight < 1:
         raise ReproError("--max-inflight must be at least 1")
@@ -814,13 +928,42 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise ReproError("--max-search-replicates must be at least 1")
     if args.cache_bytes < 0:
         raise ReproError("--cache-bytes must be non-negative")
+    if args.supervise is not None and args.dispatch is not None:
+        raise ReproError("--supervise and --dispatch are mutually exclusive")
+    if args.supervise is not None and args.supervise < 1:
+        raise ReproError("--supervise needs at least one worker")
 
     executor = None
+    supervisor = None
     if args.dispatch is not None:
-        executor = DistributedEnsembleExecutor(connect=parse_dispatch_spec(args.dispatch))
+        executor = DistributedEnsembleExecutor(
+            connect=parse_dispatch_spec(args.dispatch),
+            key=secret,
+        )
+    elif args.supervise is not None:
+        from .engine.supervisor import WorkerSupervisor
+
+        # The executor listens on an ephemeral loopback port; the supervisor
+        # polls bound_address (None until the first study opens the fabric)
+        # and keeps N auto-restarting workers dialed into it.
+        executor = DistributedEnsembleExecutor(
+            listen="127.0.0.1:0",
+            min_workers=args.supervise,
+            key=secret,
+        )
+        supervisor = WorkerSupervisor(
+            args.supervise,
+            connect=lambda: (
+                "{}:{}".format(*executor.bound_address) if executor.bound_address else None
+            ),
+            key=secret,
+        )
+        supervisor.attach_executor(executor)
+        supervisor.start()
     service = AnalysisService(
         workers=args.workers,
         executor=executor,
+        supervisor=supervisor,
         max_inflight=args.max_inflight,
         max_replicates=args.max_replicates,
         max_search_replicates=args.max_search_replicates,
@@ -834,6 +977,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         service_serve(host=args.host, port=args.port, service=service, ready=_ready)
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         if executor is not None:
             executor.close()
     return 0
@@ -848,6 +993,7 @@ _COMMANDS = {
     "search": _command_search,
     "runtime": _command_runtime,
     "worker": _command_worker,
+    "supervisor": _command_supervisor,
     "serve": _command_serve,
 }
 

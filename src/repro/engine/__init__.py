@@ -61,6 +61,8 @@ from .api import (
     run_job,
 )
 from .spec import STUDY_SPEC_SCHEMA, StudySpec, canonical_workers
+from .auth import AuthenticationError, ProtocolError, resolve_key
+from .backoff import Backoff, BackoffPolicy
 from .cache import CompiledModelCache, default_cache, model_fingerprint
 from .core import (
     BATCH_TRANSPORTS,
@@ -80,6 +82,7 @@ from .executors import (
     get_executor,
 )
 from .jobs import EnsembleResult, EnsembleStats, SimulationJob
+from .supervisor import WorkerSupervisor
 
 __all__ = [
     "STUDY_SPEC_SCHEMA",
@@ -96,6 +99,12 @@ __all__ = [
     "DistributedEnsembleExecutor",
     "RemoteWorkerError",
     "WorkerConnectionError",
+    "AuthenticationError",
+    "ProtocolError",
+    "resolve_key",
+    "Backoff",
+    "BackoffPolicy",
+    "WorkerSupervisor",
     "AsyncEnsembleExecutor",
     "get_executor",
     "CompiledModelCache",

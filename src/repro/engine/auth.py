@@ -1,0 +1,218 @@
+"""HMAC-SHA256 challenge–response handshake for the distributed fabric.
+
+The fabric's wire protocol is pickle over TCP, which means *connecting* is
+*code execution*: whoever completes the connection gets its frames unpickled
+on the peer.  This module is the gate in front of that — a mutual
+challenge–response (à la :mod:`multiprocessing.connection`, but symmetric)
+that runs **before any pickled frame is read on either side**:
+
+1. Both endpoints immediately send a fixed-size raw preamble — protocol
+   magic ``GLF2``, a flags byte (bit 0: "I hold a key"), and a 32-byte
+   random challenge — and read the peer's.  The preamble is plain
+   ``struct``-style bytes, never pickle, so rejecting a peer allocates and
+   interprets nothing attacker-controlled.
+2. If exactly one side holds a key, the handshake fails closed
+   (:class:`AuthenticationError`): a keyed fabric never falls back to
+   plaintext, and an unkeyed endpoint never talks to a keyed one.
+3. If both hold a key, each side answers the *peer's* challenge with
+   ``HMAC-SHA256(key, own_role || 0x00 || peer_challenge)`` and verifies the
+   peer's answer with :func:`hmac.compare_digest` (constant-time).  The role
+   tag (``coordinator`` vs ``worker``) is part of the MAC input, so an
+   attacker echoing our own challenge back cannot replay our own answer at
+   us (the classic reflection attack).
+4. Each side then sends a 1-byte verdict so a rejected peer learns it was
+   the key (operator-debuggable) rather than seeing a bare EOF.
+
+If neither side holds a key the handshake degrades to the preamble exchange
+alone — the documented trusted-network mode, identical in trust to protocol
+version 1 but still version-checked by the magic.
+
+Compatibility story: the preamble *is* the protocol-2 version gate.  A v1
+peer speaks pickle first, so its opening bytes fail the magic check and the
+connection is rejected with a loud :class:`ProtocolError` before anything is
+unpickled; a v2 endpoint never silently interoperates with v1.  Upgrade
+coordinators and workers together.
+
+Key distribution is deliberately boring: a shared secret read from the
+``GENLOGIC_FABRIC_KEY`` environment variable or a ``--key-file`` (first
+line / raw bytes), resolved by :func:`resolve_key`.  The handshake
+authenticates; it does **not** encrypt — frames still cross the wire in the
+clear, so confidential deployments tunnel (SSH/WireGuard) as before.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import socket
+from typing import Optional, Union
+
+from ..errors import EngineError
+
+__all__ = [
+    "AuthenticationError",
+    "ProtocolError",
+    "KEY_ENV",
+    "ROLE_COORDINATOR",
+    "ROLE_WORKER",
+    "resolve_key",
+    "handshake",
+]
+
+#: Environment variable holding the fabric's shared secret.
+KEY_ENV = "GENLOGIC_FABRIC_KEY"
+
+#: Handshake role tags (MAC domain separation — see the module docstring).
+ROLE_COORDINATOR = b"genlogic-coordinator"
+ROLE_WORKER = b"genlogic-worker"
+
+_MAGIC = b"GLF2"
+_FLAG_KEYED = 0x01
+_CHALLENGE_BYTES = 32
+_DIGEST_BYTES = 32  # SHA-256
+_PREAMBLE_BYTES = len(_MAGIC) + 1 + _CHALLENGE_BYTES
+_VERDICT_OK = b"\x01"
+_VERDICT_REJECT = b"\x00"
+
+
+class ProtocolError(EngineError):
+    """The peer does not speak this fabric protocol (bad magic, junk frame,
+    oversized length prefix) — rejected cleanly, nothing unpickled."""
+
+
+class AuthenticationError(ProtocolError):
+    """The handshake failed: missing, unexpected, or wrong fabric key."""
+
+
+def resolve_key(
+    key: Union[str, bytes, None] = None,
+    key_file: Optional[str] = None,
+    *,
+    use_env: bool = True,
+) -> Optional[bytes]:
+    """The shared secret to authenticate with, or ``None`` for unkeyed mode.
+
+    Precedence: an explicit ``key`` (str or bytes), then ``key_file`` (raw
+    contents, one trailing newline stripped — the shape ``openssl rand -hex
+    32 > fabric.key`` produces), then the ``GENLOGIC_FABRIC_KEY``
+    environment variable.  An empty key is rejected rather than silently
+    meaning "unkeyed".
+    """
+    if key is not None and key_file is not None:
+        raise EngineError("pass either a fabric key or a key file, not both")
+    if key is not None:
+        material = key.encode("utf-8") if isinstance(key, str) else bytes(key)
+        if not material:
+            raise EngineError("the fabric key must not be empty")
+        return material
+    if key_file is not None:
+        try:
+            with open(key_file, "rb") as handle:
+                material = handle.read()
+        except OSError as error:
+            raise EngineError(f"cannot read fabric key file {key_file!r}: {error}") from None
+        material = material[:-1] if material.endswith(b"\n") else material
+        material = material[:-1] if material.endswith(b"\r") else material
+        if not material:
+            raise EngineError(f"fabric key file {key_file!r} is empty")
+        return material
+    if use_env:
+        env_value = os.environ.get(KEY_ENV)
+        if env_value:
+            return env_value.encode("utf-8")
+    return None
+
+
+def _recv_exact_raw(sock: socket.socket, n_bytes: int, what: str) -> bytes:
+    """Read exactly ``n_bytes`` of raw handshake material (never unpickled)."""
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            raise ProtocolError(f"peer went silent mid-handshake (waiting for {what})") from None
+        except OSError as error:
+            # A reset travels as an error, a close as EOF; mid-handshake they
+            # mean the same thing and get the same clean rejection.
+            raise ProtocolError(
+                f"peer dropped the connection mid-handshake (during {what}: {error})",
+            ) from None
+        if not chunk:
+            raise ProtocolError(f"peer closed the connection mid-handshake (during {what})")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_raw(sock: socket.socket, payload: bytes, what: str) -> None:
+    try:
+        sock.sendall(payload)
+    except socket.timeout:
+        raise ProtocolError(f"peer went silent mid-handshake (sending {what})") from None
+    except OSError:
+        raise ProtocolError(f"peer closed the connection mid-handshake (sending {what})") from None
+
+
+def _answer(key: bytes, role: bytes, challenge: bytes) -> bytes:
+    return hmac.new(key, role + b"\x00" + challenge, "sha256").digest()
+
+
+def handshake(
+    sock: socket.socket,
+    key: Optional[bytes],
+    *,
+    role: bytes,
+    peer_role: bytes,
+) -> None:
+    """Run the symmetric preamble + challenge–response on a fresh connection.
+
+    Both endpoints call this with their own ``role`` and the expected
+    ``peer_role`` immediately after ``connect``/``accept`` and before any
+    pickled frame crosses the socket.  Raises :class:`ProtocolError` for a
+    non-fabric peer and :class:`AuthenticationError` for a key mismatch;
+    either way **nothing received from the peer has been unpickled**.  The
+    caller owns the socket (including any timeout set for the handshake) and
+    closes it on failure.
+    """
+    if role == peer_role:
+        raise EngineError("handshake roles must differ (reflection protection)")
+    challenge = os.urandom(_CHALLENGE_BYTES)
+    flags = _FLAG_KEYED if key is not None else 0
+    _send_raw(sock, _MAGIC + bytes([flags]) + challenge, "the protocol preamble")
+
+    preamble = _recv_exact_raw(sock, _PREAMBLE_BYTES, "the protocol preamble")
+    if preamble[: len(_MAGIC)] != _MAGIC:
+        raise ProtocolError(
+            "peer is not a genlogic protocol-2 fabric endpoint (bad preamble "
+            "magic; a protocol-1 peer, or not a genlogic fabric at all)",
+        )
+    peer_keyed = bool(preamble[len(_MAGIC)] & _FLAG_KEYED)
+    peer_challenge = preamble[len(_MAGIC) + 1:]
+
+    if key is None and not peer_keyed:
+        return  # trusted-network mode on both sides; nothing to prove
+    if key is None:
+        raise AuthenticationError(
+            "peer requires an authenticated handshake but this endpoint has no "
+            f"fabric key (set {KEY_ENV} or pass a key file)",
+        )
+    if not peer_keyed:
+        raise AuthenticationError(
+            "this endpoint requires an authenticated handshake but the peer "
+            "sent no key proof; refusing the plaintext fallback",
+        )
+
+    _send_raw(sock, _answer(key, role, peer_challenge), "the challenge answer")
+    peer_answer = _recv_exact_raw(sock, _DIGEST_BYTES, "the challenge answer")
+    expected = _answer(key, peer_role, challenge)
+    if not hmac.compare_digest(peer_answer, expected):
+        try:
+            sock.sendall(_VERDICT_REJECT)
+        except OSError:
+            pass
+        raise AuthenticationError("peer answered the challenge with a wrong fabric key")
+    _send_raw(sock, _VERDICT_OK, "the handshake verdict")
+    verdict = _recv_exact_raw(sock, 1, "the handshake verdict")
+    if verdict != _VERDICT_OK:
+        raise AuthenticationError("peer rejected this endpoint's fabric key")

@@ -1,0 +1,118 @@
+"""Capped exponential backoff with jitter — the fabric's one retry policy.
+
+Every place the production fabric waits for something to come back — the
+coordinator re-dialing a lost ``--dispatch`` worker, a workerless fabric
+polling for a replacement, the supervisor restarting a crashed worker
+process — shares this module, so the retry behaviour is tuned (and tested)
+exactly once.  The policy is the classic capped exponential:
+
+    ``delay(n) = min(maximum, initial * multiplier ** n)``, jittered.
+
+Jitter matters operationally: a fleet of workers that all died together (a
+rebooted coordinator, a network partition healing) must not re-dial in
+lockstep, and a supervisor restarting N crashed workers must not hammer a
+struggling machine with N simultaneous execs.  ``jitter`` is the fraction of
+each delay that is randomized *downward*: the returned delay is uniform in
+``[base * (1 - jitter), base]``, so the cap is a hard upper bound and two
+peers with the same policy still spread out.
+
+Two surfaces:
+
+* :class:`BackoffPolicy` — the frozen, shareable configuration.  Pure:
+  ``delay(attempt, rng=...)`` is deterministic for a seeded
+  :class:`random.Random`, which is how the unit tests pin the schedule.
+* :class:`Backoff` — one retry *sequence*: a policy plus an attempt counter.
+  ``next_delay()`` advances, ``reset()`` rewinds after success (a worker that
+  stayed up, a dial that connected), so transient faults pay the small
+  initial delay again instead of inheriting an earlier outage's cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import EngineError
+
+__all__ = ["BackoffPolicy", "Backoff"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff schedule (``initial * multiplier ** n``, jittered).
+
+    ``jitter=0.5`` (the default) means every delay is drawn uniformly from
+    the upper half of its nominal value — enough spread to break retry
+    lockstep without ever waiting longer than the nominal schedule.
+    """
+
+    initial: float = 0.1
+    multiplier: float = 2.0
+    maximum: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.initial <= 0:
+            raise EngineError("backoff initial delay must be positive")
+        if self.multiplier < 1.0:
+            raise EngineError("backoff multiplier must be at least 1")
+        if self.maximum < self.initial:
+            raise EngineError("backoff maximum must be at least the initial delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise EngineError("backoff jitter must be a fraction in [0, 1]")
+
+    def base_delay(self, attempt: int) -> float:
+        """The un-jittered delay of retry ``attempt`` (0-based), capped."""
+        if attempt < 0:
+            raise EngineError("backoff attempt must be non-negative")
+        # Guard the exponentiation: past the cap the exact power is irrelevant
+        # and float overflow at huge attempt counts would be a silly way to die.
+        exponent = min(attempt, 64)
+        return min(self.maximum, self.initial * self.multiplier**exponent)
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The jittered delay of retry ``attempt``: uniform in
+        ``[base * (1 - jitter), base]``.  Pass a seeded ``rng`` for a
+        deterministic schedule (tests); defaults to the module RNG."""
+        base = self.base_delay(attempt)
+        if self.jitter == 0.0:
+            return base
+        draw = (rng or random).random()
+        return base * (1.0 - self.jitter * draw)
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """An endless stream of jittered delays (attempt 0, 1, 2, ...)."""
+        attempt = 0
+        while True:
+            yield self.delay(attempt, rng=rng)
+            attempt += 1
+
+
+class Backoff:
+    """One retry sequence: a :class:`BackoffPolicy` plus an attempt counter.
+
+    Thread-compatibility note: each retrying site owns its own instance (one
+    per supervised worker slot, one per executor re-dial loop); instances are
+    not shared across threads.
+    """
+
+    def __init__(self, policy: Optional[BackoffPolicy] = None, rng: Optional[random.Random] = None):
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self._rng = rng
+        self._attempt = 0
+
+    @property
+    def attempt(self) -> int:
+        """Retries taken since the last :meth:`reset`."""
+        return self._attempt
+
+    def next_delay(self) -> float:
+        """The delay to wait before the next retry; advances the counter."""
+        delay = self.policy.delay(self._attempt, rng=self._rng)
+        self._attempt += 1
+        return delay
+
+    def reset(self) -> None:
+        """Rewind to the initial delay (call after the retried thing succeeds)."""
+        self._attempt = 0

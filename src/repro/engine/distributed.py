@@ -42,17 +42,27 @@ binary trajectory frame (raw little-endian float64 blocks plus a species
 table encoded once per batch, :func:`repro.stochastic.encode_trajectories`)
 inside the result message, instead of B pickled ``Trajectory`` objects.
 
-.. warning:: **Trust model.**  The protocol is pickle over plain TCP with no
-   authentication or encryption — like :mod:`multiprocessing` sockets
-   without an authkey, anyone who can reach a listening port can execute
-   arbitrary code on that process (``pickle.loads`` of attacker bytes), on
-   the worker *and* the coordinator side alike.  Run fabrics only on
-   trusted, isolated networks (bind loopback or a private interface, never a
-   public one) or inside an authenticated tunnel (SSH/WireGuard/VPN).  An
-   HMAC handshake à la ``multiprocessing.connection`` is on the roadmap.
-   The HTTP tier inherits this trust model: ``genlogic serve`` refuses to
-   bind a non-loopback address until that handshake lands — expose it only
-   behind an authenticating reverse proxy.
+Liveness: the coordinator pings every link on a configurable
+``heartbeat_interval`` and retires any worker not heard from within
+``heartbeat_timeout`` — so a *hung* worker (process alive, socket open,
+nothing moving) is detected in seconds, its in-flight tasks requeued on
+survivors, without waiting for TCP keepalive to give up.  All retry loops
+(dialing, re-dialing a lost fabric, the supervisor's restarts) share the
+capped exponential backoff policy in :mod:`repro.engine.backoff`.
+
+.. warning:: **Trust model.**  The protocol is pickle over TCP: whoever
+   completes a connection gets its frames unpickled — code execution — on
+   the worker *and* the coordinator side alike.  Protocol 2 therefore gates
+   every connection behind the mutual HMAC-SHA256 challenge–response in
+   :mod:`repro.engine.auth`: with a shared secret configured (env
+   ``GENLOGIC_FABRIC_KEY``, ``--key-file``, or ``key=`` in code) an
+   unauthenticated or wrong-key peer is rejected *before any byte it sent
+   is unpickled*, and ``genlogic serve`` may bind a non-loopback address.
+   Without a key the fabric runs in the explicit trusted-network mode:
+   same preamble, no proof — keep it on loopback, a private interface, or
+   an authenticated tunnel (SSH/WireGuard/VPN).  The handshake
+   authenticates but does not encrypt; confidential traffic still needs
+   the tunnel.
 """
 
 from __future__ import annotations
@@ -80,10 +90,21 @@ from typing import (
 )
 
 from ..errors import EngineError
+from .auth import (
+    KEY_ENV,
+    ROLE_COORDINATOR,
+    ROLE_WORKER,
+    ProtocolError,
+    handshake,
+    resolve_key,
+)
+from .backoff import Backoff, BackoffPolicy
 from .core import BaseEnsembleExecutor, BatchCacheStats
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_CAP_ENV",
     "RemoteWorkerError",
     "WorkerConnectionError",
     "DistributedEnsembleExecutor",
@@ -94,15 +115,49 @@ __all__ = [
     "spawn_worker_process",
 ]
 
-#: Bumped on incompatible frame-format changes; exchanged in the hello frame.
-PROTOCOL_VERSION = 1
+#: Bumped on incompatible wire changes.  2 = the authenticated preamble
+#: handshake (:mod:`repro.engine.auth`) runs before any pickled frame, and
+#: ping/pong heartbeat frames exist.  v1 and v2 endpoints reject each other
+#: cleanly at the preamble — upgrade coordinators and workers together.
+PROTOCOL_VERSION = 2
 
 #: Frames carry a 4-byte unsigned length; anything larger is a protocol error.
 _MAX_FRAME_BYTES = (1 << 32) - 1
 
+#: Default per-frame receive cap.  A corrupt length prefix can claim up to
+#: 4 GiB; refusing anything above this *before allocating* turns a flipped
+#: bit into a clean :class:`ProtocolError` instead of an allocation bomb.
+#: Raise via ``max_frame_bytes=`` or the env var below for enormous models.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Environment override for the receive cap (bytes), honoured by both ends.
+FRAME_CAP_ENV = "GENLOGIC_MAX_FRAME_BYTES"
+
 #: A task is dispatched at most this many times (first try + requeues after
 #: worker loss) before its future fails instead of hunting for a next victim.
 MAX_TASK_ATTEMPTS = 3
+
+#: Coordinator → worker ping cadence (seconds); the dead-worker timeout
+#: defaults to four missed intervals.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+#: Re-dial schedule after losing dial-mode workers: capped low so a fabric
+#: inside its ``regrow_timeout`` window probes briskly, jittered so a fleet
+#: of coordinators does not stampede a restarting worker.
+REDIAL_BACKOFF = BackoffPolicy(initial=0.05, multiplier=2.0, maximum=1.0, jitter=0.5)
+
+
+def frame_cap(max_bytes: Optional[int] = None) -> int:
+    """The effective receive cap: explicit value, else env, else the default."""
+    if max_bytes is not None:
+        return min(int(max_bytes), _MAX_FRAME_BYTES)
+    env_value = os.environ.get(FRAME_CAP_ENV)
+    if env_value:
+        try:
+            return min(int(env_value), _MAX_FRAME_BYTES)
+        except ValueError:
+            raise EngineError(f"{FRAME_CAP_ENV}={env_value!r} is not an integer") from None
+    return DEFAULT_MAX_FRAME_BYTES
 
 
 class RemoteWorkerError(EngineError):
@@ -154,15 +209,37 @@ def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Dict[str, Any]:
-    """Read one length-prefixed pickled frame (raises ConnectionError on EOF)."""
+def recv_message(sock: socket.socket, *, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+    """Read one length-prefixed pickled frame (raises ConnectionError on EOF).
+
+    The length prefix is validated against :func:`frame_cap` *before* any
+    allocation, and an undecodable body raises :class:`ProtocolError` rather
+    than a raw unpickling crash — a corrupted or hostile frame retires the
+    connection cleanly instead of taking the process down with it.
+    """
     header = sock.recv(4)
     if not header:
         raise ConnectionError("peer closed the connection")
     if len(header) < 4:
         header += _recv_exact(sock, 4 - len(header))
     (length,) = struct.unpack(">I", header)
-    return pickle.loads(_recv_exact(sock, length))
+    cap = frame_cap(max_bytes)
+    if length > cap:
+        raise ProtocolError(
+            f"frame length prefix claims {length} bytes, above the {cap}-byte "
+            f"cap (corrupt prefix, or raise {FRAME_CAP_ENV}); refusing to "
+            "allocate",
+        )
+    body = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(body)
+    except Exception as error:
+        raise ProtocolError(f"undecodable protocol frame ({error!r})") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol frame decoded to {type(message).__name__}, expected a message dict",
+        )
+    return message
 
 
 # -- coordinator-side task bookkeeping ----------------------------------------------
@@ -182,7 +259,7 @@ class _Task:
 
 
 class _WorkerLink:
-    """One connected worker: its socket, capacity, and in-flight tasks."""
+    """One connected worker: socket, capacity, in-flight tasks, health counters."""
 
     def __init__(self, link_id: int, sock: socket.socket, capacity: int, peer: str):
         self.link_id = link_id
@@ -192,10 +269,33 @@ class _WorkerLink:
         self.in_flight: Dict[int, _Task] = {}
         self.send_lock = threading.Lock()
         self.alive = True
+        now = time.monotonic()
+        self.connected_at = now
+        #: Last time ANY frame arrived from this worker (results count as
+        #: liveness just as much as pongs — a busy worker is not a dead one).
+        self.last_heard = now
+        self.dispatched = 0
+        self.completed = 0
+        self.requeued = 0
 
     @property
     def free_slots(self) -> int:
         return self.capacity - len(self.in_flight)
+
+    def health(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        uptime = max(now - self.connected_at, 1e-9)
+        return {
+            "peer": self.peer,
+            "capacity": self.capacity,
+            "in_flight": len(self.in_flight),
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "requeued": self.requeued,
+            "uptime_seconds": round(now - self.connected_at, 3),
+            "tasks_per_second": round(self.completed / uptime, 4),
+            "seconds_since_heard": round(now - self.last_heard, 3),
+        }
 
 
 class DistributedEnsembleExecutor(BaseEnsembleExecutor):
@@ -228,6 +328,11 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
         min_workers: Optional[int] = None,
         connect_timeout: float = 30.0,
         regrow_timeout: Optional[float] = None,
+        key: Optional[Any] = None,
+        key_file: Optional[str] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: Optional[float] = None,
+        max_frame_bytes: Optional[int] = None,
     ):
         if (connect is None) == (listen is None):
             raise EngineError(
@@ -252,6 +357,23 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
         self.regrow_timeout = (
             float(regrow_timeout) if regrow_timeout is not None else self.connect_timeout
         )
+        #: Shared fabric secret (``None`` = explicit trusted-network mode).
+        self._key = resolve_key(key, key_file)
+        self.heartbeat_interval = float(heartbeat_interval)
+        if self.heartbeat_interval <= 0:
+            raise EngineError("heartbeat_interval must be positive")
+        #: A worker silent this long is declared dead and its tasks requeued.
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout)
+            if heartbeat_timeout is not None
+            else 4.0 * self.heartbeat_interval
+        )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise EngineError("heartbeat_timeout must exceed heartbeat_interval")
+        self.max_frame_bytes = frame_cap(max_frame_bytes)
+        self._requeues_total = 0
+        self._links_dropped = 0
+        self._tasks_completed = 0
         self.last_cache_hits = 0
         self.last_cache_misses = 0
         self._lifecycle_lock = threading.Lock()
@@ -295,6 +417,34 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
             live = sum(link.capacity for link in self._links if link.alive)
         return live or max(1, self._min_workers)
 
+    @property
+    def authenticated(self) -> bool:
+        """Whether connections run the keyed HMAC handshake."""
+        return self._key is not None
+
+    def health(self) -> Dict[str, Any]:
+        """A point-in-time fabric health snapshot (plain JSON-able types).
+
+        The supervisor's status endpoint and the service's ``/v1/stats``
+        surface this as their backpressure signal: per-worker throughput and
+        staleness, queue depth, and cumulative requeue/drop counters.
+        """
+        with self._state:
+            workers = [link.health() for link in self._links if link.alive]
+            queue_depth = len(self._queue)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "authenticated": self.authenticated,
+            "open": self._open,
+            "workers": workers,
+            "queue_depth": queue_depth,
+            "tasks_completed": self._tasks_completed,
+            "tasks_requeued": self._requeues_total,
+            "links_dropped": self._links_dropped,
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_timeout": self.heartbeat_timeout,
+        }
+
     def open(self) -> "DistributedEnsembleExecutor":
         """Assemble the worker fabric now (otherwise on first use).
 
@@ -311,6 +461,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
             try:
                 self._assemble()
                 self._start_thread(self._dispatch_loop, "genlogic-dispatch")
+                self._start_thread(self._heartbeat_loop, "genlogic-heartbeat")
                 self._await_assembled()
             except Exception:
                 self._teardown()
@@ -411,6 +562,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
     def _dial(self, address: str) -> None:
         host, port = parse_address(address)
         deadline = time.monotonic() + self.connect_timeout
+        backoff = Backoff(REDIAL_BACKOFF)
         while True:
             try:
                 sock = socket.create_connection((host, port), timeout=self.connect_timeout)
@@ -421,17 +573,23 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                         f"could not reach worker at {address} within "
                         f"{self.connect_timeout:.0f} s: {error}",
                     ) from error
-                time.sleep(0.1)
+                time.sleep(backoff.next_delay())
         self._adopt(sock)
 
     def _adopt(self, sock: socket.socket) -> None:
-        """Handshake a fresh worker socket and add it to the fabric."""
+        """Authenticate a fresh worker socket and add it to the fabric.
+
+        The :mod:`repro.engine.auth` handshake runs first — an
+        unauthenticated, wrong-key, or protocol-1 peer is rejected here,
+        before :func:`recv_message` ever unpickles a frame it sent.
+        """
         sock.settimeout(self.connect_timeout)
-        hello = recv_message(sock)
+        handshake(sock, self._key, role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        hello = recv_message(sock, max_bytes=self.max_frame_bytes)
         if hello.get("type") != "hello":
-            raise EngineError(f"expected a hello frame, got {hello.get('type')!r}")
+            raise ProtocolError(f"expected a hello frame, got {hello.get('type')!r}")
         if hello.get("version") != PROTOCOL_VERSION:
-            raise EngineError(
+            raise ProtocolError(
                 f"worker speaks protocol {hello.get('version')!r}, "
                 f"coordinator speaks {PROTOCOL_VERSION}",
             )
@@ -480,6 +638,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
     def _dispatch_loop(self) -> None:
         """Move queued tasks onto workers with free slots (single scheduler)."""
         workerless_since: Optional[float] = None
+        redial_backoff = Backoff(REDIAL_BACKOFF)
         while True:
             task: Optional[_Task] = None
             link: Optional[_WorkerLink] = None
@@ -512,6 +671,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                             break
                     elif self._links:
                         workerless_since = None
+                        redial_backoff.reset()
                     if self._queue:
                         link = self._pick_link()
                         if link is not None:
@@ -526,8 +686,14 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                 if not self._open:
                     return
             if redial:
-                self._try_regrow()
-                time.sleep(0.1)
+                if self._try_regrow():
+                    redial_backoff.reset()
+                else:
+                    # Capped exponential + jitter (shared policy with the
+                    # supervisor's restarts): probe briskly right after the
+                    # loss, back off while the outage lasts, never sleep past
+                    # the cap so ``regrow_timeout`` expiry stays prompt.
+                    time.sleep(redial_backoff.next_delay())
             elif task is not None:
                 self._send_task(link, task)
 
@@ -540,12 +706,12 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                     best = link
         return best
 
-    def _try_regrow(self) -> None:
+    def _try_regrow(self) -> bool:
         """Re-dial the configured addresses, looking for a restarted worker.
 
         Dial mode only (a listening fabric regrows through its acceptor);
         called by the dispatcher WITHOUT ``_state`` held, because connects
-        and the hello handshake block.
+        and the hello handshake block.  Returns whether a worker was adopted.
         """
         for address in self._addresses:
             try:
@@ -555,9 +721,10 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                 continue
             try:
                 self._adopt(sock)
-                return
+                return True
             except (OSError, ConnectionError, EngineError):
                 _close_quietly(sock)
+        return False
 
     def _send_task(self, link: _WorkerLink, task: _Task) -> None:
         # The call travels as a nested pickle: the outer frame stays decodable
@@ -576,8 +743,10 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
         try:
             with link.send_lock:
                 send_message(link.sock, message)
+            with self._state:
+                link.dispatched += 1
         except (OSError, ConnectionError):
-            self._drop_link(link)
+            self._drop_link(link, reason="send failed")
         except Exception as error:
             # The task itself is unshippable (e.g. an unpicklable payload):
             # that is the caller's error, not the worker's.
@@ -587,19 +756,57 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
             if not task.future.cancelled():
                 task.future.set_exception(error)
 
+    def _heartbeat_loop(self) -> None:
+        """Ping every link on the heartbeat cadence; retire the silent ones.
+
+        Liveness is judged on ``last_heard`` (any frame counts), so a worker
+        busy computing stays alive as long as its reader thread answers
+        pings — only a truly wedged or blackholed peer goes stale.  Dropping
+        here (not in the reader) is the point: a half-open TCP connection
+        delivers no error for minutes, but it does go silent.
+        """
+        next_ping = time.monotonic()
+        while True:
+            with self._state:
+                if not self._open:
+                    return
+                stale = [
+                    link
+                    for link in self._links
+                    if time.monotonic() - link.last_heard > self.heartbeat_timeout
+                ]
+                targets = [link for link in self._links if link not in stale]
+            for link in stale:
+                self._drop_link(link, reason="heartbeat timeout")
+            now = time.monotonic()
+            if now >= next_ping:
+                next_ping = now + self.heartbeat_interval
+                for link in targets:
+                    try:
+                        with link.send_lock:
+                            send_message(link.sock, {"type": "ping", "t": now})
+                    except (OSError, ConnectionError):
+                        self._drop_link(link, reason="ping send failed")
+            # Short sleeps keep both close() responsive and stale detection
+            # fine-grained even with second-scale heartbeat intervals.
+            time.sleep(min(0.2, self.heartbeat_interval / 4.0))
+
     def _reader_loop(self, link: _WorkerLink) -> None:
         while True:
             try:
-                message = recv_message(link.sock)
+                message = recv_message(link.sock, max_bytes=self.max_frame_bytes)
             except Exception:
                 # EOF, socket error, or an undecodable frame: either way this
                 # link is no longer trustworthy — drop it and requeue its work.
-                self._drop_link(link)
+                self._drop_link(link, reason="connection lost")
                 return
+            link.last_heard = time.monotonic()
             if message.get("type") != "result":
-                continue
+                continue  # pongs (and unknown frame types) only refresh liveness
             with self._state:
                 task = link.in_flight.pop(message["id"], None)
+                link.completed += 1
+                self._tasks_completed += 1
                 self._state.notify_all()
             if task is None or task.future.cancelled():
                 continue
@@ -608,7 +815,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
             else:
                 task.future.set_exception(_remote_error(message))
 
-    def _drop_link(self, link: _WorkerLink) -> None:
+    def _drop_link(self, link: _WorkerLink, *, reason: str = "connection lost") -> None:
         """Remove a dead worker and requeue its in-flight tasks (front first)."""
         with self._state:
             if not link.alive:
@@ -616,6 +823,7 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
             link.alive = False
             if link in self._links:
                 self._links.remove(link)
+            self._links_dropped += 1
             orphans = [link.in_flight.pop(task_id) for task_id in sorted(link.in_flight)]
             for task in reversed(orphans):
                 if task.future.cancelled():
@@ -628,10 +836,13 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
                     task.future.set_exception(
                         WorkerConnectionError(
                             f"task failed {task.attempts} workers (last: "
-                            f"{link.peer}); giving up instead of requeueing",
+                            f"{link.peer}, {reason}); giving up instead of "
+                            "requeueing",
                         ),
                     )
                 else:
+                    link.requeued += 1
+                    self._requeues_total += 1
                     self._queue.appendleft(task)
             self._state.notify_all()
         _close_quietly(link.sock)
@@ -652,6 +863,8 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
         *,
         capacity: int = 1,
         connect_timeout: float = 60.0,
+        key: Optional[Any] = None,
+        **kwargs: Any,
     ) -> "DistributedEnsembleExecutor":
         """A self-contained local fabric: listen on an ephemeral loopback port
         and spawn ``n_workers`` ``genlogic worker --connect`` subprocesses.
@@ -659,12 +872,17 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
         The degenerate-but-real deployment used by the conformance tests, the
         distributed benchmark and CI's distributed-smoke job: every byte goes
         through the actual TCP protocol, only the machines are the same.
-        ``close()`` additionally terminates the spawned worker processes.
+        ``key=`` threads a shared secret through to both the coordinator and
+        the spawned workers (via their environment), so the authenticated
+        handshake is exercised end to end.  ``close()`` additionally
+        terminates the spawned worker processes.
         """
         executor = _LoopbackExecutor(
             n_workers,
             capacity=capacity,
             connect_timeout=connect_timeout,
+            key=key,
+            **kwargs,
         )
         return executor
 
@@ -672,11 +890,21 @@ class DistributedEnsembleExecutor(BaseEnsembleExecutor):
 class _LoopbackExecutor(DistributedEnsembleExecutor):
     """Listen-mode executor that owns its spawned local worker subprocesses."""
 
-    def __init__(self, n_workers: int, *, capacity: int = 1, connect_timeout: float = 60.0):
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        capacity: int = 1,
+        connect_timeout: float = 60.0,
+        key: Optional[Any] = None,
+        **kwargs: Any,
+    ):
         super().__init__(
             listen="127.0.0.1:0",
             min_workers=n_workers,
             connect_timeout=connect_timeout,
+            key=key,
+            **kwargs,
         )
         self._spawn_capacity = capacity
         self._processes: List[subprocess.Popen] = []
@@ -689,6 +917,7 @@ class _LoopbackExecutor(DistributedEnsembleExecutor):
                 spawn_worker_process(
                     f"{host}:{port}",
                     capacity=self._spawn_capacity,
+                    key=self._key,
                 ),
             )
 
@@ -707,32 +936,44 @@ class _LoopbackExecutor(DistributedEnsembleExecutor):
 
 
 def spawn_worker_process(
-    connect: str,
+    connect: Optional[str] = None,
     *,
+    listen: Optional[str] = None,
     capacity: int = 1,
     python: Optional[str] = None,
+    key: Optional[bytes] = None,
 ) -> subprocess.Popen:
-    """Start a local ``genlogic worker --connect`` subprocess.
+    """Start a local ``genlogic worker`` subprocess (dial-out or listening).
 
     Runs ``python -m repro.cli worker`` with the current interpreter and the
     parent's full ``sys.path`` exported as ``PYTHONPATH`` — so a local worker
     can import exactly what the parent can (source checkouts, test modules),
-    matching the visibility a forked pool worker would have.  Remote machines
-    start the same entry point by hand and must have the dispatched functions
-    importable themselves.
+    matching the visibility a forked pool worker would have.  A fabric ``key``
+    travels via the child's ``GENLOGIC_FABRIC_KEY`` environment variable (not
+    argv, which is world-readable in ``ps``).  Remote machines start the same
+    entry point by hand and must have the dispatched functions importable
+    themselves.
     """
+    if (connect is None) == (listen is None):
+        raise EngineError("spawn_worker_process needs exactly one of connect= or listen=")
     command = [
         python or sys.executable,
         "-m",
         "repro.cli",
         "worker",
-        "--connect",
-        connect,
         "--capacity",
         str(int(capacity)),
     ]
+    if connect is not None:
+        command += ["--connect", connect]
+    else:
+        command += ["--listen", listen]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(path for path in sys.path if path)
+    if key is not None:
+        env[KEY_ENV] = key.decode("utf-8", errors="surrogateescape")
+    else:
+        env.pop(KEY_ENV, None)
     return subprocess.Popen(command, env=env)
 
 

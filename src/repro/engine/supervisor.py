@@ -1,0 +1,404 @@
+"""Auto-scaling local worker supervisor for the distributed fabric.
+
+:class:`WorkerSupervisor` keeps a target number of ``genlogic worker``
+processes running on this machine — launching them at start, restarting the
+ones that crash, retiring the surplus when the target shrinks — so a fabric
+survives worker deaths without an operator in the loop.  It is the process
+half of the production fabric: the coordinator's heartbeat monitor
+(:mod:`repro.engine.distributed`) detects a dead or hung worker and requeues
+its tasks within seconds, and the supervisor puts a replacement process on
+the fabric shortly after.
+
+Restart policy: each worker slot owns a :class:`~repro.engine.backoff.Backoff`
+over the shared capped-exponential-plus-jitter policy — the same one the
+coordinator's re-dial loop uses — so a worker that keeps dying is restarted
+at a decaying rate rather than in a hot loop (no restart storms), and a slot
+that then stays up ``stable_after`` seconds earns its small initial delay
+back.  Jitter keeps N crashed slots from re-execing in lockstep.
+
+Two wirings, mirroring the executor's two assembly modes:
+
+* **connect mode** (``connect="host:port"`` or a callable returning one):
+  supervised workers dial a listening coordinator — the shape behind
+  ``genlogic serve --supervise N``.  A *callable* connect is polled each
+  spawn attempt and may return ``None`` while the coordinator has not bound
+  yet (its ephemeral port is unknown until then); the slot simply retries on
+  the next tick.
+* **listen mode** (``listen_base="host:port"``): slot *i* listens on
+  ``port + i`` and the supervisor's :attr:`addresses` feed a coordinator's
+  ``--dispatch`` list — the shape behind the CI supervisor smoke.
+
+Health: :meth:`status` returns a JSON-able snapshot (per-slot pid, uptime,
+restart counts); :meth:`serve_status` optionally exposes it (plus the
+attached executor's :meth:`~repro.engine.distributed.DistributedEnsembleExecutor.health`)
+over a tiny stdlib HTTP endpoint, and ``genlogic serve`` folds the same
+snapshot into ``/v1/stats`` as its backpressure signal.
+
+The fabric secret (``key=`` / ``GENLOGIC_FABRIC_KEY``) is exported to every
+spawned worker's environment, so a supervised fleet joins an authenticated
+coordinator without per-worker configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import EngineError
+from .backoff import Backoff, BackoffPolicy
+from .distributed import parse_address, resolve_key, spawn_worker_process
+
+__all__ = ["WorkerSupervisor", "RESTART_BACKOFF"]
+
+#: Restart schedule for crashed workers: same family as the coordinator's
+#: re-dial policy, but with a higher cap — re-execing a process is costlier
+#: than re-dialing a socket, and a crash-looping worker should settle at a
+#: gentle steady rate.
+RESTART_BACKOFF = BackoffPolicy(initial=0.1, multiplier=2.0, maximum=10.0, jitter=0.5)
+
+
+class _Slot:
+    """One supervised worker position: its process and restart bookkeeping."""
+
+    __slots__ = (
+        "index",
+        "listen_address",
+        "process",
+        "backoff",
+        "spawns",
+        "started_at",
+        "next_start_at",
+        "stabilized",
+        "last_exit_code",
+    )
+
+    def __init__(self, index: int, listen_address: Optional[str], policy: BackoffPolicy):
+        self.index = index
+        self.listen_address = listen_address
+        self.process: Optional[subprocess.Popen] = None
+        self.backoff = Backoff(policy)
+        self.spawns = 0
+        self.started_at: Optional[float] = None
+        self.next_start_at = 0.0
+        self.stabilized = False
+        self.last_exit_code: Optional[int] = None
+
+    @property
+    def restarts(self) -> int:
+        """Spawns beyond the first — how many times this slot's worker died."""
+        return max(0, self.spawns - 1)
+
+
+class WorkerSupervisor:
+    """Keep ``target`` local ``genlogic worker`` processes on a fabric.
+
+    A context manager: ``with WorkerSupervisor(2, connect=addr):`` starts the
+    monitor thread and stops it (terminating every supervised worker) on
+    exit.  ``set_target`` rescales live — new slots spawn on the next tick,
+    surplus slots are terminated.  All methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        target: int,
+        *,
+        connect: Union[str, Callable[[], Optional[str]], None] = None,
+        listen_base: Optional[str] = None,
+        capacity: int = 1,
+        key: Optional[Any] = None,
+        key_file: Optional[str] = None,
+        policy: Optional[BackoffPolicy] = None,
+        stable_after: float = 5.0,
+        poll_interval: float = 0.2,
+        python: Optional[str] = None,
+    ):
+        if (connect is None) == (listen_base is None):
+            raise EngineError(
+                "WorkerSupervisor needs exactly one of connect= (workers dial a "
+                "coordinator) or listen_base= (workers listen on consecutive ports)",
+            )
+        if int(target) < 0:
+            raise EngineError("supervisor target must be non-negative")
+        self._connect = connect
+        if isinstance(connect, str):
+            parse_address(connect)
+        self._listen_base: Optional[Tuple[str, int]] = None
+        if listen_base is not None:
+            self._listen_base = parse_address(listen_base)
+        self._capacity = max(1, int(capacity))
+        self._key = resolve_key(key, key_file)
+        self._policy = policy if policy is not None else RESTART_BACKOFF
+        self.stable_after = float(stable_after)
+        self.poll_interval = float(poll_interval)
+        self._python = python
+        self._lock = threading.Lock()
+        self._slots: List[_Slot] = []
+        self._target = int(target)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._status_server: Optional[ThreadingHTTPServer] = None
+        self._executor = None
+        self.started_at: Optional[float] = None
+
+    # -- wiring --------------------------------------------------------------------
+    @property
+    def target(self) -> int:
+        with self._lock:
+            return self._target
+
+    @property
+    def addresses(self) -> List[str]:
+        """The listen-mode worker addresses (for a coordinator's ``--dispatch``)."""
+        if self._listen_base is None:
+            raise EngineError("addresses only exist in listen_base mode")
+        host, port = self._listen_base
+        with self._lock:
+            return [f"{host}:{port + index}" for index in range(self._target)]
+
+    def attach_executor(self, executor) -> None:
+        """Fold ``executor.health()`` into :meth:`status` / the status endpoint."""
+        self._executor = executor
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> "WorkerSupervisor":
+        """Start the monitor thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self.started_at = time.monotonic()
+            self._thread = threading.Thread(
+                target=self._run,
+                name="genlogic-supervisor",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop monitoring and terminate every supervised worker.  Idempotent."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+        self._thread = None
+        server, self._status_server = self._status_server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        with self._lock:
+            slots, self._slots = self._slots, []
+        _terminate([slot.process for slot in slots if slot.process is not None])
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def set_target(self, target: int) -> None:
+        """Rescale to ``target`` workers (spawn or retire on the next tick)."""
+        if int(target) < 0:
+            raise EngineError("supervisor target must be non-negative")
+        doomed: List[subprocess.Popen] = []
+        with self._lock:
+            self._target = int(target)
+            while len(self._slots) > self._target:
+                slot = self._slots.pop()
+                if slot.process is not None:
+                    doomed.append(slot.process)
+        _terminate(doomed)
+
+    # -- the monitor loop ----------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._tick()
+            self._stop.wait(self.poll_interval)
+
+    def _tick(self) -> None:
+        """One supervision round: reap, schedule restarts, spawn, retire."""
+        now = time.monotonic()
+        doomed: List[subprocess.Popen] = []
+        to_spawn: List[_Slot] = []
+        with self._lock:
+            while len(self._slots) < self._target:
+                index = len(self._slots)
+                listen_address = None
+                if self._listen_base is not None:
+                    host, port = self._listen_base
+                    listen_address = f"{host}:{port + index}"
+                self._slots.append(_Slot(index, listen_address, self._policy))
+            while len(self._slots) > self._target:
+                slot = self._slots.pop()
+                if slot.process is not None:
+                    doomed.append(slot.process)
+            for slot in self._slots:
+                if slot.process is not None:
+                    if slot.process.poll() is None:
+                        # A worker that stayed up long enough earns its short
+                        # initial restart delay back.
+                        if (
+                            not slot.stabilized
+                            and slot.started_at is not None
+                            and now - slot.started_at >= self.stable_after
+                        ):
+                            slot.backoff.reset()
+                            slot.stabilized = True
+                        continue
+                    slot.last_exit_code = slot.process.returncode
+                    slot.process = None
+                    slot.started_at = None
+                    slot.stabilized = False
+                    slot.next_start_at = now + slot.backoff.next_delay()
+                if now >= slot.next_start_at:
+                    to_spawn.append(slot)
+        _terminate(doomed)
+        for slot in to_spawn:
+            self._spawn(slot)
+
+    def _spawn(self, slot: _Slot) -> None:
+        """Launch one worker for ``slot`` (outside the lock: exec is slow)."""
+        connect_address: Optional[str] = None
+        if slot.listen_address is None:
+            connect_address = self._connect() if callable(self._connect) else self._connect
+            if connect_address is None:
+                return  # coordinator not bound yet; retry next tick
+        try:
+            process = spawn_worker_process(
+                connect_address,
+                listen=slot.listen_address,
+                capacity=self._capacity,
+                python=self._python,
+                key=self._key,
+            )
+        except OSError:
+            # exec failure (interpreter gone, fd exhaustion): back off like a
+            # crash instead of retrying every tick.
+            with self._lock:
+                slot.next_start_at = time.monotonic() + slot.backoff.next_delay()
+            return
+        with self._lock:
+            if self._stop.is_set() or slot not in self._slots:
+                # Lost a race with stop()/set_target(): this worker has no slot.
+                _terminate([process])
+                return
+            slot.process = process
+            slot.spawns += 1
+            slot.started_at = time.monotonic()
+            slot.stabilized = False
+
+    # -- health --------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """A JSON-able snapshot: target, per-slot liveness, restart counters.
+
+        When an executor is attached (:meth:`attach_executor`) its
+        :meth:`health` snapshot rides along under ``"fabric"`` — one document
+        answers both "are the processes up" and "is work flowing".
+        """
+        now = time.monotonic()
+        with self._lock:
+            workers = []
+            for slot in self._slots:
+                alive = slot.process is not None and slot.process.poll() is None
+                workers.append(
+                    {
+                        "slot": slot.index,
+                        "pid": slot.process.pid if alive else None,
+                        "alive": alive,
+                        "listen_address": slot.listen_address,
+                        "restarts": slot.restarts,
+                        "uptime_seconds": (
+                            round(now - slot.started_at, 3)
+                            if alive and slot.started_at is not None
+                            else 0.0
+                        ),
+                        "last_exit_code": slot.last_exit_code,
+                    },
+                )
+            status: Dict[str, Any] = {
+                "target": self._target,
+                "mode": "listen" if self._listen_base is not None else "connect",
+                "alive": sum(1 for worker in workers if worker["alive"]),
+                "restarts_total": sum(worker["restarts"] for worker in workers),
+                "authenticated": self._key is not None,
+                "workers": workers,
+                "uptime_seconds": (
+                    round(now - self.started_at, 3) if self.started_at is not None else 0.0
+                ),
+            }
+        executor = self._executor
+        if executor is not None:
+            try:
+                status["fabric"] = executor.health()
+            except Exception:  # pragma: no cover - health must never take us down
+                status["fabric"] = None
+        return status
+
+    def wait_for_alive(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` workers are alive (tests and smoke scripts)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.status()["alive"] >= count:
+                return
+            time.sleep(0.05)
+        raise EngineError(f"supervisor did not reach {count} live workers in {timeout:.0f} s")
+
+    def serve_status(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Expose :meth:`status` as JSON on ``GET /status`` (stdlib HTTP).
+
+        Returns the bound ``(host, port)``; port 0 picks an ephemeral one.
+        The endpoint is an operational read-only peephole (health checks,
+        the CI smoke), not the service API — ``/v1/stats`` is that.
+        """
+        if self._status_server is not None:
+            raise EngineError("the status endpoint is already serving")
+        supervisor = self
+
+        class _StatusHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler spelling
+                if self.path.split("?", 1)[0] not in ("/status", "/"):
+                    self.send_error(404)
+                    return
+                body = json.dumps(supervisor.status(), indent=2).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # quiet by default
+                pass
+
+        server = ThreadingHTTPServer((host, port), _StatusHandler)
+        server.daemon_threads = True
+        self._status_server = server
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="genlogic-supervisor-status",
+            daemon=True,
+        )
+        thread.start()
+        return server.server_address[:2]
+
+
+def _terminate(processes: List[subprocess.Popen]) -> None:
+    """Terminate (then kill) worker processes, reaping every one."""
+    for process in processes:
+        if process.poll() is None:
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+    for process in processes:
+        try:
+            process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            process.kill()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass

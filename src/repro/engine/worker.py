@@ -19,21 +19,30 @@ Two ways to join a fabric:
   after another (each ``--dispatch`` run is one session), which is the shape
   behind the CLI's ``--dispatch host:port,...`` flag.
 
-Protocol (worker side): on connect the worker speaks first with a ``hello``
-frame carrying its protocol version and capacity; afterwards it answers every
-``job`` frame with a ``result`` frame (``ok=True`` plus the return value, or
-``ok=False`` plus the pickled exception and traceback text) and exits the
-session on a ``shutdown`` frame or EOF.  Batched payloads
-(:func:`repro.engine.core.simulate_batch_payload`, dispatched at
+Protocol (worker side): every connection starts with the mutual handshake of
+:mod:`repro.engine.auth` — keyed HMAC challenge–response when a fabric secret
+is configured (``GENLOGIC_FABRIC_KEY`` / ``--key-file``), bare preamble
+otherwise — so no coordinator frame is unpickled before the peer proved
+itself (or the operator explicitly chose trusted-network mode).  The worker
+then speaks first with a ``hello`` frame carrying its protocol version and
+capacity; afterwards it answers every ``job`` frame with a ``result`` frame
+(``ok=True`` plus the return value, or ``ok=False`` plus the pickled
+exception and traceback text) and exits the session on a ``shutdown`` frame
+or EOF.  A dedicated reader thread answers the coordinator's ``ping`` frames
+with ``pong`` *while jobs are computing*, so a busy worker never looks dead
+to the heartbeat monitor — only a wedged or unreachable one does.  Batched
+payloads (:func:`repro.engine.core.simulate_batch_payload`, dispatched at
 ``batch_size > 1``) need no protocol change: the worker runs the lockstep
 batch and the ``result`` frame's value carries the replicates as one compact
 binary trajectory frame (``bytes``) instead of per-replicate pickled
-``Trajectory`` objects.  Task failures never kill the worker
-— only transport failures (and the operator's Ctrl-C) end a session.
+``Trajectory`` objects.  Task failures never kill the worker — only
+transport failures (and the operator's Ctrl-C) end a session.
 
-.. warning:: The wire protocol is unauthenticated pickle: a worker executes
-   whatever a connected coordinator sends it.  Only listen on trusted,
-   isolated networks — see the trust-model warning in
+.. warning:: The handshake authenticates the peer; the frames themselves are
+   still pickle, so an *authenticated* coordinator fully controls this
+   process, and nothing is encrypted in transit.  Unkeyed workers execute
+   whatever any connected peer sends — only listen unkeyed on trusted,
+   isolated networks.  See the trust-model warning in
    :mod:`repro.engine.distributed`.
 """
 
@@ -41,12 +50,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import queue
 import socket
 import sys
+import threading
 import traceback
 from typing import Optional
 
 from ..errors import EngineError
+from .auth import ROLE_COORDINATOR, ROLE_WORKER, handshake, resolve_key
 from .distributed import (
     PROTOCOL_VERSION,
     RemoteWorkerError,
@@ -56,6 +68,10 @@ from .distributed import (
 )
 
 __all__ = ["serve_connection", "run_worker"]
+
+#: A coordinator that connects but never completes the handshake is cut off
+#: after this many seconds, freeing the worker to serve the next session.
+HANDSHAKE_TIMEOUT = 30.0
 
 
 def _result_frame(task_id: int, value) -> dict:
@@ -85,14 +101,21 @@ def _error_frame(task_id: int, error: BaseException) -> dict:
     }
 
 
-def serve_connection(sock: socket.socket, *, capacity: int = 1) -> int:
+def serve_connection(
+    sock: socket.socket,
+    *,
+    capacity: int = 1,
+    key: Optional[bytes] = None,
+) -> int:
     """Serve one coordinator session on an established socket.
 
-    Sends the hello frame, then executes job frames **sequentially** until a
-    shutdown frame or EOF.  ``capacity`` is the pipelining depth advertised
-    to the coordinator — how many jobs it may keep in flight on this socket
-    so the next one is already queued when the current one finishes.  It is
-    *not* worker-side parallelism: run one worker process per core for that.
+    Runs the authentication handshake, sends the hello frame, then executes
+    job frames **sequentially** until a shutdown frame or EOF, while a reader
+    thread keeps draining the socket so heartbeat pings are answered even
+    mid-computation.  ``capacity`` is the pipelining depth advertised to the
+    coordinator — how many jobs it may keep in flight on this socket so the
+    next one is already queued when the current one finishes.  It is *not*
+    worker-side parallelism: run one worker process per core for that.
     Returns the number of jobs executed.  The caller owns the socket (and
     closes it).
     """
@@ -100,26 +123,55 @@ def serve_connection(sock: socket.socket, *, capacity: int = 1) -> int:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     except OSError:  # pragma: no cover - transport nicety only
         pass
-    send_message(
-        sock,
-        {
-            "type": "hello",
-            "version": PROTOCOL_VERSION,
-            "capacity": max(1, int(capacity)),
-            "pid": os.getpid(),
-        },
-    )
+    sock.settimeout(HANDSHAKE_TIMEOUT)
+    handshake(sock, key, role=ROLE_WORKER, peer_role=ROLE_COORDINATOR)
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    with send_lock:
+        send_message(
+            sock,
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "capacity": max(1, int(capacity)),
+                "pid": os.getpid(),
+            },
+        )
+    # The reader thread owns the receiving half: it answers pings on the spot
+    # (the whole point — liveness must not wait for the current job) and
+    # feeds jobs to the sequential executor below; ``None`` means "session
+    # over" (shutdown frame, EOF, or a transport error).
+    jobs: "queue.Queue[Optional[dict]]" = queue.Queue()
+
+    def _reader() -> None:
+        while True:
+            try:
+                message = recv_message(sock)
+            except Exception:
+                jobs.put(None)
+                return
+            kind = message.get("type")
+            if kind == "ping":
+                try:
+                    with send_lock:
+                        send_message(sock, {"type": "pong", "t": message.get("t")})
+                except Exception:
+                    jobs.put(None)
+                    return
+            elif kind == "shutdown":
+                jobs.put(None)
+                return
+            elif kind == "job":
+                jobs.put(message)
+            # Unknown frame types are ignored for forward compatibility.
+
+    reader = threading.Thread(target=_reader, name="genlogic-worker-read", daemon=True)
+    reader.start()
     executed = 0
     while True:
-        try:
-            message = recv_message(sock)
-        except (ConnectionError, OSError):
+        message = jobs.get()
+        if message is None:
             return executed
-        kind = message.get("type")
-        if kind == "shutdown":
-            return executed
-        if kind != "job":
-            continue
         task_id = message.get("id")
         try:
             # The nested call pickle may fail to decode here (e.g. the
@@ -134,18 +186,22 @@ def serve_connection(sock: socket.socket, *, capacity: int = 1) -> int:
         except Exception as error:
             frame = _error_frame(task_id, error)
         try:
-            send_message(sock, frame)
+            with send_lock:
+                send_message(sock, frame)
+        except (ConnectionError, OSError):
+            return executed
         except Exception as error:
             # An unpicklable / oversized *result* must not kill the session:
             # report the shipping failure for this task and keep serving.
             try:
-                send_message(
-                    sock,
-                    _error_frame(
-                        task_id,
-                        RemoteWorkerError(f"result could not be shipped back: {error!r}"),
-                    ),
-                )
+                with send_lock:
+                    send_message(
+                        sock,
+                        _error_frame(
+                            task_id,
+                            RemoteWorkerError(f"result could not be shipped back: {error!r}"),
+                        ),
+                    )
             except (ConnectionError, OSError):
                 return executed
         executed += 1
@@ -158,6 +214,8 @@ def run_worker(
     capacity: int = 1,
     max_sessions: Optional[int] = None,
     on_ready=None,
+    key: Optional[bytes] = None,
+    key_file: Optional[str] = None,
 ) -> int:
     """Worker main loop (the ``genlogic worker`` subcommand body).
 
@@ -165,15 +223,21 @@ def run_worker(
     ``listen`` binds and serves coordinator sessions back to back —
     ``max_sessions`` bounds how many (mostly for tests); ``on_ready`` (if
     given) is called with the bound ``(host, port)`` once accepting, so
-    embedding callers can synchronize instead of polling.  Returns the total
-    number of jobs executed.
+    embedding callers can synchronize instead of polling.  The fabric secret
+    comes from ``key`` / ``key_file`` or falls back to the
+    ``GENLOGIC_FABRIC_KEY`` environment (:func:`repro.engine.auth.resolve_key`).
+    In listen mode a peer that fails the handshake is turned away with a
+    warning and the worker keeps serving; in connect mode the failure is
+    fatal (the one coordinator we were told to trust is not trustworthy).
+    Returns the total number of jobs executed.
     """
     if (connect is None) == (listen is None):
         raise EngineError("worker needs exactly one of --connect or --listen")
+    secret = resolve_key(key, key_file)
     if connect is not None:
         host, port = parse_address(connect)
         with socket.create_connection((host, port)) as sock:
-            return serve_connection(sock, capacity=capacity)
+            return serve_connection(sock, capacity=capacity, key=secret)
     host, port = parse_address(listen)
     executed = 0
     sessions = 0
@@ -181,12 +245,22 @@ def run_worker(
         if on_ready is not None:
             on_ready(server.getsockname()[:2])
         while max_sessions is None or sessions < max_sessions:
-            sock, _ = server.accept()
+            sock, peer = server.accept()
             try:
-                executed += serve_connection(sock, capacity=capacity)
+                executed += serve_connection(sock, capacity=capacity, key=secret)
+            except (EngineError, ConnectionError, OSError) as error:
+                # One hostile or broken peer must not take the worker down —
+                # nor burn a --max-sessions slot: a peer turned away at the
+                # handshake was never a served session.  Note it and go back
+                # to accepting the next coordinator.
+                print(
+                    f"genlogic worker: rejected session from {peer[0]}:{peer[1]}: {error}",
+                    file=sys.stderr,
+                )
+            else:
+                sessions += 1
             finally:
                 sock.close()
-            sessions += 1
     return executed
 
 

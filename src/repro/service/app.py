@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..engine.distributed import WorkerConnectionError
 from ..engine.executors import get_executor
 from ..engine.spec import StudySpec
 from ..errors import EngineError, ReproError
@@ -69,6 +70,11 @@ class StudyRecord:
     coalesced: bool = False
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: ``"fabric"`` when the failure was losing the worker fabric mid-study
+    #: (:class:`~repro.engine.WorkerConnectionError`) — the HTTP layer maps
+    #: those to 503 + Retry-After instead of a generic 500, because they are
+    #: the server's transient problem, not the request's.
+    error_kind: Optional[str] = None
     submitted_at: float = field(default_factory=time.monotonic)
     wall_seconds: Optional[float] = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
@@ -130,6 +136,7 @@ class AnalysisService:
         self,
         workers: int = 1,
         executor=None,
+        supervisor=None,
         max_inflight: int = 4,
         max_replicates: int = 64,
         max_search_replicates: int = 5000,
@@ -150,6 +157,10 @@ class AnalysisService:
         self._owns_executor = executor is None
         self._workers = int(workers)
         self._executor = executor
+        #: A :class:`~repro.engine.WorkerSupervisor` (or anything with a
+        #: ``status()`` dict) whose health rides along in :meth:`stats`.
+        #: Lifecycle stays with the caller, like ``executor``.
+        self._supervisor = supervisor
         self._runner = runner if runner is not None else _default_runner
         self._search_runner = (
             search_runner if search_runner is not None else _default_search_runner
@@ -321,6 +332,13 @@ class AnalysisService:
         runner = self._search_runner if record.kind == "search" else self._runner
         try:
             payload = await asyncio.to_thread(runner, record.spec, self.executor)
+        except WorkerConnectionError as error:
+            # Losing the fabric is the *server's* transient problem: tag it so
+            # the HTTP layer answers 503 + Retry-After rather than a 500.
+            record.status = "error"
+            record.error = str(error)
+            record.error_kind = "fabric"
+            self._failed += 1
         except ReproError as error:
             record.status = "error"
             record.error = str(error)
@@ -347,6 +365,7 @@ class AnalysisService:
         record.status = leader.status
         record.result = leader.result
         record.error = leader.error
+        record.error_kind = leader.error_kind
         record.wall_seconds = leader.wall_seconds
         if leader.status == "done":
             self._completed += 1
@@ -366,7 +385,7 @@ class AnalysisService:
     def stats(self) -> Dict[str, Any]:
         """The ``GET /v1/stats`` JSON body."""
         inflight = self.inflight
-        return {
+        body: Dict[str, Any] = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "pool": {
                 "executor": getattr(self.executor, "name", "unknown"),
@@ -389,6 +408,25 @@ class AnalysisService:
                 "max_search_replicates": self.max_search_replicates,
             },
         }
+        # Fabric health (per-worker throughput, requeues, queue depth) and
+        # supervisor status are the distributed deployment's backpressure
+        # signal — present only when the executor/supervisor expose them.
+        health = getattr(self._executor, "health", None)
+        if callable(health):
+            try:
+                body["fabric"] = health()
+            except Exception:  # noqa: BLE001 - stats must never take the service down
+                body["fabric"] = None
+        if self._supervisor is not None:
+            try:
+                supervisor_status = dict(self._supervisor.status())
+            except Exception:  # noqa: BLE001 - same: degrade, don't die
+                supervisor_status = None
+            if supervisor_status is not None:
+                # The executor's health already rides under "fabric".
+                supervisor_status.pop("fabric", None)
+            body["supervisor"] = supervisor_status
+        return body
 
 
 def _default_runner(spec: StudySpec, executor) -> Dict[str, Any]:

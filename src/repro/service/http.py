@@ -20,12 +20,17 @@ Routes (all JSON)::
 
 Error mapping: malformed spec → 400, unknown study → 404, wrong method →
 405, body or replicate budget exceeded → 413, in-flight bound saturated →
-429 with ``Retry-After``.
+429 with ``Retry-After``, worker fabric lost mid-study → 503 with
+``Retry-After`` (the record body still carries the detail: losing the
+fabric is the server's transient problem, and clients should resubmit once
+the supervisor has regrown it).
 
-Security note: the server speaks plaintext HTTP and trusts its clients,
-exactly like the distributed fabric it may front (see the trust-model
-paragraph in :mod:`repro.engine.distributed`).  ``genlogic serve`` refuses
-to bind non-loopback addresses until the fabric's HMAC handshake lands.
+Security note: the server speaks plaintext HTTP and trusts its clients.
+``genlogic serve`` binds loopback only unless a fabric key is configured
+(``--key-file`` / ``GENLOGIC_FABRIC_KEY``) — the key authenticates the
+worker fabric underneath (see the trust model in
+:mod:`repro.engine.distributed`); the HTTP side itself should still be
+fronted by an authenticating reverse proxy when exposed.
 """
 
 from __future__ import annotations
@@ -66,7 +71,25 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: ``Retry-After`` seconds on a 503: long enough for the supervisor to
+#: restart a worker and the coordinator's heartbeat to adopt it.
+_FABRIC_RETRY_AFTER = 5
+
+
+def _record_response(record) -> Tuple[int, Dict[str, Any], Optional[int]]:
+    """The (status, body, retry_after) for a study/search record.
+
+    A record that failed because the worker fabric was lost mid-study is a
+    *server-side* transient (the supervisor will regrow the fabric), so it
+    answers 503 + ``Retry-After`` — with the full record still in the body —
+    instead of looking like a caller error.
+    """
+    if record.status == "error" and record.error_kind == "fabric":
+        return 503, record.to_response(), _FABRIC_RETRY_AFTER
+    return 200, record.to_response(), None
 
 
 def _encode_response(
@@ -251,7 +274,7 @@ class ServiceServer:
                     raise _HttpError(400, str(error)) from None
                 if query.get("wait", ["0"])[-1] in ("1", "true", "yes"):
                     await record.done_event.wait()
-                return 200, record.to_response(), None
+                return _record_response(record)
 
             if path.startswith(base + "/"):
                 if method != "GET":
@@ -260,7 +283,7 @@ class ServiceServer:
                 record = self.service.get(record_id)
                 if record is None or record.kind != kind:
                     raise _HttpError(404, f"no {kind} {record_id!r}")
-                return 200, record.to_response(), None
+                return _record_response(record)
 
         raise _HttpError(404, f"no route for {path}")
 

@@ -1,0 +1,282 @@
+"""Fault-injecting TCP proxy for exercising the distributed fabric.
+
+:class:`ChaosProxy` sits between a dialing coordinator and a listening
+``genlogic worker``, forwarding bytes both ways while injecting one
+configured :class:`Fault` per direction: cut the stream mid-frame, corrupt
+a frame's length prefix, delay a frame, or blackhole (silently swallow)
+traffic from a trigger point on.  The pumps understand the protocol-2
+stream shape — a fixed-size raw handshake prefix followed by 4-byte
+length-prefixed frames — so a fault can target an exact handshake offset
+(``at_bytes=``) or an exact frame index (``frame=``, ``offset=``) instead
+of a brittle hand-counted byte position.
+
+Whole-proxy switches model coarser failures: :meth:`ChaosProxy.blackhole`
+freezes every live connection in both directions without closing anything
+(the "hung worker" a heartbeat must catch), :meth:`ChaosProxy.cut_all`
+hard-closes every proxied connection at once.
+
+Test infrastructure only — imported by test_chaos.py, never by product
+code.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.auth import _DIGEST_BYTES, _PREAMBLE_BYTES
+
+__all__ = [
+    "Fault",
+    "ChaosProxy",
+    "PLAINTEXT_HANDSHAKE_BYTES",
+    "KEYED_HANDSHAKE_BYTES",
+]
+
+#: Raw (never length-prefixed) bytes each direction sends before its first
+#: pickled frame: the preamble alone in trusted-network mode, preamble +
+#: HMAC digest + verdict byte when a fabric key is configured.
+PLAINTEXT_HANDSHAKE_BYTES = _PREAMBLE_BYTES
+KEYED_HANDSHAKE_BYTES = _PREAMBLE_BYTES + _DIGEST_BYTES + 1
+
+_ACTIONS = ("cut", "corrupt", "delay", "blackhole")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault, applied to a single direction of each connection.
+
+    ``action``:
+
+    * ``"cut"`` — forward up to the trigger, then hard-close both sockets
+      (truncates whatever frame straddles the trigger);
+    * ``"corrupt"`` — overwrite the 4 bytes at the trigger with ``0xFF``
+      (point it at a frame's length prefix to forge a 4 GiB claim);
+    * ``"delay"`` — pause the direction ``delay`` seconds at the trigger,
+      then resume forwarding untouched;
+    * ``"blackhole"`` — forward up to the trigger, then silently swallow
+      everything after it while both sockets stay open.
+
+    The trigger is either an absolute stream offset (``at_bytes=``, useful
+    for mid-handshake faults) or frame-relative: ``frame=k, offset=o``
+    fires ``o`` bytes into the k-th length-prefixed frame after the raw
+    handshake (``offset=0`` is the frame's own length prefix).
+    """
+
+    action: str
+    at_bytes: Optional[int] = None
+    frame: Optional[int] = None
+    offset: int = 0
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r} (one of {_ACTIONS})")
+        if (self.at_bytes is None) == (self.frame is None):
+            raise ValueError("a Fault needs exactly one trigger: at_bytes= or frame=")
+
+
+class ChaosProxy:
+    """A TCP proxy in front of one upstream address, with per-direction faults.
+
+    ``client_to_upstream`` faults what the dialing coordinator sends,
+    ``upstream_to_client`` faults what the worker answers.  Faults apply to
+    every proxied connection independently (each connection re-arms them).
+    ``handshake_bytes`` tells the frame parser how much leading raw
+    handshake to skip per direction before counting frames — pass
+    :data:`KEYED_HANDSHAKE_BYTES` when the fabric runs with a key.
+    """
+
+    def __init__(
+        self,
+        upstream: str,
+        *,
+        client_to_upstream: Optional[Fault] = None,
+        upstream_to_client: Optional[Fault] = None,
+        handshake_bytes: int = PLAINTEXT_HANDSHAKE_BYTES,
+    ):
+        host, separator, port = upstream.rpartition(":")
+        if not separator:
+            raise ValueError(f"upstream address {upstream!r} is not host:port")
+        self._upstream = (host, int(port))
+        self._c2u = client_to_upstream
+        self._u2c = upstream_to_client
+        self.handshake_bytes = int(handshake_bytes)
+        self._stop = threading.Event()
+        self._blackholed = threading.Event()
+        self._lock = threading.Lock()
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self.connections = 0
+        self.faults_fired = 0
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self._server.settimeout(0.2)
+        self._port = self._server.getsockname()[1]
+        self._threads: List[threading.Thread] = []
+        self._start_thread(self._accept_loop, "chaos-accept")
+
+    # -- wiring ----------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """The ``host:port`` a coordinator should dial instead of the worker."""
+        return f"127.0.0.1:{self._port}"
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def blackhole(self) -> None:
+        """From now on, swallow every byte in both directions of every
+        connection — sockets stay open, nothing moves (a hung worker)."""
+        self._blackholed.set()
+
+    def cut_all(self) -> None:
+        """Hard-close every live proxied connection, both ends at once."""
+        with self._lock:
+            pairs = list(self._pairs)
+        for pair in pairs:
+            self._close_pair(pair)
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self.cut_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    # -- internals -------------------------------------------------------------
+    def _start_thread(self, target, name: str, *args) -> None:
+        thread = threading.Thread(target=target, args=args, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=5.0)
+            except OSError:
+                _close_quietly(client)
+                continue
+            for sock in (client, upstream):
+                sock.settimeout(0.2)
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+            pair = (client, upstream)
+            with self._lock:
+                self._pairs.append(pair)
+                self.connections += 1
+            self._start_thread(self._pump, "chaos-c2u", client, upstream, self._c2u, pair)
+            self._start_thread(self._pump, "chaos-u2c", upstream, client, self._u2c, pair)
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        fault: Optional[Fault],
+        pair: Tuple[socket.socket, socket.socket],
+    ) -> None:
+        # Every byte seen is kept so frame boundaries can be resolved lazily;
+        # fine for tests, whose streams are small.
+        stream = bytearray()
+        forwarded = 0
+        trigger = fault.at_bytes if fault is not None and fault.at_bytes is not None else None
+        fired = False
+        while not self._stop.is_set():
+            try:
+                chunk = src.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                # Clean EOF from src: half-close dst so the peer sees it too,
+                # while the opposite direction keeps flowing.
+                try:
+                    dst.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            stream += chunk
+            swallowing = self._blackholed.is_set() or (
+                fault is not None and fired and fault.action == "blackhole"
+            )
+            if swallowing:
+                forwarded = len(stream)
+                continue
+            if fault is not None and not fired and trigger is None:
+                trigger = self._frame_trigger(stream, fault)
+            try:
+                if fault is not None and not fired and trigger is not None:
+                    # "corrupt" needs its whole 4-byte window buffered before
+                    # firing; the others fire as soon as the trigger is reached.
+                    armed_at = trigger + 4 if fault.action == "corrupt" else trigger
+                    if len(stream) >= armed_at:
+                        if trigger > forwarded:
+                            dst.sendall(bytes(stream[forwarded:trigger]))
+                            forwarded = trigger
+                        fired = True
+                        with self._lock:
+                            self.faults_fired += 1
+                        if fault.action == "cut":
+                            self._close_pair(pair)
+                            return
+                        if fault.action == "corrupt":
+                            stream[trigger:trigger + 4] = b"\xff\xff\xff\xff"
+                        elif fault.action == "delay":
+                            time.sleep(fault.delay)
+                        elif fault.action == "blackhole":
+                            forwarded = len(stream)
+                            continue
+                limit = len(stream)
+                if fault is not None and not fired and trigger is not None:
+                    # Armed but not fired (e.g. "corrupt" still buffering its
+                    # 4-byte window): never forward past the trigger untouched.
+                    limit = min(limit, trigger)
+                if forwarded < limit:
+                    dst.sendall(bytes(stream[forwarded:limit]))
+                    forwarded = limit
+            except OSError:
+                break
+
+    def _frame_trigger(self, stream: bytearray, fault: Fault) -> Optional[int]:
+        """Resolve a frame-relative trigger to an absolute stream offset.
+
+        Needs the length prefixes of every earlier frame to have arrived;
+        returns ``None`` until they have.  Those prefixes all sit *before*
+        the trigger, so nothing past it is ever forwarded unfaulted while
+        the trigger is still unresolved.
+        """
+        position = self.handshake_bytes
+        for _ in range(fault.frame):
+            if len(stream) < position + 4:
+                return None
+            (length,) = struct.unpack(">I", bytes(stream[position:position + 4]))
+            position += 4 + length
+        return position + fault.offset
+
+    def _close_pair(self, pair: Tuple[socket.socket, socket.socket]) -> None:
+        for sock in pair:
+            _close_quietly(sock)
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,264 @@
+"""Unit tests for the fabric's authenticated handshake (engine/auth.py).
+
+The handshake is the gate in front of pickle-over-TCP, so the tests here pin
+its security properties directly on socket pairs, without a full fabric:
+mutual success with a shared key, fail-closed on every mismatch shape
+(wrong key, keyed vs unkeyed in both directions), reflection resistance via
+the role tags, clean rejection of protocol-1 / garbage peers — and, the
+acceptance criterion, that **no rejected path ever unpickles a byte**.
+"""
+
+import os
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.engine import auth
+from repro.engine.auth import (
+    KEY_ENV,
+    ROLE_COORDINATOR,
+    ROLE_WORKER,
+    AuthenticationError,
+    ProtocolError,
+    handshake,
+    resolve_key,
+)
+from repro.errors import EngineError
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+def _run_both(coordinator_key, worker_key):
+    """Run the handshake on both ends of a socketpair; return (coord_exc, worker_exc)."""
+    coord_sock, worker_sock = _pair()
+    outcomes = {}
+
+    def side(name, sock, key, role, peer_role):
+        try:
+            handshake(sock, key, role=role, peer_role=peer_role)
+            outcomes[name] = None
+        except Exception as error:  # noqa: BLE001 - recorded for assertions
+            outcomes[name] = error
+
+    threads = [
+        threading.Thread(
+            target=side,
+            args=("coord", coord_sock, coordinator_key, ROLE_COORDINATOR, ROLE_WORKER),
+        ),
+        threading.Thread(
+            target=side,
+            args=("worker", worker_sock, worker_key, ROLE_WORKER, ROLE_COORDINATOR),
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "handshake deadlocked"
+    coord_sock.close()
+    worker_sock.close()
+    return outcomes["coord"], outcomes["worker"]
+
+
+@pytest.fixture
+def no_unpickling(monkeypatch):
+    """Fail the test if anything is unpickled while the fixture is active."""
+    calls = []
+
+    def counting_loads(*args, **kwargs):
+        calls.append(args)
+        raise AssertionError("pickle.loads called on a handshake-rejected path")
+
+    monkeypatch.setattr(pickle, "loads", counting_loads)
+    monkeypatch.setattr(pickle, "load", counting_loads)
+    yield calls
+
+
+class TestMutualHandshake:
+    def test_shared_key_succeeds_both_sides(self):
+        coord, worker = _run_both(b"sekrit", b"sekrit")
+        assert coord is None and worker is None
+
+    def test_unkeyed_both_sides_succeeds(self):
+        coord, worker = _run_both(None, None)
+        assert coord is None and worker is None
+
+    def test_wrong_key_rejected_both_sides(self, no_unpickling):
+        coord, worker = _run_both(b"right", b"wrong")
+        assert isinstance(coord, AuthenticationError)
+        assert isinstance(worker, AuthenticationError)
+        assert no_unpickling == []
+
+    def test_keyed_coordinator_rejects_unkeyed_worker(self, no_unpickling):
+        coord, worker = _run_both(b"sekrit", None)
+        assert isinstance(coord, AuthenticationError)
+        assert isinstance(worker, AuthenticationError)
+        assert "plaintext" in str(coord)
+        assert no_unpickling == []
+
+    def test_unkeyed_coordinator_rejects_keyed_worker(self, no_unpickling):
+        coord, worker = _run_both(None, b"sekrit")
+        assert isinstance(coord, AuthenticationError)
+        assert KEY_ENV in str(coord)
+        assert isinstance(worker, AuthenticationError)
+        assert no_unpickling == []
+
+    def test_same_role_is_a_programming_error(self):
+        left, right = _pair()
+        try:
+            with pytest.raises(EngineError, match="roles must differ"):
+                handshake(left, b"k", role=ROLE_WORKER, peer_role=ROLE_WORKER)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestHostilePeers:
+    def test_reflection_attack_is_rejected(self, no_unpickling):
+        """An attacker echoing our own bytes back must not authenticate.
+
+        The mirror returns a byte-perfect copy of everything we send —
+        preamble and digest included.  Without role tags in the MAC input the
+        echoed digest would be exactly the answer we expect; with them it is
+        an answer to the wrong role and must fail.
+        """
+        honest, mirror = _pair()
+        stop = threading.Event()
+
+        def echo():
+            while not stop.is_set():
+                try:
+                    data = mirror.recv(4096)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    mirror.sendall(data)
+                except OSError:
+                    return
+
+        thread = threading.Thread(target=echo, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(AuthenticationError, match="wrong fabric key"):
+                handshake(honest, b"sekrit", role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        finally:
+            stop.set()
+            honest.close()
+            mirror.close()
+            thread.join(timeout=5.0)
+        assert no_unpickling == []
+
+    def test_protocol_1_style_peer_rejected_before_unpickling(self, no_unpickling):
+        """A v1 worker speaks a pickled hello first; v2 must reject on magic."""
+        coordinator, v1_worker = _pair()
+        v1_hello = pickle.dumps({"type": "hello", "version": 1, "capacity": 1})
+        v1_worker.sendall(len(v1_hello).to_bytes(4, "big") + v1_hello)
+        try:
+            with pytest.raises(ProtocolError, match="protocol-1 peer"):
+                handshake(coordinator, None, role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        finally:
+            coordinator.close()
+            v1_worker.close()
+        assert no_unpickling == []
+
+    def test_garbage_preamble_rejected(self, no_unpickling):
+        coordinator, garbage = _pair()
+        garbage.sendall(os.urandom(64))
+        try:
+            with pytest.raises(ProtocolError, match="bad preamble magic"):
+                handshake(coordinator, b"sekrit", role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        finally:
+            coordinator.close()
+            garbage.close()
+        assert no_unpickling == []
+
+    def test_peer_hanging_up_mid_handshake_is_a_protocol_error(self, no_unpickling):
+        coordinator, flaky = _pair()
+        flaky.sendall(b"GLF2")  # magic only, then vanish
+        flaky.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-handshake"):
+                handshake(coordinator, None, role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        finally:
+            coordinator.close()
+        assert no_unpickling == []
+
+    def test_silent_peer_times_out_as_protocol_error(self, no_unpickling):
+        coordinator, silent = _pair()
+        coordinator.settimeout(0.2)
+        try:
+            with pytest.raises(ProtocolError, match="went silent"):
+                handshake(coordinator, None, role=ROLE_COORDINATOR, peer_role=ROLE_WORKER)
+        finally:
+            coordinator.close()
+            silent.close()
+        assert no_unpickling == []
+
+
+class TestResolveKey:
+    def test_explicit_key_str_is_utf8_encoded(self):
+        assert resolve_key("sekrit") == b"sekrit"
+
+    def test_explicit_key_bytes_pass_through(self):
+        assert resolve_key(b"\x00\xffraw") == b"\x00\xffraw"
+
+    def test_key_file_strips_one_trailing_newline(self, tmp_path):
+        path = tmp_path / "fabric.key"
+        path.write_bytes(b"deadbeef\n")
+        assert resolve_key(key_file=str(path)) == b"deadbeef"
+
+    def test_key_file_strips_crlf(self, tmp_path):
+        path = tmp_path / "fabric.key"
+        path.write_bytes(b"deadbeef\r\n")
+        assert resolve_key(key_file=str(path)) == b"deadbeef"
+
+    def test_env_var_is_the_fallback(self, monkeypatch):
+        monkeypatch.setenv(KEY_ENV, "from-env")
+        assert resolve_key() == b"from-env"
+
+    def test_explicit_key_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KEY_ENV, "from-env")
+        assert resolve_key("explicit") == b"explicit"
+
+    def test_use_env_false_ignores_env(self, monkeypatch):
+        monkeypatch.setenv(KEY_ENV, "from-env")
+        assert resolve_key(use_env=False) is None
+
+    def test_no_key_anywhere_means_unkeyed(self, monkeypatch):
+        monkeypatch.delenv(KEY_ENV, raising=False)
+        assert resolve_key() is None
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(EngineError, match="must not be empty"):
+            resolve_key("")
+
+    def test_empty_key_file_rejected(self, tmp_path):
+        path = tmp_path / "fabric.key"
+        path.write_bytes(b"\n")
+        with pytest.raises(EngineError, match="is empty"):
+            resolve_key(key_file=str(path))
+
+    def test_missing_key_file_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="cannot read"):
+            resolve_key(key_file=str(tmp_path / "nope.key"))
+
+    def test_key_and_key_file_together_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="not both"):
+            resolve_key("k", str(tmp_path / "f.key"))
+
+
+def test_module_is_exported_from_engine():
+    import repro.engine as engine
+
+    for name in ("AuthenticationError", "ProtocolError", "resolve_key"):
+        assert name in engine.__all__, name
+    assert auth.KEY_ENV == "GENLOGIC_FABRIC_KEY"

@@ -31,6 +31,7 @@ from repro.engine import (
     DistributedEnsembleExecutor,
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
+    WorkerSupervisor,
     arun_ensemble,
     iter_ensemble,
     replicate_jobs,
@@ -40,7 +41,13 @@ from repro.engine.aio import aiter_ensemble
 from repro.engine.jobs import SimulationJob
 from repro.stochastic.events import InputSchedule
 
-BACKENDS = ["serial", "process-pool", "distributed-loopback", "async-facade"]
+BACKENDS = [
+    "serial",
+    "process-pool",
+    "distributed-loopback",
+    "distributed-supervised",
+    "async-facade",
+]
 
 
 class _Backend:
@@ -93,6 +100,30 @@ def backend(request):
     elif request.param == "distributed-loopback":
         with DistributedEnsembleExecutor.loopback(2) as executor:
             yield _Backend("distributed-loopback", executor)
+    elif request.param == "distributed-supervised":
+        # The hardened deployment shape: an authenticated listening fabric
+        # whose workers are owned by the auto-restarting supervisor.  The
+        # whole contract must hold on it unchanged.
+        executor = DistributedEnsembleExecutor(
+            listen="127.0.0.1:0",
+            min_workers=2,
+            connect_timeout=60.0,
+            key="conformance-secret",
+        )
+        supervisor = WorkerSupervisor(
+            2,
+            connect=lambda: (
+                "{}:{}".format(*executor.bound_address) if executor.bound_address else None
+            ),
+            key="conformance-secret",
+        )
+        supervisor.start()
+        try:
+            executor.open()
+            yield _Backend("distributed-supervised", executor)
+        finally:
+            supervisor.stop()  # before the executor: a teardown must not race a restart
+            executor.close()
     else:
         with ProcessPoolEnsembleExecutor(2) as executor:
             yield _Backend("async-facade", executor)

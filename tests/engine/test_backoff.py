@@ -1,0 +1,84 @@
+"""Unit tests for the shared retry policy (engine/backoff.py).
+
+The coordinator's re-dial loops and the supervisor's restart policy both
+lean on this one module, so the schedule itself is pinned here: capped
+exponential growth, a hard upper bound even under jitter, deterministic
+draws for a seeded RNG, and reset semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.backoff import Backoff, BackoffPolicy
+from repro.errors import EngineError
+
+
+class TestBackoffPolicy:
+    def test_unjittered_schedule_is_capped_exponential(self):
+        policy = BackoffPolicy(initial=0.1, multiplier=2.0, maximum=1.0, jitter=0.0)
+        delays = [policy.delay(n) for n in range(6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.0, 1.0])
+
+    def test_jitter_stays_within_the_band_and_never_exceeds_base(self):
+        policy = BackoffPolicy(initial=0.5, multiplier=2.0, maximum=8.0, jitter=0.5)
+        rng = random.Random(42)
+        for attempt in range(12):
+            base = policy.base_delay(attempt)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng=rng)
+                assert base * 0.5 <= delay <= base
+
+    def test_seeded_rng_gives_a_deterministic_schedule(self):
+        policy = BackoffPolicy()
+        first = [policy.delay(n, rng=random.Random(7)) for n in range(5)]
+        second = [policy.delay(n, rng=random.Random(7)) for n in range(5)]
+        assert first == second
+
+    def test_delays_iterator_matches_delay_by_attempt(self):
+        policy = BackoffPolicy(jitter=0.0)
+        stream = policy.delays()
+        assert [next(stream) for _ in range(4)] == [policy.delay(n) for n in range(4)]
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        policy = BackoffPolicy(initial=0.1, multiplier=10.0, maximum=3.0, jitter=0.0)
+        assert policy.delay(10_000) == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial": 0.0},
+            {"initial": -1.0},
+            {"multiplier": 0.5},
+            {"initial": 2.0, "maximum": 1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(EngineError):
+            BackoffPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(EngineError):
+            BackoffPolicy().delay(-1)
+
+
+class TestBackoff:
+    def test_next_delay_advances_and_reset_rewinds(self):
+        backoff = Backoff(BackoffPolicy(initial=0.1, multiplier=2.0, maximum=9.0, jitter=0.0))
+        assert backoff.next_delay() == pytest.approx(0.1)
+        assert backoff.next_delay() == pytest.approx(0.2)
+        assert backoff.attempt == 2
+        backoff.reset()
+        assert backoff.attempt == 0
+        assert backoff.next_delay() == pytest.approx(0.1)
+
+    def test_default_policy_is_the_module_default(self):
+        assert Backoff().policy == BackoffPolicy()
+
+    def test_instance_rng_is_used(self):
+        policy = BackoffPolicy()
+        a = Backoff(policy, rng=random.Random(3))
+        b = Backoff(policy, rng=random.Random(3))
+        assert [a.next_delay() for _ in range(4)] == [b.next_delay() for _ in range(4)]

@@ -11,11 +11,14 @@ import dataclasses
 import glob
 import multiprocessing
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.engine import (
+    DistributedEnsembleExecutor,
     ProcessPoolEnsembleExecutor,
     SerialExecutor,
     batch_job_groups,
@@ -188,6 +191,31 @@ class TestSharedMemoryLifetime:
         jobs = replicate_jobs(template, 5, seed=3)
         with ProcessPoolEnsembleExecutor(2) as executor:
             run_ensemble(jobs, executor=executor, batch_size=2)
+        assert _shm_segments() == []
+
+
+class TestDistributedBatchFaults:
+    def test_worker_death_mid_batch_frame_requeues_bit_identical(self, template):
+        """Kill a fabric worker while lockstep batches (frame transport) are
+        in flight: the coordinator requeues the dead worker's batches on the
+        survivor, the study comes out bit-identical to serial, and no
+        ``/dev/shm`` segment outlives the run."""
+        jobs = replicate_jobs(template, 12, seed=33)
+        baseline = run_ensemble(jobs, workers=1)
+        with DistributedEnsembleExecutor.loopback(2) as executor:
+            executor.open()
+            victim = executor._processes[0]
+
+            def _kill_soon():
+                time.sleep(0.1)
+                victim.kill()
+
+            threading.Thread(target=_kill_soon, daemon=True).start()
+            result = run_ensemble(jobs, executor=executor, batch_size=3)
+            assert victim.poll() is not None, "the victim outlived the batch"
+        for index, (_, expected) in enumerate(baseline):
+            assert np.array_equal(result.trajectory(index).times, expected.times)
+            assert np.array_equal(result.trajectory(index).data, expected.data)
         assert _shm_segments() == []
 
 

@@ -1,0 +1,171 @@
+"""Tests for the auto-scaling worker supervisor (engine/supervisor.py).
+
+Covers the process-management contract: a supervised fleet joins a
+coordinator (including an authenticated one) and executes work, a killed
+worker is restarted and rejoins, targets rescale live, and the status
+surfaces (dict + HTTP endpoint) report what an operator needs.  The
+fault-injection suite (test_chaos.py) covers how the *coordinator* behaves
+while all this churn happens.
+"""
+
+import json
+import os
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from repro.engine import DistributedEnsembleExecutor, WorkerSupervisor
+from repro.engine.backoff import BackoffPolicy
+from repro.errors import EngineError
+
+
+def _echo(payload):
+    return payload
+
+
+#: Fast restarts so the kill/restart tests finish in seconds.
+FAST_RESTARTS = BackoffPolicy(initial=0.05, multiplier=2.0, maximum=0.5, jitter=0.5)
+
+
+def _supervised_fabric(n_workers, **kwargs):
+    """A listening executor plus a supervisor feeding it ``n_workers``."""
+    executor = DistributedEnsembleExecutor(
+        listen="127.0.0.1:0",
+        min_workers=n_workers,
+        connect_timeout=60.0,
+        **{k: v for k, v in kwargs.items() if k in ("key",)},
+    )
+    supervisor = WorkerSupervisor(
+        n_workers,
+        connect=lambda: (
+            "{}:{}".format(*executor.bound_address) if executor.bound_address else None
+        ),
+        policy=FAST_RESTARTS,
+        stable_after=1.0,
+        poll_interval=0.05,
+        **{k: v for k, v in kwargs.items() if k in ("key",)},
+    )
+    return executor, supervisor
+
+
+class TestConstruction:
+    def test_needs_exactly_one_wiring(self):
+        with pytest.raises(EngineError):
+            WorkerSupervisor(1)
+        with pytest.raises(EngineError):
+            WorkerSupervisor(1, connect="a:1", listen_base="b:2")
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(EngineError):
+            WorkerSupervisor(-1, connect="a:1")
+
+    def test_addresses_only_in_listen_mode(self):
+        supervisor = WorkerSupervisor(2, connect="a:1")
+        with pytest.raises(EngineError):
+            supervisor.addresses
+
+    def test_listen_mode_addresses_are_consecutive_ports(self):
+        supervisor = WorkerSupervisor(3, listen_base="127.0.0.1:9100")
+        assert supervisor.addresses == ["127.0.0.1:9100", "127.0.0.1:9101", "127.0.0.1:9102"]
+
+
+class TestSupervisedFabric:
+    def test_supervised_workers_join_and_execute(self):
+        executor, supervisor = _supervised_fabric(2)
+        with supervisor:
+            with executor:
+                futures = [executor.submit(_echo, n) for n in range(8)]
+                assert sorted(f.result(timeout=60.0) for f in futures) == list(range(8))
+                status = supervisor.status()
+                assert status["alive"] == 2
+                assert status["mode"] == "connect"
+            supervisor.stop()  # before executor teardown races a restart
+
+    def test_killed_worker_is_restarted_and_rejoins(self):
+        executor, supervisor = _supervised_fabric(1)
+        with supervisor:
+            with executor:
+                assert executor.submit(_echo, "warm").result(timeout=60.0) == "warm"
+                supervisor.wait_for_alive(1)
+                victim_pid = supervisor.status()["workers"][0]["pid"]
+                os.kill(victim_pid, signal.SIGKILL)
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    status = supervisor.status()
+                    if status["restarts_total"] >= 1 and status["alive"] >= 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("supervisor never restarted the killed worker")
+                # The replacement re-joins the fabric and serves work.
+                assert executor.submit(_echo, "again").result(timeout=60.0) == "again"
+            supervisor.stop()
+
+    def test_authenticated_supervised_fabric_executes(self):
+        executor, supervisor = _supervised_fabric(1, key="sup-secret")
+        with supervisor:
+            with executor:
+                assert executor.authenticated
+                assert executor.submit(_echo, 11).result(timeout=60.0) == 11
+                assert supervisor.status()["authenticated"] is True
+            supervisor.stop()
+
+
+class TestScaling:
+    def test_set_target_scales_down_then_up(self):
+        executor, supervisor = _supervised_fabric(2)
+        with supervisor:
+            with executor:
+                supervisor.wait_for_alive(2)
+                supervisor.set_target(0)
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline and supervisor.status()["alive"] > 0:
+                    time.sleep(0.05)
+                assert supervisor.status()["alive"] == 0
+                assert supervisor.target == 0
+                supervisor.set_target(1)
+                supervisor.wait_for_alive(1)
+                assert executor.submit(_echo, 5).result(timeout=60.0) == 5
+            supervisor.stop()
+
+
+class TestStatusSurfaces:
+    def test_status_shape_and_executor_health_attachment(self):
+        executor, supervisor = _supervised_fabric(1)
+        with supervisor:
+            with executor:
+                supervisor.attach_executor(executor)
+                supervisor.wait_for_alive(1)
+                assert executor.submit(_echo, 3).result(timeout=60.0) == 3
+                status = supervisor.status()
+                assert set(status) >= {
+                    "target",
+                    "mode",
+                    "alive",
+                    "restarts_total",
+                    "workers",
+                    "fabric",
+                }
+                worker = status["workers"][0]
+                assert worker["alive"] is True and worker["pid"] is not None
+                fabric = status["fabric"]
+                assert fabric["queue_depth"] == 0
+                assert fabric["tasks_completed"] >= 1
+                assert fabric["workers"][0]["tasks_per_second"] >= 0.0
+            supervisor.stop()
+
+    def test_http_status_endpoint_serves_the_snapshot(self):
+        supervisor = WorkerSupervisor(0, connect="127.0.0.1:1")
+        with supervisor:
+            host, port = supervisor.serve_status()
+            with urllib.request.urlopen(f"http://{host}:{port}/status", timeout=10.0) as reply:
+                assert reply.status == 200
+                document = json.loads(reply.read())
+            assert document["target"] == 0
+            assert document["workers"] == []
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=10.0)
+            with pytest.raises(EngineError):
+                supervisor.serve_status()

@@ -17,7 +17,7 @@ import threading
 import pytest
 
 from repro.analysis import run_replicate_study
-from repro.engine import StudySpec
+from repro.engine import StudySpec, WorkerConnectionError
 from repro.errors import EngineError
 from repro.search import SearchSpec, run_design_search
 from repro.service import AnalysisService, ResultCache, ServiceServer
@@ -211,6 +211,33 @@ class TestAnalysisService:
         assert record.status == "error" and record.error == "boom"
         assert not retry.cached, "a failed study must not poison the cache"
         assert service.stats()["studies"]["failed"] == 2
+
+    def test_fabric_loss_is_tagged_and_copied_to_coalesced_followers(self):
+        runner = _StubRunner(blocking=True, error=WorkerConnectionError("fabric gone"))
+
+        async def _go():
+            service = AnalysisService(runner=runner)
+            leader = await service.submit(_spec())
+            follower = await service.submit(_spec())
+            runner.release()
+            await leader.done_event.wait()
+            await follower.done_event.wait()
+            return leader, follower
+
+        leader, follower = asyncio.run(_go())
+        assert leader.status == "error" and leader.error_kind == "fabric"
+        assert follower.coalesced and follower.error_kind == "fabric"
+
+    def test_ordinary_failures_are_not_tagged_as_fabric(self):
+        runner = _StubRunner(error=EngineError("boom"))
+
+        async def _go():
+            service = AnalysisService(runner=runner)
+            record = await service.submit(_spec())
+            await record.done_event.wait()
+            return record
+
+        assert asyncio.run(_go()).error_kind is None
 
     def test_unseeded_spec_skips_cache_but_counts_inflight(self):
         runner = _StubRunner(blocking=True)
@@ -446,6 +473,36 @@ class TestHttpService:
             assert status == 404
 
         self._serve(exercise, runner=_StubRunner(), max_replicates=4)
+
+    def test_fabric_loss_maps_to_503_with_retry_after(self):
+        """Losing the worker fabric mid-study is a server-side transient."""
+        runner = _StubRunner(error=WorkerConnectionError("no workers joined"))
+
+        def exercise(port):
+            status, headers, body = _request(port, "POST", "/v1/studies?wait=1", _spec().to_dict())
+            assert status == 503, body
+            assert headers.get("Retry-After") == "5"
+            assert body["status"] == "error" and "no workers joined" in body["error"]
+
+            # The record keeps answering 503 on GET, and the service is alive.
+            status, headers, fetched = _request(port, "GET", f"/v1/studies/{body['id']}")
+            assert status == 503 and headers.get("Retry-After") == "5"
+            assert fetched["error"] == body["error"]
+            status, _, health = _request(port, "GET", "/v1/healthz")
+            assert status == 200 and health == {"status": "ok"}
+
+        self._serve(exercise, runner=runner)
+
+    def test_non_fabric_study_errors_do_not_map_to_503(self):
+        runner = _StubRunner(error=EngineError("boom"))
+
+        def exercise(port):
+            status, headers, body = _request(port, "POST", "/v1/studies?wait=1", _spec().to_dict())
+            assert status == 200, body
+            assert body["status"] == "error" and body["error"] == "boom"
+            assert "Retry-After" not in headers
+
+        self._serve(exercise, runner=runner)
 
     def test_search_routes_end_to_end(self):
         """POST /v1/search answers bit-identically to run_design_search."""
